@@ -1,0 +1,37 @@
+# RangeAmp reproduction — build/test/bench entry points.
+
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerates the paper's headline numbers as custom bench metrics.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing pass over the three wire parsers.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/ranges/
+	$(GO) test -fuzz=FuzzReadRequest -fuzztime=30s ./internal/httpwire/
+	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/multipart/
+	$(GO) test -fuzz=FuzzDecodeHeaderBlock -fuzztime=30s ./internal/h2/
+
+# Every experiment, printed as text tables and figure series.
+experiments:
+	$(GO) run ./cmd/rangeamp -exp all
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,328 @@
+package rangeamp
+
+// The benchmark harness: one testing.B target per table and figure of
+// the paper's evaluation (§V), plus micro-benchmarks for the hot
+// substrate paths. Amplification factors are attached as custom
+// metrics, so `go test -bench=. -benchmem` regenerates the paper's
+// headline numbers alongside the usual ns/op columns.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/h2"
+	"repro/internal/multipart"
+	"repro/internal/ranges"
+	"repro/internal/resource"
+	"repro/internal/vendor"
+	"repro/internal/workload"
+)
+
+// BenchmarkTable1 regenerates Table I (range forwarding behaviours).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, observations, err := Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(observations) != 13*4 {
+			b.Fatalf("%d observations", len(observations))
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table II (OBR FCDN forwarding).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, vulnerable, err := Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		count := 0
+		for _, v := range vulnerable {
+			if v {
+				count++
+			}
+		}
+		b.ReportMetric(float64(count), "vuln-fcdns")
+	}
+}
+
+// BenchmarkTable3 regenerates Table III (OBR BCDN replying).
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, vulnerable, err := Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		count := 0
+		for _, v := range vulnerable {
+			if v {
+				count++
+			}
+		}
+		b.ReportMetric(float64(count), "vuln-bcdns")
+	}
+}
+
+// BenchmarkTable4 regenerates Table IV at the paper's three reference
+// sizes and reports the Akamai 25MB factor (the paper's 43093x
+// headline).
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := SBRSweep([]int{1, 10, 25})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Factor["Akamai"][2], "akamai-25MB-factor")
+		b.ReportMetric(res.Factor["G-Core Labs"][2], "gcore-25MB-factor")
+	}
+}
+
+// BenchmarkFig6 runs the full 1..25 MB sweep behind Fig 6a/6b/6c.
+func BenchmarkFig6(b *testing.B) {
+	sizes := make([]int, 25)
+	for i := range sizes {
+		sizes[i] = i + 1
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := SBRSweep(sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fa, fb, fc := res.Fig6()
+		if len(fa.Series) != 13 || len(fb.Series) != 13 || len(fc.Series) != 13 {
+			b.Fatal("incomplete figure series")
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates Table V (OBR max amplification over the
+// 11 cascaded combinations) and reports the Cloudflare->Akamai factor
+// (the paper's 7432x headline).
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, combos, err := Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range combos {
+			if c.FCDN == "Cloudflare" && c.BCDN == "Akamai" {
+				b.ReportMetric(c.Result.Amplification.Factor(), "cf-akamai-factor")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates the bandwidth practicability figure
+// (m = 1..15 request waves over a 1000 Mbps origin link).
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig7a, fig7b, err := Bandwidth(DefaultBandwidthConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig7a.Series) != 15 || len(fig7b.Series) != 15 {
+			b.Fatal("incomplete Fig 7 series")
+		}
+		// Peak origin consumption at m=15 (the exhausted-link regime).
+		peak := 0.0
+		for _, y := range fig7b.Series[14].Y {
+			if y > peak {
+				peak = y
+			}
+		}
+		b.ReportMetric(peak, "m15-peak-Mbps")
+	}
+}
+
+// BenchmarkMitigation runs the §VI-C ablation.
+func BenchmarkMitigation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Mitigations(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks for the substrate hot paths ---
+
+// BenchmarkSBRRequest measures one full SBR attack round trip
+// (client -> edge -> origin -> edge -> client) on a 1 MB resource.
+func BenchmarkSBRRequest(b *testing.B) {
+	store := resource.NewStore()
+	store.AddSynthetic("/f.bin", 1<<20, "application/octet-stream")
+	topo, err := NewSBRTopology(Cloudflare(), store, SBROptions{OriginRangeSupport: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer topo.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		result, err := RunSBR(topo, "/f.bin", 1<<20, fmt.Sprintf("b%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(result.Amplification.Factor(), "factor")
+		}
+	}
+}
+
+// BenchmarkOBRRequest measures one OBR round trip with n=1024 on a
+// Cloudflare->Akamai cascade.
+func BenchmarkOBRRequest(b *testing.B) {
+	store := resource.NewStore()
+	store.AddSynthetic("/f.bin", 1024, "application/octet-stream")
+	topo, err := NewOBRTopology(Cloudflare(), Akamai(), store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer topo.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		result, err := RunOBR(topo, "/f.bin", 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if result.Parts != 1024 {
+			b.Fatalf("%d parts", result.Parts)
+		}
+	}
+}
+
+// BenchmarkRangeParse measures the RFC 7233 parser on the OBR header
+// shape (the largest Range headers any edge sees).
+func BenchmarkRangeParse(b *testing.B) {
+	header := core.BuildOverlappingRange("0-", 10000)
+	b.SetBytes(int64(len(header)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set, err := ranges.Parse(header)
+		if err != nil || len(set) != 10000 {
+			b.Fatal("parse failed")
+		}
+	}
+}
+
+// BenchmarkMultipartEncode measures n-part body construction, the
+// BCDN's hot path during an OBR flood.
+func BenchmarkMultipartEncode(b *testing.B) {
+	data := resource.Synthetic("/f", 1024, "x").Data
+	msg := &multipart.Message{Boundary: multipart.DefaultBoundary, CompleteLength: 1024}
+	for i := 0; i < 1000; i++ {
+		msg.Parts = append(msg.Parts, multipart.Part{
+			ContentType: "application/octet-stream",
+			Window:      ranges.Resolved{Offset: 0, Length: 1024},
+			Data:        data,
+		})
+	}
+	b.SetBytes(msg.EncodedSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(msg.Encode()) == 0 {
+			b.Fatal("empty encode")
+		}
+	}
+}
+
+// BenchmarkMaxNPlanner measures the header-limit solver across all
+// FCDN/BCDN pairs.
+func BenchmarkMaxNPlanner(b *testing.B) {
+	profiles := vendor.All()
+	for i := 0; i < b.N; i++ {
+		for _, f := range profiles {
+			for _, bc := range profiles {
+				core.PlanMaxN(f, bc, "/1KB.bin")
+			}
+		}
+	}
+}
+
+// --- benches for the extension substrates ---
+
+// BenchmarkH2Comparison regenerates the §VI-B h1-vs-h2 table at 1 MB.
+func BenchmarkH2Comparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, factors, err := H2Comparison(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f := factors["Akamai"]
+		b.ReportMetric(f[1]/f[0], "h2-over-h1-ratio")
+	}
+}
+
+// BenchmarkHPACKEncode measures header-block encoding of the attack
+// request shape.
+func BenchmarkHPACKEncode(b *testing.B) {
+	fields := []h2.HeaderField{
+		{Name: ":method", Value: "GET"},
+		{Name: ":scheme", Value: "http"},
+		{Name: ":path", Value: "/target.bin?cb=12345"},
+		{Name: ":authority", Value: "victim.example.com"},
+		{Name: "range", Value: "bytes=0-0"},
+		{Name: "user-agent", Value: "rangeamp-attack/1.0"},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(h2.EncodeHeaderBlock(fields)) == 0 {
+			b.Fatal("empty block")
+		}
+	}
+}
+
+// BenchmarkHPACKDecode measures decoding the same block.
+func BenchmarkHPACKDecode(b *testing.B) {
+	block := h2.EncodeHeaderBlock([]h2.HeaderField{
+		{Name: ":method", Value: "GET"},
+		{Name: ":path", Value: "/target.bin?cb=12345"},
+		{Name: ":authority", Value: "victim.example.com"},
+		{Name: "range", Value: "bytes=0-0"},
+	})
+	b.SetBytes(int64(len(block)))
+	for i := 0; i < b.N; i++ {
+		if _, err := h2.DecodeHeaderBlock(block); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectorInspect measures the §VI-C screening hot path under
+// the benign mixed workload.
+func BenchmarkDetectorInspect(b *testing.B) {
+	d := detect.New(detect.Config{})
+	reqs := workload.NewGenerator(1).Mixed([]string{"/a", "/b", "/c"}, 64<<20, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := d.Inspect(reqs[i%len(reqs)]); v.Malicious {
+			b.Fatal("benign request flagged")
+		}
+	}
+}
+
+// BenchmarkNodeTargeting regenerates the §IV-C pinned-vs-spread table.
+func BenchmarkNodeTargeting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, shares, err := core.NodeTargeting(5, 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(shares["pinned"], "pinned-share")
+	}
+}
+
+// BenchmarkCorpusAudit runs the feasibility corpus across all vendors.
+func BenchmarkCorpusAudit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := CorpusAudit(1, 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Violations) != 0 {
+			b.Fatalf("violations: %v", rep.Violations)
+		}
+	}
+}

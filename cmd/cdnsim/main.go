@@ -1,0 +1,116 @@
+// Command cdnsim runs one vendor-profiled CDN edge node over real TCP
+// in front of an origin (origind, another cdnsim instance for a
+// cascade, or any HTTP/1.1 server). It periodically logs the
+// back-to-origin traffic counters so the SBR asymmetry is visible live.
+//
+// Usage:
+//
+//	cdnsim -vendor cloudflare -addr :8081 -origin 127.0.0.1:8080
+//	cdnsim -vendor akamai     -addr :8082 -origin 127.0.0.1:8080   # BCDN
+//	cdnsim -vendor cloudflare -addr :8083 -origin 127.0.0.1:8082 -bypass  # FCDN
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cdn"
+	"repro/internal/detect"
+	"repro/internal/netsim"
+	"repro/internal/transport"
+	"repro/internal/vendor"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cdnsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cdnsim", flag.ContinueOnError)
+	vendorName := fs.String("vendor", "cloudflare", "vendor profile: "+strings.Join(vendor.Names(), "|"))
+	addr := fs.String("addr", ":8081", "listen address")
+	originAddr := fs.String("origin", "127.0.0.1:8080", "upstream (origin or BCDN) address")
+	bypass := fs.Bool("bypass", false, "Cloudflare Bypass cache rule (OBR FCDN position)")
+	disarm := fs.Bool("safe-range-option", false, "put the vendor Range option in its safe position")
+	noCache := fs.Bool("disable-cache", false, "never cache (malicious-customer configuration)")
+	statsEvery := fs.Duration("stats", 5*time.Second, "traffic counter log interval (0 = off)")
+	withDetector := fs.Bool("detect", false, "screen requests with the RangeAmp detector (§VI-C)")
+	h2Also := fs.Bool("h2", false, "serve HTTP/2 (prior-knowledge cleartext) on addr+1 as well")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	profile, ok := vendor.ByName(*vendorName)
+	if !ok {
+		return fmt.Errorf("unknown vendor %q (have %s)", *vendorName, strings.Join(vendor.Names(), ", "))
+	}
+	profile.Options.CloudflareBypass = *bypass
+	if *disarm {
+		profile.Options.RangeOptionVulnerable = false
+	}
+
+	var inspector cdn.Inspector
+	if *withDetector {
+		detector := detect.New(detect.Config{})
+		log.Printf("detector enabled: %s", detector.DescribeConfig())
+		inspector = detector
+	}
+	upstreamSeg := netsim.NewSegment("cdn-origin")
+	edge, err := cdn.NewEdge(cdn.Config{
+		Profile:      profile,
+		Dialer:       transport.Dialer{},
+		UpstreamAddr: *originAddr,
+		UpstreamSeg:  upstreamSeg,
+		DisableCache: *noCache,
+		Inspector:    inspector,
+	})
+	if err != nil {
+		return err
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *h2Also {
+		h2Addr, err := transport.NextPort(*addr)
+		if err != nil {
+			return err
+		}
+		l2, err := net.Listen("tcp", h2Addr)
+		if err != nil {
+			return err
+		}
+		log.Printf("h2c edge listening on %s", l2.Addr())
+		go transport.ServeH2(l2, edge)
+	}
+	log.Printf("%s edge listening on %s, upstream %s", profile.DisplayName, l.Addr(), *originAddr)
+
+	if *statsEvery > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			ticker := time.NewTicker(*statsEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					t := upstreamSeg.Traffic()
+					log.Printf("back-to-origin traffic: %d requests-bytes up, %d response-bytes down, %d conns",
+						t.Up, t.Down, upstreamSeg.Conns())
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	return transport.Serve(l, edge)
+}

@@ -1,0 +1,90 @@
+// Command origind runs the experiment origin server over real TCP —
+// the role the paper's Apache box plays. It serves synthetic resources
+// of the requested sizes and logs every received request's Range
+// header, so a cdnsim/attack pair can demonstrate the traffic asymmetry
+// across the loopback.
+//
+// Usage:
+//
+//	origind -addr :8080 -sizes 1KB=1024,10MB=10485760 [-no-ranges]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/origin"
+	"repro/internal/resource"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "origind:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("origind", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	sizes := fs.String("sizes", "1KB=1024,10MB=10485760", "resources as name=bytes pairs; served at /<name>.bin")
+	dir := fs.String("dir", "", "also serve every file in this directory at /<name>")
+	h2Also := fs.Bool("h2", false, "serve HTTP/2 (prior-knowledge cleartext) on addr+1 as well")
+	noRanges := fs.Bool("no-ranges", false, "disable range support (the OBR origin configuration)")
+	maxRanges := fs.Int("max-ranges", 0, "cap ranges served per request (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	store := resource.NewStore()
+	for _, pair := range strings.Split(*sizes, ",") {
+		name, sizeStr, found := strings.Cut(strings.TrimSpace(pair), "=")
+		if !found {
+			return fmt.Errorf("bad size pair %q (want name=bytes)", pair)
+		}
+		size, err := strconv.ParseInt(sizeStr, 10, 64)
+		if err != nil || size < 0 {
+			return fmt.Errorf("bad size %q", sizeStr)
+		}
+		path := "/" + name + ".bin"
+		store.AddSynthetic(path, size, "application/octet-stream")
+		log.Printf("serving %s (%d bytes)", path, size)
+	}
+
+	if *dir != "" {
+		paths, err := store.AddDirectory(*dir, "application/octet-stream")
+		if err != nil {
+			return err
+		}
+		log.Printf("serving %d files from %s", len(paths), *dir)
+	}
+
+	srv := origin.NewServer(store, origin.Config{
+		RangeSupport:        !*noRanges,
+		MaxRangesPerRequest: *maxRanges,
+	})
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *h2Also {
+		h2Addr, err := transport.NextPort(*addr)
+		if err != nil {
+			return err
+		}
+		l2, err := net.Listen("tcp", h2Addr)
+		if err != nil {
+			return err
+		}
+		log.Printf("h2c (prior knowledge) listening on %s", l2.Addr())
+		go transport.ServeH2(l2, srv)
+	}
+	log.Printf("origin listening on %s (range support: %v)", l.Addr(), !*noRanges)
+	return transport.Serve(l, srv)
+}

@@ -1,0 +1,213 @@
+// Command rangeamp regenerates the paper's evaluation tables and
+// figures from the simulated CDN substrate.
+//
+// Usage:
+//
+//	rangeamp -exp all                 # every experiment
+//	rangeamp -exp table1              # Table I   (range forwarding, SBR)
+//	rangeamp -exp table2              # Table II  (multi-range forwarding, OBR FCDN)
+//	rangeamp -exp table3              # Table III (multi-range replying, OBR BCDN)
+//	rangeamp -exp sbr -sizes 1,10,25  # Table IV + Fig 6 (SBR sweep)
+//	rangeamp -exp fig6 -sizes 1-25    # full Fig 6 sweep
+//	rangeamp -exp obr                 # Table V   (OBR max amplification)
+//	rangeamp -exp bandwidth           # Fig 7     (bandwidth practicability)
+//	rangeamp -exp mitigation          # §VI-C mitigation ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/billing"
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rangeamp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("rangeamp", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment: table1|table2|table3|sbr|fig6|obr|bandwidth|bandwidth-all|mitigation|corpus|cost|h2|nodes|all")
+	sizes := fs.String("sizes", "1,10,25", "resource sizes in MB for the SBR sweep (list '1,10,25' or range '1-25')")
+	csv := fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	outDir := fs.String("out", "", "also write each table as CSV into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sizesMB, err := parseSizes(*sizes)
+	if err != nil {
+		return err
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	experiments := strings.Split(*exp, ",")
+	for _, e := range experiments {
+		if err := runOne(strings.TrimSpace(e), sizesMB, *csv, *outDir, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runOne(exp string, sizesMB []int, csv bool, outDir string, w io.Writer) error {
+	emit := func(t interface {
+		Render(io.Writer) error
+		RenderCSV(io.Writer) error
+	}) error {
+		if outDir != "" {
+			f, err := os.Create(filepath.Join(outDir, exp+".csv"))
+			if err != nil {
+				return err
+			}
+			if err := t.RenderCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		if csv {
+			return t.RenderCSV(w)
+		}
+		return t.Render(w)
+	}
+	switch exp {
+	case "table1":
+		tab, _, err := core.Table1()
+		if err != nil {
+			return err
+		}
+		return emit(tab)
+	case "table2":
+		tab, _, err := core.Table2()
+		if err != nil {
+			return err
+		}
+		return emit(tab)
+	case "table3":
+		tab, _, err := core.Table3()
+		if err != nil {
+			return err
+		}
+		return emit(tab)
+	case "sbr", "fig6":
+		res, err := core.SBRSweep(sizesMB)
+		if err != nil {
+			return err
+		}
+		if err := emit(res.Table4()); err != nil {
+			return err
+		}
+		fa, fb, fc := res.Fig6()
+		for _, f := range []interface{ Render(io.Writer) error }{fa, fb, fc} {
+			if err := f.Render(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "obr":
+		tab, _, err := core.Table5()
+		if err != nil {
+			return err
+		}
+		return emit(tab)
+	case "bandwidth":
+		fig7a, fig7b, err := core.Bandwidth(core.DefaultBandwidthConfig())
+		if err != nil {
+			return err
+		}
+		if err := fig7a.Render(w); err != nil {
+			return err
+		}
+		return fig7b.Render(w)
+	case "mitigation":
+		tab, err := core.Mitigations()
+		if err != nil {
+			return err
+		}
+		return emit(tab)
+	case "corpus":
+		rep, err := core.CorpusAudit(1, 200)
+		if err != nil {
+			return err
+		}
+		if err := emit(rep.Table()); err != nil {
+			return err
+		}
+		for _, v := range rep.Violations {
+			fmt.Fprintln(w, "VIOLATION:", v)
+		}
+		return nil
+	case "bandwidth-all":
+		tab, err := core.BandwidthAll(core.DefaultBandwidthConfig())
+		if err != nil {
+			return err
+		}
+		return emit(tab)
+	case "cost":
+		return emit(billing.CostTable(10<<20, 10, time.Hour))
+	case "nodes":
+		tab, _, err := core.NodeTargeting(5, 50)
+		if err != nil {
+			return err
+		}
+		return emit(tab)
+	case "h2":
+		tab, _, err := core.H2Comparison(sizesMB[0])
+		if err != nil {
+			return err
+		}
+		return emit(tab)
+	case "all":
+		for _, e := range []string{"table1", "table2", "table3", "sbr", "obr", "bandwidth", "bandwidth-all", "mitigation", "corpus", "cost", "h2", "nodes"} {
+			if err := runOne(e, sizesMB, csv, outDir, w); err != nil {
+				return fmt.Errorf("%s: %w", e, err)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+// parseSizes accepts "1,10,25" or "1-25".
+func parseSizes(s string) ([]int, error) {
+	if lo, hi, found := strings.Cut(s, "-"); found && !strings.Contains(s, ",") {
+		a, err1 := strconv.Atoi(strings.TrimSpace(lo))
+		b, err2 := strconv.Atoi(strings.TrimSpace(hi))
+		if err1 != nil || err2 != nil || a < 1 || b < a {
+			return nil, fmt.Errorf("bad size range %q", s)
+		}
+		out := make([]int, 0, b-a+1)
+		for v := a; v <= b; v++ {
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad size %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

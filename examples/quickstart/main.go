@@ -1,0 +1,65 @@
+// Quickstart: one SBR attack request through a Cloudflare-profiled
+// edge, printing the per-segment traffic and the amplification factor —
+// the paper's Fig 4 flow end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rangeamp "repro"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		path = "/video.bin"
+		size = 10 << 20 // 10 MB, the paper's Fig 7 resource
+	)
+
+	// The victim website: an origin serving a 10 MB file behind a CDN.
+	store := rangeamp.NewStore()
+	store.AddSynthetic(path, size, "application/octet-stream")
+
+	events := trace.New()
+	topo, err := rangeamp.NewSBRTopology(rangeamp.Cloudflare(), store,
+		rangeamp.SBROptions{OriginRangeSupport: true, Trace: events})
+	if err != nil {
+		return err
+	}
+	defer topo.Close()
+
+	// One crafted request: "Range: bytes=0-0" plus a cache-busting query.
+	result, err := rangeamp.RunSBR(topo, path, size, "quickstart")
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("SBR attack through a Cloudflare-profiled edge")
+	fmt.Printf("  exploited Range case : %s\n", result.Case.RangeHeader)
+	fmt.Printf("  client received      : %d bytes (HTTP %d, %d-byte body)\n",
+		result.Amplification.AttackerBytes,
+		result.Responses[0].StatusCode, len(result.Responses[0].Body))
+	fmt.Printf("  origin transmitted   : %d bytes (the whole %d-byte resource)\n",
+		result.Amplification.VictimBytes, size)
+	fmt.Printf("  amplification factor : %.0fx\n", result.Amplification.Factor())
+
+	fmt.Println("\nThe origin saw (range header stripped by the edge):")
+	for _, entry := range topo.Origin.Log() {
+		rangeInfo := "no Range header"
+		if entry.HasRange {
+			rangeInfo = "Range: " + entry.RangeHeader
+		}
+		fmt.Printf("  %s %s  (%s)\n", entry.Method, entry.Target, rangeInfo)
+	}
+
+	fmt.Println("\nEdge trace:")
+	fmt.Print(events.String())
+	return nil
+}

@@ -1,0 +1,48 @@
+// sbr_sweep reproduces a slice of the paper's Fig 6 / Table IV: the SBR
+// amplification factor as a function of the target resource size, for a
+// handful of CDNs — showing the proportional growth for Deletion-policy
+// vendors and the Azure/CloudFront caps.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	rangeamp "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sizesMB := []int{1, 5, 10, 15, 20, 25}
+	fmt.Printf("sweeping the SBR attack over %v MB resources on all 13 CDNs...\n\n", sizesMB)
+
+	res, err := rangeamp.SBRSweep(sizesMB)
+	if err != nil {
+		return err
+	}
+
+	if err := res.Table4().Render(os.Stdout); err != nil {
+		return err
+	}
+
+	// The headline observations of §V-B.
+	akamai := res.Factor["Akamai"]
+	azure := res.Factor["Azure"]
+	cloudfront := res.Factor["CloudFront"]
+	last := len(sizesMB) - 1
+
+	fmt.Printf("observations (matching §V-B):\n")
+	fmt.Printf("  - Akamai's factor grows ~linearly: %.0fx at 1MB -> %.0fx at 25MB\n",
+		akamai[0], akamai[last])
+	fmt.Printf("  - Azure flattens once the resource exceeds 16MB (two ~8MB origin pulls): %.0fx -> %.0fx\n",
+		azure[len(azure)-2], azure[last])
+	fmt.Printf("  - CloudFront caps at its 10MB expansion window: %.0fx at 10MB vs %.0fx at 25MB\n",
+		cloudfront[2], cloudfront[last])
+	return nil
+}

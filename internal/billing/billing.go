@@ -1,0 +1,114 @@
+// Package billing quantifies §V-E's "great monetary loss to the
+// victims" claim: most of the 13 CDNs charge their website customers
+// by traffic consumption (the paper names Akamai, Alibaba Cloud,
+// Azure, CDN77, CDNsun, CloudFront, Fastly, Huawei Cloud, KeyCDN and
+// Tencent Cloud), so the traffic a RangeAmp attacker forces through
+// the platform lands on the victim's bill, and the origin's own
+// hosting egress is billed on top.
+//
+// The tariffs are approximate public per-GB list prices from the
+// 2019/2020 period the paper cites (its refs [17]-[21]); they are
+// estimation inputs, not quotes. Vendors the paper excludes from the
+// by-traffic list are modelled as flat-rate (zero marginal cost).
+package billing
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/report"
+)
+
+// Tariff is one CDN's marginal traffic price.
+type Tariff struct {
+	Vendor   string  // display name
+	PerGBUSD float64 // marginal $/GB billed to the hosted website
+	FlatRate bool    // vendor does not bill by traffic (paper's exclusions)
+}
+
+// DefaultOriginEgressUSDPerGB is a typical cloud-VM egress list price
+// (the victim's own hosting bill for the origin's outgoing traffic).
+const DefaultOriginEgressUSDPerGB = 0.09
+
+// Tariffs returns the 13 vendors' approximate 2019/2020 list prices in
+// the paper's order.
+func Tariffs() []Tariff {
+	return []Tariff{
+		{Vendor: "Akamai", PerGBUSD: 0.060},
+		{Vendor: "Alibaba Cloud", PerGBUSD: 0.074},
+		{Vendor: "Azure", PerGBUSD: 0.081},
+		{Vendor: "CDN77", PerGBUSD: 0.049},
+		{Vendor: "CDNsun", PerGBUSD: 0.045},
+		{Vendor: "Cloudflare", FlatRate: true},
+		{Vendor: "CloudFront", PerGBUSD: 0.085},
+		{Vendor: "Fastly", PerGBUSD: 0.120},
+		{Vendor: "G-Core Labs", FlatRate: true},
+		{Vendor: "Huawei Cloud", PerGBUSD: 0.077},
+		{Vendor: "KeyCDN", PerGBUSD: 0.040},
+		{Vendor: "StackPath", FlatRate: true},
+		{Vendor: "Tencent Cloud", PerGBUSD: 0.070},
+	}
+}
+
+// TariffFor looks a tariff up by display name.
+func TariffFor(vendor string) (Tariff, bool) {
+	for _, t := range Tariffs() {
+		if t.Vendor == vendor {
+			return t, true
+		}
+	}
+	return Tariff{}, false
+}
+
+// AttackCost is the estimated bill for one sustained SBR attack.
+type AttackCost struct {
+	TrafficGB       float64 // amplified traffic forced through the platform
+	CDNFeeUSD       float64 // billed by the CDN to the hosted website
+	OriginEgressUSD float64 // billed by the origin's own host
+}
+
+// Total returns the combined victim-side cost.
+func (c AttackCost) Total() float64 { return c.CDNFeeUSD + c.OriginEgressUSD }
+
+// EstimateSBR prices a sustained SBR attack: requestsPerSecond crafted
+// requests for duration, each forcing one full copy of a resourceBytes
+// object out of the origin (the Deletion-policy amplification).
+// originEgressUSDPerGB <= 0 selects DefaultOriginEgressUSDPerGB.
+func EstimateSBR(t Tariff, resourceBytes int64, requestsPerSecond int, duration time.Duration, originEgressUSDPerGB float64) AttackCost {
+	if originEgressUSDPerGB <= 0 {
+		originEgressUSDPerGB = DefaultOriginEgressUSDPerGB
+	}
+	requests := float64(requestsPerSecond) * duration.Seconds()
+	gb := requests * float64(resourceBytes) / 1e9
+	cost := AttackCost{
+		TrafficGB:       gb,
+		OriginEgressUSD: gb * originEgressUSDPerGB,
+	}
+	if !t.FlatRate {
+		cost.CDNFeeUSD = gb * t.PerGBUSD
+	}
+	return cost
+}
+
+// CostTable renders the per-vendor estimate for one attack shape, the
+// §V-E argument in numbers.
+func CostTable(resourceBytes int64, requestsPerSecond int, duration time.Duration) *report.Table {
+	tab := &report.Table{
+		Title: fmt.Sprintf("§V-E — estimated victim cost of an SBR attack (%d req/s, %s, %d-byte resource)",
+			requestsPerSecond, duration, resourceBytes),
+		Columns: []string{"CDN", "Tariff $/GB", "Traffic GB", "CDN Fee $", "Origin Egress $", "Total $"},
+	}
+	for _, t := range Tariffs() {
+		cost := EstimateSBR(t, resourceBytes, requestsPerSecond, duration, 0)
+		tariffCell := fmt.Sprintf("%.3f", t.PerGBUSD)
+		if t.FlatRate {
+			tariffCell = "flat-rate"
+		}
+		tab.AddRow(t.Vendor, tariffCell,
+			fmt.Sprintf("%.1f", cost.TrafficGB),
+			fmt.Sprintf("%.2f", cost.CDNFeeUSD),
+			fmt.Sprintf("%.2f", cost.OriginEgressUSD),
+			fmt.Sprintf("%.2f", cost.Total()))
+	}
+	return tab
+}

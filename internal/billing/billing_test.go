@@ -1,0 +1,93 @@
+package billing
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTariffsCoverAllVendors(t *testing.T) {
+	ts := Tariffs()
+	if len(ts) != 13 {
+		t.Fatalf("%d tariffs", len(ts))
+	}
+	// The paper's by-traffic list: these ten must have a price.
+	byTraffic := []string{
+		"Akamai", "Alibaba Cloud", "Azure", "CDN77", "CDNsun",
+		"CloudFront", "Fastly", "Huawei Cloud", "KeyCDN", "Tencent Cloud",
+	}
+	for _, name := range byTraffic {
+		tariff, ok := TariffFor(name)
+		if !ok {
+			t.Errorf("missing tariff for %s", name)
+			continue
+		}
+		if tariff.FlatRate || tariff.PerGBUSD <= 0 {
+			t.Errorf("%s should bill by traffic: %+v", name, tariff)
+		}
+	}
+	for _, name := range []string{"Cloudflare", "G-Core Labs", "StackPath"} {
+		tariff, _ := TariffFor(name)
+		if !tariff.FlatRate {
+			t.Errorf("%s should be flat-rate per §V-E", name)
+		}
+	}
+	if _, ok := TariffFor("nope"); ok {
+		t.Error("unknown vendor found")
+	}
+}
+
+func TestEstimateSBRArithmetic(t *testing.T) {
+	tariff := Tariff{Vendor: "x", PerGBUSD: 0.10}
+	// 10 req/s * 100s * 10MB = 10 GB.
+	cost := EstimateSBR(tariff, 10_000_000, 10, 100*time.Second, 0.05)
+	if cost.TrafficGB != 10 {
+		t.Errorf("traffic = %.2f GB", cost.TrafficGB)
+	}
+	if cost.CDNFeeUSD != 1.0 {
+		t.Errorf("cdn fee = %.4f", cost.CDNFeeUSD)
+	}
+	if cost.OriginEgressUSD != 0.5 {
+		t.Errorf("egress = %.4f", cost.OriginEgressUSD)
+	}
+	if cost.Total() != 1.5 {
+		t.Errorf("total = %.4f", cost.Total())
+	}
+}
+
+func TestEstimateSBRFlatRate(t *testing.T) {
+	cost := EstimateSBR(Tariff{Vendor: "x", FlatRate: true}, 10_000_000, 10, time.Hour, 0)
+	if cost.CDNFeeUSD != 0 {
+		t.Errorf("flat rate billed: %.2f", cost.CDNFeeUSD)
+	}
+	if cost.OriginEgressUSD <= 0 {
+		t.Error("default egress price not applied")
+	}
+}
+
+func TestSustainedAttackIsExpensive(t *testing.T) {
+	// The §V-E claim: a laptop-scale attack (10 req/s on a 25MB file for
+	// a day) produces a four-digit bill on a by-traffic CDN.
+	tariff, _ := TariffFor("CloudFront")
+	cost := EstimateSBR(tariff, 25<<20, 10, 24*time.Hour, 0)
+	if cost.Total() < 1000 {
+		t.Errorf("daily attack cost = $%.2f, expected four digits", cost.Total())
+	}
+}
+
+func TestCostTableRenders(t *testing.T) {
+	tab := CostTable(10<<20, 10, time.Hour)
+	if len(tab.Rows) != 13 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"flat-rate", "CloudFront", "Total $"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}

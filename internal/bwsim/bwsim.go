@@ -1,0 +1,156 @@
+// Package bwsim is the virtual-time fluid bandwidth simulator behind
+// the Fig 7 practicability experiment. The paper saturates a real
+// 1000 Mbps origin uplink with m concurrent SBR request waves per
+// second for 30 seconds; the figure's shape — client incoming traffic
+// flat and tiny, origin outgoing traffic proportional to m until the
+// link saturates around m≈11-14 — is a property of link sharing, which
+// a deterministic fluid model reproduces in milliseconds.
+package bwsim
+
+import "math"
+
+// Config parameterizes one bandwidth run.
+type Config struct {
+	// LinkBitsPerSec is the origin's outgoing link capacity
+	// (1e9 for the paper's 1000 Mbps server).
+	LinkBitsPerSec float64
+
+	// PerRequestOriginBytes is the payload the origin must ship per
+	// attack request (the full resource under the Deletion policy).
+	PerRequestOriginBytes int64
+
+	// PerRequestClientBytes is what the attacker receives per request
+	// (a few hundred bytes of 206).
+	PerRequestClientBytes int64
+
+	// RequestsPerSecond is the paper's m: new attack requests arriving
+	// at each whole second.
+	RequestsPerSecond int
+
+	// DurationSec is the attack duration (30 in the paper). Sampling
+	// continues afterwards until the backlog drains or 4x the duration
+	// elapses.
+	DurationSec int
+
+	// WireOverheadFactor inflates payload bytes to on-the-wire bytes
+	// (TCP/IP framing ≈ 1.027 for 1500-byte MTUs). Zero means 1.027.
+	WireOverheadFactor float64
+
+	// TickMs is the integration step. Zero means 100 ms.
+	TickMs int
+}
+
+// Sample is one per-second observation, matching Fig 7's axes.
+type Sample struct {
+	Second         int
+	OriginOutMbps  float64 // outgoing bandwidth consumption of the origin (Fig 7b)
+	ClientInKbps   float64 // incoming bandwidth consumption of the client (Fig 7a)
+	ActiveFlows    int     // in-flight transfers at the end of the second
+	CompletedFlows int     // transfers finished within the second
+}
+
+const (
+	defaultOverhead = 1.027
+	defaultTickMs   = 100
+)
+
+// Run simulates the attack and returns one sample per second.
+func Run(cfg Config) []Sample {
+	overhead := cfg.WireOverheadFactor
+	if overhead <= 0 {
+		overhead = defaultOverhead
+	}
+	tickMs := cfg.TickMs
+	if tickMs <= 0 {
+		tickMs = defaultTickMs
+	}
+	dt := float64(tickMs) / 1000.0
+	perFlowBytes := float64(cfg.PerRequestOriginBytes) * overhead
+	capBytesPerSec := cfg.LinkBitsPerSec / 8.0
+
+	var (
+		flows       []float64 // remaining wire bytes per in-flight transfer
+		samples     []Sample
+		sentInSec   float64
+		doneInSec   int
+		maxSeconds  = cfg.DurationSec * 4
+		ticksPerSec = int(math.Round(1000.0 / float64(tickMs)))
+	)
+	if maxSeconds < cfg.DurationSec+1 {
+		maxSeconds = cfg.DurationSec + 1
+	}
+
+	for sec := 0; sec < maxSeconds; sec++ {
+		if sec < cfg.DurationSec {
+			for i := 0; i < cfg.RequestsPerSecond; i++ {
+				flows = append(flows, perFlowBytes)
+			}
+		}
+		sentInSec, doneInSec = 0, 0
+		for tick := 0; tick < ticksPerSec; tick++ {
+			if len(flows) == 0 {
+				continue
+			}
+			budget := capBytesPerSec * dt
+			share := budget / float64(len(flows))
+			next := flows[:0]
+			for _, rem := range flows {
+				sent := math.Min(rem, share)
+				sentInSec += sent
+				rem -= sent
+				if rem > 1e-9 {
+					next = append(next, rem)
+				} else {
+					doneInSec++
+				}
+			}
+			flows = next
+		}
+		samples = append(samples, Sample{
+			Second:         sec,
+			OriginOutMbps:  sentInSec * 8 / 1e6,
+			ClientInKbps:   float64(doneInSec) * float64(cfg.PerRequestClientBytes) * overhead * 8 / 1e3,
+			ActiveFlows:    len(flows),
+			CompletedFlows: doneInSec,
+		})
+		if sec >= cfg.DurationSec && len(flows) == 0 {
+			break
+		}
+	}
+	return samples
+}
+
+// PeakOriginMbps returns the largest per-second origin consumption.
+func PeakOriginMbps(samples []Sample) float64 {
+	peak := 0.0
+	for _, s := range samples {
+		if s.OriginOutMbps > peak {
+			peak = s.OriginOutMbps
+		}
+	}
+	return peak
+}
+
+// SteadyOriginMbps averages origin consumption over the middle of the
+// attack window (seconds [D/3, 2D/3)), where the paper reads its
+// "almost proportional to m" values.
+func SteadyOriginMbps(samples []Sample, durationSec int) float64 {
+	lo, hi := durationSec/3, 2*durationSec/3
+	sum, n := 0.0, 0
+	for _, s := range samples {
+		if s.Second >= lo && s.Second < hi {
+			sum += s.OriginOutMbps
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Saturated reports whether the link ran at (or above) frac of capacity
+// during the steady window.
+func Saturated(samples []Sample, cfg Config, frac float64) bool {
+	return SteadyOriginMbps(samples, cfg.DurationSec) >= frac*cfg.LinkBitsPerSec/1e6
+}

@@ -1,0 +1,120 @@
+package bwsim
+
+import "testing"
+
+func paperConfig(m int) Config {
+	return Config{
+		LinkBitsPerSec:        1e9,
+		PerRequestOriginBytes: 10 << 20, // 10 MB resource
+		PerRequestClientBytes: 700,
+		RequestsPerSecond:     m,
+		DurationSec:           30,
+	}
+}
+
+func TestProportionalBelowSaturation(t *testing.T) {
+	// Fig 7b: for m <= 10 origin consumption is almost proportional to m.
+	base := SteadyOriginMbps(Run(paperConfig(1)), 30)
+	if base < 70 || base > 100 {
+		t.Fatalf("m=1 steady = %.1f Mbps, want ~86", base)
+	}
+	for m := 2; m <= 10; m++ {
+		got := SteadyOriginMbps(Run(paperConfig(m)), 30)
+		want := base * float64(m)
+		if got < want*0.9 || got > want*1.1 {
+			t.Errorf("m=%d steady = %.1f Mbps, want ~%.1f (proportional)", m, got, want)
+		}
+	}
+}
+
+func TestSaturationAtHighM(t *testing.T) {
+	// Fig 7b: m >= 14 exhausts the 1000 Mbps link.
+	for m := 14; m <= 15; m++ {
+		samples := Run(paperConfig(m))
+		if !Saturated(samples, paperConfig(m), 0.97) {
+			t.Errorf("m=%d: steady = %.1f Mbps, want saturation",
+				m, SteadyOriginMbps(samples, 30))
+		}
+	}
+	// And m=5 must not saturate.
+	if Saturated(Run(paperConfig(5)), paperConfig(5), 0.97) {
+		t.Error("m=5 saturated the link")
+	}
+}
+
+func TestNeverExceedsCapacity(t *testing.T) {
+	for _, m := range []int{1, 11, 15, 50} {
+		for _, s := range Run(paperConfig(m)) {
+			if s.OriginOutMbps > 1000.5 {
+				t.Fatalf("m=%d sec=%d: %.2f Mbps exceeds the link", m, s.Second, s.OriginOutMbps)
+			}
+		}
+	}
+}
+
+func TestClientIncomingStaysTiny(t *testing.T) {
+	// Fig 7a: client incoming consumption is under 500 Kbps for all m.
+	for _, m := range []int{1, 5, 10, 15} {
+		for _, s := range Run(paperConfig(m)) {
+			if s.ClientInKbps > 500 {
+				t.Errorf("m=%d sec=%d: client %.1f Kbps, want < 500", m, s.Second, s.ClientInKbps)
+			}
+		}
+	}
+}
+
+func TestBacklogDrainsAfterAttack(t *testing.T) {
+	samples := Run(paperConfig(15))
+	last := samples[len(samples)-1]
+	if last.ActiveFlows != 0 {
+		t.Errorf("backlog never drained: %d flows at sec %d", last.ActiveFlows, last.Second)
+	}
+	if last.Second < 30 {
+		t.Errorf("simulation ended during the attack (sec %d)", last.Second)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Run(paperConfig(7))
+	b := Run(paperConfig(7))
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPeak(t *testing.T) {
+	samples := []Sample{{OriginOutMbps: 5}, {OriginOutMbps: 42}, {OriginOutMbps: 7}}
+	if PeakOriginMbps(samples) != 42 {
+		t.Error("PeakOriginMbps wrong")
+	}
+	if PeakOriginMbps(nil) != 0 {
+		t.Error("empty peak")
+	}
+}
+
+func TestSteadyEmptyWindow(t *testing.T) {
+	if SteadyOriginMbps(nil, 30) != 0 {
+		t.Error("empty steady")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	cfg := paperConfig(3)
+	cfg.WireOverheadFactor = 0
+	cfg.TickMs = 0
+	samples := Run(cfg)
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	// Overhead default inflates payload slightly above the raw rate.
+	steady := SteadyOriginMbps(samples, 30)
+	raw := 3 * 10 * float64(1<<20) * 8 / 1e6
+	if steady <= raw {
+		t.Errorf("steady %.2f <= raw %.2f, overhead not applied", steady, raw)
+	}
+}

@@ -1,0 +1,180 @@
+// Package cache implements the CDN edge cache. Its keying rules are
+// what make the SBR attack practical: because the default key includes
+// the query string, a random "?cb=…" suffix forces a cache miss and a
+// fresh back-to-origin fetch on every attack request (§II-A).
+package cache
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config controls cache behaviour.
+type Config struct {
+	// IncludeQueryInKey makes distinct query strings distinct cache
+	// entries. True is the CDN default the paper's attackers exploit;
+	// false is the "ignore query strings" page rule Cloudflare suggested
+	// as a mitigation (§VII-A).
+	IncludeQueryInKey bool
+
+	// TTL bounds entry freshness. Zero means entries never expire.
+	TTL time.Duration
+
+	// MaxEntries bounds the cache size with LRU eviction. Zero means 4096.
+	MaxEntries int
+
+	// BypassPrefixes lists path prefixes that are never cached (the
+	// Cloudflare "Bypass" cache rule).
+	BypassPrefixes []string
+
+	// Now is the clock; nil means time.Now.
+	Now func() time.Time
+}
+
+const defaultMaxEntries = 4096
+
+// Object is a cached full-body representation.
+type Object struct {
+	Body        []byte
+	ContentType string
+	Size        int64
+}
+
+// Stats is a snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits     int64
+	Misses   int64
+	Bypasses int64
+}
+
+// Cache is a concurrency-safe LRU+TTL object cache.
+type Cache struct {
+	cfg Config
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	stats   Stats
+}
+
+type entry struct {
+	key     string
+	obj     *Object
+	savedAt time.Time
+}
+
+// New returns an empty cache.
+func New(cfg Config) *Cache {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = defaultMaxEntries
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Cache{
+		cfg:     cfg,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Key derives the cache key for a request target ("/path?query").
+// cacheable=false means the target bypasses the cache entirely.
+func (c *Cache) Key(target string) (key string, cacheable bool) {
+	path := target
+	if i := strings.IndexByte(target, '?'); i >= 0 {
+		path = target[:i]
+	}
+	for _, prefix := range c.cfg.BypassPrefixes {
+		if strings.HasPrefix(path, prefix) {
+			return "", false
+		}
+	}
+	if c.cfg.IncludeQueryInKey {
+		return target, true
+	}
+	return path, true
+}
+
+// Get returns the cached object for a request target, accounting a
+// hit, miss or bypass.
+func (c *Cache) Get(target string) (*Object, bool) {
+	key, cacheable := c.Key(target)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !cacheable {
+		c.stats.Bypasses++
+		return nil, false
+	}
+	elem, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	ent := elem.Value.(*entry)
+	if c.cfg.TTL > 0 && c.cfg.Now().Sub(ent.savedAt) > c.cfg.TTL {
+		c.removeLocked(elem)
+		c.stats.Misses++
+		return nil, false
+	}
+	c.order.MoveToFront(elem)
+	c.stats.Hits++
+	return ent.obj, true
+}
+
+// Put stores an object under the target's key. Bypassed targets are
+// not stored.
+func (c *Cache) Put(target string, obj *Object) {
+	key, cacheable := c.Key(target)
+	if !cacheable || obj == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if elem, ok := c.entries[key]; ok {
+		ent := elem.Value.(*entry)
+		ent.obj = obj
+		ent.savedAt = c.cfg.Now()
+		c.order.MoveToFront(elem)
+		return
+	}
+	elem := c.order.PushFront(&entry{key: key, obj: obj, savedAt: c.cfg.Now()})
+	c.entries[key] = elem
+	for len(c.entries) > c.cfg.MaxEntries {
+		oldest := c.order.Back()
+		if oldest == nil {
+			break
+		}
+		c.removeLocked(oldest)
+	}
+}
+
+// Purge drops every entry.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*list.Element)
+	c.order.Init()
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *Cache) removeLocked(elem *list.Element) {
+	ent := elem.Value.(*entry)
+	delete(c.entries, ent.key)
+	c.order.Remove(elem)
+}

@@ -1,0 +1,158 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func obj(n int) *Object {
+	return &Object{Body: make([]byte, n), ContentType: "x", Size: int64(n)}
+}
+
+func TestHitMiss(t *testing.T) {
+	c := New(Config{IncludeQueryInKey: true})
+	if _, ok := c.Get("/a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("/a", obj(10))
+	got, ok := c.Get("/a")
+	if !ok || got.Size != 10 {
+		t.Fatalf("Get = %+v,%v", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestQueryStringBustsCache(t *testing.T) {
+	// §II-A: "appending a random query string into the target URL can
+	// bypass the CDN's caching mechanism".
+	c := New(Config{IncludeQueryInKey: true})
+	c.Put("/f?cb=1", obj(10))
+	if _, ok := c.Get("/f?cb=2"); ok {
+		t.Error("different query string hit the cache")
+	}
+	if _, ok := c.Get("/f?cb=1"); !ok {
+		t.Error("same query string missed")
+	}
+	if _, ok := c.Get("/f"); ok {
+		t.Error("bare path hit the query-keyed entry")
+	}
+}
+
+func TestIgnoreQueryMitigation(t *testing.T) {
+	// §VII-A: Cloudflare's suggested page rule collapses query strings.
+	c := New(Config{IncludeQueryInKey: false})
+	c.Put("/f?cb=1", obj(10))
+	for _, target := range []string{"/f?cb=2", "/f?anything=else", "/f"} {
+		if _, ok := c.Get(target); !ok {
+			t.Errorf("Get(%q) missed under ignore-query keying", target)
+		}
+	}
+}
+
+func TestBypassPrefixes(t *testing.T) {
+	c := New(Config{IncludeQueryInKey: true, BypassPrefixes: []string{"/nocache/"}})
+	c.Put("/nocache/f", obj(10))
+	if _, ok := c.Get("/nocache/f"); ok {
+		t.Error("bypass path was cached")
+	}
+	if c.Stats().Bypasses != 1 {
+		t.Errorf("bypasses = %d", c.Stats().Bypasses)
+	}
+	// Bypass matches the path, not the query.
+	if _, cacheable := c.Key("/nocache/f?x=1"); cacheable {
+		t.Error("bypass ignored with query present")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	c := New(Config{IncludeQueryInKey: true, TTL: time.Minute, Now: clock})
+	c.Put("/a", obj(1))
+	if _, ok := c.Get("/a"); !ok {
+		t.Fatal("fresh entry missed")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.Get("/a"); ok {
+		t.Error("expired entry hit")
+	}
+	if c.Len() != 0 {
+		t.Error("expired entry not removed")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(Config{IncludeQueryInKey: true, MaxEntries: 3})
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("/f%d", i), obj(i))
+	}
+	c.Get("/f0") // refresh f0; f1 becomes the LRU
+	c.Put("/f3", obj(3))
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if _, ok := c.Get("/f1"); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	for _, k := range []string{"/f0", "/f2", "/f3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s evicted unexpectedly", k)
+		}
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	c := New(Config{IncludeQueryInKey: true})
+	c.Put("/a", obj(1))
+	c.Put("/a", obj(2))
+	got, _ := c.Get("/a")
+	if got.Size != 2 || c.Len() != 1 {
+		t.Errorf("replace failed: size=%d len=%d", got.Size, c.Len())
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New(Config{IncludeQueryInKey: true})
+	c.Put("/a", obj(1))
+	c.Put("/b", obj(2))
+	c.Purge()
+	if c.Len() != 0 {
+		t.Error("Purge left entries")
+	}
+	if _, ok := c.Get("/a"); ok {
+		t.Error("purged entry hit")
+	}
+}
+
+func TestPutNilIgnored(t *testing.T) {
+	c := New(Config{IncludeQueryInKey: true})
+	c.Put("/a", nil)
+	if c.Len() != 0 {
+		t.Error("nil object stored")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(Config{IncludeQueryInKey: true, MaxEntries: 64})
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("/f%d", (w*i)%100)
+				c.Put(key, obj(i%10))
+				c.Get(key)
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	if c.Len() > 64 {
+		t.Errorf("cache exceeded bound: %d", c.Len())
+	}
+}

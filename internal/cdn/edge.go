@@ -1,0 +1,299 @@
+// Package cdn implements the CDN edge-node proxy engine. An Edge
+// interprets a vendor.Profile: it checks the vendor's request-header
+// limits, consults the edge cache, runs the vendor's back-to-origin
+// Behaviour over an instrumented upstream connection, and builds the
+// client-facing reply under the vendor's multi-range reply policy.
+//
+// Cascading two Edges (the FCDN's upstream address pointing at the
+// BCDN's listener) reproduces the paper's Fig 3b topology for the OBR
+// attack.
+package cdn
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/httpwire"
+	"repro/internal/netsim"
+	"repro/internal/ranges"
+	"repro/internal/trace"
+	"repro/internal/vendor"
+)
+
+// UpstreamDialer opens back-to-origin connections. netsim.Network and
+// transport.Dialer both satisfy it.
+type UpstreamDialer interface {
+	Dial(addr string, seg *netsim.Segment) (netsim.Conn, error)
+}
+
+// Inspector screens inbound requests before the edge pipeline runs —
+// the §VI-C detection mitigation (detect.Detector satisfies it).
+type Inspector interface {
+	Screen(req *httpwire.Request) (malicious bool, reason string)
+}
+
+// Config assembles an Edge.
+type Config struct {
+	Profile      *vendor.Profile
+	Network      *netsim.Network // in-memory transport; used when Dialer is nil
+	Dialer       UpstreamDialer  // overrides Network (e.g. real TCP)
+	UpstreamAddr string          // origin (or BCDN) listener address
+	UpstreamSeg  *netsim.Segment // segment the back-to-origin traffic counts on
+	Cache        *cache.Cache    // nil builds a default cache from the profile
+	DisableCache bool            // force every request to miss (malicious-customer config)
+	Inspector    Inspector       // optional request screening (nil = off)
+	Trace        *trace.Log      // optional event sink (nil = off)
+}
+
+// Edge is one CDN edge node.
+type Edge struct {
+	profile      *vendor.Profile
+	dialer       UpstreamDialer
+	upstreamAddr string
+	upstreamSeg  *netsim.Segment
+	cache        *cache.Cache
+	disableCache bool
+	state        *vendor.EdgeState
+	inspector    Inspector
+	trace        *trace.Log
+}
+
+// NewEdge builds an edge node for cfg.
+func NewEdge(cfg Config) (*Edge, error) {
+	dialer := cfg.Dialer
+	if dialer == nil && cfg.Network != nil {
+		dialer = cfg.Network
+	}
+	if cfg.Profile == nil || dialer == nil || cfg.UpstreamAddr == "" {
+		return nil, errors.New("cdn: Profile, a transport (Network or Dialer) and UpstreamAddr are required")
+	}
+	c := cfg.Cache
+	if c == nil {
+		c = cache.New(cache.Config{IncludeQueryInKey: true})
+	}
+	return &Edge{
+		profile:      cfg.Profile,
+		dialer:       dialer,
+		upstreamAddr: cfg.UpstreamAddr,
+		upstreamSeg:  cfg.UpstreamSeg,
+		cache:        c,
+		disableCache: cfg.DisableCache || !cfg.Profile.CacheByDefault,
+		state:        vendor.NewEdgeState(),
+		inspector:    cfg.Inspector,
+		trace:        cfg.Trace,
+	}, nil
+}
+
+// Profile returns the edge's vendor profile.
+func (e *Edge) Profile() *vendor.Profile { return e.profile }
+
+// Cache returns the edge cache (for stats and test inspection).
+func (e *Edge) Cache() *cache.Cache { return e.cache }
+
+// Serve accepts connections until the listener closes.
+func (e *Edge) Serve(l *netsim.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go e.ServeConn(conn)
+	}
+}
+
+// ServeConn handles one client connection with keep-alive semantics.
+func (e *Edge) ServeConn(conn netsim.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for {
+		req, err := httpwire.ReadRequest(br, httpwire.Limits{})
+		if err != nil {
+			return
+		}
+		resp := e.Handle(req)
+		if _, err := resp.WriteTo(conn); err != nil {
+			return
+		}
+		if v, _ := req.Headers.Get("Connection"); v == "close" {
+			return
+		}
+	}
+}
+
+// Handle runs the full edge pipeline for one request.
+func (e *Edge) Handle(req *httpwire.Request) *httpwire.Response {
+	e.trace.Add(e.nodeName(), trace.KindRequest, "%s %s range=%s", req.Method, req.Target, headerOr(req, "Range", "-"))
+	if err := e.profile.Limits.Check(req); err != nil {
+		e.trace.Add(e.nodeName(), trace.KindRejected, "header limits: %v", err)
+		return e.errorResponse(httpwire.StatusHeaderTooLarge, err.Error())
+	}
+	if e.inspector != nil {
+		if malicious, reason := e.inspector.Screen(req); malicious {
+			e.trace.Add(e.nodeName(), trace.KindRejected, "detector: %s", reason)
+			return e.errorResponse(403, "request blocked: "+reason)
+		}
+	}
+
+	rawRange, hasRange := req.Headers.Get("Range")
+	var set ranges.Set
+	if hasRange {
+		if parsed, err := ranges.Parse(rawRange); err == nil {
+			set = parsed
+		}
+	}
+
+	// A rejecting edge (the RFC 7233 §6.1 mitigation) refuses obviously
+	// overlapping multi-range requests before spending any upstream
+	// traffic on them.
+	if e.profile.MultiRangeReply == vendor.ReplyReject &&
+		len(set) > 1 && set.OverlappingSpecs() {
+		e.trace.Add(e.nodeName(), trace.KindRejected, "overlapping ranges (reject policy)")
+		return e.errorResponse(httpwire.StatusBadRequest, "overlapping byte ranges rejected")
+	}
+
+	cacheable := e.cacheUsable()
+	key, keyOK := e.cache.Key(req.Target)
+	cacheable = cacheable && keyOK
+
+	if cacheable {
+		if obj, ok := e.cache.Get(req.Target); ok {
+			e.trace.Add(e.nodeName(), trace.KindCacheHit, "%s (%dB cached)", req.Target, obj.Size)
+			return e.replyFromObject(req, set, hasRange, &vendor.Object{
+				Body:         obj.Body,
+				CompleteSize: obj.Size,
+				ContentType:  obj.ContentType,
+			})
+		}
+		e.trace.Add(e.nodeName(), trace.KindCacheMiss, "%s", req.Target)
+	}
+
+	rc := &vendor.RequestContext{
+		Raw:      rawRange,
+		HasRange: hasRange,
+		Set:      set,
+		Path:     req.Path(),
+		SizeHint: e.state.SizeHint(req.Path()),
+		State:    e.state,
+		Key:      key,
+	}
+	up := &upstreamFetcher{edge: e, clientReq: req}
+	ret, err := e.profile.Behaviour(up, rc, &e.profile.Options)
+	if err != nil {
+		return e.errorResponse(httpwire.StatusBadGateway, err.Error())
+	}
+
+	if ret.Relay != nil {
+		e.trace.Add(e.nodeName(), trace.KindRelay, "HTTP %d, %dB body", ret.Relay.StatusCode, len(ret.Relay.Body))
+		return e.relay(ret.Relay)
+	}
+
+	obj := ret.Object
+	if cacheable && obj.Complete() && obj.UpstreamStatus == httpwire.StatusOK {
+		e.cache.Put(req.Target, &cache.Object{
+			Body:        obj.Body,
+			ContentType: obj.ContentType,
+			Size:        obj.CompleteSize,
+		})
+	}
+	e.trace.Add(e.nodeName(), trace.KindReply, "object offset=%d size=%d complete=%v",
+		obj.Offset, obj.CompleteSize, obj.Complete())
+	return e.replyFromObject(req, set, hasRange, obj)
+}
+
+// nodeName labels this edge in traces.
+func (e *Edge) nodeName() string { return e.profile.Name + "-edge" }
+
+// headerOr returns a header value or a placeholder.
+func headerOr(req *httpwire.Request, name, placeholder string) string {
+	if v, ok := req.Headers.Get(name); ok {
+		if len(v) > 48 {
+			return v[:45] + "..."
+		}
+		return v
+	}
+	return placeholder
+}
+
+// cacheUsable reports whether this edge caches at all under its current
+// configuration (Cloudflare's Bypass rule disables it, as does the
+// malicious-customer DisableCache switch).
+func (e *Edge) cacheUsable() bool {
+	if e.disableCache {
+		return false
+	}
+	if e.profile.Options.CloudflareBypass {
+		return false
+	}
+	return true
+}
+
+// relay passes an upstream response to the client with this edge's
+// headers appended (the Laziness path).
+func (e *Edge) relay(upstream *httpwire.Response) *httpwire.Response {
+	resp := upstream.Clone()
+	for _, h := range e.profile.EdgeHeaders() {
+		if !resp.Headers.Has(h.Name) {
+			resp.Headers.Add(h.Name, h.Value)
+		}
+	}
+	return resp
+}
+
+func (e *Edge) errorResponse(code int, msg string) *httpwire.Response {
+	resp := httpwire.NewResponse(code)
+	for _, h := range e.profile.EdgeHeaders() {
+		resp.Headers.Add(h.Name, h.Value)
+	}
+	resp.Headers.Set("Content-Type", "text/plain")
+	resp.SetBody([]byte(msg + "\n"))
+	return resp
+}
+
+// upstreamFetcher implements vendor.Upstream over the edge's network.
+type upstreamFetcher struct {
+	edge      *Edge
+	clientReq *httpwire.Request
+}
+
+var _ vendor.Upstream = (*upstreamFetcher)(nil)
+
+// Fetch issues one back-to-origin request. Each fetch opens its own
+// connection so the paper's per-connection traffic observations
+// (Azure's two cdn-origin connections) hold.
+func (u *upstreamFetcher) Fetch(rangeHeader string, maxBody int64) (*httpwire.Response, bool, error) {
+	req := u.clientReq.Clone()
+	req.Headers.Del("Range")
+	if rangeHeader != "" {
+		req.Headers.Add("Range", rangeHeader)
+	}
+	req.Headers.Set("Connection", "close")
+	req.Headers.Add("Via", "1.1 "+u.edge.profile.Name)
+	rangeNote := rangeHeader
+	if rangeNote == "" {
+		rangeNote = "(deleted)"
+	} else if len(rangeNote) > 48 {
+		rangeNote = rangeNote[:45] + "..."
+	}
+	u.edge.trace.Add(u.edge.nodeName(), trace.KindUpstream, "-> %s range=%s maxBody=%d",
+		u.edge.upstreamAddr, rangeNote, maxBody)
+
+	conn, err := u.edge.dialer.Dial(u.edge.upstreamAddr, u.edge.upstreamSeg)
+	if err != nil {
+		return nil, false, fmt.Errorf("dial upstream %s: %w", u.edge.upstreamAddr, err)
+	}
+	defer conn.Close()
+	if _, err := req.WriteTo(conn); err != nil {
+		return nil, false, fmt.Errorf("write upstream request: %w", err)
+	}
+	limit := int64(-1)
+	if maxBody > 0 {
+		limit = maxBody
+	}
+	resp, truncated, err := httpwire.ReadResponseLimited(bufio.NewReader(conn), httpwire.Limits{}, limit)
+	if err != nil {
+		return nil, false, fmt.Errorf("read upstream response: %w", err)
+	}
+	return resp, truncated, nil
+}

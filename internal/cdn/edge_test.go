@@ -1,0 +1,456 @@
+package cdn
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/httpwire"
+	"repro/internal/multipart"
+	"repro/internal/netsim"
+	"repro/internal/origin"
+	"repro/internal/resource"
+	"repro/internal/trace"
+	"repro/internal/vendor"
+)
+
+// rig is a client -> edge -> origin topology over instrumented segments.
+type rig struct {
+	net       *netsim.Network
+	edge      *Edge
+	origin    *origin.Server
+	clientSeg *netsim.Segment
+	originSeg *netsim.Segment
+}
+
+func newRig(t *testing.T, profile *vendor.Profile, resourceSize int64, originRanges bool) *rig {
+	t.Helper()
+	store := resource.NewStore()
+	store.AddSynthetic("/target.bin", resourceSize, "application/octet-stream")
+	osrv := origin.NewServer(store, origin.Config{RangeSupport: originRanges})
+
+	net := netsim.NewNetwork()
+	originL, err := net.Listen("origin:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go osrv.Serve(originL)
+	t.Cleanup(func() { originL.Close() })
+
+	originSeg := netsim.NewSegment("cdn-origin")
+	edge, err := NewEdge(Config{
+		Profile:      profile,
+		Network:      net,
+		UpstreamAddr: "origin:80",
+		UpstreamSeg:  originSeg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgeL, err := net.Listen("edge:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go edge.Serve(edgeL)
+	t.Cleanup(func() { edgeL.Close() })
+
+	return &rig{
+		net:       net,
+		edge:      edge,
+		origin:    osrv,
+		clientSeg: netsim.NewSegment("client-cdn"),
+		originSeg: originSeg,
+	}
+}
+
+func (r *rig) get(t *testing.T, target, rangeHeader string) *httpwire.Response {
+	t.Helper()
+	req := httpwire.NewRequest("GET", target, "site.example")
+	if rangeHeader != "" {
+		req.Headers.Add("Range", rangeHeader)
+	}
+	resp, err := origin.Fetch(r.net, "edge:80", r.clientSeg, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestSBRThroughCloudflare(t *testing.T) {
+	// The paper's Fig 4 flow: client sends bytes=0-0, the edge strips it,
+	// the origin ships the whole resource, the client gets one byte.
+	const size = 1 << 20
+	r := newRig(t, vendor.Cloudflare(), size, true)
+	resp := r.get(t, "/target.bin?cb=1", "bytes=0-0")
+
+	if resp.StatusCode != 206 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(resp.Body) != 1 {
+		t.Fatalf("client body = %d bytes", len(resp.Body))
+	}
+	originLog := r.origin.Log()
+	if len(originLog) != 1 || originLog[0].HasRange {
+		t.Fatalf("origin log = %+v, want one rangeless request", originLog)
+	}
+	down := r.originSeg.Traffic().Down
+	clientDown := r.clientSeg.Traffic().Down
+	if down < size {
+		t.Errorf("cdn-origin response traffic = %d, want >= %d", down, size)
+	}
+	if clientDown > 2048 {
+		t.Errorf("client-cdn response traffic = %d, want tiny", clientDown)
+	}
+	factor := float64(down) / float64(clientDown)
+	if factor < 500 {
+		t.Errorf("amplification factor = %.0f, want >= 500 at 1MB", factor)
+	}
+}
+
+func TestCacheHitServesWithoutOrigin(t *testing.T) {
+	r := newRig(t, vendor.Cloudflare(), 4096, true)
+	r.get(t, "/target.bin", "bytes=0-0")
+	r.get(t, "/target.bin", "bytes=1-1")
+	if n := len(r.origin.Log()); n != 1 {
+		t.Errorf("origin saw %d requests, want 1 (second served from cache)", n)
+	}
+	if st := r.edge.Cache().Stats(); st.Hits != 1 {
+		t.Errorf("cache stats = %+v", st)
+	}
+}
+
+func TestQueryStringBustsEdgeCache(t *testing.T) {
+	r := newRig(t, vendor.Cloudflare(), 4096, true)
+	r.get(t, "/target.bin?cb=1", "bytes=0-0")
+	r.get(t, "/target.bin?cb=2", "bytes=0-0")
+	if n := len(r.origin.Log()); n != 2 {
+		t.Errorf("origin saw %d requests, want 2 (distinct query strings)", n)
+	}
+}
+
+func TestEdgeAddsVendorHeaders(t *testing.T) {
+	r := newRig(t, vendor.Cloudflare(), 4096, true)
+	resp := r.get(t, "/target.bin", "bytes=0-0")
+	if v, _ := resp.Headers.Get("Server"); v != "cloudflare" {
+		t.Errorf("Server = %q", v)
+	}
+	if !resp.Headers.Has("CF-Ray") {
+		t.Error("edge headers missing")
+	}
+}
+
+func TestLazyRelayKeepsOriginHeaders(t *testing.T) {
+	// CDN77 forwards first>=1024 ranges lazily and relays the origin 206.
+	r := newRig(t, vendor.CDN77(), 4096, true)
+	resp := r.get(t, "/target.bin", "bytes=2048-2049")
+	if resp.StatusCode != 206 || len(resp.Body) != 2 {
+		t.Fatalf("status=%d len=%d", resp.StatusCode, len(resp.Body))
+	}
+	if v, _ := resp.Headers.Get("Server"); v != origin.ServerSoftware {
+		t.Errorf("Server = %q, want relayed origin header", v)
+	}
+	if !resp.Headers.Has("X-77-POP") {
+		t.Error("edge headers not appended on relay")
+	}
+	log := r.origin.Log()
+	if len(log) != 1 || log[0].RangeHeader != "bytes=2048-2049" {
+		t.Errorf("origin log = %+v", log)
+	}
+}
+
+func TestOBRCascade(t *testing.T) {
+	// Fig 3b/Fig 5: client -> FCDN(Cloudflare, Bypass) -> BCDN(Akamai) ->
+	// origin with range support disabled.
+	store := resource.NewStore()
+	store.AddSynthetic("/1KB.bin", 1024, "application/octet-stream")
+	osrv := origin.NewServer(store, origin.Config{RangeSupport: false})
+
+	net := netsim.NewNetwork()
+	originL, _ := net.Listen("origin:80")
+	go osrv.Serve(originL)
+	defer originL.Close()
+
+	bcdnOriginSeg := netsim.NewSegment("bcdn-origin")
+	bcdn, err := NewEdge(Config{
+		Profile: vendor.Akamai(), Network: net,
+		UpstreamAddr: "origin:80", UpstreamSeg: bcdnOriginSeg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcdnL, _ := net.Listen("bcdn:80")
+	go bcdn.Serve(bcdnL)
+	defer bcdnL.Close()
+
+	fcdnProfile := vendor.Cloudflare()
+	fcdnProfile.Options.CloudflareBypass = true
+	fcdnBcdnSeg := netsim.NewSegment("fcdn-bcdn")
+	fcdn, err := NewEdge(Config{
+		Profile: fcdnProfile, Network: net,
+		UpstreamAddr: "bcdn:80", UpstreamSeg: fcdnBcdnSeg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcdnL, _ := net.Listen("fcdn:80")
+	go fcdn.Serve(fcdnL)
+	defer fcdnL.Close()
+
+	const n = 50
+	clientSeg := netsim.NewSegment("client-fcdn")
+	req := httpwire.NewRequest("GET", "/1KB.bin", "site.example")
+	req.Headers.Add("Range", "bytes=0-"+strings.Repeat(",0-", n-1))
+	resp, err := origin.Fetch(net, "fcdn:80", clientSeg, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 206 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	ct, _ := resp.Headers.Get("Content-Type")
+	boundary, ok := multipart.ParseContentTypeValue(ct)
+	if !ok {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	msg, err := multipart.Decode(resp.Body, boundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msg.Parts) != n {
+		t.Fatalf("reply has %d parts, want %d", len(msg.Parts), n)
+	}
+	for i, p := range msg.Parts {
+		if p.Window.Length != 1024 {
+			t.Fatalf("part %d window = %+v", i, p.Window)
+		}
+	}
+
+	// Traffic shape: bcdn-origin carries ~1 copy, fcdn-bcdn carries ~n.
+	toOrigin := bcdnOriginSeg.Traffic().Down
+	between := fcdnBcdnSeg.Traffic().Down
+	if toOrigin > 4096 {
+		t.Errorf("bcdn-origin response traffic = %d, want < 4KB", toOrigin)
+	}
+	if between < int64(n)*1024 {
+		t.Errorf("fcdn-bcdn response traffic = %d, want >= %d", between, n*1024)
+	}
+	factor := float64(between) / float64(toOrigin)
+	if factor < float64(n)/2 {
+		t.Errorf("OBR amplification = %.1f, want >= %.1f", factor, float64(n)/2)
+	}
+	// The origin saw a rangeless request (Akamai stripped the set).
+	log := osrv.Log()
+	if len(log) != 1 || log[0].HasRange {
+		t.Errorf("origin log = %+v", log)
+	}
+}
+
+func TestAzureIgnoresRangeBeyond64(t *testing.T) {
+	r := newRig(t, vendor.Azure(), 1024, false)
+	resp := r.get(t, "/target.bin", "bytes=0-"+strings.Repeat(",0-", 64)) // 65 ranges
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d, want 200 (Range ignored)", resp.StatusCode)
+	}
+	if len(resp.Body) != 1024 {
+		t.Errorf("body = %d bytes", len(resp.Body))
+	}
+	// Exactly 64 is served as a 64-part response.
+	resp = r.get(t, "/target.bin?x=1", "bytes=0-"+strings.Repeat(",0-", 63))
+	ct, _ := resp.Headers.Get("Content-Type")
+	boundary, ok := multipart.ParseContentTypeValue(ct)
+	if !ok {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	msg, err := multipart.Decode(resp.Body, boundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msg.Parts) != 64 {
+		t.Errorf("parts = %d, want 64", len(msg.Parts))
+	}
+}
+
+func TestCoalesceReplyMergesOverlap(t *testing.T) {
+	// A coalescing vendor (Fastly) answers overlapping ranges with one part.
+	r := newRig(t, vendor.Fastly(), 4096, true)
+	resp := r.get(t, "/target.bin", "bytes=0-100,50-200")
+	if resp.StatusCode != 206 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if v, _ := resp.Headers.Get("Content-Range"); v != "bytes 0-200/4096" {
+		t.Errorf("Content-Range = %q, want coalesced window", v)
+	}
+	if len(resp.Body) != 201 {
+		t.Errorf("body = %d bytes", len(resp.Body))
+	}
+}
+
+func TestDisjointMultiRangeStaysMultipart(t *testing.T) {
+	r := newRig(t, vendor.Fastly(), 4096, true)
+	resp := r.get(t, "/target.bin", "bytes=0-0,100-100")
+	ct, _ := resp.Headers.Get("Content-Type")
+	boundary, ok := multipart.ParseContentTypeValue(ct)
+	if !ok {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	msg, err := multipart.Decode(resp.Body, boundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msg.Parts) != 2 {
+		t.Errorf("parts = %d", len(msg.Parts))
+	}
+}
+
+func TestUnsatisfiableRangeFromEdge(t *testing.T) {
+	r := newRig(t, vendor.Akamai(), 1024, true)
+	resp := r.get(t, "/target.bin", "bytes=5000-6000")
+	if resp.StatusCode != 416 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if v, _ := resp.Headers.Get("Content-Range"); v != "bytes */1024" {
+		t.Errorf("Content-Range = %q", v)
+	}
+}
+
+func TestHeaderLimit431(t *testing.T) {
+	r := newRig(t, vendor.Akamai(), 1024, true)
+	req := httpwire.NewRequest("GET", "/target.bin", "site.example")
+	req.Headers.Add("Range", "bytes=0-"+strings.Repeat(",0-", 12000)) // > 32 KB
+	resp, err := origin.Fetch(r.net, "edge:80", netsim.NewSegment("t"), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != httpwire.StatusHeaderTooLarge {
+		t.Fatalf("status = %d, want 431", resp.StatusCode)
+	}
+	if n := len(r.origin.Log()); n != 0 {
+		t.Errorf("origin saw %d requests, want 0", n)
+	}
+}
+
+func TestAzureTwoOriginConnections(t *testing.T) {
+	// §V-A(2): F > 8MB with a window range produces two cdn-origin
+	// connections totalling ~16 MB.
+	const size = 20 << 20
+	r := newRig(t, vendor.Azure(), size, true)
+	resp := r.get(t, "/target.bin", "bytes=8388608-8388608")
+	if resp.StatusCode != 206 || len(resp.Body) != 1 {
+		t.Fatalf("status=%d len=%d", resp.StatusCode, len(resp.Body))
+	}
+	if v, _ := resp.Headers.Get("Content-Range"); v != "bytes 8388608-8388608/20971520" {
+		t.Errorf("Content-Range = %q", v)
+	}
+	down := r.originSeg.Traffic().Down
+	lo, hi := int64(16<<20), int64(17<<20)
+	if down < lo || down > hi {
+		t.Errorf("cdn-origin traffic = %d, want ~16MB", down)
+	}
+	if n := len(r.origin.Log()); n != 2 {
+		t.Errorf("origin saw %d requests, want 2", n)
+	}
+}
+
+func TestKeyCDNTwoRequestAmplification(t *testing.T) {
+	const size = 1 << 20
+	r := newRig(t, vendor.KeyCDN(), size, true)
+	r.get(t, "/target.bin?cb=7", "bytes=0-0")
+	resp := r.get(t, "/target.bin?cb=7", "bytes=0-0")
+	if resp.StatusCode != 206 || len(resp.Body) != 1 {
+		t.Fatalf("second response: status=%d len=%d", resp.StatusCode, len(resp.Body))
+	}
+	log := r.origin.Log()
+	if len(log) != 2 {
+		t.Fatalf("origin saw %d requests", len(log))
+	}
+	if !log[0].HasRange || log[1].HasRange {
+		t.Errorf("origin log = %+v, want lazy then deletion", log)
+	}
+	if down := r.originSeg.Traffic().Down; down < size {
+		t.Errorf("origin response traffic = %d, want >= %d", down, size)
+	}
+}
+
+func TestStackPathReforwardOn206(t *testing.T) {
+	const size = 1 << 20
+	r := newRig(t, vendor.StackPath(), size, true)
+	resp := r.get(t, "/target.bin", "bytes=0-0")
+	if resp.StatusCode != 206 || len(resp.Body) != 1 {
+		t.Fatalf("status=%d len=%d", resp.StatusCode, len(resp.Body))
+	}
+	log := r.origin.Log()
+	if len(log) != 2 || !log[0].HasRange || log[1].HasRange {
+		t.Fatalf("origin log = %+v, want lazy then deletion", log)
+	}
+	if down := r.originSeg.Traffic().Down; down < size {
+		t.Errorf("origin traffic %d < resource size", down)
+	}
+}
+
+func TestNewEdgeValidation(t *testing.T) {
+	if _, err := NewEdge(Config{}); err == nil {
+		t.Error("NewEdge accepted empty config")
+	}
+}
+
+func TestUpstreamDialFailure502(t *testing.T) {
+	net := netsim.NewNetwork()
+	edge, err := NewEdge(Config{
+		Profile: vendor.Akamai(), Network: net,
+		UpstreamAddr: "nowhere:80", UpstreamSeg: netsim.NewSegment("s"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := edge.Handle(httpwire.NewRequest("GET", "/x", "h"))
+	if resp.StatusCode != httpwire.StatusBadGateway {
+		t.Errorf("status = %d, want 502", resp.StatusCode)
+	}
+}
+
+func TestEdgeTracing(t *testing.T) {
+	store := resource.NewStore()
+	store.AddSynthetic("/target.bin", 4096, "application/octet-stream")
+	osrv := origin.NewServer(store, origin.Config{RangeSupport: true})
+	net := netsim.NewNetwork()
+	originL, _ := net.Listen("origin:80")
+	go osrv.Serve(originL)
+	defer originL.Close()
+
+	log := trace.New()
+	edge, err := NewEdge(Config{
+		Profile: vendor.Cloudflare(), Network: net,
+		UpstreamAddr: "origin:80", UpstreamSeg: netsim.NewSegment("s"),
+		Trace: log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := httpwire.NewRequest("GET", "/target.bin?cb=1", "h")
+	req.Headers.Add("Range", "bytes=0-0")
+	edge.Handle(req)
+
+	if log.Count(trace.KindRequest) != 1 {
+		t.Errorf("request events: %d", log.Count(trace.KindRequest))
+	}
+	if log.Count(trace.KindCacheMiss) != 1 {
+		t.Errorf("cache-miss events: %d", log.Count(trace.KindCacheMiss))
+	}
+	if log.Count(trace.KindUpstream) != 1 {
+		t.Errorf("upstream events: %d", log.Count(trace.KindUpstream))
+	}
+	if log.Count(trace.KindReply) != 1 {
+		t.Errorf("reply events: %d", log.Count(trace.KindReply))
+	}
+	out := log.String()
+	if !strings.Contains(out, "range=(deleted)") {
+		t.Errorf("deletion not visible in trace:\n%s", out)
+	}
+
+	// A second identical request hits the cache.
+	log.Reset()
+	edge.Handle(req.Clone())
+	if log.Count(trace.KindCacheHit) != 1 || log.Count(trace.KindUpstream) != 0 {
+		t.Errorf("cache hit trace wrong:\n%s", log.String())
+	}
+}

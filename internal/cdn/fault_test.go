@@ -1,0 +1,79 @@
+package cdn
+
+import (
+	"testing"
+
+	"repro/internal/httpwire"
+	"repro/internal/netsim"
+	"repro/internal/origin"
+	"repro/internal/resource"
+	"repro/internal/vendor"
+)
+
+// newFaultyRig builds a topology whose origin aborts connections after
+// failAfter body bytes.
+func newFaultyRig(t *testing.T, profile *vendor.Profile, size, failAfter int64) *rig {
+	t.Helper()
+	store := resource.NewStore()
+	store.AddSynthetic("/target.bin", size, "application/octet-stream")
+	osrv := origin.NewServer(store, origin.Config{RangeSupport: true, FailAfterBodyBytes: failAfter})
+
+	net := netsim.NewNetwork()
+	originL, err := net.Listen("origin:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go osrv.Serve(originL)
+	t.Cleanup(func() { originL.Close() })
+
+	originSeg := netsim.NewSegment("cdn-origin")
+	edge, err := NewEdge(Config{
+		Profile: profile, Network: net,
+		UpstreamAddr: "origin:80", UpstreamSeg: originSeg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgeL, err := net.Listen("edge:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go edge.Serve(edgeL)
+	t.Cleanup(func() { edgeL.Close() })
+
+	return &rig{net: net, edge: edge, origin: osrv,
+		clientSeg: netsim.NewSegment("client-cdn"), originSeg: originSeg}
+}
+
+func TestEdgeSurvivesTruncatedOrigin(t *testing.T) {
+	// The origin dies 4 KB into a 64 KB transfer; the edge must answer
+	// the client with an error, not hang or crash.
+	r := newFaultyRig(t, vendor.Cloudflare(), 64<<10, 4<<10)
+	resp := r.get(t, "/target.bin?cb=1", "bytes=0-0")
+	if resp.StatusCode != httpwire.StatusBadGateway {
+		t.Fatalf("status = %d, want 502 on truncated upstream", resp.StatusCode)
+	}
+	// The edge must not cache the partial body.
+	if r.edge.Cache().Len() != 0 {
+		t.Error("truncated object was cached")
+	}
+	// The edge stays serviceable for subsequent requests.
+	resp = r.get(t, "/target.bin?cb=2", "bytes=0-0")
+	if resp.StatusCode != httpwire.StatusBadGateway {
+		t.Fatalf("second request: status = %d", resp.StatusCode)
+	}
+}
+
+func TestLazyRelayOfTruncatedOrigin(t *testing.T) {
+	// A lazily-forwarded single range under the failure threshold works;
+	// a larger one dies upstream and surfaces as 502.
+	r := newFaultyRig(t, vendor.CDN77(), 64<<10, 4<<10)
+	resp := r.get(t, "/target.bin", "bytes=2048-2058") // 11B relay, under threshold
+	if resp.StatusCode != 206 || len(resp.Body) != 11 {
+		t.Fatalf("small lazy relay: status=%d len=%d", resp.StatusCode, len(resp.Body))
+	}
+	resp = r.get(t, "/target.bin", "bytes=2048-10000") // ~8KB, over threshold
+	if resp.StatusCode != httpwire.StatusBadGateway {
+		t.Fatalf("truncated lazy relay: status=%d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,130 @@
+package cdn
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/detect"
+	"repro/internal/netsim"
+	"repro/internal/origin"
+	"repro/internal/resource"
+	"repro/internal/vendor"
+	"repro/internal/workload"
+)
+
+// newInspectedRig builds a topology whose edge screens requests with
+// the §VI-C detector.
+func newInspectedRig(t *testing.T, profile *vendor.Profile, size int64) (*rig, *detect.Detector) {
+	t.Helper()
+	store := resource.NewStore()
+	store.AddSynthetic("/target.bin", size, "application/octet-stream")
+	osrv := origin.NewServer(store, origin.Config{RangeSupport: true})
+
+	net := netsim.NewNetwork()
+	originL, err := net.Listen("origin:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go osrv.Serve(originL)
+	t.Cleanup(func() { originL.Close() })
+
+	detector := detect.New(detect.Config{SmallBustingThreshold: 8})
+	originSeg := netsim.NewSegment("cdn-origin")
+	edge, err := NewEdge(Config{
+		Profile:      profile,
+		Network:      net,
+		UpstreamAddr: "origin:80",
+		UpstreamSeg:  originSeg,
+		Inspector:    detector,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgeL, err := net.Listen("edge:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go edge.Serve(edgeL)
+	t.Cleanup(func() { edgeL.Close() })
+
+	return &rig{
+		net: net, edge: edge, origin: osrv,
+		clientSeg: netsim.NewSegment("client-cdn"),
+		originSeg: originSeg,
+	}, detector
+}
+
+func TestInspectorBlocksSBRFlood(t *testing.T) {
+	const size = 1 << 20
+	r, detector := newInspectedRig(t, vendor.Cloudflare(), size)
+
+	blocked := 0
+	for i := 0; i < 40; i++ {
+		resp := r.get(t, fmt.Sprintf("/target.bin?cb=%d", i), "bytes=0-0")
+		if resp.StatusCode == 403 {
+			blocked++
+		}
+	}
+	if blocked < 30 {
+		t.Errorf("blocked %d/40 flood requests, want most after the threshold", blocked)
+	}
+	// Origin traffic is bounded by the pre-threshold requests.
+	if down := r.originSeg.Traffic().Down; down > 10*size {
+		t.Errorf("origin still shipped %d bytes under detection", down)
+	}
+	if st := detector.Stats(); st.FlaggedSBR == 0 {
+		t.Errorf("detector stats: %+v", st)
+	}
+}
+
+func TestInspectorBlocksOBRRequest(t *testing.T) {
+	r, detector := newInspectedRig(t, vendor.Akamai(), 1024)
+	resp := r.get(t, "/target.bin", "bytes=0-"+strings.Repeat(",0-", 99))
+	if resp.StatusCode != 403 {
+		t.Fatalf("status = %d, want 403", resp.StatusCode)
+	}
+	if n := len(r.origin.Log()); n != 0 {
+		t.Errorf("origin saw %d requests, want 0 (blocked before fetch)", n)
+	}
+	if st := detector.Stats(); st.FlaggedOBR != 1 {
+		t.Errorf("detector stats: %+v", st)
+	}
+}
+
+func TestInspectorPassesBenignWorkload(t *testing.T) {
+	const size = 16 << 20
+	r, _ := newInspectedRig(t, vendor.CDN77(), size)
+	g := workload.NewGenerator(17)
+
+	reqs := g.VideoSeek("/target.bin", size, 1<<20, 30)
+	reqs = append(reqs, g.ParallelDownload("/target.bin", size, 4)...)
+	reqs = append(reqs, g.TailProbe("/target.bin", 4096)...)
+	reqs = append(reqs, g.ResumeDownload("/target.bin", size))
+
+	for i, req := range reqs {
+		resp, err := origin.Fetch(r.net, "edge:80", r.clientSeg, req.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == 403 {
+			raw, _ := req.Headers.Get("Range")
+			t.Fatalf("benign request %d blocked (%s)", i, raw)
+		}
+		if resp.StatusCode != 200 && resp.StatusCode != 206 {
+			t.Fatalf("benign request %d: status %d", i, resp.StatusCode)
+		}
+	}
+}
+
+func TestInspectorNilIsOff(t *testing.T) {
+	r := newRig(t, vendor.Cloudflare(), 4096, true)
+	for i := 0; i < 40; i++ {
+		resp := r.get(t, fmt.Sprintf("/target.bin?cb=%d", i), "bytes=0-0")
+		if resp.StatusCode == 403 {
+			t.Fatal("blocked without an inspector")
+		}
+	}
+}
+
+var _ Inspector = (*detect.Detector)(nil)

@@ -1,0 +1,118 @@
+package cdn
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/httpwire"
+	"repro/internal/multipart"
+	"repro/internal/ranges"
+	"repro/internal/vendor"
+)
+
+// replyFromObject builds the client-facing response for a request whose
+// retrieval produced an object view of the resource. This is where the
+// Table III vulnerability lives: a ReplyServeAll profile turns n
+// overlapping ranges into an n-part body.
+func (e *Edge) replyFromObject(req *httpwire.Request, set ranges.Set, hasRange bool, obj *vendor.Object) *httpwire.Response {
+	size := obj.CompleteSize
+	if size < 0 {
+		size = obj.Offset + int64(len(obj.Body))
+	}
+
+	ignoreRange := !hasRange || set == nil
+	if maxParts := e.profile.MaxPartsThenIgnore; !ignoreRange && maxParts > 0 && len(set) > maxParts {
+		// The Azure rule: beyond 64 ranges the Range header is ignored.
+		ignoreRange = true
+	}
+	if !ignoreRange && e.profile.MultiRangeReply == vendor.ReplyReject &&
+		len(set) > 1 && set.Overlapping(size) {
+		return e.errorResponse(httpwire.StatusBadRequest, "overlapping byte ranges rejected")
+	}
+
+	if ignoreRange {
+		return e.fullReply(req, obj, size)
+	}
+
+	windows := set.Resolve(size)
+	covered := windows[:0]
+	for _, w := range windows {
+		if obj.Covers(w) {
+			covered = append(covered, w)
+		}
+	}
+	if len(covered) == 0 {
+		return e.unsatisfiableReply(size)
+	}
+	if e.profile.MultiRangeReply == vendor.ReplyCoalesce && len(covered) > 1 {
+		covered = ranges.Coalesce(covered)
+	}
+	if len(covered) == 1 {
+		return e.singleRangeReply(req, obj, covered[0], size)
+	}
+	return e.multipartReply(req, obj, covered, size)
+}
+
+// fullReply serves the object as a 200. An incomplete object (a
+// truncated Azure prefix being served to a rangeless request) is still
+// answered 200 with the bytes at hand, mirroring a proxy relaying a
+// cut-short transfer.
+func (e *Edge) fullReply(req *httpwire.Request, obj *vendor.Object, size int64) *httpwire.Response {
+	resp := e.newEdgeResponse(httpwire.StatusOK)
+	resp.Headers.Add("Content-Type", obj.ContentType)
+	if req.Method == "HEAD" {
+		resp.Headers.Add("Content-Length", strconv.FormatInt(size, 10))
+		return resp
+	}
+	resp.SetBody(obj.Body)
+	return resp
+}
+
+func (e *Edge) singleRangeReply(req *httpwire.Request, obj *vendor.Object, w ranges.Resolved, size int64) *httpwire.Response {
+	resp := e.newEdgeResponse(httpwire.StatusPartialContent)
+	resp.Headers.Add("Content-Range", w.ContentRange(size))
+	resp.Headers.Add("Content-Type", obj.ContentType)
+	if req.Method == "HEAD" {
+		resp.Headers.Add("Content-Length", strconv.FormatInt(w.Length, 10))
+		return resp
+	}
+	resp.SetBody(obj.Slice(w))
+	return resp
+}
+
+func (e *Edge) multipartReply(req *httpwire.Request, obj *vendor.Object, ws []ranges.Resolved, size int64) *httpwire.Response {
+	msg := &multipart.Message{
+		Boundary:       e.profile.MultipartBoundary,
+		CompleteLength: size,
+	}
+	for _, w := range ws {
+		msg.Parts = append(msg.Parts, multipart.Part{
+			ContentType: obj.ContentType,
+			Window:      w,
+			Extra:       e.profile.PartExtraHeaders,
+			Data:        obj.Slice(w),
+		})
+	}
+	resp := e.newEdgeResponse(httpwire.StatusPartialContent)
+	resp.Headers.Add("Content-Type", msg.ContentTypeValue())
+	if req.Method == "HEAD" {
+		resp.Headers.Add("Content-Length", strconv.FormatInt(msg.EncodedSize(), 10))
+		return resp
+	}
+	resp.SetBody(msg.Encode())
+	return resp
+}
+
+func (e *Edge) unsatisfiableReply(size int64) *httpwire.Response {
+	resp := e.newEdgeResponse(httpwire.StatusRangeNotSatisfiable)
+	resp.Headers.Add("Content-Range", fmt.Sprintf("bytes */%d", size))
+	resp.SetBody(nil)
+	return resp
+}
+
+// newEdgeResponse starts a response carrying this vendor's edge headers.
+func (e *Edge) newEdgeResponse(status int) *httpwire.Response {
+	resp := httpwire.NewResponse(status)
+	resp.Headers = e.profile.EdgeHeaders()
+	return resp
+}

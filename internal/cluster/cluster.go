@@ -1,0 +1,179 @@
+// Package cluster models a CDN's distributed edge deployment: many
+// ingress nodes sharing one vendor profile, each with its own cache and
+// traffic counters, plus the client-side node mapping. It exists for
+// two claims in the paper:
+//
+//   - §IV-C: the OBR attack's victims are *specific ingress nodes* —
+//     "the attacker can send all multi-range requests to the same
+//     ingress node of the FCDN" — so an attacker who pins one node
+//     concentrates the amplified traffic there;
+//   - §VI-A: the authors' own ethics control is the inverse — "we send
+//     all requests to completely different ingress nodes of the CDN to
+//     minimize or avoid real impacts on the performance of specific
+//     nodes."
+//
+// Pinned vs. spread selection makes both measurable.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cache"
+	"repro/internal/cdn"
+	"repro/internal/netsim"
+	"repro/internal/vendor"
+)
+
+// Node is one ingress node of the deployment.
+type Node struct {
+	ID          string
+	Addr        string
+	Edge        *cdn.Edge
+	ClientSeg   *netsim.Segment // client <-> this node
+	UpstreamSeg *netsim.Segment // this node <-> upstream
+}
+
+// Cluster is a set of ingress nodes sharing one vendor profile.
+type Cluster struct {
+	Name      string
+	Nodes     []*Node
+	listeners []*netsim.Listener
+}
+
+// Config assembles a cluster.
+type Config struct {
+	Name         string // cluster name, used in node addresses
+	Profile      *vendor.Profile
+	Network      *netsim.Network
+	UpstreamAddr string
+	NodeCount    int
+	Inspector    cdn.Inspector // optional, shared by all nodes
+}
+
+// New stands up NodeCount edge nodes listening at
+// "node<i>.<name>:80", each with an independent cache, state and
+// traffic counters (as geographically separate PoPs have).
+func New(cfg Config) (*Cluster, error) {
+	if cfg.NodeCount < 1 {
+		return nil, fmt.Errorf("cluster: need at least one node, got %d", cfg.NodeCount)
+	}
+	c := &Cluster{Name: cfg.Name}
+	for i := 0; i < cfg.NodeCount; i++ {
+		id := fmt.Sprintf("node%d", i)
+		addr := fmt.Sprintf("%s.%s:80", id, cfg.Name)
+		upstreamSeg := netsim.NewSegment(id + "-upstream")
+		edge, err := cdn.NewEdge(cdn.Config{
+			Profile:      cfg.Profile.Clone(),
+			Network:      cfg.Network,
+			UpstreamAddr: cfg.UpstreamAddr,
+			UpstreamSeg:  upstreamSeg,
+			Cache:        cache.New(cache.Config{IncludeQueryInKey: true}),
+			Inspector:    cfg.Inspector,
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		l, err := cfg.Network.Listen(addr)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		go edge.Serve(l)
+		c.listeners = append(c.listeners, l)
+		c.Nodes = append(c.Nodes, &Node{
+			ID:          id,
+			Addr:        addr,
+			Edge:        edge,
+			ClientSeg:   netsim.NewSegment(id + "-client"),
+			UpstreamSeg: upstreamSeg,
+		})
+	}
+	return c, nil
+}
+
+// Close shuts every node's listener down.
+func (c *Cluster) Close() {
+	for _, l := range c.listeners {
+		l.Close()
+	}
+}
+
+// Selector chooses the ingress node for each request — the role the
+// CDN's DNS/anycast mapping plays for a normal user, and the role the
+// attacker subverts by resolving one node and pinning it.
+type Selector interface {
+	Pick(c *Cluster) *Node
+}
+
+// Pinned always selects one node: the §IV-C attacker position.
+type Pinned struct{ Index int }
+
+// Pick returns the pinned node.
+func (p Pinned) Pick(c *Cluster) *Node {
+	return c.Nodes[p.Index%len(c.Nodes)]
+}
+
+// RoundRobin cycles through the nodes: the §VI-A ethics control.
+type RoundRobin struct{ next int }
+
+// Pick returns the next node in rotation.
+func (r *RoundRobin) Pick(c *Cluster) *Node {
+	n := c.Nodes[r.next%len(c.Nodes)]
+	r.next++
+	return n
+}
+
+// Random picks nodes uniformly with a deterministic seed — roughly how
+// a geographically spread botnet would land on PoPs.
+type Random struct{ Rng *rand.Rand }
+
+// NewRandom returns a seeded random selector.
+func NewRandom(seed int64) *Random {
+	return &Random{Rng: rand.New(rand.NewSource(seed))}
+}
+
+// Pick returns a uniformly random node.
+func (r *Random) Pick(c *Cluster) *Node {
+	return c.Nodes[r.Rng.Intn(len(c.Nodes))]
+}
+
+// NodeTraffic is one node's accumulated load.
+type NodeTraffic struct {
+	ID       string
+	Client   netsim.Traffic
+	Upstream netsim.Traffic
+}
+
+// TrafficByNode snapshots every node's counters.
+func (c *Cluster) TrafficByNode() []NodeTraffic {
+	out := make([]NodeTraffic, 0, len(c.Nodes))
+	for _, n := range c.Nodes {
+		out = append(out, NodeTraffic{
+			ID:       n.ID,
+			Client:   n.ClientSeg.Traffic(),
+			Upstream: n.UpstreamSeg.Traffic(),
+		})
+	}
+	return out
+}
+
+// Concentration returns the share (0..1) of total upstream response
+// traffic carried by the busiest node — 1.0 means one node absorbed
+// everything (the attacker's goal), 1/len(nodes) means an even spread
+// (the ethics control).
+func (c *Cluster) Concentration() float64 {
+	var total, max int64
+	for _, n := range c.Nodes {
+		down := n.UpstreamSeg.Traffic().Down
+		total += down
+		if down > max {
+			max = down
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) / float64(total)
+}

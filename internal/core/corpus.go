@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/httpwire"
+	"repro/internal/origin"
+	"repro/internal/ranges"
+	"repro/internal/report"
+	"repro/internal/resource"
+	"repro/internal/vendor"
+)
+
+// CorpusAudit reproduces the paper's first-experiment methodology: a
+// large corpus of valid range requests generated from the RFC 7233
+// ABNF is sent through every vendor edge, and the requests observed at
+// the origin are compared with what the client sent. Beyond the
+// policy census, the audit checks protocol invariants that must hold
+// for *every* corpus element — the properties a conforming (if
+// vulnerable) CDN must not violate.
+type CorpusReport struct {
+	Requests     int
+	PolicyCounts map[string]map[vendor.ForwardPolicy]int // vendor -> policy -> count
+	Violations   []string
+}
+
+// corpusResourceSize is sized so the generated corpus (positions up to
+// 2*size) exercises both satisfiable and unsatisfiable ranges.
+const corpusResourceSize = 64 << 10
+
+// CorpusAudit runs count generated range requests against each of the
+// 13 vendors and returns the census and any invariant violations.
+func CorpusAudit(seed int64, count int) (*CorpusReport, error) {
+	gen := ranges.NewGenerator(seed)
+	gen.MaxPos = 2 * corpusResourceSize
+	corpus := gen.Corpus(count)
+
+	rep := &CorpusReport{
+		Requests:     0,
+		PolicyCounts: make(map[string]map[vendor.ForwardPolicy]int, 13),
+	}
+	for _, p := range vendor.All() {
+		if err := auditVendor(rep, p.Clone(), corpus); err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+	}
+	return rep, nil
+}
+
+func auditVendor(rep *CorpusReport, p *vendor.Profile, corpus []ranges.Set) error {
+	store := resource.NewStore()
+	store.AddSynthetic(targetPath, corpusResourceSize, contentType)
+	topo, err := NewSBRTopology(p, store, SBROptions{OriginRangeSupport: true})
+	if err != nil {
+		return err
+	}
+	defer topo.Close()
+	if err := PrimeSizeHint(topo, targetPath); err != nil {
+		return err
+	}
+
+	counts := make(map[vendor.ForwardPolicy]int, 3)
+	rep.PolicyCounts[p.DisplayName] = counts
+
+	for i, set := range corpus {
+		raw := set.HeaderValue()
+		topo.Origin.ResetLog()
+		req := NewAttackRequest(targetPath + "?cb=c" + strconv.Itoa(i))
+		req.Headers.Add("Range", raw)
+		resp, err := origin.Fetch(topo.Net, topo.EdgeAddr, topo.ClientSeg, req)
+		if err != nil {
+			return fmt.Errorf("corpus %d (%s): %w", i, raw, err)
+		}
+		rep.Requests++
+
+		counts[classifyForwarding(topo.Origin.Log(), raw)]++
+		for _, v := range auditInvariants(set, resp, topo.Origin.Log()) {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("%s corpus[%d] %q: %s", p.Name, i, raw, v))
+		}
+	}
+	return nil
+}
+
+// classifyForwarding maps an origin log to the §III-B policy taxonomy.
+func classifyForwarding(log []origin.ReceivedRequest, raw string) vendor.ForwardPolicy {
+	allUnchanged, anyExpanded := true, false
+	for _, entry := range log {
+		switch {
+		case !entry.HasRange:
+			allUnchanged = false
+		case entry.RangeHeader != raw:
+			allUnchanged = false
+			anyExpanded = true
+		}
+	}
+	switch {
+	case allUnchanged && len(log) > 0:
+		return vendor.Laziness
+	case anyExpanded:
+		return vendor.Expansion
+	default:
+		return vendor.Deletion
+	}
+}
+
+// auditInvariants checks the protocol properties every edge must
+// uphold regardless of its (vulnerable) policy choices.
+func auditInvariants(set ranges.Set, resp *httpwire.Response, log []origin.ReceivedRequest) []string {
+	var violations []string
+
+	// 1. Every Range header that reached the origin must itself be valid
+	//    RFC 7233 (a transforming edge must not emit garbage).
+	for _, entry := range log {
+		if !entry.HasRange {
+			continue
+		}
+		if _, err := ranges.Parse(entry.RangeHeader); err != nil {
+			violations = append(violations, fmt.Sprintf("origin received malformed Range %q", entry.RangeHeader))
+		}
+	}
+
+	// 2. The client response status must be coherent with satisfiability.
+	satisfiable := set.Satisfiable(corpusResourceSize)
+	switch resp.StatusCode {
+	case httpwire.StatusOK:
+		// Always acceptable: the edge may ignore the Range header.
+	case httpwire.StatusPartialContent:
+		if !satisfiable {
+			violations = append(violations, "206 for an unsatisfiable set")
+		}
+	case httpwire.StatusRangeNotSatisfiable:
+		if satisfiable {
+			violations = append(violations, "416 for a satisfiable set")
+		}
+	case httpwire.StatusBadRequest, httpwire.StatusHeaderTooLarge:
+		// Rejections are allowed (mitigated profiles, header limits).
+	default:
+		violations = append(violations, fmt.Sprintf("unexpected status %d", resp.StatusCode))
+	}
+
+	// 3. Content-Length must match the body.
+	if cl, ok := resp.Headers.Get("Content-Length"); ok {
+		if n, err := strconv.Atoi(cl); err != nil || n != len(resp.Body) {
+			violations = append(violations, fmt.Sprintf("Content-Length %q vs body %d", cl, len(resp.Body)))
+		}
+	}
+
+	// 4. A single-part 206 must carry a coherent Content-Range whose
+	//    window matches the body size.
+	if resp.StatusCode == httpwire.StatusPartialContent {
+		ct, _ := resp.Headers.Get("Content-Type")
+		if _, isMulti := cutBoundary(ct); !isMulti {
+			cr, ok := resp.Headers.Get("Content-Range")
+			if !ok {
+				violations = append(violations, "single-part 206 without Content-Range")
+			} else if length, parseOK := contentRangeLength(cr); !parseOK {
+				violations = append(violations, fmt.Sprintf("malformed Content-Range %q", cr))
+			} else if length != int64(len(resp.Body)) {
+				violations = append(violations, fmt.Sprintf("Content-Range %q vs body %d", cr, len(resp.Body)))
+			}
+		}
+	}
+	return violations
+}
+
+// contentRangeLength extracts the window length from "bytes a-b/L".
+func contentRangeLength(v string) (int64, bool) {
+	var first, last, complete int64
+	if _, err := fmt.Sscanf(v, "bytes %d-%d/%d", &first, &last, &complete); err != nil {
+		return 0, false
+	}
+	if last < first {
+		return 0, false
+	}
+	return last - first + 1, true
+}
+
+// Table renders the corpus census.
+func (r *CorpusReport) Table() *report.Table {
+	tab := &report.Table{
+		Title:   "Corpus audit — forwarding policy census over the ABNF corpus",
+		Columns: []string{"CDN", "Laziness", "Deletion", "Expansion", "Violations"},
+	}
+	for _, p := range vendor.All() {
+		counts := r.PolicyCounts[p.DisplayName]
+		tab.AddRow(p.DisplayName,
+			strconv.Itoa(counts[vendor.Laziness]),
+			strconv.Itoa(counts[vendor.Deletion]),
+			strconv.Itoa(counts[vendor.Expansion]),
+			strconv.Itoa(r.vendorViolations(p.Name)))
+	}
+	return tab
+}
+
+func (r *CorpusReport) vendorViolations(name string) int {
+	n := 0
+	prefix := name + " "
+	for _, v := range r.Violations {
+		if len(v) >= len(prefix) && v[:len(prefix)] == prefix {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vendor"
+)
+
+func TestCorpusAuditNoViolations(t *testing.T) {
+	rep, err := CorpusAudit(7, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 60*13 {
+		t.Errorf("audited %d requests, want %d", rep.Requests, 60*13)
+	}
+	if len(rep.Violations) != 0 {
+		t.Errorf("protocol violations: %v", rep.Violations)
+	}
+}
+
+func TestCorpusAuditPolicyCensus(t *testing.T) {
+	rep, err := CorpusAudit(11, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure-Deletion vendors never forward anything unchanged or expanded.
+	for _, name := range []string{"Akamai", "Cloudflare", "Fastly", "G-Core Labs"} {
+		counts := rep.PolicyCounts[name]
+		if counts[vendor.Laziness] != 0 || counts[vendor.Expansion] != 0 {
+			t.Errorf("%s census = %v, want all Deletion", name, counts)
+		}
+		if counts[vendor.Deletion] != 80 {
+			t.Errorf("%s deletion count = %d", name, counts[vendor.Deletion])
+		}
+	}
+	// CloudFront is the only Expansion vendor.
+	for name, counts := range rep.PolicyCounts {
+		if name != "CloudFront" && counts[vendor.Expansion] != 0 {
+			t.Errorf("%s shows Expansion", name)
+		}
+	}
+	if rep.PolicyCounts["CloudFront"][vendor.Expansion] == 0 {
+		t.Error("CloudFront never expanded")
+	}
+	// Lazy-leaning vendors must show Laziness on the corpus.
+	for _, name := range []string{"CDN77", "CDNsun", "KeyCDN"} {
+		if rep.PolicyCounts[name][vendor.Laziness] == 0 {
+			t.Errorf("%s never forwarded lazily", name)
+		}
+	}
+}
+
+func TestCorpusAuditDeterministic(t *testing.T) {
+	a, err := CorpusAudit(3, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CorpusAudit(3, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, counts := range a.PolicyCounts {
+		for policy, n := range counts {
+			if b.PolicyCounts[name][policy] != n {
+				t.Errorf("%s/%v: %d vs %d", name, policy, n, b.PolicyCounts[name][policy])
+			}
+		}
+	}
+}
+
+func TestCorpusTableRenders(t *testing.T) {
+	rep, err := CorpusAudit(5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := rep.Table().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Akamai") || !strings.Contains(b.String(), "Violations") {
+		t.Errorf("table output:\n%s", b.String())
+	}
+}
+
+func TestContentRangeLength(t *testing.T) {
+	tests := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"bytes 0-0/1000", 1, true},
+		{"bytes 10-19/1000", 10, true},
+		{"bytes 5-1/1000", 0, false},
+		{"garbage", 0, false},
+	}
+	for _, tt := range tests {
+		got, ok := contentRangeLength(tt.in)
+		if got != tt.want || ok != tt.ok {
+			t.Errorf("contentRangeLength(%q) = %d,%v", tt.in, got, ok)
+		}
+	}
+}

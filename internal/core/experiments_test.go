@@ -1,0 +1,511 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/resource"
+	"repro/internal/vendor"
+)
+
+// paperTable4 holds the published amplification factors (Table IV) at
+// 1 MB and 25 MB, used as calibration targets with tolerance.
+var paperTable4 = map[string][2]float64{
+	"Akamai":        {1707, 43093},
+	"Alibaba Cloud": {1056, 26241},
+	"Azure":         {1401, 23481},
+	"CDN77":         {1612, 40390},
+	"CDNsun":        {1578, 38730},
+	"Cloudflare":    {1282, 31836},
+	"CloudFront":    {1356, 9281},
+	"Fastly":        {1286, 31820},
+	"G-Core Labs":   {1763, 43330},
+	"Huawei Cloud":  {1465, 36335},
+	"KeyCDN":        {724, 17744},
+	"StackPath":     {1297, 32491},
+	"Tencent Cloud": {1308, 32438},
+}
+
+func TestSBRSweepMatchesTable4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-MB sweep")
+	}
+	res, err := SBRSweep([]int{1, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Vendors) != 13 {
+		t.Fatalf("swept %d vendors", len(res.Vendors))
+	}
+	const tolerance = 0.15
+	for name, want := range paperTable4 {
+		got, ok := res.Factor[name]
+		if !ok || len(got) != 2 {
+			t.Errorf("%s: missing sweep data", name)
+			continue
+		}
+		for i, w := range want {
+			rel := (got[i] - w) / w
+			if rel > tolerance || rel < -tolerance {
+				t.Errorf("%s @ %dMB: factor %.0f, paper %.0f (%.1f%% off)",
+					name, res.SizesMB[i], got[i], w, rel*100)
+			}
+		}
+	}
+}
+
+func TestSBRFactorProportionalToSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-MB sweep")
+	}
+	// §IV-B: "the bigger the target resource, the larger the amplification
+	// factor" — except the Azure (16 MB) and CloudFront (10 MB) caps.
+	res, err := SBRSweep([]int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Vendors {
+		f := res.Factor[v]
+		ratio := f[1] / f[0]
+		if ratio < 1.8 || ratio > 2.2 {
+			t.Errorf("%s: factor(4MB)/factor(2MB) = %.2f, want ~2", v, ratio)
+		}
+	}
+}
+
+func TestSBRCapsAzureAndCloudFront(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-MB sweep")
+	}
+	res, err := SBRSweep([]int{18, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"Azure", "CloudFront"} {
+		f := res.Factor[v]
+		if f[1]/f[0] > 1.05 {
+			t.Errorf("%s: factor kept growing past its cap: %.0f -> %.0f", v, f[0], f[1])
+		}
+	}
+	// A Deletion vendor keeps growing.
+	f := res.Factor["Akamai"]
+	if f[1]/f[0] < 1.25 {
+		t.Errorf("Akamai flattened unexpectedly: %.0f -> %.0f", f[0], f[1])
+	}
+}
+
+func TestClientTrafficStaysSmall(t *testing.T) {
+	// Fig 6b: response traffic to the client is at most ~1500B per
+	// request regardless of resource size (KeyCDN's two responses remain
+	// the largest).
+	res, err := SBRSweep([]int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxBytes int64
+	var maxVendor string
+	for _, v := range res.Vendors {
+		b := res.ClientBytes[v][0]
+		if b <= 0 || b > 2000 {
+			t.Errorf("%s: client traffic %dB out of range", v, b)
+		}
+		if b > maxBytes {
+			maxBytes, maxVendor = b, v
+		}
+	}
+	if maxVendor != "KeyCDN" {
+		t.Errorf("largest client traffic from %s (%dB), paper says KeyCDN", maxVendor, maxBytes)
+	}
+}
+
+func TestTable1AllVendorsSBRVulnerable(t *testing.T) {
+	tab, observations, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 13*4 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	vulnerable := make(map[string]bool)
+	for _, o := range observations {
+		if o.SBRVuln {
+			vulnerable[o.Vendor] = true
+		}
+	}
+	if len(vulnerable) != 13 {
+		t.Errorf("only %d vendors SBR-vulnerable, paper says all 13: %v", len(vulnerable), vulnerable)
+	}
+}
+
+func TestTable1SpecificBehaviours(t *testing.T) {
+	_, observations, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(vendorName, rangeHeader string) *ForwardObservation {
+		for i := range observations {
+			if observations[i].Vendor == vendorName && observations[i].Probe.Range == rangeHeader {
+				return &observations[i]
+			}
+		}
+		t.Fatalf("no observation for %s %s", vendorName, rangeHeader)
+		return nil
+	}
+	if o := find("Akamai", "bytes=0-0"); o.Policy != vendor.Deletion {
+		t.Errorf("Akamai bytes=0-0: %v", o.Policy)
+	}
+	if o := find("CloudFront", "bytes=0-0"); o.Policy != vendor.Expansion ||
+		o.Forwarded[0] != "bytes=0-1048575" {
+		t.Errorf("CloudFront bytes=0-0: %+v", o)
+	}
+	if o := find("Azure", "bytes=8388608-8388608"); len(o.Forwarded) != 2 ||
+		o.Forwarded[0] != "None" || o.Forwarded[1] != "bytes=8388608-16777215" {
+		t.Errorf("Azure window probe: %+v", o.Forwarded)
+	}
+	if o := find("CDN77", "bytes=2048-2050"); o.Policy != vendor.Laziness {
+		t.Errorf("CDN77 first>=1024: %v", o.Policy)
+	}
+	if o := find("StackPath", "bytes=0-0"); len(o.Forwarded) != 2 ||
+		o.Forwarded[0] != "Unchanged" || o.Forwarded[1] != "None" {
+		t.Errorf("StackPath: %+v", o.Forwarded)
+	}
+	if o := find("KeyCDN", "bytes=0-0"); len(o.Forwarded) != 2 ||
+		o.Forwarded[0] != "Unchanged" || o.Forwarded[1] != "None" {
+		t.Errorf("KeyCDN: %+v", o.Forwarded)
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	_, vulnerable, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"cdn77": true, "cdnsun": true, "cloudflare": true, "stackpath": true}
+	for name, isVuln := range vulnerable {
+		if isVuln != want[name] {
+			t.Errorf("%s FCDN-vulnerable = %v, paper says %v", name, isVuln, want[name])
+		}
+	}
+	if len(vulnerable) != 13 {
+		t.Errorf("probed %d vendors", len(vulnerable))
+	}
+}
+
+func TestTable3MatchesPaper(t *testing.T) {
+	_, vulnerable, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"akamai": true, "azure": true, "stackpath": true}
+	for name, isVuln := range vulnerable {
+		if isVuln != want[name] {
+			t.Errorf("%s BCDN-vulnerable = %v, paper says %v", name, isVuln, want[name])
+		}
+	}
+}
+
+// paperTable5 holds the published OBR factors for tolerance checks.
+var paperTable5 = map[string]float64{
+	"CDN77->Akamai":         3789.35,
+	"CDN77->Azure":          53.55,
+	"CDN77->StackPath":      3547.07,
+	"CDNsun->Akamai":        3781.51,
+	"CDNsun->Azure":         52.15,
+	"CDNsun->StackPath":     3547.57,
+	"Cloudflare->Akamai":    7432.53,
+	"Cloudflare->Azure":     52.71,
+	"Cloudflare->StackPath": 6513.69,
+	"StackPath->Akamai":     7471.41,
+	"StackPath->Azure":      50.74,
+}
+
+func TestTable5MatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full OBR cascade")
+	}
+	tab, combos, err := Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(combos) != 11 {
+		t.Fatalf("%d combinations, want 11", len(combos))
+	}
+	if len(tab.Rows) != 11 {
+		t.Fatalf("%d table rows", len(tab.Rows))
+	}
+	const tolerance = 0.20
+	for _, c := range combos {
+		key := c.FCDN + "->" + c.BCDN
+		want, ok := paperTable5[key]
+		if !ok {
+			t.Errorf("unexpected combination %s", key)
+			continue
+		}
+		got := c.Result.Amplification.Factor()
+		rel := (got - want) / want
+		if rel > tolerance || rel < -tolerance {
+			t.Errorf("%s: factor %.1f, paper %.1f (%.0f%% off, n=%d)",
+				key, got, want, rel*100, c.Case.N)
+		}
+		if c.BCDN == "Azure" && c.Case.N != 64 {
+			t.Errorf("%s: n = %d, want 64", key, c.Case.N)
+		}
+		if c.BCDN != "Azure" && (c.Case.N < 5000 || c.Case.N > 12000) {
+			t.Errorf("%s: n = %d outside the paper's 5455..10801 band", key, c.Case.N)
+		}
+		if c.Result.Parts != c.Case.N {
+			t.Errorf("%s: reply has %d parts for n=%d", key, c.Result.Parts, c.Case.N)
+		}
+	}
+}
+
+func TestPlanMaxNPaperOrdering(t *testing.T) {
+	cdn77, _ := vendor.ByName("cdn77")
+	cloudflare, _ := vendor.ByName("cloudflare")
+	stackpath, _ := vendor.ByName("stackpath")
+	akamai, _ := vendor.ByName("akamai")
+	azure, _ := vendor.ByName("azure")
+
+	n77 := PlanMaxN(cdn77, akamai, targetPath)
+	if n77.N != 5455 {
+		t.Errorf("CDN77->Akamai n = %d, want 5455", n77.N)
+	}
+	ncf := PlanMaxN(cloudflare, akamai, targetPath)
+	nsp := PlanMaxN(stackpath, akamai, targetPath)
+	if !(n77.N < ncf.N && ncf.N <= nsp.N) {
+		t.Errorf("n ordering: cdn77=%d cloudflare=%d stackpath=%d", n77.N, ncf.N, nsp.N)
+	}
+	if naz := PlanMaxN(cloudflare, azure, targetPath); naz.N != 64 {
+		t.Errorf("->Azure n = %d", naz.N)
+	}
+}
+
+func TestBandwidthFigures(t *testing.T) {
+	cfg := DefaultBandwidthConfig()
+	cfg.Ms = []int{1, 5, 11, 14}
+	fig7a, fig7b, err := Bandwidth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig7a.Series) != 4 || len(fig7b.Series) != 4 {
+		t.Fatalf("series counts: %d, %d", len(fig7a.Series), len(fig7b.Series))
+	}
+	steady := func(ys []float64) float64 {
+		sum := 0.0
+		for _, y := range ys[10:20] {
+			sum += y
+		}
+		return sum / 10
+	}
+	// Fig 7a: client incoming < 500 Kbps for every m.
+	for _, s := range fig7a.Series {
+		for _, y := range s.Y {
+			if y > 500 {
+				t.Errorf("client series %s: %.1f Kbps > 500", s.Name, y)
+			}
+		}
+	}
+	// Fig 7b: proportional below saturation, pinned at ~1000 above.
+	m1 := steady(fig7b.Series[0].Y)
+	m5 := steady(fig7b.Series[1].Y)
+	if m5/m1 < 4.5 || m5/m1 > 5.5 {
+		t.Errorf("m=5/m=1 steady ratio = %.2f, want ~5", m5/m1)
+	}
+	m14 := steady(fig7b.Series[3].Y)
+	if m14 < 970 {
+		t.Errorf("m=14 steady = %.1f Mbps, want saturation", m14)
+	}
+}
+
+func TestMitigationsCollapseFactors(t *testing.T) {
+	tab, err := Mitigations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	factor := func(row []string) float64 {
+		f, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("bad factor cell %q", row[2])
+		}
+		return f
+	}
+	sbrBase, sbrLazy, sbrBounded, sbrSliced := factor(tab.Rows[0]), factor(tab.Rows[1]), factor(tab.Rows[2]), factor(tab.Rows[3])
+	if sbrBase < 1000 {
+		t.Errorf("unmitigated SBR factor = %.1f, want > 1000", sbrBase)
+	}
+	if sbrLazy > 3 {
+		t.Errorf("Laziness SBR factor = %.1f, want ~1", sbrLazy)
+	}
+	if sbrBounded > 30 {
+		t.Errorf("bounded-expansion SBR factor = %.1f, want small", sbrBounded)
+	}
+	if sbrSliced > 2000 || sbrSliced < 100 {
+		t.Errorf("slicing SBR factor = %.1f, want ~sliceSize/clientResp", sbrSliced)
+	}
+	if sbrSliced >= sbrBase/5 {
+		t.Errorf("slicing barely helped: %.1f vs %.1f", sbrSliced, sbrBase)
+	}
+	obrBase, obrReject, obrCoalesce := factor(tab.Rows[4]), factor(tab.Rows[5]), factor(tab.Rows[6])
+	if obrBase < 100 {
+		t.Errorf("unmitigated OBR factor = %.1f, want > 100 at n=256", obrBase)
+	}
+	if obrReject > 5 || obrCoalesce > 5 {
+		t.Errorf("mitigated OBR factors = %.1f / %.1f, want ~1", obrReject, obrCoalesce)
+	}
+}
+
+func TestSBRExploitCases(t *testing.T) {
+	tests := []struct {
+		vendor string
+		size   int64
+		want   SBRCase
+	}{
+		{"akamai", 25 * MiB, SBRCase{"bytes=0-0", 1}},
+		{"alibaba", 25 * MiB, SBRCase{"bytes=-1", 1}},
+		{"azure", 4 * MiB, SBRCase{"bytes=0-0", 1}},
+		{"azure", 25 * MiB, SBRCase{"bytes=8388608-8388608", 1}},
+		{"cloudfront", 25 * MiB, SBRCase{"bytes=0-0,9437184-9437184", 1}},
+		{"huawei", 4 * MiB, SBRCase{"bytes=-1", 1}},
+		{"huawei", 25 * MiB, SBRCase{"bytes=0-0", 1}},
+		{"keycdn", 25 * MiB, SBRCase{"bytes=0-0", 2}},
+	}
+	for _, tt := range tests {
+		if got := SBRExploit(tt.vendor, tt.size); got != tt.want {
+			t.Errorf("SBRExploit(%s, %d) = %+v, want %+v", tt.vendor, tt.size, got, tt.want)
+		}
+	}
+}
+
+func TestBuildOverlappingRange(t *testing.T) {
+	if got := BuildOverlappingRange("0-", 3); got != "bytes=0-,0-,0-" {
+		t.Errorf("got %q", got)
+	}
+	if got := BuildOverlappingRange("-1024", 2); got != "bytes=-1024,0-" {
+		t.Errorf("got %q", got)
+	}
+	if got := BuildOverlappingRange("1-", 1); got != "bytes=1-" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestOBRFirstTokens(t *testing.T) {
+	tests := map[string]string{
+		"cdn77": "-1024", "cdnsun": "1-", "cloudflare": "0-", "stackpath": "0-",
+	}
+	for name, want := range tests {
+		if got := OBRFirstToken(name); got != want {
+			t.Errorf("OBRFirstToken(%s) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+func TestRenderingsNonEmpty(t *testing.T) {
+	res, err := SBRSweep([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.Table4().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Akamai") {
+		t.Error("Table4 rendering missing vendors")
+	}
+	fa, fb, fc := res.Fig6()
+	b.Reset()
+	if err := fa.Render(&b); err != nil || !strings.Contains(b.String(), "Fig 6a") {
+		t.Errorf("Fig6a render: %v", err)
+	}
+	b.Reset()
+	if err := fb.Render(&b); err != nil {
+		t.Error(err)
+	}
+	b.Reset()
+	if err := fc.Render(&b); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAllVendorsEndToEndAtOneMB drives every vendor's exploited case
+// through a full topology (listener, wire parsing, cache, behaviour,
+// reply) and sanity-checks the Fig 4 flow invariants.
+func TestAllVendorsEndToEndAtOneMB(t *testing.T) {
+	const size = 1 * MiB
+	for _, p := range vendor.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			store := resourceStoreWith(t, size)
+			topo, err := NewSBRTopology(p.Clone(), store, SBROptions{OriginRangeSupport: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer topo.Close()
+			if err := PrimeSizeHint(topo, targetPath); err != nil {
+				t.Fatal(err)
+			}
+			topo.ClientSeg.Reset()
+			topo.OriginSeg.Reset()
+			res, err := RunSBR(topo, targetPath, size, "e2e")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, resp := range res.Responses {
+				if resp.StatusCode != 200 && resp.StatusCode != 206 {
+					t.Fatalf("response %d: status %d", i, resp.StatusCode)
+				}
+			}
+			if res.Amplification.VictimBytes < size {
+				t.Errorf("origin sent %d bytes, want >= %d", res.Amplification.VictimBytes, size)
+			}
+			if res.Amplification.AttackerBytes > 2500 {
+				t.Errorf("client received %d bytes, want tiny", res.Amplification.AttackerBytes)
+			}
+			if f := res.Amplification.Factor(); f < 400 {
+				t.Errorf("factor %.0f too small", f)
+			}
+			// Request-direction traffic is tiny in both directions too.
+			vUp, aUp := 0, 0
+			{
+				v, a := topo.OriginSeg.Traffic().Up, topo.ClientSeg.Traffic().Up
+				vUp, aUp = int(v), int(a)
+			}
+			if vUp > 4096 || aUp > 4096 {
+				t.Errorf("request traffic not small: origin=%d client=%d", vUp, aUp)
+			}
+		})
+	}
+}
+
+func resourceStoreWith(t *testing.T, size int64) *resource.Store {
+	t.Helper()
+	store := resource.NewStore()
+	store.AddSynthetic(targetPath, size, contentType)
+	return store
+}
+
+// TestExperimentDeterminism: every experiment that involves no
+// scheduling-dependent truncation must reproduce byte-identical
+// factors across runs.
+func TestExperimentDeterminism(t *testing.T) {
+	runOnce := func() map[string]float64 {
+		_, combos, err := Table5()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]float64, len(combos))
+		for _, c := range combos {
+			out[c.FCDN+"->"+c.BCDN] = c.Result.Amplification.Factor()
+		}
+		return out
+	}
+	a, b := runOnce(), runOnce()
+	for k, va := range a {
+		if vb := b[k]; va != vb {
+			t.Errorf("%s: %.4f vs %.4f across runs", k, va, vb)
+		}
+	}
+}

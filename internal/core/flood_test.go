@@ -1,0 +1,96 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/resource"
+	"repro/internal/vendor"
+)
+
+func TestSBRFloodConcurrent(t *testing.T) {
+	const size = 256 << 10
+	store := resource.NewStore()
+	store.AddSynthetic(targetPath, size, contentType)
+	topo, err := NewSBRTopology(vendor.Cloudflare(), store, SBROptions{OriginRangeSupport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+
+	const workers, perWorker = 8, 5
+	res, err := RunSBRFlood(topo, targetPath, size, workers, perWorker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != workers*perWorker || res.Failures != 0 || res.Blocked != 0 {
+		t.Fatalf("flood result = %+v", res)
+	}
+	// Every request busted the cache: the origin shipped one full copy
+	// per request.
+	wantOrigin := int64(workers*perWorker) * size
+	if res.Amplification.VictimBytes < wantOrigin {
+		t.Errorf("origin traffic = %d, want >= %d", res.Amplification.VictimBytes, wantOrigin)
+	}
+	if f := res.Amplification.Factor(); f < 100 {
+		t.Errorf("aggregate factor = %.1f", f)
+	}
+	if n := len(topo.Origin.Log()); n != workers*perWorker {
+		t.Errorf("origin saw %d requests", n)
+	}
+}
+
+func TestSBRFloodKeyCDNDoubleRequests(t *testing.T) {
+	const size = 64 << 10
+	store := resource.NewStore()
+	store.AddSynthetic(targetPath, size, contentType)
+	topo, err := NewSBRTopology(vendor.KeyCDN(), store, SBROptions{OriginRangeSupport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+
+	res, err := RunSBRFlood(topo, targetPath, size, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 4*3*2 {
+		t.Errorf("requests = %d, want doubled for KeyCDN", res.Requests)
+	}
+	if n := len(topo.Origin.Log()); n != 4*3*2 {
+		t.Errorf("origin saw %d requests", n)
+	}
+}
+
+func TestBandwidthAllTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("13 calibration runs")
+	}
+	cfg := DefaultBandwidthConfig()
+	cfg.ResourceMB = 10
+	tab, err := BandwidthAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 13 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Akamai", "Saturating m", "KeyCDN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+	// Every vendor's saturating m sits in the paper's 11-14 band (±1 for
+	// Azure/CloudFront whose per-request cost differs).
+	for _, row := range tab.Rows {
+		m := row[3]
+		if m == "0" {
+			t.Errorf("%s never saturated", row[0])
+		}
+	}
+}

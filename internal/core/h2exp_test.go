@@ -1,0 +1,95 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/resource"
+	"repro/internal/vendor"
+)
+
+func TestSBROverH2SameAmplification(t *testing.T) {
+	const size = 1 << 20
+	store := resource.NewStore()
+	store.AddSynthetic(targetPath, size, contentType)
+	topo, err := NewSBRTopology(vendor.Cloudflare(), store, SBROptions{OriginRangeSupport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+	if err := topo.EnableH2(); err != nil {
+		t.Fatal(err)
+	}
+
+	h1, err := RunSBR(topo, targetPath, size, "h1cmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2res, err := RunSBROverH2(topo, targetPath, size, "h2cmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2res.Responses[0].StatusCode != 206 || len(h2res.Responses[0].Body) != 1 {
+		t.Fatalf("h2 response: status=%d len=%d",
+			h2res.Responses[0].StatusCode, len(h2res.Responses[0].Body))
+	}
+	f1, f2 := h1.Amplification.Factor(), h2res.Amplification.Factor()
+	if f1 < 500 || f2 < 500 {
+		t.Fatalf("factors too small: h1=%.0f h2=%.0f", f1, f2)
+	}
+	// §VI-B: the attack carries over, and HPACK makes the attacker side
+	// slightly cheaper — h2's factor must be at least h1's.
+	if f2 < f1*0.98 {
+		t.Errorf("h2 factor %.0f below h1 %.0f", f2, f1)
+	}
+	// Origin-side traffic is identical either way.
+	diff := h2res.Amplification.VictimBytes - h1.Amplification.VictimBytes
+	if diff < -1024 || diff > 1024 {
+		t.Errorf("origin traffic differs: h1=%d h2=%d",
+			h1.Amplification.VictimBytes, h2res.Amplification.VictimBytes)
+	}
+}
+
+func TestH2ComparisonTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("13-vendor double sweep")
+	}
+	tab, factors, err := H2Comparison(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 13 || len(factors) != 13 {
+		t.Fatalf("rows=%d factors=%d", len(tab.Rows), len(factors))
+	}
+	for name, f := range factors {
+		if f[0] < 300 || f[1] < 300 {
+			t.Errorf("%s: factors %v too small", name, f)
+		}
+		if f[1] < f[0]*0.95 {
+			t.Errorf("%s: h2 factor %.0f markedly below h1 %.0f", name, f[1], f[0])
+		}
+	}
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "HTTP/2 Factor") {
+		t.Error("table header missing")
+	}
+}
+
+func TestEnableH2Twice(t *testing.T) {
+	store := resource.NewStore()
+	store.AddSynthetic(targetPath, 1024, contentType)
+	topo, err := NewSBRTopology(vendor.Akamai(), store, SBROptions{OriginRangeSupport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+	if err := topo.EnableH2(); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.EnableH2(); err == nil {
+		t.Error("double EnableH2 succeeded")
+	}
+}

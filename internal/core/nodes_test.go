@@ -1,0 +1,28 @@
+package core
+
+import "testing"
+
+func TestNodeTargeting(t *testing.T) {
+	tab, shares, err := NodeTargeting(5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	if shares["pinned"] != 1.0 {
+		t.Errorf("pinned share = %.2f, want 1.0", shares["pinned"])
+	}
+	if shares["spread"] > 0.25 {
+		t.Errorf("spread share = %.2f, want ~0.20", shares["spread"])
+	}
+}
+
+func TestNodeTargetingValidation(t *testing.T) {
+	if _, _, err := NodeTargeting(1, 10); err == nil {
+		t.Error("single node accepted")
+	}
+	if _, _, err := NodeTargeting(5, 2); err == nil {
+		t.Error("too few requests accepted")
+	}
+}

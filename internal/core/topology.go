@@ -1,0 +1,194 @@
+// Package core is the paper's contribution assembled: RangeAmp attack
+// topologies (Fig 3), the SBR and OBR attack clients (Figs 4 and 5),
+// and the experiment runners that regenerate the evaluation's tables
+// and figures (§V).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cdn"
+	"repro/internal/netsim"
+	"repro/internal/origin"
+	"repro/internal/resource"
+	"repro/internal/trace"
+	"repro/internal/vendor"
+)
+
+// Addresses used by the in-memory topologies.
+const (
+	originAddr = "origin.internal:80"
+	edgeAddr   = "edge.cdn:80"
+	bcdnAddr   = "ingress.bcdn:80"
+	fcdnAddr   = "ingress.fcdn:80"
+
+	// AttackHost is the Host header the attack clients send.
+	AttackHost = "victim.example.com"
+)
+
+// SBRTopology is the Fig 3a topology: client -> CDN -> origin server.
+type SBRTopology struct {
+	Net     *netsim.Network
+	Store   *resource.Store
+	Origin  *origin.Server
+	Edge    *cdn.Edge
+	Profile *vendor.Profile
+
+	// ClientSeg carries client<->CDN traffic, OriginSeg cdn<->origin.
+	ClientSeg *netsim.Segment
+	OriginSeg *netsim.Segment
+
+	EdgeAddr  string
+	listeners []*netsim.Listener
+}
+
+// SBROptions tune the topology.
+type SBROptions struct {
+	OriginRangeSupport bool // default true (the SBR origin supports ranges)
+	DisableEdgeCache   bool
+	Trace              *trace.Log // optional per-request event sink
+}
+
+// NewSBRTopology stands up origin and edge servers for one profile.
+// Callers must Close the topology.
+func NewSBRTopology(profile *vendor.Profile, store *resource.Store, opts SBROptions) (*SBRTopology, error) {
+	if store == nil {
+		store = resource.NewStore()
+	}
+	t := &SBRTopology{
+		Net:       netsim.NewNetwork(),
+		Store:     store,
+		Profile:   profile,
+		ClientSeg: netsim.NewSegment("client-cdn"),
+		OriginSeg: netsim.NewSegment("cdn-origin"),
+		EdgeAddr:  edgeAddr,
+	}
+	t.Origin = origin.NewServer(store, origin.Config{RangeSupport: opts.OriginRangeSupport})
+	originL, err := t.Net.Listen(originAddr)
+	if err != nil {
+		return nil, fmt.Errorf("listen origin: %w", err)
+	}
+	go t.Origin.Serve(originL)
+	t.listeners = append(t.listeners, originL)
+
+	t.Edge, err = cdn.NewEdge(cdn.Config{
+		Profile:      profile,
+		Network:      t.Net,
+		UpstreamAddr: originAddr,
+		UpstreamSeg:  t.OriginSeg,
+		DisableCache: opts.DisableEdgeCache,
+		Trace:        opts.Trace,
+	})
+	if err != nil {
+		t.Close()
+		return nil, err
+	}
+	edgeL, err := t.Net.Listen(edgeAddr)
+	if err != nil {
+		t.Close()
+		return nil, err
+	}
+	go t.Edge.Serve(edgeL)
+	t.listeners = append(t.listeners, edgeL)
+	return t, nil
+}
+
+// Close shuts the listeners down.
+func (t *SBRTopology) Close() {
+	for _, l := range t.listeners {
+		l.Close()
+	}
+}
+
+// OBRTopology is the Fig 3b topology:
+// client -> FCDN -> BCDN -> origin (range support disabled).
+type OBRTopology struct {
+	Net    *netsim.Network
+	Store  *resource.Store
+	Origin *origin.Server
+	FCDN   *cdn.Edge
+	BCDN   *cdn.Edge
+
+	ClientSeg     *netsim.Segment // client <-> FCDN
+	FcdnBcdnSeg   *netsim.Segment // FCDN <-> BCDN (the OBR victim segment)
+	BcdnOriginSeg *netsim.Segment // BCDN <-> origin
+
+	FCDNAddr  string
+	listeners []*netsim.Listener
+}
+
+// NewOBRTopology cascades fcdn in front of bcdn in front of a
+// range-disabled origin, the attacker-controlled arrangement of §IV-C.
+// The fcdn profile is put into its OBR-capable position (Cloudflare's
+// Bypass rule) automatically.
+func NewOBRTopology(fcdn, bcdn *vendor.Profile, store *resource.Store) (*OBRTopology, error) {
+	if store == nil {
+		store = resource.NewStore()
+	}
+	if fcdn.Name == "cloudflare" {
+		fcdn = fcdn.Clone()
+		fcdn.Options.CloudflareBypass = true
+	}
+	t := &OBRTopology{
+		Net:           netsim.NewNetwork(),
+		Store:         store,
+		ClientSeg:     netsim.NewSegment("client-fcdn"),
+		FcdnBcdnSeg:   netsim.NewSegment("fcdn-bcdn"),
+		BcdnOriginSeg: netsim.NewSegment("bcdn-origin"),
+		FCDNAddr:      fcdnAddr,
+	}
+	// The attacker disables range support on their origin so it always
+	// answers 200 with the full resource (§IV-C).
+	t.Origin = origin.NewServer(store, origin.Config{RangeSupport: false})
+	originL, err := t.Net.Listen(originAddr)
+	if err != nil {
+		return nil, fmt.Errorf("listen origin: %w", err)
+	}
+	go t.Origin.Serve(originL)
+	t.listeners = append(t.listeners, originL)
+
+	t.BCDN, err = cdn.NewEdge(cdn.Config{
+		Profile:      bcdn,
+		Network:      t.Net,
+		UpstreamAddr: originAddr,
+		UpstreamSeg:  t.BcdnOriginSeg,
+	})
+	if err != nil {
+		t.Close()
+		return nil, err
+	}
+	bcdnL, err := t.Net.Listen(bcdnAddr)
+	if err != nil {
+		t.Close()
+		return nil, err
+	}
+	go t.BCDN.Serve(bcdnL)
+	t.listeners = append(t.listeners, bcdnL)
+
+	t.FCDN, err = cdn.NewEdge(cdn.Config{
+		Profile:      fcdn,
+		Network:      t.Net,
+		UpstreamAddr: bcdnAddr,
+		UpstreamSeg:  t.FcdnBcdnSeg,
+		DisableCache: true, // the attacker's FCDN distribution does not cache
+	})
+	if err != nil {
+		t.Close()
+		return nil, err
+	}
+	fcdnL, err := t.Net.Listen(fcdnAddr)
+	if err != nil {
+		t.Close()
+		return nil, err
+	}
+	go t.FCDN.Serve(fcdnL)
+	t.listeners = append(t.listeners, fcdnL)
+	return t, nil
+}
+
+// Close shuts the listeners down.
+func (t *OBRTopology) Close() {
+	for _, l := range t.listeners {
+		l.Close()
+	}
+}

@@ -1,0 +1,221 @@
+// Package detect implements the first CDN-side mitigation §VI-C
+// proposes: "CDNs can detect and intercept malicious range requests
+// based on the characteristics of the RangeAmp attacks". The detector
+// recognises both attack signatures:
+//
+//   - OBR: a multi-range request with overlapping ranges, or with more
+//     ranges than any legitimate client sends — flagged statelessly,
+//     per request.
+//   - SBR: a stream of tiny-range requests for the same path whose
+//     cache keys keep changing (the cache-busting query strings the
+//     attack needs) — flagged with a per-path sliding window, since a
+//     single bytes=0-0 request is perfectly legitimate.
+//
+// The companion package internal/workload generates realistic benign
+// range traffic (video seeking, resumed and parallel downloads) that
+// the detector must pass; the false-positive behaviour is part of the
+// test suite.
+package detect
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/httpwire"
+	"repro/internal/ranges"
+)
+
+// Config tunes the detector. Zero values select the defaults.
+type Config struct {
+	// SmallRangeBytes is the span at or below which a single range
+	// counts as "small" (the SBR shape). Default 1024.
+	SmallRangeBytes int64
+
+	// WindowSize is the per-path sliding window of recent range
+	// requests. Default 64.
+	WindowSize int
+
+	// SmallBustingThreshold flags a path once this many small-range
+	// requests with *distinct* cache keys are in its window. Default 16.
+	SmallBustingThreshold int
+
+	// MaxRanges rejects any request with more ranges than this
+	// (RFC 7233 §6.1's "many small ranges" consideration). Default 16.
+	MaxRanges int
+
+	// RejectOverlap rejects multi-range requests whose ranges overlap.
+	// Default true (set DisableOverlapCheck to turn off).
+	DisableOverlapCheck bool
+}
+
+const (
+	defaultSmallRangeBytes = 1024
+	defaultWindowSize      = 64
+	defaultSmallBusting    = 16
+	defaultMaxRanges       = 16
+)
+
+// Verdict is the outcome of inspecting one request.
+type Verdict struct {
+	Malicious bool
+	Reason    string
+}
+
+// Detector inspects the range requests arriving at one edge.
+type Detector struct {
+	cfg Config
+
+	mu      sync.Mutex
+	windows map[string]*pathWindow
+	stats   Stats
+}
+
+// Stats counts verdicts for reporting.
+type Stats struct {
+	Inspected  int64
+	FlaggedOBR int64
+	FlaggedSBR int64
+}
+
+type pathWindow struct {
+	recent []windowEntry // ring buffer, len <= WindowSize
+	next   int
+}
+
+type windowEntry struct {
+	key   string // cache key (path + query)
+	small bool
+}
+
+// New returns a detector with cfg (zero fields defaulted).
+func New(cfg Config) *Detector {
+	if cfg.SmallRangeBytes <= 0 {
+		cfg.SmallRangeBytes = defaultSmallRangeBytes
+	}
+	if cfg.WindowSize <= 0 {
+		cfg.WindowSize = defaultWindowSize
+	}
+	if cfg.SmallBustingThreshold <= 0 {
+		cfg.SmallBustingThreshold = defaultSmallBusting
+	}
+	if cfg.MaxRanges <= 0 {
+		cfg.MaxRanges = defaultMaxRanges
+	}
+	return &Detector{cfg: cfg, windows: make(map[string]*pathWindow)}
+}
+
+// Inspect examines one request and returns a verdict. Requests without
+// a Range header are never malicious to this detector.
+func (d *Detector) Inspect(req *httpwire.Request) Verdict {
+	raw, hasRange := req.Headers.Get("Range")
+	if !hasRange {
+		return Verdict{}
+	}
+	set, err := ranges.Parse(raw)
+	if err != nil {
+		return Verdict{} // the edge ignores malformed Range headers anyway
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Inspected++
+
+	// OBR signatures: stateless per request.
+	if len(set) > d.cfg.MaxRanges {
+		d.stats.FlaggedOBR++
+		return Verdict{Malicious: true, Reason: fmt.Sprintf("%d ranges exceed the %d-range limit", len(set), d.cfg.MaxRanges)}
+	}
+	if !d.cfg.DisableOverlapCheck && len(set) > 1 && set.OverlappingSpecs() {
+		d.stats.FlaggedOBR++
+		return Verdict{Malicious: true, Reason: "overlapping byte ranges"}
+	}
+
+	// SBR signature: tiny ranges with churning cache keys on one path.
+	small := isSmallSet(set, d.cfg.SmallRangeBytes)
+	w := d.windows[req.Path()]
+	if w == nil {
+		w = &pathWindow{}
+		d.windows[req.Path()] = w
+	}
+	w.push(windowEntry{key: req.Target, small: small}, d.cfg.WindowSize)
+	if small && w.smallDistinctKeys() >= d.cfg.SmallBustingThreshold {
+		d.stats.FlaggedSBR++
+		return Verdict{Malicious: true, Reason: fmt.Sprintf(
+			"%d small-range requests with distinct cache keys for %s", w.smallDistinctKeys(), req.Path())}
+	}
+	return Verdict{}
+}
+
+// Screen adapts the detector to the cdn.Inspector contract, so an
+// Edge can be built with Inspector: detector.
+func (d *Detector) Screen(req *httpwire.Request) (malicious bool, reason string) {
+	v := d.Inspect(req)
+	return v.Malicious, v.Reason
+}
+
+// Stats returns a snapshot of the counters.
+func (d *Detector) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Reset clears all windows and counters.
+func (d *Detector) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.windows = make(map[string]*pathWindow)
+	d.stats = Stats{}
+}
+
+// isSmallSet reports whether every spec in the set is a small range.
+// Suffix specs are small when the suffix length is small; open-ended
+// specs are never small (they legitimately fetch file tails).
+func isSmallSet(set ranges.Set, limit int64) bool {
+	for _, s := range set {
+		switch {
+		case s.IsSuffix():
+			if s.SuffixLen > limit {
+				return false
+			}
+		case s.Last == ranges.Unbounded:
+			return false
+		default:
+			if s.Last-s.First+1 > limit {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (w *pathWindow) push(e windowEntry, size int) {
+	if len(w.recent) < size {
+		w.recent = append(w.recent, e)
+		return
+	}
+	w.recent[w.next] = e
+	w.next = (w.next + 1) % size
+}
+
+// smallDistinctKeys counts distinct cache keys among the window's
+// small-range entries — the cache-busting signature.
+func (w *pathWindow) smallDistinctKeys() int {
+	keys := make(map[string]struct{}, len(w.recent))
+	for _, e := range w.recent {
+		if e.small {
+			keys[e.key] = struct{}{}
+		}
+	}
+	return len(keys)
+}
+
+// DescribeConfig renders the effective thresholds (for logs/CLIs).
+func (d *Detector) DescribeConfig() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "small<=%dB window=%d busting>=%d maxRanges=%d overlapCheck=%v",
+		d.cfg.SmallRangeBytes, d.cfg.WindowSize, d.cfg.SmallBustingThreshold,
+		d.cfg.MaxRanges, !d.cfg.DisableOverlapCheck)
+	return b.String()
+}

@@ -1,0 +1,193 @@
+package detect
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/httpwire"
+	"repro/internal/ranges"
+	"repro/internal/workload"
+)
+
+func rangeRequest(target, rangeHeader string) *httpwire.Request {
+	req := httpwire.NewRequest("GET", target, "h")
+	if rangeHeader != "" {
+		req.Headers.Add("Range", rangeHeader)
+	}
+	return req
+}
+
+func TestOBROverlapFlagged(t *testing.T) {
+	d := New(Config{})
+	v := d.Inspect(rangeRequest("/f", "bytes=0-,0-,0-"))
+	if !v.Malicious || !strings.Contains(v.Reason, "overlapping") {
+		t.Errorf("verdict = %+v", v)
+	}
+	if d.Stats().FlaggedOBR != 1 {
+		t.Errorf("stats = %+v", d.Stats())
+	}
+}
+
+func TestOBRManyRangesFlagged(t *testing.T) {
+	d := New(Config{MaxRanges: 4})
+	// Five disjoint ranges: not overlapping, but over the count limit.
+	v := d.Inspect(rangeRequest("/f", "bytes=0-0,2-2,4-4,6-6,8-8"))
+	if !v.Malicious || !strings.Contains(v.Reason, "limit") {
+		t.Errorf("verdict = %+v", v)
+	}
+}
+
+func TestOverlapCheckCanBeDisabled(t *testing.T) {
+	d := New(Config{DisableOverlapCheck: true, MaxRanges: 100})
+	if v := d.Inspect(rangeRequest("/f", "bytes=0-,0-")); v.Malicious {
+		t.Errorf("flagged with overlap check disabled: %+v", v)
+	}
+}
+
+func TestSBRCacheBustingStreamFlagged(t *testing.T) {
+	d := New(Config{SmallBustingThreshold: 16})
+	stream := workload.AttackSBRStream("/10MB.bin", 64)
+	flagged := 0
+	for _, req := range stream {
+		if d.Inspect(req).Malicious {
+			flagged++
+		}
+	}
+	if flagged == 0 {
+		t.Fatal("SBR stream never flagged")
+	}
+	// Everything past the threshold must be flagged.
+	if flagged < len(stream)-16 {
+		t.Errorf("flagged only %d of %d", flagged, len(stream))
+	}
+}
+
+func TestSingleSmallRangeNotFlagged(t *testing.T) {
+	d := New(Config{})
+	if v := d.Inspect(rangeRequest("/f", "bytes=0-0")); v.Malicious {
+		t.Errorf("single bytes=0-0 flagged: %+v", v)
+	}
+}
+
+func TestRepeatedSameKeyNotFlagged(t *testing.T) {
+	// Small ranges with the SAME cache key (no busting) are a media
+	// player re-requesting a header — not the attack shape.
+	d := New(Config{})
+	for i := 0; i < 100; i++ {
+		if v := d.Inspect(rangeRequest("/f", "bytes=0-512")); v.Malicious {
+			t.Fatalf("iteration %d flagged: %+v", i, v)
+		}
+	}
+}
+
+func TestBenignWorkloadZeroFalsePositives(t *testing.T) {
+	d := New(Config{})
+	g := workload.NewGenerator(42)
+	paths := []string{"/a.mp4", "/b.zip", "/c.iso"}
+	for i, req := range g.Mixed(paths, 64<<20, 2000) {
+		if v := d.Inspect(req); v.Malicious {
+			rangeHdr, _ := req.Headers.Get("Range")
+			t.Fatalf("benign request %d flagged (%s %s): %s", i, req.Target, rangeHdr, v.Reason)
+		}
+	}
+	if d.Stats().Inspected == 0 {
+		t.Error("nothing inspected")
+	}
+}
+
+func TestNoRangeNeverMalicious(t *testing.T) {
+	d := New(Config{})
+	for i := 0; i < 200; i++ {
+		req := rangeRequest(fmt.Sprintf("/f?cb=%d", i), "")
+		if d.Inspect(req).Malicious {
+			t.Fatal("rangeless request flagged")
+		}
+	}
+	if d.Stats().Inspected != 0 {
+		t.Error("rangeless requests counted as inspected")
+	}
+}
+
+func TestMalformedRangeIgnored(t *testing.T) {
+	d := New(Config{})
+	if v := d.Inspect(rangeRequest("/f", "bytes=zz")); v.Malicious {
+		t.Errorf("malformed flagged: %+v", v)
+	}
+}
+
+func TestWindowSlides(t *testing.T) {
+	// With a window of 8 and threshold 8, old busting entries age out.
+	d := New(Config{WindowSize: 8, SmallBustingThreshold: 8})
+	for i := 0; i < 7; i++ {
+		d.Inspect(rangeRequest(fmt.Sprintf("/f?cb=%d", i), "bytes=0-0"))
+	}
+	// Fill the window with large-range (benign) entries.
+	for i := 0; i < 8; i++ {
+		d.Inspect(rangeRequest("/f", "bytes=0-1048575"))
+	}
+	// A single new small request must not trip the threshold now.
+	if v := d.Inspect(rangeRequest("/f?cb=new", "bytes=0-0")); v.Malicious {
+		t.Errorf("aged-out entries still counted: %+v", v)
+	}
+}
+
+func TestPathsIsolated(t *testing.T) {
+	d := New(Config{SmallBustingThreshold: 10})
+	// 9 busting requests on /a, 9 on /b: neither crosses the threshold.
+	for i := 0; i < 9; i++ {
+		if v := d.Inspect(rangeRequest(fmt.Sprintf("/a?cb=%d", i), "bytes=0-0")); v.Malicious {
+			t.Fatalf("/a flagged early: %+v", v)
+		}
+		if v := d.Inspect(rangeRequest(fmt.Sprintf("/b?cb=%d", i), "bytes=0-0")); v.Malicious {
+			t.Fatalf("/b flagged early: %+v", v)
+		}
+	}
+}
+
+func TestIsSmallSet(t *testing.T) {
+	tests := []struct {
+		header string
+		want   bool
+	}{
+		{"bytes=0-0", true},
+		{"bytes=0-1023", true},
+		{"bytes=0-1024", false},
+		{"bytes=-1", true},
+		{"bytes=-4096", false},
+		{"bytes=100-", false},
+		{"bytes=0-0,5-5", true},
+		{"bytes=0-0,0-9999", false},
+	}
+	for _, tt := range tests {
+		req := rangeRequest("/f", tt.header)
+		raw, _ := req.Headers.Get("Range")
+		set, err := ranges.Parse(raw)
+		if err != nil {
+			t.Fatalf("%s: %v", tt.header, err)
+		}
+		if got := isSmallSet(set, 1024); got != tt.want {
+			t.Errorf("isSmallSet(%q) = %v, want %v", tt.header, got, tt.want)
+		}
+	}
+}
+
+func TestResetAndDescribe(t *testing.T) {
+	d := New(Config{})
+	d.Inspect(rangeRequest("/f", "bytes=0-,0-"))
+	d.Reset()
+	if st := d.Stats(); st != (Stats{}) {
+		t.Errorf("stats after reset: %+v", st)
+	}
+	if !strings.Contains(d.DescribeConfig(), "maxRanges=16") {
+		t.Errorf("DescribeConfig = %q", d.DescribeConfig())
+	}
+}
+
+func TestScreenAdapter(t *testing.T) {
+	d := New(Config{})
+	mal, reason := d.Screen(rangeRequest("/f", "bytes=0-,0-"))
+	if !mal || reason == "" {
+		t.Errorf("Screen = %v,%q", mal, reason)
+	}
+}

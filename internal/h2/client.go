@@ -1,0 +1,192 @@
+package h2
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/httpwire"
+	"repro/internal/netsim"
+)
+
+// ClientConn is an HTTP/2 client connection supporting sequential
+// requests (one in-flight stream at a time, which is what the attack
+// clients and experiments need).
+type ClientConn struct {
+	rw     netsim.Conn
+	br     *bufio.Reader
+	snd    *sender
+	nextID uint32
+	closed bool
+}
+
+// NewClientConn performs the client preface and settings exchange.
+func NewClientConn(rw netsim.Conn) (*ClientConn, error) {
+	c := &ClientConn{rw: rw, br: bufio.NewReader(rw), snd: newSender(rw), nextID: 1}
+	if _, err := io.WriteString(rw, Preface); err != nil {
+		return nil, fmt.Errorf("h2: write preface: %w", err)
+	}
+	if err := c.snd.writeFrame(Frame{Type: FrameSettings, Payload: EncodeSettings(ourSettings())}); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close tears the connection down.
+func (c *ClientConn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.snd.writeFrame(Frame{Type: FrameGoAway, Payload: EncodeGoAway(0, ErrCodeNo)}) //nolint:errcheck
+	c.snd.kill()
+	return c.rw.Close()
+}
+
+// Fetch sends one request and reads its complete response, processing
+// connection-level frames (SETTINGS, PING, WINDOW_UPDATE) inline.
+func (c *ClientConn) Fetch(req *httpwire.Request) (*httpwire.Response, error) {
+	if c.closed {
+		return nil, ErrGoAway
+	}
+	id := c.nextID
+	c.nextID += 2
+	c.snd.openStream(id)
+	defer c.snd.closeStream(id)
+
+	block := EncodeHeaderBlock(fieldsFromRequest(req))
+	flags := FlagEndHeaders
+	if len(req.Body) == 0 {
+		flags |= FlagEndStream
+	}
+	if err := c.snd.writeFrame(Frame{Type: FrameHeaders, Flags: flags, StreamID: id, Payload: block}); err != nil {
+		return nil, err
+	}
+	if len(req.Body) > 0 {
+		if err := c.snd.sendData(id, req.Body); err != nil {
+			return nil, err
+		}
+	}
+
+	var (
+		fields     []HeaderField
+		body       []byte
+		haveFields bool
+		headerBuf  []byte
+		headerOpen bool
+	)
+	for {
+		f, err := ReadFrame(c.br)
+		if err != nil {
+			return nil, fmt.Errorf("h2: read frame: %w", err)
+		}
+		switch f.Type {
+		case FrameSettings:
+			if f.Flags&FlagAck != 0 {
+				continue
+			}
+			if err := applyPeerSettings(c.snd, f.Payload); err != nil {
+				return nil, err
+			}
+			if err := c.snd.writeFrame(Frame{Type: FrameSettings, Flags: FlagAck}); err != nil {
+				return nil, err
+			}
+		case FramePing:
+			if f.Flags&FlagAck == 0 {
+				if err := c.snd.writeFrame(Frame{Type: FramePing, Flags: FlagAck, Payload: f.Payload}); err != nil {
+					return nil, err
+				}
+			}
+		case FrameWindowUpdate:
+			inc, err := DecodeWindowUpdate(f.Payload)
+			if err != nil {
+				return nil, err
+			}
+			if f.StreamID == 0 {
+				c.snd.addConnWindow(int64(inc))
+			} else {
+				c.snd.addStreamWindow(f.StreamID, int64(inc))
+			}
+		case FrameGoAway:
+			return nil, ErrGoAway
+		case FrameHeaders:
+			if f.StreamID != id {
+				return nil, fmt.Errorf("%w: HEADERS on stream %d", ErrProtocol, f.StreamID)
+			}
+			payload, err := unpad(f)
+			if err != nil {
+				return nil, err
+			}
+			headerBuf = append([]byte(nil), payload...)
+			headerOpen = f.Flags&FlagEndHeaders == 0
+			if !headerOpen {
+				fields, err = DecodeHeaderBlock(headerBuf)
+				if err != nil {
+					return nil, err
+				}
+				haveFields = true
+			}
+			if f.Flags&FlagEndStream != 0 && haveFields {
+				return responseFromFields(fields, body)
+			}
+		case FrameContinuation:
+			if f.StreamID != id || !headerOpen {
+				return nil, fmt.Errorf("%w: unexpected CONTINUATION", ErrProtocol)
+			}
+			headerBuf = append(headerBuf, f.Payload...)
+			if f.Flags&FlagEndHeaders != 0 {
+				headerOpen = false
+				var err error
+				fields, err = DecodeHeaderBlock(headerBuf)
+				if err != nil {
+					return nil, err
+				}
+				haveFields = true
+			}
+		case FrameData:
+			if f.StreamID != id {
+				continue
+			}
+			data, err := unpad(f)
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, data...)
+			// Keep the server's send windows replenished so multi-MB OBR
+			// responses stream without stalling.
+			if len(data) > 0 {
+				inc := EncodeWindowUpdate(uint32(len(data)))
+				if err := c.snd.writeFrame(Frame{Type: FrameWindowUpdate, Payload: inc}); err != nil {
+					return nil, err
+				}
+				if err := c.snd.writeFrame(Frame{Type: FrameWindowUpdate, StreamID: id, Payload: inc}); err != nil {
+					return nil, err
+				}
+			}
+			if f.Flags&FlagEndStream != 0 {
+				if !haveFields {
+					return nil, fmt.Errorf("%w: DATA before HEADERS", ErrProtocol)
+				}
+				return responseFromFields(fields, body)
+			}
+		case FrameRSTStream:
+			if f.StreamID == id {
+				return nil, ErrStreamClosed
+			}
+		default:
+			// ignore priority/push/unknown
+		}
+	}
+}
+
+// Fetch dials nothing: it is a convenience for one request over an
+// existing connection, closing it afterwards.
+func Fetch(rw netsim.Conn, req *httpwire.Request) (*httpwire.Response, error) {
+	c, err := NewClientConn(rw)
+	if err != nil {
+		rw.Close()
+		return nil, err
+	}
+	defer c.Close()
+	return c.Fetch(req)
+}

@@ -1,0 +1,475 @@
+package h2
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/httpwire"
+	"repro/internal/netsim"
+)
+
+// Handler answers one request; both origin.Server and cdn.Edge satisfy
+// it, so the same engines serve HTTP/1.1 and HTTP/2.
+type Handler interface {
+	Handle(req *httpwire.Request) *httpwire.Response
+}
+
+// sender serializes frame writes and enforces send-side flow control.
+type sender struct {
+	mu sync.Mutex // serializes writes
+	w  io.Writer
+
+	fcMu       sync.Mutex
+	fcCond     *sync.Cond
+	connWindow int64
+	streams    map[uint32]*int64
+	initial    int64
+	maxFrame   int
+	dead       bool
+}
+
+func newSender(w io.Writer) *sender {
+	s := &sender{
+		w:          w,
+		connWindow: DefaultWindow,
+		streams:    make(map[uint32]*int64),
+		initial:    DefaultWindow,
+		maxFrame:   DefaultMaxFrameSize,
+	}
+	s.fcCond = sync.NewCond(&s.fcMu)
+	return s
+}
+
+func (s *sender) writeFrame(f Frame) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return WriteFrame(s.w, f)
+}
+
+func (s *sender) openStream(id uint32) {
+	s.fcMu.Lock()
+	defer s.fcMu.Unlock()
+	w := s.initial
+	s.streams[id] = &w
+}
+
+func (s *sender) closeStream(id uint32) {
+	s.fcMu.Lock()
+	defer s.fcMu.Unlock()
+	delete(s.streams, id)
+	s.fcCond.Broadcast()
+}
+
+func (s *sender) addConnWindow(n int64) {
+	s.fcMu.Lock()
+	defer s.fcMu.Unlock()
+	s.connWindow += n
+	s.fcCond.Broadcast()
+}
+
+func (s *sender) addStreamWindow(id uint32, n int64) {
+	s.fcMu.Lock()
+	defer s.fcMu.Unlock()
+	if w, ok := s.streams[id]; ok {
+		*w += n
+	}
+	s.fcCond.Broadcast()
+}
+
+func (s *sender) setInitialWindow(v int64) {
+	s.fcMu.Lock()
+	defer s.fcMu.Unlock()
+	delta := v - s.initial
+	s.initial = v
+	for _, w := range s.streams {
+		*w += delta
+	}
+	s.fcCond.Broadcast()
+}
+
+func (s *sender) kill() {
+	s.fcMu.Lock()
+	defer s.fcMu.Unlock()
+	s.dead = true
+	s.fcCond.Broadcast()
+}
+
+// reserve blocks until n bytes of both connection and stream window are
+// available, then deducts them.
+func (s *sender) reserve(id uint32, n int64) error {
+	s.fcMu.Lock()
+	defer s.fcMu.Unlock()
+	for {
+		if s.dead {
+			return ErrGoAway
+		}
+		w, ok := s.streams[id]
+		if !ok {
+			return ErrStreamClosed
+		}
+		if s.connWindow >= n && *w >= n {
+			s.connWindow -= n
+			*w -= n
+			return nil
+		}
+		s.fcCond.Wait()
+	}
+}
+
+// sendData ships a body as DATA frames under flow control, ending the
+// stream with the final frame (or an empty one for empty bodies).
+func (s *sender) sendData(id uint32, body []byte) error {
+	if len(body) == 0 {
+		return s.writeFrame(Frame{Type: FrameData, Flags: FlagEndStream, StreamID: id})
+	}
+	s.fcMu.Lock()
+	maxFrame := s.maxFrame
+	s.fcMu.Unlock()
+	for off := 0; off < len(body); {
+		chunk := len(body) - off
+		if chunk > maxFrame {
+			chunk = maxFrame
+		}
+		if err := s.reserve(id, int64(chunk)); err != nil {
+			return err
+		}
+		flags := uint8(0)
+		if off+chunk == len(body) {
+			flags = FlagEndStream
+		}
+		if err := s.writeFrame(Frame{Type: FrameData, Flags: flags, StreamID: id, Payload: body[off : off+chunk]}); err != nil {
+			return err
+		}
+		off += chunk
+	}
+	return nil
+}
+
+// unpad strips padding (and an optional priority block) from a HEADERS
+// or DATA payload.
+func unpad(f Frame) ([]byte, error) {
+	p := f.Payload
+	padLen := 0
+	if f.Flags&FlagPadded != 0 {
+		if len(p) < 1 {
+			return nil, ErrProtocol
+		}
+		padLen = int(p[0])
+		p = p[1:]
+	}
+	if f.Type == FrameHeaders && f.Flags&FlagPriority != 0 {
+		if len(p) < 5 {
+			return nil, ErrProtocol
+		}
+		p = p[5:]
+	}
+	if padLen > len(p) {
+		return nil, fmt.Errorf("%w: padding exceeds payload", ErrProtocol)
+	}
+	return p[:len(p)-padLen], nil
+}
+
+// ourSettings is what both peers announce: no dynamic HPACK table, no
+// server push.
+func ourSettings() []Setting {
+	return []Setting{
+		{ID: SettingHeaderTableSize, Value: 0},
+		{ID: SettingEnablePush, Value: 0},
+		{ID: SettingMaxConcurrent, Value: 128},
+	}
+}
+
+func applyPeerSettings(s *sender, payload []byte) error {
+	settings, err := DecodeSettings(payload)
+	if err != nil {
+		return err
+	}
+	for _, st := range settings {
+		switch st.ID {
+		case SettingInitialWindowSize:
+			if st.Value > 1<<31-1 {
+				return fmt.Errorf("%w: initial window %d", ErrFlowControl, st.Value)
+			}
+			s.setInitialWindow(int64(st.Value))
+		case SettingMaxFrameSize:
+			if st.Value >= 16384 && st.Value <= 1<<20 {
+				s.fcMu.Lock()
+				s.maxFrame = int(st.Value)
+				s.fcMu.Unlock()
+			}
+		}
+	}
+	return nil
+}
+
+// requestFromFields translates HPACK request fields into the internal
+// request shape (RFC 7540 §8.1.2.3 pseudo-headers).
+func requestFromFields(fields []HeaderField, body []byte) (*httpwire.Request, error) {
+	req := &httpwire.Request{Proto: httpwire.Proto11, Body: body}
+	var authority string
+	for _, f := range fields {
+		switch f.Name {
+		case ":method":
+			req.Method = f.Value
+		case ":path":
+			req.Target = f.Value
+		case ":authority":
+			authority = f.Value
+		case ":scheme":
+			// informational only
+		default:
+			if strings.HasPrefix(f.Name, ":") {
+				return nil, fmt.Errorf("%w: pseudo-header %q", ErrHeaderSemantic, f.Name)
+			}
+			req.Headers.Add(canonical(f.Name), f.Value)
+		}
+	}
+	if req.Method == "" || req.Target == "" {
+		return nil, fmt.Errorf("%w: missing :method or :path", ErrHeaderSemantic)
+	}
+	if authority != "" && !req.Headers.Has("Host") {
+		hs := httpwire.Headers{{Name: "Host", Value: authority}}
+		req.Headers = append(hs, req.Headers...)
+	}
+	return req, nil
+}
+
+// fieldsFromRequest translates an internal request to HPACK fields.
+func fieldsFromRequest(req *httpwire.Request) []HeaderField {
+	fields := []HeaderField{
+		{Name: ":method", Value: req.Method},
+		{Name: ":scheme", Value: "http"},
+		{Name: ":path", Value: req.Target},
+		{Name: ":authority", Value: req.Host()},
+	}
+	for _, h := range req.Headers {
+		name := strings.ToLower(h.Name)
+		if name == "host" || name == "connection" || name == "keep-alive" || name == "transfer-encoding" {
+			continue // connection-specific headers do not cross into h2 (§8.1.2.2)
+		}
+		fields = append(fields, HeaderField{Name: name, Value: h.Value})
+	}
+	return fields
+}
+
+// fieldsFromResponse translates an internal response to HPACK fields.
+func fieldsFromResponse(resp *httpwire.Response) []HeaderField {
+	fields := []HeaderField{{Name: ":status", Value: strconv.Itoa(resp.StatusCode)}}
+	for _, h := range resp.Headers {
+		name := strings.ToLower(h.Name)
+		if name == "connection" || name == "keep-alive" || name == "transfer-encoding" || name == "content-length" {
+			continue // h2 frames the body itself
+		}
+		fields = append(fields, HeaderField{Name: name, Value: h.Value})
+	}
+	return fields
+}
+
+// responseFromFields translates HPACK response fields back.
+func responseFromFields(fields []HeaderField, body []byte) (*httpwire.Response, error) {
+	resp := &httpwire.Response{Proto: "HTTP/2.0", Body: body}
+	for _, f := range fields {
+		if f.Name == ":status" {
+			code, err := strconv.Atoi(f.Value)
+			if err != nil {
+				return nil, fmt.Errorf("%w: status %q", ErrHeaderSemantic, f.Value)
+			}
+			resp.StatusCode = code
+			resp.Reason = httpwire.ReasonPhrase(code)
+			continue
+		}
+		if strings.HasPrefix(f.Name, ":") {
+			return nil, fmt.Errorf("%w: pseudo-header %q", ErrHeaderSemantic, f.Name)
+		}
+		resp.Headers.Add(canonical(f.Name), f.Value)
+	}
+	if resp.StatusCode == 0 {
+		return nil, fmt.Errorf("%w: missing :status", ErrHeaderSemantic)
+	}
+	resp.Headers.Set("Content-Length", strconv.Itoa(len(body)))
+	return resp, nil
+}
+
+// canonical restores conventional Header-Casing from lowercase h2 names.
+func canonical(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	upper := true
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if upper && 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		upper = c == '-'
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// ServeConn speaks server-side HTTP/2 on rw, dispatching requests to h.
+// It returns when the peer disconnects or a protocol error occurs.
+func ServeConn(rw netsim.Conn, h Handler) error {
+	defer rw.Close()
+	br := bufio.NewReader(rw)
+
+	preface := make([]byte, len(Preface))
+	if _, err := io.ReadFull(br, preface); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadPreface, err)
+	}
+	if string(preface) != Preface {
+		return ErrBadPreface
+	}
+	snd := newSender(rw)
+	defer snd.kill()
+	if err := snd.writeFrame(Frame{Type: FrameSettings, Payload: EncodeSettings(ourSettings())}); err != nil {
+		return err
+	}
+
+	type pending struct {
+		fields []byte
+		body   []byte
+		open   bool // headers not yet ended
+	}
+	streams := make(map[uint32]*pending)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+
+	dispatch := func(id uint32, block, body []byte) error {
+		fields, err := DecodeHeaderBlock(block)
+		if err != nil {
+			return err
+		}
+		req, err := requestFromFields(fields, body)
+		if err != nil {
+			return err
+		}
+		snd.openStream(id)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer snd.closeStream(id)
+			resp := h.Handle(req)
+			hdr := EncodeHeaderBlock(fieldsFromResponse(resp))
+			flags := FlagEndHeaders
+			if len(resp.Body) == 0 {
+				flags |= FlagEndStream
+			}
+			if err := snd.writeFrame(Frame{Type: FrameHeaders, Flags: flags, StreamID: id, Payload: hdr}); err != nil {
+				return
+			}
+			if len(resp.Body) > 0 {
+				snd.sendData(id, resp.Body) //nolint:errcheck // peer close ends the stream
+			}
+		}()
+		return nil
+	}
+
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil
+			}
+			return err
+		}
+		switch f.Type {
+		case FrameSettings:
+			if f.Flags&FlagAck != 0 {
+				continue
+			}
+			if err := applyPeerSettings(snd, f.Payload); err != nil {
+				return err
+			}
+			if err := snd.writeFrame(Frame{Type: FrameSettings, Flags: FlagAck}); err != nil {
+				return err
+			}
+		case FramePing:
+			if f.Flags&FlagAck == 0 {
+				if err := snd.writeFrame(Frame{Type: FramePing, Flags: FlagAck, Payload: f.Payload}); err != nil {
+					return err
+				}
+			}
+		case FrameWindowUpdate:
+			inc, err := DecodeWindowUpdate(f.Payload)
+			if err != nil {
+				return err
+			}
+			if f.StreamID == 0 {
+				snd.addConnWindow(int64(inc))
+			} else {
+				snd.addStreamWindow(f.StreamID, int64(inc))
+			}
+		case FrameHeaders:
+			block, err := unpad(f)
+			if err != nil {
+				return err
+			}
+			p := &pending{fields: append([]byte(nil), block...), open: f.Flags&FlagEndHeaders == 0}
+			streams[f.StreamID] = p
+			if !p.open && f.Flags&FlagEndStream != 0 {
+				delete(streams, f.StreamID)
+				if err := dispatch(f.StreamID, p.fields, nil); err != nil {
+					return err
+				}
+			}
+		case FrameContinuation:
+			p := streams[f.StreamID]
+			if p == nil || !p.open {
+				return fmt.Errorf("%w: unexpected CONTINUATION", ErrProtocol)
+			}
+			p.fields = append(p.fields, f.Payload...)
+			if f.Flags&FlagEndHeaders != 0 {
+				p.open = false
+				delete(streams, f.StreamID)
+				if err := dispatch(f.StreamID, p.fields, p.body); err != nil {
+					return err
+				}
+			}
+		case FrameData:
+			p := streams[f.StreamID]
+			if p == nil {
+				continue // stream already dispatched or reset
+			}
+			data, err := unpad(f)
+			if err != nil {
+				return err
+			}
+			p.body = append(p.body, data...)
+			// Replenish the peer's send window for request bodies.
+			if len(data) > 0 {
+				snd.writeFrame(Frame{Type: FrameWindowUpdate, Payload: EncodeWindowUpdate(uint32(len(data)))})                       //nolint:errcheck
+				snd.writeFrame(Frame{Type: FrameWindowUpdate, StreamID: f.StreamID, Payload: EncodeWindowUpdate(uint32(len(data)))}) //nolint:errcheck
+			}
+			if f.Flags&FlagEndStream != 0 && !p.open {
+				delete(streams, f.StreamID)
+				if err := dispatch(f.StreamID, p.fields, p.body); err != nil {
+					return err
+				}
+			}
+		case FrameRSTStream:
+			delete(streams, f.StreamID)
+			snd.closeStream(f.StreamID)
+		case FrameGoAway:
+			return nil
+		case FramePriority, FramePushPromise:
+			// ignored (priority) / never sent by clients we accept
+		default:
+			// unknown frame types are ignored per §4.1
+		}
+	}
+}
+
+// Serve accepts connections from l and serves each with ServeConn.
+func Serve(l *netsim.Listener, h Handler) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go ServeConn(conn, h) //nolint:errcheck
+	}
+}

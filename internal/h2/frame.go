@@ -1,0 +1,214 @@
+// Package h2 is a minimal HTTP/2 (RFC 7540) implementation — enough of
+// the protocol to demonstrate the paper's §VI-B observation that "the
+// RangeAmp threats in HTTP/1.1 are also applicable to HTTP/2": RFC 7540
+// §8.1.2 carries the Range header through unchanged semantics, so an
+// edge that strips or expands ranges amplifies identically whichever
+// protocol version the attacker speaks (and HPACK makes the attacker's
+// requests *cheaper*, slightly raising the factor).
+//
+// Scope: connection preface, SETTINGS/PING/GOAWAY/WINDOW_UPDATE
+// handling, HEADERS(+CONTINUATION)/DATA streams with real flow control,
+// and an HPACK subset (full static table, raw-literal encoding, no
+// dynamic table — each side announces SETTINGS_HEADER_TABLE_SIZE=0).
+// Server push and stream prioritisation are not implemented.
+package h2
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame types (RFC 7540 §6).
+const (
+	FrameData         uint8 = 0x0
+	FrameHeaders      uint8 = 0x1
+	FramePriority     uint8 = 0x2
+	FrameRSTStream    uint8 = 0x3
+	FrameSettings     uint8 = 0x4
+	FramePushPromise  uint8 = 0x5
+	FramePing         uint8 = 0x6
+	FrameGoAway       uint8 = 0x7
+	FrameWindowUpdate uint8 = 0x8
+	FrameContinuation uint8 = 0x9
+)
+
+// Frame flags.
+const (
+	FlagEndStream  uint8 = 0x1 // DATA, HEADERS
+	FlagAck        uint8 = 0x1 // SETTINGS, PING
+	FlagEndHeaders uint8 = 0x4 // HEADERS, CONTINUATION
+	FlagPadded     uint8 = 0x8
+	FlagPriority   uint8 = 0x20
+)
+
+// Settings identifiers (RFC 7540 §6.5.2).
+const (
+	SettingHeaderTableSize   uint16 = 0x1
+	SettingEnablePush        uint16 = 0x2
+	SettingMaxConcurrent     uint16 = 0x3
+	SettingInitialWindowSize uint16 = 0x4
+	SettingMaxFrameSize      uint16 = 0x5
+	SettingMaxHeaderListSize uint16 = 0x6
+)
+
+// Protocol constants.
+const (
+	// Preface is the client connection preface (RFC 7540 §3.5).
+	Preface = "PRI * HTTP/2.0\r\n\r\nSM\r\n\r\n"
+
+	// DefaultMaxFrameSize is the initial SETTINGS_MAX_FRAME_SIZE.
+	DefaultMaxFrameSize = 16384
+
+	// DefaultWindow is the initial flow-control window (§6.9.2).
+	DefaultWindow = 65535
+
+	frameHeaderLen = 9
+	maxFrameSize   = 1 << 20 // reading bound; we never announce above default
+)
+
+// Errors.
+var (
+	ErrFrameTooLarge  = errors.New("h2: frame exceeds size bound")
+	ErrBadPreface     = errors.New("h2: bad connection preface")
+	ErrProtocol       = errors.New("h2: protocol error")
+	ErrStreamClosed   = errors.New("h2: stream closed")
+	ErrGoAway         = errors.New("h2: connection is going away")
+	ErrFlowControl    = errors.New("h2: flow-control violation")
+	ErrHPACK          = errors.New("h2: hpack decoding error")
+	ErrUnsupported    = errors.New("h2: unsupported protocol feature")
+	ErrHeaderSemantic = errors.New("h2: malformed header block semantics")
+)
+
+// Frame is one wire frame.
+type Frame struct {
+	Type     uint8
+	Flags    uint8
+	StreamID uint32
+	Payload  []byte
+}
+
+// WriteFrame serializes one frame.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload) > maxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [frameHeaderLen]byte
+	hdr[0] = byte(len(f.Payload) >> 16)
+	hdr[1] = byte(len(f.Payload) >> 8)
+	hdr[2] = byte(len(f.Payload))
+	hdr[3] = f.Type
+	hdr[4] = f.Flags
+	binary.BigEndian.PutUint32(hdr[5:], f.StreamID&0x7fffffff)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(f.Payload) > 0 {
+		if _, err := w.Write(f.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame parses one frame.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	length := int(hdr[0])<<16 | int(hdr[1])<<8 | int(hdr[2])
+	if length > maxFrameSize {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, length)
+	}
+	f := Frame{
+		Type:     hdr[3],
+		Flags:    hdr[4],
+		StreamID: binary.BigEndian.Uint32(hdr[5:]) & 0x7fffffff,
+	}
+	if length > 0 {
+		f.Payload = make([]byte, length)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return Frame{}, err
+		}
+	}
+	return f, nil
+}
+
+// Setting is one SETTINGS parameter.
+type Setting struct {
+	ID    uint16
+	Value uint32
+}
+
+// EncodeSettings builds a SETTINGS payload.
+func EncodeSettings(settings []Setting) []byte {
+	out := make([]byte, 0, len(settings)*6)
+	for _, s := range settings {
+		var buf [6]byte
+		binary.BigEndian.PutUint16(buf[0:], s.ID)
+		binary.BigEndian.PutUint32(buf[2:], s.Value)
+		out = append(out, buf[:]...)
+	}
+	return out
+}
+
+// DecodeSettings parses a SETTINGS payload.
+func DecodeSettings(payload []byte) ([]Setting, error) {
+	if len(payload)%6 != 0 {
+		return nil, fmt.Errorf("%w: settings length %d", ErrProtocol, len(payload))
+	}
+	out := make([]Setting, 0, len(payload)/6)
+	for off := 0; off < len(payload); off += 6 {
+		out = append(out, Setting{
+			ID:    binary.BigEndian.Uint16(payload[off:]),
+			Value: binary.BigEndian.Uint32(payload[off+2:]),
+		})
+	}
+	return out, nil
+}
+
+// EncodeWindowUpdate builds a WINDOW_UPDATE payload.
+func EncodeWindowUpdate(increment uint32) []byte {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], increment&0x7fffffff)
+	return buf[:]
+}
+
+// DecodeWindowUpdate parses a WINDOW_UPDATE payload.
+func DecodeWindowUpdate(payload []byte) (uint32, error) {
+	if len(payload) != 4 {
+		return 0, fmt.Errorf("%w: window update length %d", ErrProtocol, len(payload))
+	}
+	inc := binary.BigEndian.Uint32(payload) & 0x7fffffff
+	if inc == 0 {
+		return 0, fmt.Errorf("%w: zero window increment", ErrProtocol)
+	}
+	return inc, nil
+}
+
+// EncodeGoAway builds a GOAWAY payload.
+func EncodeGoAway(lastStreamID, errorCode uint32) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint32(buf[0:], lastStreamID&0x7fffffff)
+	binary.BigEndian.PutUint32(buf[4:], errorCode)
+	return buf[:]
+}
+
+// EncodeRSTStream builds an RST_STREAM payload.
+func EncodeRSTStream(errorCode uint32) []byte {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], errorCode)
+	return buf[:]
+}
+
+// Error codes (RFC 7540 §7).
+const (
+	ErrCodeNo              uint32 = 0x0
+	ErrCodeProtocol        uint32 = 0x1
+	ErrCodeInternal        uint32 = 0x2
+	ErrCodeFlowControl     uint32 = 0x3
+	ErrCodeRefusedStream   uint32 = 0x7
+	ErrCodeEnhanceYourCalm uint32 = 0xb
+)

@@ -1,0 +1,413 @@
+package h2
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/httpwire"
+	"repro/internal/netsim"
+	"repro/internal/origin"
+	"repro/internal/resource"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: FrameSettings, Payload: EncodeSettings(ourSettings())},
+		{Type: FrameHeaders, Flags: FlagEndHeaders | FlagEndStream, StreamID: 1, Payload: []byte{0x82}},
+		{Type: FrameData, Flags: FlagEndStream, StreamID: 3, Payload: bytes.Repeat([]byte{0xab}, 100)},
+		{Type: FramePing, Flags: FlagAck, Payload: make([]byte, 8)},
+		{Type: FrameGoAway, Payload: EncodeGoAway(5, ErrCodeNo)},
+		{Type: FrameWindowUpdate, StreamID: 7, Payload: EncodeWindowUpdate(1 << 20)},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range frames {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.Flags != want.Flags || got.StreamID != want.StreamID ||
+			!bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d = %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+func TestFrameSizeBound(t *testing.T) {
+	if err := WriteFrame(&bytes.Buffer{}, Frame{Payload: make([]byte, maxFrameSize+1)}); err == nil {
+		t.Error("oversized frame written")
+	}
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 1})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("oversized frame read")
+	}
+}
+
+func TestSettingsRoundTrip(t *testing.T) {
+	in := []Setting{{SettingHeaderTableSize, 0}, {SettingInitialWindowSize, 1 << 20}}
+	out, err := DecodeSettings(EncodeSettings(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
+		t.Fatalf("got %+v", out)
+	}
+	if _, err := DecodeSettings([]byte{1, 2, 3}); err == nil {
+		t.Error("ragged settings accepted")
+	}
+}
+
+func TestWindowUpdateRoundTrip(t *testing.T) {
+	inc, err := DecodeWindowUpdate(EncodeWindowUpdate(12345))
+	if err != nil || inc != 12345 {
+		t.Fatalf("inc=%d err=%v", inc, err)
+	}
+	if _, err := DecodeWindowUpdate(EncodeWindowUpdate(0)); err == nil {
+		t.Error("zero increment accepted")
+	}
+	if _, err := DecodeWindowUpdate([]byte{1}); err == nil {
+		t.Error("short payload accepted")
+	}
+}
+
+func TestHPACKStaticIndexed(t *testing.T) {
+	// :method GET is static index 2: a single byte 0x82.
+	block := EncodeHeaderBlock([]HeaderField{{Name: ":method", Value: "GET"}})
+	if !bytes.Equal(block, []byte{0x82}) {
+		t.Errorf("block = %x", block)
+	}
+	fields, err := DecodeHeaderBlock(block)
+	if err != nil || len(fields) != 1 || fields[0] != (HeaderField{":method", "GET"}) {
+		t.Errorf("fields = %+v, err %v", fields, err)
+	}
+}
+
+func TestHPACKRoundTrip(t *testing.T) {
+	in := []HeaderField{
+		{Name: ":method", Value: "GET"},
+		{Name: ":path", Value: "/10MB.bin?cb=77"},
+		{Name: ":authority", Value: "victim.example.com"},
+		{Name: ":scheme", Value: "http"},
+		{Name: "range", Value: "bytes=0-0"},
+		{Name: "user-agent", Value: "rangeamp-attack/1.0"},
+		{Name: "x-custom-header", Value: "anything at all"},
+	}
+	out, err := DecodeHeaderBlock(EncodeHeaderBlock(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("%d fields, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("field %d = %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestHPACKCompressionBeatsHTTP1(t *testing.T) {
+	// The §VI-B observation: the attack request costs fewer bytes on the
+	// wire over h2, so the amplification denominator shrinks.
+	req := httpwire.NewRequest("GET", "/10MB.bin?cb=1", "victim.example.com")
+	req.Headers.Add("User-Agent", "rangeamp-attack/1.0")
+	req.Headers.Add("Range", "bytes=0-0")
+	h1 := req.WireSize()
+	h2 := len(EncodeHeaderBlock(fieldsFromRequest(req))) + frameHeaderLen
+	if h2 >= h1 {
+		t.Errorf("h2 request %dB not smaller than h1 %dB", h2, h1)
+	}
+}
+
+func TestHPACKDecodeErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		block []byte
+	}{
+		{"dynamic-index", []byte{0x80 | 62}}, // beyond the static table
+		{"index-zero", []byte{0x80}},         // indexed with index 0
+		{"truncated-string", []byte{0x00, 0x05, 'a'}},
+		{"huffman", []byte{0x00, 0x81, 0xff, 0x81, 0xff}},
+		{"truncated-varint", []byte{0x7f, 0x80}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := DecodeHeaderBlock(tt.block); err == nil {
+				t.Error("accepted")
+			}
+		})
+	}
+}
+
+func TestHPACKIntegerProperty(t *testing.T) {
+	f := func(v uint32, prefixSeed uint8) bool {
+		prefix := int(prefixSeed)%8 + 1
+		enc := appendInt(nil, prefix, 0, uint64(v))
+		got, rest, err := readInt(enc, prefix)
+		return err == nil && got == uint64(v) && len(rest) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHPACKHeaderBlockProperty(t *testing.T) {
+	f := func(names, values []string) bool {
+		n := len(names)
+		if len(values) < n {
+			n = len(values)
+		}
+		in := make([]HeaderField, 0, n)
+		for i := 0; i < n; i++ {
+			name := strings.Map(func(r rune) rune {
+				if r < 'a' || r > 'z' {
+					return 'x'
+				}
+				return r
+			}, names[i])
+			if name == "" {
+				name = "h"
+			}
+			in = append(in, HeaderField{Name: name, Value: values[i]})
+		}
+		out, err := DecodeHeaderBlock(EncodeHeaderBlock(in))
+		if err != nil || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// startH2Origin serves an origin over HTTP/2 on an in-memory listener.
+func startH2Origin(t *testing.T, size int64, rangeSupport bool) (*netsim.Network, *origin.Server) {
+	t.Helper()
+	store := resource.NewStore()
+	store.AddSynthetic("/f.bin", size, "application/octet-stream")
+	srv := origin.NewServer(store, origin.Config{RangeSupport: rangeSupport})
+	net := netsim.NewNetwork()
+	l, err := net.Listen("h2origin:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go Serve(l, srv)
+	return net, srv
+}
+
+func TestEndToEndGET(t *testing.T) {
+	net, _ := startH2Origin(t, 4096, true)
+	conn, err := net.Dial("h2origin:80", netsim.NewSegment("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httpwire.NewRequest("GET", "/f.bin", "h")
+	resp, err := Fetch(conn, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || len(resp.Body) != 4096 {
+		t.Fatalf("status=%d len=%d", resp.StatusCode, len(resp.Body))
+	}
+	if v, _ := resp.Headers.Get("Server"); v != origin.ServerSoftware {
+		t.Errorf("Server = %q", v)
+	}
+}
+
+func TestEndToEndRangeRequest(t *testing.T) {
+	net, srv := startH2Origin(t, 1000, true)
+	conn, err := net.Dial("h2origin:80", netsim.NewSegment("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httpwire.NewRequest("GET", "/f.bin", "h")
+	req.Headers.Add("Range", "bytes=0-0")
+	resp, err := Fetch(conn, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 206 || len(resp.Body) != 1 {
+		t.Fatalf("status=%d len=%d", resp.StatusCode, len(resp.Body))
+	}
+	if v, _ := resp.Headers.Get("Content-Range"); v != "bytes 0-0/1000" {
+		t.Errorf("Content-Range = %q", v)
+	}
+	log := srv.Log()
+	if len(log) != 1 || log[0].RangeHeader != "bytes=0-0" {
+		t.Errorf("origin log = %+v", log)
+	}
+}
+
+func TestEndToEndLargeBodyFlowControl(t *testing.T) {
+	// A 5 MB body crosses the 64 KB initial windows many times over; the
+	// transfer must complete via WINDOW_UPDATE exchange.
+	const size = 5 << 20
+	net, _ := startH2Origin(t, size, true)
+	conn, err := net.Dial("h2origin:80", netsim.NewSegment("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := Fetch(conn, httpwire.NewRequest("GET", "/f.bin", "h"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Body) != size {
+		t.Fatalf("body = %d bytes", len(resp.Body))
+	}
+	want := resource.Synthetic("/f.bin", size, "x").Data
+	if !bytes.Equal(resp.Body, want) {
+		t.Error("body corrupted in flight")
+	}
+}
+
+func TestSequentialRequestsOneConnection(t *testing.T) {
+	net, _ := startH2Origin(t, 2048, true)
+	conn, err := net.Dial("h2origin:80", netsim.NewSegment("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClientConn(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		req := httpwire.NewRequest("GET", "/f.bin", "h")
+		req.Headers.Add("Range", "bytes=0-9")
+		resp, err := c.Fetch(req)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if resp.StatusCode != 206 || len(resp.Body) != 10 {
+			t.Fatalf("request %d: status=%d len=%d", i, resp.StatusCode, len(resp.Body))
+		}
+	}
+}
+
+func TestServeRejectsBadPreface(t *testing.T) {
+	net := netsim.NewNetwork()
+	l, _ := net.Listen("x:80")
+	defer l.Close()
+	store := resource.NewStore()
+	srv := origin.NewServer(store, origin.Config{})
+	errCh := make(chan error, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			errCh <- err
+			return
+		}
+		errCh <- ServeConn(conn, srv)
+	}()
+	conn, err := net.Dial("x:80", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("GET / HTTP/1.1\r\nHost: nope\r\n\r\n")) // >= 24 bytes, wrong preface
+	if err := <-errCh; err == nil {
+		t.Error("bad preface accepted")
+	}
+	conn.Close()
+}
+
+func TestCanonical(t *testing.T) {
+	tests := map[string]string{
+		"content-type": "Content-Type",
+		"range":        "Range",
+		"x-77-pop":     "X-77-Pop",
+		"etag":         "Etag",
+	}
+	for in, want := range tests {
+		if got := canonical(in); got != want {
+			t.Errorf("canonical(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRequestFieldTranslation(t *testing.T) {
+	req := httpwire.NewRequest("GET", "/f?x=1", "victim.example.com")
+	req.Headers.Add("Range", "bytes=0-0")
+	req.Headers.Add("Connection", "close") // must be dropped for h2
+	fields := fieldsFromRequest(req)
+	back, err := requestFromFields(fields, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Method != "GET" || back.Target != "/f?x=1" || back.Host() != "victim.example.com" {
+		t.Errorf("round trip = %+v", back)
+	}
+	if back.Headers.Has("Connection") {
+		t.Error("connection-specific header crossed into h2")
+	}
+	if v, _ := back.Headers.Get("Range"); v != "bytes=0-0" {
+		t.Errorf("Range = %q", v)
+	}
+}
+
+func TestRequestFromFieldsErrors(t *testing.T) {
+	if _, err := requestFromFields([]HeaderField{{":method", "GET"}}, nil); err == nil {
+		t.Error("missing :path accepted")
+	}
+	if _, err := requestFromFields([]HeaderField{{":method", "GET"}, {":path", "/"}, {":bogus", "x"}}, nil); err == nil {
+		t.Error("unknown pseudo-header accepted")
+	}
+}
+
+func TestResponseFromFieldsErrors(t *testing.T) {
+	if _, err := responseFromFields([]HeaderField{{"server", "x"}}, nil); err == nil {
+		t.Error("missing :status accepted")
+	}
+	if _, err := responseFromFields([]HeaderField{{":status", "abc"}}, nil); err == nil {
+		t.Error("bad :status accepted")
+	}
+}
+
+func TestOBRMultipartOverH2(t *testing.T) {
+	// A BCDN-style n-part multipart body (several MB) survives h2 flow
+	// control intact — the §VI-B claim for the OBR attack shape.
+	store := resource.NewStore()
+	store.AddSynthetic("/1KB.bin", 1024, "application/octet-stream")
+	srv := origin.NewServer(store, origin.Config{RangeSupport: true})
+	net := netsim.NewNetwork()
+	l, err := net.Listen("obr:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go Serve(l, srv)
+
+	conn, err := net.Dial("obr:80", netsim.NewSegment("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	req := httpwire.NewRequest("GET", "/1KB.bin", "h")
+	req.Headers.Add("Range", "bytes=0-"+strings.Repeat(",0-", n-1))
+	resp, err := Fetch(conn, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 206 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if int64(len(resp.Body)) < n*1024 {
+		t.Fatalf("body = %d bytes, want >= %d", len(resp.Body), n*1024)
+	}
+	if parts := strings.Count(string(resp.Body), "Content-Range:"); parts != n {
+		t.Errorf("%d parts, want %d", parts, n)
+	}
+}

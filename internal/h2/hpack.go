@@ -1,0 +1,290 @@
+package h2
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HPACK (RFC 7541) subset: the full static table, Huffman string
+// coding (Appendix B), and a zero-size dynamic table (both peers
+// announce SETTINGS_HEADER_TABLE_SIZE=0, so indexed references beyond
+// the static table are protocol errors and incremental indexing
+// degrades to plain literals). The codec stays byte-deterministic for
+// traffic accounting.
+
+// HeaderField is one decoded header (pseudo-headers included).
+type HeaderField struct {
+	Name  string
+	Value string
+}
+
+// staticTable is RFC 7541 Appendix A (1-indexed).
+var staticTable = []HeaderField{
+	{":authority", ""},
+	{":method", "GET"},
+	{":method", "POST"},
+	{":path", "/"},
+	{":path", "/index.html"},
+	{":scheme", "http"},
+	{":scheme", "https"},
+	{":status", "200"},
+	{":status", "204"},
+	{":status", "206"},
+	{":status", "304"},
+	{":status", "400"},
+	{":status", "404"},
+	{":status", "500"},
+	{"accept-charset", ""},
+	{"accept-encoding", "gzip, deflate"},
+	{"accept-language", ""},
+	{"accept-ranges", ""},
+	{"accept", ""},
+	{"access-control-allow-origin", ""},
+	{"age", ""},
+	{"allow", ""},
+	{"authorization", ""},
+	{"cache-control", ""},
+	{"content-disposition", ""},
+	{"content-encoding", ""},
+	{"content-language", ""},
+	{"content-length", ""},
+	{"content-location", ""},
+	{"content-range", ""},
+	{"content-type", ""},
+	{"cookie", ""},
+	{"date", ""},
+	{"etag", ""},
+	{"expect", ""},
+	{"expires", ""},
+	{"from", ""},
+	{"host", ""},
+	{"if-match", ""},
+	{"if-modified-since", ""},
+	{"if-none-match", ""},
+	{"if-range", ""},
+	{"if-unmodified-since", ""},
+	{"last-modified", ""},
+	{"link", ""},
+	{"location", ""},
+	{"max-forwards", ""},
+	{"proxy-authenticate", ""},
+	{"proxy-authorization", ""},
+	{"range", ""},
+	{"referer", ""},
+	{"refresh", ""},
+	{"retry-after", ""},
+	{"server", ""},
+	{"set-cookie", ""},
+	{"strict-transport-security", ""},
+	{"transfer-encoding", ""},
+	{"user-agent", ""},
+	{"vary", ""},
+	{"via", ""},
+	{"www-authenticate", ""},
+}
+
+// staticExact maps "name\x00value" to its static index.
+var staticExact = func() map[string]int {
+	m := make(map[string]int, len(staticTable))
+	for i, f := range staticTable {
+		key := f.Name + "\x00" + f.Value
+		if _, exists := m[key]; !exists {
+			m[key] = i + 1
+		}
+	}
+	return m
+}()
+
+// staticName maps a name to the first static index bearing it.
+var staticName = func() map[string]int {
+	m := make(map[string]int, len(staticTable))
+	for i, f := range staticTable {
+		if _, exists := m[f.Name]; !exists {
+			m[f.Name] = i + 1
+		}
+	}
+	return m
+}()
+
+// EncodeHeaderBlock serializes fields as an HPACK header block.
+func EncodeHeaderBlock(fields []HeaderField) []byte {
+	var out []byte
+	for _, f := range fields {
+		name := strings.ToLower(f.Name)
+		if idx, ok := staticExact[name+"\x00"+f.Value]; ok {
+			out = appendInt(out, 7, 0x80, uint64(idx)) // indexed field
+			continue
+		}
+		if idx, ok := staticName[name]; ok {
+			out = appendInt(out, 4, 0x00, uint64(idx)) // literal, indexed name
+			out = appendString(out, f.Value)
+			continue
+		}
+		out = appendInt(out, 4, 0x00, 0) // literal, new name
+		out = appendString(out, name)
+		out = appendString(out, f.Value)
+	}
+	return out
+}
+
+// DecodeHeaderBlock parses an HPACK header block.
+func DecodeHeaderBlock(block []byte) ([]HeaderField, error) {
+	var fields []HeaderField
+	for len(block) > 0 {
+		b := block[0]
+		switch {
+		case b&0x80 != 0: // indexed header field
+			idx, rest, err := readInt(block, 7)
+			if err != nil {
+				return nil, err
+			}
+			block = rest
+			f, err := staticField(idx)
+			if err != nil {
+				return nil, err
+			}
+			fields = append(fields, f)
+		case b&0xc0 == 0x40: // literal with incremental indexing
+			f, rest, err := readLiteral(block, 6)
+			if err != nil {
+				return nil, err
+			}
+			block = rest
+			fields = append(fields, f) // zero-size table: nothing to add
+		case b&0xe0 == 0x20: // dynamic table size update
+			size, rest, err := readInt(block, 5)
+			if err != nil {
+				return nil, err
+			}
+			if size > 4096 {
+				return nil, fmt.Errorf("%w: table size update %d", ErrHPACK, size)
+			}
+			block = rest
+		case b&0xf0 == 0x10: // literal never indexed
+			f, rest, err := readLiteral(block, 4)
+			if err != nil {
+				return nil, err
+			}
+			block = rest
+			fields = append(fields, f)
+		default: // 0000 xxxx: literal without indexing
+			f, rest, err := readLiteral(block, 4)
+			if err != nil {
+				return nil, err
+			}
+			block = rest
+			fields = append(fields, f)
+		}
+	}
+	return fields, nil
+}
+
+func staticField(idx uint64) (HeaderField, error) {
+	if idx == 0 || idx > uint64(len(staticTable)) {
+		return HeaderField{}, fmt.Errorf("%w: index %d outside the static table (dynamic table size is 0)", ErrHPACK, idx)
+	}
+	return staticTable[idx-1], nil
+}
+
+func readLiteral(block []byte, prefix int) (HeaderField, []byte, error) {
+	idx, rest, err := readInt(block, prefix)
+	if err != nil {
+		return HeaderField{}, nil, err
+	}
+	var f HeaderField
+	if idx > 0 {
+		ref, err := staticField(idx)
+		if err != nil {
+			return HeaderField{}, nil, err
+		}
+		f.Name = ref.Name
+	} else {
+		f.Name, rest, err = readString(rest)
+		if err != nil {
+			return HeaderField{}, nil, err
+		}
+	}
+	f.Value, rest, err = readString(rest)
+	if err != nil {
+		return HeaderField{}, nil, err
+	}
+	return f, rest, nil
+}
+
+// appendInt encodes an HPACK prefixed integer (RFC 7541 §5.1) with the
+// given pattern bits in the first byte.
+func appendInt(out []byte, prefix int, pattern byte, v uint64) []byte {
+	maxPrefix := uint64(1)<<prefix - 1
+	if v < maxPrefix {
+		return append(out, pattern|byte(v))
+	}
+	out = append(out, pattern|byte(maxPrefix))
+	v -= maxPrefix
+	for v >= 128 {
+		out = append(out, byte(v&0x7f)|0x80)
+		v >>= 7
+	}
+	return append(out, byte(v))
+}
+
+func readInt(block []byte, prefix int) (uint64, []byte, error) {
+	if len(block) == 0 {
+		return 0, nil, fmt.Errorf("%w: truncated integer", ErrHPACK)
+	}
+	maxPrefix := uint64(1)<<prefix - 1
+	v := uint64(block[0]) & maxPrefix
+	block = block[1:]
+	if v < maxPrefix {
+		return v, block, nil
+	}
+	shift := 0
+	for {
+		if len(block) == 0 {
+			return 0, nil, fmt.Errorf("%w: truncated varint", ErrHPACK)
+		}
+		if shift > 56 {
+			return 0, nil, fmt.Errorf("%w: integer overflow", ErrHPACK)
+		}
+		b := block[0]
+		block = block[1:]
+		v += uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return v, block, nil
+		}
+		shift += 7
+	}
+}
+
+// appendString encodes a string literal, Huffman-coded whenever that
+// is shorter than the raw form (RFC 7541 §5.2).
+func appendString(out []byte, s string) []byte {
+	if hlen := huffmanEncodedLen(s); hlen < len(s) {
+		out = appendInt(out, 7, 0x80, uint64(hlen))
+		return appendHuffman(out, s)
+	}
+	out = appendInt(out, 7, 0x00, uint64(len(s)))
+	return append(out, s...)
+}
+
+func readString(block []byte) (string, []byte, error) {
+	if len(block) == 0 {
+		return "", nil, fmt.Errorf("%w: truncated string", ErrHPACK)
+	}
+	huffman := block[0]&0x80 != 0
+	n, rest, err := readInt(block, 7)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(len(rest)) < n {
+		return "", nil, fmt.Errorf("%w: string length %d exceeds block", ErrHPACK, n)
+	}
+	raw, rest := rest[:n], rest[n:]
+	if huffman {
+		decoded, err := decodeHuffman(raw)
+		if err != nil {
+			return "", nil, err
+		}
+		return decoded, rest, nil
+	}
+	return string(raw), rest, nil
+}

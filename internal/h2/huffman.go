@@ -1,0 +1,106 @@
+package h2
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HPACK Huffman coding (RFC 7541 §5.2 and Appendix B). The encoder is
+// used whenever the coded form is shorter than the raw literal; the
+// decoder walks a binary trie built once from the code table.
+
+// huffmanEncodedLen returns the byte length of the Huffman coding of s.
+func huffmanEncodedLen(s string) int {
+	bits := 0
+	for i := 0; i < len(s); i++ {
+		bits += int(huffmanCodeLen[s[i]])
+	}
+	return (bits + 7) / 8
+}
+
+// appendHuffman appends the Huffman coding of s, padding the final
+// partial byte with the EOS prefix (all ones) per §5.2.
+func appendHuffman(out []byte, s string) []byte {
+	var (
+		acc  uint64
+		nbit uint
+	)
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		acc = acc<<huffmanCodeLen[b] | uint64(huffmanCodes[b])
+		nbit += uint(huffmanCodeLen[b])
+		for nbit >= 8 {
+			nbit -= 8
+			out = append(out, byte(acc>>nbit))
+		}
+	}
+	if nbit > 0 {
+		pad := 8 - nbit
+		out = append(out, byte(acc<<pad)|byte(1<<pad-1))
+	}
+	return out
+}
+
+// huffNode is one trie node; leaves carry the decoded symbol.
+type huffNode struct {
+	children [2]*huffNode
+	sym      byte
+	leaf     bool
+}
+
+// huffRoot is the decoding trie, built once at package init from the
+// RFC table (a deterministic pure computation, the init-safe kind).
+var huffRoot = buildHuffTree()
+
+func buildHuffTree() *huffNode {
+	root := &huffNode{}
+	for sym := 0; sym < 256; sym++ {
+		code := huffmanCodes[sym]
+		length := int(huffmanCodeLen[sym])
+		node := root
+		for bit := length - 1; bit >= 0; bit-- {
+			b := (code >> uint(bit)) & 1
+			if node.children[b] == nil {
+				node.children[b] = &huffNode{}
+			}
+			node = node.children[b]
+		}
+		node.sym = byte(sym)
+		node.leaf = true
+	}
+	return root
+}
+
+// decodeHuffman decodes a Huffman-coded string literal. Trailing bits
+// must be a (shorter-than-8-bit) prefix of EOS, i.e. all ones.
+func decodeHuffman(data []byte) (string, error) {
+	var b strings.Builder
+	node := huffRoot
+	bitsSinceSym := 0 // bits consumed since the last decoded symbol
+	allOnes := true   // those bits are all 1s (a valid EOS-prefix padding)
+	for _, octet := range data {
+		for bit := 7; bit >= 0; bit-- {
+			v := (octet >> uint(bit)) & 1
+			bitsSinceSym++
+			if v == 0 {
+				allOnes = false
+			}
+			node = node.children[v]
+			if node == nil {
+				return "", fmt.Errorf("%w: invalid Huffman code", ErrHPACK)
+			}
+			if node.leaf {
+				b.WriteByte(node.sym)
+				node = huffRoot
+				bitsSinceSym = 0
+				allOnes = true
+			}
+		}
+	}
+	// §5.2: the final partial symbol must be a strict EOS prefix — at
+	// most 7 bits, all ones.
+	if node != huffRoot && (!allOnes || bitsSinceSym > 7) {
+		return "", fmt.Errorf("%w: invalid Huffman padding", ErrHPACK)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,112 @@
+package h2
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHuffmanRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"a",
+		"www.example.com",
+		"bytes=0-0",
+		"bytes=0-,0-,0-,0-",
+		"no-cache",
+		"Mon, 29 Jun 2020 12:00:00 GMT",
+		"/target.bin?cb=12345",
+		strings.Repeat("\x00\xff", 50), // worst-case symbols
+		"custom-key custom-value with spaces",
+	}
+	for _, s := range cases {
+		enc := appendHuffman(nil, s)
+		if len(enc) != huffmanEncodedLen(s) {
+			t.Errorf("%q: encoded %d bytes, predicted %d", s, len(enc), huffmanEncodedLen(s))
+		}
+		got, err := decodeHuffman(enc)
+		if err != nil {
+			t.Errorf("%q: decode: %v", s, err)
+			continue
+		}
+		if got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestHuffmanRFCExamples(t *testing.T) {
+	// RFC 7541 Appendix C.4.1: "www.example.com" encodes to
+	// f1e3 c2e5 f23a 6ba0 ab90 f4ff.
+	want := []byte{0xf1, 0xe3, 0xc2, 0xe5, 0xf2, 0x3a, 0x6b, 0xa0, 0xab, 0x90, 0xf4, 0xff}
+	got := appendHuffman(nil, "www.example.com")
+	if len(got) != len(want) {
+		t.Fatalf("encoded %x, want %x", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d: %x, want %x (full %x)", i, got[i], want[i], got)
+		}
+	}
+	// C.6.1: "302" -> 6402.
+	if got := appendHuffman(nil, "302"); len(got) != 2 || got[0] != 0x64 || got[1] != 0x02 {
+		t.Errorf("302 -> %x, want 6402", got)
+	}
+	// C.6.1: "private" -> ae c3 77 1a 4b.
+	if got := appendHuffman(nil, "private"); len(got) != 5 ||
+		got[0] != 0xae || got[1] != 0xc3 || got[2] != 0x77 || got[3] != 0x1a || got[4] != 0x4b {
+		t.Errorf("private -> %x", got)
+	}
+}
+
+func TestHuffmanDecodeErrors(t *testing.T) {
+	// A lone 0 bit run that matches no symbol prefix termination:
+	// 0x00 decodes symbols ('0' is 5 bits 00000...) — craft real errors:
+	// padding with zeros (one spare 0 bit after a symbol).
+	bad := appendHuffman(nil, "a") // 'a' is 5 bits -> 3 bits padding of 1s
+	bad[len(bad)-1] &^= 0x01       // flip the last padding bit to 0
+	if _, err := decodeHuffman(bad); err == nil {
+		t.Error("zero-bit padding accepted")
+	}
+	// 8+ bits of pure padding (a full 0xff byte beyond a symbol boundary
+	// is an EOS prefix longer than 7 bits).
+	bad2 := append(appendHuffman(nil, "ab"), 0xff)
+	if _, err := decodeHuffman(bad2); err == nil {
+		t.Error("over-long EOS padding accepted")
+	}
+}
+
+func TestHuffmanProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		s := string(data)
+		got, err := decodeHuffman(appendHuffman(nil, s))
+		return err == nil && got == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHPACKStringsNowHuffman(t *testing.T) {
+	// appendString must pick the shorter coding and readString must
+	// decode both forms.
+	long := "this-is-a-long-lowercase-value-that-huffman-compresses-well"
+	enc := appendString(nil, long)
+	if enc[0]&0x80 == 0 {
+		t.Error("compressible string not Huffman-coded")
+	}
+	got, rest, err := readString(enc)
+	if err != nil || got != long || len(rest) != 0 {
+		t.Errorf("readString: %q, %d left, %v", got, len(rest), err)
+	}
+	// Strings that expand under Huffman stay raw.
+	binary := "\xfe\xff\xfd\xfc"
+	enc = appendString(nil, binary)
+	if enc[0]&0x80 != 0 {
+		t.Error("incompressible string Huffman-coded anyway")
+	}
+	got, _, err = readString(enc)
+	if err != nil || got != binary {
+		t.Errorf("raw round trip failed: %q %v", got, err)
+	}
+}

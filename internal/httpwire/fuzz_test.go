@@ -1,0 +1,70 @@
+package httpwire
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func FuzzReadRequest(f *testing.F) {
+	for _, seed := range []string{
+		"GET / HTTP/1.1\r\nHost: h\r\n\r\n",
+		"GET /1KB.jpg HTTP/1.1\r\nHost: example.com\r\nRange: bytes=0-0\r\n\r\n",
+		"GET /x HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc",
+		"POST /x HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+		"\r\n\r\n",
+		"GET /x HTTP/1.1\nHost: h\n\n",
+		"GET /x HTTP/1.1\r\nBad Name: v\r\n\r\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		req, err := ReadRequest(bufio.NewReader(strings.NewReader(raw)), Limits{MaxHeaderBytes: 64 << 10, MaxBodyBytes: 1 << 20})
+		if err != nil {
+			return
+		}
+		// Accepted requests re-serialize and re-parse to the same shape.
+		var b strings.Builder
+		if _, err := req.WriteTo(&b); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		if b.Len() != req.WireSize() {
+			t.Fatalf("WireSize %d != serialized %d", req.WireSize(), b.Len())
+		}
+		again, err := ReadRequest(bufio.NewReader(strings.NewReader(b.String())), Limits{})
+		if err != nil {
+			t.Fatalf("reparse of accepted request failed: %v (%q)", err, b.String())
+		}
+		if again.Method != req.Method || again.Target != req.Target || len(again.Headers) != len(req.Headers) {
+			t.Fatal("reparse changed the request")
+		}
+	})
+}
+
+func FuzzReadResponse(f *testing.F) {
+	for _, seed := range []string{
+		"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nab",
+		"HTTP/1.1 206 Partial Content\r\nContent-Range: bytes 0-0/10\r\nContent-Length: 1\r\n\r\nx",
+		"HTTP/1.1 416 Range Not Satisfiable\r\nContent-Range: bytes */10\r\n\r\n",
+		"HTTP/1.1 304 Not Modified\r\n\r\n",
+		"HTTP/1.1 200 OK\r\n\r\nunframed body",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		resp, err := ReadResponse(bufio.NewReader(strings.NewReader(raw)), Limits{MaxHeaderBytes: 64 << 10, MaxBodyBytes: 1 << 20})
+		if err != nil {
+			return
+		}
+		if resp.StatusCode < 100 || resp.StatusCode > 999 {
+			t.Fatalf("accepted status %d", resp.StatusCode)
+		}
+		var b strings.Builder
+		if _, err := resp.WriteTo(&b); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		if b.Len() != resp.WireSize() {
+			t.Fatalf("WireSize mismatch")
+		}
+	})
+}

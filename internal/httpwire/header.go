@@ -1,0 +1,113 @@
+// Package httpwire implements a minimal, exact-byte HTTP/1.1 message
+// layer. Unlike net/http it preserves header order and duplicate fields
+// and exposes the precise serialized size of every message, which the
+// RangeAmp experiments need: amplification factors are ratios of bytes
+// on the wire per network segment, and the CDN behaviours under test
+// (forwarding an unmodified multi-range header, closing a back-to-origin
+// connection mid-body, vendor-specific header sets) require byte-level
+// control that net/http deliberately hides.
+package httpwire
+
+import "strings"
+
+// Header is a single HTTP header field.
+type Header struct {
+	Name  string
+	Value string
+}
+
+// wireLen returns the exact serialized length: "Name: Value\r\n".
+func (h Header) wireLen() int { return len(h.Name) + 2 + len(h.Value) + 2 }
+
+// Headers is an ordered header list. Field names compare
+// case-insensitively; serialization preserves insertion order, which is
+// how the per-vendor response-header templates control wire size.
+type Headers []Header
+
+// Get returns the first value for name and whether it was present.
+func (hs Headers) Get(name string) (string, bool) {
+	for _, h := range hs {
+		if strings.EqualFold(h.Name, name) {
+			return h.Value, true
+		}
+	}
+	return "", false
+}
+
+// Values returns every value for name, in order.
+func (hs Headers) Values(name string) []string {
+	var out []string
+	for _, h := range hs {
+		if strings.EqualFold(h.Name, name) {
+			out = append(out, h.Value)
+		}
+	}
+	return out
+}
+
+// Has reports whether name is present.
+func (hs Headers) Has(name string) bool {
+	_, ok := hs.Get(name)
+	return ok
+}
+
+// Add appends a field, preserving any existing fields of the same name.
+func (hs *Headers) Add(name, value string) {
+	*hs = append(*hs, Header{Name: name, Value: value})
+}
+
+// Set replaces the first field named name (appending if absent) and
+// removes any further duplicates.
+func (hs *Headers) Set(name, value string) {
+	out := (*hs)[:0]
+	replaced := false
+	for _, h := range *hs {
+		if strings.EqualFold(h.Name, name) {
+			if !replaced {
+				out = append(out, Header{Name: h.Name, Value: value})
+				replaced = true
+			}
+			continue
+		}
+		out = append(out, h)
+	}
+	if !replaced {
+		out = append(out, Header{Name: name, Value: value})
+	}
+	*hs = out
+}
+
+// Del removes every field named name and reports whether any existed.
+func (hs *Headers) Del(name string) bool {
+	out := (*hs)[:0]
+	removed := false
+	for _, h := range *hs {
+		if strings.EqualFold(h.Name, name) {
+			removed = true
+			continue
+		}
+		out = append(out, h)
+	}
+	*hs = out
+	return removed
+}
+
+// Clone returns a deep copy.
+func (hs Headers) Clone() Headers {
+	if hs == nil {
+		return nil
+	}
+	out := make(Headers, len(hs))
+	copy(out, hs)
+	return out
+}
+
+// WireSize returns the exact serialized size of the header block,
+// excluding the start line and the terminating blank line.
+func (hs Headers) WireSize() int {
+	n := 0
+	for _, h := range hs {
+		n += h.wireLen()
+	}
+	return n
+}

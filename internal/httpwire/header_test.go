@@ -1,0 +1,90 @@
+package httpwire
+
+import "testing"
+
+func TestHeadersGetCaseInsensitive(t *testing.T) {
+	var hs Headers
+	hs.Add("Content-Type", "image/jpeg")
+	for _, name := range []string{"Content-Type", "content-type", "CONTENT-TYPE"} {
+		v, ok := hs.Get(name)
+		if !ok || v != "image/jpeg" {
+			t.Errorf("Get(%q) = %q,%v", name, v, ok)
+		}
+	}
+	if _, ok := hs.Get("Range"); ok {
+		t.Error("Get(Range) ok on missing header")
+	}
+}
+
+func TestHeadersAddPreservesOrderAndDuplicates(t *testing.T) {
+	var hs Headers
+	hs.Add("Via", "a")
+	hs.Add("X-Cache", "MISS")
+	hs.Add("Via", "b")
+	if got := hs.Values("Via"); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Values(Via) = %v", got)
+	}
+	if hs[0].Name != "Via" || hs[1].Name != "X-Cache" || hs[2].Name != "Via" {
+		t.Errorf("order not preserved: %v", hs)
+	}
+}
+
+func TestHeadersSet(t *testing.T) {
+	var hs Headers
+	hs.Add("Range", "bytes=0-0")
+	hs.Add("Host", "example.com")
+	hs.Add("range", "bytes=1-1")
+	hs.Set("Range", "bytes=5-5")
+	if got := hs.Values("Range"); len(got) != 1 || got[0] != "bytes=5-5" {
+		t.Errorf("after Set, Values(Range) = %v", got)
+	}
+	// Set keeps the position of the first occurrence.
+	if hs[0].Value != "bytes=5-5" {
+		t.Errorf("Set moved the field: %v", hs)
+	}
+	hs.Set("New-Header", "x")
+	if v, ok := hs.Get("New-Header"); !ok || v != "x" {
+		t.Errorf("Set on absent header: %q,%v", v, ok)
+	}
+}
+
+func TestHeadersDel(t *testing.T) {
+	var hs Headers
+	hs.Add("Range", "bytes=0-0")
+	hs.Add("Host", "h")
+	hs.Add("RANGE", "bytes=1-1")
+	if !hs.Del("range") {
+		t.Error("Del returned false")
+	}
+	if hs.Has("Range") {
+		t.Error("Range survived Del")
+	}
+	if len(hs) != 1 || hs[0].Name != "Host" {
+		t.Errorf("remaining = %v", hs)
+	}
+	if hs.Del("Range") {
+		t.Error("second Del returned true")
+	}
+}
+
+func TestHeadersClone(t *testing.T) {
+	var hs Headers
+	hs.Add("A", "1")
+	c := hs.Clone()
+	c.Set("A", "2")
+	if v, _ := hs.Get("A"); v != "1" {
+		t.Error("Clone aliases the original")
+	}
+	if Headers(nil).Clone() != nil {
+		t.Error("Clone(nil) != nil")
+	}
+}
+
+func TestHeadersWireSize(t *testing.T) {
+	var hs Headers
+	hs.Add("Host", "example.com") // "Host: example.com\r\n" = 19
+	hs.Add("Range", "bytes=0-0")  // "Range: bytes=0-0\r\n" = 18
+	if got, want := hs.WireSize(), 19+18; got != want {
+		t.Errorf("WireSize = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,444 @@
+package httpwire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Proto11 is the only protocol version this layer speaks.
+const Proto11 = "HTTP/1.1"
+
+// Errors shared by the parsers.
+var (
+	ErrMalformedStartLine = errors.New("httpwire: malformed start line")
+	ErrMalformedHeader    = errors.New("httpwire: malformed header field")
+	ErrHeaderTooLarge     = errors.New("httpwire: header block exceeds limit")
+	ErrBodyTooLarge       = errors.New("httpwire: body exceeds limit")
+)
+
+// Limits bound message parsing. Zero fields mean the defaults below.
+type Limits struct {
+	MaxHeaderBytes int   // total header block, default 1 MiB
+	MaxBodyBytes   int64 // default 256 MiB
+}
+
+const (
+	defaultMaxHeaderBytes = 1 << 20
+	defaultMaxBodyBytes   = 256 << 20
+)
+
+func (l Limits) header() int {
+	if l.MaxHeaderBytes > 0 {
+		return l.MaxHeaderBytes
+	}
+	return defaultMaxHeaderBytes
+}
+
+func (l Limits) body() int64 {
+	if l.MaxBodyBytes > 0 {
+		return l.MaxBodyBytes
+	}
+	return defaultMaxBodyBytes
+}
+
+// Request is an HTTP/1.1 request with exact wire representation.
+type Request struct {
+	Method  string
+	Target  string // origin-form: path with optional ?query
+	Proto   string
+	Headers Headers
+	Body    []byte
+}
+
+// NewRequest returns a GET request for target against host.
+func NewRequest(method, target, host string) *Request {
+	r := &Request{Method: method, Target: target, Proto: Proto11}
+	r.Headers.Add("Host", host)
+	return r
+}
+
+// Host returns the Host header value.
+func (r *Request) Host() string {
+	v, _ := r.Headers.Get("Host")
+	return v
+}
+
+// Path returns the target without its query string.
+func (r *Request) Path() string {
+	if i := strings.IndexByte(r.Target, '?'); i >= 0 {
+		return r.Target[:i]
+	}
+	return r.Target
+}
+
+// Query returns the raw query string (without '?'), or "".
+func (r *Request) Query() string {
+	if i := strings.IndexByte(r.Target, '?'); i >= 0 {
+		return r.Target[i+1:]
+	}
+	return ""
+}
+
+// Clone returns a deep copy of the request.
+func (r *Request) Clone() *Request {
+	out := &Request{Method: r.Method, Target: r.Target, Proto: r.Proto, Headers: r.Headers.Clone()}
+	if r.Body != nil {
+		out.Body = append([]byte(nil), r.Body...)
+	}
+	return out
+}
+
+// StartLineSize returns the exact size of "METHOD SP target SP proto\r\n".
+func (r *Request) StartLineSize() int {
+	return len(r.Method) + 1 + len(r.Target) + 1 + len(r.Proto) + 2
+}
+
+// WireSize returns the exact serialized size of the request.
+func (r *Request) WireSize() int {
+	return r.StartLineSize() + r.Headers.WireSize() + 2 + len(r.Body)
+}
+
+// WriteTo serializes the request. It does not add framing headers; set
+// Content-Length yourself if the request has a body.
+func (r *Request) WriteTo(w io.Writer) (int64, error) {
+	return writeMessage(w, r.Method+" "+r.Target+" "+r.Proto, r.Headers, r.Body)
+}
+
+// Response is an HTTP/1.1 response with exact wire representation.
+type Response struct {
+	Proto      string
+	StatusCode int
+	Reason     string
+	Headers    Headers
+	Body       []byte
+}
+
+// NewResponse returns a response with the canonical reason phrase.
+func NewResponse(status int) *Response {
+	return &Response{Proto: Proto11, StatusCode: status, Reason: ReasonPhrase(status)}
+}
+
+// StartLineSize returns the exact size of "proto SP code SP reason\r\n".
+func (r *Response) StartLineSize() int {
+	return len(r.Proto) + 1 + 3 + 1 + len(r.Reason) + 2
+}
+
+// WireSize returns the exact serialized size of the response.
+func (r *Response) WireSize() int {
+	return r.StartLineSize() + r.Headers.WireSize() + 2 + len(r.Body)
+}
+
+// HeaderSize returns the serialized size of everything except the body.
+func (r *Response) HeaderSize() int {
+	return r.StartLineSize() + r.Headers.WireSize() + 2
+}
+
+// SetBody installs body and keeps Content-Length in sync.
+func (r *Response) SetBody(body []byte) {
+	r.Body = body
+	r.Headers.Set("Content-Length", strconv.Itoa(len(body)))
+}
+
+// Clone returns a deep copy of the response.
+func (r *Response) Clone() *Response {
+	out := &Response{Proto: r.Proto, StatusCode: r.StatusCode, Reason: r.Reason, Headers: r.Headers.Clone()}
+	if r.Body != nil {
+		out.Body = append([]byte(nil), r.Body...)
+	}
+	return out
+}
+
+// WriteTo serializes the response.
+func (r *Response) WriteTo(w io.Writer) (int64, error) {
+	line := r.Proto + " " + strconv.Itoa(r.StatusCode) + " " + r.Reason
+	return writeMessage(w, line, r.Headers, r.Body)
+}
+
+func writeMessage(w io.Writer, startLine string, hs Headers, body []byte) (int64, error) {
+	var b strings.Builder
+	b.Grow(len(startLine) + hs.WireSize() + 4)
+	b.WriteString(startLine)
+	b.WriteString("\r\n")
+	for _, h := range hs {
+		b.WriteString(h.Name)
+		b.WriteString(": ")
+		b.WriteString(h.Value)
+		b.WriteString("\r\n")
+	}
+	b.WriteString("\r\n")
+	n, err := io.WriteString(w, b.String())
+	total := int64(n)
+	if err != nil {
+		return total, err
+	}
+	if len(body) > 0 {
+		m, err := w.Write(body)
+		total += int64(m)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ReadRequest parses one request from br using lim.
+func ReadRequest(br *bufio.Reader, lim Limits) (*Request, error) {
+	line, hdrBytes, err := readLine(br, lim.header())
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" || !strings.HasPrefix(parts[2], "HTTP/") {
+		return nil, fmt.Errorf("%w: %q", ErrMalformedStartLine, line)
+	}
+	req := &Request{Method: parts[0], Target: parts[1], Proto: parts[2]}
+	req.Headers, err = readHeaders(br, lim.header()-hdrBytes)
+	if err != nil {
+		return nil, err
+	}
+	req.Body, err = readBody(br, req.Headers, lim, false, -1)
+	if err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// ReadResponse parses one response from br. Responses without a
+// Content-Length are read until EOF (HTTP/1.1 close-delimited framing).
+func ReadResponse(br *bufio.Reader, lim Limits) (*Response, error) {
+	resp, _, err := readResponse(br, lim, -1)
+	return resp, err
+}
+
+// ReadResponseLimited parses a response but stops consuming the body
+// after maxBody payload bytes, returning truncated=true when the body
+// was cut short. This models a proxy (Azure in §V-A) that closes its
+// back-to-origin connection once it has seen enough payload.
+func ReadResponseLimited(br *bufio.Reader, lim Limits, maxBody int64) (resp *Response, truncated bool, err error) {
+	return readResponse(br, lim, maxBody)
+}
+
+func readResponse(br *bufio.Reader, lim Limits, maxBody int64) (*Response, bool, error) {
+	line, hdrBytes, err := readLine(br, lim.header())
+	if err != nil {
+		return nil, false, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return nil, false, fmt.Errorf("%w: %q", ErrMalformedStartLine, line)
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil || code < 100 || code > 999 {
+		return nil, false, fmt.Errorf("%w: status %q", ErrMalformedStartLine, parts[1])
+	}
+	resp := &Response{Proto: parts[0], StatusCode: code}
+	if len(parts) == 3 {
+		resp.Reason = parts[2]
+	}
+	resp.Headers, err = readHeaders(br, lim.header()-hdrBytes)
+	if err != nil {
+		return nil, false, err
+	}
+	if !statusAllowsBody(code) {
+		return resp, false, nil
+	}
+	resp.Body, err = readBody(br, resp.Headers, lim, true, maxBody)
+	truncated := errors.Is(err, errTruncated)
+	if truncated {
+		err = nil
+	}
+	return resp, truncated, err
+}
+
+var errTruncated = errors.New("httpwire: body truncated at read limit")
+
+func statusAllowsBody(code int) bool {
+	return code >= 200 && code != 204 && code != 304
+}
+
+func readBody(br *bufio.Reader, hs Headers, lim Limits, untilEOF bool, maxBody int64) ([]byte, error) {
+	if te, ok := hs.Get("Transfer-Encoding"); ok && strings.Contains(strings.ToLower(te), "chunked") {
+		return readChunkedBody(br, lim, maxBody)
+	}
+	if cl, ok := hs.Get("Content-Length"); ok {
+		n, err := strconv.ParseInt(strings.TrimSpace(cl), 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("%w: Content-Length %q", ErrMalformedHeader, cl)
+		}
+		if n > lim.body() {
+			return nil, ErrBodyTooLarge
+		}
+		want := n
+		truncated := false
+		if maxBody >= 0 && maxBody < want {
+			want = maxBody
+			truncated = true
+		}
+		body := make([]byte, want)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return body, fmt.Errorf("httpwire: short body: %w", err)
+		}
+		if truncated {
+			return body, errTruncated
+		}
+		return body, nil
+	}
+	if !untilEOF {
+		return nil, nil // requests without Content-Length have no body
+	}
+	limit := lim.body() + 1
+	if maxBody >= 0 && maxBody+1 < limit {
+		limit = maxBody + 1
+	}
+	body, err := io.ReadAll(io.LimitReader(br, limit))
+	if err != nil {
+		return body, err
+	}
+	if maxBody >= 0 && int64(len(body)) > maxBody {
+		return body[:maxBody], errTruncated
+	}
+	if int64(len(body)) > lim.body() {
+		return nil, ErrBodyTooLarge
+	}
+	return body, nil
+}
+
+// readChunkedBody parses a chunked transfer coding (RFC 7230 §4.1):
+// hex-size lines, chunk data, a zero-size terminator and an optional
+// trailer section (discarded). Real-world origins stream this way, so
+// the TCP demo tools can front servers we did not write.
+func readChunkedBody(br *bufio.Reader, lim Limits, maxBody int64) ([]byte, error) {
+	var body []byte
+	for {
+		line, _, err := readLine(br, 4096)
+		if err != nil {
+			return body, fmt.Errorf("httpwire: chunk size line: %w", err)
+		}
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i] // drop chunk extensions
+		}
+		size, err := strconv.ParseInt(strings.TrimSpace(line), 16, 64)
+		if err != nil || size < 0 {
+			return body, fmt.Errorf("%w: chunk size %q", ErrMalformedHeader, line)
+		}
+		if size == 0 {
+			// Discard any trailers up to the blank line.
+			for {
+				t, _, err := readLine(br, lim.header())
+				if err != nil {
+					return body, err
+				}
+				if t == "" {
+					return body, nil
+				}
+			}
+		}
+		if int64(len(body))+size > lim.body() {
+			return nil, ErrBodyTooLarge
+		}
+		want := size
+		if maxBody >= 0 && int64(len(body))+size > maxBody {
+			want = maxBody - int64(len(body))
+		}
+		chunk := make([]byte, want)
+		if _, err := io.ReadFull(br, chunk); err != nil {
+			return body, fmt.Errorf("httpwire: short chunk: %w", err)
+		}
+		body = append(body, chunk...)
+		if want < size {
+			return body, errTruncated
+		}
+		// Trailing CRLF after the chunk data.
+		if _, _, err := readLine(br, 16); err != nil {
+			return body, err
+		}
+	}
+}
+
+// WriteChunked serializes a response using chunked transfer coding with
+// the given chunk size, for tests that exercise the chunked read path.
+func (r *Response) WriteChunked(w io.Writer, chunkSize int) (int64, error) {
+	if chunkSize <= 0 {
+		chunkSize = 4096
+	}
+	hs := r.Headers.Clone()
+	hs.Del("Content-Length")
+	hs.Set("Transfer-Encoding", "chunked")
+	line := r.Proto + " " + strconv.Itoa(r.StatusCode) + " " + r.Reason
+	total, err := writeMessage(w, line, hs, nil)
+	if err != nil {
+		return total, err
+	}
+	for off := 0; off < len(r.Body); off += chunkSize {
+		end := off + chunkSize
+		if end > len(r.Body) {
+			end = len(r.Body)
+		}
+		n, err := fmt.Fprintf(w, "%x\r\n", end-off)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+		m, err := w.Write(r.Body[off:end])
+		total += int64(m)
+		if err != nil {
+			return total, err
+		}
+		n, err = io.WriteString(w, "\r\n")
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	n, err := io.WriteString(w, "0\r\n\r\n")
+	total += int64(n)
+	return total, err
+}
+
+// readLine reads one CRLF- (or LF-) terminated line, bounded by max bytes.
+// It returns the line without its terminator and the bytes consumed.
+func readLine(br *bufio.Reader, max int) (string, int, error) {
+	line, err := br.ReadString('\n')
+	consumed := len(line)
+	if err != nil {
+		if err == io.EOF && line != "" {
+			return "", consumed, io.ErrUnexpectedEOF
+		}
+		return "", consumed, err
+	}
+	if consumed > max {
+		return "", consumed, ErrHeaderTooLarge
+	}
+	line = strings.TrimRight(line, "\r\n")
+	return line, consumed, nil
+}
+
+func readHeaders(br *bufio.Reader, budget int) (Headers, error) {
+	var hs Headers
+	for {
+		line, n, err := readLine(br, budget)
+		if err != nil {
+			return nil, err
+		}
+		budget -= n
+		if budget < 0 {
+			return nil, ErrHeaderTooLarge
+		}
+		if line == "" {
+			return hs, nil
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon <= 0 {
+			return nil, fmt.Errorf("%w: %q", ErrMalformedHeader, line)
+		}
+		name := line[:colon]
+		if strings.ContainsAny(name, " \t") {
+			return nil, fmt.Errorf("%w: whitespace in field name %q", ErrMalformedHeader, name)
+		}
+		hs = append(hs, Header{Name: name, Value: strings.TrimSpace(line[colon+1:])})
+	}
+}

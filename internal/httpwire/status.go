@@ -1,0 +1,64 @@
+package httpwire
+
+// Status codes used by the range-request machinery.
+const (
+	StatusOK                  = 200
+	StatusPartialContent      = 206
+	StatusBadRequest          = 400
+	StatusNotFound            = 404
+	StatusRequestURITooLong   = 414
+	StatusRangeNotSatisfiable = 416
+	StatusHeaderTooLarge      = 431
+	StatusInternalServerError = 500
+	StatusBadGateway          = 502
+)
+
+// ReasonPhrase returns the canonical reason phrase for a status code.
+// Note the paper's Fig 2 shows CDNs answering "206 OK"; we use the
+// RFC 7233 phrase "Partial Content".
+func ReasonPhrase(code int) string {
+	switch code {
+	case 100:
+		return "Continue"
+	case StatusOK:
+		return "OK"
+	case 201:
+		return "Created"
+	case 204:
+		return "No Content"
+	case StatusPartialContent:
+		return "Partial Content"
+	case 301:
+		return "Moved Permanently"
+	case 302:
+		return "Found"
+	case 304:
+		return "Not Modified"
+	case StatusBadRequest:
+		return "Bad Request"
+	case 403:
+		return "Forbidden"
+	case StatusNotFound:
+		return "Not Found"
+	case 405:
+		return "Method Not Allowed"
+	case 413:
+		return "Payload Too Large"
+	case StatusRequestURITooLong:
+		return "URI Too Long"
+	case StatusRangeNotSatisfiable:
+		return "Range Not Satisfiable"
+	case StatusHeaderTooLarge:
+		return "Request Header Fields Too Large"
+	case StatusInternalServerError:
+		return "Internal Server Error"
+	case StatusBadGateway:
+		return "Bad Gateway"
+	case 503:
+		return "Service Unavailable"
+	case 504:
+		return "Gateway Timeout"
+	default:
+		return "Unknown"
+	}
+}

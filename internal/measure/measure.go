@@ -1,0 +1,93 @@
+// Package measure computes the paper's measurement quantities:
+// per-segment traffic deltas and amplification factors (the ratio of
+// victim-side response traffic to attacker-side response traffic).
+package measure
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// Amplification is one attack measurement: the response traffic on the
+// victim segment versus the attacker segment.
+type Amplification struct {
+	VictimBytes   int64 // e.g. cdn-origin (SBR) or fcdn-bcdn (OBR) response bytes
+	AttackerBytes int64 // e.g. client-cdn response bytes
+}
+
+// Factor returns VictimBytes / AttackerBytes, or 0 when the attacker
+// received nothing.
+func (a Amplification) Factor() float64 {
+	if a.AttackerBytes <= 0 {
+		return 0
+	}
+	return float64(a.VictimBytes) / float64(a.AttackerBytes)
+}
+
+// String renders the measurement the way Table IV/V rows read.
+func (a Amplification) String() string {
+	return fmt.Sprintf("victim=%dB attacker=%dB factor=%.2f", a.VictimBytes, a.AttackerBytes, a.Factor())
+}
+
+// Probe snapshots segments before an attack run so the delta can be
+// attributed to that run alone.
+type Probe struct {
+	victim   *netsim.Segment
+	attacker *netsim.Segment
+	v0, a0   netsim.Traffic
+	vw0, aw0 netsim.Traffic
+}
+
+// NewProbe starts measuring the two segments.
+func NewProbe(victim, attacker *netsim.Segment) *Probe {
+	return &Probe{
+		victim:   victim,
+		attacker: attacker,
+		v0:       victim.Traffic(),
+		a0:       attacker.Traffic(),
+		vw0:      victim.WireTraffic(),
+		aw0:      attacker.WireTraffic(),
+	}
+}
+
+// Delta returns the response-byte amplification accumulated since the
+// probe was created, at application level.
+func (p *Probe) Delta() Amplification {
+	v, a := p.victim.Traffic(), p.attacker.Traffic()
+	return Amplification{
+		VictimBytes:   v.Down - p.v0.Down,
+		AttackerBytes: a.Down - p.a0.Down,
+	}
+}
+
+// WireDelta is Delta at packet-capture level (framing and handshake
+// overhead included), matching how the paper measures Table V.
+func (p *Probe) WireDelta() Amplification {
+	v, a := p.victim.WireTraffic(), p.attacker.WireTraffic()
+	return Amplification{
+		VictimBytes:   v.Down - p.vw0.Down,
+		AttackerBytes: a.Down - p.aw0.Down,
+	}
+}
+
+// RequestDelta returns the request-direction byte deltas (up-traffic),
+// used to confirm attack requests are small.
+func (p *Probe) RequestDelta() (victimUp, attackerUp int64) {
+	return p.victim.Traffic().Up - p.v0.Up, p.attacker.Traffic().Up - p.a0.Up
+}
+
+// FormatBytes renders a byte count with binary-ish units the way the
+// paper quotes sizes (1707B, 12MB, …).
+func FormatBytes(n int64) string {
+	switch {
+	case n < 10_000:
+		return fmt.Sprintf("%dB", n)
+	case n < 10_000_000:
+		return fmt.Sprintf("%.1fKB", float64(n)/1000)
+	case n < 10_000_000_000:
+		return fmt.Sprintf("%.1fMB", float64(n)/1e6)
+	default:
+		return fmt.Sprintf("%.1fGB", float64(n)/1e9)
+	}
+}

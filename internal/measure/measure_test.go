@@ -1,0 +1,102 @@
+package measure
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+func TestFactor(t *testing.T) {
+	tests := []struct {
+		a    Amplification
+		want float64
+	}{
+		{Amplification{VictimBytes: 26214400, AttackerBytes: 608}, 43116.0},
+		{Amplification{VictimBytes: 100, AttackerBytes: 0}, 0},
+		{Amplification{VictimBytes: 0, AttackerBytes: 100}, 0},
+	}
+	for _, tt := range tests {
+		got := tt.a.Factor()
+		if diff := got - tt.want; diff > 1 || diff < -1 {
+			t.Errorf("%+v.Factor() = %.2f, want ~%.2f", tt.a, got, tt.want)
+		}
+	}
+}
+
+func TestProbeDelta(t *testing.T) {
+	victim := netsim.NewSegment("cdn-origin")
+	attacker := netsim.NewSegment("client-cdn")
+
+	// Pre-existing traffic must not count.
+	c1, s1 := netsim.Pipe(victim, 0)
+	go s1.Write(make([]byte, 100))
+	buf := make([]byte, 100)
+	readFull(t, c1, buf)
+
+	p := NewProbe(victim, attacker)
+	c2, s2 := netsim.Pipe(victim, 0)
+	go s2.Write(make([]byte, 5000))
+	readFull(t, c2, make([]byte, 5000))
+	c3, s3 := netsim.Pipe(attacker, 0)
+	go s3.Write(make([]byte, 50))
+	readFull(t, c3, make([]byte, 50))
+
+	d := p.Delta()
+	if d.VictimBytes != 5000 || d.AttackerBytes != 50 {
+		t.Fatalf("Delta = %+v", d)
+	}
+	if f := d.Factor(); f != 100 {
+		t.Errorf("Factor = %v", f)
+	}
+	if !strings.Contains(d.String(), "factor=100.00") {
+		t.Errorf("String = %q", d.String())
+	}
+}
+
+func TestProbeRequestDelta(t *testing.T) {
+	victim := netsim.NewSegment("v")
+	attacker := netsim.NewSegment("a")
+	p := NewProbe(victim, attacker)
+	c, s := netsim.Pipe(attacker, 0)
+	done := make(chan struct{})
+	go func() { readFull(t, s, make([]byte, 30)); close(done) }()
+	if _, err := c.Write(make([]byte, 30)); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	vu, au := p.RequestDelta()
+	if vu != 0 || au != 30 {
+		t.Errorf("RequestDelta = %d,%d", vu, au)
+	}
+}
+
+func readFull(t *testing.T, r interface{ Read([]byte) (int, error) }, buf []byte) {
+	t.Helper()
+	for n := 0; n < len(buf); {
+		m, err := r.Read(buf[n:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += m
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	tests := []struct {
+		n    int64
+		want string
+	}{
+		{0, "0B"},
+		{1707, "1707B"},
+		{86745, "86.7KB"},
+		{12456915, "12.5MB"},
+		{26214400, "26.2MB"},
+		{12_000_000_000, "12.0GB"},
+	}
+	for _, tt := range tests {
+		if got := FormatBytes(tt.n); got != tt.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", tt.n, got, tt.want)
+		}
+	}
+}

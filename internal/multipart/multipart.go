@@ -1,0 +1,191 @@
+// Package multipart implements the multipart/byteranges media type
+// (RFC 7233 Appendix A) with exact-byte size accounting. A multi-range
+// 206 response carries one body part per requested range; in the OBR
+// attack the response contains n overlapping parts and its size — which
+// this package can compute without building the message — is what gets
+// amplified on the fcdn-bcdn segment.
+package multipart
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/httpwire"
+	"repro/internal/ranges"
+)
+
+// DefaultBoundary mirrors the RFC 7233 example boundary used in the
+// paper's Fig 2 ("THIS_STRING_SEPARATES").
+const DefaultBoundary = "THIS_STRING_SEPARATES"
+
+// Part is a single byterange body part.
+type Part struct {
+	ContentType string
+	Window      ranges.Resolved
+	Extra       httpwire.Headers // vendor-specific per-part headers
+	Data        []byte
+}
+
+// Message is a whole multipart/byteranges body.
+type Message struct {
+	Boundary       string
+	CompleteLength int64 // the "/length" in each part's Content-Range
+	Parts          []Part
+}
+
+// ContentTypeValue returns the Content-Type header value announcing the
+// multipart body, e.g. "multipart/byteranges; boundary=THIS_STRING_SEPARATES".
+func (m *Message) ContentTypeValue() string {
+	return "multipart/byteranges; boundary=" + m.Boundary
+}
+
+// ParseContentTypeValue extracts the boundary from a
+// "multipart/byteranges; boundary=..." header value.
+func ParseContentTypeValue(v string) (boundary string, ok bool) {
+	const prefix = "multipart/byteranges"
+	if !strings.HasPrefix(strings.ToLower(strings.TrimSpace(v)), prefix) {
+		return "", false
+	}
+	for _, param := range strings.Split(v, ";")[1:] {
+		param = strings.TrimSpace(param)
+		if rest, found := strings.CutPrefix(param, "boundary="); found {
+			return strings.Trim(rest, `"`), rest != ""
+		}
+	}
+	return "", false
+}
+
+// partHeaderSize returns the serialized size of one part's header block:
+// dash-boundary line, Content-Type, Content-Range, extras, blank line.
+func (m *Message) partHeaderSize(p Part) int64 {
+	n := 2 + len(m.Boundary) + 2 // "--boundary\r\n"
+	n += len("Content-Type: ") + len(p.ContentType) + 2
+	n += len("Content-Range: ") + len(p.Window.ContentRange(m.CompleteLength)) + 2
+	n += p.Extra.WireSize()
+	n += 2 // blank line
+	return int64(n)
+}
+
+// EncodedSize returns the exact byte size Encode would produce, without
+// allocating the body. This is what the max-n amplification planner uses.
+func (m *Message) EncodedSize() int64 {
+	var n int64
+	for _, p := range m.Parts {
+		n += m.partHeaderSize(p) + int64(len(p.Data)) + 2 // trailing CRLF
+	}
+	n += int64(2 + len(m.Boundary) + 4) // "--boundary--\r\n"
+	return n
+}
+
+// Encode serializes the multipart body.
+func (m *Message) Encode() []byte {
+	var b bytes.Buffer
+	b.Grow(int(m.EncodedSize()))
+	for _, p := range m.Parts {
+		b.WriteString("--")
+		b.WriteString(m.Boundary)
+		b.WriteString("\r\n")
+		b.WriteString("Content-Type: ")
+		b.WriteString(p.ContentType)
+		b.WriteString("\r\n")
+		b.WriteString("Content-Range: ")
+		b.WriteString(p.Window.ContentRange(m.CompleteLength))
+		b.WriteString("\r\n")
+		for _, h := range p.Extra {
+			b.WriteString(h.Name)
+			b.WriteString(": ")
+			b.WriteString(h.Value)
+			b.WriteString("\r\n")
+		}
+		b.WriteString("\r\n")
+		b.Write(p.Data)
+		b.WriteString("\r\n")
+	}
+	b.WriteString("--")
+	b.WriteString(m.Boundary)
+	b.WriteString("--\r\n")
+	return b.Bytes()
+}
+
+// Decode errors.
+var (
+	ErrBadBoundary = errors.New("multipart: body does not start with the boundary")
+	ErrBadPart     = errors.New("multipart: malformed body part")
+)
+
+// Decode parses a multipart/byteranges body produced by Encode (or an
+// equivalent serialization) using the given boundary.
+func Decode(body []byte, boundary string) (*Message, error) {
+	m := &Message{Boundary: boundary}
+	delim := []byte("--" + boundary + "\r\n")
+	closer := []byte("--" + boundary + "--")
+	rest := body
+	for {
+		if bytes.HasPrefix(rest, closer) {
+			return m, nil
+		}
+		if !bytes.HasPrefix(rest, delim) {
+			return nil, fmt.Errorf("%w (at offset %d)", ErrBadBoundary, len(body)-len(rest))
+		}
+		rest = rest[len(delim):]
+		headerEnd := bytes.Index(rest, []byte("\r\n\r\n"))
+		if headerEnd < 0 {
+			return nil, fmt.Errorf("%w: missing header terminator", ErrBadPart)
+		}
+		var part Part
+		for _, line := range strings.Split(string(rest[:headerEnd]), "\r\n") {
+			name, value, found := strings.Cut(line, ":")
+			if !found {
+				return nil, fmt.Errorf("%w: header %q", ErrBadPart, line)
+			}
+			value = strings.TrimSpace(value)
+			switch strings.ToLower(name) {
+			case "content-type":
+				part.ContentType = value
+			case "content-range":
+				w, complete, err := parseContentRange(value)
+				if err != nil {
+					return nil, err
+				}
+				part.Window = w
+				m.CompleteLength = complete
+			default:
+				part.Extra.Add(name, value)
+			}
+		}
+		rest = rest[headerEnd+4:]
+		if int64(len(rest)) < part.Window.Length+2 {
+			return nil, fmt.Errorf("%w: truncated data", ErrBadPart)
+		}
+		part.Data = append([]byte(nil), rest[:part.Window.Length]...)
+		rest = rest[part.Window.Length:]
+		if !bytes.HasPrefix(rest, []byte("\r\n")) {
+			return nil, fmt.Errorf("%w: missing data terminator", ErrBadPart)
+		}
+		rest = rest[2:]
+		m.Parts = append(m.Parts, part)
+	}
+}
+
+// parseContentRange parses "bytes a-b/L".
+func parseContentRange(v string) (ranges.Resolved, int64, error) {
+	var first, last, complete int64
+	if _, err := fmt.Sscanf(v, "bytes %d-%d/%d", &first, &last, &complete); err != nil {
+		return ranges.Resolved{}, 0, fmt.Errorf("%w: Content-Range %q", ErrBadPart, v)
+	}
+	if last < first || first < 0 {
+		return ranges.Resolved{}, 0, fmt.Errorf("%w: Content-Range %q", ErrBadPart, v)
+	}
+	return ranges.Resolved{Offset: first, Length: last - first + 1}, complete, nil
+}
+
+// PartOverhead returns the non-payload bytes one part adds for a window
+// resolved against a resource of completeLength: boundary line, part
+// headers, blank line and trailing CRLF. Useful for closed-form
+// amplification estimates (fcdn-bcdn traffic ≈ n·(payload+overhead)).
+func PartOverhead(boundary, contentType string, w ranges.Resolved, completeLength int64, extra httpwire.Headers) int64 {
+	m := Message{Boundary: boundary, CompleteLength: completeLength}
+	return m.partHeaderSize(Part{ContentType: contentType, Window: w, Extra: extra}) + 2
+}

@@ -1,0 +1,213 @@
+package multipart
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ranges"
+)
+
+func twoPartMessage() *Message {
+	return &Message{
+		Boundary:       DefaultBoundary,
+		CompleteLength: 1000,
+		Parts: []Part{
+			{ContentType: "image/jpeg", Window: ranges.Resolved{Offset: 1, Length: 1}, Data: []byte{0xff}},
+			{ContentType: "image/jpeg", Window: ranges.Resolved{Offset: 998, Length: 2}, Data: []byte{0xd9, 0x00}},
+		},
+	}
+}
+
+func TestEncodeMatchesPaperFigure(t *testing.T) {
+	// Fig 2d: multipart response to "Range: bytes=1-1,-2" on a 1000-byte
+	// resource.
+	body := string(twoPartMessage().Encode())
+	for _, want := range []string{
+		"--THIS_STRING_SEPARATES\r\n",
+		"Content-Type: image/jpeg\r\n",
+		"Content-Range: bytes 1-1/1000\r\n",
+		"Content-Range: bytes 998-999/1000\r\n",
+		"--THIS_STRING_SEPARATES--\r\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("encoded body missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestEncodedSizeMatchesEncode(t *testing.T) {
+	m := twoPartMessage()
+	if got, want := m.EncodedSize(), int64(len(m.Encode())); got != want {
+		t.Errorf("EncodedSize = %d, len(Encode) = %d", got, want)
+	}
+}
+
+func TestContentTypeValueRoundTrip(t *testing.T) {
+	m := &Message{Boundary: "abc123"}
+	v := m.ContentTypeValue()
+	if v != "multipart/byteranges; boundary=abc123" {
+		t.Errorf("ContentTypeValue = %q", v)
+	}
+	b, ok := ParseContentTypeValue(v)
+	if !ok || b != "abc123" {
+		t.Errorf("ParseContentTypeValue = %q,%v", b, ok)
+	}
+}
+
+func TestParseContentTypeValueRejects(t *testing.T) {
+	tests := []string{
+		"image/jpeg",
+		"multipart/byteranges",
+		"multipart/byteranges; charset=utf8",
+		"multipart/byteranges; boundary=",
+	}
+	for _, v := range tests {
+		if b, ok := ParseContentTypeValue(v); ok {
+			t.Errorf("ParseContentTypeValue(%q) = %q, want rejection", v, b)
+		}
+	}
+}
+
+func TestParseContentTypeValueQuoted(t *testing.T) {
+	b, ok := ParseContentTypeValue(`multipart/byteranges; boundary="xyz"`)
+	if !ok || b != "xyz" {
+		t.Errorf("got %q,%v", b, ok)
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	m := twoPartMessage()
+	got, err := Decode(m.Encode(), m.Boundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Parts) != 2 || got.CompleteLength != 1000 {
+		t.Fatalf("decoded %d parts, complete=%d", len(got.Parts), got.CompleteLength)
+	}
+	for i := range got.Parts {
+		if got.Parts[i].Window != m.Parts[i].Window {
+			t.Errorf("part %d window = %+v, want %+v", i, got.Parts[i].Window, m.Parts[i].Window)
+		}
+		if !bytes.Equal(got.Parts[i].Data, m.Parts[i].Data) {
+			t.Errorf("part %d data mismatch", i)
+		}
+		if got.Parts[i].ContentType != "image/jpeg" {
+			t.Errorf("part %d content type = %q", i, got.Parts[i].ContentType)
+		}
+	}
+}
+
+func TestDecodeWithExtraHeaders(t *testing.T) {
+	m := twoPartMessage()
+	m.Parts[0].Extra.Add("X-Vendor", "azure")
+	got, err := Decode(m.Encode(), m.Boundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := got.Parts[0].Extra.Get("X-Vendor"); !ok || v != "azure" {
+		t.Errorf("extra header = %q,%v", v, ok)
+	}
+	if got.EncodedSize() != m.EncodedSize() {
+		t.Errorf("size after round trip: %d != %d", got.EncodedSize(), m.EncodedSize())
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	good := twoPartMessage().Encode()
+	tests := []struct {
+		name string
+		body []byte
+	}{
+		{"wrong-boundary-prefix", []byte("--WRONG\r\n")},
+		{"missing-header-end", []byte("--THIS_STRING_SEPARATES\r\nContent-Type: x\r\n")},
+		{"truncated-data", good[:len(good)-30]},
+		{"garbage", []byte("hello")},
+		{"bad-content-range", []byte("--B\r\nContent-Range: bytes x-y/z\r\n\r\n\r\n--B--\r\n")},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			boundary := DefaultBoundary
+			if tt.name == "bad-content-range" {
+				boundary = "B"
+			}
+			if _, err := Decode(tt.body, boundary); err == nil {
+				t.Error("Decode succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestOBRShapeNPartSize(t *testing.T) {
+	// n overlapping "0-" parts of a 1 KiB resource: the encoded size must
+	// be n*(1024+overhead)+closer, i.e. roughly n times the resource.
+	const n = 100
+	data := bytes.Repeat([]byte{0xab}, 1024)
+	m := &Message{Boundary: DefaultBoundary, CompleteLength: 1024}
+	for i := 0; i < n; i++ {
+		m.Parts = append(m.Parts, Part{
+			ContentType: "application/octet-stream",
+			Window:      ranges.Resolved{Offset: 0, Length: 1024},
+			Data:        data,
+		})
+	}
+	size := m.EncodedSize()
+	if size < n*1024 {
+		t.Fatalf("EncodedSize = %d, want >= %d", size, n*1024)
+	}
+	perPart := PartOverhead(DefaultBoundary, "application/octet-stream",
+		ranges.Resolved{Offset: 0, Length: 1024}, 1024, nil) + 1024
+	want := n*perPart + int64(2+len(DefaultBoundary)+4)
+	if size != want {
+		t.Errorf("EncodedSize = %d, closed form = %d", size, want)
+	}
+	if int64(len(m.Encode())) != size {
+		t.Errorf("Encode length mismatch")
+	}
+}
+
+func TestEncodedSizeEmptyMessage(t *testing.T) {
+	m := &Message{Boundary: "B"}
+	if got, want := m.EncodedSize(), int64(len(m.Encode())); got != want {
+		t.Errorf("empty message: EncodedSize=%d len(Encode)=%d", got, want)
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(chunks [][]byte, complete uint16) bool {
+		m := &Message{Boundary: "bnd", CompleteLength: int64(complete) + 1<<16}
+		var off int64
+		for _, c := range chunks {
+			if len(c) == 0 {
+				continue
+			}
+			m.Parts = append(m.Parts, Part{
+				ContentType: "application/octet-stream",
+				Window:      ranges.Resolved{Offset: off, Length: int64(len(c))},
+				Data:        c,
+			})
+			off += int64(len(c))
+		}
+		enc := m.Encode()
+		if int64(len(enc)) != m.EncodedSize() {
+			return false
+		}
+		got, err := Decode(enc, "bnd")
+		if err != nil {
+			return false
+		}
+		if len(got.Parts) != len(m.Parts) {
+			return false
+		}
+		for i := range got.Parts {
+			if !bytes.Equal(got.Parts[i].Data, m.Parts[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

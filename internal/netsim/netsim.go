@@ -1,0 +1,333 @@
+// Package netsim provides the instrumented in-memory transport the
+// experiments run over. Every connection belongs to a named Segment
+// (client-cdn, cdn-origin, fcdn-bcdn, bcdn-origin); the segment counts
+// the bytes that actually transit each direction, which is the quantity
+// the paper's amplification factors are ratios of.
+//
+// Connections are bounded pipes: a writer blocks once the in-flight
+// window is full, so closing the read side mid-transfer stops the peer
+// after roughly one window of extra bytes — the same "a little larger
+// than 8MB" effect the paper observes when Azure aborts its first
+// back-to-origin connection.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWindow is the default per-direction in-flight byte window,
+// standing in for the TCP receive window plus path buffering.
+const DefaultWindow = 256 << 10
+
+// Errors returned by pipe endpoints and the network.
+var (
+	ErrClosed        = errors.New("netsim: connection closed")
+	ErrAddrInUse     = errors.New("netsim: address already in use")
+	ErrNoListener    = errors.New("netsim: no listener at address")
+	ErrListenerClose = errors.New("netsim: listener closed")
+)
+
+// Traffic is a snapshot of bytes transferred on a segment.
+type Traffic struct {
+	Up   int64 // client -> server (requests)
+	Down int64 // server -> client (responses)
+}
+
+// Wire-framing estimate constants, used to approximate what a packet
+// capture on the segment would record (the paper measures some
+// experiments at capture level): TCP/IP/Ethernet framing per MSS-sized
+// segment plus connection setup/teardown packets.
+const (
+	mssBytes           = 1448 // payload per full-size TCP segment
+	perPacketOverhead  = 66   // Ethernet+IP+TCP headers (with timestamps)
+	perConnOverheadDir = 200  // SYN/ACK/FIN exchange, per direction
+)
+
+// Segment aggregates traffic for one hop of the topology.
+type Segment struct {
+	Name  string
+	up    atomic.Int64
+	down  atomic.Int64
+	conns atomic.Int64
+}
+
+// NewSegment returns a named, zeroed segment.
+func NewSegment(name string) *Segment { return &Segment{Name: name} }
+
+// Traffic returns the current byte counts.
+func (s *Segment) Traffic() Traffic {
+	if s == nil {
+		return Traffic{}
+	}
+	return Traffic{Up: s.up.Load(), Down: s.down.Load()}
+}
+
+// Conns returns the number of connections opened on the segment.
+func (s *Segment) Conns() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.conns.Load()
+}
+
+// WireTraffic estimates what a packet capture on this segment would
+// record: application bytes plus per-packet framing and per-connection
+// handshake overhead. The paper's Table V byte counts (1676B on the
+// bcdn-origin connection for a 1KB resource) are capture-level, so the
+// OBR experiment reports this estimate.
+func (s *Segment) WireTraffic() Traffic {
+	if s == nil {
+		return Traffic{}
+	}
+	t := s.Traffic()
+	conns := s.conns.Load()
+	return Traffic{
+		Up:   frame(t.Up, conns),
+		Down: frame(t.Down, conns),
+	}
+}
+
+func frame(appBytes, conns int64) int64 {
+	packets := (appBytes + mssBytes - 1) / mssBytes
+	return appBytes + packets*perPacketOverhead + conns*perConnOverheadDir
+}
+
+// Reset zeroes the counters (between experiment iterations).
+func (s *Segment) Reset() {
+	if s == nil {
+		return
+	}
+	s.up.Store(0)
+	s.down.Store(0)
+	s.conns.Store(0)
+}
+
+// AddUp adds client->server bytes (for external transports that count
+// their own traffic, e.g. the TCP bridge).
+func (s *Segment) AddUp(n int) { s.addUp(n) }
+
+// AddConn records a connection opened by an external transport.
+func (s *Segment) AddConn() {
+	if s != nil {
+		s.conns.Add(1)
+	}
+}
+
+// AddDown adds server->client bytes.
+func (s *Segment) AddDown(n int) { s.addDown(n) }
+
+func (s *Segment) addUp(n int) {
+	if s != nil && n > 0 {
+		s.up.Add(int64(n))
+	}
+}
+
+func (s *Segment) addDown(n int) {
+	if s != nil && n > 0 {
+		s.down.Add(int64(n))
+	}
+}
+
+// Conn is one endpoint of a simulated connection.
+type Conn interface {
+	io.Reader
+	io.Writer
+	io.Closer
+}
+
+// halfPipe is one direction of a connection: a bounded byte queue.
+type halfPipe struct {
+	mu          sync.Mutex
+	readable    sync.Cond
+	writable    sync.Cond
+	buf         []byte
+	window      int
+	writeClosed bool
+	readClosed  bool
+	count       func(int) // byte counter hook, called with bytes accepted
+}
+
+func newHalfPipe(window int, count func(int)) *halfPipe {
+	h := &halfPipe{window: window, count: count}
+	h.readable.L = &h.mu
+	h.writable.L = &h.mu
+	return h
+}
+
+func (h *halfPipe) write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		h.mu.Lock()
+		for len(h.buf) >= h.window && !h.writeClosed && !h.readClosed {
+			h.writable.Wait()
+		}
+		if h.writeClosed || h.readClosed {
+			h.mu.Unlock()
+			return total, ErrClosed
+		}
+		room := h.window - len(h.buf)
+		n := len(p)
+		if n > room {
+			n = room
+		}
+		h.buf = append(h.buf, p[:n]...)
+		h.count(n)
+		total += n
+		p = p[n:]
+		h.readable.Broadcast()
+		h.mu.Unlock()
+	}
+	return total, nil
+}
+
+func (h *halfPipe) read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for len(h.buf) == 0 {
+		if h.readClosed {
+			return 0, ErrClosed
+		}
+		if h.writeClosed {
+			return 0, io.EOF
+		}
+		h.readable.Wait()
+	}
+	n := copy(p, h.buf)
+	h.buf = h.buf[n:]
+	if len(h.buf) == 0 {
+		h.buf = nil // release the backing array of drained windows
+	}
+	h.writable.Broadcast()
+	return n, nil
+}
+
+func (h *halfPipe) closeWrite() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.writeClosed = true
+	h.readable.Broadcast()
+	h.writable.Broadcast()
+}
+
+func (h *halfPipe) closeRead() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.readClosed = true
+	h.buf = nil
+	h.readable.Broadcast()
+	h.writable.Broadcast()
+}
+
+// endpoint is one side of a Pipe.
+type endpoint struct {
+	in  *halfPipe // peer writes here, we read
+	out *halfPipe // we write here, peer reads
+}
+
+func (e *endpoint) Read(p []byte) (int, error)  { return e.in.read(p) }
+func (e *endpoint) Write(p []byte) (int, error) { return e.out.write(p) }
+
+// Close tears down both directions. The peer observes EOF on data it
+// has not yet drained and ErrClosed on writes.
+func (e *endpoint) Close() error {
+	e.out.closeWrite()
+	e.in.closeRead()
+	return nil
+}
+
+var _ Conn = (*endpoint)(nil)
+
+// Pipe creates a connection on seg with the given per-direction window
+// (0 means DefaultWindow). Bytes written by the client end count as
+// seg.Up; bytes written by the server end count as seg.Down.
+func Pipe(seg *Segment, window int) (client, server Conn) {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	if seg != nil {
+		seg.conns.Add(1)
+	}
+	c2s := newHalfPipe(window, seg.addUp)
+	s2c := newHalfPipe(window, seg.addDown)
+	return &endpoint{in: s2c, out: c2s}, &endpoint{in: c2s, out: s2c}
+}
+
+// Network is an in-process address space of listeners.
+type Network struct {
+	mu        sync.Mutex
+	listeners map[string]*Listener
+	Window    int // per-connection window; 0 means DefaultWindow
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{listeners: make(map[string]*Listener)}
+}
+
+// Listener accepts simulated connections at one address.
+type Listener struct {
+	addr      string
+	net       *Network
+	ch        chan Conn
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// Listen claims addr.
+func (n *Network) Listen(addr string) (*Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.listeners[addr]; exists {
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
+	}
+	l := &Listener{addr: addr, net: n, ch: make(chan Conn), done: make(chan struct{})}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to addr, attributing traffic to seg. The returned Conn
+// is the client end; the server end is delivered to the listener.
+func (n *Network) Dial(addr string, seg *Segment) (Conn, error) {
+	n.mu.Lock()
+	l := n.listeners[addr]
+	window := n.Window
+	n.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoListener, addr)
+	}
+	client, server := Pipe(seg, window)
+	select {
+	case l.ch <- server:
+		return client, nil
+	case <-l.done:
+		return nil, fmt.Errorf("%w: %s", ErrNoListener, addr)
+	}
+}
+
+// Accept blocks for the next inbound connection.
+func (l *Listener) Accept() (Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, ErrListenerClose
+	}
+}
+
+// Addr returns the listen address.
+func (l *Listener) Addr() string { return l.addr }
+
+// Close releases the address and wakes Accept and pending Dials.
+func (l *Listener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.addr)
+		l.net.mu.Unlock()
+	})
+	return nil
+}

@@ -1,0 +1,345 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPipeBasicTransfer(t *testing.T) {
+	seg := NewSegment("client-cdn")
+	client, server := Pipe(seg, 0)
+	msg := []byte("GET / HTTP/1.1\r\n\r\n")
+
+	done := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 64)
+		n, err := server.Read(buf)
+		if err != nil {
+			t.Errorf("server read: %v", err)
+		}
+		done <- buf[:n]
+	}()
+	if _, err := client.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-done; !bytes.Equal(got, msg) {
+		t.Errorf("server got %q", got)
+	}
+	tr := seg.Traffic()
+	if tr.Up != int64(len(msg)) || tr.Down != 0 {
+		t.Errorf("traffic = %+v, want Up=%d Down=0", tr, len(msg))
+	}
+}
+
+func TestPipeBidirectionalCounting(t *testing.T) {
+	seg := NewSegment("s")
+	client, server := Pipe(seg, 0)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 10)
+		if _, err := io.ReadFull(server, buf); err != nil {
+			t.Errorf("server read: %v", err)
+			return
+		}
+		if _, err := server.Write(make([]byte, 1000)); err != nil {
+			t.Errorf("server write: %v", err)
+		}
+	}()
+	if _, err := client.Write(make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(io.LimitReader(client, 1000))
+	if err != nil || len(got) != 1000 {
+		t.Fatalf("client read %d bytes, err %v", len(got), err)
+	}
+	wg.Wait()
+	tr := seg.Traffic()
+	if tr.Up != 10 || tr.Down != 1000 {
+		t.Errorf("traffic = %+v, want {10 1000}", tr)
+	}
+}
+
+func TestPipeEOFAfterClose(t *testing.T) {
+	seg := NewSegment("s")
+	client, server := Pipe(seg, 0)
+	if _, err := client.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	got, err := io.ReadAll(server)
+	if err != nil || string(got) != "abc" {
+		t.Errorf("ReadAll = %q, %v", got, err)
+	}
+	if _, err := server.Write([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("write after peer close: %v, want ErrClosed", err)
+	}
+}
+
+func TestPipeWriterBlocksOnWindow(t *testing.T) {
+	seg := NewSegment("s")
+	client, server := Pipe(seg, 1024)
+	wrote := make(chan int64, 1)
+	go func() {
+		n, _ := io.Copy(struct{ io.Writer }{client}, bytes.NewReader(make([]byte, 1<<20)))
+		wrote <- n
+	}()
+	// Give the writer time to fill the window; it must stall near 1024.
+	time.Sleep(50 * time.Millisecond)
+	if up := seg.Traffic().Up; up > 8*1024 {
+		t.Fatalf("writer ran ahead of window: %d bytes in flight", up)
+	}
+	// Drain everything; writer must complete.
+	go io.Copy(io.Discard, server)
+	if n := <-wrote; n != 1<<20 {
+		t.Fatalf("writer sent %d bytes", n)
+	}
+	if up := seg.Traffic().Up; up != 1<<20 {
+		t.Errorf("counted %d bytes", up)
+	}
+}
+
+func TestEarlyCloseStopsWriterWithinWindow(t *testing.T) {
+	// The Azure §V-A behaviour: the reader closes after consuming 8 KiB of
+	// a much larger transfer; the writer must stop within ~one window.
+	const window = 4096
+	seg := NewSegment("cdn-origin")
+	client, server := Pipe(seg, window)
+
+	writerDone := make(chan error, 1)
+	go func() {
+		_, err := server.Write(make([]byte, 1<<20))
+		writerDone <- err
+	}()
+	if _, err := io.ReadFull(client, make([]byte, 8192)); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	if err := <-writerDone; !errors.Is(err, ErrClosed) {
+		t.Errorf("writer err = %v, want ErrClosed", err)
+	}
+	down := seg.Traffic().Down
+	if down < 8192 || down > 8192+2*window {
+		t.Errorf("transferred %d bytes, want within one window past 8192", down)
+	}
+}
+
+func TestSegmentReset(t *testing.T) {
+	seg := NewSegment("s")
+	seg.addUp(10)
+	seg.addDown(20)
+	seg.Reset()
+	if tr := seg.Traffic(); tr != (Traffic{}) {
+		t.Errorf("after Reset: %+v", tr)
+	}
+}
+
+func TestNilSegmentSafe(t *testing.T) {
+	var seg *Segment
+	seg.addUp(1)
+	seg.addDown(1)
+	seg.Reset()
+	if tr := seg.Traffic(); tr != (Traffic{}) {
+		t.Errorf("nil segment traffic: %+v", tr)
+	}
+	client, server := Pipe(nil, 0)
+	go server.Write([]byte("ok"))
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(client, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkDialAccept(t *testing.T) {
+	n := NewNetwork()
+	l, err := n.Listen("origin:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Addr() != "origin:80" {
+		t.Errorf("Addr = %q", l.Addr())
+	}
+
+	seg := NewSegment("cdn-origin")
+	acceptErr := make(chan error, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			acceptErr <- err
+			return
+		}
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			acceptErr <- err
+			return
+		}
+		_, err = conn.Write(bytes.ToUpper(buf))
+		acceptErr <- err
+	}()
+
+	conn, err := n.Dial("origin:80", seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "HELLO" {
+		t.Errorf("got %q", buf)
+	}
+	if err := <-acceptErr; err != nil {
+		t.Fatal(err)
+	}
+	if tr := seg.Traffic(); tr.Up != 5 || tr.Down != 5 {
+		t.Errorf("traffic = %+v", tr)
+	}
+}
+
+func TestNetworkErrors(t *testing.T) {
+	n := NewNetwork()
+	if _, err := n.Dial("nowhere:80", nil); !errors.Is(err, ErrNoListener) {
+		t.Errorf("dial nowhere: %v", err)
+	}
+	l, err := n.Listen("a:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("a:1"); !errors.Is(err, ErrAddrInUse) {
+		t.Errorf("double listen: %v", err)
+	}
+	l.Close()
+	if _, err := n.Listen("a:1"); err != nil {
+		t.Errorf("listen after close: %v", err)
+	}
+}
+
+func TestListenerCloseWakesAccept(t *testing.T) {
+	n := NewNetwork()
+	l, _ := n.Listen("a:1")
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrListenerClose) {
+			t.Errorf("Accept err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Accept did not wake")
+	}
+	// Dial after close must not hang.
+	if _, err := n.Dial("a:1", nil); !errors.Is(err, ErrNoListener) {
+		t.Errorf("dial closed: %v", err)
+	}
+	// Double close is a no-op.
+	if err := l.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestPipeDataIntegrityProperty(t *testing.T) {
+	f := func(data []byte, windowSeed uint8) bool {
+		window := int(windowSeed)%512 + 1
+		seg := NewSegment("s")
+		client, server := Pipe(seg, window)
+		go func() {
+			client.Write(data)
+			client.Close()
+		}()
+		got, err := io.ReadAll(server)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data) && seg.Traffic().Up == int64(len(data))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentConnectionsCountIndependently(t *testing.T) {
+	n := NewNetwork()
+	l, _ := n.Listen("svc:80")
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				io.Copy(io.Discard, conn)
+			}()
+		}
+	}()
+
+	const workers = 8
+	segs := make([]*Segment, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		segs[i] = NewSegment("s")
+		wg.Add(1)
+		go func(seg *Segment, size int) {
+			defer wg.Done()
+			conn, err := n.Dial("svc:80", seg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			conn.Write(make([]byte, size))
+			conn.Close()
+		}(segs[i], (i+1)*1000)
+	}
+	wg.Wait()
+	for i, seg := range segs {
+		if up := seg.Traffic().Up; up != int64((i+1)*1000) {
+			t.Errorf("segment %d counted %d", i, up)
+		}
+	}
+}
+
+func TestWireTrafficEstimate(t *testing.T) {
+	seg := NewSegment("s")
+	client, server := Pipe(seg, 0)
+	go func() {
+		server.Write(make([]byte, 1448*2)) // exactly two MSS segments
+		server.Close()
+	}()
+	if _, err := io.ReadAll(client); err != nil {
+		t.Fatal(err)
+	}
+	wire := seg.WireTraffic()
+	// app 2896 + 2 packets * 66 + 1 conn * 200 = 3228.
+	if wire.Down != 2896+2*66+200 {
+		t.Errorf("wire down = %d, want 3228", wire.Down)
+	}
+	if seg.Conns() != 1 {
+		t.Errorf("conns = %d", seg.Conns())
+	}
+	// One more byte rolls over to a third packet.
+	seg.Reset()
+	client2, server2 := Pipe(seg, 0)
+	go func() {
+		server2.Write(make([]byte, 1448*2+1))
+		server2.Close()
+	}()
+	io.ReadAll(client2)
+	if wire := seg.WireTraffic(); wire.Down != 2897+3*66+200 {
+		t.Errorf("wire down = %d, want %d", wire.Down, 2897+3*66+200)
+	}
+}

@@ -1,0 +1,406 @@
+package origin
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/httpwire"
+	"repro/internal/multipart"
+	"repro/internal/netsim"
+	"repro/internal/resource"
+)
+
+func newTestServer(t *testing.T, rangeSupport bool) (*Server, *netsim.Network, *resource.Store) {
+	t.Helper()
+	store := resource.NewStore()
+	store.AddSynthetic("/1KB.jpg", 1000, "image/jpeg")
+	srv := NewServer(store, Config{RangeSupport: rangeSupport})
+	net := netsim.NewNetwork()
+	l, err := net.Listen("origin:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { l.Close() })
+	return srv, net, store
+}
+
+func get(t *testing.T, net *netsim.Network, rangeHeader string) *httpwire.Response {
+	t.Helper()
+	req := httpwire.NewRequest("GET", "/1KB.jpg", "example.com")
+	if rangeHeader != "" {
+		req.Headers.Add("Range", rangeHeader)
+	}
+	resp, err := Fetch(net, "origin:80", netsim.NewSegment("t"), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestFullResponse(t *testing.T) {
+	_, net, store := newTestServer(t, true)
+	resp := get(t, net, "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	res, _ := store.Get("/1KB.jpg")
+	if !bytes.Equal(resp.Body, res.Data) {
+		t.Error("body mismatch")
+	}
+	if v, _ := resp.Headers.Get("Accept-Ranges"); v != "bytes" {
+		t.Errorf("Accept-Ranges = %q", v)
+	}
+	if v, _ := resp.Headers.Get("Server"); v != ServerSoftware {
+		t.Errorf("Server = %q", v)
+	}
+	if v, _ := resp.Headers.Get("Content-Length"); v != "1000" {
+		t.Errorf("Content-Length = %q", v)
+	}
+}
+
+func TestSingleRange206(t *testing.T) {
+	// Paper Fig 2a/2c: "Range: bytes=0-0" yields a one-byte 206.
+	_, net, store := newTestServer(t, true)
+	resp := get(t, net, "bytes=0-0")
+	if resp.StatusCode != 206 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	res, _ := store.Get("/1KB.jpg")
+	if len(resp.Body) != 1 || resp.Body[0] != res.Data[0] {
+		t.Errorf("body = %v", resp.Body)
+	}
+	if v, _ := resp.Headers.Get("Content-Range"); v != "bytes 0-0/1000" {
+		t.Errorf("Content-Range = %q", v)
+	}
+	if v, _ := resp.Headers.Get("Content-Length"); v != "1" {
+		t.Errorf("Content-Length = %q", v)
+	}
+}
+
+func TestSuffixRange206(t *testing.T) {
+	_, net, store := newTestServer(t, true)
+	resp := get(t, net, "bytes=-2")
+	if resp.StatusCode != 206 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	res, _ := store.Get("/1KB.jpg")
+	if !bytes.Equal(resp.Body, res.Data[998:]) {
+		t.Error("suffix body mismatch")
+	}
+	if v, _ := resp.Headers.Get("Content-Range"); v != "bytes 998-999/1000" {
+		t.Errorf("Content-Range = %q", v)
+	}
+}
+
+func TestMultiRangeMultipart(t *testing.T) {
+	// Paper Fig 2b/2d: "Range: bytes=1-1,-2" yields a two-part response.
+	_, net, _ := newTestServer(t, true)
+	resp := get(t, net, "bytes=1-1,-2")
+	if resp.StatusCode != 206 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	ct, _ := resp.Headers.Get("Content-Type")
+	boundary, ok := multipart.ParseContentTypeValue(ct)
+	if !ok {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if resp.Headers.Has("Content-Range") {
+		t.Error("multipart response must not carry a top-level Content-Range")
+	}
+	msg, err := multipart.Decode(resp.Body, boundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msg.Parts) != 2 || msg.CompleteLength != 1000 {
+		t.Fatalf("parts=%d complete=%d", len(msg.Parts), msg.CompleteLength)
+	}
+	if msg.Parts[0].Window.Offset != 1 || msg.Parts[1].Window.Offset != 998 {
+		t.Errorf("windows: %+v %+v", msg.Parts[0].Window, msg.Parts[1].Window)
+	}
+}
+
+func TestOverlappingRangesServedWithoutCheck(t *testing.T) {
+	// A plain origin (like the BCDN's upstream view of Apache) serves
+	// overlapping ranges as-is; mitigation is opt-in via config.
+	_, net, _ := newTestServer(t, true)
+	resp := get(t, net, "bytes=0-,0-,0-")
+	if resp.StatusCode != 206 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if int64(len(resp.Body)) < 3*1000 {
+		t.Errorf("body = %d bytes, want >= 3000 (three full copies)", len(resp.Body))
+	}
+}
+
+func TestMaxRangesPerRequest(t *testing.T) {
+	store := resource.NewStore()
+	store.AddSynthetic("/f", 1000, "x")
+	srv := NewServer(store, Config{RangeSupport: true, MaxRangesPerRequest: 2})
+	req := httpwire.NewRequest("GET", "/f", "h")
+	req.Headers.Add("Range", "bytes=0-,0-,0-,0-")
+	resp := srv.Handle(req)
+	ct, _ := resp.Headers.Get("Content-Type")
+	boundary, _ := multipart.ParseContentTypeValue(ct)
+	msg, err := multipart.Decode(resp.Body, boundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msg.Parts) != 2 {
+		t.Errorf("served %d parts, want 2", len(msg.Parts))
+	}
+}
+
+func TestRangeSupportDisabled(t *testing.T) {
+	// OBR precondition: ranges disabled, origin answers 200 full copy
+	// with no Accept-Ranges.
+	_, net, _ := newTestServer(t, false)
+	resp := get(t, net, "bytes=0-0")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(resp.Body) != 1000 {
+		t.Errorf("body = %d bytes", len(resp.Body))
+	}
+	if resp.Headers.Has("Accept-Ranges") {
+		t.Error("Accept-Ranges sent despite disabled range support")
+	}
+}
+
+func TestMalformedRangeIgnored(t *testing.T) {
+	_, net, _ := newTestServer(t, true)
+	resp := get(t, net, "bytes=oops")
+	if resp.StatusCode != 200 || len(resp.Body) != 1000 {
+		t.Errorf("status=%d len=%d, want 200 full body", resp.StatusCode, len(resp.Body))
+	}
+}
+
+func TestUnsatisfiableRange416(t *testing.T) {
+	_, net, _ := newTestServer(t, true)
+	resp := get(t, net, "bytes=5000-6000")
+	if resp.StatusCode != 416 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if v, _ := resp.Headers.Get("Content-Range"); v != "bytes */1000" {
+		t.Errorf("Content-Range = %q", v)
+	}
+	if len(resp.Body) != 0 {
+		t.Errorf("416 body = %d bytes", len(resp.Body))
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	_, net, _ := newTestServer(t, true)
+	req := httpwire.NewRequest("GET", "/missing", "h")
+	resp, err := Fetch(net, "origin:80", netsim.NewSegment("t"), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 404 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	store := resource.NewStore()
+	srv := NewServer(store, Config{RangeSupport: true})
+	resp := srv.Handle(httpwire.NewRequest("POST", "/x", "h"))
+	if resp.StatusCode != 405 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestHeadRequest(t *testing.T) {
+	store := resource.NewStore()
+	store.AddSynthetic("/f", 1000, "x")
+	srv := NewServer(store, Config{RangeSupport: true})
+	resp := srv.Handle(httpwire.NewRequest("HEAD", "/f", "h"))
+	if resp.StatusCode != 200 || len(resp.Body) != 0 {
+		t.Errorf("HEAD: status=%d len=%d", resp.StatusCode, len(resp.Body))
+	}
+	if v, _ := resp.Headers.Get("Content-Length"); v != "1000" {
+		t.Errorf("Content-Length = %q", v)
+	}
+}
+
+func TestQueryStringIgnoredForLookup(t *testing.T) {
+	// Cache-busting query strings must still resolve to the resource.
+	_, net, _ := newTestServer(t, true)
+	req := httpwire.NewRequest("GET", "/1KB.jpg?rand=12345", "h")
+	resp, err := Fetch(net, "origin:80", netsim.NewSegment("t"), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || len(resp.Body) != 1000 {
+		t.Errorf("status=%d len=%d", resp.StatusCode, len(resp.Body))
+	}
+}
+
+func TestRequestLog(t *testing.T) {
+	srv, net, _ := newTestServer(t, true)
+	get(t, net, "bytes=0-0")
+	get(t, net, "")
+	log := srv.Log()
+	if len(log) != 2 {
+		t.Fatalf("log has %d entries", len(log))
+	}
+	if !log[0].HasRange || log[0].RangeHeader != "bytes=0-0" {
+		t.Errorf("entry 0 = %+v", log[0])
+	}
+	if log[1].HasRange {
+		t.Errorf("entry 1 = %+v", log[1])
+	}
+	srv.ResetLog()
+	if len(srv.Log()) != 0 {
+		t.Error("ResetLog did not clear")
+	}
+}
+
+func TestKeepAliveServesMultipleRequests(t *testing.T) {
+	_, net, _ := newTestServer(t, true)
+	conn, err := net.Dial("origin:80", netsim.NewSegment("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for i := 0; i < 3; i++ {
+		req := httpwire.NewRequest("GET", "/1KB.jpg", "h")
+		req.Headers.Add("Range", "bytes=0-0")
+		if _, err := req.WriteTo(conn); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := httpwire.ReadResponse(br, httpwire.Limits{})
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if resp.StatusCode != 206 {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+}
+
+func TestResponseDeterminism(t *testing.T) {
+	store := resource.NewStore()
+	store.AddSynthetic("/f", 100, "x")
+	srv := NewServer(store, Config{RangeSupport: true})
+	req := httpwire.NewRequest("GET", "/f", "h")
+	a := srv.Handle(req.Clone())
+	b := srv.Handle(req.Clone())
+	var bufA, bufB strings.Builder
+	a.WriteTo(&bufA)
+	b.WriteTo(&bufB)
+	if bufA.String() != bufB.String() {
+		t.Error("responses are not byte-deterministic")
+	}
+}
+
+func TestIfRangeMatchingETagServesPartial(t *testing.T) {
+	store := resource.NewStore()
+	res := store.AddSynthetic("/f", 1000, "x")
+	srv := NewServer(store, Config{RangeSupport: true})
+	req := httpwire.NewRequest("GET", "/f", "h")
+	req.Headers.Add("Range", "bytes=500-")
+	req.Headers.Add("If-Range", res.ETag)
+	resp := srv.Handle(req)
+	if resp.StatusCode != 206 || len(resp.Body) != 500 {
+		t.Errorf("matching If-Range: status=%d len=%d", resp.StatusCode, len(resp.Body))
+	}
+}
+
+func TestIfRangeStaleValidatorServesFull(t *testing.T) {
+	store := resource.NewStore()
+	store.AddSynthetic("/f", 1000, "x")
+	srv := NewServer(store, Config{RangeSupport: true})
+
+	req := httpwire.NewRequest("GET", "/f", "h")
+	req.Headers.Add("Range", "bytes=500-")
+	req.Headers.Add("If-Range", `"some-old-etag"`)
+	resp := srv.Handle(req)
+	if resp.StatusCode != 200 || len(resp.Body) != 1000 {
+		t.Errorf("stale If-Range: status=%d len=%d", resp.StatusCode, len(resp.Body))
+	}
+}
+
+func TestIfRangeDateValidator(t *testing.T) {
+	store := resource.NewStore()
+	res := store.AddSynthetic("/f", 1000, "x")
+	srv := NewServer(store, Config{RangeSupport: true})
+
+	fresh := res.LastModified.UTC().Format(time.RFC1123)
+	req := httpwire.NewRequest("GET", "/f", "h")
+	req.Headers.Add("Range", "bytes=0-0")
+	req.Headers.Add("If-Range", fresh)
+	if resp := srv.Handle(req); resp.StatusCode != 206 {
+		t.Errorf("current date validator: status=%d", resp.StatusCode)
+	}
+
+	stale := res.LastModified.UTC().Add(-time.Hour).Format(time.RFC1123)
+	req2 := httpwire.NewRequest("GET", "/f", "h")
+	req2.Headers.Add("Range", "bytes=0-0")
+	req2.Headers.Add("If-Range", stale)
+	if resp := srv.Handle(req2); resp.StatusCode != 200 {
+		t.Errorf("stale date validator: status=%d", resp.StatusCode)
+	}
+}
+
+func TestConditionalGETNotModified(t *testing.T) {
+	store := resource.NewStore()
+	res := store.AddSynthetic("/f", 1000, "x")
+	srv := NewServer(store, Config{RangeSupport: true})
+
+	req := httpwire.NewRequest("GET", "/f", "h")
+	req.Headers.Add("If-None-Match", res.ETag)
+	resp := srv.Handle(req)
+	if resp.StatusCode != 304 || len(resp.Body) != 0 {
+		t.Errorf("matching If-None-Match: status=%d len=%d", resp.StatusCode, len(resp.Body))
+	}
+
+	req2 := httpwire.NewRequest("GET", "/f", "h")
+	req2.Headers.Add("If-None-Match", `"other", `+res.ETag)
+	if resp := srv.Handle(req2); resp.StatusCode != 304 {
+		t.Errorf("etag list: status=%d", resp.StatusCode)
+	}
+
+	req3 := httpwire.NewRequest("GET", "/f", "h")
+	req3.Headers.Add("If-None-Match", `"stale"`)
+	if resp := srv.Handle(req3); resp.StatusCode != 200 {
+		t.Errorf("non-matching etag: status=%d", resp.StatusCode)
+	}
+}
+
+func TestConditionalGETModifiedSince(t *testing.T) {
+	store := resource.NewStore()
+	res := store.AddSynthetic("/f", 1000, "x")
+	srv := NewServer(store, Config{RangeSupport: true})
+
+	fresh := res.LastModified.UTC().Format(time.RFC1123)
+	req := httpwire.NewRequest("GET", "/f", "h")
+	req.Headers.Add("If-Modified-Since", fresh)
+	if resp := srv.Handle(req); resp.StatusCode != 304 {
+		t.Errorf("fresh IMS: status=%d", resp.StatusCode)
+	}
+
+	old := res.LastModified.UTC().Add(-time.Hour).Format(time.RFC1123)
+	req2 := httpwire.NewRequest("GET", "/f", "h")
+	req2.Headers.Add("If-Modified-Since", old)
+	if resp := srv.Handle(req2); resp.StatusCode != 200 {
+		t.Errorf("old IMS: status=%d", resp.StatusCode)
+	}
+}
+
+func TestConditionalBeatsRange(t *testing.T) {
+	// RFC 7233 §3.1: a 304 takes precedence over Range evaluation.
+	store := resource.NewStore()
+	res := store.AddSynthetic("/f", 1000, "x")
+	srv := NewServer(store, Config{RangeSupport: true})
+	req := httpwire.NewRequest("GET", "/f", "h")
+	req.Headers.Add("If-None-Match", res.ETag)
+	req.Headers.Add("Range", "bytes=0-0")
+	if resp := srv.Handle(req); resp.StatusCode != 304 {
+		t.Errorf("conditional+range: status=%d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,67 @@
+package ranges
+
+// Vendor-specific range expansion arithmetic documented in §V-A of the
+// paper. These are pure functions so vendor profiles and tests can share
+// them.
+
+const (
+	// MiB is 2^20 bytes, the CloudFront expansion alignment unit.
+	MiB = int64(1 << 20)
+
+	// CloudFrontMaxExpandedSpan is the largest first'..last' window
+	// CloudFront collapses a multi-range request into (10 MiB).
+	CloudFrontMaxExpandedSpan = 10 * MiB
+
+	// AzureWindowFirst and AzureWindowLast bound Azure's second
+	// back-to-origin range request for resources larger than 8 MiB.
+	AzureWindowFirst = int64(8388608)  // 8 MiB
+	AzureWindowLast  = int64(16777215) // 16 MiB - 1
+
+	// AzureCutoff is the payload size after which Azure closes its first
+	// (range-stripped) back-to-origin connection.
+	AzureCutoff = int64(8 << 20)
+)
+
+// ExpandCloudFront applies CloudFront's Expansion policy to a single
+// "first-last" range: first' = (first >> 20) << 20 and
+// last' = ((last >> 20 + 1) << 20) - 1 (1 MiB alignment outward).
+func ExpandCloudFront(first, last int64) (int64, int64) {
+	f := (first >> 20) << 20
+	l := ((last>>20)+1)<<20 - 1
+	return f, l
+}
+
+// ExpandCloudFrontSet applies CloudFront's multi-range collapse: the
+// aligned span of min(first_list)..max(last_list), but only when that
+// span is at most CloudFrontMaxExpandedSpan. ok is false when the set is
+// empty, contains suffix/open-ended specs (which CloudFront does not
+// collapse), or exceeds the span limit.
+func ExpandCloudFrontSet(set Set) (first, last int64, ok bool) {
+	if len(set) == 0 {
+		return 0, 0, false
+	}
+	minFirst, maxLast := int64(1<<62-1), int64(-1)
+	for _, s := range set {
+		if s.IsSuffix() || s.Last == Unbounded {
+			return 0, 0, false
+		}
+		if s.First < minFirst {
+			minFirst = s.First
+		}
+		if s.Last > maxLast {
+			maxLast = s.Last
+		}
+	}
+	f, l := ExpandCloudFront(minFirst, maxLast)
+	if l-f+1 > CloudFrontMaxExpandedSpan {
+		return 0, 0, false
+	}
+	return f, l, true
+}
+
+// AzureWindow reports whether [first,last] falls inside Azure's
+// 8 MiB..16 MiB-1 expansion window, which (for resources over 8 MiB)
+// triggers the Expansion policy with the fixed window range.
+func AzureWindow(first, last int64) bool {
+	return first >= AzureWindowFirst && last <= AzureWindowLast && first <= last
+}

@@ -1,0 +1,103 @@
+package ranges
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExpandCloudFront(t *testing.T) {
+	tests := []struct {
+		first, last         int64
+		wantFirst, wantLast int64
+	}{
+		{0, 0, 0, 1048575},
+		{0, 1048575, 0, 1048575},
+		{1, 1048576, 0, 2097151},
+		{9437184, 9437184, 9437184, 10485759},
+		{1048576, 1048576, 1048576, 2097151},
+	}
+	for _, tt := range tests {
+		f, l := ExpandCloudFront(tt.first, tt.last)
+		if f != tt.wantFirst || l != tt.wantLast {
+			t.Errorf("ExpandCloudFront(%d,%d) = %d,%d want %d,%d",
+				tt.first, tt.last, f, l, tt.wantFirst, tt.wantLast)
+		}
+	}
+}
+
+func TestExpandCloudFrontPaperExample(t *testing.T) {
+	// §V-A: "Range: bytes=0-0,9437184-9437184" becomes "Range: bytes=0-10485759".
+	set, err := Parse("bytes=0-0,9437184-9437184")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, l, ok := ExpandCloudFrontSet(set)
+	if !ok || f != 0 || l != 10485759 {
+		t.Fatalf("ExpandCloudFrontSet = %d,%d,%v want 0,10485759,true", f, l, ok)
+	}
+}
+
+func TestExpandCloudFrontSetSpanLimit(t *testing.T) {
+	// A span just over 10 MiB must not be collapsed.
+	set := Set{NewRange(0, 0), NewRange(10*MiB, 10*MiB)}
+	if _, _, ok := ExpandCloudFrontSet(set); ok {
+		t.Error("span > 10MiB collapsed, want refusal")
+	}
+	// Exactly at the limit is collapsed.
+	set = Set{NewRange(0, 0), NewRange(10*MiB-1, 10*MiB-1)}
+	f, l, ok := ExpandCloudFrontSet(set)
+	if !ok || f != 0 || l != 10*MiB-1 {
+		t.Errorf("span == 10MiB: got %d,%d,%v", f, l, ok)
+	}
+}
+
+func TestExpandCloudFrontSetRefusals(t *testing.T) {
+	tests := []struct {
+		name string
+		set  Set
+	}{
+		{"empty", Set{}},
+		{"suffix", Set{NewSuffix(5)}},
+		{"open-ended", Set{NewRange(0, Unbounded)}},
+		{"mixed", Set{NewRange(0, 0), NewSuffix(1)}},
+	}
+	for _, tt := range tests {
+		if _, _, ok := ExpandCloudFrontSet(tt.set); ok {
+			t.Errorf("%s: collapsed, want refusal", tt.name)
+		}
+	}
+}
+
+func TestAzureWindow(t *testing.T) {
+	tests := []struct {
+		first, last int64
+		want        bool
+	}{
+		{8388608, 8388608, true},
+		{8388608, 16777215, true},
+		{8388607, 8388608, false},
+		{8388608, 16777216, false},
+		{0, 0, false},
+		{16777215, 16777215, true},
+	}
+	for _, tt := range tests {
+		if got := AzureWindow(tt.first, tt.last); got != tt.want {
+			t.Errorf("AzureWindow(%d,%d) = %v, want %v", tt.first, tt.last, got, tt.want)
+		}
+	}
+}
+
+func TestExpandCloudFrontProperty(t *testing.T) {
+	// Expansion always contains the original range and is 1 MiB aligned.
+	f := func(a, b uint32) bool {
+		lo, hi := int64(a), int64(b)
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		ef, el := ExpandCloudFront(lo, hi)
+		return ef <= lo && el >= hi && ef%MiB == 0 && (el+1)%MiB == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

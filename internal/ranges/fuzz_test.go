@@ -1,0 +1,60 @@
+package ranges
+
+import "testing"
+
+// FuzzParse drives the RFC 7233 parser with arbitrary header values.
+// Without -fuzz the seed corpus runs as regular tests.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"bytes=0-0",
+		"bytes=-1",
+		"bytes=0-",
+		"bytes=1-1,-2",
+		"bytes=0-,0-,0-",
+		"bytes=8388608-16777215",
+		"bytes = 0-0 , 5-9",
+		"bytes=",
+		"items=0-5",
+		"bytes=9-5",
+		"bytes=-",
+		"bytes=18446744073709551615-",
+		"bytes=0-0,,,,5-9,",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, header string) {
+		set, err := Parse(header)
+		if err != nil {
+			return
+		}
+		// Accepted sets must round-trip and stay well-formed.
+		if len(set) == 0 {
+			t.Fatalf("Parse(%q) accepted an empty set", header)
+		}
+		for i, s := range set {
+			if !s.SyntacticallyValid() {
+				t.Fatalf("Parse(%q) spec %d invalid: %+v", header, i, s)
+			}
+		}
+		again, err := Parse(set.String())
+		if err != nil {
+			t.Fatalf("round trip of %q -> %q failed: %v", header, set.String(), err)
+		}
+		if len(again) != len(set) {
+			t.Fatalf("round trip of %q changed arity", header)
+		}
+		for i := range set {
+			if again[i] != set[i] {
+				t.Fatalf("round trip of %q changed spec %d", header, i)
+			}
+		}
+		// Resolution never panics and never escapes the resource.
+		for _, size := range []int64{0, 1, 1000, 1 << 30} {
+			for _, w := range set.Resolve(size) {
+				if w.Offset < 0 || w.Length <= 0 || w.End() >= size {
+					t.Fatalf("Resolve(%q, %d) escaped: %+v", header, size, w)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package ranges
+
+import "testing"
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(42).Corpus(50)
+	b := NewGenerator(42).Corpus(50)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("corpus %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeneratorCorpusAllParse(t *testing.T) {
+	for i, set := range NewGenerator(7).Corpus(500) {
+		reparsed, err := Parse(set.String())
+		if err != nil {
+			t.Fatalf("corpus %d %q: %v", i, set.String(), err)
+		}
+		if len(reparsed) != len(set) {
+			t.Fatalf("corpus %d round trip lost specs", i)
+		}
+	}
+}
+
+func TestGeneratorShapes(t *testing.T) {
+	g := NewGenerator(1)
+	for i := 0; i < 200; i++ {
+		if s := g.SingleRange(); s.IsSuffix() || s.Last == Unbounded || s.Last < s.First {
+			t.Fatalf("SingleRange produced %+v", s)
+		}
+		if s := g.SmallRange(4); s.Last-s.First+1 > 4 || s.Last < s.First {
+			t.Fatalf("SmallRange(4) produced %+v", s)
+		}
+		if s := g.OpenEnded(); s.Last != Unbounded || s.IsSuffix() {
+			t.Fatalf("OpenEnded produced %+v", s)
+		}
+		if s := g.Suffix(); !s.IsSuffix() || s.SuffixLen < 1 {
+			t.Fatalf("Suffix produced %+v", s)
+		}
+	}
+}
+
+func TestGeneratorSmallRangeClampsMaxLen(t *testing.T) {
+	g := NewGenerator(3)
+	s := g.SmallRange(0)
+	if s.Last != s.First {
+		t.Errorf("SmallRange(0) = %+v, want single byte", s)
+	}
+}
+
+func TestGeneratorOverlappingSet(t *testing.T) {
+	set := NewGenerator(9).OverlappingSet(5, 0)
+	if len(set) != 5 {
+		t.Fatalf("len = %d, want 5", len(set))
+	}
+	if !set.OverlappingSpecs() {
+		t.Error("OverlappingSet must overlap")
+	}
+	if got, want := set.String(), "bytes=0-,0-,0-,0-,0-"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestGeneratorMultiRangeCount(t *testing.T) {
+	set := NewGenerator(11).MultiRange(7)
+	if len(set) != 7 {
+		t.Errorf("MultiRange(7) len = %d", len(set))
+	}
+	for _, s := range set {
+		if !s.SyntacticallyValid() {
+			t.Errorf("invalid spec %+v", s)
+		}
+	}
+}

@@ -1,0 +1,382 @@
+// Package ranges models HTTP byte ranges as defined by RFC 7233
+// (Range header, byte-range-spec, suffix-byte-range-spec), plus the
+// vendor-specific range arithmetic the RangeAmp paper documents
+// (CloudFront 1 MiB alignment expansion, Azure's 8 MiB window).
+//
+// A Spec is one element of a Range header's byte-range-set. A Set is the
+// whole byte-range-set. Parsing is strict with respect to the RFC 7233
+// ABNF, with optional whitespace tolerated around commas as RFC 7230
+// list-production OWS.
+package ranges
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Unbounded marks an absent last-byte-pos (an open-ended "first-" range)
+// or, in First, marks a suffix-byte-range-spec.
+const Unbounded = int64(-1)
+
+// Spec is a single byte-range-spec or suffix-byte-range-spec.
+//
+// Normal form ("first-last" or "first-"): First >= 0, Last is the
+// last-byte-pos or Unbounded when absent.
+//
+// Suffix form ("-suffixlen"): First == Unbounded and SuffixLen >= 0.
+type Spec struct {
+	First     int64
+	Last      int64
+	SuffixLen int64
+}
+
+// NewRange returns a "first-last" spec. Pass Unbounded as last for "first-".
+func NewRange(first, last int64) Spec {
+	return Spec{First: first, Last: last, SuffixLen: 0}
+}
+
+// NewSuffix returns a "-suffixlen" spec.
+func NewSuffix(suffixLen int64) Spec {
+	return Spec{First: Unbounded, Last: Unbounded, SuffixLen: suffixLen}
+}
+
+// IsSuffix reports whether s is a suffix-byte-range-spec ("-N").
+func (s Spec) IsSuffix() bool { return s.First == Unbounded }
+
+// IsOpenEnded reports whether s is an open-ended range ("N-").
+func (s Spec) IsOpenEnded() bool { return !s.IsSuffix() && s.Last == Unbounded }
+
+// SyntacticallyValid reports whether s could have been produced by the
+// RFC 7233 grammar: non-negative positions and, when both ends are
+// present, first <= last.
+func (s Spec) SyntacticallyValid() bool {
+	if s.IsSuffix() {
+		return s.SuffixLen >= 0
+	}
+	if s.First < 0 {
+		return false
+	}
+	if s.Last == Unbounded {
+		return true
+	}
+	return s.Last >= s.First
+}
+
+// String renders the spec in Range-header form ("0-0", "5-", "-2").
+func (s Spec) String() string {
+	if s.IsSuffix() {
+		return "-" + strconv.FormatInt(s.SuffixLen, 10)
+	}
+	if s.Last == Unbounded {
+		return strconv.FormatInt(s.First, 10) + "-"
+	}
+	return strconv.FormatInt(s.First, 10) + "-" + strconv.FormatInt(s.Last, 10)
+}
+
+// Resolved is a spec evaluated against a concrete resource size: an
+// absolute [Offset, Offset+Length) window.
+type Resolved struct {
+	Offset int64
+	Length int64
+}
+
+// End returns the inclusive last byte position of the resolved window.
+func (r Resolved) End() int64 { return r.Offset + r.Length - 1 }
+
+// ContentRange renders the Content-Range header value for a resolved
+// window of a resource with the given complete length.
+func (r Resolved) ContentRange(completeLength int64) string {
+	return fmt.Sprintf("bytes %d-%d/%d", r.Offset, r.End(), completeLength)
+}
+
+// Resolve evaluates the spec against a resource of the given size,
+// per RFC 7233 §2.1. It returns ok=false when the range is unsatisfiable
+// for that size (first-byte-pos beyond the end, or a zero-length suffix).
+func (s Spec) Resolve(size int64) (Resolved, bool) {
+	if size < 0 || !s.SyntacticallyValid() {
+		return Resolved{}, false
+	}
+	if s.IsSuffix() {
+		if s.SuffixLen == 0 || size == 0 {
+			return Resolved{}, false
+		}
+		n := s.SuffixLen
+		if n > size {
+			n = size
+		}
+		return Resolved{Offset: size - n, Length: n}, true
+	}
+	if s.First >= size {
+		return Resolved{}, false
+	}
+	last := s.Last
+	if last == Unbounded || last >= size {
+		last = size - 1
+	}
+	return Resolved{Offset: s.First, Length: last - s.First + 1}, true
+}
+
+// Set is a byte-range-set: the ordered list of specs in a Range header.
+type Set []Spec
+
+// Parse errors.
+var (
+	ErrNotBytesUnit = errors.New("ranges: unit is not \"bytes\"")
+	ErrEmptySet     = errors.New("ranges: empty byte-range-set")
+)
+
+// ParseError describes a malformed byte-range-spec within a Range header.
+type ParseError struct {
+	Input string // the offending element
+	Pos   int    // index of the element in the set
+	Cause string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ranges: invalid byte-range-spec %q at index %d: %s", e.Input, e.Pos, e.Cause)
+}
+
+// Parse parses a full Range header value such as "bytes=0-0,5-,-2".
+// It enforces the bytes unit and RFC 7233 spec syntax; OWS is tolerated
+// around commas and around the "=".
+func Parse(header string) (Set, error) {
+	eq := strings.IndexByte(header, '=')
+	if eq < 0 {
+		return nil, ErrNotBytesUnit
+	}
+	unit := strings.TrimSpace(header[:eq])
+	if unit != "bytes" {
+		return nil, ErrNotBytesUnit
+	}
+	return ParseSet(header[eq+1:])
+}
+
+// ParseSet parses a byte-range-set (the part after "bytes=").
+func ParseSet(s string) (Set, error) {
+	parts := strings.Split(s, ",")
+	set := make(Set, 0, len(parts))
+	idx := 0
+	for _, raw := range parts {
+		elem := strings.TrimSpace(raw)
+		if elem == "" {
+			// RFC 7230 list production allows empty elements; skip.
+			continue
+		}
+		spec, err := parseSpec(elem, idx)
+		if err != nil {
+			return nil, err
+		}
+		set = append(set, spec)
+		idx++
+	}
+	if len(set) == 0 {
+		return nil, ErrEmptySet
+	}
+	return set, nil
+}
+
+func parseSpec(elem string, pos int) (Spec, error) {
+	dash := strings.IndexByte(elem, '-')
+	if dash < 0 {
+		return Spec{}, &ParseError{Input: elem, Pos: pos, Cause: "missing '-'"}
+	}
+	firstStr, lastStr := elem[:dash], elem[dash+1:]
+	if firstStr == "" {
+		// suffix-byte-range-spec: "-" suffix-length
+		n, err := parsePos(lastStr)
+		if err != nil {
+			return Spec{}, &ParseError{Input: elem, Pos: pos, Cause: "bad suffix-length: " + err.Error()}
+		}
+		return NewSuffix(n), nil
+	}
+	first, err := parsePos(firstStr)
+	if err != nil {
+		return Spec{}, &ParseError{Input: elem, Pos: pos, Cause: "bad first-byte-pos: " + err.Error()}
+	}
+	if lastStr == "" {
+		return NewRange(first, Unbounded), nil
+	}
+	last, err := parsePos(lastStr)
+	if err != nil {
+		return Spec{}, &ParseError{Input: elem, Pos: pos, Cause: "bad last-byte-pos: " + err.Error()}
+	}
+	if last < first {
+		return Spec{}, &ParseError{Input: elem, Pos: pos, Cause: "last-byte-pos < first-byte-pos"}
+	}
+	return NewRange(first, last), nil
+}
+
+// parsePos parses a 1*DIGIT byte position. It rejects signs, spaces and
+// non-digits, unlike strconv.ParseInt's broader syntax.
+func parsePos(s string) (int64, error) {
+	if s == "" {
+		return 0, errors.New("empty")
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, fmt.Errorf("non-digit %q", s[i])
+		}
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// String renders the set as a full Range header value ("bytes=...").
+func (set Set) String() string {
+	var b strings.Builder
+	b.Grow(7 + len(set)*8)
+	b.WriteString("bytes=")
+	for i, s := range set {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
+
+// HeaderValue is an alias for String, matching the Range header field value.
+func (set Set) HeaderValue() string { return set.String() }
+
+// Resolve evaluates every spec against the resource size, dropping
+// unsatisfiable specs. The returned slice preserves request order
+// (RFC 7233 allows servers to reorder; CDNs in the paper do not).
+func (set Set) Resolve(size int64) []Resolved {
+	out := make([]Resolved, 0, len(set))
+	for _, s := range set {
+		if r, ok := s.Resolve(size); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Satisfiable reports whether at least one spec resolves against size.
+func (set Set) Satisfiable(size int64) bool {
+	for _, s := range set {
+		if _, ok := s.Resolve(size); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Overlapping reports whether any two resolved windows overlap for a
+// resource of the given size. This is the property RFC 7233 §6.1 warns
+// about and that the OBR attack exploits.
+func (set Set) Overlapping(size int64) bool {
+	rs := set.Resolve(size)
+	for i := 0; i < len(rs); i++ {
+		for j := i + 1; j < len(rs); j++ {
+			if windowsOverlap(rs[i], rs[j]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func windowsOverlap(a, b Resolved) bool {
+	return a.Offset <= b.End() && b.Offset <= a.End()
+}
+
+// OverlappingSpecs reports whether the set contains overlap that is
+// visible without knowing the resource size (e.g. two "0-" specs, or
+// "0-5" with "3-9"). Suffix specs are compared only with other suffix
+// specs (any two non-zero suffixes overlap) and with open-ended specs
+// (an open-ended range overlaps any non-zero suffix).
+func (set Set) OverlappingSpecs() bool {
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if specsDefinitelyOverlap(set[i], set[j]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func specsDefinitelyOverlap(a, b Spec) bool {
+	switch {
+	case a.IsSuffix() && b.IsSuffix():
+		return a.SuffixLen > 0 && b.SuffixLen > 0
+	case a.IsSuffix():
+		return b.IsOpenEnded() && a.SuffixLen > 0
+	case b.IsSuffix():
+		return a.IsOpenEnded() && b.SuffixLen > 0
+	default:
+		aLast, bLast := a.Last, b.Last
+		if aLast == Unbounded {
+			aLast = 1<<62 - 1
+		}
+		if bLast == Unbounded {
+			bLast = 1<<62 - 1
+		}
+		return a.First <= bLast && b.First <= aLast
+	}
+}
+
+// Coalesce merges overlapping and adjacent resolved windows, returning
+// them sorted by offset. This implements the "coalesce" option RFC 7233
+// suggests servers apply to abusive multi-range requests.
+func Coalesce(rs []Resolved) []Resolved {
+	if len(rs) == 0 {
+		return nil
+	}
+	sorted := make([]Resolved, len(rs))
+	copy(sorted, rs)
+	// Insertion sort: n is small in practice and this avoids importing sort
+	// for a two-field struct.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Offset < sorted[j-1].Offset; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	out := make([]Resolved, 0, len(sorted))
+	cur := sorted[0]
+	for _, r := range sorted[1:] {
+		if r.Offset <= cur.End()+1 {
+			if r.End() > cur.End() {
+				cur.Length = r.End() - cur.Offset + 1
+			}
+			continue
+		}
+		out = append(out, cur)
+		cur = r
+	}
+	out = append(out, cur)
+	return out
+}
+
+// TotalBytes sums the lengths of the resolved windows (double-counting
+// overlap, which is exactly what an OBR multipart response transmits).
+func TotalBytes(rs []Resolved) int64 {
+	var n int64
+	for _, r := range rs {
+		n += r.Length
+	}
+	return n
+}
+
+// Span returns the smallest single window covering all resolved windows.
+// ok is false for an empty slice.
+func Span(rs []Resolved) (Resolved, bool) {
+	if len(rs) == 0 {
+		return Resolved{}, false
+	}
+	lo, hi := rs[0].Offset, rs[0].End()
+	for _, r := range rs[1:] {
+		if r.Offset < lo {
+			lo = r.Offset
+		}
+		if r.End() > hi {
+			hi = r.End()
+		}
+	}
+	return Resolved{Offset: lo, Length: hi - lo + 1}, true
+}

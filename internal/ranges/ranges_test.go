@@ -1,0 +1,416 @@
+package ranges
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSingle(t *testing.T) {
+	tests := []struct {
+		name   string
+		header string
+		want   Set
+	}{
+		{"zero-zero", "bytes=0-0", Set{NewRange(0, 0)}},
+		{"first-last", "bytes=10-20", Set{NewRange(10, 20)}},
+		{"open-ended", "bytes=5-", Set{NewRange(5, Unbounded)}},
+		{"suffix", "bytes=-2", Set{NewSuffix(2)}},
+		{"suffix-zero", "bytes=-0", Set{NewSuffix(0)}},
+		{"ows-around-eq", "bytes = 0-0", Set{NewRange(0, 0)}},
+		{"ows-around-comma", "bytes=0-0 , 5-9", Set{NewRange(0, 0), NewRange(5, 9)}},
+		{"empty-list-elements", "bytes=0-0,,5-9,", Set{NewRange(0, 0), NewRange(5, 9)}},
+		{"large-positions", "bytes=8388608-16777215", Set{NewRange(8388608, 16777215)}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Parse(tt.header)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tt.header, err)
+			}
+			if len(got) != len(tt.want) {
+				t.Fatalf("Parse(%q) = %v, want %v", tt.header, got, tt.want)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Errorf("spec %d = %+v, want %+v", i, got[i], tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestParseMulti(t *testing.T) {
+	set, err := Parse("bytes=1-1,-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Set{NewRange(1, 1), NewSuffix(2)}
+	if len(set) != 2 || set[0] != want[0] || set[1] != want[1] {
+		t.Fatalf("got %v, want %v", set, want)
+	}
+}
+
+func TestParseOBRShape(t *testing.T) {
+	set, err := Parse("bytes=0-,0-,0-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 3 {
+		t.Fatalf("got %d specs, want 3", len(set))
+	}
+	for i, s := range set {
+		if s != NewRange(0, Unbounded) {
+			t.Errorf("spec %d = %+v, want 0-", i, s)
+		}
+	}
+	if !set.OverlappingSpecs() {
+		t.Error("OBR shape must be detected as overlapping")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		header string
+		isUnit bool // expect ErrNotBytesUnit
+	}{
+		{"no-equals", "bytes", true},
+		{"wrong-unit", "items=0-5", true},
+		{"empty-set", "bytes=", false},
+		{"only-commas", "bytes=,,,", false},
+		{"no-dash", "bytes=5", false},
+		{"reversed", "bytes=9-5", false},
+		{"negative-ish", "bytes=--5", false},
+		{"alpha-first", "bytes=a-5", false},
+		{"alpha-last", "bytes=0-b", false},
+		{"plus-sign", "bytes=+1-5", false},
+		{"inner-space", "bytes=1 -5", false},
+		{"empty-both", "bytes=-", false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.header)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error", tt.header)
+			}
+			if tt.isUnit && !errors.Is(err, ErrNotBytesUnit) {
+				t.Errorf("Parse(%q) err = %v, want ErrNotBytesUnit", tt.header, err)
+			}
+		})
+	}
+}
+
+func TestParseErrorType(t *testing.T) {
+	_, err := Parse("bytes=0-0,9-5")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T, want *ParseError", err)
+	}
+	if pe.Pos != 1 || pe.Input != "9-5" {
+		t.Errorf("ParseError = %+v, want Pos=1 Input=9-5", pe)
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	tests := []struct {
+		spec Spec
+		want string
+	}{
+		{NewRange(0, 0), "0-0"},
+		{NewRange(7, Unbounded), "7-"},
+		{NewSuffix(1024), "-1024"},
+		{NewRange(8388608, 16777215), "8388608-16777215"},
+	}
+	for _, tt := range tests {
+		if got := tt.spec.String(); got != tt.want {
+			t.Errorf("%+v.String() = %q, want %q", tt.spec, got, tt.want)
+		}
+	}
+}
+
+func TestSetString(t *testing.T) {
+	set := Set{NewSuffix(1024), NewRange(0, Unbounded), NewRange(0, Unbounded)}
+	if got, want := set.String(), "bytes=-1024,0-,0-"; got != want {
+		t.Errorf("Set.String() = %q, want %q", got, want)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	const size = 1000
+	tests := []struct {
+		name string
+		spec Spec
+		want Resolved
+		ok   bool
+	}{
+		{"first-byte", NewRange(0, 0), Resolved{0, 1}, true},
+		{"interior", NewRange(10, 19), Resolved{10, 10}, true},
+		{"clamped-last", NewRange(990, 5000), Resolved{990, 10}, true},
+		{"open-ended", NewRange(998, Unbounded), Resolved{998, 2}, true},
+		{"whole-open", NewRange(0, Unbounded), Resolved{0, 1000}, true},
+		{"suffix", NewSuffix(2), Resolved{998, 2}, true},
+		{"suffix-larger-than-file", NewSuffix(5000), Resolved{0, 1000}, true},
+		{"suffix-zero", NewSuffix(0), Resolved{}, false},
+		{"beyond-end", NewRange(1000, 1000), Resolved{}, false},
+		{"far-beyond", NewRange(9437184, 9437184), Resolved{}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, ok := tt.spec.Resolve(size)
+			if ok != tt.ok || got != tt.want {
+				t.Errorf("%v.Resolve(%d) = %+v,%v want %+v,%v", tt.spec, size, got, ok, tt.want, tt.ok)
+			}
+		})
+	}
+}
+
+func TestResolveZeroSize(t *testing.T) {
+	for _, spec := range []Spec{NewRange(0, 0), NewRange(0, Unbounded), NewSuffix(5)} {
+		if _, ok := spec.Resolve(0); ok {
+			t.Errorf("%v.Resolve(0) ok, want unsatisfiable", spec)
+		}
+	}
+}
+
+func TestSetResolveDropsUnsatisfiable(t *testing.T) {
+	set := Set{NewRange(0, 0), NewRange(9437184, 9437184)}
+	rs := set.Resolve(1 << 20)
+	if len(rs) != 1 || rs[0] != (Resolved{0, 1}) {
+		t.Fatalf("Resolve = %+v, want single {0,1}", rs)
+	}
+	if !set.Satisfiable(1 << 20) {
+		t.Error("set should be satisfiable")
+	}
+	if set.Satisfiable(0) {
+		t.Error("empty resource should be unsatisfiable for first-last specs")
+	}
+}
+
+func TestOverlapping(t *testing.T) {
+	tests := []struct {
+		name string
+		set  Set
+		size int64
+		want bool
+	}{
+		{"disjoint", Set{NewRange(0, 4), NewRange(5, 9)}, 100, false},
+		{"identical", Set{NewRange(0, Unbounded), NewRange(0, Unbounded)}, 100, true},
+		{"partial", Set{NewRange(0, 5), NewRange(3, 9)}, 100, true},
+		{"suffix-vs-tail", Set{NewSuffix(2), NewRange(99, Unbounded)}, 100, true},
+		{"suffix-vs-head", Set{NewSuffix(2), NewRange(0, 0)}, 100, false},
+		{"single", Set{NewRange(0, 0)}, 100, false},
+		{"unsat-ignored", Set{NewRange(200, 300), NewRange(250, 350)}, 100, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.set.Overlapping(tt.size); got != tt.want {
+				t.Errorf("Overlapping = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestOverlappingSpecs(t *testing.T) {
+	tests := []struct {
+		name string
+		set  Set
+		want bool
+	}{
+		{"obr", Set{NewRange(0, Unbounded), NewRange(0, Unbounded)}, true},
+		{"cdnsun-case", Set{NewRange(1, Unbounded), NewRange(0, Unbounded)}, true},
+		{"cdn77-case", Set{NewSuffix(1024), NewRange(0, Unbounded)}, true},
+		{"two-suffixes", Set{NewSuffix(1), NewSuffix(2)}, true},
+		{"disjoint", Set{NewRange(0, 4), NewRange(5, 9)}, false},
+		{"suffix-and-bounded", Set{NewSuffix(5), NewRange(0, 10)}, false},
+		{"zero-suffix", Set{NewSuffix(0), NewRange(0, Unbounded)}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.set.OverlappingSpecs(); got != tt.want {
+				t.Errorf("OverlappingSpecs = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCoalesce(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []Resolved
+		want []Resolved
+	}{
+		{"empty", nil, nil},
+		{"single", []Resolved{{0, 10}}, []Resolved{{0, 10}}},
+		{"overlap", []Resolved{{0, 10}, {5, 10}}, []Resolved{{0, 15}}},
+		{"adjacent", []Resolved{{0, 5}, {5, 5}}, []Resolved{{0, 10}}},
+		{"disjoint", []Resolved{{0, 2}, {10, 2}}, []Resolved{{0, 2}, {10, 2}}},
+		{"unsorted", []Resolved{{10, 5}, {0, 5}}, []Resolved{{0, 5}, {10, 5}}},
+		{"contained", []Resolved{{0, 100}, {10, 5}}, []Resolved{{0, 100}}},
+		{"n-copies", []Resolved{{0, 7}, {0, 7}, {0, 7}}, []Resolved{{0, 7}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Coalesce(tt.in)
+			if len(got) != len(tt.want) {
+				t.Fatalf("Coalesce = %+v, want %+v", got, tt.want)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Errorf("window %d = %+v, want %+v", i, got[i], tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestCoalesceDoesNotMutateInput(t *testing.T) {
+	in := []Resolved{{10, 5}, {0, 5}}
+	Coalesce(in)
+	if in[0] != (Resolved{10, 5}) || in[1] != (Resolved{0, 5}) {
+		t.Errorf("input mutated: %+v", in)
+	}
+}
+
+func TestTotalBytesCountsOverlapTwice(t *testing.T) {
+	rs := []Resolved{{0, 1024}, {0, 1024}, {0, 1024}}
+	if got := TotalBytes(rs); got != 3072 {
+		t.Errorf("TotalBytes = %d, want 3072 (overlap double-counted)", got)
+	}
+}
+
+func TestSpan(t *testing.T) {
+	if _, ok := Span(nil); ok {
+		t.Error("Span(nil) ok, want false")
+	}
+	got, ok := Span([]Resolved{{10, 5}, {0, 2}, {100, 1}})
+	if !ok || got != (Resolved{0, 101}) {
+		t.Errorf("Span = %+v,%v want {0,101},true", got, ok)
+	}
+}
+
+func TestContentRange(t *testing.T) {
+	r := Resolved{Offset: 1, Length: 1}
+	if got, want := r.ContentRange(1000), "bytes 1-1/1000"; got != want {
+		t.Errorf("ContentRange = %q, want %q", got, want)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Any syntactically valid spec must survive String -> Parse.
+	f := func(first, last, suffix uint32, kind uint8) bool {
+		var s Spec
+		switch kind % 3 {
+		case 0:
+			lo, hi := int64(first), int64(last)
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			s = NewRange(lo, hi)
+		case 1:
+			s = NewRange(int64(first), Unbounded)
+		default:
+			s = NewSuffix(int64(suffix))
+		}
+		set, err := Parse("bytes=" + s.String())
+		return err == nil && len(set) == 1 && set[0] == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResolveInvariantsProperty(t *testing.T) {
+	// Every satisfiable resolution lies inside the resource.
+	f := func(first, last uint16, size uint16) bool {
+		lo, hi := int64(first), int64(last)
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		s := NewRange(lo, hi)
+		r, ok := s.Resolve(int64(size))
+		if !ok {
+			return lo >= int64(size)
+		}
+		return r.Offset >= 0 && r.Length > 0 && r.End() < int64(size) && r.Offset == lo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoalesceInvariantsProperty(t *testing.T) {
+	// Coalesced output covers the same byte set with no overlap and no
+	// adjacency, sorted by offset.
+	f := func(raw []struct {
+		Off uint8
+		Len uint8
+	}) bool {
+		in := make([]Resolved, 0, len(raw))
+		for _, w := range raw {
+			if w.Len == 0 {
+				continue
+			}
+			in = append(in, Resolved{Offset: int64(w.Off), Length: int64(w.Len)})
+		}
+		out := Coalesce(in)
+		if len(in) == 0 {
+			return out == nil
+		}
+		cover := make(map[int64]bool)
+		for _, r := range in {
+			for b := r.Offset; b <= r.End(); b++ {
+				cover[b] = true
+			}
+		}
+		var covered int64
+		for i, r := range out {
+			if i > 0 && out[i-1].End()+1 >= r.Offset {
+				return false // overlap or adjacency survived
+			}
+			for b := r.Offset; b <= r.End(); b++ {
+				if !cover[b] {
+					return false // invented a byte
+				}
+			}
+			covered += r.Length
+		}
+		return covered == int64(len(cover))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSuffixResolveProperty(t *testing.T) {
+	f := func(suffix, size uint16) bool {
+		s := NewSuffix(int64(suffix))
+		r, ok := s.Resolve(int64(size))
+		if suffix == 0 || size == 0 {
+			return !ok
+		}
+		want := int64(suffix)
+		if want > int64(size) {
+			want = int64(size)
+		}
+		return ok && r.Length == want && r.End() == int64(size)-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseRejectsGarbageProperty(t *testing.T) {
+	// Parse never panics and never accepts a header without "bytes=".
+	f := func(s string) bool {
+		set, err := Parse(s)
+		if err != nil {
+			return true
+		}
+		return strings.Contains(s, "=") && len(set) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

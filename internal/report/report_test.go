@@ -1,0 +1,111 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:   "TABLE IV",
+		Columns: []string{"CDN", "Factor"},
+	}
+	t.AddRow("Akamai", "43093")
+	t.AddRow("G-Core Labs") // short row padded
+	return t
+}
+
+func TestTableRender(t *testing.T) {
+	var b strings.Builder
+	if err := sample().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"TABLE IV", "CDN", "Factor", "Akamai", "43093", "G-Core Labs", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: "Akamai" padded to the width of "G-Core Labs".
+	if !strings.Contains(out, "Akamai       43093") {
+		t.Errorf("alignment broken:\n%s", out)
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tab := sample()
+	tab.AddRow(`quoted,"cell"`, "v")
+	var b strings.Builder
+	if err := tab.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "CDN,Factor\n") {
+		t.Errorf("csv header: %q", out)
+	}
+	if !strings.Contains(out, `"quoted,""cell""",v`) {
+		t.Errorf("csv quoting: %q", out)
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := &Figure{
+		Title:  "Fig 6a",
+		XLabel: "MB",
+		YLabel: "factor",
+		Series: []Series{
+			{Name: "akamai", X: []float64{1, 2}, Y: []float64{1707, 3400}},
+			{Name: "azure", X: []float64{1, 2}, Y: []float64{1401}},
+		},
+	}
+	var b strings.Builder
+	if err := f.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Fig 6a", "akamai", "azure", "1707", "3400"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureRenderEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := (&Figure{Title: "empty"}).Render(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{1, "1"},
+		{1.5, "1.5"},
+		{1.25, "1.25"},
+		{1.256, "1.26"},
+		{1707.0, "1707"},
+	}
+	for _, tt := range tests {
+		if got := trimFloat(tt.v); got != tt.want {
+			t.Errorf("trimFloat(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestTableRenderMarkdown(t *testing.T) {
+	tab := sample()
+	tab.AddRow("pipe|cell", "v")
+	var b strings.Builder
+	if err := tab.RenderMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"### TABLE IV", "| CDN | Factor |", "| --- | --- |", "| Akamai | 43093 |", `pipe\|cell`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package resource provides the in-memory web resources the origin
+// server serves. The paper's experiments use synthetic files (1 KB for
+// OBR, 1–25 MB for the SBR sweep); Synthetic builds deterministic
+// content of any size so byte-exact assertions are possible.
+package resource
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ranges"
+)
+
+// Resource is one origin object.
+type Resource struct {
+	Path         string
+	ContentType  string
+	Data         []byte
+	ETag         string
+	LastModified time.Time
+}
+
+// epoch is a fixed Last-Modified instant so serialized responses are
+// deterministic across runs (the experiments compare exact byte counts).
+var epoch = time.Date(2020, time.June, 29, 0, 0, 0, 0, time.UTC) // DSN 2020 week
+
+// Synthetic builds a resource of exactly size bytes with deterministic,
+// position-dependent content (so range slicing bugs corrupt data in a
+// detectable way rather than returning identical bytes).
+func Synthetic(path string, size int64, contentType string) *Resource {
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i*131 + i>>8*31 + 7)
+	}
+	return &Resource{
+		Path:         path,
+		ContentType:  contentType,
+		Data:         data,
+		ETag:         fmt.Sprintf(`"%x-%x"`, size, len(path)*2654435761),
+		LastModified: epoch,
+	}
+}
+
+// Size returns the resource length in bytes.
+func (r *Resource) Size() int64 { return int64(len(r.Data)) }
+
+// Slice returns the bytes of a resolved window. The window must lie
+// inside the resource (Resolve guarantees this); out-of-bounds windows
+// return nil so a caller bug surfaces as a visible empty part.
+func (r *Resource) Slice(w ranges.Resolved) []byte {
+	if w.Offset < 0 || w.Length <= 0 || w.End() >= r.Size() {
+		return nil
+	}
+	return r.Data[w.Offset : w.Offset+w.Length]
+}
+
+// Store is a concurrency-safe path-keyed resource collection.
+type Store struct {
+	mu sync.RWMutex
+	m  map[string]*Resource
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{m: make(map[string]*Resource)}
+}
+
+// Add inserts or replaces a resource by its path.
+func (s *Store) Add(r *Resource) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[r.Path] = r
+}
+
+// AddSynthetic builds and stores a synthetic resource, returning it.
+func (s *Store) AddSynthetic(path string, size int64, contentType string) *Resource {
+	r := Synthetic(path, size, contentType)
+	s.Add(r)
+	return r
+}
+
+// Get looks up a resource by path.
+func (s *Store) Get(path string) (*Resource, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.m[path]
+	return r, ok
+}
+
+// Remove deletes a resource, reporting whether it existed.
+func (s *Store) Remove(path string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.m[path]
+	delete(s.m, path)
+	return ok
+}
+
+// Paths returns the stored paths, sorted.
+func (s *Store) Paths() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.m))
+	for p := range s.m {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of stored resources.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// FromFile loads a file from disk as a resource served at path. The
+// ETag derives from size and content so it changes when the file does.
+func FromFile(path, filename, contentType string) (*Resource, error) {
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, fmt.Errorf("read %s: %w", filename, err)
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	sum := h.Sum64()
+	return &Resource{
+		Path:         path,
+		ContentType:  contentType,
+		Data:         data,
+		ETag:         fmt.Sprintf(`"%x-%x"`, len(data), sum),
+		LastModified: epoch,
+	}, nil
+}
+
+// AddDirectory loads every regular file in dir into the store, served
+// at "/<name>". It returns the loaded paths.
+func (s *Store) AddDirectory(dir, contentType string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("read dir %s: %w", dir, err)
+	}
+	var paths []string
+	for _, e := range entries {
+		if !e.Type().IsRegular() {
+			continue
+		}
+		res, err := FromFile("/"+e.Name(), filepath.Join(dir, e.Name()), contentType)
+		if err != nil {
+			return nil, err
+		}
+		s.Add(res)
+		paths = append(paths, res.Path)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}

@@ -1,0 +1,185 @@
+package resource
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ranges"
+)
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic("/f", 4096, "application/octet-stream")
+	b := Synthetic("/f", 4096, "application/octet-stream")
+	if !bytes.Equal(a.Data, b.Data) {
+		t.Error("synthetic content not deterministic")
+	}
+	if a.Size() != 4096 {
+		t.Errorf("Size = %d", a.Size())
+	}
+	if a.ETag == "" || a.LastModified.IsZero() {
+		t.Error("validators not populated")
+	}
+}
+
+func TestSyntheticContentVaries(t *testing.T) {
+	r := Synthetic("/f", 1024, "x")
+	same := 0
+	for i := 1; i < 1024; i++ {
+		if r.Data[i] == r.Data[0] {
+			same++
+		}
+	}
+	if same > 512 {
+		t.Errorf("content too uniform: %d/1023 bytes equal the first", same)
+	}
+}
+
+func TestSliceMatchesResolve(t *testing.T) {
+	r := Synthetic("/f", 1000, "x")
+	set, err := ranges.Parse("bytes=1-1,-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := set.Resolve(r.Size())
+	if len(rs) != 2 {
+		t.Fatalf("resolved %d windows", len(rs))
+	}
+	if got := r.Slice(rs[0]); len(got) != 1 || got[0] != r.Data[1] {
+		t.Errorf("slice 1-1 = %v", got)
+	}
+	if got := r.Slice(rs[1]); len(got) != 2 || !bytes.Equal(got, r.Data[998:1000]) {
+		t.Errorf("slice -2 = %v", got)
+	}
+}
+
+func TestSliceOutOfBounds(t *testing.T) {
+	r := Synthetic("/f", 10, "x")
+	for _, w := range []ranges.Resolved{
+		{Offset: 0, Length: 11},
+		{Offset: 10, Length: 1},
+		{Offset: -1, Length: 2},
+		{Offset: 0, Length: 0},
+	} {
+		if got := r.Slice(w); got != nil {
+			t.Errorf("Slice(%+v) = %d bytes, want nil", w, len(got))
+		}
+	}
+}
+
+func TestStoreCRUD(t *testing.T) {
+	s := NewStore()
+	if s.Len() != 0 {
+		t.Fatal("new store not empty")
+	}
+	s.AddSynthetic("/a", 10, "x")
+	s.AddSynthetic("/b", 20, "x")
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	r, ok := s.Get("/a")
+	if !ok || r.Size() != 10 {
+		t.Fatalf("Get(/a) = %v,%v", r, ok)
+	}
+	if _, ok := s.Get("/missing"); ok {
+		t.Error("Get(/missing) ok")
+	}
+	if got := s.Paths(); len(got) != 2 || got[0] != "/a" || got[1] != "/b" {
+		t.Errorf("Paths = %v", got)
+	}
+	if !s.Remove("/a") || s.Remove("/a") {
+		t.Error("Remove semantics wrong")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len after remove = %d", s.Len())
+	}
+}
+
+func TestStoreReplace(t *testing.T) {
+	s := NewStore()
+	s.AddSynthetic("/a", 10, "x")
+	s.AddSynthetic("/a", 99, "x")
+	r, _ := s.Get("/a")
+	if r.Size() != 99 || s.Len() != 1 {
+		t.Errorf("replace failed: size=%d len=%d", r.Size(), s.Len())
+	}
+}
+
+func TestSliceProperty(t *testing.T) {
+	r := Synthetic("/f", 8192, "x")
+	f := func(off, length uint16) bool {
+		w := ranges.Resolved{Offset: int64(off), Length: int64(length)}
+		got := r.Slice(w)
+		if w.Length <= 0 || w.End() >= r.Size() {
+			return got == nil
+		}
+		return int64(len(got)) == w.Length && bytes.Equal(got, r.Data[w.Offset:w.Offset+w.Length])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromFileAndAddDirectory(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.bin"), []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "b.bin"), []byte("world!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := FromFile("/a.bin", filepath.Join(dir, "a.bin"), "application/octet-stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size() != 5 || res.ETag == "" {
+		t.Errorf("FromFile: %+v", res)
+	}
+
+	s := NewStore()
+	paths, err := s.AddDirectory(dir, "application/octet-stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 || paths[0] != "/a.bin" || paths[1] != "/b.bin" {
+		t.Errorf("paths = %v", paths)
+	}
+	got, ok := s.Get("/b.bin")
+	if !ok || string(got.Data) != "world!" {
+		t.Errorf("Get(/b.bin) = %v,%v", got, ok)
+	}
+}
+
+func TestFromFileMissing(t *testing.T) {
+	if _, err := FromFile("/x", "/definitely/not/here", "x"); err == nil {
+		t.Error("missing file loaded")
+	}
+	s := NewStore()
+	if _, err := s.AddDirectory("/definitely/not/here", "x"); err == nil {
+		t.Error("missing dir loaded")
+	}
+}
+
+func TestETagChangesWithContent(t *testing.T) {
+	dir := t.TempDir()
+	f := filepath.Join(dir, "f")
+	os.WriteFile(f, []byte("v1-content"), 0o644)
+	a, err := FromFile("/f", f, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(f, []byte("v2-content"), 0o644)
+	b, err := FromFile("/f", f, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ETag == b.ETag {
+		t.Error("ETag did not change with content")
+	}
+}

@@ -1,0 +1,120 @@
+// Package trace records structured per-request events as they flow
+// through edges and origins, so a vendor behaviour can be inspected
+// hop by hop (which Range arrived, what the cache said, what went
+// upstream, how the reply was built) — the observability a downstream
+// user needs when studying a new CDN configuration.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Kind labels one event type.
+type Kind string
+
+// Event kinds emitted by the engines.
+const (
+	KindRequest   Kind = "request"    // request arrived at a node
+	KindRejected  Kind = "rejected"   // request refused (limits, detector, overlap)
+	KindCacheHit  Kind = "cache-hit"  // served from the edge cache
+	KindCacheMiss Kind = "cache-miss" // cache consulted, no entry
+	KindUpstream  Kind = "upstream"   // back-to-origin request issued
+	KindRelay     Kind = "relay"      // upstream response relayed (Laziness)
+	KindReply     Kind = "reply"      // reply built from an object
+)
+
+// Event is one recorded step.
+type Event struct {
+	Seq    int    // global order
+	Node   string // emitting node ("cloudflare-edge", "origin", …)
+	Kind   Kind
+	Detail string
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	return fmt.Sprintf("%3d %-18s %-10s %s", e.Seq, e.Node, e.Kind, e.Detail)
+}
+
+// Log is a concurrency-safe event sink. The zero value is unusable;
+// call New. A nil *Log is a valid no-op sink, so engines can trace
+// unconditionally.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+	seq    int
+}
+
+// New returns an empty log.
+func New() *Log { return &Log{} }
+
+// Add records one event (no-op on a nil log).
+func (l *Log) Add(node string, kind Kind, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	l.events = append(l.events, Event{
+		Seq:    l.seq,
+		Node:   node,
+		Kind:   kind,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Events returns a copy of the recorded events in order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Reset clears the log.
+func (l *Log) Reset() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = nil
+	l.seq = 0
+}
+
+// String renders the whole log, one event per line.
+func (l *Log) String() string {
+	var b strings.Builder
+	for _, e := range l.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Count returns how many events of the kind were recorded (any kind
+// when kind is empty).
+func (l *Log) Count(kind Kind) int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if kind == "" {
+		return len(l.events)
+	}
+	n := 0
+	for _, e := range l.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAddAndEvents(t *testing.T) {
+	l := New()
+	l.Add("edge", KindRequest, "GET %s", "/f")
+	l.Add("edge", KindCacheMiss, "/f")
+	l.Add("origin", KindReply, "200")
+	events := l.Events()
+	if len(events) != 3 {
+		t.Fatalf("%d events", len(events))
+	}
+	if events[0].Seq != 1 || events[2].Seq != 3 {
+		t.Errorf("sequence numbers: %+v", events)
+	}
+	if events[0].Detail != "GET /f" {
+		t.Errorf("detail = %q", events[0].Detail)
+	}
+	if l.Count(KindCacheMiss) != 1 || l.Count("") != 3 {
+		t.Errorf("counts wrong")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	l := New()
+	l.Add("cloudflare-edge", KindUpstream, "-> origin:80")
+	out := l.String()
+	for _, want := range []string{"cloudflare-edge", "upstream", "-> origin:80"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	l := New()
+	l.Add("a", KindRequest, "x")
+	l.Reset()
+	if len(l.Events()) != 0 || l.Count("") != 0 {
+		t.Error("Reset left events")
+	}
+	l.Add("a", KindRequest, "y")
+	if l.Events()[0].Seq != 1 {
+		t.Error("sequence not reset")
+	}
+}
+
+func TestNilLogSafe(t *testing.T) {
+	var l *Log
+	l.Add("a", KindRequest, "x")
+	l.Reset()
+	if l.Events() != nil || l.Count("") != 0 || l.String() != "" {
+		t.Error("nil log misbehaved")
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	l := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Add("n", KindRequest, "r")
+			}
+		}()
+	}
+	wg.Wait()
+	events := l.Events()
+	if len(events) != 800 {
+		t.Fatalf("%d events", len(events))
+	}
+	seen := make(map[int]bool, 800)
+	for _, e := range events {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}

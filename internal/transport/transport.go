@@ -1,0 +1,102 @@
+// Package transport bridges the simulation engines onto real TCP
+// sockets: the cmd/ tools run the same origin and edge implementations
+// the experiments use, but across the loopback (or a LAN) instead of
+// the in-memory instrumented network.
+package transport
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+
+	"repro/internal/h2"
+	"repro/internal/netsim"
+)
+
+// ConnHandler is anything that can serve one connection; both
+// origin.Server and cdn.Edge satisfy it.
+type ConnHandler interface {
+	ServeConn(conn netsim.Conn)
+}
+
+// Serve accepts TCP connections and hands each to h until the listener
+// closes. It returns the listener's Accept error.
+func Serve(l net.Listener, h ConnHandler) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return fmt.Errorf("accept: %w", err)
+		}
+		go h.ServeConn(&countingConn{Conn: conn})
+	}
+}
+
+// Dialer opens TCP connections and accounts their traffic on a
+// segment, implementing the same contract as netsim.Network.Dial.
+type Dialer struct{}
+
+// Dial connects to a TCP address. Bytes written by this end count as
+// seg.Up; bytes read count as seg.Down (the responses of the peer).
+func (Dialer) Dial(addr string, seg *netsim.Segment) (netsim.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	seg.AddConn()
+	return &countingConn{Conn: conn, seg: seg}, nil
+}
+
+// countingConn counts TCP traffic into a segment (nil segment counts
+// nothing, e.g. on the accept side where the peer does the counting).
+type countingConn struct {
+	net.Conn
+	seg *netsim.Segment
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if c.seg != nil && n > 0 {
+		c.seg.AddDown(n)
+	}
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if c.seg != nil && n > 0 {
+		c.seg.AddUp(n)
+	}
+	return n, err
+}
+
+var _ netsim.Conn = (*countingConn)(nil)
+
+// H2Handler answers requests for the HTTP/2 bridge (origin.Server and
+// cdn.Edge both satisfy it via their Handle methods).
+type H2Handler = h2.Handler
+
+// ServeH2 accepts TCP connections and speaks prior-knowledge cleartext
+// HTTP/2 (h2c without the upgrade dance) on each.
+func ServeH2(l net.Listener, handler H2Handler) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return fmt.Errorf("accept: %w", err)
+		}
+		go h2.ServeConn(conn, handler) //nolint:errcheck
+	}
+}
+
+// NextPort returns addr with its port incremented by one (for pairing
+// an HTTP/2 listener with an HTTP/1.1 one).
+func NextPort(addr string) (string, error) {
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", fmt.Errorf("addr %q: %w", addr, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return "", fmt.Errorf("port %q: %w", portStr, err)
+	}
+	return net.JoinHostPort(host, strconv.Itoa(port+1)), nil
+}

@@ -1,0 +1,162 @@
+package transport
+
+import (
+	"bufio"
+	"net"
+	"testing"
+
+	"repro/internal/cdn"
+	"repro/internal/httpwire"
+	"repro/internal/netsim"
+	"repro/internal/origin"
+	"repro/internal/resource"
+	"repro/internal/vendor"
+)
+
+// startTCP serves h on an ephemeral loopback port.
+func startTCP(t *testing.T, h ConnHandler) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go Serve(l, h)
+	return l.Addr().String()
+}
+
+func fetchTCP(t *testing.T, addr string, req *httpwire.Request) *httpwire.Response {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	req.Headers.Set("Connection", "close")
+	if _, err := req.WriteTo(conn); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := httpwire.ReadResponse(bufio.NewReader(conn), httpwire.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestOriginOverTCP(t *testing.T) {
+	store := resource.NewStore()
+	store.AddSynthetic("/f.bin", 4096, "application/octet-stream")
+	srv := origin.NewServer(store, origin.Config{RangeSupport: true})
+	addr := startTCP(t, srv)
+
+	req := httpwire.NewRequest("GET", "/f.bin", "h")
+	req.Headers.Add("Range", "bytes=0-0")
+	resp := fetchTCP(t, addr, req)
+	if resp.StatusCode != 206 || len(resp.Body) != 1 {
+		t.Fatalf("status=%d len=%d", resp.StatusCode, len(resp.Body))
+	}
+}
+
+func TestFullSBRStackOverTCP(t *testing.T) {
+	// origin <- edge over real TCP; the SBR asymmetry must survive the
+	// socket transport.
+	store := resource.NewStore()
+	store.AddSynthetic("/f.bin", 1<<20, "application/octet-stream")
+	srv := origin.NewServer(store, origin.Config{RangeSupport: true})
+	originAddr := startTCP(t, srv)
+
+	seg := netsim.NewSegment("cdn-origin")
+	edge, err := cdn.NewEdge(cdn.Config{
+		Profile:      vendor.Cloudflare(),
+		Dialer:       Dialer{},
+		UpstreamAddr: originAddr,
+		UpstreamSeg:  seg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgeAddr := startTCP(t, edge)
+
+	req := httpwire.NewRequest("GET", "/f.bin?cb=tcp", "h")
+	req.Headers.Add("Range", "bytes=0-0")
+	resp := fetchTCP(t, edgeAddr, req)
+	if resp.StatusCode != 206 || len(resp.Body) != 1 {
+		t.Fatalf("status=%d len=%d", resp.StatusCode, len(resp.Body))
+	}
+	if down := seg.Traffic().Down; down < 1<<20 {
+		t.Errorf("cdn-origin TCP traffic = %d, want >= 1MB", down)
+	}
+	if seg.Conns() != 1 {
+		t.Errorf("conns = %d", seg.Conns())
+	}
+}
+
+func TestOBRCascadeOverTCP(t *testing.T) {
+	store := resource.NewStore()
+	store.AddSynthetic("/1KB.bin", 1024, "application/octet-stream")
+	srv := origin.NewServer(store, origin.Config{RangeSupport: false})
+	originAddr := startTCP(t, srv)
+
+	bcdnSeg := netsim.NewSegment("bcdn-origin")
+	bcdn, err := cdn.NewEdge(cdn.Config{
+		Profile: vendor.Akamai(), Dialer: Dialer{},
+		UpstreamAddr: originAddr, UpstreamSeg: bcdnSeg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcdnAddr := startTCP(t, bcdn)
+
+	fcdnProfile := vendor.Cloudflare()
+	fcdnProfile.Options.CloudflareBypass = true
+	fcdnSeg := netsim.NewSegment("fcdn-bcdn")
+	fcdn, err := cdn.NewEdge(cdn.Config{
+		Profile: fcdnProfile, Dialer: Dialer{},
+		UpstreamAddr: bcdnAddr, UpstreamSeg: fcdnSeg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcdnAddr := startTCP(t, fcdn)
+
+	req := httpwire.NewRequest("GET", "/1KB.bin", "h")
+	req.Headers.Add("Range", "bytes=0-,0-,0-,0-,0-,0-,0-,0-,0-,0-") // n=10
+	resp := fetchTCP(t, fcdnAddr, req)
+	if resp.StatusCode != 206 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if int64(len(resp.Body)) < 10*1024 {
+		t.Errorf("reply body = %d bytes, want >= 10KB", len(resp.Body))
+	}
+	if between := fcdnSeg.Traffic().Down; between < 10*1024 {
+		t.Errorf("fcdn-bcdn = %d bytes", between)
+	}
+	if toOrigin := bcdnSeg.Traffic().Down; toOrigin > 4096 {
+		t.Errorf("bcdn-origin = %d bytes, want one copy", toOrigin)
+	}
+}
+
+func TestDialerErrors(t *testing.T) {
+	if _, err := (Dialer{}).Dial("127.0.0.1:1", netsim.NewSegment("s")); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestCountingConnNilSegment(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	cc := &countingConn{Conn: a}
+	go b.Write([]byte("xy"))
+	buf := make([]byte, 2)
+	if _, err := cc.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		buf := make([]byte, 2)
+		b.Read(buf)
+	}()
+	if _, err := cc.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,353 @@
+package vendor
+
+import (
+	"fmt"
+
+	"repro/internal/httpwire"
+	"repro/internal/ranges"
+)
+
+// Shared behaviour building blocks. Each of the 13 profiles composes
+// these; the compositions themselves live in profiles.go.
+
+// fetchObject issues one upstream request and converts the response to
+// an Object. rangeHeader=="" is the Deletion policy.
+func fetchObject(up Upstream, rangeHeader string, maxBody int64) (*Object, error) {
+	resp, truncated, err := up.Fetch(rangeHeader, maxBody)
+	if err != nil {
+		return nil, fmt.Errorf("upstream fetch: %w", err)
+	}
+	obj, err := ObjectFromResponse(resp, truncated)
+	if err != nil {
+		return nil, err
+	}
+	return obj, nil
+}
+
+// deleteAndFetch is the plain Deletion policy: strip the Range header
+// and retrieve the entire resource.
+func deleteAndFetch(up Upstream, rc *RequestContext) (*Retrieval, error) {
+	obj, err := fetchObject(up, "", 0)
+	if err != nil {
+		return nil, err
+	}
+	learn(rc, obj)
+	return &Retrieval{Object: obj}, nil
+}
+
+// lazyForward is the Laziness policy: forward the Range header
+// unchanged and relay whatever comes back.
+func lazyForward(up Upstream, rc *RequestContext) (*Retrieval, error) {
+	resp, _, err := up.Fetch(rc.Raw, 0)
+	if err != nil {
+		return nil, fmt.Errorf("upstream fetch: %w", err)
+	}
+	learnFromResponse(rc, resp)
+	return &Retrieval{Relay: resp}, nil
+}
+
+// expandAndFetch is the Expansion policy with an explicit new range.
+func expandAndFetch(up Upstream, rc *RequestContext, first, last int64) (*Retrieval, error) {
+	obj, err := fetchObject(up, ranges.Set{ranges.NewRange(first, last)}.HeaderValue(), 0)
+	if err != nil {
+		return nil, err
+	}
+	learn(rc, obj)
+	return &Retrieval{Object: obj}, nil
+}
+
+// learn records the complete size the object reveals.
+func learn(rc *RequestContext, obj *Object) {
+	if obj.CompleteSize > 0 {
+		rc.State.LearnSize(rc.Path, obj.CompleteSize)
+	}
+}
+
+// learnFromResponse records size information visible in a relayed
+// response (Content-Range total or a 200's Content-Length).
+func learnFromResponse(rc *RequestContext, resp *httpwire.Response) {
+	switch resp.StatusCode {
+	case httpwire.StatusOK:
+		rc.State.LearnSize(rc.Path, int64(len(resp.Body)))
+	case httpwire.StatusPartialContent:
+		if cr, ok := resp.Headers.Get("Content-Range"); ok {
+			if _, complete, err := parseContentRange(cr); err == nil && complete > 0 {
+				rc.State.LearnSize(rc.Path, complete)
+			}
+		}
+	}
+}
+
+// Range-shape predicates used by the per-vendor conditions of Table I.
+
+// isSingle reports a one-element set of the "first-last" (or "first-")
+// shape.
+func isSingle(set ranges.Set) bool {
+	return len(set) == 1 && !set[0].IsSuffix()
+}
+
+// isSuffix reports a one-element suffix set ("-N").
+func isSuffix(set ranges.Set) bool {
+	return len(set) == 1 && set[0].IsSuffix()
+}
+
+// isMulti reports a multi-range set.
+func isMulti(set ranges.Set) bool { return len(set) > 1 }
+
+// noRange reports a request without an interpretable Range header;
+// every behaviour treats those as plain full fetches.
+func noRange(rc *RequestContext) bool { return !rc.HasRange || rc.Set == nil }
+
+// simpleDeletion: unconditional Deletion (Akamai, Fastly, G-Core Labs).
+func simpleDeletion(up Upstream, rc *RequestContext, _ *Options) (*Retrieval, error) {
+	return deleteAndFetch(up, rc)
+}
+
+// alibabaBehaviour: Table I lists only "bytes=-suffix" as the shape
+// Alibaba strips, conditional on the vendor Range option being set to
+// disable. Other single shapes are forwarded lazily. Multi-range
+// requests are stripped and answered coalesced (Alibaba appears in
+// neither Table II nor Table III, so it can neither forward an
+// overlapping set unchanged nor serve one back).
+func alibabaBehaviour(up Upstream, rc *RequestContext, opts *Options) (*Retrieval, error) {
+	if noRange(rc) {
+		return deleteAndFetch(up, rc)
+	}
+	switch {
+	case isSuffix(rc.Set):
+		if opts.RangeOptionVulnerable {
+			return deleteAndFetch(up, rc)
+		}
+		return lazyForward(up, rc)
+	case isMulti(rc.Set):
+		return deleteAndFetch(up, rc)
+	default:
+		return lazyForward(up, rc)
+	}
+}
+
+// tencentBehaviour: Deletion for "first-last" when the Range option is
+// disable (Table I); Laziness for suffix shapes; strip-and-coalesce for
+// multi-range requests (absent from Tables II/III).
+func tencentBehaviour(up Upstream, rc *RequestContext, opts *Options) (*Retrieval, error) {
+	if noRange(rc) {
+		return deleteAndFetch(up, rc)
+	}
+	switch {
+	case isSingle(rc.Set):
+		if opts.RangeOptionVulnerable {
+			return deleteAndFetch(up, rc)
+		}
+		return lazyForward(up, rc)
+	case isMulti(rc.Set):
+		return deleteAndFetch(up, rc)
+	default:
+		return lazyForward(up, rc)
+	}
+}
+
+// cloudflareBehaviour: with the default Cacheable rule every shape is
+// stripped (Table I's conditional Deletion); with a Bypass rule the
+// edge becomes a pure lazy proxy, which is the Table II FCDN position.
+func cloudflareBehaviour(up Upstream, rc *RequestContext, opts *Options) (*Retrieval, error) {
+	if opts.CloudflareBypass {
+		if noRange(rc) {
+			return lazyForward(up, rc)
+		}
+		return lazyForward(up, rc)
+	}
+	return deleteAndFetch(up, rc)
+}
+
+// azureBehaviour implements the §V-A Azure case: Deletion with an 8 MiB
+// first-connection cutoff, plus an Expansion retry into the fixed
+// 8 MiB..16 MiB-1 window when the requested range lies inside it.
+func azureBehaviour(up Upstream, rc *RequestContext, _ *Options) (*Retrieval, error) {
+	if noRange(rc) {
+		return deleteAndFetch(up, rc)
+	}
+	if isSuffix(rc.Set) {
+		// Azure's Table I entries cover first-last shapes only.
+		return lazyForward(up, rc)
+	}
+	if isMulti(rc.Set) {
+		// Deletion; the reply side enforces the n<=64 rule.
+		return deleteAndFetch(up, rc)
+	}
+	// Single first-last: Deletion, but close the first connection once
+	// 8 MiB of payload has arrived.
+	obj, err := fetchObject(up, "", ranges.AzureCutoff)
+	if err != nil {
+		return nil, err
+	}
+	learn(rc, obj)
+	if !obj.Truncated {
+		return &Retrieval{Object: obj}, nil
+	}
+	// The resource exceeds 8 MiB. If the client's range lies in the
+	// Azure window, issue the second, expanded back-to-origin request.
+	spec := rc.Set[0]
+	last := spec.Last
+	if last == ranges.Unbounded {
+		last = spec.First
+	}
+	if ranges.AzureWindow(spec.First, last) {
+		return expandAndFetch(up, rc, ranges.AzureWindowFirst, ranges.AzureWindowLast)
+	}
+	// Otherwise serve from the truncated prefix (covers first < 8 MiB).
+	return &Retrieval{Object: obj}, nil
+}
+
+// cdn77Behaviour: Deletion for "first-last" with first < 1024, Laziness
+// otherwise — including all multi-range shapes (the Table II entry).
+func cdn77Behaviour(up Upstream, rc *RequestContext, _ *Options) (*Retrieval, error) {
+	if noRange(rc) {
+		return deleteAndFetch(up, rc)
+	}
+	if isSingle(rc.Set) && rc.Set[0].First < 1024 {
+		return deleteAndFetch(up, rc)
+	}
+	return lazyForward(up, rc)
+}
+
+// cdnsunBehaviour: Deletion for "0-last" single ranges and for
+// multi-range sets led by a 0-anchored range; Laziness otherwise
+// (Table II's start1 >= 1 condition).
+func cdnsunBehaviour(up Upstream, rc *RequestContext, _ *Options) (*Retrieval, error) {
+	if noRange(rc) {
+		return deleteAndFetch(up, rc)
+	}
+	if isSingle(rc.Set) && rc.Set[0].First == 0 {
+		return deleteAndFetch(up, rc)
+	}
+	if isMulti(rc.Set) && !rc.Set[0].IsSuffix() && rc.Set[0].First == 0 {
+		return deleteAndFetch(up, rc)
+	}
+	return lazyForward(up, rc)
+}
+
+// cloudFrontBehaviour implements the complete Expansion policy of §V-A(3).
+func cloudFrontBehaviour(up Upstream, rc *RequestContext, _ *Options) (*Retrieval, error) {
+	if noRange(rc) {
+		return deleteAndFetch(up, rc)
+	}
+	switch {
+	case isSuffix(rc.Set):
+		return lazyForward(up, rc)
+	case isSingle(rc.Set):
+		spec := rc.Set[0]
+		if spec.Last == ranges.Unbounded {
+			return deleteAndFetch(up, rc)
+		}
+		first, last := ranges.ExpandCloudFront(spec.First, spec.Last)
+		return expandAndFetch(up, rc, first, last)
+	default:
+		if first, last, ok := ranges.ExpandCloudFrontSet(rc.Set); ok {
+			return expandAndFetch(up, rc, first, last)
+		}
+		return deleteAndFetch(up, rc)
+	}
+}
+
+// huaweiBehaviour: Deletion, with Table I's F-conditional split — the
+// vulnerable shape is "-suffix" for resources under 10 MB and
+// "first-last" for resources of 10 MB and above. Unknown sizes default
+// to Deletion (the position an attacker encounters on a cold edge).
+// The table's "None & None" dual back-to-origin entry is approximated
+// by a single full fetch: the paper's own Table IV factors imply the
+// measured origin traffic equals one copy of the resource.
+func huaweiBehaviour(up Upstream, rc *RequestContext, opts *Options) (*Retrieval, error) {
+	const tenMB = 10 * 1000 * 1000
+	if noRange(rc) {
+		return deleteAndFetch(up, rc)
+	}
+	if !opts.RangeOptionVulnerable {
+		return lazyForward(up, rc)
+	}
+	size := rc.SizeHint
+	switch {
+	case isSuffix(rc.Set):
+		if size >= tenMB {
+			return lazyForward(up, rc)
+		}
+		return deleteAndFetch(up, rc)
+	case isSingle(rc.Set):
+		if size > 0 && size < tenMB {
+			return lazyForward(up, rc)
+		}
+		return deleteAndFetch(up, rc)
+	default:
+		return deleteAndFetch(up, rc)
+	}
+}
+
+// keyCDNBehaviour: Laziness on the first sighting of a request, then
+// Deletion when the same request (key + range) arrives again (§V-A(4)).
+func keyCDNBehaviour(up Upstream, rc *RequestContext, _ *Options) (*Retrieval, error) {
+	if noRange(rc) || isMulti(rc.Set) {
+		// Multi-range sets are stripped and coalesced — KeyCDN appears in
+		// neither Table II nor Table III.
+		return deleteAndFetch(up, rc)
+	}
+	if isSuffix(rc.Set) {
+		return lazyForward(up, rc)
+	}
+	if rc.State.BumpSeen(rc.Key+"\x00"+rc.Raw) == 1 {
+		return lazyForward(up, rc)
+	}
+	return deleteAndFetch(up, rc)
+}
+
+// stackPathBehaviour: Laziness first; a 206 answer triggers an
+// immediate re-forward without the Range header (§V-A(5)). The "[& None]"
+// in Tables I and II is this second request.
+func stackPathBehaviour(up Upstream, rc *RequestContext, _ *Options) (*Retrieval, error) {
+	if !rc.HasRange {
+		return deleteAndFetch(up, rc)
+	}
+	resp, _, err := up.Fetch(rc.Raw, 0)
+	if err != nil {
+		return nil, fmt.Errorf("upstream fetch: %w", err)
+	}
+	learnFromResponse(rc, resp)
+	if resp.StatusCode != httpwire.StatusPartialContent {
+		// A 200 already carries the whole object; multipart or error
+		// responses are relayed as-is below.
+		if obj, err := ObjectFromResponse(resp, false); err == nil {
+			return &Retrieval{Object: obj}, nil
+		}
+		return &Retrieval{Relay: resp}, nil
+	}
+	if ct, ok := resp.Headers.Get("Content-Type"); ok {
+		if _, multi := parseMultipartBoundary(ct); multi {
+			// A multipart 206 from a cascaded BCDN: StackPath still issues
+			// its range-stripped second request (the "[& None]" of Table II)
+			// but relays the multipart response to the client.
+			if _, _, err := up.Fetch("", 0); err != nil {
+				return nil, fmt.Errorf("upstream re-fetch: %w", err)
+			}
+			return &Retrieval{Relay: resp}, nil
+		}
+	}
+	return deleteAndFetch(up, rc)
+}
+
+// parseMultipartBoundary reports whether a Content-Type announces
+// multipart/byteranges (local copy to avoid importing internal/multipart
+// here; the engine uses the full parser).
+func parseMultipartBoundary(ct string) (string, bool) {
+	const prefix = "multipart/byteranges"
+	if len(ct) < len(prefix) {
+		return "", false
+	}
+	for i := 0; i < len(prefix); i++ {
+		c := ct[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != prefix[i] {
+			return "", false
+		}
+	}
+	return "", true
+}

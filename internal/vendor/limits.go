@@ -1,0 +1,143 @@
+package vendor
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/httpwire"
+)
+
+// CloudflareHeaderBudget is the right-hand side of Cloudflare's
+// empirical constraint RL + 2·HHL + RHL <= 32411 bytes (§V-C), where RL
+// is the request line, HHL the Host header field line and RHL the Range
+// header field line.
+const CloudflareHeaderBudget = 32411
+
+// HeaderLimits describes one vendor's inbound request-header limits.
+// Zero fields mean "no limit of that kind".
+type HeaderLimits struct {
+	MaxTotalHeaderBytes  int  // sum of all field lines (Akamai 32 KB, StackPath ~81 KB)
+	MaxSingleHeaderBytes int  // one field line (CDN77/CDNsun 16 KB)
+	CloudflareFormula    bool // RL + 2·HHL + RHL <= CloudflareHeaderBudget
+}
+
+// LimitError reports which limit a request violated.
+type LimitError struct {
+	Kind   string
+	Actual int
+	Limit  int
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("vendor: request exceeds %s limit: %d > %d", e.Kind, e.Actual, e.Limit)
+}
+
+func fieldLineSize(h httpwire.Header) int {
+	return len(h.Name) + 2 + len(h.Value) + 2
+}
+
+// Check validates a request against the limits.
+func (l HeaderLimits) Check(req *httpwire.Request) error {
+	if l.MaxSingleHeaderBytes > 0 {
+		for _, h := range req.Headers {
+			if n := fieldLineSize(h); n > l.MaxSingleHeaderBytes {
+				return &LimitError{Kind: "single-header", Actual: n, Limit: l.MaxSingleHeaderBytes}
+			}
+		}
+	}
+	if l.MaxTotalHeaderBytes > 0 {
+		if n := req.Headers.WireSize(); n > l.MaxTotalHeaderBytes {
+			return &LimitError{Kind: "total-header", Actual: n, Limit: l.MaxTotalHeaderBytes}
+		}
+	}
+	if l.CloudflareFormula {
+		rl := req.StartLineSize()
+		hhl, rhl := 0, 0
+		for _, h := range req.Headers {
+			switch {
+			case equalFold(h.Name, "Host"):
+				hhl = fieldLineSize(h)
+			case equalFold(h.Name, "Range"):
+				rhl = fieldLineSize(h)
+			}
+		}
+		if n := rl + 2*hhl + rhl; n > CloudflareHeaderBudget {
+			return &LimitError{Kind: "cloudflare-formula", Actual: n, Limit: CloudflareHeaderBudget}
+		}
+	}
+	return nil
+}
+
+// equalFold is ASCII case-insensitive equality for header names.
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// rangeFieldLine returns the Range field-line size for a crafted
+// overlapping set "bytes=<firstToken>,0-,0-,…" with n ranges total.
+func rangeFieldLine(firstToken string, n int) int {
+	value := len("bytes=") + len(firstToken) + 3*(n-1)
+	return len("Range: ") + value + 2
+}
+
+// MaxOverlappingRanges returns the largest n for which a request shaped
+// like proto — with its Range header replaced by
+// "bytes=<firstToken>,0-,0-,…" of n ranges — passes these limits.
+// It returns math.MaxInt32 when no header limit applies.
+func (l HeaderLimits) MaxOverlappingRanges(proto *httpwire.Request, firstToken string) int {
+	best := math.MaxInt32
+	// fieldLine(n) = len("Range: ") + len("bytes=") + len(firstToken)
+	//              + 3(n-1) + len(CRLF) = 12 + len(firstToken) + 3n,
+	// so fieldLine(n) <= budget  =>  n <= (budget - 12 - len(firstToken))/3.
+	solve := func(budget int) int {
+		n := (budget - 12 - len(firstToken)) / 3
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	if l.MaxSingleHeaderBytes > 0 {
+		if n := solve(l.MaxSingleHeaderBytes); n < best {
+			best = n
+		}
+	}
+	if l.MaxTotalHeaderBytes > 0 {
+		others := 0
+		for _, h := range proto.Headers {
+			if !equalFold(h.Name, "Range") {
+				others += fieldLineSize(h)
+			}
+		}
+		if n := solve(l.MaxTotalHeaderBytes - others); n < best {
+			best = n
+		}
+	}
+	if l.CloudflareFormula {
+		rl := proto.StartLineSize()
+		hhl := 0
+		for _, h := range proto.Headers {
+			if equalFold(h.Name, "Host") {
+				hhl = fieldLineSize(h)
+			}
+		}
+		if n := solve(CloudflareHeaderBudget - rl - 2*hhl); n < best {
+			best = n
+		}
+	}
+	return best
+}

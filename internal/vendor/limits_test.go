@@ -1,0 +1,127 @@
+package vendor
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/httpwire"
+)
+
+func TestHeaderLimitsCheck(t *testing.T) {
+	req := httpwire.NewRequest("GET", "/f", "h.example")
+	req.Headers.Add("Range", "bytes="+strings.Repeat("0-,", 100)+"0-")
+
+	if err := (HeaderLimits{}).Check(req); err != nil {
+		t.Errorf("no limits: %v", err)
+	}
+	if err := (HeaderLimits{MaxTotalHeaderBytes: 1 << 20}).Check(req); err != nil {
+		t.Errorf("generous total: %v", err)
+	}
+	err := HeaderLimits{MaxTotalHeaderBytes: 64}.Check(req)
+	var le *LimitError
+	if !errors.As(err, &le) || le.Kind != "total-header" {
+		t.Errorf("tight total: %v", err)
+	}
+	err = HeaderLimits{MaxSingleHeaderBytes: 64}.Check(req)
+	if !errors.As(err, &le) || le.Kind != "single-header" {
+		t.Errorf("tight single: %v", err)
+	}
+}
+
+func TestCloudflareFormulaCheck(t *testing.T) {
+	req := httpwire.NewRequest("GET", "/f", "h.example")
+	lim := HeaderLimits{CloudflareFormula: true}
+	if err := lim.Check(req); err != nil {
+		t.Errorf("small request: %v", err)
+	}
+	// RL + 2*HHL is fixed; grow the Range header until the formula trips.
+	req.Headers.Add("Range", "bytes=0-,"+strings.Repeat("0-,", 11000)+"0-")
+	err := lim.Check(req)
+	var le *LimitError
+	if !errors.As(err, &le) || le.Kind != "cloudflare-formula" {
+		t.Errorf("huge range: %v", err)
+	}
+}
+
+// TestMaxOverlappingRangesPaperValues checks the planner against the
+// paper's §V-C max-n derivations. CDN77 (16 KB single header, first
+// token "-1024") gives 5455; CDNsun (first token "1-") gives 5456 —
+// both exactly as in Table V.
+func TestMaxOverlappingRangesPaperValues(t *testing.T) {
+	proto := httpwire.NewRequest("GET", "/1KB.bin", "fcdn.example")
+	cdn77, _ := ByName("cdn77")
+	if n := cdn77.Limits.MaxOverlappingRanges(proto, "-1024"); n != 5455 {
+		t.Errorf("CDN77 max n = %d, want 5455", n)
+	}
+	cdnsun, _ := ByName("cdnsun")
+	if n := cdnsun.Limits.MaxOverlappingRanges(proto, "1-"); n != 5456 {
+		t.Errorf("CDNsun max n = %d, want 5456", n)
+	}
+}
+
+func TestMaxOverlappingRangesConsistentWithCheck(t *testing.T) {
+	// For every limit kind, a request built with the planner's n must
+	// pass Check and one more range must fail it.
+	limits := []HeaderLimits{
+		{MaxTotalHeaderBytes: 32 << 10},
+		{MaxSingleHeaderBytes: 16 << 10},
+		{CloudflareFormula: true},
+	}
+	build := func(n int) *httpwire.Request {
+		req := httpwire.NewRequest("GET", "/1KB.bin", "fcdn.example")
+		req.Headers.Add("User-Agent", "rangeamp/1.0")
+		specs := make([]string, n)
+		specs[0] = "0-"
+		for i := 1; i < n; i++ {
+			specs[i] = "0-"
+		}
+		req.Headers.Add("Range", "bytes="+strings.Join(specs, ","))
+		return req
+	}
+	for _, lim := range limits {
+		proto := build(1)
+		n := lim.MaxOverlappingRanges(proto, "0-")
+		if n <= 0 || n == math.MaxInt32 {
+			t.Fatalf("%+v: n = %d", lim, n)
+		}
+		if err := lim.Check(build(n)); err != nil {
+			t.Errorf("%+v: request with planner n=%d rejected: %v", lim, n, err)
+		}
+		if err := lim.Check(build(n + 1)); err == nil {
+			t.Errorf("%+v: n+1 accepted", lim)
+		}
+	}
+}
+
+func TestMaxOverlappingRangesUnlimited(t *testing.T) {
+	proto := httpwire.NewRequest("GET", "/f", "h")
+	if n := (HeaderLimits{}).MaxOverlappingRanges(proto, "0-"); n != math.MaxInt32 {
+		t.Errorf("unlimited n = %d", n)
+	}
+}
+
+func TestMaxOverlappingRangesTinyBudget(t *testing.T) {
+	proto := httpwire.NewRequest("GET", "/f", "h")
+	if n := (HeaderLimits{MaxSingleHeaderBytes: 5}).MaxOverlappingRanges(proto, "0-"); n != 0 {
+		t.Errorf("tiny budget n = %d", n)
+	}
+}
+
+func TestEqualFold(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want bool
+	}{
+		{"Host", "host", true},
+		{"RANGE", "range", true},
+		{"Host", "Hosts", false},
+		{"a", "b", false},
+	}
+	for _, tt := range tests {
+		if got := equalFold(tt.a, tt.b); got != tt.want {
+			t.Errorf("equalFold(%q,%q) = %v", tt.a, tt.b, got)
+		}
+	}
+}

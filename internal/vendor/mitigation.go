@@ -1,0 +1,139 @@
+package vendor
+
+import "repro/internal/ranges"
+
+// Mitigations of §VI-C, applied as profile transforms so the ablation
+// benches can compare each vendor with and without its fix.
+
+// MitigateLaziness returns a copy of p whose edge forwards every Range
+// header unchanged — the complete SBR defence ("CDNs can adopt the
+// Laziness policy to completely defend against the SBR attack"), at the
+// cost of the caching benefit.
+func MitigateLaziness(p *Profile) *Profile {
+	c := p.Clone()
+	c.Name = p.Name + "+laziness"
+	c.Behaviour = func(up Upstream, rc *RequestContext, _ *Options) (*Retrieval, error) {
+		if rc.HasRange {
+			return lazyForward(up, rc)
+		}
+		return deleteAndFetch(up, rc)
+	}
+	c.CacheByDefault = false
+	return c
+}
+
+// MitigateBoundedExpansion returns a copy of p whose edge expands a
+// range request by at most slack bytes past the requested span — the
+// paper's "increase the byte range by 8KB" compromise that keeps range
+// caching useful while bounding the cdn-origin amplification.
+func MitigateBoundedExpansion(p *Profile, slack int64) *Profile {
+	c := p.Clone()
+	c.Name = p.Name + "+bounded"
+	c.Behaviour = func(up Upstream, rc *RequestContext, _ *Options) (*Retrieval, error) {
+		if noRange(rc) {
+			return deleteAndFetch(up, rc)
+		}
+		if isSuffix(rc.Set) {
+			// Expand the suffix length itself by the slack.
+			obj, err := fetchObject(up, ranges.Set{ranges.NewSuffix(rc.Set[0].SuffixLen + slack)}.HeaderValue(), 0)
+			if err != nil {
+				return nil, err
+			}
+			learn(rc, obj)
+			return &Retrieval{Object: obj}, nil
+		}
+		span, ok := ranges.Span(specsUpperBound(rc.Set))
+		if !ok {
+			return lazyForward(up, rc)
+		}
+		return expandAndFetch(up, rc, span.Offset, span.End()+slack)
+	}
+	return c
+}
+
+// specsUpperBound converts specs to windows without knowing the
+// resource size, treating open-ended ranges as single-byte anchors
+// (the origin clamps the expanded request anyway).
+func specsUpperBound(set ranges.Set) []ranges.Resolved {
+	out := make([]ranges.Resolved, 0, len(set))
+	for _, s := range set {
+		if s.IsSuffix() {
+			continue
+		}
+		last := s.Last
+		if last == ranges.Unbounded {
+			last = s.First
+		}
+		out = append(out, ranges.Resolved{Offset: s.First, Length: last - s.First + 1})
+	}
+	return out
+}
+
+// MitigateRejectOverlap returns a copy of p that refuses multi-range
+// requests with overlapping ranges (RFC 7233 §6.1's "reject" option,
+// the fix CDN77 deployed per §VII-A) — the OBR defence.
+func MitigateRejectOverlap(p *Profile) *Profile {
+	c := p.Clone()
+	c.Name = p.Name + "+reject"
+	c.MultiRangeReply = ReplyReject
+	return c
+}
+
+// MitigateCoalesce returns a copy of p that coalesces overlapping
+// ranges before replying (RFC 7233 §6.1's "coalesce" option).
+func MitigateCoalesce(p *Profile) *Profile {
+	c := p.Clone()
+	c.Name = p.Name + "+coalesce"
+	c.MultiRangeReply = ReplyCoalesce
+	c.MaxPartsThenIgnore = 0
+	return c
+}
+
+// MitigateSlicing returns a copy of p that fetches range requests as
+// fixed-size aligned slices — the fix CDN77 described ("try
+// implementing slicing of range requests", §VII-A) and the mechanism
+// behind CloudFront-style segment caching. The back-to-origin traffic
+// for any client range is bounded by the covering slices, so the SBR
+// factor is capped at roughly sliceSize/clientResponse no matter how
+// large the target resource is.
+func MitigateSlicing(p *Profile, sliceSize int64) *Profile {
+	if sliceSize <= 0 {
+		sliceSize = 1 << 20
+	}
+	c := p.Clone()
+	c.Name = p.Name + "+slice"
+	c.Behaviour = func(up Upstream, rc *RequestContext, _ *Options) (*Retrieval, error) {
+		if noRange(rc) {
+			return deleteAndFetch(up, rc)
+		}
+		if isSuffix(rc.Set) {
+			// Without the total size the covering slice is unknown; the
+			// suffix is forwarded as-is (Laziness), like G-Core's slice
+			// option behaves.
+			if rc.SizeHint <= 0 {
+				return lazyForward(up, rc)
+			}
+			w, ok := rc.Set[0].Resolve(rc.SizeHint)
+			if !ok {
+				return lazyForward(up, rc)
+			}
+			first, last := sliceCover(w.Offset, w.End(), sliceSize)
+			return expandAndFetch(up, rc, first, last)
+		}
+		span, ok := ranges.Span(specsUpperBound(rc.Set))
+		if !ok {
+			return lazyForward(up, rc)
+		}
+		first, last := sliceCover(span.Offset, span.End(), sliceSize)
+		return expandAndFetch(up, rc, first, last)
+	}
+	return c
+}
+
+// sliceCover returns the smallest slice-aligned window covering
+// [first,last].
+func sliceCover(first, last, sliceSize int64) (int64, int64) {
+	lo := first / sliceSize * sliceSize
+	hi := (last/sliceSize+1)*sliceSize - 1
+	return lo, hi
+}

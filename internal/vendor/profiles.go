@@ -1,0 +1,392 @@
+package vendor
+
+import (
+	"strings"
+
+	"repro/internal/httpwire"
+)
+
+// fixedEdgeDate keeps edge responses byte-deterministic.
+const fixedEdgeDate = "Mon, 29 Jun 2020 12:00:00 GMT"
+
+// edgeHeaders builds a header template from name/value pairs and pads
+// it with a trace-id header so the block serializes to exactly target
+// bytes. The targets are calibrated from Table IV: the paper reports
+// per-CDN client-side response sizes (the denominator of every SBR
+// amplification factor) that differ only by the response headers each
+// CDN inserts, so reproducing the factor slopes requires reproducing
+// the header volume, not the exact header names.
+func edgeHeaders(target int, pairs ...string) func() httpwire.Headers {
+	if len(pairs)%2 != 0 {
+		panic("vendor: edgeHeaders needs name/value pairs")
+	}
+	return func() httpwire.Headers {
+		hs := make(httpwire.Headers, 0, len(pairs)/2+1)
+		for i := 0; i < len(pairs); i += 2 {
+			hs.Add(pairs[i], pairs[i+1])
+		}
+		const fill = "X-Edge-Trace"
+		if pad := target - hs.WireSize() - (len(fill) + 4); pad > 0 {
+			hs.Add(fill, traceID(pad))
+		}
+		return hs
+	}
+}
+
+// traceID returns a deterministic hex-like string of length n.
+func traceID(n int) string {
+	const alphabet = "0123456789abcdef"
+	var b strings.Builder
+	b.Grow(n)
+	for i := 0; i < n; i++ {
+		b.WriteByte(alphabet[(i*7+3)%16])
+	}
+	return b.String()
+}
+
+// Akamai returns the Akamai profile: Deletion for every shape
+// (Table I), overlapping multipart replies (Table III), 32 KB total
+// request-header limit, and the smallest edge header set of the 13
+// (hence the largest Fig 6 slope, up to 43093x at 25 MB).
+func Akamai() *Profile {
+	return &Profile{
+		Name:              "akamai",
+		DisplayName:       "Akamai",
+		Behaviour:         simpleDeletion,
+		MultiRangeReply:   ReplyServeAll,
+		MultipartBoundary: "akamaighost-3d29c3fa58b21b0c9f27d14e6a85c7e01b2d4f60",
+		EdgeHeaders: edgeHeaders(480,
+			"Server", "AkamaiGHost",
+			"Mime-Version", "1.0",
+			"Date", fixedEdgeDate,
+			"Connection", "keep-alive",
+			"Expires", fixedEdgeDate,
+			"Cache-Control", "max-age=604800",
+			"X-Check-Cacheable", "YES",
+			"Accept-Ranges", "bytes",
+		),
+		Limits:         HeaderLimits{MaxTotalHeaderBytes: 32 << 10},
+		CacheByDefault: true,
+	}
+}
+
+// AlibabaCloud returns the Alibaba Cloud profile: Deletion for
+// "-suffix" shapes when the vendor Range option is disable (the
+// default here), and the heaviest edge header set of the 13.
+func AlibabaCloud() *Profile {
+	return &Profile{
+		Name:              "alibaba",
+		DisplayName:       "Alibaba Cloud",
+		Behaviour:         alibabaBehaviour,
+		Options:           Options{RangeOptionVulnerable: true},
+		MultiRangeReply:   ReplyCoalesce,
+		MultipartBoundary: "ALIYUN-CDN-BOUNDARY-2f81a6c4",
+		EdgeHeaders: edgeHeaders(871,
+			"Server", "Tengine",
+			"Date", fixedEdgeDate,
+			"Connection", "keep-alive",
+			"Via", "cache13.l2et15-1[0,206-0,H], cache52.l2et15-1[0,0], kunlun9.cn2201[0,206-0,H], kunlun6.cn2201[1,0]",
+			"Age", "0",
+			"Ali-Swift-Global-Savetime", "1593432000",
+			"X-Cache", "HIT TCP_MEM_HIT dirn:-2:-2",
+			"X-Swift-SaveTime", fixedEdgeDate,
+			"X-Swift-CacheTime", "86400",
+			"Timing-Allow-Origin", "*",
+			"EagleId", "2f81a6c415934320001234567e",
+			"Accept-Ranges", "bytes",
+		),
+		CacheByDefault: true,
+	}
+}
+
+// Azure returns the Azure CDN profile: Deletion with the 8 MiB cutoff
+// plus window Expansion (§V-A(2)), overlapping multipart replies capped
+// at 64 ranges (Tables III and V).
+func Azure() *Profile {
+	return &Profile{
+		Name:               "azure",
+		DisplayName:        "Azure",
+		Behaviour:          azureBehaviour,
+		MultiRangeReply:    ReplyServeAll,
+		MaxPartsThenIgnore: 64,
+		MultipartBoundary:  "msedge-a1b2c3d4e5f6",
+		PartExtraHeaders: func() httpwire.Headers {
+			var hs httpwire.Headers
+			hs.Add("X-Cache", "TCP_MISS")
+			hs.Add("X-MSEdge-Ref", "Ref A: "+strings.ToUpper(traceID(32))+" Ref B: EDGE01 Ref C: 2020-06-29T12:00:00Z")
+			hs.Add("X-Azure-RequestChain", "hops=2; reqid="+traceID(32))
+			hs.Add("Server", "ECAcc (lha/5SDA)")
+			return hs
+		}(),
+		EdgeHeaders: edgeHeaders(600,
+			"Server", "ECAcc (lha/5SDA)",
+			"Date", fixedEdgeDate,
+			"X-Cache", "TCP_MISS from ECAcc (lha/5SDA)",
+			"Accept-Ranges", "bytes",
+		),
+		CacheByDefault: true,
+	}
+}
+
+// CDN77 returns the CDN77 profile: Deletion only for "first-last" with
+// first < 1024, Laziness otherwise (which makes it a Table II FCDN),
+// with a 16 KB single-header limit.
+func CDN77() *Profile {
+	return &Profile{
+		Name:              "cdn77",
+		DisplayName:       "CDN77",
+		Behaviour:         cdn77Behaviour,
+		MultiRangeReply:   ReplyCoalesce,
+		MultipartBoundary: "cdn77-f0e1d2c3b4a5",
+		EdgeHeaders: edgeHeaders(521,
+			"Server", "CDN77-Turbo",
+			"Date", fixedEdgeDate,
+			"X-77-NZT", "AAEDhg==",
+			"X-77-Cache", "HIT",
+			"X-77-POP", "londonUK",
+			"Accept-Ranges", "bytes",
+		),
+		Limits:         HeaderLimits{MaxSingleHeaderBytes: 16 << 10},
+		CacheByDefault: true,
+	}
+}
+
+// CDNsun returns the CDNsun profile: Deletion for 0-anchored ranges,
+// Laziness for the rest (Table II's start1 >= 1 shape), 16 KB
+// single-header limit.
+func CDNsun() *Profile {
+	return &Profile{
+		Name:              "cdnsun",
+		DisplayName:       "CDNsun",
+		Behaviour:         cdnsunBehaviour,
+		MultiRangeReply:   ReplyCoalesce,
+		MultipartBoundary: "cdnsun-00112233445566",
+		EdgeHeaders: edgeHeaders(549,
+			"Server", "CDNsun",
+			"Date", fixedEdgeDate,
+			"X-Cache", "MISS",
+			"X-Edge-Location", "frankfurtDE",
+			"Accept-Ranges", "bytes",
+		),
+		Limits:         HeaderLimits{MaxSingleHeaderBytes: 16 << 10},
+		CacheByDefault: true,
+	}
+}
+
+// Cloudflare returns the Cloudflare profile. With the default Cacheable
+// rule it strips every Range shape (SBR-vulnerable); with the Bypass
+// option it turns into a lazy proxy (the Table II FCDN position). Its
+// request-header constraint is the empirical RL + 2·HHL + RHL formula.
+func Cloudflare() *Profile {
+	return &Profile{
+		Name:              "cloudflare",
+		DisplayName:       "Cloudflare",
+		Behaviour:         cloudflareBehaviour,
+		MultiRangeReply:   ReplyCoalesce,
+		MultipartBoundary: "cloudflare-9a8b7c6d5e4f",
+		EdgeHeaders: edgeHeaders(695,
+			"Server", "cloudflare",
+			"Date", fixedEdgeDate,
+			"CF-Ray", "5aa1b2c3d4e5f607-LHR",
+			"CF-Cache-Status", "HIT",
+			"Age", "0",
+			"Expect-CT", `max-age=604800, report-uri="https://report-uri.cloudflare.com/cdn-cgi/beacon/expect-ct"`,
+			"Set-Cookie", "__cfduid="+traceID(43)+"; expires=Wed, 29-Jul-20 12:00:00 GMT; path=/; domain=.example.com; HttpOnly; SameSite=Lax",
+			"Vary", "Accept-Encoding",
+			"Accept-Ranges", "bytes",
+		),
+		Limits:         HeaderLimits{CloudflareFormula: true},
+		CacheByDefault: true,
+	}
+}
+
+// CloudFront returns the CloudFront profile: the pure Expansion policy
+// with 1 MiB alignment and the 10 MiB multi-range collapse (§V-A(3)).
+func CloudFront() *Profile {
+	return &Profile{
+		Name:              "cloudfront",
+		DisplayName:       "CloudFront",
+		Behaviour:         cloudFrontBehaviour,
+		MultiRangeReply:   ReplyCoalesce,
+		MultipartBoundary: "cf-aws-0123456789abcdef",
+		PartExtraHeaders: func() httpwire.Headers {
+			var hs httpwire.Headers
+			hs.Add("X-Amz-Cf-Id", strings.ToUpper(traceID(32)))
+			return hs
+		}(),
+		EdgeHeaders: edgeHeaders(645,
+			"Server", "AmazonS3",
+			"Date", fixedEdgeDate,
+			"X-Cache", "Miss from cloudfront",
+			"Via", "1.1 "+traceID(32)+".cloudfront.net (CloudFront)",
+			"X-Amz-Cf-Pop", "LHR62-C2",
+			"X-Amz-Cf-Id", strings.ToUpper(traceID(52)),
+			"Accept-Ranges", "bytes",
+		),
+		CacheByDefault: true,
+	}
+}
+
+// Fastly returns the Fastly profile: unconditional Deletion.
+func Fastly() *Profile {
+	return &Profile{
+		Name:              "fastly",
+		DisplayName:       "Fastly",
+		Behaviour:         simpleDeletion,
+		MultiRangeReply:   ReplyCoalesce,
+		MultipartBoundary: "fastly-varnish-8f7e6d5c",
+		EdgeHeaders: edgeHeaders(696,
+			"Server", "Artisanal bits",
+			"Date", fixedEdgeDate,
+			"Via", "1.1 varnish",
+			"X-Served-By", "cache-lhr7322-LHR",
+			"X-Cache", "MISS",
+			"X-Cache-Hits", "0",
+			"X-Timer", "S1593432000.000000,VS0,VE102",
+			"Fastly-Debug-Digest", traceID(64),
+			"Accept-Ranges", "bytes",
+		),
+		CacheByDefault: true,
+	}
+}
+
+// GCoreLabs returns the G-Core Labs profile: unconditional Deletion
+// with the leanest header set after Akamai (43330x at 25 MB).
+func GCoreLabs() *Profile {
+	return &Profile{
+		Name:              "gcore",
+		DisplayName:       "G-Core Labs",
+		Behaviour:         simpleDeletion,
+		MultiRangeReply:   ReplyCoalesce,
+		MultipartBoundary: "gcore-11223344",
+		EdgeHeaders: edgeHeaders(477,
+			"Server", "nginx",
+			"Date", fixedEdgeDate,
+			"Cache", "MISS",
+			"X-ID", "m9-up-gc01",
+			"Accept-Ranges", "bytes",
+		),
+		CacheByDefault: true,
+	}
+}
+
+// HuaweiCloud returns the Huawei Cloud profile with its F-conditional
+// Deletion (Table I) behind the vendor Range option (vulnerable when
+// the option is enabled, the default here).
+func HuaweiCloud() *Profile {
+	return &Profile{
+		Name:              "huawei",
+		DisplayName:       "Huawei Cloud",
+		Behaviour:         huaweiBehaviour,
+		Options:           Options{RangeOptionVulnerable: true},
+		MultiRangeReply:   ReplyCoalesce,
+		MultipartBoundary: "hcdn-55667788",
+		EdgeHeaders: edgeHeaders(593,
+			"Server", "CDN",
+			"Date", fixedEdgeDate,
+			"X-HCS-Proxy-Type", "1",
+			"X-CCDN-CacheTTL", "86400",
+			"X-CCDN-Expire", "86400",
+			"Age", "0",
+			"Accept-Ranges", "bytes",
+		),
+		CacheByDefault: true,
+	}
+}
+
+// KeyCDN returns the KeyCDN profile: Laziness on the first sighting of
+// a "first-last" request and Deletion on the repeat (§V-A(4)) — the
+// attacker sends each request twice, so the client-side traffic doubles
+// (the paper's Fig 6b outlier).
+func KeyCDN() *Profile {
+	return &Profile{
+		Name:              "keycdn",
+		DisplayName:       "KeyCDN",
+		Behaviour:         keyCDNBehaviour,
+		MultiRangeReply:   ReplyCoalesce,
+		MultipartBoundary: "keycdn-99aabbcc",
+		EdgeHeaders: edgeHeaders(497,
+			"Server", "keycdn-engine",
+			"Date", fixedEdgeDate,
+			"X-Cache", "MISS",
+			"X-Shield", "active",
+			"X-Edge-Location", "defr",
+			"Accept-Ranges", "bytes",
+		),
+		CacheByDefault: true,
+	}
+}
+
+// StackPath returns the StackPath profile: Laziness, re-forwarding
+// without the Range header after a 206 (§V-A(5)); serves overlapping
+// multipart replies (Table III); ~81 KB total header limit.
+func StackPath() *Profile {
+	return &Profile{
+		Name:              "stackpath",
+		DisplayName:       "StackPath",
+		Behaviour:         stackPathBehaviour,
+		MultiRangeReply:   ReplyServeAll,
+		MultipartBoundary: "stackpath-highwinds-0f1e2d3c4b5a69788796a5b4c3d2e1f0a1b2c3d4e5f6a7b8",
+		EdgeHeaders: edgeHeaders(679,
+			"Server", "HighwindsCS",
+			"Date", fixedEdgeDate,
+			"X-HW", "1593432000.cds035.lo1.c",
+			"X-Cache", "MISS",
+			"Accept-Ranges", "bytes",
+		),
+		Limits:         HeaderLimits{MaxTotalHeaderBytes: 81 << 10},
+		CacheByDefault: true,
+	}
+}
+
+// TencentCloud returns the Tencent Cloud profile: Deletion for
+// "first-last" behind the vendor Range option (disable = vulnerable,
+// the default here).
+func TencentCloud() *Profile {
+	return &Profile{
+		Name:              "tencent",
+		DisplayName:       "Tencent Cloud",
+		Behaviour:         tencentBehaviour,
+		Options:           Options{RangeOptionVulnerable: true},
+		MultiRangeReply:   ReplyCoalesce,
+		MultipartBoundary: "tcdn-ddeeff00",
+		EdgeHeaders: edgeHeaders(680,
+			"Server", "NWS_SPMid",
+			"Date", fixedEdgeDate,
+			"X-Cache-Lookup", "Cache Miss",
+			"X-NWS-LOG-UUID", traceID(16)+" "+traceID(16),
+			"X-Daa-Tunnel", "hop_count=1",
+			"Accept-Ranges", "bytes",
+		),
+		CacheByDefault: true,
+	}
+}
+
+// All returns the 13 profiles in the paper's order.
+func All() []*Profile {
+	return []*Profile{
+		Akamai(), AlibabaCloud(), Azure(), CDN77(), CDNsun(), Cloudflare(),
+		CloudFront(), Fastly(), GCoreLabs(), HuaweiCloud(), KeyCDN(),
+		StackPath(), TencentCloud(),
+	}
+}
+
+// ByName looks a profile up by its short Name.
+func ByName(name string) (*Profile, bool) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// Names returns the 13 short names in paper order.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, p := range all {
+		out[i] = p.Name
+	}
+	return out
+}

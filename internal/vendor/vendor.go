@@ -1,0 +1,290 @@
+// Package vendor encodes the range-handling behaviour of the 13 CDNs
+// the paper studies (§III, Tables I–III) as declarative-plus-procedural
+// profiles that the internal/cdn proxy engine interprets.
+//
+// Each Profile carries:
+//   - a Behaviour: the vendor's back-to-origin strategy for a given
+//     client Range header (Laziness / Deletion / Expansion, including
+//     the stateful variants KeyCDN and StackPath exhibit),
+//   - a reply policy for multi-range requests (coalesce vs. serve-all),
+//   - the vendor's request-header size limits (which bound the OBR
+//     attack's maximum n),
+//   - the vendor's edge response headers (whose size sets each CDN's
+//     Fig 6 amplification slope), and
+//   - configuration options mirroring the conditional entries of
+//     Table I (the Alibaba/Tencent/Huawei "Range" option, Cloudflare
+//     cache rules).
+//
+// The profiles' default configurations are the vulnerable ones the
+// paper exploits; tests flip the options to verify the conditions.
+package vendor
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/httpwire"
+	"repro/internal/ranges"
+)
+
+// ForwardPolicy names the three Range-header forwarding policies of §III-B.
+type ForwardPolicy int
+
+// The forwarding policies.
+const (
+	Laziness  ForwardPolicy = iota + 1 // forward the Range header unchanged
+	Deletion                           // remove the Range header
+	Expansion                          // extend it to a larger byte range
+)
+
+// String returns the paper's name for the policy.
+func (p ForwardPolicy) String() string {
+	switch p {
+	case Laziness:
+		return "Laziness"
+	case Deletion:
+		return "Deletion"
+	case Expansion:
+		return "Expansion"
+	default:
+		return "Unknown"
+	}
+}
+
+// ReplyPolicy is how an edge answers a multi-range request when it
+// holds the full object.
+type ReplyPolicy int
+
+// The reply policies. ReplyServeAll is the Table III vulnerability:
+// every requested range becomes a body part without overlap checking.
+const (
+	ReplyCoalesce ReplyPolicy = iota + 1 // merge overlapping/adjacent ranges (RFC 7233 §6.1)
+	ReplyServeAll                        // one part per range, overlap unchecked
+	ReplyReject                          // refuse overlapping multi-range requests outright
+)
+
+// Upstream lets a Behaviour issue back-to-origin requests. The engine
+// provides an implementation that dials the upstream address and
+// accounts traffic on the right segment.
+type Upstream interface {
+	// Fetch sends one upstream request. rangeHeader is the Range header
+	// value to use ("" sends no Range header). maxBody > 0 makes the
+	// fetch abort the connection after maxBody payload bytes, returning
+	// truncated=true (the Azure §V-A first-connection behaviour).
+	Fetch(rangeHeader string, maxBody int64) (resp *httpwire.Response, truncated bool, err error)
+}
+
+// RequestContext is what a Behaviour sees of the client request.
+type RequestContext struct {
+	Raw      string     // raw Range header value, "" if absent
+	HasRange bool       // Range header present
+	Set      ranges.Set // parsed set, nil when absent or unparseable
+	Path     string     // request path (no query)
+	SizeHint int64      // learned size of the resource, 0 when unknown
+	State    *EdgeState // per-edge persistent memory
+	Key      string     // cache key of the request
+}
+
+// Retrieval is a Behaviour's outcome: either a response to relay to the
+// client unchanged (the Laziness path) or an object view to build the
+// client reply from (the Deletion/Expansion paths).
+type Retrieval struct {
+	Relay  *httpwire.Response
+	Object *Object
+}
+
+// Behaviour executes one vendor's back-to-origin strategy. opts is the
+// profile's live option block, so flipping a profile's Options changes
+// behaviour without rebuilding it.
+type Behaviour func(up Upstream, rc *RequestContext, opts *Options) (*Retrieval, error)
+
+// Options mirror the conditional entries of Table I.
+type Options struct {
+	// RangeOptionVulnerable reflects the vendor "Range" back-to-origin
+	// option in its *vulnerable* position (Alibaba/Tencent: disable,
+	// Huawei: enable). Profiles default to true; setting false removes
+	// the SBR vulnerability for those vendors.
+	RangeOptionVulnerable bool
+
+	// CloudflareBypass marks the target path as a Bypass cache rule.
+	// Cacheable (false, the default) is the SBR-vulnerable position;
+	// Bypass (true) is the OBR-vulnerable (FCDN) position.
+	CloudflareBypass bool
+}
+
+// Profile is one CDN's complete range-handling description.
+type Profile struct {
+	Name        string // short identifier, e.g. "akamai"
+	DisplayName string // paper name, e.g. "Akamai"
+
+	Behaviour Behaviour
+	Options   Options
+
+	// Reply construction.
+	MultiRangeReply    ReplyPolicy
+	MaxPartsThenIgnore int    // >0: ignore the Range header beyond this many ranges (Azure: 64)
+	MultipartBoundary  string // boundary for edge-built multipart replies
+	PartExtraHeaders   httpwire.Headers
+
+	// Edge-inserted response headers (size calibrates the Fig 6 slope).
+	EdgeHeaders func() httpwire.Headers
+
+	// Inbound request-header limits (bound the OBR max n).
+	Limits HeaderLimits
+
+	// CacheByDefault reports whether full 200 responses are cached.
+	CacheByDefault bool
+}
+
+// Clone returns a deep-enough copy whose Options can be flipped without
+// affecting the original profile.
+func (p *Profile) Clone() *Profile {
+	c := *p
+	c.PartExtraHeaders = p.PartExtraHeaders.Clone()
+	return &c
+}
+
+// Object is a retrieved view of the target resource.
+type Object struct {
+	Offset         int64 // absolute offset of Body within the resource
+	CompleteSize   int64 // full resource size, -1 when unknown
+	Body           []byte
+	UpstreamStatus int
+	ContentType    string
+	Truncated      bool // the upstream transfer was cut short
+}
+
+// Complete reports whether Body is the whole resource.
+func (o *Object) Complete() bool {
+	return o.Offset == 0 && !o.Truncated && o.CompleteSize == int64(len(o.Body))
+}
+
+// Covers reports whether the object contains the resolved window.
+func (o *Object) Covers(w ranges.Resolved) bool {
+	return w.Offset >= o.Offset && w.End() <= o.Offset+int64(len(o.Body))-1
+}
+
+// Slice returns the window's bytes from the object; the window must be
+// covered.
+func (o *Object) Slice(w ranges.Resolved) []byte {
+	lo := w.Offset - o.Offset
+	return o.Body[lo : lo+w.Length]
+}
+
+// ErrUpstreamShape marks upstream responses a behaviour cannot interpret.
+var ErrUpstreamShape = errors.New("vendor: uninterpretable upstream response")
+
+// ObjectFromResponse derives an Object from an upstream 200 or
+// single-part 206 response. Multipart 206 responses cannot become
+// objects (relay those instead).
+func ObjectFromResponse(resp *httpwire.Response, truncated bool) (*Object, error) {
+	ct, _ := resp.Headers.Get("Content-Type")
+	obj := &Object{
+		Body:           resp.Body,
+		UpstreamStatus: resp.StatusCode,
+		ContentType:    ct,
+		Truncated:      truncated,
+		CompleteSize:   -1,
+	}
+	switch resp.StatusCode {
+	case httpwire.StatusOK:
+		obj.CompleteSize = int64(len(resp.Body))
+		if cl, ok := resp.Headers.Get("Content-Length"); ok {
+			if n, err := strconv.ParseInt(cl, 10, 64); err == nil {
+				obj.CompleteSize = n // larger than len(Body) when truncated
+			}
+		}
+		return obj, nil
+	case httpwire.StatusPartialContent:
+		cr, ok := resp.Headers.Get("Content-Range")
+		if !ok {
+			return nil, ErrUpstreamShape
+		}
+		offset, complete, err := parseContentRange(cr)
+		if err != nil {
+			return nil, err
+		}
+		obj.Offset = offset
+		obj.CompleteSize = complete
+		return obj, nil
+	default:
+		return nil, ErrUpstreamShape
+	}
+}
+
+// parseContentRange parses "bytes a-b/L" ("L" may be "*").
+func parseContentRange(v string) (offset, complete int64, err error) {
+	v = strings.TrimSpace(v)
+	rest, found := strings.CutPrefix(v, "bytes ")
+	if !found {
+		return 0, 0, ErrUpstreamShape
+	}
+	rangePart, sizePart, found := strings.Cut(rest, "/")
+	if !found {
+		return 0, 0, ErrUpstreamShape
+	}
+	firstStr, _, found := strings.Cut(rangePart, "-")
+	if !found {
+		return 0, 0, ErrUpstreamShape
+	}
+	first, err := strconv.ParseInt(firstStr, 10, 64)
+	if err != nil {
+		return 0, 0, ErrUpstreamShape
+	}
+	if sizePart == "*" {
+		return first, -1, nil
+	}
+	size, err := strconv.ParseInt(sizePart, 10, 64)
+	if err != nil {
+		return 0, 0, ErrUpstreamShape
+	}
+	return first, size, nil
+}
+
+// EdgeState is per-edge persistent memory: learned resource sizes
+// (Huawei's F-conditional behaviour) and per-request-signature counts
+// (KeyCDN's lazy-then-delete second request).
+type EdgeState struct {
+	mu    sync.Mutex
+	sizes map[string]int64
+	seen  map[string]int
+}
+
+// NewEdgeState returns empty state.
+func NewEdgeState() *EdgeState {
+	return &EdgeState{sizes: make(map[string]int64), seen: make(map[string]int)}
+}
+
+// LearnSize records the resource size for a path.
+func (s *EdgeState) LearnSize(path string, size int64) {
+	if s == nil || size <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sizes[path] = size
+}
+
+// SizeHint returns the learned size for a path, 0 when unknown.
+func (s *EdgeState) SizeHint(path string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sizes[path]
+}
+
+// BumpSeen increments and returns the occurrence count of a request
+// signature (key + raw range).
+func (s *EdgeState) BumpSeen(signature string) int {
+	if s == nil {
+		return 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seen[signature]++
+	return s.seen[signature]
+}

@@ -1,0 +1,458 @@
+package vendor
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/httpwire"
+	"repro/internal/origin"
+	"repro/internal/ranges"
+	"repro/internal/resource"
+)
+
+// fakeUpstream answers Fetch using a real origin.Server handler and
+// records the Range header of every back-to-origin request.
+type fakeUpstream struct {
+	srv   *origin.Server
+	path  string
+	calls []fetchCall
+}
+
+type fetchCall struct {
+	RangeHeader string
+	HasRange    bool
+	MaxBody     int64
+}
+
+func newFakeUpstream(size int64, rangeSupport bool) *fakeUpstream {
+	store := resource.NewStore()
+	store.AddSynthetic("/target", size, "application/octet-stream")
+	return &fakeUpstream{
+		srv:  origin.NewServer(store, origin.Config{RangeSupport: rangeSupport}),
+		path: "/target",
+	}
+}
+
+func (f *fakeUpstream) Fetch(rangeHeader string, maxBody int64) (*httpwire.Response, bool, error) {
+	f.calls = append(f.calls, fetchCall{RangeHeader: rangeHeader, HasRange: rangeHeader != "", MaxBody: maxBody})
+	req := httpwire.NewRequest("GET", f.path, "origin.test")
+	if rangeHeader != "" {
+		req.Headers.Add("Range", rangeHeader)
+	}
+	resp := f.srv.Handle(req)
+	if maxBody > 0 && int64(len(resp.Body)) > maxBody {
+		resp = resp.Clone()
+		resp.Body = resp.Body[:maxBody]
+		return resp, true, nil
+	}
+	return resp, false, nil
+}
+
+func runBehaviour(t *testing.T, p *Profile, up Upstream, rawRange string, sizeHint int64) *Retrieval {
+	t.Helper()
+	rc := &RequestContext{
+		Raw:      rawRange,
+		HasRange: rawRange != "",
+		Path:     "/target",
+		SizeHint: sizeHint,
+		State:    NewEdgeState(),
+		Key:      "/target",
+	}
+	if rawRange != "" {
+		if set, err := ranges.Parse(rawRange); err == nil {
+			rc.Set = set
+		}
+	}
+	ret, err := p.Behaviour(up, rc, &p.Options)
+	if err != nil {
+		t.Fatalf("%s behaviour(%q): %v", p.Name, rawRange, err)
+	}
+	return ret
+}
+
+// TestTable1Forwarding verifies each vendor's back-to-origin Range
+// transformation against Table I of the paper.
+func TestTable1Forwarding(t *testing.T) {
+	const MB = int64(1 << 20)
+	tests := []struct {
+		vendor    string
+		size      int64
+		sizeHint  int64
+		in        string
+		wantCalls []string // "" = no Range header (Deletion); one entry per back-to-origin request
+	}{
+		{"akamai", 4096, 0, "bytes=0-0", []string{""}},
+		{"akamai", 4096, 0, "bytes=-1", []string{""}},
+		{"alibaba", 4096, 0, "bytes=-1", []string{""}},
+		{"alibaba", 4096, 0, "bytes=0-0", []string{"bytes=0-0"}}, // only suffix shape is stripped
+		{"azure", 4 * MB, 0, "bytes=0-0", []string{""}},
+		{"azure", 20 * MB, 0, "bytes=8388608-8388608", []string{"", "bytes=8388608-16777215"}},
+		{"azure", 20 * MB, 0, "bytes=0-0", []string{""}}, // truncated prefix serves it
+		{"cdn77", 4096, 0, "bytes=0-0", []string{""}},
+		{"cdn77", 4096, 0, "bytes=2048-2048", []string{"bytes=2048-2048"}}, // first >= 1024: lazy
+		{"cdnsun", 4096, 0, "bytes=0-100", []string{""}},
+		{"cdnsun", 4096, 0, "bytes=1-100", []string{"bytes=1-100"}},
+		{"cloudflare", 4096, 0, "bytes=0-0", []string{""}},
+		{"cloudflare", 4096, 0, "bytes=-1", []string{""}},
+		{"cloudfront", 4096, 0, "bytes=0-0", []string{"bytes=0-1048575"}},
+		{"cloudfront", 20 * MB, 0, "bytes=0-0,9437184-9437184", []string{"bytes=0-10485759"}},
+		{"fastly", 4096, 0, "bytes=0-0", []string{""}},
+		{"fastly", 4096, 0, "bytes=-1", []string{""}},
+		{"gcore", 4096, 0, "bytes=0-0", []string{""}},
+		{"gcore", 4096, 0, "bytes=-1", []string{""}},
+		{"huawei", 4 * MB, 4 * MB, "bytes=-1", []string{""}},
+		{"huawei", 12 * MB, 12 * MB, "bytes=0-0", []string{""}},
+		{"huawei", 12 * MB, 12 * MB, "bytes=-1", []string{"bytes=-1"}}, // F >= 10MB: suffix is lazy
+		{"huawei", 4 * MB, 4 * MB, "bytes=0-0", []string{"bytes=0-0"}}, // F < 10MB: first-last is lazy
+		{"keycdn", 4096, 0, "bytes=0-0", []string{"bytes=0-0"}},        // first sighting: lazy
+		{"stackpath", 4096, 0, "bytes=0-0", []string{"bytes=0-0", ""}}, // lazy, then re-forward on 206
+		{"stackpath", 4096, 0, "bytes=-1", []string{"bytes=-1", ""}},
+		{"tencent", 4096, 0, "bytes=0-0", []string{""}},
+		{"tencent", 4096, 0, "bytes=-1", []string{"bytes=-1"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.vendor+"/"+tt.in, func(t *testing.T) {
+			p, ok := ByName(tt.vendor)
+			if !ok {
+				t.Fatalf("unknown vendor %s", tt.vendor)
+			}
+			up := newFakeUpstream(tt.size, true)
+			runBehaviour(t, p, up, tt.in, tt.sizeHint)
+			if len(up.calls) != len(tt.wantCalls) {
+				t.Fatalf("%d back-to-origin requests, want %d (%+v)", len(up.calls), len(tt.wantCalls), up.calls)
+			}
+			for i, want := range tt.wantCalls {
+				if up.calls[i].RangeHeader != want {
+					t.Errorf("request %d Range = %q, want %q", i, up.calls[i].RangeHeader, want)
+				}
+			}
+		})
+	}
+}
+
+// TestKeyCDNSecondRequestDeletes reproduces §V-A(4): the same request
+// twice; the second back-to-origin request has no Range header.
+func TestKeyCDNSecondRequestDeletes(t *testing.T) {
+	p, _ := ByName("keycdn")
+	up := newFakeUpstream(4096, true)
+	state := NewEdgeState()
+	rc := &RequestContext{Raw: "bytes=0-0", HasRange: true, Path: "/target", State: state, Key: "/target"}
+	rc.Set, _ = ranges.Parse(rc.Raw)
+
+	if _, err := p.Behaviour(up, rc, &p.Options); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Behaviour(up, rc, &p.Options); err != nil {
+		t.Fatal(err)
+	}
+	if len(up.calls) != 2 {
+		t.Fatalf("%d calls", len(up.calls))
+	}
+	if !up.calls[0].HasRange || up.calls[1].HasRange {
+		t.Errorf("calls = %+v, want lazy then deletion", up.calls)
+	}
+}
+
+// TestTable2LazyMultiRangeForwarding verifies the FCDN side of the OBR
+// attack: the four Table II vendors forward overlapping multi-range
+// sets unchanged, the other nine do not.
+func TestTable2LazyMultiRangeForwarding(t *testing.T) {
+	cases := map[string]string{
+		"cdn77":      "bytes=-1024,0-,0-,0-",
+		"cdnsun":     "bytes=1-,0-,0-,0-",
+		"cloudflare": "bytes=0-,0-,0-",
+		"stackpath":  "bytes=0-,0-,0-",
+	}
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			raw, vulnerable := cases[p.Name]
+			if !vulnerable {
+				raw = "bytes=0-,0-,0-"
+			}
+			if p.Name == "cloudflare" {
+				p.Options.CloudflareBypass = true // Table II's conditional position
+			}
+			up := newFakeUpstream(1024, false) // OBR origin: ranges disabled
+			runBehaviour(t, p, up, raw, 0)
+			forwardedUnchanged := len(up.calls) > 0 && up.calls[0].RangeHeader == raw
+			if vulnerable && !forwardedUnchanged {
+				t.Errorf("expected unchanged forwarding, calls = %+v", up.calls)
+			}
+			if !vulnerable && forwardedUnchanged {
+				t.Errorf("%s forwarded an overlapping set unchanged: %+v", p.Name, up.calls)
+			}
+		})
+	}
+}
+
+func TestCloudflareCacheableStripsMulti(t *testing.T) {
+	p, _ := ByName("cloudflare")
+	up := newFakeUpstream(1024, false)
+	runBehaviour(t, p, up, "bytes=0-,0-,0-", 0)
+	if len(up.calls) != 1 || up.calls[0].HasRange {
+		t.Errorf("cacheable Cloudflare calls = %+v, want single Deletion", up.calls)
+	}
+}
+
+func TestOptionsDisarmVendors(t *testing.T) {
+	for _, name := range []string{"alibaba", "tencent", "huawei"} {
+		t.Run(name, func(t *testing.T) {
+			p, _ := ByName(name)
+			p.Options.RangeOptionVulnerable = false
+			raw := "bytes=0-0"
+			if name == "alibaba" {
+				raw = "bytes=-1"
+			}
+			up := newFakeUpstream(1<<22, true)
+			ret := runBehaviour(t, p, up, raw, 1<<22)
+			if len(up.calls) != 1 || up.calls[0].RangeHeader != raw {
+				t.Errorf("safe option still transformed: %+v", up.calls)
+			}
+			if ret.Relay == nil {
+				t.Error("safe option should relay lazily")
+			}
+		})
+	}
+}
+
+func TestAzureTruncationBoundsOriginTraffic(t *testing.T) {
+	p, _ := ByName("azure")
+	up := newFakeUpstream(20<<20, true)
+	ret := runBehaviour(t, p, up, "bytes=8388608-8388608", 0)
+	if ret.Object == nil {
+		t.Fatal("expected an object")
+	}
+	// Second fetch must return the Azure window.
+	if ret.Object.Offset != ranges.AzureWindowFirst {
+		t.Errorf("object offset = %d", ret.Object.Offset)
+	}
+	if int64(len(ret.Object.Body)) != ranges.AzureWindowLast-ranges.AzureWindowFirst+1 {
+		t.Errorf("object body = %d bytes", len(ret.Object.Body))
+	}
+	if up.calls[0].MaxBody != ranges.AzureCutoff {
+		t.Errorf("first fetch maxBody = %d", up.calls[0].MaxBody)
+	}
+}
+
+func TestObjectFromResponse(t *testing.T) {
+	full := httpwire.NewResponse(200)
+	full.SetBody([]byte("abcdef"))
+	obj, err := ObjectFromResponse(full, false)
+	if err != nil || !obj.Complete() || obj.CompleteSize != 6 {
+		t.Errorf("full: %+v err=%v", obj, err)
+	}
+
+	part := httpwire.NewResponse(206)
+	part.Headers.Add("Content-Range", "bytes 2-3/6")
+	part.SetBody([]byte("cd"))
+	obj, err = ObjectFromResponse(part, false)
+	if err != nil || obj.Offset != 2 || obj.CompleteSize != 6 || obj.Complete() {
+		t.Errorf("partial: %+v err=%v", obj, err)
+	}
+	w := ranges.Resolved{Offset: 2, Length: 2}
+	if !obj.Covers(w) || string(obj.Slice(w)) != "cd" {
+		t.Error("Covers/Slice on partial object")
+	}
+	if obj.Covers(ranges.Resolved{Offset: 0, Length: 1}) {
+		t.Error("Covers claims bytes before the window")
+	}
+
+	for _, bad := range []*httpwire.Response{
+		httpwire.NewResponse(206), // no Content-Range
+		httpwire.NewResponse(404),
+	} {
+		if _, err := ObjectFromResponse(bad, false); err == nil {
+			t.Errorf("status %d: no error", bad.StatusCode)
+		}
+	}
+}
+
+func TestObjectTruncated(t *testing.T) {
+	resp := httpwire.NewResponse(200)
+	resp.Headers.Add("Content-Length", "100")
+	resp.Body = []byte("short")
+	obj, err := ObjectFromResponse(resp, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Complete() || obj.CompleteSize != 100 || !obj.Truncated {
+		t.Errorf("truncated object: %+v", obj)
+	}
+}
+
+func TestParseContentRangeVariants(t *testing.T) {
+	off, size, err := parseContentRange("bytes 5-9/100")
+	if err != nil || off != 5 || size != 100 {
+		t.Errorf("got %d,%d,%v", off, size, err)
+	}
+	off, size, err = parseContentRange("bytes 5-9/*")
+	if err != nil || off != 5 || size != -1 {
+		t.Errorf("star: %d,%d,%v", off, size, err)
+	}
+	for _, bad := range []string{"", "5-9/100", "bytes x-9/100", "bytes 5-9", "bytes 5-9/x"} {
+		if _, _, err := parseContentRange(bad); err == nil {
+			t.Errorf("parseContentRange(%q): no error", bad)
+		}
+	}
+}
+
+func TestEdgeState(t *testing.T) {
+	s := NewEdgeState()
+	if s.SizeHint("/x") != 0 {
+		t.Error("fresh state has a size")
+	}
+	s.LearnSize("/x", 100)
+	s.LearnSize("/x", 0) // ignored
+	if s.SizeHint("/x") != 100 {
+		t.Error("LearnSize lost the value")
+	}
+	if s.BumpSeen("a") != 1 || s.BumpSeen("a") != 2 || s.BumpSeen("b") != 1 {
+		t.Error("BumpSeen counting wrong")
+	}
+	var nilState *EdgeState
+	nilState.LearnSize("/x", 5)
+	if nilState.SizeHint("/x") != 0 || nilState.BumpSeen("a") != 1 {
+		t.Error("nil state not safe")
+	}
+}
+
+func TestAllProfilesComplete(t *testing.T) {
+	all := All()
+	if len(all) != 13 {
+		t.Fatalf("All() returned %d profiles", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, p := range all {
+		if p.Name == "" || p.DisplayName == "" || p.Behaviour == nil || p.EdgeHeaders == nil {
+			t.Errorf("profile %q incomplete", p.Name)
+		}
+		if p.MultiRangeReply == 0 {
+			t.Errorf("profile %q missing reply policy", p.Name)
+		}
+		if p.MultipartBoundary == "" {
+			t.Errorf("profile %q missing boundary", p.Name)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %q", p.Name)
+		}
+		seen[p.Name] = true
+		if got, ok := ByName(p.Name); !ok || got.Name != p.Name {
+			t.Errorf("ByName(%q) failed", p.Name)
+		}
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("ByName(nonexistent) succeeded")
+	}
+	if len(Names()) != 13 {
+		t.Error("Names() length")
+	}
+}
+
+func TestEdgeHeadersDeterministicAndSized(t *testing.T) {
+	for _, p := range All() {
+		a := p.EdgeHeaders()
+		b := p.EdgeHeaders()
+		if a.WireSize() != b.WireSize() {
+			t.Errorf("%s: header size not deterministic", p.Name)
+		}
+		if a.WireSize() < 100 {
+			t.Errorf("%s: suspiciously small header block (%d)", p.Name, a.WireSize())
+		}
+	}
+}
+
+func TestTableIIIReplyPolicies(t *testing.T) {
+	want := map[string]ReplyPolicy{
+		"akamai": ReplyServeAll, "azure": ReplyServeAll, "stackpath": ReplyServeAll,
+	}
+	for _, p := range All() {
+		if wantPolicy, vulnerable := want[p.Name]; vulnerable {
+			if p.MultiRangeReply != wantPolicy {
+				t.Errorf("%s reply = %v", p.Name, p.MultiRangeReply)
+			}
+		} else if p.MultiRangeReply == ReplyServeAll {
+			t.Errorf("%s must not serve overlapping multiparts", p.Name)
+		}
+	}
+	if azure, _ := ByName("azure"); azure.MaxPartsThenIgnore != 64 {
+		t.Error("Azure must cap parts at 64")
+	}
+}
+
+func TestProfileCloneIsolatesOptions(t *testing.T) {
+	p, _ := ByName("cloudflare")
+	c := p.Clone()
+	c.Options.CloudflareBypass = true
+	if p.Options.CloudflareBypass {
+		t.Error("Clone shares Options")
+	}
+}
+
+func TestForwardPolicyString(t *testing.T) {
+	if Laziness.String() != "Laziness" || Deletion.String() != "Deletion" ||
+		Expansion.String() != "Expansion" || ForwardPolicy(0).String() != "Unknown" {
+		t.Error("ForwardPolicy strings wrong")
+	}
+}
+
+func TestTraceIDDeterministic(t *testing.T) {
+	if traceID(16) != traceID(16) || len(traceID(33)) != 33 {
+		t.Error("traceID broken")
+	}
+	if strings.ContainsAny(traceID(64), " \r\n") {
+		t.Error("traceID contains whitespace")
+	}
+}
+
+func TestMitigateSlicingCoversAndBounds(t *testing.T) {
+	p := MitigateSlicing(Cloudflare(), 1<<20)
+	up := newFakeUpstream(20<<20, true)
+	ret := runBehaviour(t, p, up, "bytes=0-0", 0)
+	if len(up.calls) != 1 || up.calls[0].RangeHeader != "bytes=0-1048575" {
+		t.Fatalf("calls = %+v, want one 1MiB slice fetch", up.calls)
+	}
+	if ret.Object == nil || int64(len(ret.Object.Body)) != 1<<20 {
+		t.Fatalf("object = %+v", ret.Object)
+	}
+	// A range crossing a slice boundary fetches both covering slices.
+	up2 := newFakeUpstream(20<<20, true)
+	runBehaviour(t, p, up2, "bytes=1048570-1048580", 0)
+	if up2.calls[0].RangeHeader != "bytes=0-2097151" {
+		t.Errorf("crossing fetch = %q", up2.calls[0].RangeHeader)
+	}
+}
+
+func TestMitigateSlicingSuffix(t *testing.T) {
+	p := MitigateSlicing(Cloudflare(), 1<<20)
+	// Unknown size: lazy.
+	up := newFakeUpstream(8<<20, true)
+	runBehaviour(t, p, up, "bytes=-1", 0)
+	if up.calls[0].RangeHeader != "bytes=-1" {
+		t.Errorf("suffix without size hint: %+v", up.calls)
+	}
+	// Known size: covering slice of the tail.
+	up2 := newFakeUpstream(8<<20, true)
+	runBehaviour(t, p, up2, "bytes=-1", 8<<20)
+	if up2.calls[0].RangeHeader != "bytes=7340032-8388607" {
+		t.Errorf("suffix with size hint: %+v", up2.calls)
+	}
+}
+
+func TestSliceCover(t *testing.T) {
+	tests := []struct {
+		first, last, size, wantLo, wantHi int64
+	}{
+		{0, 0, 100, 0, 99},
+		{99, 100, 100, 0, 199},
+		{150, 150, 100, 100, 199},
+		{0, 299, 100, 0, 299},
+	}
+	for _, tt := range tests {
+		lo, hi := sliceCover(tt.first, tt.last, tt.size)
+		if lo != tt.wantLo || hi != tt.wantHi {
+			t.Errorf("sliceCover(%d,%d,%d) = %d,%d want %d,%d",
+				tt.first, tt.last, tt.size, lo, hi, tt.wantLo, tt.wantHi)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package workload generates realistic *benign* range-request traffic:
+// the usage patterns RFC 7233 was designed for and the paper's §II-B
+// lists — media seeking, resuming interrupted downloads, and
+// multi-threaded parallel downloads. The detector mitigation must pass
+// all of it; the generators are deterministic per seed so
+// false-positive assertions are reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/httpwire"
+	"repro/internal/ranges"
+)
+
+// Client labels a synthetic client (for logs; the simulation is
+// single-origin so it is informational).
+type Client struct {
+	Host string
+}
+
+// Generator produces benign request streams.
+type Generator struct {
+	rng  *rand.Rand
+	host string
+}
+
+// NewGenerator returns a deterministic benign-traffic generator.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed)), host: "viewer.example.org"}
+}
+
+func (g *Generator) request(path string, set ranges.Set) *httpwire.Request {
+	req := httpwire.NewRequest("GET", path, g.host)
+	req.Headers.Add("User-Agent", "benign-client/1.0")
+	if set != nil {
+		req.Headers.Add("Range", set.HeaderValue())
+	}
+	return req
+}
+
+// VideoSeek models a media player on a resource of the given size:
+// sequential chunked reads with occasional seeks. chunk is the player's
+// fetch granularity (e.g. 1 MiB).
+func (g *Generator) VideoSeek(path string, size, chunk int64, requests int) []*httpwire.Request {
+	if chunk <= 0 {
+		chunk = 1 << 20
+	}
+	out := make([]*httpwire.Request, 0, requests)
+	pos := int64(0)
+	for i := 0; i < requests; i++ {
+		if g.rng.Intn(5) == 0 { // a seek
+			pos = g.rng.Int63n(size)
+			pos -= pos % chunk
+		}
+		last := pos + chunk - 1
+		if last >= size {
+			last = size - 1
+		}
+		out = append(out, g.request(path, ranges.Set{ranges.NewRange(pos, last)}))
+		pos = last + 1
+		if pos >= size {
+			pos = 0
+		}
+	}
+	return out
+}
+
+// ResumeDownload models a client resuming a partially completed
+// transfer: one open-ended range from a random prior progress point.
+func (g *Generator) ResumeDownload(path string, size int64) *httpwire.Request {
+	progress := g.rng.Int63n(size)
+	return g.request(path, ranges.Set{ranges.NewRange(progress, ranges.Unbounded)})
+}
+
+// ParallelDownload models a k-way segmented downloader: k requests with
+// disjoint contiguous ranges covering the whole resource (each its own
+// request, the way aria2/wget-style tools behave).
+func (g *Generator) ParallelDownload(path string, size int64, k int) []*httpwire.Request {
+	if k < 1 {
+		k = 1
+	}
+	out := make([]*httpwire.Request, 0, k)
+	per := size / int64(k)
+	for i := 0; i < k; i++ {
+		first := int64(i) * per
+		last := first + per - 1
+		if i == k-1 {
+			last = size - 1
+		}
+		out = append(out, g.request(path, ranges.Set{ranges.NewRange(first, last)}))
+	}
+	return out
+}
+
+// TailProbe models tools that read a file's trailer first (zip/mp4
+// index readers): one suffix range then one header range.
+func (g *Generator) TailProbe(path string, tailBytes int64) []*httpwire.Request {
+	return []*httpwire.Request{
+		g.request(path, ranges.Set{ranges.NewSuffix(tailBytes)}),
+		g.request(path, ranges.Set{ranges.NewRange(0, tailBytes-1)}),
+	}
+}
+
+// Mixed produces a blended stream of the above patterns across a set
+// of paths, roughly resembling an edge's benign range traffic.
+func (g *Generator) Mixed(paths []string, size int64, total int) []*httpwire.Request {
+	out := make([]*httpwire.Request, 0, total)
+	for len(out) < total {
+		path := paths[g.rng.Intn(len(paths))]
+		switch g.rng.Intn(4) {
+		case 0:
+			out = append(out, g.VideoSeek(path, size, 1<<20, 4)...)
+		case 1:
+			out = append(out, g.ResumeDownload(path, size))
+		case 2:
+			out = append(out, g.ParallelDownload(path, size, 2+g.rng.Intn(6))...)
+		default:
+			out = append(out, g.TailProbe(path, 4096+g.rng.Int63n(16<<10))...)
+		}
+	}
+	return out[:total]
+}
+
+// AttackSBRStream produces the malicious counterpart for detector
+// evaluation: count tiny-range requests with churning cache-busting
+// query strings, the §IV-B shape.
+func AttackSBRStream(path string, count int) []*httpwire.Request {
+	out := make([]*httpwire.Request, 0, count)
+	for i := 0; i < count; i++ {
+		req := httpwire.NewRequest("GET", fmt.Sprintf("%s?cb=%d", path, i), "attacker.example")
+		req.Headers.Add("User-Agent", "rangeamp-attack/1.0")
+		req.Headers.Add("Range", "bytes=0-0")
+		out = append(out, req)
+	}
+	return out
+}

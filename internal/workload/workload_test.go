@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ranges"
+)
+
+func parseRange(t *testing.T, raw string) ranges.Set {
+	t.Helper()
+	set, err := ranges.Parse(raw)
+	if err != nil {
+		t.Fatalf("parse %q: %v", raw, err)
+	}
+	return set
+}
+
+func TestVideoSeekRangesValid(t *testing.T) {
+	g := NewGenerator(1)
+	const size = 32 << 20
+	reqs := g.VideoSeek("/v.mp4", size, 1<<20, 50)
+	if len(reqs) != 50 {
+		t.Fatalf("%d requests", len(reqs))
+	}
+	for i, req := range reqs {
+		raw, ok := req.Headers.Get("Range")
+		if !ok {
+			t.Fatalf("request %d missing Range", i)
+		}
+		set := parseRange(t, raw)
+		if len(set) != 1 || set[0].IsSuffix() {
+			t.Fatalf("request %d set = %v", i, set)
+		}
+		if _, ok := set[0].Resolve(size); !ok {
+			t.Errorf("request %d unsatisfiable: %v", i, set)
+		}
+		if span := set[0].Last - set[0].First + 1; span > 1<<20 {
+			t.Errorf("request %d chunk too large: %d", i, span)
+		}
+	}
+}
+
+func TestVideoSeekDefaultChunk(t *testing.T) {
+	reqs := NewGenerator(2).VideoSeek("/v", 8<<20, 0, 5)
+	raw, _ := reqs[0].Headers.Get("Range")
+	set := parseRange(t, raw)
+	if set[0].Last-set[0].First+1 != 1<<20 {
+		t.Errorf("default chunk = %d", set[0].Last-set[0].First+1)
+	}
+}
+
+func TestResumeDownloadShape(t *testing.T) {
+	g := NewGenerator(3)
+	for i := 0; i < 20; i++ {
+		req := g.ResumeDownload("/f.iso", 100<<20)
+		raw, _ := req.Headers.Get("Range")
+		set := parseRange(t, raw)
+		if len(set) != 1 || !set[0].IsOpenEnded() {
+			t.Fatalf("resume shape = %v", set)
+		}
+		if set[0].First < 0 || set[0].First >= 100<<20 {
+			t.Errorf("resume offset out of file: %d", set[0].First)
+		}
+	}
+}
+
+func TestParallelDownloadCoversDisjointly(t *testing.T) {
+	g := NewGenerator(4)
+	const size = 10 << 20
+	for _, k := range []int{1, 2, 7} {
+		reqs := g.ParallelDownload("/f", size, k)
+		if len(reqs) != k {
+			t.Fatalf("k=%d: %d requests", k, len(reqs))
+		}
+		var windows []ranges.Resolved
+		for _, req := range reqs {
+			raw, _ := req.Headers.Get("Range")
+			set := parseRange(t, raw)
+			w, ok := set[0].Resolve(size)
+			if !ok {
+				t.Fatalf("k=%d unsatisfiable segment %v", k, set)
+			}
+			windows = append(windows, w)
+		}
+		merged := ranges.Coalesce(windows)
+		if len(merged) != 1 || merged[0].Offset != 0 || merged[0].Length != size {
+			t.Errorf("k=%d does not cover the file: %+v", k, merged)
+		}
+		if ranges.TotalBytes(windows) != size {
+			t.Errorf("k=%d segments overlap or gap: %d bytes", k, ranges.TotalBytes(windows))
+		}
+	}
+}
+
+func TestParallelDownloadClampsK(t *testing.T) {
+	reqs := NewGenerator(5).ParallelDownload("/f", 1000, 0)
+	if len(reqs) != 1 {
+		t.Errorf("k=0 produced %d requests", len(reqs))
+	}
+}
+
+func TestTailProbeShape(t *testing.T) {
+	reqs := NewGenerator(6).TailProbe("/f.zip", 8192)
+	if len(reqs) != 2 {
+		t.Fatalf("%d requests", len(reqs))
+	}
+	raw0, _ := reqs[0].Headers.Get("Range")
+	raw1, _ := reqs[1].Headers.Get("Range")
+	if raw0 != "bytes=-8192" || raw1 != "bytes=0-8191" {
+		t.Errorf("tail probe = %q, %q", raw0, raw1)
+	}
+}
+
+func TestMixedDeterministicAndBounded(t *testing.T) {
+	paths := []string{"/a", "/b"}
+	a := NewGenerator(9).Mixed(paths, 16<<20, 100)
+	b := NewGenerator(9).Mixed(paths, 16<<20, 100)
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("lengths %d,%d", len(a), len(b))
+	}
+	for i := range a {
+		ra, _ := a[i].Headers.Get("Range")
+		rb, _ := b[i].Headers.Get("Range")
+		if a[i].Target != b[i].Target || ra != rb {
+			t.Fatalf("request %d differs", i)
+		}
+		if !strings.HasPrefix(a[i].Target, "/a") && !strings.HasPrefix(a[i].Target, "/b") {
+			t.Errorf("unexpected target %q", a[i].Target)
+		}
+	}
+}
+
+func TestAttackSBRStreamShape(t *testing.T) {
+	stream := AttackSBRStream("/f.bin", 10)
+	if len(stream) != 10 {
+		t.Fatalf("%d requests", len(stream))
+	}
+	seen := make(map[string]bool)
+	for _, req := range stream {
+		raw, _ := req.Headers.Get("Range")
+		if raw != "bytes=0-0" {
+			t.Errorf("Range = %q", raw)
+		}
+		if seen[req.Target] {
+			t.Errorf("duplicate cache key %q", req.Target)
+		}
+		seen[req.Target] = true
+	}
+}

@@ -1,0 +1,128 @@
+// Package rangeamp is a laptop-scale reproduction of "CDN Backfired:
+// Amplification Attacks Based on HTTP Range Requests" (DSN 2020). It
+// implements the paper's two attacks — the Small Byte Range (SBR)
+// attack and the Overlapping Byte Ranges (OBR) attack — against
+// simulated edges of the 13 CDNs the paper studied, over an
+// instrumented in-memory network that counts exact per-segment bytes.
+//
+// Quick start:
+//
+//	store := rangeamp.NewStore()
+//	store.AddSynthetic("/video.bin", 10<<20, "application/octet-stream")
+//	topo, err := rangeamp.NewSBRTopology(rangeamp.Cloudflare(), store, rangeamp.SBROptions{OriginRangeSupport: true})
+//	if err != nil { ... }
+//	defer topo.Close()
+//	result, err := rangeamp.RunSBR(topo, "/video.bin", 10<<20, "cb0")
+//	fmt.Printf("amplification: %.0fx\n", result.Amplification.Factor())
+//
+// The experiment entry points (Table1 … Table5, SBRSweep, Bandwidth,
+// Mitigations) regenerate every table and figure of the paper's
+// evaluation section; cmd/rangeamp drives them from the command line.
+package rangeamp
+
+import (
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/report"
+	"repro/internal/resource"
+	"repro/internal/vendor"
+)
+
+// Re-exported core types. The aliases keep one import path for
+// downstream users while the implementation stays in internal packages.
+type (
+	// SBRTopology is the Fig 3a arrangement: client -> CDN -> origin.
+	SBRTopology = core.SBRTopology
+	// OBRTopology is the Fig 3b arrangement: client -> FCDN -> BCDN -> origin.
+	OBRTopology = core.OBRTopology
+	// SBROptions tunes an SBR topology.
+	SBROptions = core.SBROptions
+	// SBRCase is a vendor's exploited Range case (Table IV column 2).
+	SBRCase = core.SBRCase
+	// SBRResult is one SBR attack measurement.
+	SBRResult = core.SBRResult
+	// OBRCase is a cascade's exploited multi-range case (Table V column 3).
+	OBRCase = core.OBRCase
+	// OBRResult is one OBR attack measurement.
+	OBRResult = core.OBRResult
+	// Profile describes one CDN's range handling (Tables I-III).
+	Profile = vendor.Profile
+	// Amplification is a victim/attacker response-traffic ratio.
+	Amplification = measure.Amplification
+	// Store holds the origin's resources.
+	Store = resource.Store
+	// Table is a rendered experiment table.
+	Table = report.Table
+	// Figure is a rendered experiment figure.
+	Figure = report.Figure
+	// BandwidthConfig parameterizes the Fig 7 experiment.
+	BandwidthConfig = core.BandwidthConfig
+	// SBRSweepResult is the Table IV / Fig 6 sweep output.
+	SBRSweepResult = core.SBRSweepResult
+	// FloodResult aggregates a concurrent SBR flood (§V-D).
+	FloodResult = core.FloodResult
+	// CorpusReport is the ABNF corpus audit output.
+	CorpusReport = core.CorpusReport
+)
+
+// Topology construction and attack execution.
+var (
+	NewSBRTopology = core.NewSBRTopology
+	NewOBRTopology = core.NewOBRTopology
+	RunSBR         = core.RunSBR
+	RunOBR         = core.RunOBR
+	RunOBRAborted  = core.RunOBRAborted
+	RunSBRFlood    = core.RunSBRFlood
+	RunSBROverH2   = core.RunSBROverH2
+	PrimeSizeHint  = core.PrimeSizeHint
+	SBRExploit     = core.SBRExploit
+	PlanMaxN       = core.PlanMaxN
+	OBRFirstToken  = core.OBRFirstToken
+
+	// BuildOverlappingRange renders "bytes=<first>,0-,0-,…" with n ranges.
+	BuildOverlappingRange = core.BuildOverlappingRange
+)
+
+// Experiment entry points (one per paper table/figure).
+var (
+	Table1                 = core.Table1
+	Table2                 = core.Table2
+	Table3                 = core.Table3
+	SBRSweep               = core.SBRSweep
+	Table5                 = core.Table5
+	Bandwidth              = core.Bandwidth
+	BandwidthAll           = core.BandwidthAll
+	DefaultBandwidthConfig = core.DefaultBandwidthConfig
+	Mitigations            = core.Mitigations
+	CorpusAudit            = core.CorpusAudit
+	H2Comparison           = core.H2Comparison
+)
+
+// Vendor profiles (the 13 CDNs of the paper) and mitigations (§VI-C).
+var (
+	Vendors      = vendor.All
+	VendorByName = vendor.ByName
+	VendorNames  = vendor.Names
+	Akamai       = vendor.Akamai
+	AlibabaCloud = vendor.AlibabaCloud
+	Azure        = vendor.Azure
+	CDN77        = vendor.CDN77
+	CDNsun       = vendor.CDNsun
+	Cloudflare   = vendor.Cloudflare
+	CloudFront   = vendor.CloudFront
+	Fastly       = vendor.Fastly
+	GCoreLabs    = vendor.GCoreLabs
+	HuaweiCloud  = vendor.HuaweiCloud
+	KeyCDN       = vendor.KeyCDN
+	StackPath    = vendor.StackPath
+	TencentCloud = vendor.TencentCloud
+
+	MitigateLaziness         = vendor.MitigateLaziness
+	MitigateBoundedExpansion = vendor.MitigateBoundedExpansion
+	MitigateRejectOverlap    = vendor.MitigateRejectOverlap
+	MitigateCoalesce         = vendor.MitigateCoalesce
+	MitigateSlicing          = vendor.MitigateSlicing
+)
+
+// NewStore returns an empty origin resource store.
+func NewStore() *Store { return resource.NewStore() }

@@ -1,0 +1,88 @@
+package rangeamp
+
+import "testing"
+
+// The root package is a facade; these tests exercise the public API
+// surface the examples and README rely on.
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	store := NewStore()
+	store.AddSynthetic("/video.bin", 1<<20, "application/octet-stream")
+	topo, err := NewSBRTopology(Cloudflare(), store, SBROptions{OriginRangeSupport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+	result, err := RunSBR(topo, "/video.bin", 1<<20, "api-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := result.Amplification.Factor(); f < 500 {
+		t.Errorf("factor = %.0f, want > 500 at 1MB", f)
+	}
+}
+
+func TestPublicOBRFlow(t *testing.T) {
+	store := NewStore()
+	store.AddSynthetic("/1KB.bin", 1024, "application/octet-stream")
+	topo, err := NewOBRTopology(Cloudflare(), Akamai(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+	result, err := RunOBR(topo, "/1KB.bin", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Parts != 100 {
+		t.Errorf("parts = %d", result.Parts)
+	}
+	if f := result.Amplification.Factor(); f < 30 {
+		t.Errorf("factor = %.1f, want > 30 at n=100", f)
+	}
+}
+
+func TestVendorAccessors(t *testing.T) {
+	if len(Vendors()) != 13 || len(VendorNames()) != 13 {
+		t.Error("vendor sets incomplete")
+	}
+	constructors := []func() *Profile{
+		Akamai, AlibabaCloud, Azure, CDN77, CDNsun, Cloudflare,
+		CloudFront, Fastly, GCoreLabs, HuaweiCloud, KeyCDN, StackPath, TencentCloud,
+	}
+	for _, ctor := range constructors {
+		p := ctor()
+		if p == nil || p.Name == "" {
+			t.Errorf("constructor returned incomplete profile: %+v", p)
+			continue
+		}
+		got, ok := VendorByName(p.Name)
+		if !ok || got.DisplayName != p.DisplayName {
+			t.Errorf("VendorByName(%q) mismatch", p.Name)
+		}
+	}
+}
+
+func TestMitigationConstructors(t *testing.T) {
+	base := Cloudflare()
+	for _, m := range []*Profile{
+		MitigateLaziness(base),
+		MitigateBoundedExpansion(base, 8<<10),
+		MitigateRejectOverlap(base),
+		MitigateCoalesce(base),
+	} {
+		if m.Name == base.Name {
+			t.Errorf("mitigated profile %q did not rename", m.Name)
+		}
+	}
+}
+
+func TestSBRExploitSurface(t *testing.T) {
+	c := SBRExploit("keycdn", 1<<20)
+	if c.Repeat != 2 {
+		t.Errorf("KeyCDN repeat = %d", c.Repeat)
+	}
+	if BuildOverlappingRange(OBRFirstToken("cdnsun"), 2) != "bytes=1-,0-" {
+		t.Error("OBR builder surface broken")
+	}
+}
