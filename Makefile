@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz experiments clean
+.PHONY: all build vet test race bench check fuzz experiments clean
 
 all: build vet test
 
@@ -17,6 +17,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Full pre-merge gate: vet, build, tests, and a race pass over the
+# scheduler-heavy packages.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/exp ./internal/core
 
 # Regenerates the paper's headline numbers as custom bench metrics.
 bench:

@@ -4,14 +4,18 @@ package rangeamp
 // the paper's evaluation (§V), plus micro-benchmarks for the hot
 // substrate paths. Amplification factors are attached as custom
 // metrics, so `go test -bench=. -benchmem` regenerates the paper's
-// headline numbers alongside the usual ns/op columns.
+// headline numbers alongside the usual ns/op columns. BenchmarkExpAll
+// drives the full experiment registry at several scheduler widths —
+// the parallel-vs-serial wall-clock comparison in one bench table.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/detect"
+	"repro/internal/exp"
 	"repro/internal/h2"
 	"repro/internal/multipart"
 	"repro/internal/ranges"
@@ -20,10 +24,12 @@ import (
 	"repro/internal/workload"
 )
 
+var benchCtx = context.Background()
+
 // BenchmarkTable1 regenerates Table I (range forwarding behaviours).
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, observations, err := Table1()
+		_, observations, err := Table1(benchCtx, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -36,7 +42,7 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkTable2 regenerates Table II (OBR FCDN forwarding).
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, vulnerable, err := Table2()
+		_, vulnerable, err := Table2(benchCtx, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -53,7 +59,7 @@ func BenchmarkTable2(b *testing.B) {
 // BenchmarkTable3 regenerates Table III (OBR BCDN replying).
 func BenchmarkTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, vulnerable, err := Table3()
+		_, vulnerable, err := Table3(benchCtx, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,7 +78,7 @@ func BenchmarkTable3(b *testing.B) {
 // headline).
 func BenchmarkTable4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := SBRSweep([]int{1, 10, 25})
+		res, err := SBRSweep(benchCtx, []int{1, 10, 25}, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -88,7 +94,7 @@ func BenchmarkFig6(b *testing.B) {
 		sizes[i] = i + 1
 	}
 	for i := 0; i < b.N; i++ {
-		res, err := SBRSweep(sizes)
+		res, err := SBRSweep(benchCtx, sizes, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -104,7 +110,7 @@ func BenchmarkFig6(b *testing.B) {
 // (the paper's 7432x headline).
 func BenchmarkTable5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, combos, err := Table5()
+		_, combos, err := Table5(benchCtx, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -120,7 +126,7 @@ func BenchmarkTable5(b *testing.B) {
 // (m = 1..15 request waves over a 1000 Mbps origin link).
 func BenchmarkFig7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig7a, fig7b, err := Bandwidth(DefaultBandwidthConfig())
+		fig7a, fig7b, err := Bandwidth(benchCtx, DefaultBandwidthConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -141,9 +147,30 @@ func BenchmarkFig7(b *testing.B) {
 // BenchmarkMitigation runs the §VI-C ablation.
 func BenchmarkMitigation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := Mitigations(); err != nil {
+		if _, err := Mitigations(benchCtx, 1); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkExpAll runs every registered experiment through the
+// registry at several scheduler widths. The parallel>=4 sub-benchmarks
+// are expected to beat parallel=1 wall-clock on multi-core hosts: each
+// probe cell is an isolated topology, so the suite is embarrassingly
+// parallel.
+func BenchmarkExpAll(b *testing.B) {
+	for _, parallel := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("parallel=%d", parallel), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := exp.RunAll(benchCtx, exp.Params{Parallel: parallel})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) != len(exp.Names()) {
+					b.Fatalf("%d results", len(results))
+				}
+			}
+		})
 	}
 }
 
@@ -246,7 +273,7 @@ func BenchmarkMaxNPlanner(b *testing.B) {
 // BenchmarkH2Comparison regenerates the §VI-B h1-vs-h2 table at 1 MB.
 func BenchmarkH2Comparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, factors, err := H2Comparison(1)
+		_, factors, err := H2Comparison(benchCtx, 1, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -306,7 +333,7 @@ func BenchmarkDetectorInspect(b *testing.B) {
 // BenchmarkNodeTargeting regenerates the §IV-C pinned-vs-spread table.
 func BenchmarkNodeTargeting(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, shares, err := core.NodeTargeting(5, 25)
+		_, shares, err := NodeTargeting(benchCtx, 5, 25, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -317,7 +344,7 @@ func BenchmarkNodeTargeting(b *testing.B) {
 // BenchmarkCorpusAudit runs the feasibility corpus across all vendors.
 func BenchmarkCorpusAudit(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := CorpusAudit(1, 40)
+		rep, err := CorpusAudit(benchCtx, 1, 40, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

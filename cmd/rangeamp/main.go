@@ -1,9 +1,12 @@
 // Command rangeamp regenerates the paper's evaluation tables and
-// figures from the simulated CDN substrate.
+// figures from the simulated CDN substrate. Experiments come from the
+// internal/exp registry; -exp names are registry names (plus the
+// "fig6" alias for "sbr").
 //
 // Usage:
 //
-//	rangeamp -exp all                 # every experiment
+//	rangeamp -exp all                 # every experiment, paper order
+//	rangeamp -exp all -parallel 8     # same, 8 concurrent probe cells
 //	rangeamp -exp table1              # Table I   (range forwarding, SBR)
 //	rangeamp -exp table2              # Table II  (multi-range forwarding, OBR FCDN)
 //	rangeamp -exp table3              # Table III (multi-range replying, OBR BCDN)
@@ -12,178 +15,134 @@
 //	rangeamp -exp obr                 # Table V   (OBR max amplification)
 //	rangeamp -exp bandwidth           # Fig 7     (bandwidth practicability)
 //	rangeamp -exp mitigation          # §VI-C mitigation ablation
+//	rangeamp -list                    # registered experiments, one per line
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
-	"time"
 
-	"repro/internal/billing"
-	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/report"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "rangeamp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("rangeamp", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1|table2|table3|sbr|fig6|obr|bandwidth|bandwidth-all|mitigation|corpus|cost|h2|nodes|all")
+	expFlag := fs.String("exp", "all", "experiment name from the registry (see -list), a comma list, or 'all'")
 	sizes := fs.String("sizes", "1,10,25", "resource sizes in MB for the SBR sweep (list '1,10,25' or range '1-25')")
 	csv := fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	outDir := fs.String("out", "", "also write each table as CSV into this directory")
+	parallel := fs.Int("parallel", 1, "max concurrent probe cells per experiment (and concurrent experiments under -exp all)")
+	list := fs.Bool("list", false, "list registered experiments and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *list {
+		for _, e := range exp.List() {
+			fmt.Fprintf(w, "%-14s %s\n", e.Name(), e.Describe())
+		}
+		return nil
 	}
 
 	sizesMB, err := parseSizes(*sizes)
 	if err != nil {
 		return err
 	}
+	if *parallel < 1 {
+		return fmt.Errorf("bad -parallel %d", *parallel)
+	}
+	params := exp.Params{SizesMB: sizesMB, Parallel: *parallel}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			return err
 		}
 	}
-	experiments := strings.Split(*exp, ",")
-	for _, e := range experiments {
-		if err := runOne(strings.TrimSpace(e), sizesMB, *csv, *outDir, w); err != nil {
+
+	for _, name := range strings.Split(*expFlag, ",") {
+		name = strings.TrimSpace(name)
+		if name == "all" {
+			// The registry walk: experiments run concurrently (up to
+			// -parallel at once), results render in paper order.
+			results, err := exp.RunAll(ctx, params)
+			if err != nil {
+				return err
+			}
+			for _, nr := range results {
+				if err := emitResult(nr.Name, nr.Result, *csv, *outDir, w); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		res, err := exp.Run(ctx, name, params)
+		if err != nil {
+			return err
+		}
+		if err := emitResult(name, res, *csv, *outDir, w); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func runOne(exp string, sizesMB []int, csv bool, outDir string, w io.Writer) error {
-	emit := func(t interface {
-		Render(io.Writer) error
-		RenderCSV(io.Writer) error
-	}) error {
-		if outDir != "" {
-			f, err := os.Create(filepath.Join(outDir, exp+".csv"))
-			if err != nil {
-				return err
-			}
-			if err := t.RenderCSV(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
+// emitResult renders one experiment's result to w and, with -out, each
+// of its tables and figures to its own CSV file. A single-table
+// experiment whose table slug matches the experiment name keeps the
+// historic <exp>.csv filename; every other artifact gets
+// <exp>-<slug>.csv so multi-table experiments no longer overwrite one
+// file per table.
+func emitResult(name string, res *exp.Result, csv bool, outDir string, w io.Writer) error {
+	if outDir != "" {
+		for _, t := range res.Tables {
+			if err := writeCSV(outDir, name, t.FileSlug(), t.RenderCSV); err != nil {
 				return err
 			}
 		}
-		if csv {
-			return t.RenderCSV(w)
+		for _, f := range res.Figures {
+			if err := writeCSV(outDir, name, f.FileSlug(), f.RenderCSV); err != nil {
+				return err
+			}
 		}
-		return t.Render(w)
 	}
-	switch exp {
-	case "table1":
-		tab, _, err := core.Table1()
-		if err != nil {
-			return err
-		}
-		return emit(tab)
-	case "table2":
-		tab, _, err := core.Table2()
-		if err != nil {
-			return err
-		}
-		return emit(tab)
-	case "table3":
-		tab, _, err := core.Table3()
-		if err != nil {
-			return err
-		}
-		return emit(tab)
-	case "sbr", "fig6":
-		res, err := core.SBRSweep(sizesMB)
-		if err != nil {
-			return err
-		}
-		if err := emit(res.Table4()); err != nil {
-			return err
-		}
-		fa, fb, fc := res.Fig6()
-		for _, f := range []interface{ Render(io.Writer) error }{fa, fb, fc} {
-			if err := f.Render(w); err != nil {
-				return err
-			}
-		}
-		return nil
-	case "obr":
-		tab, _, err := core.Table5()
-		if err != nil {
-			return err
-		}
-		return emit(tab)
-	case "bandwidth":
-		fig7a, fig7b, err := core.Bandwidth(core.DefaultBandwidthConfig())
-		if err != nil {
-			return err
-		}
-		if err := fig7a.Render(w); err != nil {
-			return err
-		}
-		return fig7b.Render(w)
-	case "mitigation":
-		tab, err := core.Mitigations()
-		if err != nil {
-			return err
-		}
-		return emit(tab)
-	case "corpus":
-		rep, err := core.CorpusAudit(1, 200)
-		if err != nil {
-			return err
-		}
-		if err := emit(rep.Table()); err != nil {
-			return err
-		}
-		for _, v := range rep.Violations {
-			fmt.Fprintln(w, "VIOLATION:", v)
-		}
-		return nil
-	case "bandwidth-all":
-		tab, err := core.BandwidthAll(core.DefaultBandwidthConfig())
-		if err != nil {
-			return err
-		}
-		return emit(tab)
-	case "cost":
-		return emit(billing.CostTable(10<<20, 10, time.Hour))
-	case "nodes":
-		tab, _, err := core.NodeTargeting(5, 50)
-		if err != nil {
-			return err
-		}
-		return emit(tab)
-	case "h2":
-		tab, _, err := core.H2Comparison(sizesMB[0])
-		if err != nil {
-			return err
-		}
-		return emit(tab)
-	case "all":
-		for _, e := range []string{"table1", "table2", "table3", "sbr", "obr", "bandwidth", "bandwidth-all", "mitigation", "corpus", "cost", "h2", "nodes"} {
-			if err := runOne(e, sizesMB, csv, outDir, w); err != nil {
-				return fmt.Errorf("%s: %w", e, err)
-			}
-		}
-		return nil
-	default:
-		return fmt.Errorf("unknown experiment %q", exp)
+	if csv {
+		return res.RenderCSV(w)
 	}
+	return res.Render(w)
+}
+
+// writeCSV writes one artifact into dir under the naming rule above.
+func writeCSV(dir, expName, slug string, render func(io.Writer) error) error {
+	base := expName + ".csv"
+	if slug != expName {
+		base = expName + "-" + report.Slugify(slug) + ".csv"
+	}
+	f, err := os.Create(filepath.Join(dir, base))
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseSizes accepts "1,10,25" or "1-25".

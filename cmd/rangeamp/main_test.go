@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -45,7 +46,7 @@ func TestParseSizes(t *testing.T) {
 
 func TestRunTable2(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-exp", "table2"}, &b); err != nil {
+	if err := run(context.Background(), []string{"-exp", "table2"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -58,7 +59,7 @@ func TestRunTable2(t *testing.T) {
 
 func TestRunSBRSmall(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-exp", "sbr", "-sizes", "1"}, &b); err != nil {
+	if err := run(context.Background(), []string{"-exp", "sbr", "-sizes", "1"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -71,7 +72,7 @@ func TestRunSBRSmall(t *testing.T) {
 
 func TestRunCSVMode(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-exp", "table3", "-csv"}, &b); err != nil {
+	if err := run(context.Background(), []string{"-exp", "table3", "-csv"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(b.String(), "CDN,Ranges Sent,") {
@@ -81,7 +82,7 @@ func TestRunCSVMode(t *testing.T) {
 
 func TestRunMultipleExperiments(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-exp", "table2,table3", "-sizes", "1"}, &b); err != nil {
+	if err := run(context.Background(), []string{"-exp", "table2,table3", "-sizes", "1"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -92,21 +93,21 @@ func TestRunMultipleExperiments(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-exp", "nonsense"}, &b); err == nil {
+	if err := run(context.Background(), []string{"-exp", "nonsense"}, &b); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 func TestRunBadSizes(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-exp", "sbr", "-sizes", "zero"}, &b); err == nil {
+	if err := run(context.Background(), []string{"-exp", "sbr", "-sizes", "zero"}, &b); err == nil {
 		t.Error("bad sizes accepted")
 	}
 }
 
 func TestRunBandwidth(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-exp", "bandwidth"}, &b); err != nil {
+	if err := run(context.Background(), []string{"-exp", "bandwidth"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "Fig 7a") || !strings.Contains(b.String(), "Fig 7b") {
@@ -116,7 +117,7 @@ func TestRunBandwidth(t *testing.T) {
 
 func TestRunMitigation(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-exp", "mitigation"}, &b); err != nil {
+	if err := run(context.Background(), []string{"-exp", "mitigation"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "Laziness") {
@@ -126,7 +127,7 @@ func TestRunMitigation(t *testing.T) {
 
 func TestRunCorpus(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-exp", "corpus"}, &b); err != nil {
+	if err := run(context.Background(), []string{"-exp", "corpus"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -141,7 +142,7 @@ func TestRunCorpus(t *testing.T) {
 func TestRunOutDirectory(t *testing.T) {
 	dir := t.TempDir()
 	var b strings.Builder
-	if err := run([]string{"-exp", "table2,table3", "-out", dir}, &b); err != nil {
+	if err := run(context.Background(), []string{"-exp", "table2,table3", "-out", dir}, &b); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"table2.csv", "table3.csv"} {
@@ -151,6 +152,57 @@ func TestRunOutDirectory(t *testing.T) {
 		}
 		if !strings.HasPrefix(string(data), "CDN,") {
 			t.Errorf("%s: unexpected content %q", name, data[:20])
+		}
+	}
+}
+
+// A multi-table experiment must write one file per artifact instead of
+// overwriting <exp>.csv for each table in turn.
+func TestRunOutDirectoryMultiTable(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run(context.Background(), []string{"-exp", "sbr", "-sizes", "1", "-out", dir}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"sbr-table4.csv", "sbr-fig6a.csv", "sbr-fig6b.csv", "sbr-fig6c.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "sbr.csv")); err == nil {
+		t.Error("ambiguous sbr.csv written for a multi-table experiment")
+	}
+}
+
+func TestRunParallel(t *testing.T) {
+	var serial, par strings.Builder
+	if err := run(context.Background(), []string{"-exp", "table1,table3,obr"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-exp", "table1,table3,obr", "-parallel", "8"}, &par); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != par.String() {
+		t.Error("parallel output differs from serial output")
+	}
+}
+
+func TestRunBadParallel(t *testing.T) {
+	var b strings.Builder
+	if err := run(context.Background(), []string{"-exp", "table3", "-parallel", "0"}, &b); err == nil {
+		t.Error("bad -parallel accepted")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var b strings.Builder
+	if err := run(context.Background(), []string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"table1", "sbr", "bandwidth-all", "nodes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q", want)
 		}
 	}
 }

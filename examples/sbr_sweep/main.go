@@ -5,9 +5,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	rangeamp "repro"
 )
@@ -20,9 +22,11 @@ func main() {
 
 func run() error {
 	sizesMB := []int{1, 5, 10, 15, 20, 25}
-	fmt.Printf("sweeping the SBR attack over %v MB resources on all 13 CDNs...\n\n", sizesMB)
+	parallel := runtime.GOMAXPROCS(0)
+	fmt.Printf("sweeping the SBR attack over %v MB resources on all 13 CDNs (%d cells at a time)...\n\n",
+		sizesMB, parallel)
 
-	res, err := rangeamp.SBRSweep(sizesMB)
+	res, err := rangeamp.SBRSweep(context.Background(), sizesMB, parallel)
 	if err != nil {
 		return err
 	}

@@ -208,12 +208,18 @@ func (e *Edge) nodeName() string { return e.profile.Name + "-edge" }
 // headerOr returns a header value or a placeholder.
 func headerOr(req *httpwire.Request, name, placeholder string) string {
 	if v, ok := req.Headers.Get(name); ok {
-		if len(v) > 48 {
-			return v[:45] + "..."
-		}
-		return v
+		return truncateNote(v)
 	}
 	return placeholder
+}
+
+// truncateNote keeps trace annotations short: OBR attack headers run to
+// hundreds of KB and would otherwise dominate the trace buffer.
+func truncateNote(v string) string {
+	if len(v) > 48 {
+		return v[:45] + "..."
+	}
+	return v
 }
 
 // cacheUsable reports whether this edge caches at all under its current
@@ -270,11 +276,9 @@ func (u *upstreamFetcher) Fetch(rangeHeader string, maxBody int64) (*httpwire.Re
 	}
 	req.Headers.Set("Connection", "close")
 	req.Headers.Add("Via", "1.1 "+u.edge.profile.Name)
-	rangeNote := rangeHeader
-	if rangeNote == "" {
-		rangeNote = "(deleted)"
-	} else if len(rangeNote) > 48 {
-		rangeNote = rangeNote[:45] + "..."
+	rangeNote := "(deleted)"
+	if rangeHeader != "" {
+		rangeNote = truncateNote(rangeHeader)
 	}
 	u.edge.trace.Add(u.edge.nodeName(), trace.KindUpstream, "-> %s range=%s maxBody=%d",
 		u.edge.upstreamAddr, rangeNote, maxBody)

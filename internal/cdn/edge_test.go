@@ -454,3 +454,18 @@ func TestEdgeTracing(t *testing.T) {
 		t.Errorf("cache hit trace wrong:\n%s", log.String())
 	}
 }
+
+func TestTruncateNote(t *testing.T) {
+	if got := truncateNote("bytes=0-0"); got != "bytes=0-0" {
+		t.Errorf("short note altered: %q", got)
+	}
+	long := strings.Repeat("x", 49)
+	got := truncateNote(long)
+	if len(got) != 48 || got != long[:45]+"..." {
+		t.Errorf("long note = %q (len %d)", got, len(got))
+	}
+	exact := strings.Repeat("y", 48)
+	if got := truncateNote(exact); got != exact {
+		t.Errorf("48-byte note altered: %q", got)
+	}
+}

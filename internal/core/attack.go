@@ -197,12 +197,12 @@ func RunOBR(t *OBRTopology, path string, n int) (*OBRResult, error) {
 			AttackerBytes: wireDelta.AttackerBytes, // bcdn-origin response bytes (capture view)
 		},
 		Response: resp,
-		Parts:    countParts(resp),
+		Parts:    CountParts(resp),
 	}, nil
 }
 
-// countParts counts multipart body parts by boundary occurrences.
-func countParts(resp *httpwire.Response) int {
+// CountParts counts multipart body parts by boundary occurrences.
+func CountParts(resp *httpwire.Response) int {
 	ct, _ := resp.Headers.Get("Content-Type")
 	boundary, ok := cutBoundary(ct)
 	if !ok {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -25,62 +26,85 @@ type CorpusReport struct {
 	Violations   []string
 }
 
-// corpusResourceSize is sized so the generated corpus (positions up to
+// CorpusResourceSize is sized so the generated corpus (positions up to
 // 2*size) exercises both satisfiable and unsatisfiable ranges.
-const corpusResourceSize = 64 << 10
+const CorpusResourceSize = 64 << 10
 
-// CorpusAudit runs count generated range requests against each of the
-// 13 vendors and returns the census and any invariant violations.
-func CorpusAudit(seed int64, count int) (*CorpusReport, error) {
+const corpusResourceSize = CorpusResourceSize
+
+// NewCorpus generates the seeded ABNF request corpus every vendor is
+// audited with.
+func NewCorpus(seed int64, count int) []ranges.Set {
 	gen := ranges.NewGenerator(seed)
 	gen.MaxPos = 2 * corpusResourceSize
-	corpus := gen.Corpus(count)
-
-	rep := &CorpusReport{
-		Requests:     0,
-		PolicyCounts: make(map[string]map[vendor.ForwardPolicy]int, 13),
-	}
-	for _, p := range vendor.All() {
-		if err := auditVendor(rep, p.Clone(), corpus); err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Name, err)
-		}
-	}
-	return rep, nil
+	return gen.Corpus(count)
 }
 
-func auditVendor(rep *CorpusReport, p *vendor.Profile, corpus []ranges.Set) error {
+// VendorAudit is one vendor's corpus-audit cell result.
+type VendorAudit struct {
+	Name        string // short vendor name
+	DisplayName string
+	Counts      map[vendor.ForwardPolicy]int
+	Violations  []string
+	Requests    int
+}
+
+// AuditVendor runs the full corpus against one vendor's isolated
+// topology and returns the policy census and invariant violations.
+// The profile is used as given (callers own it); ctx cancellation is
+// honored between corpus elements.
+func AuditVendor(ctx context.Context, p *vendor.Profile, corpus []ranges.Set) (*VendorAudit, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	store := resource.NewStore()
 	store.AddSynthetic(targetPath, corpusResourceSize, contentType)
 	topo, err := NewSBRTopology(p, store, SBROptions{OriginRangeSupport: true})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer topo.Close()
 	if err := PrimeSizeHint(topo, targetPath); err != nil {
-		return err
+		return nil, err
 	}
 
-	counts := make(map[vendor.ForwardPolicy]int, 3)
-	rep.PolicyCounts[p.DisplayName] = counts
-
+	audit := &VendorAudit{
+		Name:        p.Name,
+		DisplayName: p.DisplayName,
+		Counts:      make(map[vendor.ForwardPolicy]int, 3),
+	}
 	for i, set := range corpus {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		raw := set.HeaderValue()
 		topo.Origin.ResetLog()
 		req := NewAttackRequest(targetPath + "?cb=c" + strconv.Itoa(i))
 		req.Headers.Add("Range", raw)
 		resp, err := origin.Fetch(topo.Net, topo.EdgeAddr, topo.ClientSeg, req)
 		if err != nil {
-			return fmt.Errorf("corpus %d (%s): %w", i, raw, err)
+			return nil, fmt.Errorf("corpus %d (%s): %w", i, raw, err)
 		}
-		rep.Requests++
+		audit.Requests++
 
-		counts[classifyForwarding(topo.Origin.Log(), raw)]++
+		audit.Counts[classifyForwarding(topo.Origin.Log(), raw)]++
 		for _, v := range auditInvariants(set, resp, topo.Origin.Log()) {
-			rep.Violations = append(rep.Violations,
+			audit.Violations = append(audit.Violations,
 				fmt.Sprintf("%s corpus[%d] %q: %s", p.Name, i, raw, v))
 		}
 	}
-	return nil
+	return audit, nil
+}
+
+// Merge folds one vendor cell into the report. Call in paper order so
+// the violation list stays deterministic.
+func (r *CorpusReport) Merge(a *VendorAudit) {
+	if r.PolicyCounts == nil {
+		r.PolicyCounts = make(map[string]map[vendor.ForwardPolicy]int, 13)
+	}
+	r.PolicyCounts[a.DisplayName] = a.Counts
+	r.Violations = append(r.Violations, a.Violations...)
+	r.Requests += a.Requests
 }
 
 // classifyForwarding maps an origin log to the §III-B policy taxonomy.
@@ -181,6 +205,7 @@ func contentRangeLength(v string) (int64, bool) {
 func (r *CorpusReport) Table() *report.Table {
 	tab := &report.Table{
 		Title:   "Corpus audit — forwarding policy census over the ABNF corpus",
+		Slug:    "corpus",
 		Columns: []string{"CDN", "Laziness", "Deletion", "Expansion", "Violations"},
 	}
 	for _, p := range vendor.All() {

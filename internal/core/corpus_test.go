@@ -1,79 +1,74 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"repro/internal/vendor"
 )
 
-func TestCorpusAuditNoViolations(t *testing.T) {
-	rep, err := CorpusAudit(7, 60)
+// The full 13-vendor corpus-audit tests live in internal/exp next to
+// the registered experiment; here we cover the per-vendor cell and the
+// plain helpers.
+
+func TestAuditVendorSingleCell(t *testing.T) {
+	corpus := NewCorpus(7, 25)
+	a, err := AuditVendor(context.Background(), vendor.Akamai(), corpus)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Requests != 60*13 {
-		t.Errorf("audited %d requests, want %d", rep.Requests, 60*13)
+	if a.Requests != 25 {
+		t.Errorf("audited %d requests, want 25", a.Requests)
 	}
-	if len(rep.Violations) != 0 {
-		t.Errorf("protocol violations: %v", rep.Violations)
+	if a.Name != "akamai" || a.DisplayName != "Akamai" {
+		t.Errorf("identity: %q / %q", a.Name, a.DisplayName)
+	}
+	// Akamai is a pure-Deletion vendor: every corpus element is stripped.
+	if a.Counts[vendor.Deletion] != 25 || a.Counts[vendor.Laziness] != 0 {
+		t.Errorf("census = %v, want all Deletion", a.Counts)
+	}
+	if len(a.Violations) != 0 {
+		t.Errorf("violations: %v", a.Violations)
 	}
 }
 
-func TestCorpusAuditPolicyCensus(t *testing.T) {
-	rep, err := CorpusAudit(11, 80)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Pure-Deletion vendors never forward anything unchanged or expanded.
-	for _, name := range []string{"Akamai", "Cloudflare", "Fastly", "G-Core Labs"} {
-		counts := rep.PolicyCounts[name]
-		if counts[vendor.Laziness] != 0 || counts[vendor.Expansion] != 0 {
-			t.Errorf("%s census = %v, want all Deletion", name, counts)
-		}
-		if counts[vendor.Deletion] != 80 {
-			t.Errorf("%s deletion count = %d", name, counts[vendor.Deletion])
-		}
-	}
-	// CloudFront is the only Expansion vendor.
-	for name, counts := range rep.PolicyCounts {
-		if name != "CloudFront" && counts[vendor.Expansion] != 0 {
-			t.Errorf("%s shows Expansion", name)
-		}
-	}
-	if rep.PolicyCounts["CloudFront"][vendor.Expansion] == 0 {
-		t.Error("CloudFront never expanded")
-	}
-	// Lazy-leaning vendors must show Laziness on the corpus.
-	for _, name := range []string{"CDN77", "CDNsun", "KeyCDN"} {
-		if rep.PolicyCounts[name][vendor.Laziness] == 0 {
-			t.Errorf("%s never forwarded lazily", name)
-		}
+func TestAuditVendorCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AuditVendor(ctx, vendor.Akamai(), NewCorpus(1, 5)); err == nil {
+		t.Error("cancelled context accepted")
 	}
 }
 
-func TestCorpusAuditDeterministic(t *testing.T) {
-	a, err := CorpusAudit(3, 30)
-	if err != nil {
-		t.Fatal(err)
+func TestNewCorpusDeterministic(t *testing.T) {
+	a, b := NewCorpus(3, 30), NewCorpus(3, 30)
+	if len(a) != 30 || len(b) != 30 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
 	}
-	b, err := CorpusAudit(3, 30)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for name, counts := range a.PolicyCounts {
-		for policy, n := range counts {
-			if b.PolicyCounts[name][policy] != n {
-				t.Errorf("%s/%v: %d vs %d", name, policy, n, b.PolicyCounts[name][policy])
-			}
+	for i := range a {
+		if a[i].HeaderValue() != b[i].HeaderValue() {
+			t.Errorf("corpus[%d]: %q vs %q", i, a[i].HeaderValue(), b[i].HeaderValue())
 		}
 	}
 }
 
-func TestCorpusTableRenders(t *testing.T) {
-	rep, err := CorpusAudit(5, 10)
-	if err != nil {
-		t.Fatal(err)
+func TestCorpusReportMerge(t *testing.T) {
+	corpus := NewCorpus(5, 10)
+	rep := &CorpusReport{}
+	for _, name := range []string{"akamai", "cdn77"} {
+		p, _ := vendor.ByName(name)
+		a, err := AuditVendor(context.Background(), p, corpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Merge(a)
+	}
+	if rep.Requests != 20 {
+		t.Errorf("merged %d requests, want 20", rep.Requests)
+	}
+	if len(rep.PolicyCounts) != 2 {
+		t.Errorf("census covers %d vendors", len(rep.PolicyCounts))
 	}
 	var b strings.Builder
 	if err := rep.Table().Render(&b); err != nil {

@@ -1,39 +1,42 @@
 package core
 
 import (
-	"fmt"
-	"strconv"
+	"context"
 
-	"repro/internal/bwsim"
-	"repro/internal/measure"
 	"repro/internal/origin"
-	"repro/internal/report"
 	"repro/internal/resource"
 	"repro/internal/vendor"
 )
 
-// targetPath is the resource every experiment attacks.
-const targetPath = "/target.bin"
+// TargetPath is the resource every experiment attacks.
+const TargetPath = "/target.bin"
 
-// contentType used for synthetic resources.
-const contentType = "application/octet-stream"
+// OctetStream is the content type of the synthetic attack resources.
+const OctetStream = "application/octet-stream"
+
+// Internal shorthands for this package's own files.
+const (
+	targetPath  = TargetPath
+	contentType = OctetStream
+)
 
 // MiB matches the paper's "MB" axis (the Azure and CloudFront
 // crossovers are at binary 8/16 MiB and 10 MiB boundaries).
 const MiB = int64(1 << 20)
 
 // ---------------------------------------------------------------------
-// Experiment E1a — Table I: range forwarding behaviours (SBR).
+// Table I probe cells — range forwarding behaviours (SBR).
 
-// table1Probe is one client range shape sent to every vendor.
-type table1Probe struct {
+// Table1Probe is one client range shape sent to every vendor.
+type Table1Probe struct {
 	Label string
 	Range string
 	Size  int64
 }
 
-func table1Probes() []table1Probe {
-	return []table1Probe{
+// Table1Probes returns the Table I range shapes.
+func Table1Probes() []Table1Probe {
+	return []Table1Probe{
 		{"bytes=first-last (first<1024)", "bytes=0-0", 4 * MiB},
 		{"bytes=first-last (first>=1024)", "bytes=2048-2050", 4 * MiB},
 		{"bytes=-suffix", "bytes=-1", 4 * MiB},
@@ -44,38 +47,22 @@ func table1Probes() []table1Probe {
 // ForwardObservation is what the origin saw for one probe.
 type ForwardObservation struct {
 	Vendor    string
-	Probe     table1Probe
+	Probe     Table1Probe
 	Forwarded []string // per back-to-origin request; "None" = stripped
 	Policy    vendor.ForwardPolicy
 	SBRVuln   bool
 }
 
-// Table1 probes every vendor with the Table I range shapes and reports
-// the observed forwarding behaviour.
-func Table1() (*report.Table, []ForwardObservation, error) {
-	var observations []ForwardObservation
-	for _, p := range vendor.All() {
-		for _, probe := range table1Probes() {
-			obs, err := observeForwarding(p.Clone(), probe, true)
-			if err != nil {
-				return nil, nil, fmt.Errorf("%s/%s: %w", p.Name, probe.Label, err)
-			}
-			observations = append(observations, *obs)
-		}
+// ObserveForwarding runs one probe cell: it stands up an isolated
+// topology for the profile, sends the probe and classifies what the
+// origin received against the §III-B policy taxonomy. The profile is
+// used as given (callers own it); ctx cancellation is honored at the
+// topology-construction and probe boundaries.
+func ObserveForwarding(ctx context.Context, p *vendor.Profile, probe Table1Probe, originRanges bool) (*ForwardObservation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	tab := &report.Table{
-		Title:   "Table I — Range forwarding behaviours (SBR)",
-		Columns: []string{"CDN", "Client Range", "Forwarded Range(s)", "Policy", "SBR-vuln"},
-	}
-	for _, o := range observations {
-		tab.AddRow(o.Vendor, o.Probe.Range, joinForwarded(o.Forwarded), o.Policy.String(), yesNo(o.SBRVuln))
-	}
-	return tab, observations, nil
-}
-
-func observeForwarding(p *vendor.Profile, probe table1Probe, originRanges bool) (*ForwardObservation, error) {
-	store := resource.NewStore()
-	store.AddSynthetic(targetPath, probe.Size, contentType)
+	store := NewStoreWith(probe.Size)
 	topo, err := NewSBRTopology(p, store, SBROptions{OriginRangeSupport: originRanges})
 	if err != nil {
 		return nil, err
@@ -85,6 +72,9 @@ func observeForwarding(p *vendor.Profile, probe table1Probe, originRanges bool) 
 		return nil, err
 	}
 	topo.Origin.ResetLog()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	req := NewAttackRequest(targetPath + "?cb=probe")
 	req.Headers.Add("Range", probe.Range)
@@ -128,379 +118,8 @@ func observeForwarding(p *vendor.Profile, probe table1Probe, originRanges bool) 
 	return obs, nil
 }
 
-// ---------------------------------------------------------------------
-// Experiment E1b — Table II: multi-range forwarding (OBR FCDN side).
-
-// Table2 probes each vendor with an overlapping multi-range set and
-// reports which forward it unchanged (the FCDN vulnerability).
-func Table2() (*report.Table, map[string]bool, error) {
-	vulnerable := make(map[string]bool, 13)
-	tab := &report.Table{
-		Title:   "Table II — Multi-range forwarding (OBR FCDN side)",
-		Columns: []string{"CDN", "Client Range", "Forwarded", "FCDN-vuln"},
-	}
-	for _, p := range vendor.All() {
-		p = p.Clone()
-		if p.Name == "cloudflare" {
-			p.Options.CloudflareBypass = true // Table II's conditional position
-		}
-		rangeCase := BuildOverlappingRange(OBRFirstToken(p.Name), 4)
-		probe := table1Probe{Label: "overlap", Range: rangeCase, Size: 1024}
-		obs, err := observeForwarding(p, probe, false)
-		if err != nil {
-			return nil, nil, fmt.Errorf("%s: %w", p.Name, err)
-		}
-		isVuln := obs.Policy == vendor.Laziness
-		vulnerable[p.Name] = isVuln
-		tab.AddRow(obs.Vendor, rangeCase, joinForwarded(obs.Forwarded), yesNo(isVuln))
-	}
-	return tab, vulnerable, nil
-}
-
-// ---------------------------------------------------------------------
-// Experiment E1c — Table III: multi-range replying (OBR BCDN side).
-
-// Table3 sends an overlapping multi-range set directly to each vendor
-// edge (range-disabled origin behind it) and reports which build
-// overlapping n-part responses.
-func Table3() (*report.Table, map[string]bool, error) {
-	const n = 8
-	vulnerable := make(map[string]bool, 13)
-	tab := &report.Table{
-		Title:   "Table III — Multi-range replying (OBR BCDN side)",
-		Columns: []string{"CDN", "Ranges Sent", "Parts Returned", "BCDN-vuln"},
-	}
-	for _, p := range vendor.All() {
-		store := resource.NewStore()
-		store.AddSynthetic(targetPath, 1024, contentType)
-		topo, err := NewSBRTopology(p.Clone(), store, SBROptions{OriginRangeSupport: false})
-		if err != nil {
-			return nil, nil, err
-		}
-		req := NewAttackRequest(targetPath)
-		req.Headers.Add("Range", BuildOverlappingRange("0-", n))
-		resp, err := origin.Fetch(topo.Net, topo.EdgeAddr, topo.ClientSeg, req)
-		topo.Close()
-		if err != nil {
-			return nil, nil, fmt.Errorf("%s: %w", p.Name, err)
-		}
-		parts := countParts(resp)
-		isVuln := parts >= n
-		vulnerable[p.Name] = isVuln
-		tab.AddRow(p.DisplayName, strconv.Itoa(n), strconv.Itoa(parts), yesNo(isVuln))
-	}
-	return tab, vulnerable, nil
-}
-
-// ---------------------------------------------------------------------
-// Experiment E2 — Table IV and Fig 6: the SBR amplification sweep.
-
-// SBRSweepResult holds the full sweep: per vendor and size, the
-// amplification factor and the raw per-segment traffic.
-type SBRSweepResult struct {
-	Vendors     []string // display names, paper order
-	SizesMB     []int
-	Factor      map[string][]float64
-	ClientBytes map[string][]int64 // response traffic CDN -> client (Fig 6b)
-	OriginBytes map[string][]int64 // response traffic origin -> CDN (Fig 6c)
-	Cases       map[string]string  // exploited range case per vendor
-}
-
-// SBRSweep runs the Table IV / Fig 6 experiment for the given resource
-// sizes (in MB; the paper uses 1..25).
-func SBRSweep(sizesMB []int) (*SBRSweepResult, error) {
-	res := &SBRSweepResult{
-		SizesMB:     sizesMB,
-		Factor:      make(map[string][]float64),
-		ClientBytes: make(map[string][]int64),
-		OriginBytes: make(map[string][]int64),
-		Cases:       make(map[string]string),
-	}
-	for _, sizeMB := range sizesMB {
-		size := int64(sizeMB) * MiB
-		store := resource.NewStore()
-		store.AddSynthetic(targetPath, size, contentType)
-		for _, p := range vendor.All() {
-			topo, err := NewSBRTopology(p.Clone(), store, SBROptions{OriginRangeSupport: true})
-			if err != nil {
-				return nil, err
-			}
-			if err := PrimeSizeHint(topo, targetPath); err != nil {
-				topo.Close()
-				return nil, err
-			}
-			topo.ClientSeg.Reset()
-			topo.OriginSeg.Reset()
-			sbr, err := RunSBR(topo, targetPath, size, CacheBuster(sizeMB))
-			topo.Close()
-			if err != nil {
-				return nil, fmt.Errorf("%s @ %dMB: %w", p.Name, sizeMB, err)
-			}
-			name := p.DisplayName
-			if len(res.Factor[name]) == 0 {
-				res.Vendors = append(res.Vendors, name)
-			}
-			res.Factor[name] = append(res.Factor[name], sbr.Amplification.Factor())
-			res.ClientBytes[name] = append(res.ClientBytes[name], sbr.Amplification.AttackerBytes)
-			res.OriginBytes[name] = append(res.OriginBytes[name], sbr.Amplification.VictimBytes)
-			res.Cases[name] = sbr.Case.RangeHeader
-		}
-	}
-	return res, nil
-}
-
-// Table4 renders the sweep at the paper's three reference sizes (or
-// whatever subset was swept).
-func (r *SBRSweepResult) Table4() *report.Table {
-	tab := &report.Table{
-		Title:   "Table IV — SBR amplification factor by resource size",
-		Columns: []string{"CDN", "Exploited Range Case"},
-	}
-	for _, mb := range r.SizesMB {
-		tab.Columns = append(tab.Columns, fmt.Sprintf("%dMB", mb))
-	}
-	for _, v := range r.Vendors {
-		row := []string{v, r.Cases[v]}
-		for i := range r.SizesMB {
-			row = append(row, strconv.Itoa(int(r.Factor[v][i]+0.5)))
-		}
-		tab.AddRow(row...)
-	}
-	return tab
-}
-
-// Fig6 renders the three panels of Fig 6 from the sweep.
-func (r *SBRSweepResult) Fig6() (factors, clientTraffic, originTraffic *report.Figure) {
-	x := make([]float64, len(r.SizesMB))
-	for i, mb := range r.SizesMB {
-		x[i] = float64(mb)
-	}
-	mk := func(title, ylabel string, y func(string) []float64) *report.Figure {
-		f := &report.Figure{Title: title, XLabel: "resource size (MB)", YLabel: ylabel}
-		for _, v := range r.Vendors {
-			f.Series = append(f.Series, report.Series{Name: v, X: x, Y: y(v)})
-		}
-		return f
-	}
-	factors = mk("Fig 6a — amplification factors", "factor", func(v string) []float64 {
-		return r.Factor[v]
-	})
-	clientTraffic = mk("Fig 6b — response traffic CDN->client", "bytes", func(v string) []float64 {
-		return toFloats(r.ClientBytes[v])
-	})
-	originTraffic = mk("Fig 6c — response traffic origin->CDN", "bytes", func(v string) []float64 {
-		return toFloats(r.OriginBytes[v])
-	})
-	return factors, clientTraffic, originTraffic
-}
-
-// ---------------------------------------------------------------------
-// Experiment E3 — Table V: the OBR max amplification over 11 cascades.
-
-// OBRCombination is one FCDN/BCDN pair's measurement.
-type OBRCombination struct {
-	FCDN, BCDN string
-	Case       OBRCase
-	Result     *OBRResult
-}
-
-// obrFCDNs and obrBCDNs are the Table V row/column sets.
-func obrFCDNs() []string { return []string{"cdn77", "cdnsun", "cloudflare", "stackpath"} }
-func obrBCDNs() []string { return []string{"akamai", "azure", "stackpath"} }
-
-// Table5 runs the OBR attack over the 11 cascaded combinations (a CDN
-// is never cascaded with itself) with a 1 KB target resource.
-func Table5() (*report.Table, []OBRCombination, error) {
-	var combos []OBRCombination
-	tab := &report.Table{
-		Title: "Table V — OBR max amplification (1KB resource, max n)",
-		Columns: []string{"FCDN", "BCDN", "Range Case", "Max n",
-			"Server->BCDN", "BCDN->FCDN", "Factor"},
-	}
-	for _, fcdnName := range obrFCDNs() {
-		for _, bcdnName := range obrBCDNs() {
-			if fcdnName == bcdnName {
-				continue
-			}
-			combo, err := runOBRCombo(fcdnName, bcdnName)
-			if err != nil {
-				return nil, nil, fmt.Errorf("%s->%s: %w", fcdnName, bcdnName, err)
-			}
-			combos = append(combos, *combo)
-			tab.AddRow(combo.FCDN, combo.BCDN,
-				"bytes="+combo.Case.FirstToken+",0-,...,0-",
-				strconv.Itoa(combo.Case.N),
-				measure.FormatBytes(combo.Result.Amplification.AttackerBytes),
-				measure.FormatBytes(combo.Result.Amplification.VictimBytes),
-				fmt.Sprintf("%.2f", combo.Result.Amplification.Factor()))
-		}
-	}
-	return tab, combos, nil
-}
-
-func runOBRCombo(fcdnName, bcdnName string) (*OBRCombination, error) {
-	fcdnProfile, ok := vendor.ByName(fcdnName)
-	if !ok {
-		return nil, fmt.Errorf("unknown fcdn %q", fcdnName)
-	}
-	bcdnProfile, ok := vendor.ByName(bcdnName)
-	if !ok {
-		return nil, fmt.Errorf("unknown bcdn %q", bcdnName)
-	}
-	store := resource.NewStore()
-	store.AddSynthetic(targetPath, 1024, contentType)
-	topo, err := NewOBRTopology(fcdnProfile, bcdnProfile, store)
-	if err != nil {
-		return nil, err
-	}
-	defer topo.Close()
-	result, err := RunOBR(topo, targetPath, 0)
-	if err != nil {
-		return nil, err
-	}
-	return &OBRCombination{
-		FCDN: fcdnProfile.DisplayName, BCDN: bcdnProfile.DisplayName,
-		Case: result.Case, Result: result,
-	}, nil
-}
-
-// ---------------------------------------------------------------------
-// Experiment E4 — Fig 7: bandwidth practicability.
-
-// BandwidthConfig parameterizes the Fig 7 run.
-type BandwidthConfig struct {
-	Ms          []int // the m values (paper: 1..15)
-	ResourceMB  int   // paper: 10
-	DurationSec int   // paper: 30
-	LinkMbps    int   // paper: 1000
-	VendorName  string
-}
-
-// DefaultBandwidthConfig returns the paper's Fig 7 parameters.
-func DefaultBandwidthConfig() BandwidthConfig {
-	ms := make([]int, 15)
-	for i := range ms {
-		ms[i] = i + 1
-	}
-	return BandwidthConfig{Ms: ms, ResourceMB: 10, DurationSec: 30, LinkMbps: 1000, VendorName: "cloudflare"}
-}
-
-// Bandwidth calibrates per-request byte costs with one real SBR run,
-// then drives the fluid simulator for every m, returning Fig 7a
-// (client incoming) and Fig 7b (origin outgoing).
-func Bandwidth(cfg BandwidthConfig) (fig7a, fig7b *report.Figure, err error) {
-	p, ok := vendor.ByName(cfg.VendorName)
-	if !ok {
-		return nil, nil, fmt.Errorf("unknown vendor %q", cfg.VendorName)
-	}
-	size := int64(cfg.ResourceMB) * MiB
-	store := resource.NewStore()
-	store.AddSynthetic(targetPath, size, contentType)
-	topo, err := NewSBRTopology(p.Clone(), store, SBROptions{OriginRangeSupport: true})
-	if err != nil {
-		return nil, nil, err
-	}
-	sbr, err := RunSBR(topo, targetPath, size, "calibrate")
-	topo.Close()
-	if err != nil {
-		return nil, nil, err
-	}
-
-	fig7a = &report.Figure{Title: "Fig 7a — incoming bandwidth of the client",
-		XLabel: "time (s)", YLabel: "Kbps"}
-	fig7b = &report.Figure{Title: "Fig 7b — outgoing bandwidth of the origin server",
-		XLabel: "time (s)", YLabel: "Mbps"}
-	for _, m := range cfg.Ms {
-		samples := bwsim.Run(bwsim.Config{
-			LinkBitsPerSec:        float64(cfg.LinkMbps) * 1e6,
-			PerRequestOriginBytes: sbr.Amplification.VictimBytes,
-			PerRequestClientBytes: sbr.Amplification.AttackerBytes,
-			RequestsPerSecond:     m,
-			DurationSec:           cfg.DurationSec,
-		})
-		name := "m=" + strconv.Itoa(m)
-		var xs, client, originOut []float64
-		for _, s := range samples {
-			if s.Second >= cfg.DurationSec {
-				break
-			}
-			xs = append(xs, float64(s.Second))
-			client = append(client, s.ClientInKbps)
-			originOut = append(originOut, s.OriginOutMbps)
-		}
-		fig7a.Series = append(fig7a.Series, report.Series{Name: name, X: xs, Y: client})
-		fig7b.Series = append(fig7b.Series, report.Series{Name: name, X: xs, Y: originOut})
-	}
-	return fig7a, fig7b, nil
-}
-
-// ---------------------------------------------------------------------
-// Ablation A1 — §VI-C mitigations.
-
-// Mitigations measures the SBR attack against Cloudflare and the OBR
-// attack against Cloudflare->Akamai, unmitigated and with each §VI-C
-// countermeasure, and reports the factor collapse.
-func Mitigations() (*report.Table, error) {
-	tab := &report.Table{
-		Title:   "Mitigations (§VI-C) — amplification with and without each fix",
-		Columns: []string{"Attack", "Configuration", "Factor"},
-	}
-	const sizeMB = 10
-	size := int64(sizeMB) * MiB
-
-	sbrConfigs := []struct {
-		label   string
-		profile *vendor.Profile
-	}{
-		{"vulnerable (Deletion)", vendor.Cloudflare()},
-		{"Laziness policy", vendor.MitigateLaziness(vendor.Cloudflare())},
-		{"bounded Expansion (+8KB)", vendor.MitigateBoundedExpansion(vendor.Cloudflare(), 8<<10)},
-		{"1MB slicing", vendor.MitigateSlicing(vendor.Cloudflare(), 1<<20)},
-	}
-	for _, c := range sbrConfigs {
-		store := resource.NewStore()
-		store.AddSynthetic(targetPath, size, contentType)
-		topo, err := NewSBRTopology(c.profile, store, SBROptions{OriginRangeSupport: true})
-		if err != nil {
-			return nil, err
-		}
-		sbr, err := RunSBR(topo, targetPath, size, "mitigation")
-		topo.Close()
-		if err != nil {
-			return nil, fmt.Errorf("sbr %s: %w", c.label, err)
-		}
-		tab.AddRow("SBR (Cloudflare)", c.label, fmt.Sprintf("%.1f", sbr.Amplification.Factor()))
-	}
-
-	obrConfigs := []struct {
-		label string
-		bcdn  *vendor.Profile
-	}{
-		{"vulnerable (serve-all)", vendor.Akamai()},
-		{"reject overlapping ranges", vendor.MitigateRejectOverlap(vendor.Akamai())},
-		{"coalesce overlapping ranges", vendor.MitigateCoalesce(vendor.Akamai())},
-	}
-	for _, c := range obrConfigs {
-		store := resource.NewStore()
-		store.AddSynthetic(targetPath, 1024, contentType)
-		topo, err := NewOBRTopology(vendor.Cloudflare(), c.bcdn, store)
-		if err != nil {
-			return nil, err
-		}
-		obr, err := RunOBR(topo, targetPath, 256)
-		topo.Close()
-		if err != nil {
-			return nil, fmt.Errorf("obr %s: %w", c.label, err)
-		}
-		tab.AddRow("OBR (Cloudflare->Akamai, n=256)", c.label,
-			fmt.Sprintf("%.1f", obr.Amplification.Factor()))
-	}
-	return tab, nil
-}
-
-// ---------------------------------------------------------------------
-
-func joinForwarded(fs []string) string {
+// JoinForwarded renders a per-request forwarding log as one cell.
+func JoinForwarded(fs []string) string {
 	if len(fs) == 0 {
 		return "(no back-to-origin request)"
 	}
@@ -511,73 +130,11 @@ func joinForwarded(fs []string) string {
 	return out
 }
 
-func yesNo(b bool) string {
-	if b {
-		return "yes"
-	}
-	return "no"
-}
-
-func toFloats(xs []int64) []float64 {
-	out := make([]float64, len(xs))
-	for i, x := range xs {
-		out[i] = float64(x)
-	}
-	return out
-}
-
-// BandwidthAll runs the §V-D observation that all 13 CDNs behave like
-// the Cloudflare case: for each vendor it calibrates the per-request
-// origin cost with one real SBR run, then finds the smallest m (attack
-// requests per second) that saturates the origin's 1000 Mbps uplink.
-func BandwidthAll(cfg BandwidthConfig) (*report.Table, error) {
-	tab := &report.Table{
-		Title: "Fig 7 across all 13 CDNs — per-request origin cost and saturating m",
-		Columns: []string{"CDN", "Origin Bytes/Request", "Client Bytes/Request",
-			"Saturating m", "Steady Mbps @ m=15"},
-	}
-	size := int64(cfg.ResourceMB) * MiB
-	for _, p := range vendor.All() {
-		store := resource.NewStore()
-		store.AddSynthetic(targetPath, size, contentType)
-		topo, err := NewSBRTopology(p.Clone(), store, SBROptions{OriginRangeSupport: true})
-		if err != nil {
-			return nil, err
-		}
-		if err := PrimeSizeHint(topo, targetPath); err != nil {
-			topo.Close()
-			return nil, err
-		}
-		topo.ClientSeg.Reset()
-		topo.OriginSeg.Reset()
-		sbr, err := RunSBR(topo, targetPath, size, "calibrate")
-		topo.Close()
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Name, err)
-		}
-
-		bwCfg := bwsim.Config{
-			LinkBitsPerSec:        float64(cfg.LinkMbps) * 1e6,
-			PerRequestOriginBytes: sbr.Amplification.VictimBytes,
-			PerRequestClientBytes: sbr.Amplification.AttackerBytes,
-			DurationSec:           cfg.DurationSec,
-		}
-		saturatingM := 0
-		for m := 1; m <= 30; m++ {
-			bwCfg.RequestsPerSecond = m
-			if bwsim.Saturated(bwsim.Run(bwCfg), bwCfg, 0.97) {
-				saturatingM = m
-				break
-			}
-		}
-		bwCfg.RequestsPerSecond = 15
-		steady15 := bwsim.SteadyOriginMbps(bwsim.Run(bwCfg), cfg.DurationSec)
-
-		tab.AddRow(p.DisplayName,
-			measure.FormatBytes(sbr.Amplification.VictimBytes),
-			measure.FormatBytes(sbr.Amplification.AttackerBytes),
-			strconv.Itoa(saturatingM),
-			fmt.Sprintf("%.0f", steady15))
-	}
-	return tab, nil
+// NewStoreWith returns a store holding one synthetic target resource
+// of the given size at TargetPath — the arrangement every probe cell
+// attacks.
+func NewStoreWith(size int64) *resource.Store {
+	store := resource.NewStore()
+	store.AddSynthetic(targetPath, size, contentType)
+	return store
 }

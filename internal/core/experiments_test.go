@@ -1,264 +1,15 @@
 package core
 
 import (
-	"strconv"
-	"strings"
 	"testing"
 
 	"repro/internal/resource"
 	"repro/internal/vendor"
 )
 
-// paperTable4 holds the published amplification factors (Table IV) at
-// 1 MB and 25 MB, used as calibration targets with tolerance.
-var paperTable4 = map[string][2]float64{
-	"Akamai":        {1707, 43093},
-	"Alibaba Cloud": {1056, 26241},
-	"Azure":         {1401, 23481},
-	"CDN77":         {1612, 40390},
-	"CDNsun":        {1578, 38730},
-	"Cloudflare":    {1282, 31836},
-	"CloudFront":    {1356, 9281},
-	"Fastly":        {1286, 31820},
-	"G-Core Labs":   {1763, 43330},
-	"Huawei Cloud":  {1465, 36335},
-	"KeyCDN":        {724, 17744},
-	"StackPath":     {1297, 32491},
-	"Tencent Cloud": {1308, 32438},
-}
-
-func TestSBRSweepMatchesTable4(t *testing.T) {
-	if testing.Short() {
-		t.Skip("multi-MB sweep")
-	}
-	res, err := SBRSweep([]int{1, 25})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(res.Vendors) != 13 {
-		t.Fatalf("swept %d vendors", len(res.Vendors))
-	}
-	const tolerance = 0.15
-	for name, want := range paperTable4 {
-		got, ok := res.Factor[name]
-		if !ok || len(got) != 2 {
-			t.Errorf("%s: missing sweep data", name)
-			continue
-		}
-		for i, w := range want {
-			rel := (got[i] - w) / w
-			if rel > tolerance || rel < -tolerance {
-				t.Errorf("%s @ %dMB: factor %.0f, paper %.0f (%.1f%% off)",
-					name, res.SizesMB[i], got[i], w, rel*100)
-			}
-		}
-	}
-}
-
-func TestSBRFactorProportionalToSize(t *testing.T) {
-	if testing.Short() {
-		t.Skip("multi-MB sweep")
-	}
-	// §IV-B: "the bigger the target resource, the larger the amplification
-	// factor" — except the Azure (16 MB) and CloudFront (10 MB) caps.
-	res, err := SBRSweep([]int{2, 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, v := range res.Vendors {
-		f := res.Factor[v]
-		ratio := f[1] / f[0]
-		if ratio < 1.8 || ratio > 2.2 {
-			t.Errorf("%s: factor(4MB)/factor(2MB) = %.2f, want ~2", v, ratio)
-		}
-	}
-}
-
-func TestSBRCapsAzureAndCloudFront(t *testing.T) {
-	if testing.Short() {
-		t.Skip("multi-MB sweep")
-	}
-	res, err := SBRSweep([]int{18, 24})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, v := range []string{"Azure", "CloudFront"} {
-		f := res.Factor[v]
-		if f[1]/f[0] > 1.05 {
-			t.Errorf("%s: factor kept growing past its cap: %.0f -> %.0f", v, f[0], f[1])
-		}
-	}
-	// A Deletion vendor keeps growing.
-	f := res.Factor["Akamai"]
-	if f[1]/f[0] < 1.25 {
-		t.Errorf("Akamai flattened unexpectedly: %.0f -> %.0f", f[0], f[1])
-	}
-}
-
-func TestClientTrafficStaysSmall(t *testing.T) {
-	// Fig 6b: response traffic to the client is at most ~1500B per
-	// request regardless of resource size (KeyCDN's two responses remain
-	// the largest).
-	res, err := SBRSweep([]int{3})
-	if err != nil {
-		t.Fatal(err)
-	}
-	var maxBytes int64
-	var maxVendor string
-	for _, v := range res.Vendors {
-		b := res.ClientBytes[v][0]
-		if b <= 0 || b > 2000 {
-			t.Errorf("%s: client traffic %dB out of range", v, b)
-		}
-		if b > maxBytes {
-			maxBytes, maxVendor = b, v
-		}
-	}
-	if maxVendor != "KeyCDN" {
-		t.Errorf("largest client traffic from %s (%dB), paper says KeyCDN", maxVendor, maxBytes)
-	}
-}
-
-func TestTable1AllVendorsSBRVulnerable(t *testing.T) {
-	tab, observations, err := Table1()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(tab.Rows) != 13*4 {
-		t.Fatalf("%d rows", len(tab.Rows))
-	}
-	vulnerable := make(map[string]bool)
-	for _, o := range observations {
-		if o.SBRVuln {
-			vulnerable[o.Vendor] = true
-		}
-	}
-	if len(vulnerable) != 13 {
-		t.Errorf("only %d vendors SBR-vulnerable, paper says all 13: %v", len(vulnerable), vulnerable)
-	}
-}
-
-func TestTable1SpecificBehaviours(t *testing.T) {
-	_, observations, err := Table1()
-	if err != nil {
-		t.Fatal(err)
-	}
-	find := func(vendorName, rangeHeader string) *ForwardObservation {
-		for i := range observations {
-			if observations[i].Vendor == vendorName && observations[i].Probe.Range == rangeHeader {
-				return &observations[i]
-			}
-		}
-		t.Fatalf("no observation for %s %s", vendorName, rangeHeader)
-		return nil
-	}
-	if o := find("Akamai", "bytes=0-0"); o.Policy != vendor.Deletion {
-		t.Errorf("Akamai bytes=0-0: %v", o.Policy)
-	}
-	if o := find("CloudFront", "bytes=0-0"); o.Policy != vendor.Expansion ||
-		o.Forwarded[0] != "bytes=0-1048575" {
-		t.Errorf("CloudFront bytes=0-0: %+v", o)
-	}
-	if o := find("Azure", "bytes=8388608-8388608"); len(o.Forwarded) != 2 ||
-		o.Forwarded[0] != "None" || o.Forwarded[1] != "bytes=8388608-16777215" {
-		t.Errorf("Azure window probe: %+v", o.Forwarded)
-	}
-	if o := find("CDN77", "bytes=2048-2050"); o.Policy != vendor.Laziness {
-		t.Errorf("CDN77 first>=1024: %v", o.Policy)
-	}
-	if o := find("StackPath", "bytes=0-0"); len(o.Forwarded) != 2 ||
-		o.Forwarded[0] != "Unchanged" || o.Forwarded[1] != "None" {
-		t.Errorf("StackPath: %+v", o.Forwarded)
-	}
-	if o := find("KeyCDN", "bytes=0-0"); len(o.Forwarded) != 2 ||
-		o.Forwarded[0] != "Unchanged" || o.Forwarded[1] != "None" {
-		t.Errorf("KeyCDN: %+v", o.Forwarded)
-	}
-}
-
-func TestTable2MatchesPaper(t *testing.T) {
-	_, vulnerable, err := Table2()
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := map[string]bool{"cdn77": true, "cdnsun": true, "cloudflare": true, "stackpath": true}
-	for name, isVuln := range vulnerable {
-		if isVuln != want[name] {
-			t.Errorf("%s FCDN-vulnerable = %v, paper says %v", name, isVuln, want[name])
-		}
-	}
-	if len(vulnerable) != 13 {
-		t.Errorf("probed %d vendors", len(vulnerable))
-	}
-}
-
-func TestTable3MatchesPaper(t *testing.T) {
-	_, vulnerable, err := Table3()
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := map[string]bool{"akamai": true, "azure": true, "stackpath": true}
-	for name, isVuln := range vulnerable {
-		if isVuln != want[name] {
-			t.Errorf("%s BCDN-vulnerable = %v, paper says %v", name, isVuln, want[name])
-		}
-	}
-}
-
-// paperTable5 holds the published OBR factors for tolerance checks.
-var paperTable5 = map[string]float64{
-	"CDN77->Akamai":         3789.35,
-	"CDN77->Azure":          53.55,
-	"CDN77->StackPath":      3547.07,
-	"CDNsun->Akamai":        3781.51,
-	"CDNsun->Azure":         52.15,
-	"CDNsun->StackPath":     3547.57,
-	"Cloudflare->Akamai":    7432.53,
-	"Cloudflare->Azure":     52.71,
-	"Cloudflare->StackPath": 6513.69,
-	"StackPath->Akamai":     7471.41,
-	"StackPath->Azure":      50.74,
-}
-
-func TestTable5MatchesPaper(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full OBR cascade")
-	}
-	tab, combos, err := Table5()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(combos) != 11 {
-		t.Fatalf("%d combinations, want 11", len(combos))
-	}
-	if len(tab.Rows) != 11 {
-		t.Fatalf("%d table rows", len(tab.Rows))
-	}
-	const tolerance = 0.20
-	for _, c := range combos {
-		key := c.FCDN + "->" + c.BCDN
-		want, ok := paperTable5[key]
-		if !ok {
-			t.Errorf("unexpected combination %s", key)
-			continue
-		}
-		got := c.Result.Amplification.Factor()
-		rel := (got - want) / want
-		if rel > tolerance || rel < -tolerance {
-			t.Errorf("%s: factor %.1f, paper %.1f (%.0f%% off, n=%d)",
-				key, got, want, rel*100, c.Case.N)
-		}
-		if c.BCDN == "Azure" && c.Case.N != 64 {
-			t.Errorf("%s: n = %d, want 64", key, c.Case.N)
-		}
-		if c.BCDN != "Azure" && (c.Case.N < 5000 || c.Case.N > 12000) {
-			t.Errorf("%s: n = %d outside the paper's 5455..10801 band", key, c.Case.N)
-		}
-		if c.Result.Parts != c.Case.N {
-			t.Errorf("%s: reply has %d parts for n=%d", key, c.Result.Parts, c.Case.N)
-		}
-	}
-}
+// Experiment-level assertions (Table I-V content, sweeps, mitigation
+// ablations) live in internal/exp, next to the registered experiments.
+// This file tests the probe-cell primitives that stayed in core.
 
 func TestPlanMaxNPaperOrdering(t *testing.T) {
 	cdn77, _ := vendor.ByName("cdn77")
@@ -278,83 +29,6 @@ func TestPlanMaxNPaperOrdering(t *testing.T) {
 	}
 	if naz := PlanMaxN(cloudflare, azure, targetPath); naz.N != 64 {
 		t.Errorf("->Azure n = %d", naz.N)
-	}
-}
-
-func TestBandwidthFigures(t *testing.T) {
-	cfg := DefaultBandwidthConfig()
-	cfg.Ms = []int{1, 5, 11, 14}
-	fig7a, fig7b, err := Bandwidth(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(fig7a.Series) != 4 || len(fig7b.Series) != 4 {
-		t.Fatalf("series counts: %d, %d", len(fig7a.Series), len(fig7b.Series))
-	}
-	steady := func(ys []float64) float64 {
-		sum := 0.0
-		for _, y := range ys[10:20] {
-			sum += y
-		}
-		return sum / 10
-	}
-	// Fig 7a: client incoming < 500 Kbps for every m.
-	for _, s := range fig7a.Series {
-		for _, y := range s.Y {
-			if y > 500 {
-				t.Errorf("client series %s: %.1f Kbps > 500", s.Name, y)
-			}
-		}
-	}
-	// Fig 7b: proportional below saturation, pinned at ~1000 above.
-	m1 := steady(fig7b.Series[0].Y)
-	m5 := steady(fig7b.Series[1].Y)
-	if m5/m1 < 4.5 || m5/m1 > 5.5 {
-		t.Errorf("m=5/m=1 steady ratio = %.2f, want ~5", m5/m1)
-	}
-	m14 := steady(fig7b.Series[3].Y)
-	if m14 < 970 {
-		t.Errorf("m=14 steady = %.1f Mbps, want saturation", m14)
-	}
-}
-
-func TestMitigationsCollapseFactors(t *testing.T) {
-	tab, err := Mitigations()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(tab.Rows) != 7 {
-		t.Fatalf("%d rows", len(tab.Rows))
-	}
-	factor := func(row []string) float64 {
-		f, err := strconv.ParseFloat(row[2], 64)
-		if err != nil {
-			t.Fatalf("bad factor cell %q", row[2])
-		}
-		return f
-	}
-	sbrBase, sbrLazy, sbrBounded, sbrSliced := factor(tab.Rows[0]), factor(tab.Rows[1]), factor(tab.Rows[2]), factor(tab.Rows[3])
-	if sbrBase < 1000 {
-		t.Errorf("unmitigated SBR factor = %.1f, want > 1000", sbrBase)
-	}
-	if sbrLazy > 3 {
-		t.Errorf("Laziness SBR factor = %.1f, want ~1", sbrLazy)
-	}
-	if sbrBounded > 30 {
-		t.Errorf("bounded-expansion SBR factor = %.1f, want small", sbrBounded)
-	}
-	if sbrSliced > 2000 || sbrSliced < 100 {
-		t.Errorf("slicing SBR factor = %.1f, want ~sliceSize/clientResp", sbrSliced)
-	}
-	if sbrSliced >= sbrBase/5 {
-		t.Errorf("slicing barely helped: %.1f vs %.1f", sbrSliced, sbrBase)
-	}
-	obrBase, obrReject, obrCoalesce := factor(tab.Rows[4]), factor(tab.Rows[5]), factor(tab.Rows[6])
-	if obrBase < 100 {
-		t.Errorf("unmitigated OBR factor = %.1f, want > 100 at n=256", obrBase)
-	}
-	if obrReject > 5 || obrCoalesce > 5 {
-		t.Errorf("mitigated OBR factors = %.1f / %.1f, want ~1", obrReject, obrCoalesce)
 	}
 }
 
@@ -403,30 +77,15 @@ func TestOBRFirstTokens(t *testing.T) {
 	}
 }
 
-func TestRenderingsNonEmpty(t *testing.T) {
-	res, err := SBRSweep([]int{1})
-	if err != nil {
-		t.Fatal(err)
+func TestJoinForwarded(t *testing.T) {
+	if got := JoinForwarded(nil); got != "(no back-to-origin request)" {
+		t.Errorf("empty: %q", got)
 	}
-	var b strings.Builder
-	if err := res.Table4().Render(&b); err != nil {
-		t.Fatal(err)
+	if got := JoinForwarded([]string{"Unchanged"}); got != "Unchanged" {
+		t.Errorf("one: %q", got)
 	}
-	if !strings.Contains(b.String(), "Akamai") {
-		t.Error("Table4 rendering missing vendors")
-	}
-	fa, fb, fc := res.Fig6()
-	b.Reset()
-	if err := fa.Render(&b); err != nil || !strings.Contains(b.String(), "Fig 6a") {
-		t.Errorf("Fig6a render: %v", err)
-	}
-	b.Reset()
-	if err := fb.Render(&b); err != nil {
-		t.Error(err)
-	}
-	b.Reset()
-	if err := fc.Render(&b); err != nil {
-		t.Error(err)
+	if got := JoinForwarded([]string{"Unchanged", "None"}); got != "Unchanged & None" {
+		t.Errorf("two: %q", got)
 	}
 }
 
@@ -485,27 +144,4 @@ func resourceStoreWith(t *testing.T, size int64) *resource.Store {
 	store := resource.NewStore()
 	store.AddSynthetic(targetPath, size, contentType)
 	return store
-}
-
-// TestExperimentDeterminism: every experiment that involves no
-// scheduling-dependent truncation must reproduce byte-identical
-// factors across runs.
-func TestExperimentDeterminism(t *testing.T) {
-	runOnce := func() map[string]float64 {
-		_, combos, err := Table5()
-		if err != nil {
-			t.Fatal(err)
-		}
-		out := make(map[string]float64, len(combos))
-		for _, c := range combos {
-			out[c.FCDN+"->"+c.BCDN] = c.Result.Amplification.Factor()
-		}
-		return out
-	}
-	a, b := runOnce(), runOnce()
-	for k, va := range a {
-		if vb := b[k]; va != vb {
-			t.Errorf("%s: %.4f vs %.4f across runs", k, va, vb)
-		}
-	}
 }

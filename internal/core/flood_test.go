@@ -1,7 +1,6 @@
 package core
 
 import (
-	"strings"
 	"testing"
 
 	"repro/internal/resource"
@@ -59,38 +58,5 @@ func TestSBRFloodKeyCDNDoubleRequests(t *testing.T) {
 	}
 	if n := len(topo.Origin.Log()); n != 4*3*2 {
 		t.Errorf("origin saw %d requests", n)
-	}
-}
-
-func TestBandwidthAllTable(t *testing.T) {
-	if testing.Short() {
-		t.Skip("13 calibration runs")
-	}
-	cfg := DefaultBandwidthConfig()
-	cfg.ResourceMB = 10
-	tab, err := BandwidthAll(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(tab.Rows) != 13 {
-		t.Fatalf("%d rows", len(tab.Rows))
-	}
-	var b strings.Builder
-	if err := tab.Render(&b); err != nil {
-		t.Fatal(err)
-	}
-	out := b.String()
-	for _, want := range []string{"Akamai", "Saturating m", "KeyCDN"} {
-		if !strings.Contains(out, want) {
-			t.Errorf("table missing %q", want)
-		}
-	}
-	// Every vendor's saturating m sits in the paper's 11-14 band (±1 for
-	// Azure/CloudFront whose per-request cost differs).
-	for _, row := range tab.Rows {
-		m := row[3]
-		if m == "0" {
-			t.Errorf("%s never saturated", row[0])
-		}
 	}
 }

@@ -5,9 +5,6 @@ import (
 
 	"repro/internal/h2"
 	"repro/internal/measure"
-	"repro/internal/report"
-	"repro/internal/resource"
-	"repro/internal/vendor"
 )
 
 // edgeH2Addr is the edge's HTTP/2 listener, started on demand.
@@ -51,51 +48,3 @@ func RunSBROverH2(t *SBRTopology, path string, resourceSize int64, cacheBuster s
 	return result, nil
 }
 
-// H2Comparison runs the same SBR exploit over HTTP/1.1 and HTTP/2
-// against every vendor and tabulates both factors, demonstrating that
-// the vulnerability is protocol-version independent (and slightly
-// worse over h2, because HPACK shrinks the attacker-side bytes).
-func H2Comparison(sizeMB int) (*report.Table, map[string][2]float64, error) {
-	size := int64(sizeMB) * MiB
-	factors := make(map[string][2]float64, 13)
-	tab := &report.Table{
-		Title:   fmt.Sprintf("§VI-B — SBR amplification over HTTP/1.1 vs HTTP/2 (%dMB resource)", sizeMB),
-		Columns: []string{"CDN", "HTTP/1.1 Factor", "HTTP/2 Factor", "h2/h1"},
-	}
-	for _, p := range vendor.All() {
-		store := resource.NewStore()
-		store.AddSynthetic(targetPath, size, contentType)
-		topo, err := NewSBRTopology(p.Clone(), store, SBROptions{OriginRangeSupport: true})
-		if err != nil {
-			return nil, nil, err
-		}
-		if err := topo.EnableH2(); err != nil {
-			topo.Close()
-			return nil, nil, err
-		}
-		if err := PrimeSizeHint(topo, targetPath); err != nil {
-			topo.Close()
-			return nil, nil, err
-		}
-
-		h1Res, err := RunSBR(topo, targetPath, size, "h1")
-		if err != nil {
-			topo.Close()
-			return nil, nil, fmt.Errorf("%s h1: %w", p.Name, err)
-		}
-		h2Res, err := RunSBROverH2(topo, targetPath, size, "h2")
-		topo.Close()
-		if err != nil {
-			return nil, nil, fmt.Errorf("%s h2: %w", p.Name, err)
-		}
-
-		f1 := h1Res.Amplification.Factor()
-		f2 := h2Res.Amplification.Factor()
-		factors[p.DisplayName] = [2]float64{f1, f2}
-		tab.AddRow(p.DisplayName,
-			fmt.Sprintf("%.0f", f1),
-			fmt.Sprintf("%.0f", f2),
-			fmt.Sprintf("%.2f", f2/f1))
-	}
-	return tab, factors, nil
-}

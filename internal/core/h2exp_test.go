@@ -1,7 +1,6 @@
 package core
 
 import (
-	"strings"
 	"testing"
 
 	"repro/internal/resource"
@@ -47,34 +46,6 @@ func TestSBROverH2SameAmplification(t *testing.T) {
 	if diff < -1024 || diff > 1024 {
 		t.Errorf("origin traffic differs: h1=%d h2=%d",
 			h1.Amplification.VictimBytes, h2res.Amplification.VictimBytes)
-	}
-}
-
-func TestH2ComparisonTable(t *testing.T) {
-	if testing.Short() {
-		t.Skip("13-vendor double sweep")
-	}
-	tab, factors, err := H2Comparison(1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(tab.Rows) != 13 || len(factors) != 13 {
-		t.Fatalf("rows=%d factors=%d", len(tab.Rows), len(factors))
-	}
-	for name, f := range factors {
-		if f[0] < 300 || f[1] < 300 {
-			t.Errorf("%s: factors %v too small", name, f)
-		}
-		if f[1] < f[0]*0.95 {
-			t.Errorf("%s: h2 factor %.0f markedly below h1 %.0f", name, f[1], f[0])
-		}
-	}
-	var b strings.Builder
-	if err := tab.Render(&b); err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(b.String(), "HTTP/2 Factor") {
-		t.Error("table header missing")
 	}
 }
 

@@ -1,89 +1,79 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
 	"repro/internal/netsim"
 	"repro/internal/origin"
-	"repro/internal/report"
 	"repro/internal/resource"
 	"repro/internal/vendor"
 )
 
-// NodeTargeting contrasts the §IV-C attacker strategy (pin every
-// request to one ingress node) with the §VI-A ethics control (spread
-// requests over all nodes): the same request volume, radically
-// different per-node load. It returns the comparison table and the
-// busiest-node load share for both strategies.
-func NodeTargeting(nodeCount, requests int) (*report.Table, map[string]float64, error) {
+// NodeStrategyStats is one ingress-node selection strategy's cell
+// result: the same request volume produces radically different
+// per-node load under §IV-C pinning vs §VI-A spreading.
+type NodeStrategyStats struct {
+	Label           string
+	Share           float64 // busiest node's load share
+	BusiestUpstream int64   // busiest node's upstream down-bytes
+	IdleNodes       int
+}
+
+// RunNodeStrategy drives requests SBR requests through a nodeCount-node
+// Cloudflare-profiled cluster under the given selector and measures the
+// load concentration. ctx cancellation is honored between requests.
+func RunNodeStrategy(ctx context.Context, label string, sel cluster.Selector, nodeCount, requests int) (*NodeStrategyStats, error) {
 	if nodeCount < 2 || requests < nodeCount {
-		return nil, nil, fmt.Errorf("core: need >=2 nodes and >=%d requests", nodeCount)
+		return nil, fmt.Errorf("core: need >=2 nodes and >=%d requests", nodeCount)
 	}
-	shares := make(map[string]float64, 2)
-	tab := &report.Table{
-		Title: fmt.Sprintf("§IV-C vs §VI-A — ingress-node load under pinned and spread selection (%d nodes, %d SBR requests)",
-			nodeCount, requests),
-		Columns: []string{"Strategy", "Busiest Node Share", "Busiest Node Upstream", "Idle Nodes"},
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
+	store := resource.NewStore()
+	store.AddSynthetic(targetPath, 256<<10, contentType)
+	osrv := origin.NewServer(store, origin.Config{RangeSupport: true})
+	net := netsim.NewNetwork()
+	originL, err := net.Listen(originAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer originL.Close()
+	go osrv.Serve(originL)
 
-	run := func(label string, sel cluster.Selector) error {
-		store := resource.NewStore()
-		store.AddSynthetic(targetPath, 256<<10, contentType)
-		osrv := origin.NewServer(store, origin.Config{RangeSupport: true})
-		net := netsim.NewNetwork()
-		originL, err := net.Listen(originAddr)
-		if err != nil {
-			return err
+	c, err := cluster.New(cluster.Config{
+		Name:         "fcdn",
+		Profile:      vendor.Cloudflare(),
+		Network:      net,
+		UpstreamAddr: originAddr,
+		NodeCount:    nodeCount,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	for i := 0; i < requests; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		defer originL.Close()
-		go osrv.Serve(originL)
-
-		c, err := cluster.New(cluster.Config{
-			Name:         "fcdn",
-			Profile:      vendor.Cloudflare(),
-			Network:      net,
-			UpstreamAddr: originAddr,
-			NodeCount:    nodeCount,
-		})
-		if err != nil {
-			return err
+		node := sel.Pick(c)
+		req := NewAttackRequest(fmt.Sprintf("%s?cb=%s%d", targetPath, label, i))
+		req.Headers.Add("Range", "bytes=0-0")
+		if _, err := origin.Fetch(net, node.Addr, node.ClientSeg, req); err != nil {
+			return nil, fmt.Errorf("request %d: %w", i, err)
 		}
-		defer c.Close()
-
-		for i := 0; i < requests; i++ {
-			node := sel.Pick(c)
-			req := NewAttackRequest(fmt.Sprintf("%s?cb=%s%d", targetPath, label, i))
-			req.Headers.Add("Range", "bytes=0-0")
-			if _, err := origin.Fetch(net, node.Addr, node.ClientSeg, req); err != nil {
-				return fmt.Errorf("request %d: %w", i, err)
-			}
-		}
-
-		share := c.Concentration()
-		shares[label] = share
-		var busiest int64
-		idle := 0
-		for _, nt := range c.TrafficByNode() {
-			if nt.Upstream.Down > busiest {
-				busiest = nt.Upstream.Down
-			}
-			if nt.Upstream.Down == 0 {
-				idle++
-			}
-		}
-		tab.AddRow(label,
-			fmt.Sprintf("%.2f", share),
-			fmt.Sprintf("%d", busiest),
-			fmt.Sprintf("%d/%d", idle, nodeCount))
-		return nil
 	}
 
-	if err := run("pinned", cluster.Pinned{Index: 0}); err != nil {
-		return nil, nil, err
+	stats := &NodeStrategyStats{Label: label, Share: c.Concentration()}
+	for _, nt := range c.TrafficByNode() {
+		if nt.Upstream.Down > stats.BusiestUpstream {
+			stats.BusiestUpstream = nt.Upstream.Down
+		}
+		if nt.Upstream.Down == 0 {
+			stats.IdleNodes++
+		}
 	}
-	if err := run("spread", &cluster.RoundRobin{}); err != nil {
-		return nil, nil, err
-	}
-	return tab, shares, nil
+	return stats, nil
 }

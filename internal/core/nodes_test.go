@@ -1,28 +1,50 @@
 package core
 
-import "testing"
+import (
+	"context"
+	"testing"
 
-func TestNodeTargeting(t *testing.T) {
-	tab, shares, err := NodeTargeting(5, 20)
+	"repro/internal/cluster"
+)
+
+func TestRunNodeStrategy(t *testing.T) {
+	ctx := context.Background()
+	pinned, err := RunNodeStrategy(ctx, "pinned", cluster.Pinned{Index: 0}, 5, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 2 {
-		t.Fatalf("%d rows", len(tab.Rows))
+	if pinned.Share != 1.0 {
+		t.Errorf("pinned share = %.2f, want 1.0", pinned.Share)
 	}
-	if shares["pinned"] != 1.0 {
-		t.Errorf("pinned share = %.2f, want 1.0", shares["pinned"])
+	if pinned.IdleNodes != 4 {
+		t.Errorf("pinned idle nodes = %d, want 4", pinned.IdleNodes)
 	}
-	if shares["spread"] > 0.25 {
-		t.Errorf("spread share = %.2f, want ~0.20", shares["spread"])
+	spread, err := RunNodeStrategy(ctx, "spread", &cluster.RoundRobin{}, 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread.Share > 0.25 {
+		t.Errorf("spread share = %.2f, want ~0.20", spread.Share)
+	}
+	if spread.IdleNodes != 0 {
+		t.Errorf("spread idle nodes = %d, want 0", spread.IdleNodes)
 	}
 }
 
-func TestNodeTargetingValidation(t *testing.T) {
-	if _, _, err := NodeTargeting(1, 10); err == nil {
+func TestRunNodeStrategyValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := RunNodeStrategy(ctx, "x", cluster.Pinned{}, 1, 10); err == nil {
 		t.Error("single node accepted")
 	}
-	if _, _, err := NodeTargeting(5, 2); err == nil {
+	if _, err := RunNodeStrategy(ctx, "x", cluster.Pinned{}, 5, 2); err == nil {
 		t.Error("too few requests accepted")
+	}
+}
+
+func TestRunNodeStrategyCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunNodeStrategy(ctx, "x", cluster.Pinned{}, 5, 20); err == nil {
+		t.Error("cancelled context accepted")
 	}
 }

@@ -1,0 +1,158 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"repro/internal/bwsim"
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/report"
+	"repro/internal/vendor"
+)
+
+// ---------------------------------------------------------------------
+// Experiment E4 — Fig 7: bandwidth consumption over time.
+
+// BandwidthConfig parameterizes the Fig 7 reproduction.
+type BandwidthConfig struct {
+	Ms          []int // the m values (paper: 1..15)
+	ResourceMB  int   // paper: 10
+	DurationSec int   // paper: 30
+	LinkMbps    int   // paper: 1000
+	VendorName  string
+}
+
+// DefaultBandwidthConfig returns the paper's Fig 7 parameters.
+func DefaultBandwidthConfig() BandwidthConfig {
+	ms := make([]int, 15)
+	for i := range ms {
+		ms[i] = i + 1
+	}
+	return BandwidthConfig{Ms: ms, ResourceMB: 10, DurationSec: 30, LinkMbps: 1000, VendorName: "cloudflare"}
+}
+
+// Bandwidth calibrates one SBR request against the configured vendor,
+// then replays the paper's fixed-rate flood at each m through the
+// bandwidth simulator.
+func Bandwidth(ctx context.Context, cfg BandwidthConfig) (fig7a, fig7b *report.Figure, err error) {
+	p, ok := vendor.ByName(cfg.VendorName)
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown vendor %q", cfg.VendorName)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	size := int64(cfg.ResourceMB) * core.MiB
+	store := core.NewStoreWith(size)
+	topo, err := core.NewSBRTopology(p.Clone(), store, core.SBROptions{OriginRangeSupport: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	sbr, err := core.RunSBR(topo, core.TargetPath, size, "calibrate")
+	topo.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	fig7a = &report.Figure{Title: "Fig 7a — incoming bandwidth of the client",
+		Slug: "fig7a", XLabel: "time (s)", YLabel: "Kbps"}
+	fig7b = &report.Figure{Title: "Fig 7b — outgoing bandwidth of the origin server",
+		Slug: "fig7b", XLabel: "time (s)", YLabel: "Mbps"}
+	for _, m := range cfg.Ms {
+		samples := bwsim.Run(bwsim.Config{
+			LinkBitsPerSec:        float64(cfg.LinkMbps) * 1e6,
+			PerRequestOriginBytes: sbr.Amplification.VictimBytes,
+			PerRequestClientBytes: sbr.Amplification.AttackerBytes,
+			RequestsPerSecond:     m,
+			DurationSec:           cfg.DurationSec,
+		})
+		name := "m=" + strconv.Itoa(m)
+		var xs, client, originOut []float64
+		for _, s := range samples {
+			if s.Second >= cfg.DurationSec {
+				break
+			}
+			xs = append(xs, float64(s.Second))
+			client = append(client, s.ClientInKbps)
+			originOut = append(originOut, s.OriginOutMbps)
+		}
+		fig7a.Series = append(fig7a.Series, report.Series{Name: name, X: xs, Y: client})
+		fig7b.Series = append(fig7b.Series, report.Series{Name: name, X: xs, Y: originOut})
+	}
+	return fig7a, fig7b, nil
+}
+
+// BandwidthAll runs the Fig 7 calibration against every vendor in
+// parallel and reports each vendor's per-request origin cost plus the
+// request rate m that saturates the origin link.
+func BandwidthAll(ctx context.Context, cfg BandwidthConfig, parallel int) (*report.Table, error) {
+	size := int64(cfg.ResourceMB) * core.MiB
+	type cell struct {
+		display            string
+		victim, attacker   int64
+		saturatingM        int
+		steady15           float64
+	}
+	cells, err := ForEachVendor(ctx, parallel, func(ctx context.Context, p *vendor.Profile) (cell, error) {
+		if err := ctx.Err(); err != nil {
+			return cell{}, err
+		}
+		store := core.NewStoreWith(size)
+		topo, err := core.NewSBRTopology(p, store, core.SBROptions{OriginRangeSupport: true})
+		if err != nil {
+			return cell{}, err
+		}
+		if err := core.PrimeSizeHint(topo, core.TargetPath); err != nil {
+			topo.Close()
+			return cell{}, err
+		}
+		topo.ClientSeg.Reset()
+		topo.OriginSeg.Reset()
+		sbr, err := core.RunSBR(topo, core.TargetPath, size, "calibrate")
+		topo.Close()
+		if err != nil {
+			return cell{}, fmt.Errorf("%s: %w", p.Name, err)
+		}
+
+		bwCfg := bwsim.Config{
+			LinkBitsPerSec:        float64(cfg.LinkMbps) * 1e6,
+			PerRequestOriginBytes: sbr.Amplification.VictimBytes,
+			PerRequestClientBytes: sbr.Amplification.AttackerBytes,
+			DurationSec:           cfg.DurationSec,
+		}
+		saturatingM := 0
+		for m := 1; m <= 30; m++ {
+			bwCfg.RequestsPerSecond = m
+			if bwsim.Saturated(bwsim.Run(bwCfg), bwCfg, 0.97) {
+				saturatingM = m
+				break
+			}
+		}
+		bwCfg.RequestsPerSecond = 15
+		steady15 := bwsim.SteadyOriginMbps(bwsim.Run(bwCfg), cfg.DurationSec)
+		return cell{
+			display: p.DisplayName,
+			victim:  sbr.Amplification.VictimBytes, attacker: sbr.Amplification.AttackerBytes,
+			saturatingM: saturatingM, steady15: steady15,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tab := &report.Table{
+		Title: "Fig 7 across all 13 CDNs — per-request origin cost and saturating m",
+		Slug:  "bandwidth-all",
+		Columns: []string{"CDN", "Origin Bytes/Request", "Client Bytes/Request",
+			"Saturating m", "Steady Mbps @ m=15"},
+	}
+	for _, c := range cells {
+		tab.AddRow(c.display,
+			measure.FormatBytes(c.victim),
+			measure.FormatBytes(c.attacker),
+			strconv.Itoa(c.saturatingM),
+			fmt.Sprintf("%.0f", c.steady15))
+	}
+	return tab, nil
+}

@@ -1,0 +1,250 @@
+// Package exp is the experiment layer of the reproduction: a registry
+// of the paper's evaluation experiments (Tables I-V, Figs 6-7, and the
+// §V/§VI extension studies) built on a shared parallel vendor
+// scheduler. Each experiment is a named, self-describing unit; its
+// per-vendor probe cells each stand up an isolated netsim topology, so
+// they fan out to a bounded worker pool (Map / ForEachVendor) and are
+// collected by index, keeping table row order deterministic no matter
+// which cell finishes first. Cancellation of the run context is
+// honored between cells and at the topology-construction boundaries
+// inside them.
+//
+// Adding experiment #14 is one registration against the same scheduler:
+//
+//	func init() {
+//		Register(Func("myexp", "what it measures",
+//			func(ctx context.Context, p Params) (*Result, error) {
+//				rows, err := ForEachVendor(ctx, p.Parallel, probeOneVendor)
+//				if err != nil {
+//					return nil, err
+//				}
+//				tab := &report.Table{Title: "...", Slug: "myexp", Columns: ...}
+//				for _, r := range rows {
+//					tab.AddRow(r...)
+//				}
+//				return &Result{Tables: []*report.Table{tab}}, nil
+//			}))
+//	}
+package exp
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/report"
+)
+
+// Params carries the run-time knobs every experiment receives.
+type Params struct {
+	// SizesMB are the resource sizes for the SBR sweep family
+	// (Table IV / Fig 6); nil means the paper's 1, 10, 25 MB.
+	SizesMB []int
+
+	// Parallel bounds the scheduler's worker pool; values <= 1 run the
+	// experiment's cells serially.
+	Parallel int
+}
+
+// withDefaults fills unset fields with the paper's defaults.
+func (p Params) withDefaults() Params {
+	if len(p.SizesMB) == 0 {
+		p.SizesMB = []int{1, 10, 25}
+	}
+	if p.Parallel < 1 {
+		p.Parallel = 1
+	}
+	return p
+}
+
+// Result is what one experiment produces, in output order: the tables,
+// then the figure series, then any free-form trailing note lines.
+type Result struct {
+	Tables  []*report.Table
+	Figures []*report.Figure
+	Notes   []string
+}
+
+// Render writes the result as aligned text.
+func (r *Result) Render(w io.Writer) error { return r.render(w, false) }
+
+// RenderCSV writes the tables as CSV; figures and notes stay text
+// (figures are replot inputs, not grids with a stable column set).
+func (r *Result) RenderCSV(w io.Writer) error { return r.render(w, true) }
+
+func (r *Result) render(w io.Writer, csv bool) error {
+	for _, t := range r.Tables {
+		var err error
+		if csv {
+			err = t.RenderCSV(w)
+		} else {
+			err = t.Render(w)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	for _, f := range r.Figures {
+		if err := f.Render(w); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintln(w, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Experiment is one registered paper experiment.
+type Experiment interface {
+	// Name is the registry key (the -exp flag value).
+	Name() string
+	// Describe says what the experiment reproduces, in one line.
+	Describe() string
+	// Run executes the experiment under ctx with p's knobs.
+	Run(ctx context.Context, p Params) (*Result, error)
+}
+
+// funcExperiment adapts a function to the Experiment interface.
+type funcExperiment struct {
+	name, desc string
+	run        func(context.Context, Params) (*Result, error)
+}
+
+func (f *funcExperiment) Name() string     { return f.name }
+func (f *funcExperiment) Describe() string { return f.desc }
+func (f *funcExperiment) Run(ctx context.Context, p Params) (*Result, error) {
+	return f.run(ctx, p)
+}
+
+// Func wraps a run function as a registrable Experiment.
+func Func(name, desc string, run func(context.Context, Params) (*Result, error)) Experiment {
+	return &funcExperiment{name: name, desc: desc, run: run}
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Experiment)
+	aliases  = make(map[string]string)
+	order    []string // canonical names in registration (paper) order
+)
+
+// Register adds e under its name. Registration order defines the
+// paper-order walk Names/RunAll use. Duplicate or empty names panic:
+// they are programmer errors at package init time.
+func Register(e Experiment) {
+	name := e.Name()
+	if name == "" || name == "all" {
+		panic("exp: invalid experiment name " + name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("exp: duplicate experiment " + name)
+	}
+	if _, dup := aliases[name]; dup {
+		panic("exp: experiment name shadows alias " + name)
+	}
+	registry[name] = e
+	order = append(order, name)
+}
+
+// RegisterAlias makes alias resolve to the already-registered
+// canonical experiment (e.g. "fig6" -> "sbr"). Aliases are excluded
+// from Names so RunAll never runs an experiment twice.
+func RegisterAlias(alias, canonical string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, ok := registry[canonical]; !ok {
+		panic("exp: alias to unknown experiment " + canonical)
+	}
+	if _, dup := registry[alias]; dup {
+		panic("exp: alias shadows experiment " + alias)
+	}
+	aliases[alias] = canonical
+}
+
+// Lookup resolves a name (or alias) to its experiment.
+func Lookup(name string) (Experiment, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if canonical, ok := aliases[name]; ok {
+		name = canonical
+	}
+	e, ok := registry[name]
+	return e, ok
+}
+
+// Names returns the canonical experiment names in paper order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, len(order))
+	copy(out, order)
+	return out
+}
+
+// List returns the registered experiments in paper order.
+func List() []Experiment {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Experiment, 0, len(order))
+	for _, name := range order {
+		out = append(out, registry[name])
+	}
+	return out
+}
+
+// Run executes one experiment by name (or alias).
+func Run(ctx context.Context, name string, p Params) (*Result, error) {
+	e, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (have %s)",
+			name, strings.Join(knownNames(), ", "))
+	}
+	return e.Run(ctx, p.withDefaults())
+}
+
+// knownNames lists canonical names and aliases for error messages.
+func knownNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(order)+len(aliases))
+	out = append(out, order...)
+	for a := range aliases {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NamedResult pairs an experiment name with its result.
+type NamedResult struct {
+	Name   string
+	Result *Result
+}
+
+// RunAll executes every registered experiment, up to p.Parallel of
+// them concurrently (each experiment additionally parallelizes its own
+// vendor cells under the same bound). Results come back in paper
+// order regardless of completion order.
+func RunAll(ctx context.Context, p Params) ([]NamedResult, error) {
+	p = p.withDefaults()
+	names := Names()
+	results, err := Map(ctx, p.Parallel, len(names), func(ctx context.Context, i int) (NamedResult, error) {
+		res, err := Run(ctx, names[i], p)
+		if err != nil {
+			return NamedResult{}, fmt.Errorf("%s: %w", names[i], err)
+		}
+		return NamedResult{Name: names[i], Result: res}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -1,0 +1,166 @@
+package exp
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// expectedNames is the paper-order registry walk `-exp all` performs —
+// exactly the old serial dispatch order.
+var expectedNames = []string{
+	"table1", "table2", "table3", "sbr", "obr", "bandwidth",
+	"bandwidth-all", "mitigation", "corpus", "cost", "h2", "nodes",
+}
+
+func TestNamesPaperOrder(t *testing.T) {
+	got := Names()
+	if len(got) != len(expectedNames) {
+		t.Fatalf("registry has %d experiments, want %d: %v", len(got), len(expectedNames), got)
+	}
+	for i, want := range expectedNames {
+		if got[i] != want {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], want)
+		}
+	}
+}
+
+func TestLookupResolvesEveryLegacyName(t *testing.T) {
+	// The 13 names the old cmd switch accepted.
+	legacy := append([]string{"fig6"}, expectedNames...)
+	for _, name := range legacy {
+		e, ok := Lookup(name)
+		if !ok {
+			t.Errorf("Lookup(%q) failed", name)
+			continue
+		}
+		if e.Describe() == "" {
+			t.Errorf("%s: empty description", name)
+		}
+	}
+}
+
+func TestLookupAliasSharesExperiment(t *testing.T) {
+	viaAlias, ok1 := Lookup("fig6")
+	canonical, ok2 := Lookup("sbr")
+	if !ok1 || !ok2 || viaAlias != canonical {
+		t.Errorf("fig6 alias does not resolve to sbr: %v %v", ok1, ok2)
+	}
+	if viaAlias.Name() != "sbr" {
+		t.Errorf("alias target name = %q", viaAlias.Name())
+	}
+}
+
+func TestRunUnknownName(t *testing.T) {
+	_, err := Run(context.Background(), "nonsense", Params{})
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"nonsense"`) {
+		t.Errorf("error does not name the experiment: %v", err)
+	}
+	// The error must list what IS available, aliases included.
+	for _, want := range []string{"table1", "fig6", "nodes"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error missing known name %q: %v", want, err)
+		}
+	}
+}
+
+func TestListMatchesNames(t *testing.T) {
+	names := Names()
+	list := List()
+	if len(list) != len(names) {
+		t.Fatalf("List() has %d entries, Names() %d", len(list), len(names))
+	}
+	for i, e := range list {
+		if e.Name() != names[i] {
+			t.Errorf("List()[%d] = %q, want %q", i, e.Name(), names[i])
+		}
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	Register(Func("table1", "dup", nil))
+}
+
+func TestRegisterReservedNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("registering 'all' did not panic")
+		}
+	}()
+	Register(Func("all", "reserved", nil))
+}
+
+func TestRegisterAliasShadowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("alias shadowing an experiment did not panic")
+		}
+	}()
+	RegisterAlias("table2", "table1")
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{}.withDefaults()
+	if len(p.SizesMB) != 3 || p.SizesMB[0] != 1 || p.SizesMB[2] != 25 {
+		t.Errorf("default sizes = %v", p.SizesMB)
+	}
+	if p.Parallel != 1 {
+		t.Errorf("default parallel = %d", p.Parallel)
+	}
+	p = Params{SizesMB: []int{4}, Parallel: 6}.withDefaults()
+	if len(p.SizesMB) != 1 || p.Parallel != 6 {
+		t.Errorf("explicit params overridden: %+v", p)
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range expectedNames {
+		if _, err := Run(ctx, name, Params{}); err == nil {
+			t.Errorf("%s: cancelled context accepted", name)
+		}
+	}
+}
+
+func TestRunAllCancelledMidSuite(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunAll(ctx, Params{Parallel: 4}); err == nil {
+		t.Error("RunAll on a cancelled context succeeded")
+	}
+}
+
+func TestRunAllShortSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite")
+	}
+	results, err := RunAll(context.Background(), Params{SizesMB: []int{1}, Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(expectedNames) {
+		t.Fatalf("%d results", len(results))
+	}
+	for i, nr := range results {
+		if nr.Name != expectedNames[i] {
+			t.Errorf("result %d is %q, want %q", i, nr.Name, expectedNames[i])
+		}
+		var b strings.Builder
+		if err := nr.Result.Render(&b); err != nil {
+			t.Fatal(err)
+		}
+		if b.Len() == 0 {
+			t.Errorf("%s: empty rendering", nr.Name)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/vendor"
+)
+
+// ---------------------------------------------------------------------
+// Experiment X2 — §VI-C mitigations.
+
+// Mitigations re-runs SBR and OBR against mitigated vendor profiles to
+// show each §VI-C fix collapsing the amplification factor. The SBR and
+// OBR configuration cells fan out across one scheduler pass.
+func Mitigations(ctx context.Context, parallel int) (*report.Table, error) {
+	const sizeMB = 10
+	size := int64(sizeMB) * core.MiB
+
+	sbrConfigs := []struct {
+		label   string
+		profile *vendor.Profile
+	}{
+		{"vulnerable (Deletion)", vendor.Cloudflare()},
+		{"Laziness policy", vendor.MitigateLaziness(vendor.Cloudflare())},
+		{"bounded Expansion (+8KB)", vendor.MitigateBoundedExpansion(vendor.Cloudflare(), 8<<10)},
+		{"1MB slicing", vendor.MitigateSlicing(vendor.Cloudflare(), 1<<20)},
+	}
+	obrConfigs := []struct {
+		label string
+		bcdn  *vendor.Profile
+	}{
+		{"vulnerable (serve-all)", vendor.Akamai()},
+		{"reject overlapping ranges", vendor.MitigateRejectOverlap(vendor.Akamai())},
+		{"coalesce overlapping ranges", vendor.MitigateCoalesce(vendor.Akamai())},
+	}
+
+	type row struct{ attack, label, factor string }
+	n := len(sbrConfigs) + len(obrConfigs)
+	rows, err := Map(ctx, parallel, n, func(ctx context.Context, i int) (row, error) {
+		if err := ctx.Err(); err != nil {
+			return row{}, err
+		}
+		if i < len(sbrConfigs) {
+			c := sbrConfigs[i]
+			store := core.NewStoreWith(size)
+			topo, err := core.NewSBRTopology(c.profile, store, core.SBROptions{OriginRangeSupport: true})
+			if err != nil {
+				return row{}, err
+			}
+			sbr, err := core.RunSBR(topo, core.TargetPath, size, "mitigation")
+			topo.Close()
+			if err != nil {
+				return row{}, fmt.Errorf("sbr %s: %w", c.label, err)
+			}
+			return row{"SBR (Cloudflare)", c.label, fmt.Sprintf("%.1f", sbr.Amplification.Factor())}, nil
+		}
+		c := obrConfigs[i-len(sbrConfigs)]
+		store := core.NewStoreWith(1024)
+		topo, err := core.NewOBRTopology(vendor.Cloudflare(), c.bcdn, store)
+		if err != nil {
+			return row{}, err
+		}
+		obr, err := core.RunOBR(topo, core.TargetPath, 256)
+		topo.Close()
+		if err != nil {
+			return row{}, fmt.Errorf("obr %s: %w", c.label, err)
+		}
+		return row{"OBR (Cloudflare->Akamai, n=256)", c.label,
+			fmt.Sprintf("%.1f", obr.Amplification.Factor())}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tab := &report.Table{
+		Title:   "Mitigations (§VI-C) — amplification with and without each fix",
+		Slug:    "mitigation",
+		Columns: []string{"Attack", "Configuration", "Factor"},
+	}
+	for _, r := range rows {
+		tab.AddRow(r.attack, r.label, r.factor)
+	}
+	return tab, nil
+}
+
+// ---------------------------------------------------------------------
+// Experiment X1 — the RFC 7233 ABNF corpus audit.
+
+// CorpusAudit sends a seeded corpus of valid range requests through
+// every vendor edge (one isolated topology per vendor, fanned out) and
+// reports the forwarding-policy census plus protocol-invariant
+// violations.
+func CorpusAudit(ctx context.Context, seed int64, count, parallel int) (*core.CorpusReport, error) {
+	corpus := core.NewCorpus(seed, count)
+	audits, err := ForEachVendor(ctx, parallel, func(ctx context.Context, p *vendor.Profile) (*core.VendorAudit, error) {
+		a, err := core.AuditVendor(ctx, p, corpus)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		return a, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &core.CorpusReport{}
+	for _, a := range audits {
+		rep.Merge(a)
+	}
+	return rep, nil
+}
+
+// ---------------------------------------------------------------------
+// Experiment X5 — §VI-B HTTP/2 comparison.
+
+// H2Comparison runs the SBR exploit over HTTP/1.1 and HTTP/2 against
+// every vendor and compares amplification factors.
+func H2Comparison(ctx context.Context, sizeMB, parallel int) (*report.Table, map[string][2]float64, error) {
+	size := int64(sizeMB) * core.MiB
+	type cell struct {
+		display string
+		f1, f2  float64
+	}
+	cells, err := ForEachVendor(ctx, parallel, func(ctx context.Context, p *vendor.Profile) (cell, error) {
+		if err := ctx.Err(); err != nil {
+			return cell{}, err
+		}
+		store := core.NewStoreWith(size)
+		topo, err := core.NewSBRTopology(p, store, core.SBROptions{OriginRangeSupport: true})
+		if err != nil {
+			return cell{}, err
+		}
+		if err := topo.EnableH2(); err != nil {
+			topo.Close()
+			return cell{}, err
+		}
+		if err := core.PrimeSizeHint(topo, core.TargetPath); err != nil {
+			topo.Close()
+			return cell{}, err
+		}
+
+		h1Res, err := core.RunSBR(topo, core.TargetPath, size, "h1")
+		if err != nil {
+			topo.Close()
+			return cell{}, fmt.Errorf("%s h1: %w", p.Name, err)
+		}
+		h2Res, err := core.RunSBROverH2(topo, core.TargetPath, size, "h2")
+		topo.Close()
+		if err != nil {
+			return cell{}, fmt.Errorf("%s h2: %w", p.Name, err)
+		}
+		return cell{display: p.DisplayName,
+			f1: h1Res.Amplification.Factor(), f2: h2Res.Amplification.Factor()}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	factors := make(map[string][2]float64, len(cells))
+	tab := &report.Table{
+		Title:   fmt.Sprintf("§VI-B — SBR amplification over HTTP/1.1 vs HTTP/2 (%dMB resource)", sizeMB),
+		Slug:    "h2",
+		Columns: []string{"CDN", "HTTP/1.1 Factor", "HTTP/2 Factor", "h2/h1"},
+	}
+	for _, c := range cells {
+		factors[c.display] = [2]float64{c.f1, c.f2}
+		tab.AddRow(c.display,
+			fmt.Sprintf("%.0f", c.f1),
+			fmt.Sprintf("%.0f", c.f2),
+			fmt.Sprintf("%.2f", c.f2/c.f1))
+	}
+	return tab, factors, nil
+}
+
+// ---------------------------------------------------------------------
+// Experiment X6 — ingress-node targeting strategies.
+
+// NodeTargeting drives SBR request floods through a multi-node cluster
+// under pinned and spread ingress selection; the two strategy cells run
+// concurrently on isolated clusters.
+func NodeTargeting(ctx context.Context, nodeCount, requests, parallel int) (*report.Table, map[string]float64, error) {
+	strategies := []struct {
+		label string
+		sel   cluster.Selector
+	}{
+		{"pinned", cluster.Pinned{Index: 0}},
+		{"spread", &cluster.RoundRobin{}},
+	}
+	stats, err := Map(ctx, parallel, len(strategies), func(ctx context.Context, i int) (*core.NodeStrategyStats, error) {
+		return core.RunNodeStrategy(ctx, strategies[i].label, strategies[i].sel, nodeCount, requests)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	shares := make(map[string]float64, len(stats))
+	tab := &report.Table{
+		Title: fmt.Sprintf("§IV-C vs §VI-A — ingress-node load under pinned and spread selection (%d nodes, %d SBR requests)",
+			nodeCount, requests),
+		Slug:    "nodes",
+		Columns: []string{"Strategy", "Busiest Node Share", "Busiest Node Upstream", "Idle Nodes"},
+	}
+	for _, s := range stats {
+		shares[s.Label] = s.Share
+		tab.AddRow(s.Label,
+			fmt.Sprintf("%.2f", s.Share),
+			fmt.Sprintf("%d", s.BusiestUpstream),
+			fmt.Sprintf("%d/%d", s.IdleNodes, nodeCount))
+	}
+	return tab, shares, nil
+}

@@ -1,0 +1,177 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vendor"
+)
+
+func TestCorpusAuditNoViolations(t *testing.T) {
+	rep, err := CorpusAudit(testCtx, 7, 60, testParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 60*13 {
+		t.Errorf("audited %d requests, want %d", rep.Requests, 60*13)
+	}
+	if len(rep.Violations) != 0 {
+		t.Errorf("protocol violations: %v", rep.Violations)
+	}
+}
+
+func TestCorpusAuditPolicyCensus(t *testing.T) {
+	rep, err := CorpusAudit(testCtx, 11, 80, testParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure-Deletion vendors never forward anything unchanged or expanded.
+	for _, name := range []string{"Akamai", "Cloudflare", "Fastly", "G-Core Labs"} {
+		counts := rep.PolicyCounts[name]
+		if counts[vendor.Laziness] != 0 || counts[vendor.Expansion] != 0 {
+			t.Errorf("%s census = %v, want all Deletion", name, counts)
+		}
+		if counts[vendor.Deletion] != 80 {
+			t.Errorf("%s deletion count = %d", name, counts[vendor.Deletion])
+		}
+	}
+	// CloudFront is the only Expansion vendor.
+	for name, counts := range rep.PolicyCounts {
+		if name != "CloudFront" && counts[vendor.Expansion] != 0 {
+			t.Errorf("%s shows Expansion", name)
+		}
+	}
+	if rep.PolicyCounts["CloudFront"][vendor.Expansion] == 0 {
+		t.Error("CloudFront never expanded")
+	}
+	// Lazy-leaning vendors must show Laziness on the corpus.
+	for _, name := range []string{"CDN77", "CDNsun", "KeyCDN"} {
+		if rep.PolicyCounts[name][vendor.Laziness] == 0 {
+			t.Errorf("%s never forwarded lazily", name)
+		}
+	}
+}
+
+func TestCorpusAuditDeterministic(t *testing.T) {
+	a, err := CorpusAudit(testCtx, 3, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CorpusAudit(testCtx, 3, 30, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, counts := range a.PolicyCounts {
+		for policy, n := range counts {
+			if b.PolicyCounts[name][policy] != n {
+				t.Errorf("%s/%v: %d vs %d across parallel widths", name, policy, n, b.PolicyCounts[name][policy])
+			}
+		}
+	}
+	if strings.Join(a.Violations, "\n") != strings.Join(b.Violations, "\n") {
+		t.Error("violation lists differ across parallel widths")
+	}
+}
+
+func TestCorpusTableRenders(t *testing.T) {
+	rep, err := CorpusAudit(testCtx, 5, 10, testParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := rep.Table().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Akamai") || !strings.Contains(b.String(), "Violations") {
+		t.Errorf("table output:\n%s", b.String())
+	}
+}
+
+func TestBandwidthAllTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("13 calibration runs")
+	}
+	cfg := DefaultBandwidthConfig()
+	cfg.ResourceMB = 10
+	tab, err := BandwidthAll(testCtx, cfg, testParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 13 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Akamai", "Saturating m", "KeyCDN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+	// Every vendor's saturating m sits in the paper's 11-14 band (±1 for
+	// Azure/CloudFront whose per-request cost differs).
+	for _, row := range tab.Rows {
+		m := row[3]
+		if m == "0" {
+			t.Errorf("%s never saturated", row[0])
+		}
+	}
+}
+
+func TestH2ComparisonTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("13-vendor double sweep")
+	}
+	tab, factors, err := H2Comparison(testCtx, 1, testParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 13 || len(factors) != 13 {
+		t.Fatalf("rows=%d factors=%d", len(tab.Rows), len(factors))
+	}
+	for name, f := range factors {
+		if f[0] < 300 || f[1] < 300 {
+			t.Errorf("%s: factors %v too small", name, f)
+		}
+		if f[1] < f[0]*0.95 {
+			t.Errorf("%s: h2 factor %.0f markedly below h1 %.0f", name, f[1], f[0])
+		}
+	}
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "HTTP/2 Factor") {
+		t.Error("table header missing")
+	}
+}
+
+func TestNodeTargeting(t *testing.T) {
+	tab, shares, err := NodeTargeting(testCtx, 5, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "pinned" || tab.Rows[1][0] != "spread" {
+		t.Errorf("row order: %q, %q", tab.Rows[0][0], tab.Rows[1][0])
+	}
+	if shares["pinned"] != 1.0 {
+		t.Errorf("pinned share = %.2f, want 1.0", shares["pinned"])
+	}
+	if shares["spread"] > 0.25 {
+		t.Errorf("spread share = %.2f, want ~0.20", shares["spread"])
+	}
+}
+
+func TestNodeTargetingValidation(t *testing.T) {
+	if _, _, err := NodeTargeting(testCtx, 1, 10, 1); err == nil {
+		t.Error("single node accepted")
+	}
+	if _, _, err := NodeTargeting(testCtx, 5, 2, 1); err == nil {
+		t.Error("too few requests accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package exp
+
+// The registry-vs-serial-seed equivalence suite. The golden files under
+// testdata/golden were captured from the pre-registry serial
+// implementation (`rangeamp -exp <name>`); every deterministic
+// experiment must keep producing byte-identical text through the
+// registry, serially and under a wide scheduler. The sbr sweep and the
+// bandwidth-all calibration are excluded from byte goldens because the
+// seed itself is nondeterministic in the Azure cells (the azure
+// behaviour races an 8 MiB truncated fetch against origin writes);
+// those two are checked serial-vs-parallel with Azure lines masked.
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenExperiments are the byte-deterministic registry names.
+var goldenExperiments = []string{
+	"table1", "table2", "table3", "obr", "bandwidth",
+	"mitigation", "corpus", "cost", "h2", "nodes",
+}
+
+func renderOf(t *testing.T, name string, parallel int) string {
+	t.Helper()
+	res, err := Run(context.Background(), name, Params{Parallel: parallel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestGoldenSerialMatchesSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite")
+	}
+	for _, name := range goldenExperiments {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", "golden", name+".txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := renderOf(t, name, 1); got != string(want) {
+				t.Errorf("serial output diverged from the seed golden (%d vs %d bytes)",
+					len(got), len(want))
+			}
+		})
+	}
+}
+
+func TestGoldenParallelMatchesSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite")
+	}
+	for _, name := range goldenExperiments {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", "golden", name+".txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := renderOf(t, name, 8); got != string(want) {
+				t.Errorf("parallel=8 output diverged from the seed golden (%d vs %d bytes)",
+					len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestSBRSweepParallelOrderDeterministic pins the sweep's row and
+// series order across scheduler widths. It stays below Azure's 8 MiB
+// truncation cutoff, where every cell (Azure included) is
+// byte-deterministic, so the outputs must match exactly.
+func TestSBRSweepParallelOrderDeterministic(t *testing.T) {
+	render := func(parallel int) string {
+		res, err := Run(context.Background(), "sbr", Params{SizesMB: []int{1, 4}, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := res.Render(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	serial := render(1)
+	for _, parallel := range []int{4, 8} {
+		if par := render(parallel); par != serial {
+			t.Errorf("parallel=%d sbr output differs from serial", parallel)
+		}
+	}
+}

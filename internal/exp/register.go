@@ -1,0 +1,135 @@
+package exp
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/billing"
+	"repro/internal/report"
+)
+
+// The registrations below define the canonical experiment set and its
+// paper order (`-exp all` runs exactly this walk). Each body only
+// adapts a typed entry point to the Params/Result shape; the
+// measurement logic lives with the entry points in this package and
+// the probe cells in internal/core.
+func init() {
+	Register(Func("table1", "Table I — range forwarding behaviours (SBR)",
+		func(ctx context.Context, p Params) (*Result, error) {
+			tab, _, err := Table1(ctx, p.Parallel)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Tables: []*report.Table{tab}}, nil
+		}))
+
+	Register(Func("table2", "Table II — multi-range forwarding (OBR FCDN side)",
+		func(ctx context.Context, p Params) (*Result, error) {
+			tab, _, err := Table2(ctx, p.Parallel)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Tables: []*report.Table{tab}}, nil
+		}))
+
+	Register(Func("table3", "Table III — multi-range replying (OBR BCDN side)",
+		func(ctx context.Context, p Params) (*Result, error) {
+			tab, _, err := Table3(ctx, p.Parallel)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Tables: []*report.Table{tab}}, nil
+		}))
+
+	Register(Func("sbr", "Table IV + Fig 6 — SBR amplification sweep over resource sizes",
+		func(ctx context.Context, p Params) (*Result, error) {
+			res, err := SBRSweep(ctx, p.SizesMB, p.Parallel)
+			if err != nil {
+				return nil, err
+			}
+			fa, fb, fc := res.Fig6()
+			return &Result{
+				Tables:  []*report.Table{res.Table4()},
+				Figures: []*report.Figure{fa, fb, fc},
+			}, nil
+		}))
+
+	Register(Func("obr", "Table V — OBR max amplification across cascaded CDN pairs",
+		func(ctx context.Context, p Params) (*Result, error) {
+			tab, _, err := Table5(ctx, p.Parallel)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Tables: []*report.Table{tab}}, nil
+		}))
+
+	Register(Func("bandwidth", "Fig 7 — bandwidth practicability at fixed request rates",
+		func(ctx context.Context, p Params) (*Result, error) {
+			fig7a, fig7b, err := Bandwidth(ctx, DefaultBandwidthConfig())
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Figures: []*report.Figure{fig7a, fig7b}}, nil
+		}))
+
+	Register(Func("bandwidth-all", "Fig 7 calibration across all 13 CDNs (saturating m)",
+		func(ctx context.Context, p Params) (*Result, error) {
+			tab, err := BandwidthAll(ctx, DefaultBandwidthConfig(), p.Parallel)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Tables: []*report.Table{tab}}, nil
+		}))
+
+	Register(Func("mitigation", "§VI-C — amplification with and without each mitigation",
+		func(ctx context.Context, p Params) (*Result, error) {
+			tab, err := Mitigations(ctx, p.Parallel)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Tables: []*report.Table{tab}}, nil
+		}))
+
+	Register(Func("corpus", "RFC 7233 ABNF corpus audit — policy census and invariants",
+		func(ctx context.Context, p Params) (*Result, error) {
+			rep, err := CorpusAudit(ctx, 1, 200, p.Parallel)
+			if err != nil {
+				return nil, err
+			}
+			res := &Result{Tables: []*report.Table{rep.Table()}}
+			for _, v := range rep.Violations {
+				res.Notes = append(res.Notes, "VIOLATION: "+v)
+			}
+			return res, nil
+		}))
+
+	Register(Func("cost", "§V-E — victim traffic cost on CDN billing plans",
+		func(ctx context.Context, p Params) (*Result, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			tab := billing.CostTable(10<<20, 10, time.Hour)
+			tab.Slug = "cost"
+			return &Result{Tables: []*report.Table{tab}}, nil
+		}))
+
+	Register(Func("h2", "§VI-B — SBR amplification over HTTP/1.1 vs HTTP/2",
+		func(ctx context.Context, p Params) (*Result, error) {
+			tab, _, err := H2Comparison(ctx, p.SizesMB[0], p.Parallel)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Tables: []*report.Table{tab}}, nil
+		}))
+
+	Register(Func("nodes", "§IV-C vs §VI-A — ingress-node load under pinned vs spread selection",
+		func(ctx context.Context, p Params) (*Result, error) {
+			tab, _, err := NodeTargeting(ctx, 5, 50, p.Parallel)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Tables: []*report.Table{tab}}, nil
+		}))
+
+	RegisterAlias("fig6", "sbr")
+}

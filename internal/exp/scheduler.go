@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/vendor"
+)
+
+// Map is the parallel vendor scheduler's primitive: it runs fn for
+// every index in [0, n) on a worker pool of at most parallel
+// goroutines and returns the results in index order, so callers can
+// assemble tables deterministically no matter which cell finished
+// first. Cells are expected to be self-contained (each builds and
+// tears down its own topology), which makes them embarrassingly
+// parallel.
+//
+// The first cell error cancels the context handed to the remaining
+// cells and is returned (the lowest-index error wins, so failures are
+// deterministic too). If ctx is cancelled before every cell ran, Map
+// returns the context error.
+func Map[T any](ctx context.Context, parallel, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, ctx.Err()
+	}
+	if parallel > n {
+		parallel = n
+	}
+	if parallel <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := fn(ctx, i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg   sync.WaitGroup
+		errs = make([]error, n) // one slot per index: no lock needed
+		done = make([]bool, n)
+		idx  = make(chan int)
+	)
+	go func() {
+		defer close(idx)
+		for i := 0; i < n; i++ {
+			select {
+			case idx <- i:
+			case <-cctx.Done():
+				return
+			}
+		}
+	}()
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				v, err := fn(cctx, i)
+				if err != nil {
+					errs[i] = err
+					cancel() // fail fast: stop feeding and wake peers
+					return
+				}
+				out[i] = v
+				done[i] = true
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// No cell failed and the parent context is live, yet a cell may have
+	// been skipped if a sibling's cancel raced the feeder; finish the
+	// stragglers serially so the contract (all n or an error) holds.
+	for i := 0; i < n; i++ {
+		if done[i] {
+			continue
+		}
+		v, err := fn(ctx, i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ForEachVendor fans fn out over the 13 vendor profiles of the paper,
+// at most parallel cells at a time, returning results in paper order.
+// Each cell receives its own freshly built Profile, so cells may
+// mutate options freely without cloning.
+func ForEachVendor[T any](ctx context.Context, parallel int, fn func(ctx context.Context, p *vendor.Profile) (T, error)) ([]T, error) {
+	all := vendor.All()
+	return Map(ctx, parallel, len(all), func(ctx context.Context, i int) (T, error) {
+		return fn(ctx, all[i])
+	})
+}

@@ -1,0 +1,213 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/vendor"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, parallel := range []int{1, 2, 8, 100} {
+		got, err := Map(context.Background(), parallel, 40, func(ctx context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("parallel=%d: out[%d] = %d", parallel, i, v)
+			}
+		}
+	}
+}
+
+func TestMapBoundedConcurrency(t *testing.T) {
+	const parallel = 3
+	var active, peak atomic.Int32
+	_, err := Map(context.Background(), parallel, 24, func(ctx context.Context, i int) (struct{}, error) {
+		n := active.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		active.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > parallel {
+		t.Errorf("observed %d concurrent cells, bound is %d", p, parallel)
+	}
+}
+
+func TestMapLowestIndexErrorWins(t *testing.T) {
+	boom3 := errors.New("boom3")
+	boom7 := errors.New("boom7")
+	var mu sync.Mutex
+	started := map[int]bool{}
+	_, err := Map(context.Background(), 4, 10, func(ctx context.Context, i int) (int, error) {
+		mu.Lock()
+		started[i] = true
+		mu.Unlock()
+		switch i {
+		case 3:
+			return 0, boom3
+		case 7:
+			return 0, boom7
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom3) {
+		t.Errorf("got %v, want the lowest-index error", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !started[0] {
+		t.Error("cell 0 never ran")
+	}
+}
+
+func TestMapSerialStopsAtFirstError(t *testing.T) {
+	calls := 0
+	_, err := Map(context.Background(), 1, 10, func(ctx context.Context, i int) (int, error) {
+		calls++
+		if i == 2 {
+			return 0, errors.New("stop")
+		}
+		return i, nil
+	})
+	if err == nil || calls != 3 {
+		t.Errorf("err=%v calls=%d, want error after 3 calls", err, calls)
+	}
+}
+
+func TestMapContextCancellationMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	release := make(chan struct{})
+	done := make(chan struct{})
+	var err error
+	go func() {
+		defer close(done)
+		_, err = Map(ctx, 2, 100, func(ctx context.Context, i int) (int, error) {
+			ran.Add(1)
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+			return i, nil
+		})
+	}()
+	for ran.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release)
+	<-done
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("got %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 100 {
+		t.Errorf("all %d cells ran despite cancellation", n)
+	}
+}
+
+func TestMapPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Map(ctx, 4, 5, func(ctx context.Context, i int) (int, error) {
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestMapZeroItems(t *testing.T) {
+	got, err := Map(context.Background(), 4, 0, func(ctx context.Context, i int) (int, error) {
+		t.Fatal("fn called for n=0")
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Errorf("got %v, %v", got, err)
+	}
+}
+
+func TestMapRunsEveryIndexExactlyOnce(t *testing.T) {
+	counts := make([]atomic.Int32, 200)
+	_, err := Map(context.Background(), 16, len(counts), func(ctx context.Context, i int) (int, error) {
+		counts[i].Add(1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if n := counts[i].Load(); n != 1 {
+			t.Errorf("index %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestForEachVendorPaperOrder(t *testing.T) {
+	wantNames := vendor.Names()
+	got, err := ForEachVendor(context.Background(), 8, func(ctx context.Context, p *vendor.Profile) (string, error) {
+		return p.Name, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(wantNames) {
+		t.Fatalf("%d results for %d vendors", len(got), len(wantNames))
+	}
+	for i, name := range got {
+		if name != wantNames[i] {
+			t.Errorf("result %d = %q, want %q", i, name, wantNames[i])
+		}
+	}
+}
+
+func TestForEachVendorFreshProfiles(t *testing.T) {
+	// Cells may mutate their profile without affecting other runs.
+	_, err := ForEachVendor(context.Background(), 4, func(ctx context.Context, p *vendor.Profile) (struct{}, error) {
+		p.Options.CloudflareBypass = true
+		p.DisplayName = "mutated"
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range vendor.All() {
+		if p.DisplayName == "mutated" || p.Options.CloudflareBypass {
+			t.Fatalf("%s: mutation leaked into a fresh profile set", p.Name)
+		}
+	}
+}
+
+func TestMapErrorMessageStable(t *testing.T) {
+	// Regardless of width, the error reaching the caller is the
+	// lowest-index one, so wrapped messages stay deterministic.
+	for _, parallel := range []int{1, 2, 8} {
+		_, err := Map(context.Background(), parallel, 6, func(ctx context.Context, i int) (int, error) {
+			if i >= 2 {
+				return 0, fmt.Errorf("cell %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "cell 2 failed" {
+			t.Errorf("parallel=%d: err = %v", parallel, err)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/vendor"
+)
+
+// ---------------------------------------------------------------------
+// Experiment E2 — Table IV / Fig 6: SBR amplification sweep.
+
+// SBRSweepResult holds the per-vendor amplification series across the
+// swept resource sizes.
+type SBRSweepResult struct {
+	Vendors     []string // display names, paper order
+	SizesMB     []int
+	Factor      map[string][]float64
+	ClientBytes map[string][]int64 // response traffic CDN -> client (Fig 6b)
+	OriginBytes map[string][]int64 // response traffic origin -> CDN (Fig 6c)
+	Cases       map[string]string  // exploited range case per vendor
+}
+
+// sweepCell is one (vendor, size) measurement.
+type sweepCell struct {
+	display     string
+	factor      float64
+	clientBytes int64
+	originBytes int64
+	rangeCase   string
+}
+
+// SBRSweep measures SBR amplification for every vendor at each
+// resource size. Sizes run in order; within a size the vendor cells
+// fan out across the scheduler, sharing one read-only resource store.
+func SBRSweep(ctx context.Context, sizesMB []int, parallel int) (*SBRSweepResult, error) {
+	res := &SBRSweepResult{
+		SizesMB:     sizesMB,
+		Factor:      make(map[string][]float64),
+		ClientBytes: make(map[string][]int64),
+		OriginBytes: make(map[string][]int64),
+		Cases:       make(map[string]string),
+	}
+	for _, sizeMB := range sizesMB {
+		size := int64(sizeMB) * core.MiB
+		store := core.NewStoreWith(size)
+		cells, err := ForEachVendor(ctx, parallel, func(ctx context.Context, p *vendor.Profile) (sweepCell, error) {
+			if err := ctx.Err(); err != nil {
+				return sweepCell{}, err
+			}
+			topo, err := core.NewSBRTopology(p, store, core.SBROptions{OriginRangeSupport: true})
+			if err != nil {
+				return sweepCell{}, err
+			}
+			if err := core.PrimeSizeHint(topo, core.TargetPath); err != nil {
+				topo.Close()
+				return sweepCell{}, err
+			}
+			topo.ClientSeg.Reset()
+			topo.OriginSeg.Reset()
+			sbr, err := core.RunSBR(topo, core.TargetPath, size, core.CacheBuster(sizeMB))
+			topo.Close()
+			if err != nil {
+				return sweepCell{}, fmt.Errorf("%s @ %dMB: %w", p.Name, sizeMB, err)
+			}
+			return sweepCell{
+				display:     p.DisplayName,
+				factor:      sbr.Amplification.Factor(),
+				clientBytes: sbr.Amplification.AttackerBytes,
+				originBytes: sbr.Amplification.VictimBytes,
+				rangeCase:   sbr.Case.RangeHeader,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range cells {
+			if len(res.Factor[c.display]) == 0 {
+				res.Vendors = append(res.Vendors, c.display)
+			}
+			res.Factor[c.display] = append(res.Factor[c.display], c.factor)
+			res.ClientBytes[c.display] = append(res.ClientBytes[c.display], c.clientBytes)
+			res.OriginBytes[c.display] = append(res.OriginBytes[c.display], c.originBytes)
+			res.Cases[c.display] = c.rangeCase
+		}
+	}
+	return res, nil
+}
+
+// Table4 renders the sweep as the paper's Table IV (factors rounded to
+// integers, as printed there).
+func (r *SBRSweepResult) Table4() *report.Table {
+	tab := &report.Table{
+		Title:   "Table IV — SBR amplification factor by resource size",
+		Slug:    "table4",
+		Columns: []string{"CDN", "Exploited Range Case"},
+	}
+	for _, mb := range r.SizesMB {
+		tab.Columns = append(tab.Columns, fmt.Sprintf("%dMB", mb))
+	}
+	for _, v := range r.Vendors {
+		row := []string{v, r.Cases[v]}
+		for i := range r.SizesMB {
+			row = append(row, strconv.Itoa(int(r.Factor[v][i]+0.5)))
+		}
+		tab.AddRow(row...)
+	}
+	return tab
+}
+
+// Fig6 renders the sweep as the paper's three Fig 6 panels.
+func (r *SBRSweepResult) Fig6() (factors, clientTraffic, originTraffic *report.Figure) {
+	x := make([]float64, len(r.SizesMB))
+	for i, mb := range r.SizesMB {
+		x[i] = float64(mb)
+	}
+	mk := func(title, slug, ylabel string, y func(string) []float64) *report.Figure {
+		f := &report.Figure{Title: title, Slug: slug, XLabel: "resource size (MB)", YLabel: ylabel}
+		for _, v := range r.Vendors {
+			f.Series = append(f.Series, report.Series{Name: v, X: x, Y: y(v)})
+		}
+		return f
+	}
+	factors = mk("Fig 6a — amplification factors", "fig6a", "factor", func(v string) []float64 {
+		return r.Factor[v]
+	})
+	clientTraffic = mk("Fig 6b — response traffic CDN->client", "fig6b", "bytes", func(v string) []float64 {
+		return toFloats(r.ClientBytes[v])
+	})
+	originTraffic = mk("Fig 6c — response traffic origin->CDN", "fig6c", "bytes", func(v string) []float64 {
+		return toFloats(r.OriginBytes[v])
+	})
+	return factors, clientTraffic, originTraffic
+}

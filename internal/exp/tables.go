@@ -1,0 +1,235 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/origin"
+	"repro/internal/report"
+	"repro/internal/vendor"
+)
+
+// ---------------------------------------------------------------------
+// Experiment E1a — Table I: range forwarding behaviours (SBR).
+
+// Table1 probes every vendor with the Table I range shapes, one
+// isolated topology per cell, at most parallel cells at a time.
+func Table1(ctx context.Context, parallel int) (*report.Table, []core.ForwardObservation, error) {
+	probes := core.Table1Probes()
+	perVendor, err := ForEachVendor(ctx, parallel, func(ctx context.Context, p *vendor.Profile) ([]core.ForwardObservation, error) {
+		out := make([]core.ForwardObservation, 0, len(probes))
+		for _, probe := range probes {
+			obs, err := core.ObserveForwarding(ctx, p.Clone(), probe, true)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", p.Name, probe.Label, err)
+			}
+			out = append(out, *obs)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var observations []core.ForwardObservation
+	for _, obs := range perVendor {
+		observations = append(observations, obs...)
+	}
+	tab := &report.Table{
+		Title:   "Table I — Range forwarding behaviours (SBR)",
+		Slug:    "table1",
+		Columns: []string{"CDN", "Client Range", "Forwarded Range(s)", "Policy", "SBR-vuln"},
+	}
+	for _, o := range observations {
+		tab.AddRow(o.Vendor, o.Probe.Range, core.JoinForwarded(o.Forwarded), o.Policy.String(), yesNo(o.SBRVuln))
+	}
+	return tab, observations, nil
+}
+
+// ---------------------------------------------------------------------
+// Experiment E1b — Table II: multi-range forwarding (OBR FCDN side).
+
+// Table2 probes each vendor with an overlapping multi-range set and
+// reports which forward it unchanged (the FCDN vulnerability).
+func Table2(ctx context.Context, parallel int) (*report.Table, map[string]bool, error) {
+	type cell struct {
+		obs       *core.ForwardObservation
+		name      string
+		rangeCase string
+		isVuln    bool
+	}
+	cells, err := ForEachVendor(ctx, parallel, func(ctx context.Context, p *vendor.Profile) (cell, error) {
+		if p.Name == "cloudflare" {
+			p.Options.CloudflareBypass = true // Table II's conditional position
+		}
+		rangeCase := core.BuildOverlappingRange(core.OBRFirstToken(p.Name), 4)
+		probe := core.Table1Probe{Label: "overlap", Range: rangeCase, Size: 1024}
+		obs, err := core.ObserveForwarding(ctx, p, probe, false)
+		if err != nil {
+			return cell{}, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		return cell{obs: obs, name: p.Name, rangeCase: rangeCase, isVuln: obs.Policy == vendor.Laziness}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	vulnerable := make(map[string]bool, len(cells))
+	tab := &report.Table{
+		Title:   "Table II — Multi-range forwarding (OBR FCDN side)",
+		Slug:    "table2",
+		Columns: []string{"CDN", "Client Range", "Forwarded", "FCDN-vuln"},
+	}
+	for _, c := range cells {
+		vulnerable[c.name] = c.isVuln
+		tab.AddRow(c.obs.Vendor, c.rangeCase, core.JoinForwarded(c.obs.Forwarded), yesNo(c.isVuln))
+	}
+	return tab, vulnerable, nil
+}
+
+// ---------------------------------------------------------------------
+// Experiment E1c — Table III: multi-range replying (OBR BCDN side).
+
+// Table3 sends an overlapping multi-range set directly to each vendor
+// edge (range-disabled origin behind it) and reports which build
+// overlapping n-part responses.
+func Table3(ctx context.Context, parallel int) (*report.Table, map[string]bool, error) {
+	const n = 8
+	type cell struct {
+		name, display string
+		parts         int
+	}
+	cells, err := ForEachVendor(ctx, parallel, func(ctx context.Context, p *vendor.Profile) (cell, error) {
+		if err := ctx.Err(); err != nil {
+			return cell{}, err
+		}
+		store := core.NewStoreWith(1024)
+		topo, err := core.NewSBRTopology(p, store, core.SBROptions{OriginRangeSupport: false})
+		if err != nil {
+			return cell{}, err
+		}
+		req := core.NewAttackRequest(core.TargetPath)
+		req.Headers.Add("Range", core.BuildOverlappingRange("0-", n))
+		resp, err := origin.Fetch(topo.Net, topo.EdgeAddr, topo.ClientSeg, req)
+		topo.Close()
+		if err != nil {
+			return cell{}, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		return cell{name: p.Name, display: p.DisplayName, parts: core.CountParts(resp)}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	vulnerable := make(map[string]bool, len(cells))
+	tab := &report.Table{
+		Title:   "Table III — Multi-range replying (OBR BCDN side)",
+		Slug:    "table3",
+		Columns: []string{"CDN", "Ranges Sent", "Parts Returned", "BCDN-vuln"},
+	}
+	for _, c := range cells {
+		isVuln := c.parts >= n
+		vulnerable[c.name] = isVuln
+		tab.AddRow(c.display, strconv.Itoa(n), strconv.Itoa(c.parts), yesNo(isVuln))
+	}
+	return tab, vulnerable, nil
+}
+
+// ---------------------------------------------------------------------
+// Experiment E3 — Table V: the OBR max amplification over 11 cascades.
+
+// OBRCombination is one FCDN/BCDN pair's measurement.
+type OBRCombination struct {
+	FCDN, BCDN string
+	Case       core.OBRCase
+	Result     *core.OBRResult
+}
+
+// obrFCDNs and obrBCDNs are the Table V row/column sets.
+func obrFCDNs() []string { return []string{"cdn77", "cdnsun", "cloudflare", "stackpath"} }
+func obrBCDNs() []string { return []string{"akamai", "azure", "stackpath"} }
+
+// Table5 runs the OBR attack over the 11 cascaded combinations (a CDN
+// is never cascaded with itself) with a 1 KB target resource, each
+// cascade on its own topology cell.
+func Table5(ctx context.Context, parallel int) (*report.Table, []OBRCombination, error) {
+	type pair struct{ fcdn, bcdn string }
+	var pairs []pair
+	for _, f := range obrFCDNs() {
+		for _, b := range obrBCDNs() {
+			if f != b {
+				pairs = append(pairs, pair{f, b})
+			}
+		}
+	}
+	combos, err := Map(ctx, parallel, len(pairs), func(ctx context.Context, i int) (OBRCombination, error) {
+		combo, err := runOBRCombo(ctx, pairs[i].fcdn, pairs[i].bcdn)
+		if err != nil {
+			return OBRCombination{}, fmt.Errorf("%s->%s: %w", pairs[i].fcdn, pairs[i].bcdn, err)
+		}
+		return *combo, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	tab := &report.Table{
+		Title: "Table V — OBR max amplification (1KB resource, max n)",
+		Slug:  "obr",
+		Columns: []string{"FCDN", "BCDN", "Range Case", "Max n",
+			"Server->BCDN", "BCDN->FCDN", "Factor"},
+	}
+	for _, combo := range combos {
+		tab.AddRow(combo.FCDN, combo.BCDN,
+			"bytes="+combo.Case.FirstToken+",0-,...,0-",
+			strconv.Itoa(combo.Case.N),
+			measure.FormatBytes(combo.Result.Amplification.AttackerBytes),
+			measure.FormatBytes(combo.Result.Amplification.VictimBytes),
+			fmt.Sprintf("%.2f", combo.Result.Amplification.Factor()))
+	}
+	return tab, combos, nil
+}
+
+func runOBRCombo(ctx context.Context, fcdnName, bcdnName string) (*OBRCombination, error) {
+	fcdnProfile, ok := vendor.ByName(fcdnName)
+	if !ok {
+		return nil, fmt.Errorf("unknown fcdn %q", fcdnName)
+	}
+	bcdnProfile, ok := vendor.ByName(bcdnName)
+	if !ok {
+		return nil, fmt.Errorf("unknown bcdn %q", bcdnName)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	store := core.NewStoreWith(1024)
+	topo, err := core.NewOBRTopology(fcdnProfile, bcdnProfile, store)
+	if err != nil {
+		return nil, err
+	}
+	defer topo.Close()
+	result, err := core.RunOBR(topo, core.TargetPath, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &OBRCombination{
+		FCDN: fcdnProfile.DisplayName, BCDN: bcdnProfile.DisplayName,
+		Case: result.Case, Result: result,
+	}, nil
+}
+
+// ---------------------------------------------------------------------
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+func toFloats(xs []int64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

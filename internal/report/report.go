@@ -11,8 +11,18 @@ import (
 // Table is a titled grid of cells.
 type Table struct {
 	Title   string
+	Slug    string // short machine-usable name for filenames; "" = slugified Title
 	Columns []string
 	Rows    [][]string
+}
+
+// FileSlug returns the table's file-name slug, deriving one from the
+// title when no explicit Slug was set.
+func (t *Table) FileSlug() string {
+	if t.Slug != "" {
+		return t.Slug
+	}
+	return Slugify(t.Title)
 }
 
 // AddRow appends one row; short rows are padded with empty cells.
@@ -105,15 +115,25 @@ type Series struct {
 // Figure is a set of curves sharing axes, mirroring one paper figure.
 type Figure struct {
 	Title  string
+	Slug   string // short machine-usable name for filenames; "" = slugified Title
 	XLabel string
 	YLabel string
 	Series []Series
 }
 
-// Render writes the figure as a column table: one x column and one
-// column per series, suitable for replotting.
-func (f *Figure) Render(w io.Writer) error {
-	t := Table{Title: fmt.Sprintf("%s  (x=%s, y=%s)", f.Title, f.XLabel, f.YLabel)}
+// FileSlug returns the figure's file-name slug, deriving one from the
+// title when no explicit Slug was set.
+func (f *Figure) FileSlug() string {
+	if f.Slug != "" {
+		return f.Slug
+	}
+	return Slugify(f.Title)
+}
+
+// table converts the figure to its column-table form: one x column and
+// one column per series, suitable for replotting.
+func (f *Figure) table() *Table {
+	t := &Table{Title: fmt.Sprintf("%s  (x=%s, y=%s)", f.Title, f.XLabel, f.YLabel)}
 	t.Columns = append(t.Columns, f.XLabel)
 	for _, s := range f.Series {
 		t.Columns = append(t.Columns, s.Name)
@@ -131,7 +151,35 @@ func (f *Figure) Render(w io.Writer) error {
 			t.Rows = append(t.Rows, row)
 		}
 	}
-	return t.Render(w)
+	return t
+}
+
+// Render writes the figure as a column table.
+func (f *Figure) Render(w io.Writer) error { return f.table().Render(w) }
+
+// RenderCSV writes the figure's column table as CSV.
+func (f *Figure) RenderCSV(w io.Writer) error { return f.table().RenderCSV(w) }
+
+// Slugify lowers s to a file-name-safe dash-separated slug.
+func Slugify(s string) string {
+	var b strings.Builder
+	dash := true // suppress leading dashes
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			dash = false
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r + ('a' - 'A'))
+			dash = false
+		default:
+			if !dash {
+				b.WriteByte('-')
+				dash = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "-")
 }
 
 func trimFloat(v float64) string {

@@ -15,13 +15,16 @@
 //	result, err := rangeamp.RunSBR(topo, "/video.bin", 10<<20, "cb0")
 //	fmt.Printf("amplification: %.0fx\n", result.Amplification.Factor())
 //
-// The experiment entry points (Table1 … Table5, SBRSweep, Bandwidth,
-// Mitigations) regenerate every table and figure of the paper's
-// evaluation section; cmd/rangeamp drives them from the command line.
+// The experiments (Tables I-V, Figs 6-7, and the extension studies)
+// live in a registry: LookupExperiment/RunExperiment resolve them by
+// name, typed entry points (Table1 … Table5, SBRSweep, Bandwidth,
+// Mitigations) remain for direct calls, and cmd/rangeamp drives the
+// registry from the command line with a parallel vendor scheduler.
 package rangeamp
 
 import (
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/measure"
 	"repro/internal/report"
 	"repro/internal/resource"
@@ -56,13 +59,19 @@ type (
 	// Figure is a rendered experiment figure.
 	Figure = report.Figure
 	// BandwidthConfig parameterizes the Fig 7 experiment.
-	BandwidthConfig = core.BandwidthConfig
+	BandwidthConfig = exp.BandwidthConfig
 	// SBRSweepResult is the Table IV / Fig 6 sweep output.
-	SBRSweepResult = core.SBRSweepResult
+	SBRSweepResult = exp.SBRSweepResult
 	// FloodResult aggregates a concurrent SBR flood (§V-D).
 	FloodResult = core.FloodResult
 	// CorpusReport is the ABNF corpus audit output.
 	CorpusReport = core.CorpusReport
+	// Experiment is one registered paper experiment.
+	Experiment = exp.Experiment
+	// ExperimentParams carries the run-time knobs every experiment takes.
+	ExperimentParams = exp.Params
+	// ExperimentResult is a registered experiment's rendered output.
+	ExperimentResult = exp.Result
 )
 
 // Topology construction and attack execution.
@@ -85,17 +94,28 @@ var (
 
 // Experiment entry points (one per paper table/figure).
 var (
-	Table1                 = core.Table1
-	Table2                 = core.Table2
-	Table3                 = core.Table3
-	SBRSweep               = core.SBRSweep
-	Table5                 = core.Table5
-	Bandwidth              = core.Bandwidth
-	BandwidthAll           = core.BandwidthAll
-	DefaultBandwidthConfig = core.DefaultBandwidthConfig
-	Mitigations            = core.Mitigations
-	CorpusAudit            = core.CorpusAudit
-	H2Comparison           = core.H2Comparison
+	Table1                 = exp.Table1
+	Table2                 = exp.Table2
+	Table3                 = exp.Table3
+	SBRSweep               = exp.SBRSweep
+	Table5                 = exp.Table5
+	Bandwidth              = exp.Bandwidth
+	BandwidthAll           = exp.BandwidthAll
+	DefaultBandwidthConfig = exp.DefaultBandwidthConfig
+	Mitigations            = exp.Mitigations
+	CorpusAudit            = exp.CorpusAudit
+	H2Comparison           = exp.H2Comparison
+	NodeTargeting          = exp.NodeTargeting
+)
+
+// The experiment registry (internal/exp): name-indexed access to every
+// registered experiment plus the paper-order walk cmd/rangeamp uses.
+var (
+	LookupExperiment  = exp.Lookup
+	RunExperiment     = exp.Run
+	RunAllExperiments = exp.RunAll
+	ExperimentNames   = exp.Names
+	Experiments       = exp.List
 )
 
 // Vendor profiles (the 13 CDNs of the paper) and mitigations (§VI-C).
