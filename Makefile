@@ -19,12 +19,13 @@ race:
 	$(GO) test -race ./...
 
 # Full pre-merge gate: vet, build, tests, and a race pass over the
-# scheduler-heavy packages.
+# scheduler-heavy packages and the daemons that share the process-wide
+# metrics registry.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/exp ./internal/core
+	$(GO) test -race ./internal/exp ./internal/core ./internal/metrics ./cmd/origind ./cmd/cdnsim
 
 # Regenerates the paper's headline numbers as custom bench metrics.
 bench:

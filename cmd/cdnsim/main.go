@@ -15,12 +15,14 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/cdn"
 	"repro/internal/detect"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/transport"
 	"repro/internal/vendor"
@@ -44,8 +46,18 @@ func run(args []string) error {
 	statsEvery := fs.Duration("stats", 5*time.Second, "traffic counter log interval (0 = off)")
 	withDetector := fs.Bool("detect", false, "screen requests with the RangeAmp detector (§VI-C)")
 	h2Also := fs.Bool("h2", false, "serve HTTP/2 (prior-knowledge cleartext) on addr+1 as well")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *metricsAddr != "" {
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		log.Printf("metrics on http://%s/metrics", ml.Addr())
+		go http.Serve(ml, metrics.NewDebugMux(metrics.Default)) //nolint:errcheck // dies with the process
 	}
 
 	profile, ok := vendor.ByName(*vendorName)

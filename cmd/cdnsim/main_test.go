@@ -1,0 +1,84 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunUnknownVendor(t *testing.T) {
+	if err := run([]string{"-vendor", "nonsense"}); err == nil {
+		t.Fatal("unknown vendor accepted")
+	}
+}
+
+func TestRunBadMetricsAddr(t *testing.T) {
+	if err := run([]string{"-metrics-addr", "256.256.256.256:bad"}); err == nil {
+		t.Fatal("bad -metrics-addr accepted")
+	}
+}
+
+// freePort grabs an ephemeral port and releases it for the daemon to
+// claim (the usual small race is acceptable in a test).
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// TestMetricsEndpointServesPrometheusText is the acceptance check: a
+// running cdnsim answers /metrics with Prometheus text exposition.
+func TestMetricsEndpointServesPrometheusText(t *testing.T) {
+	edgeAddr, metricsAddr := freePort(t), freePort(t)
+	// Serve blocks for the life of the test binary; the goroutine dies
+	// with the process. Startup errors surface through the channel.
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{"-addr", edgeAddr, "-metrics-addr", metricsAddr, "-stats", "0"})
+	}()
+
+	var (
+		resp *http.Response
+		err  error
+	)
+	for i := 0; i < 100; i++ {
+		select {
+		case err := <-errCh:
+			t.Fatalf("cdnsim exited: %v", err)
+		default:
+		}
+		resp, err = http.Get(fmt.Sprintf("http://%s/metrics", metricsAddr))
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("metrics endpoint never came up: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	// The edge registered its series at construction, so the scrape
+	// carries them even before any request was served.
+	for _, want := range []string{"# TYPE cdn_requests_total counter", "# HELP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -14,10 +14,12 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 
+	"repro/internal/metrics"
 	"repro/internal/origin"
 	"repro/internal/resource"
 	"repro/internal/transport"
@@ -38,8 +40,18 @@ func run(args []string) error {
 	h2Also := fs.Bool("h2", false, "serve HTTP/2 (prior-knowledge cleartext) on addr+1 as well")
 	noRanges := fs.Bool("no-ranges", false, "disable range support (the OBR origin configuration)")
 	maxRanges := fs.Int("max-ranges", 0, "cap ranges served per request (0 = unlimited)")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *metricsAddr != "" {
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		log.Printf("metrics on http://%s/metrics", ml.Addr())
+		go http.Serve(ml, metrics.NewDebugMux(metrics.Default)) //nolint:errcheck // dies with the process
 	}
 
 	store := resource.NewStore()

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunBadSizePair(t *testing.T) {
+	if err := run([]string{"-sizes", "nonsense"}); err == nil {
+		t.Fatal("bad -sizes accepted")
+	}
+}
+
+func TestRunBadSizeValue(t *testing.T) {
+	if err := run([]string{"-sizes", "a=-5"}); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestRunBadMetricsAddr(t *testing.T) {
+	if err := run([]string{"-metrics-addr", "256.256.256.256:bad"}); err == nil {
+		t.Fatal("bad -metrics-addr accepted")
+	}
+}
+
+func TestRunBadDirectory(t *testing.T) {
+	if err := run([]string{"-dir", "/nonexistent/path/for/test"}); err == nil {
+		t.Fatal("missing -dir accepted")
+	}
+}

@@ -15,6 +15,8 @@
 //	rangeamp -exp obr                 # Table V   (OBR max amplification)
 //	rangeamp -exp bandwidth           # Fig 7     (bandwidth practicability)
 //	rangeamp -exp mitigation          # §VI-C mitigation ablation
+//	rangeamp -exp sbr -format json    # machine-readable JSON Lines output
+//	rangeamp -exp sbr -metrics        # also print the run's metrics delta
 //	rangeamp -list                    # registered experiments, one per line
 package main
 
@@ -46,12 +48,25 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("rangeamp", flag.ContinueOnError)
 	expFlag := fs.String("exp", "all", "experiment name from the registry (see -list), a comma list, or 'all'")
 	sizes := fs.String("sizes", "1,10,25", "resource sizes in MB for the SBR sweep (list '1,10,25' or range '1-25')")
-	csv := fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	format := fs.String("format", "", "output format: text (default), csv, or json (one JSON object per experiment)")
+	csv := fs.Bool("csv", false, "emit tables as CSV (shorthand for -format csv)")
+	showMetrics := fs.Bool("metrics", false, "after each experiment, print the metrics-registry delta its run accumulated")
 	outDir := fs.String("out", "", "also write each table as CSV into this directory")
 	parallel := fs.Int("parallel", 1, "max concurrent probe cells per experiment (and concurrent experiments under -exp all)")
 	list := fs.Bool("list", false, "list registered experiments and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *format == "" {
+		*format = "text"
+		if *csv {
+			*format = "csv"
+		}
+	}
+	switch *format {
+	case "text", "csv", "json":
+	default:
+		return fmt.Errorf("bad -format %q (want text, csv or json)", *format)
 	}
 
 	if *list {
@@ -86,7 +101,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 				return err
 			}
 			for _, nr := range results {
-				if err := emitResult(nr.Name, nr.Result, *csv, *outDir, w); err != nil {
+				if err := emitResult(nr.Name, nr.Result, *format, *showMetrics, *outDir, w); err != nil {
 					return err
 				}
 			}
@@ -96,7 +111,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := emitResult(name, res, *csv, *outDir, w); err != nil {
+		if err := emitResult(name, res, *format, *showMetrics, *outDir, w); err != nil {
 			return err
 		}
 	}
@@ -109,7 +124,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 // historic <exp>.csv filename; every other artifact gets
 // <exp>-<slug>.csv so multi-table experiments no longer overwrite one
 // file per table.
-func emitResult(name string, res *exp.Result, csv bool, outDir string, w io.Writer) error {
+func emitResult(name string, res *exp.Result, format string, showMetrics bool, outDir string, w io.Writer) error {
 	if outDir != "" {
 		for _, t := range res.Tables {
 			if err := writeCSV(outDir, name, t.FileSlug(), t.RenderCSV); err != nil {
@@ -122,10 +137,27 @@ func emitResult(name string, res *exp.Result, csv bool, outDir string, w io.Writ
 			}
 		}
 	}
-	if csv {
-		return res.RenderCSV(w)
+	var err error
+	switch format {
+	case "csv":
+		err = res.RenderCSV(w)
+	case "json":
+		// JSON already embeds the stats delta; -metrics adds nothing.
+		return res.RenderJSONNamed(w, name)
+	default:
+		err = res.Render(w)
 	}
-	return res.Render(w)
+	if err != nil || !showMetrics {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "metrics delta — %s\n", name); err != nil {
+		return err
+	}
+	if err := res.Stats.WriteText(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w)
+	return err
 }
 
 // writeCSV writes one artifact into dir under the naming rule above.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -171,6 +172,76 @@ func TestRunOutDirectoryMultiTable(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(dir, "sbr.csv")); err == nil {
 		t.Error("ambiguous sbr.csv written for a multi-table experiment")
+	}
+}
+
+func TestRunFormatJSON(t *testing.T) {
+	var b strings.Builder
+	if err := run(context.Background(), []string{"-exp", "table2,table3", "-format", "json"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want one JSON line per experiment, got %d", len(lines))
+	}
+	for i, name := range []string{"table2", "table3"} {
+		var decoded struct {
+			Experiment string `json:"experiment"`
+			Tables     []struct {
+				Columns []string `json:"columns"`
+			} `json:"tables"`
+			Stats []struct {
+				Name string `json:"name"`
+			} `json:"stats"`
+		}
+		if err := json.Unmarshal([]byte(lines[i]), &decoded); err != nil {
+			t.Fatalf("line %d invalid JSON: %v", i, err)
+		}
+		if decoded.Experiment != name {
+			t.Errorf("line %d experiment = %q, want %q", i, decoded.Experiment, name)
+		}
+		if len(decoded.Tables) == 0 || len(decoded.Tables[0].Columns) == 0 {
+			t.Errorf("%s: no table columns in JSON", name)
+		}
+		if len(decoded.Stats) == 0 {
+			t.Errorf("%s: no stats delta in JSON", name)
+		}
+	}
+}
+
+func TestRunFormatCSVEquivalentToCSVFlag(t *testing.T) {
+	var viaFlag, viaFormat strings.Builder
+	if err := run(context.Background(), []string{"-exp", "table3", "-csv"}, &viaFlag); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-exp", "table3", "-format", "csv"}, &viaFormat); err != nil {
+		t.Fatal(err)
+	}
+	if viaFlag.String() != viaFormat.String() {
+		t.Error("-csv and -format csv outputs differ")
+	}
+}
+
+func TestRunBadFormat(t *testing.T) {
+	var b strings.Builder
+	if err := run(context.Background(), []string{"-exp", "table3", "-format", "yaml"}, &b); err == nil {
+		t.Error("bad -format accepted")
+	}
+}
+
+func TestRunMetricsFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run(context.Background(), []string{"-exp", "table3", "-metrics"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "metrics delta — table3") {
+		t.Error("missing metrics delta header")
+	}
+	// A table3 run drives every vendor's edge; its delta must show the
+	// per-vendor request counters.
+	if !strings.Contains(out, `cdn_requests_total{vendor=`) {
+		t.Errorf("metrics delta missing edge counters:\n%s", out)
 	}
 }
 

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Config controls cache behaviour.
@@ -44,9 +46,10 @@ type Object struct {
 
 // Stats is a snapshot of cache effectiveness counters.
 type Stats struct {
-	Hits     int64
-	Misses   int64
-	Bypasses int64
+	Hits      int64
+	Misses    int64
+	Bypasses  int64
+	Evictions int64 // entries dropped by TTL expiry or LRU pressure
 }
 
 // Cache is a concurrency-safe LRU+TTL object cache.
@@ -57,6 +60,9 @@ type Cache struct {
 	entries map[string]*list.Element
 	order   *list.List // front = most recently used
 	stats   Stats
+
+	// Process-wide mirrors of the stats, resolved at construction.
+	mHits, mMisses, mBypasses, mEvictions *metrics.Counter
 }
 
 type entry struct {
@@ -77,6 +83,14 @@ func New(cfg Config) *Cache {
 		cfg:     cfg,
 		entries: make(map[string]*list.Element),
 		order:   list.New(),
+		mHits: metrics.Default.Counter("cache_hits_total",
+			"Requests served from an edge cache."),
+		mMisses: metrics.Default.Counter("cache_misses_total",
+			"Cache lookups that found no fresh entry."),
+		mBypasses: metrics.Default.Counter("cache_bypasses_total",
+			"Requests whose target bypasses caching entirely."),
+		mEvictions: metrics.Default.Counter("cache_evictions_total",
+			"Entries dropped by TTL expiry or LRU pressure."),
 	}
 }
 
@@ -106,21 +120,25 @@ func (c *Cache) Get(target string) (*Object, bool) {
 	defer c.mu.Unlock()
 	if !cacheable {
 		c.stats.Bypasses++
+		c.mBypasses.Inc()
 		return nil, false
 	}
 	elem, ok := c.entries[key]
 	if !ok {
 		c.stats.Misses++
+		c.mMisses.Inc()
 		return nil, false
 	}
 	ent := elem.Value.(*entry)
 	if c.cfg.TTL > 0 && c.cfg.Now().Sub(ent.savedAt) > c.cfg.TTL {
-		c.removeLocked(elem)
+		c.evictLocked(elem)
 		c.stats.Misses++
+		c.mMisses.Inc()
 		return nil, false
 	}
 	c.order.MoveToFront(elem)
 	c.stats.Hits++
+	c.mHits.Inc()
 	return ent.obj, true
 }
 
@@ -147,7 +165,7 @@ func (c *Cache) Put(target string, obj *Object) {
 		if oldest == nil {
 			break
 		}
-		c.removeLocked(oldest)
+		c.evictLocked(oldest)
 	}
 }
 
@@ -173,8 +191,12 @@ func (c *Cache) Stats() Stats {
 	return c.stats
 }
 
-func (c *Cache) removeLocked(elem *list.Element) {
+// evictLocked removes an entry and accounts the eviction (TTL expiry
+// or LRU pressure; Purge does not count, it is an operator action).
+func (c *Cache) evictLocked(elem *list.Element) {
 	ent := elem.Value.(*entry)
 	delete(c.entries, ent.key)
 	c.order.Remove(elem)
+	c.stats.Evictions++
+	c.mEvictions.Inc()
 }

@@ -13,9 +13,11 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/httpwire"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/ranges"
 	"repro/internal/trace"
@@ -58,6 +60,16 @@ type Edge struct {
 	state        *vendor.EdgeState
 	inspector    Inspector
 	trace        *trace.Log
+
+	// Per-vendor registry series, resolved once here so the request
+	// path is pure atomic adds.
+	mRequests       *metrics.Counter
+	mRejectLimits   *metrics.Counter
+	mRejectDetector *metrics.Counter
+	mRejectOverlap  *metrics.Counter
+	mUpstream       *metrics.Counter
+	mTruncations    *metrics.Counter
+	hDuration       *metrics.Histogram
 }
 
 // NewEdge builds an edge node for cfg.
@@ -73,6 +85,9 @@ func NewEdge(cfg Config) (*Edge, error) {
 	if c == nil {
 		c = cache.New(cache.Config{IncludeQueryInKey: true})
 	}
+	vend := metrics.L("vendor", cfg.Profile.Name)
+	const rejectName = "cdn_rejections_total"
+	const rejectHelp = "Requests refused before any upstream traffic, by reason."
 	return &Edge{
 		profile:      cfg.Profile,
 		dialer:       dialer,
@@ -83,6 +98,17 @@ func NewEdge(cfg Config) (*Edge, error) {
 		state:        vendor.NewEdgeState(),
 		inspector:    cfg.Inspector,
 		trace:        cfg.Trace,
+		mRequests: metrics.Default.Counter("cdn_requests_total",
+			"Requests handled by an edge, per vendor.", vend),
+		mRejectLimits:   metrics.Default.Counter(rejectName, rejectHelp, vend, metrics.L("reason", "limits")),
+		mRejectDetector: metrics.Default.Counter(rejectName, rejectHelp, vend, metrics.L("reason", "detector")),
+		mRejectOverlap:  metrics.Default.Counter(rejectName, rejectHelp, vend, metrics.L("reason", "overlap")),
+		mUpstream: metrics.Default.Counter("cdn_upstream_fetches_total",
+			"Back-to-origin requests issued, per vendor.", vend),
+		mTruncations: metrics.Default.Counter("cdn_upstream_truncations_total",
+			"Upstream reads cut at a body limit (the Azure 8MiB rule), per vendor.", vend),
+		hDuration: metrics.Default.Histogram("cdn_request_duration_us",
+			"Edge request handling latency in microseconds, per vendor.", vend),
 	}, nil
 }
 
@@ -122,16 +148,28 @@ func (e *Edge) ServeConn(conn netsim.Conn) {
 	}
 }
 
-// Handle runs the full edge pipeline for one request.
+// Handle runs the full edge pipeline for one request, accounting the
+// request count and handling latency around the inner pipeline.
 func (e *Edge) Handle(req *httpwire.Request) *httpwire.Response {
+	e.mRequests.Inc()
+	start := time.Now()
+	resp := e.handle(req)
+	e.hDuration.Observe(time.Since(start).Microseconds())
+	return resp
+}
+
+// handle is the edge pipeline body.
+func (e *Edge) handle(req *httpwire.Request) *httpwire.Response {
 	e.trace.Add(e.nodeName(), trace.KindRequest, "%s %s range=%s", req.Method, req.Target, headerOr(req, "Range", "-"))
 	if err := e.profile.Limits.Check(req); err != nil {
 		e.trace.Add(e.nodeName(), trace.KindRejected, "header limits: %v", err)
+		e.mRejectLimits.Inc()
 		return e.errorResponse(httpwire.StatusHeaderTooLarge, err.Error())
 	}
 	if e.inspector != nil {
 		if malicious, reason := e.inspector.Screen(req); malicious {
 			e.trace.Add(e.nodeName(), trace.KindRejected, "detector: %s", reason)
+			e.mRejectDetector.Inc()
 			return e.errorResponse(403, "request blocked: "+reason)
 		}
 	}
@@ -150,6 +188,7 @@ func (e *Edge) Handle(req *httpwire.Request) *httpwire.Response {
 	if e.profile.MultiRangeReply == vendor.ReplyReject &&
 		len(set) > 1 && set.OverlappingSpecs() {
 		e.trace.Add(e.nodeName(), trace.KindRejected, "overlapping ranges (reject policy)")
+		e.mRejectOverlap.Inc()
 		return e.errorResponse(httpwire.StatusBadRequest, "overlapping byte ranges rejected")
 	}
 
@@ -283,6 +322,7 @@ func (u *upstreamFetcher) Fetch(rangeHeader string, maxBody int64) (*httpwire.Re
 	u.edge.trace.Add(u.edge.nodeName(), trace.KindUpstream, "-> %s range=%s maxBody=%d",
 		u.edge.upstreamAddr, rangeNote, maxBody)
 
+	u.edge.mUpstream.Inc()
 	conn, err := u.edge.dialer.Dial(u.edge.upstreamAddr, u.edge.upstreamSeg)
 	if err != nil {
 		return nil, false, fmt.Errorf("dial upstream %s: %w", u.edge.upstreamAddr, err)
@@ -298,6 +338,9 @@ func (u *upstreamFetcher) Fetch(rangeHeader string, maxBody int64) (*httpwire.Re
 	resp, truncated, err := httpwire.ReadResponseLimited(bufio.NewReader(conn), httpwire.Limits{}, limit)
 	if err != nil {
 		return nil, false, fmt.Errorf("read upstream response: %w", err)
+	}
+	if truncated {
+		u.edge.mTruncations.Inc()
 	}
 	return resp, truncated, nil
 }

@@ -27,6 +27,7 @@ func (e *Edge) replyFromObject(req *httpwire.Request, set ranges.Set, hasRange b
 	}
 	if !ignoreRange && e.profile.MultiRangeReply == vendor.ReplyReject &&
 		len(set) > 1 && set.Overlapping(size) {
+		e.mRejectOverlap.Inc()
 		return e.errorResponse(httpwire.StatusBadRequest, "overlapping byte ranges rejected")
 	}
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -70,23 +71,9 @@ type SBRResult struct {
 // vendor's exploited case and a cache-busting query string, and returns
 // the per-segment traffic measurement. cacheBuster must be unique per
 // call to force a miss (the Repeat requests intentionally share it).
+// It is RunSBRContext with a background context.
 func RunSBR(t *SBRTopology, path string, resourceSize int64, cacheBuster string) (*SBRResult, error) {
-	exploit := SBRExploit(t.Profile.Name, resourceSize)
-	probe := measure.NewProbe(t.OriginSeg, t.ClientSeg)
-	target := path + "?cb=" + cacheBuster
-
-	result := &SBRResult{Case: exploit}
-	for i := 0; i < exploit.Repeat; i++ {
-		req := NewAttackRequest(target)
-		req.Headers.Add("Range", exploit.RangeHeader)
-		resp, err := origin.Fetch(t.Net, t.EdgeAddr, t.ClientSeg, req)
-		if err != nil {
-			return nil, fmt.Errorf("sbr request %d: %w", i, err)
-		}
-		result.Responses = append(result.Responses, resp)
-	}
-	result.Amplification = probe.Delta()
-	return result, nil
+	return RunSBRContext(context.Background(), t, path, resourceSize, cacheBuster)
 }
 
 // PrimeSizeHint teaches the edge the resource size (the Huawei
@@ -165,40 +152,10 @@ type OBRResult struct {
 }
 
 // RunOBR performs one OBR attack with the planned (or overridden) n.
-// Pass n <= 0 to use the planned maximum.
+// Pass n <= 0 to use the planned maximum. It is RunOBRContext with a
+// background context.
 func RunOBR(t *OBRTopology, path string, n int) (*OBRResult, error) {
-	plan := PlanMaxN(t.FCDN.Profile(), t.BCDN.Profile(), path)
-	if n > 0 {
-		plan.N = n
-	}
-	if plan.N < 1 {
-		return nil, fmt.Errorf("obr: no usable n for %s->%s", t.FCDN.Profile().Name, t.BCDN.Profile().Name)
-	}
-	probe := measure.NewProbe(t.FcdnBcdnSeg, t.BcdnOriginSeg)
-	req := NewAttackRequest(path)
-	req.Headers.Add("Range", BuildOverlappingRange(plan.FirstToken, plan.N))
-	resp, err := origin.Fetch(t.Net, t.FCDNAddr, t.ClientSeg, req)
-	if err != nil {
-		return nil, fmt.Errorf("obr request: %w", err)
-	}
-	// Table V's two byte counts use the paper's own (mixed) vantage
-	// points: fcdn-bcdn traffic was collected at an application-level
-	// proxy the authors inserted between the CDNs, while bcdn-origin
-	// traffic was captured on the wire (its 1676B for a 1KB resource
-	// includes TCP/IP framing and handshakes). We therefore report the
-	// application-level delta for the victim segment and the
-	// capture-level estimate for the origin segment.
-	appDelta := probe.Delta()
-	wireDelta := probe.WireDelta()
-	return &OBRResult{
-		Case: plan,
-		Amplification: measure.Amplification{
-			VictimBytes:   appDelta.VictimBytes,    // fcdn-bcdn response bytes (proxy view)
-			AttackerBytes: wireDelta.AttackerBytes, // bcdn-origin response bytes (capture view)
-		},
-		Response: resp,
-		Parts:    CountParts(resp),
-	}, nil
+	return RunOBRContext(context.Background(), t, path, n)
 }
 
 // CountParts counts multipart body parts by boundary occurrences.

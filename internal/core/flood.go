@@ -1,11 +1,9 @@
 package core
 
 import (
-	"fmt"
-	"sync"
+	"context"
 
 	"repro/internal/measure"
-	"repro/internal/origin"
 )
 
 // FloodResult aggregates a concurrent SBR flood (§V-D: "a real-world
@@ -21,51 +19,8 @@ type FloodResult struct {
 // RunSBRFlood fires workers × perWorker SBR attack requests against
 // the topology's edge concurrently, each with a unique cache-busting
 // query, and returns the aggregate amplification. It exercises the
-// whole stack under contention (the engines must be race-free).
+// whole stack under contention (the engines must be race-free). It is
+// RunSBRFloodContext with a background context.
 func RunSBRFlood(t *SBRTopology, path string, resourceSize int64, workers, perWorker int) (*FloodResult, error) {
-	exploit := SBRExploit(t.Profile.Name, resourceSize)
-	probe := measure.NewProbe(t.OriginSeg, t.ClientSeg)
-
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		failures int
-		blocked  int
-		firstErr error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := 0; i < perWorker; i++ {
-				target := fmt.Sprintf("%s?cb=w%d-%d", path, w, i)
-				for r := 0; r < exploit.Repeat; r++ {
-					req := NewAttackRequest(target)
-					req.Headers.Add("Range", exploit.RangeHeader)
-					resp, err := origin.Fetch(t.Net, t.EdgeAddr, t.ClientSeg, req)
-					mu.Lock()
-					switch {
-					case err != nil:
-						failures++
-						if firstErr == nil {
-							firstErr = err
-						}
-					case resp.StatusCode == 403 || resp.StatusCode == 431:
-						blocked++
-					}
-					mu.Unlock()
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, fmt.Errorf("flood: %d failures, first: %w", failures, firstErr)
-	}
-	return &FloodResult{
-		Requests:      workers * perWorker * exploit.Repeat,
-		Failures:      failures,
-		Blocked:       blocked,
-		Amplification: probe.Delta(),
-	}, nil
+	return RunSBRFloodContext(context.Background(), t, path, resourceSize, workers, perWorker)
 }

@@ -47,4 +47,3 @@ func RunSBROverH2(t *SBRTopology, path string, resourceSize int64, cacheBuster s
 	result.Amplification = probe.Delta()
 	return result, nil
 }
-

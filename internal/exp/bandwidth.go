@@ -50,7 +50,7 @@ func Bandwidth(ctx context.Context, cfg BandwidthConfig) (fig7a, fig7b *report.F
 	if err != nil {
 		return nil, nil, err
 	}
-	sbr, err := core.RunSBR(topo, core.TargetPath, size, "calibrate")
+	sbr, err := core.RunSBRContext(ctx, topo, core.TargetPath, size, "calibrate")
 	topo.Close()
 	if err != nil {
 		return nil, nil, err
@@ -90,10 +90,10 @@ func Bandwidth(ctx context.Context, cfg BandwidthConfig) (fig7a, fig7b *report.F
 func BandwidthAll(ctx context.Context, cfg BandwidthConfig, parallel int) (*report.Table, error) {
 	size := int64(cfg.ResourceMB) * core.MiB
 	type cell struct {
-		display            string
-		victim, attacker   int64
-		saturatingM        int
-		steady15           float64
+		display          string
+		victim, attacker int64
+		saturatingM      int
+		steady15         float64
 	}
 	cells, err := ForEachVendor(ctx, parallel, func(ctx context.Context, p *vendor.Profile) (cell, error) {
 		if err := ctx.Err(); err != nil {
@@ -110,7 +110,7 @@ func BandwidthAll(ctx context.Context, cfg BandwidthConfig, parallel int) (*repo
 		}
 		topo.ClientSeg.Reset()
 		topo.OriginSeg.Reset()
-		sbr, err := core.RunSBR(topo, core.TargetPath, size, "calibrate")
+		sbr, err := core.RunSBRContext(ctx, topo, core.TargetPath, size, "calibrate")
 		topo.Close()
 		if err != nil {
 			return cell{}, fmt.Errorf("%s: %w", p.Name, err)

@@ -35,6 +35,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/metrics"
 	"repro/internal/report"
 )
 
@@ -66,6 +67,13 @@ type Result struct {
 	Tables  []*report.Table
 	Figures []*report.Figure
 	Notes   []string
+
+	// Stats is the metrics-registry delta accumulated while the
+	// experiment ran (filled by Run). Deltas of experiments running
+	// concurrently under a parallel RunAll overlap, since the registry
+	// is process-wide; a serial run's delta is exactly what that
+	// experiment did.
+	Stats *metrics.Snapshot
 }
 
 // Render writes the result as aligned text.
@@ -200,14 +208,21 @@ func List() []Experiment {
 	return out
 }
 
-// Run executes one experiment by name (or alias).
+// Run executes one experiment by name (or alias), attaching the
+// metrics delta the run accumulated to the result's Stats.
 func Run(ctx context.Context, name string, p Params) (*Result, error) {
 	e, ok := Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("exp: unknown experiment %q (have %s)",
 			name, strings.Join(knownNames(), ", "))
 	}
-	return e.Run(ctx, p.withDefaults())
+	before := metrics.Default.Snapshot()
+	res, err := e.Run(ctx, p.withDefaults())
+	if err != nil || res == nil {
+		return res, err
+	}
+	res.Stats = metrics.Default.Snapshot().Delta(before)
+	return res, nil
 }
 
 // knownNames lists canonical names and aliases for error messages.

@@ -51,7 +51,7 @@ func Mitigations(ctx context.Context, parallel int) (*report.Table, error) {
 			if err != nil {
 				return row{}, err
 			}
-			sbr, err := core.RunSBR(topo, core.TargetPath, size, "mitigation")
+			sbr, err := core.RunSBRContext(ctx, topo, core.TargetPath, size, "mitigation")
 			topo.Close()
 			if err != nil {
 				return row{}, fmt.Errorf("sbr %s: %w", c.label, err)
@@ -64,7 +64,7 @@ func Mitigations(ctx context.Context, parallel int) (*report.Table, error) {
 		if err != nil {
 			return row{}, err
 		}
-		obr, err := core.RunOBR(topo, core.TargetPath, 256)
+		obr, err := core.RunOBRContext(ctx, topo, core.TargetPath, 256)
 		topo.Close()
 		if err != nil {
 			return row{}, fmt.Errorf("obr %s: %w", c.label, err)
@@ -141,7 +141,7 @@ func H2Comparison(ctx context.Context, sizeMB, parallel int) (*report.Table, map
 			return cell{}, err
 		}
 
-		h1Res, err := core.RunSBR(topo, core.TargetPath, size, "h1")
+		h1Res, err := core.RunSBRContext(ctx, topo, core.TargetPath, size, "h1")
 		if err != nil {
 			topo.Close()
 			return cell{}, fmt.Errorf("%s h1: %w", p.Name, err)

@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/report"
+)
+
+// The report types render themselves as text and CSV but carry no JSON
+// tags (their exported fields are their Go API). These DTOs pin the
+// wire shape — lowercase keys, omitted empties — independently of the
+// Go field names, so renaming a report field cannot silently change
+// the machine-readable output.
+
+type jsonSeries struct {
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
+}
+
+type jsonTable struct {
+	Title   string     `json:"title"`
+	Slug    string     `json:"slug"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+type jsonFigure struct {
+	Title  string       `json:"title"`
+	Slug   string       `json:"slug"`
+	XLabel string       `json:"xlabel"`
+	YLabel string       `json:"ylabel"`
+	Series []jsonSeries `json:"series"`
+}
+
+type jsonResult struct {
+	Experiment string           `json:"experiment,omitempty"`
+	Tables     []jsonTable      `json:"tables,omitempty"`
+	Figures    []jsonFigure     `json:"figures,omitempty"`
+	Notes      []string         `json:"notes,omitempty"`
+	Stats      []metrics.Sample `json:"stats,omitempty"`
+}
+
+func toJSONTable(t *report.Table) jsonTable {
+	return jsonTable{Title: t.Title, Slug: t.FileSlug(), Columns: t.Columns, Rows: t.Rows}
+}
+
+func toJSONFigure(f *report.Figure) jsonFigure {
+	out := jsonFigure{Title: f.Title, Slug: f.FileSlug(), XLabel: f.XLabel, YLabel: f.YLabel}
+	for _, s := range f.Series {
+		out.Series = append(out.Series, jsonSeries{Name: s.Name, X: s.X, Y: s.Y})
+	}
+	return out
+}
+
+// RenderJSON writes the result as one JSON object (newline-terminated,
+// so per-experiment calls compose into JSON Lines).
+func (r *Result) RenderJSON(w io.Writer) error { return r.RenderJSONNamed(w, "") }
+
+// RenderJSONNamed is RenderJSON with an "experiment" field naming the
+// run, the form cmd/rangeamp emits for -format json.
+func (r *Result) RenderJSONNamed(w io.Writer, experiment string) error {
+	out := jsonResult{Experiment: experiment, Notes: r.Notes, Stats: r.Stats.Samples()}
+	for _, t := range r.Tables {
+		out.Tables = append(out.Tables, toJSONTable(t))
+	}
+	for _, f := range r.Figures {
+		out.Figures = append(out.Figures, toJSONFigure(f))
+	}
+	return json.NewEncoder(w).Encode(out)
+}

@@ -1,0 +1,147 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/report"
+)
+
+// sumSeries totals a snapshot's samples for one metric name across all
+// label combinations (e.g. cdn_requests_total over every vendor).
+func sumSeries(s *metrics.Snapshot, name string) int64 {
+	var total int64
+	for _, sm := range s.Samples() {
+		if sm.Name == name {
+			total += sm.Value
+		}
+	}
+	return total
+}
+
+func TestRunAttachesStats(t *testing.T) {
+	res, err := Run(context.Background(), "sbr", Params{SizesMB: []int{1}, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats == nil {
+		t.Fatal("Run left Stats nil")
+	}
+	if got := sumSeries(res.Stats, "cdn_requests_total"); got <= 0 {
+		t.Errorf("stats delta shows %d edge requests for a full sweep", got)
+	}
+	if got := sumSeries(res.Stats, "netsim_segment_bytes_total"); got <= 0 {
+		t.Errorf("stats delta shows %d bytes moved", got)
+	}
+}
+
+// TestSchedulerCancellationObservedViaCounters pins the scheduler's
+// cancellation contract at the metrics level: a run handed an already
+// cancelled context must error out before any cell reaches an edge.
+func TestSchedulerCancellationObservedViaCounters(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := metrics.Default.Snapshot()
+	if _, err := Run(ctx, "sbr", Params{SizesMB: []int{1}, Parallel: 4}); err == nil {
+		t.Fatal("cancelled run succeeded")
+	}
+	d := metrics.Default.Snapshot().Delta(before)
+	if got := sumSeries(d, "cdn_requests_total"); got != 0 {
+		t.Errorf("cancelled run still drove %d edge requests", got)
+	}
+	if got := sumSeries(d, "cache_misses_total"); got != 0 {
+		t.Errorf("cancelled run still did %d cache lookups", got)
+	}
+}
+
+func TestRenderJSON(t *testing.T) {
+	res := &Result{
+		Tables: []*report.Table{{
+			Title:   "Table X",
+			Slug:    "tablex",
+			Columns: []string{"CDN", "factor"},
+			Rows:    [][]string{{"Cloudflare", "43"}},
+		}},
+		Figures: []*report.Figure{{
+			Title: "Fig Y", Slug: "figy", XLabel: "MB", YLabel: "factor",
+			Series: []report.Series{{Name: "CF", X: []float64{1}, Y: []float64{43}}},
+		}},
+		Notes: []string{"a note"},
+	}
+	var b strings.Builder
+	if err := res.RenderJSONNamed(&b, "demo"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasSuffix(out, "\n") || strings.Count(out, "\n") != 1 {
+		t.Errorf("output is not one JSON line: %q", out)
+	}
+	var decoded struct {
+		Experiment string `json:"experiment"`
+		Tables     []struct {
+			Title   string     `json:"title"`
+			Slug    string     `json:"slug"`
+			Columns []string   `json:"columns"`
+			Rows    [][]string `json:"rows"`
+		} `json:"tables"`
+		Figures []struct {
+			Slug   string `json:"slug"`
+			Series []struct {
+				Name string    `json:"name"`
+				Y    []float64 `json:"y"`
+			} `json:"series"`
+		} `json:"figures"`
+		Notes []string `json:"notes"`
+	}
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if decoded.Experiment != "demo" || len(decoded.Tables) != 1 || decoded.Tables[0].Slug != "tablex" {
+		t.Errorf("decoded = %+v", decoded)
+	}
+	if len(decoded.Figures) != 1 || len(decoded.Figures[0].Series) != 1 || decoded.Figures[0].Series[0].Y[0] != 43 {
+		t.Errorf("figures decoded = %+v", decoded.Figures)
+	}
+	if len(decoded.Notes) != 1 || decoded.Notes[0] != "a note" {
+		t.Errorf("notes decoded = %v", decoded.Notes)
+	}
+
+	// The unnamed form omits the experiment key entirely.
+	b.Reset()
+	if err := res.RenderJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), `"experiment"`) {
+		t.Errorf("unnamed render carries an experiment key: %s", b.String())
+	}
+}
+
+func TestRenderJSONIncludesStats(t *testing.T) {
+	res, err := Run(context.Background(), "table1", Params{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.RenderJSONNamed(&b, "table1"); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Stats []struct {
+			Name   string `json:"name"`
+			Labels []struct {
+				Key   string `json:"key"`
+				Value string `json:"value"`
+			} `json:"labels"`
+			Value int64 `json:"value"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(decoded.Stats) == 0 {
+		t.Fatal("no stats in JSON output")
+	}
+}

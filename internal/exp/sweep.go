@@ -61,7 +61,7 @@ func SBRSweep(ctx context.Context, sizesMB []int, parallel int) (*SBRSweepResult
 			}
 			topo.ClientSeg.Reset()
 			topo.OriginSeg.Reset()
-			sbr, err := core.RunSBR(topo, core.TargetPath, size, core.CacheBuster(sizeMB))
+			sbr, err := core.RunSBRContext(ctx, topo, core.TargetPath, size, core.CacheBuster(sizeMB))
 			topo.Close()
 			if err != nil {
 				return sweepCell{}, fmt.Errorf("%s @ %dMB: %w", p.Name, sizeMB, err)

@@ -207,7 +207,7 @@ func runOBRCombo(ctx context.Context, fcdnName, bcdnName string) (*OBRCombinatio
 		return nil, err
 	}
 	defer topo.Close()
-	result, err := core.RunOBR(topo, core.TargetPath, 0)
+	result, err := core.RunOBRContext(ctx, topo, core.TargetPath, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,319 @@
+// Package metrics is the wire-level observability layer: a
+// dependency-free registry of atomic counters, gauges and log-bucketed
+// histograms that the netsim, cache, cdn and origin engines update on
+// their hot paths. Where package trace answers "what happened to this
+// one request", metrics answers "what is this process doing right now"
+// — cache hit rates, rejection counts, upstream fetch volume and
+// connection churn, continuously, while a flood or bandwidth experiment
+// is running.
+//
+// The design rules:
+//
+//   - Updates are single atomic adds. Series handles are resolved once
+//     (at Segment/Edge/Server construction) and then shared, so nothing
+//     on the request path takes the registry lock or allocates.
+//   - Counters track the exact quantities the paper's amplification
+//     factors are ratios of: the per-segment byte counters are fed by
+//     the same calls that feed netsim.Segment, so a run's metric delta
+//     equals its measure.Amplification fields bit for bit.
+//   - Snapshot/Delta mirror measure.Probe: snapshot the registry before
+//     a run, diff after, and the difference is attributable to that run
+//     alone (as long as nothing else is driving traffic concurrently).
+//
+// Exposition is Prometheus text format (WritePrometheus, or the
+// /metrics endpoint NewDebugMux mounts for the cmd daemons).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is a metric family's type.
+type Kind uint8
+
+// The three family kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE keyword.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Label is one key=value dimension of a series.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing atomic counter. A nil *Counter
+// is a valid no-op, so instrumentation can be optional.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative n is ignored: counters are monotonic).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic value that can go up and down. A nil *Gauge is a
+// valid no-op.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefaultBounds are the log-bucketed histogram upper bounds: powers of
+// four from 1 to 2^30 (~1 GiB / ~1 G-microseconds), a range that covers
+// both byte sizes and microsecond latencies in 16 buckets.
+func DefaultBounds() []int64 {
+	bounds := make([]int64, 0, 16)
+	for shift := 0; shift <= 30; shift += 2 {
+		bounds = append(bounds, 1<<shift)
+	}
+	return bounds
+}
+
+// Histogram is a log-bucketed distribution of int64 observations
+// (bytes, microseconds). Buckets are fixed at construction; Observe is
+// a bounded search plus two atomic adds. A nil *Histogram is a valid
+// no-op.
+type Histogram struct {
+	bounds  []int64 // ascending upper bounds; buckets[len(bounds)] = +Inf
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+func newHistogram(bounds []int64) *Histogram {
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// series is one labeled instance within a family.
+type series struct {
+	labels  []Label // sorted by key
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name, help string
+	kind       Kind
+	bounds     []int64 // histogram families only
+
+	mu    sync.RWMutex
+	keys  []string // insertion order, for stable exposition
+	byKey map[string]*series
+}
+
+// get returns the series for the canonical key, creating it if needed.
+func (f *family) get(key string, labels []Label) *series {
+	f.mu.RLock()
+	s := f.byKey[key]
+	f.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s = f.byKey[key]; s != nil {
+		return s
+	}
+	s = &series{labels: labels}
+	switch f.kind {
+	case KindCounter:
+		s.counter = &Counter{}
+	case KindGauge:
+		s.gauge = &Gauge{}
+	case KindHistogram:
+		s.hist = newHistogram(f.bounds)
+	}
+	f.keys = append(f.keys, key)
+	f.byKey[key] = s
+	return s
+}
+
+// Registry is a named collection of metric families. The zero value is
+// not usable; call New (or use Default).
+type Registry struct {
+	mu       sync.RWMutex
+	names    []string // registration order
+	families map[string]*family
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Default is the process-wide registry the engines instrument into.
+var Default = New()
+
+// family resolves (or registers) the named family, checking the kind.
+// A name registered twice with different kinds panics: that is a
+// programmer error, caught at construction time, not on the hot path.
+func (r *Registry) family(name, help string, kind Kind, bounds []int64) *family {
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		if f = r.families[name]; f == nil {
+			f = &family{name: name, help: help, kind: kind, bounds: bounds, byKey: make(map[string]*series)}
+			r.names = append(r.names, name)
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, f.kind, kind))
+	}
+	return f
+}
+
+// canonicalize sorts a copy of labels by key and renders the series key.
+func canonicalize(labels []Label) (string, []Label) {
+	if len(labels) == 0 {
+		return "", nil
+	}
+	sorted := make([]Label, len(labels))
+	copy(sorted, labels)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var b strings.Builder
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String(), sorted
+}
+
+// Counter resolves the labeled counter series, registering the family
+// on first use. Resolution takes locks and allocates; callers resolve
+// once and keep the handle.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	key, sorted := canonicalize(labels)
+	return r.family(name, help, KindCounter, nil).get(key, sorted).counter
+}
+
+// Gauge resolves the labeled gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	key, sorted := canonicalize(labels)
+	return r.family(name, help, KindGauge, nil).get(key, sorted).gauge
+}
+
+// Histogram resolves the labeled histogram series with DefaultBounds.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	key, sorted := canonicalize(labels)
+	return r.family(name, help, KindHistogram, DefaultBounds()).get(key, sorted).hist
+}
+
+// visit walks every family and series in registration order under read
+// locks, handing each series' key and data to fn.
+func (r *Registry) visit(fn func(f *family, key string, s *series)) {
+	r.mu.RLock()
+	names := make([]string, len(r.names))
+	copy(names, r.names)
+	fams := make([]*family, 0, len(names))
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.RUnlock()
+	for _, f := range fams {
+		f.mu.RLock()
+		keys := make([]string, len(f.keys))
+		copy(keys, f.keys)
+		f.mu.RUnlock()
+		for _, k := range keys {
+			f.mu.RLock()
+			s := f.byKey[k]
+			f.mu.RUnlock()
+			fn(f, k, s)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package metrics
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters are monotonic
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	// Same name+labels resolves to the same series.
+	if r.Counter("reqs_total", "requests") != c {
+		t.Fatal("re-resolution returned a different counter")
+	}
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+}
+
+func TestLabelOrderIsCanonical(t *testing.T) {
+	r := New()
+	a := r.Counter("bytes_total", "", L("segment", "cdn-origin"), L("direction", "up"))
+	b := r.Counter("bytes_total", "", L("direction", "up"), L("segment", "cdn-origin"))
+	if a != b {
+		t.Fatal("label order created distinct series")
+	}
+	a.Add(9)
+	snap := r.Snapshot()
+	if got := snap.Value("bytes_total", L("direction", "up"), L("segment", "cdn-origin")); got != 9 {
+		t.Fatalf("snapshot value = %d, want 9", got)
+	}
+	if got := snap.Value("bytes_total", L("segment", "cdn-origin"), L("direction", "up")); got != 9 {
+		t.Fatalf("snapshot value (reordered labels) = %d, want 9", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := New()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind mismatch")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("size_bytes", "sizes")
+	for _, v := range []int64{0, 1, 2, 4, 5, 1 << 20, 1 << 62} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	wantSum := int64(0+1+2+4+5) + 1<<20 + 1<<62
+	if h.Sum() != wantSum {
+		t.Fatalf("sum = %d, want %d", h.Sum(), wantSum)
+	}
+	// 0 and 1 land in the le=1 bucket; 2 and 4 in le=4; 5 in le=16;
+	// 1<<20 in le=1<<20; 1<<62 overflows into +Inf.
+	sn := r.Snapshot()
+	i, ok := sn.index["size_bytes"]
+	if !ok {
+		t.Fatal("histogram sample missing")
+	}
+	s := sn.samples[i]
+	if s.Buckets[0] != 2 || s.Buckets[1] != 2 || s.Buckets[2] != 1 {
+		t.Fatalf("low buckets = %v", s.Buckets[:3])
+	}
+	if s.Buckets[len(s.Buckets)-1] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", s.Buckets[len(s.Buckets)-1])
+	}
+	total := int64(0)
+	for _, b := range s.Buckets {
+		total += b
+	}
+	if total != 7 {
+		t.Fatalf("bucket occupancy sums to %d, want 7", total)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := New()
+	c := r.Counter("hits_total", "")
+	g := r.Gauge("level", "")
+	c.Add(10)
+	g.Set(5)
+	before := r.Snapshot()
+	c.Add(7)
+	g.Set(3)
+	r.Counter("new_total", "").Add(2)
+	d := r.Snapshot().Delta(before)
+	if got := d.Value("hits_total"); got != 7 {
+		t.Fatalf("delta hits = %d, want 7", got)
+	}
+	if got := d.Value("new_total"); got != 2 {
+		t.Fatalf("delta new = %d, want 2", got)
+	}
+	// Gauges are levels: the delta carries the current value.
+	if got := d.Value("level"); got != 3 {
+		t.Fatalf("delta gauge = %d, want 3", got)
+	}
+	// Unchanged counters are dropped from the delta entirely.
+	r.Counter("idle_total", "").Add(1)
+	before2 := r.Snapshot()
+	d2 := r.Snapshot().Delta(before2)
+	if got := d2.Value("idle_total"); got != 0 {
+		t.Fatalf("unchanged counter leaked into delta: %d", got)
+	}
+}
+
+func TestWriteTextRenders(t *testing.T) {
+	r := New()
+	r.Counter("a_total", "", L("k", "v")).Add(3)
+	r.Histogram("h_us", "").Observe(10)
+	var b strings.Builder
+	if err := r.Snapshot().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `a_total{k=v}`) || !strings.Contains(out, "3") {
+		t.Errorf("missing counter line:\n%s", out)
+	}
+	if !strings.Contains(out, "count=1 sum=10") {
+		t.Errorf("missing histogram line:\n%s", out)
+	}
+}
+
+// TestConcurrentUpdates drives every metric kind and the resolution
+// path from many goroutines at once; `go test -race` over this package
+// is the satellite's concurrency gate.
+func TestConcurrentUpdates(t *testing.T) {
+	r := New()
+	const goroutines = 16
+	const iters = 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			// Half the goroutines share one series; half resolve their own.
+			shared := r.Counter("shared_total", "")
+			h := r.Histogram("lat_us", "")
+			g := r.Gauge("inflight", "")
+			for j := 0; j < iters; j++ {
+				shared.Inc()
+				h.Observe(int64(j % 4096))
+				g.Add(1)
+				g.Add(-1)
+				if j%100 == 0 {
+					// Concurrent resolution and snapshotting must be safe too.
+					r.Counter("per_goroutine_total", "", L("g", string(rune('a'+id)))).Inc()
+					_ = r.Snapshot()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if got := snap.Value("shared_total"); got != goroutines*iters {
+		t.Fatalf("shared counter = %d, want %d", got, goroutines*iters)
+	}
+	if got := snap.Value("lat_us"); got != goroutines*iters {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*iters)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := New()
+	r.Counter("edge_requests_total", "requests seen", L("vendor", "akamai")).Add(5)
+	r.Counter("edge_requests_total", "requests seen", L("vendor", "fastly")).Add(2)
+	r.Gauge("up", "liveness").Set(1)
+	h := r.Histogram("resp_bytes", "response sizes")
+	h.Observe(3)
+	h.Observe(100)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP edge_requests_total requests seen",
+		"# TYPE edge_requests_total counter",
+		`edge_requests_total{vendor="akamai"} 5`,
+		`edge_requests_total{vendor="fastly"} 2`,
+		"# TYPE up gauge",
+		"up 1",
+		"# TYPE resp_bytes histogram",
+		`resp_bytes_bucket{le="4"} 1`,
+		`resp_bytes_bucket{le="+Inf"} 2`,
+		"resp_bytes_sum 103",
+		"resp_bytes_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative: each le line's value never decreases.
+	last := int64(-1)
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "resp_bytes_bucket") {
+			continue
+		}
+		v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("unparseable bucket line %q", line)
+		}
+		if v < last {
+			t.Fatalf("non-cumulative buckets at %q", line)
+		}
+		last = v
+	}
+	// One TYPE header per family, even with several series.
+	if strings.Count(out, "# TYPE edge_requests_total counter") != 1 {
+		t.Error("TYPE header repeated per series")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := New()
+	r.Counter("e_total", "", L("path", `a"b\c`+"\n")).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `path="a\"b\\c\n"`) {
+		t.Errorf("label not escaped:\n%s", b.String())
+	}
+}

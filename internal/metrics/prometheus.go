@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (version 0.0.4): # HELP and # TYPE comments, then one line
+// per series, with histograms expanded into cumulative _bucket series
+// plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var err error
+	var lastFamily string
+	r.visit(func(f *family, _ string, s *series) {
+		if err != nil {
+			return
+		}
+		if f.name != lastFamily {
+			lastFamily = f.name
+			if f.help != "" {
+				if _, err = fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+					return
+				}
+			}
+			if _, err = fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+				return
+			}
+		}
+		switch f.kind {
+		case KindCounter:
+			err = writeSample(w, f.name, s.labels, "", "", s.counter.Value())
+		case KindGauge:
+			err = writeSample(w, f.name, s.labels, "", "", s.gauge.Value())
+		case KindHistogram:
+			cum := int64(0)
+			for i := range s.hist.buckets {
+				cum += s.hist.buckets[i].Load()
+				le := "+Inf"
+				if i < len(f.bounds) {
+					le = strconv.FormatInt(f.bounds[i], 10)
+				}
+				if err = writeSample(w, f.name+"_bucket", s.labels, "le", le, cum); err != nil {
+					return
+				}
+			}
+			if err = writeSample(w, f.name+"_sum", s.labels, "", "", s.hist.Sum()); err != nil {
+				return
+			}
+			err = writeSample(w, f.name+"_count", s.labels, "", "", s.hist.Count())
+		}
+	})
+	return err
+}
+
+// writeSample renders one exposition line, appending an optional extra
+// label (the histogram "le").
+func writeSample(w io.Writer, name string, labels []Label, extraKey, extraVal string, value int64) error {
+	var b strings.Builder
+	b.WriteString(name)
+	if len(labels) > 0 || extraKey != "" {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Key)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(l.Value))
+			b.WriteByte('"')
+		}
+		if extraKey != "" {
+			if len(labels) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(extraKey)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(extraVal))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(value, 10))
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// escapeHelp escapes a HELP string.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}

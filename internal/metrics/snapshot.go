@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Sample is one series' state inside a Snapshot. For counters and
+// gauges only Value is set; histograms carry Count (also mirrored in
+// Value), Sum and the per-bucket (non-cumulative) occupancy aligned
+// with Bounds.
+type Sample struct {
+	Name    string  `json:"name"`
+	Labels  []Label `json:"labels,omitempty"`
+	Kind    Kind    `json:"-"`
+	Value   int64   `json:"value"`
+	Sum     int64   `json:"sum,omitempty"`
+	Buckets []int64 `json:"-"`
+	Bounds  []int64 `json:"-"`
+}
+
+// key renders the sample's identity (name + canonical labels).
+func (s Sample) key() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, l := range s.Labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Snapshot is a point-in-time copy of a registry's series, comparable
+// with Delta the way measure.ProbeDelta diffs segment traffic.
+type Snapshot struct {
+	samples []Sample
+	index   map[string]int
+}
+
+// Snapshot copies every series' current state.
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{index: make(map[string]int)}
+	r.visit(func(f *family, _ string, s *series) {
+		sample := Sample{Name: f.name, Labels: s.labels, Kind: f.kind}
+		switch f.kind {
+		case KindCounter:
+			sample.Value = s.counter.Value()
+		case KindGauge:
+			sample.Value = s.gauge.Value()
+		case KindHistogram:
+			sample.Value = s.hist.Count()
+			sample.Sum = s.hist.Sum()
+			sample.Bounds = f.bounds
+			sample.Buckets = make([]int64, len(s.hist.buckets))
+			for i := range s.hist.buckets {
+				sample.Buckets[i] = s.hist.buckets[i].Load()
+			}
+		}
+		snap.index[sample.key()] = len(snap.samples)
+		snap.samples = append(snap.samples, sample)
+	})
+	return snap
+}
+
+// Samples returns the snapshot's samples in registration order.
+func (s *Snapshot) Samples() []Sample {
+	if s == nil {
+		return nil
+	}
+	return s.samples
+}
+
+// Value returns the sample value for a series (counter/gauge value,
+// histogram observation count), or 0 when the series is absent. Labels
+// may be given in any order.
+func (s *Snapshot) Value(name string, labels ...Label) int64 {
+	if s == nil {
+		return 0
+	}
+	_, sorted := canonicalize(labels)
+	i, ok := s.index[Sample{Name: name, Labels: sorted}.key()]
+	if !ok {
+		return 0
+	}
+	return s.samples[i].Value
+}
+
+// Delta returns s - prev, series by series. Series absent from prev
+// count from zero; gauges carry their current value through unchanged
+// (a level, not an accumulation). Series that did not change are
+// dropped, so a delta reads as "what this run did".
+func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
+	if s == nil {
+		return nil
+	}
+	out := &Snapshot{index: make(map[string]int)}
+	for _, cur := range s.samples {
+		d := cur
+		if prev != nil {
+			if i, ok := prev.index[cur.key()]; ok {
+				p := prev.samples[i]
+				switch cur.Kind {
+				case KindGauge:
+					// levels pass through
+				default:
+					d.Value = cur.Value - p.Value
+					d.Sum = cur.Sum - p.Sum
+					if len(p.Buckets) == len(cur.Buckets) {
+						d.Buckets = make([]int64, len(cur.Buckets))
+						for bi := range cur.Buckets {
+							d.Buckets[bi] = cur.Buckets[bi] - p.Buckets[bi]
+						}
+					}
+				}
+			}
+		}
+		if d.Value == 0 && d.Sum == 0 && d.Kind != KindGauge {
+			continue
+		}
+		out.index[d.key()] = len(out.samples)
+		out.samples = append(out.samples, d)
+	}
+	return out
+}
+
+// WriteText renders the snapshot as an aligned two-column table, one
+// series per line (the -metrics output of cmd/rangeamp). Histograms
+// print their count and sum.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	if s == nil || len(s.samples) == 0 {
+		_, err := fmt.Fprintln(w, "(no metrics)")
+		return err
+	}
+	type line struct{ key, val string }
+	lines := make([]line, 0, len(s.samples))
+	width := 0
+	for _, sm := range s.samples {
+		var val string
+		switch sm.Kind {
+		case KindHistogram:
+			val = fmt.Sprintf("count=%d sum=%d", sm.Value, sm.Sum)
+		default:
+			val = fmt.Sprintf("%d", sm.Value)
+		}
+		k := sm.key()
+		if len(k) > width {
+			width = len(k)
+		}
+		lines = append(lines, line{k, val})
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].key < lines[j].key })
+	for _, l := range lines {
+		if _, err := fmt.Fprintf(w, "%-*s  %s\n", width, l.key, l.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}

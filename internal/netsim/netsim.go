@@ -17,6 +17,8 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/metrics"
 )
 
 // DefaultWindow is the default per-direction in-flight byte window,
@@ -47,16 +49,43 @@ const (
 	perConnOverheadDir = 200  // SYN/ACK/FIN exchange, per direction
 )
 
-// Segment aggregates traffic for one hop of the topology.
+// Segment aggregates traffic for one hop of the topology. Its counts
+// are mirrored into the process-wide metrics registry under the
+// segment's name, so the same additions that Probe diffs per run are
+// continuously visible on /metrics; Reset zeroes only the per-segment
+// counters, never the registry (which is cumulative by design).
 type Segment struct {
 	Name  string
 	up    atomic.Int64
 	down  atomic.Int64
 	conns atomic.Int64
+
+	// Registry series handles, resolved once at construction so the
+	// per-byte hot path is two atomic adds and no allocation. All are
+	// nil-safe, covering zero-value Segments.
+	mUp, mDown                 *metrics.Counter
+	mOpened, mClosed, mAborted *metrics.Counter
 }
 
 // NewSegment returns a named, zeroed segment.
-func NewSegment(name string) *Segment { return &Segment{Name: name} }
+func NewSegment(name string) *Segment {
+	seg := metrics.L("segment", name)
+	return &Segment{
+		Name: name,
+		mUp: metrics.Default.Counter("netsim_segment_bytes_total",
+			"Application bytes transferred per segment and direction.",
+			seg, metrics.L("direction", "up")),
+		mDown: metrics.Default.Counter("netsim_segment_bytes_total",
+			"Application bytes transferred per segment and direction.",
+			seg, metrics.L("direction", "down")),
+		mOpened: metrics.Default.Counter("netsim_conns_opened_total",
+			"Connections opened per segment.", seg),
+		mClosed: metrics.Default.Counter("netsim_conns_closed_total",
+			"Connections cleanly closed per segment.", seg),
+		mAborted: metrics.Default.Counter("netsim_conns_aborted_total",
+			"Connections whose closer discarded unread inbound bytes per segment (mid-transfer cut).", seg),
+	}
+}
 
 // Traffic returns the current byte counts.
 func (s *Segment) Traffic() Traffic {
@@ -114,6 +143,20 @@ func (s *Segment) AddUp(n int) { s.addUp(n) }
 func (s *Segment) AddConn() {
 	if s != nil {
 		s.conns.Add(1)
+		s.mOpened.Inc()
+	}
+}
+
+// noteClosed records a connection teardown, aborted meaning in-flight
+// bytes were discarded (the peer was cut off mid-transfer).
+func (s *Segment) noteClosed(aborted bool) {
+	if s == nil {
+		return
+	}
+	if aborted {
+		s.mAborted.Inc()
+	} else {
+		s.mClosed.Inc()
 	}
 }
 
@@ -123,12 +166,14 @@ func (s *Segment) AddDown(n int) { s.addDown(n) }
 func (s *Segment) addUp(n int) {
 	if s != nil && n > 0 {
 		s.up.Add(int64(n))
+		s.mUp.Add(int64(n))
 	}
 }
 
 func (s *Segment) addDown(n int) {
 	if s != nil && n > 0 {
 		s.down.Add(int64(n))
+		s.mDown.Add(int64(n))
 	}
 }
 
@@ -205,6 +250,13 @@ func (h *halfPipe) read(p []byte) (int, error) {
 	return n, nil
 }
 
+// undrained reports whether written bytes are still waiting to be read.
+func (h *halfPipe) undrained() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.buf) > 0
+}
+
 func (h *halfPipe) closeWrite() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -222,18 +274,35 @@ func (h *halfPipe) closeRead() {
 	h.writable.Broadcast()
 }
 
+// connState is shared by a Pipe's two endpoints so teardown is counted
+// once per connection, no matter which side closes first.
+type connState struct {
+	seg    *Segment
+	closed atomic.Bool
+}
+
 // endpoint is one side of a Pipe.
 type endpoint struct {
 	in  *halfPipe // peer writes here, we read
 	out *halfPipe // we write here, peer reads
+	st  *connState
 }
 
 func (e *endpoint) Read(p []byte) (int, error)  { return e.in.read(p) }
 func (e *endpoint) Write(p []byte) (int, error) { return e.out.write(p) }
 
 // Close tears down both directions. The peer observes EOF on data it
-// has not yet drained and ErrClosed on writes.
+// has not yet drained and ErrClosed on writes. The first close of
+// either endpoint classifies the connection: aborted when the closer
+// leaves inbound bytes unread (it cut the peer off mid-transfer, the
+// Azure first-connection case — TCP would RST), cleanly closed
+// otherwise. Undelivered outbound bytes do not count: a server
+// closing right after writing its response is a normal FIN-after-data
+// teardown regardless of how much the client has drained.
 func (e *endpoint) Close() error {
+	if e.st != nil && e.st.closed.CompareAndSwap(false, true) {
+		e.st.seg.noteClosed(e.in.undrained())
+	}
 	e.out.closeWrite()
 	e.in.closeRead()
 	return nil
@@ -250,10 +319,12 @@ func Pipe(seg *Segment, window int) (client, server Conn) {
 	}
 	if seg != nil {
 		seg.conns.Add(1)
+		seg.mOpened.Inc()
 	}
+	st := &connState{seg: seg}
 	c2s := newHalfPipe(window, seg.addUp)
 	s2c := newHalfPipe(window, seg.addDown)
-	return &endpoint{in: s2c, out: c2s}, &endpoint{in: c2s, out: s2c}
+	return &endpoint{in: s2c, out: c2s, st: st}, &endpoint{in: c2s, out: s2c, st: st}
 }
 
 // Network is an in-process address space of listeners.

@@ -8,6 +8,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 func TestPipeBasicTransfer(t *testing.T) {
@@ -127,6 +129,48 @@ func TestEarlyCloseStopsWriterWithinWindow(t *testing.T) {
 	down := seg.Traffic().Down
 	if down < 8192 || down > 8192+2*window {
 		t.Errorf("transferred %d bytes, want within one window past 8192", down)
+	}
+}
+
+func TestCloseClassification(t *testing.T) {
+	// Clean: the server writes its full response and closes before the
+	// client drains it — normal HTTP close-after-write teardown must not
+	// count as an abort even though the response is still in the pipe.
+	seg := NewSegment("class-test")
+	before := metrics.Default.Snapshot()
+	client, server := Pipe(seg, 0)
+	if _, err := server.Write(make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	server.Close()
+	if _, err := io.ReadAll(client); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	lbl := metrics.L("segment", "class-test")
+	d := metrics.Default.Snapshot().Delta(before)
+	if got := d.Value("netsim_conns_closed_total", lbl); got != 1 {
+		t.Errorf("closed delta = %d, want 1", got)
+	}
+	if got := d.Value("netsim_conns_aborted_total", lbl); got != 0 {
+		t.Errorf("aborted delta = %d, want 0", got)
+	}
+
+	// Aborted: the client closes with unread response bytes in its
+	// inbound pipe — a mid-transfer cut (the Azure first connection).
+	before = metrics.Default.Snapshot()
+	client, server = Pipe(seg, 0)
+	if _, err := server.Write(make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	server.Close()
+	d = metrics.Default.Snapshot().Delta(before)
+	if got := d.Value("netsim_conns_aborted_total", lbl); got != 1 {
+		t.Errorf("aborted delta = %d, want 1", got)
+	}
+	if got := d.Value("netsim_conns_closed_total", lbl); got != 0 {
+		t.Errorf("closed delta = %d, want 0", got)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/httpwire"
+	"repro/internal/metrics"
 	"repro/internal/multipart"
 	"repro/internal/netsim"
 	"repro/internal/ranges"
@@ -70,6 +71,14 @@ type Server struct {
 	wg      sync.WaitGroup
 	stopMu  sync.Mutex
 	stopped bool
+
+	// Registry series, resolved at construction. mResponses is keyed by
+	// the status codes the origin actually emits; unexpected codes fall
+	// into the "other" series.
+	mResponses map[int]*metrics.Counter
+	mOther     *metrics.Counter
+	mBodyBytes *metrics.Counter
+	hBodySize  *metrics.Histogram
 }
 
 // NewServer returns an origin serving store with cfg.
@@ -77,7 +86,23 @@ func NewServer(store *resource.Store, cfg Config) *Server {
 	if cfg.Now == nil {
 		cfg.Now = func() time.Time { return fixedDate }
 	}
-	return &Server{store: store, cfg: cfg}
+	const respName = "origin_responses_total"
+	const respHelp = "Responses produced by the origin, by status code."
+	mResponses := make(map[int]*metrics.Counter)
+	for _, code := range []int{200, 206, 304, 404, 405, 416} {
+		mResponses[code] = metrics.Default.Counter(respName, respHelp,
+			metrics.L("status", strconv.Itoa(code)))
+	}
+	return &Server{
+		store:      store,
+		cfg:        cfg,
+		mResponses: mResponses,
+		mOther:     metrics.Default.Counter(respName, respHelp, metrics.L("status", "other")),
+		mBodyBytes: metrics.Default.Counter("origin_response_bytes_total",
+			"Response body bytes produced by the origin."),
+		hBodySize: metrics.Default.Histogram("origin_response_size_bytes",
+			"Distribution of origin response body sizes."),
+	}
 }
 
 // Log returns a copy of the received-request log.
@@ -157,6 +182,20 @@ func (s *Server) ServeConn(conn netsim.Conn) {
 // Handle produces the response for one request. It is exported so tests
 // and in-process harnesses can exercise origin logic without a transport.
 func (s *Server) Handle(req *httpwire.Request) *httpwire.Response {
+	resp := s.handle(req)
+	if m := s.mResponses[resp.StatusCode]; m != nil {
+		m.Inc()
+	} else {
+		s.mOther.Inc()
+	}
+	n := int64(len(resp.Body))
+	s.mBodyBytes.Add(n)
+	s.hBodySize.Observe(n)
+	return resp
+}
+
+// handle is the request pipeline body.
+func (s *Server) handle(req *httpwire.Request) *httpwire.Response {
 	s.record(req)
 	if req.Method != "GET" && req.Method != "HEAD" {
 		return s.errorResponse(405, "method not allowed")

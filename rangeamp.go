@@ -26,8 +26,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/measure"
+	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/resource"
+	"repro/internal/trace"
 	"repro/internal/vendor"
 )
 
@@ -74,7 +76,9 @@ type (
 	ExperimentResult = exp.Result
 )
 
-// Topology construction and attack execution.
+// Topology construction and attack execution. Each Run* has a
+// context-complete Run*Context form honouring cancellation between
+// attack hops; the plain names run under context.Background().
 var (
 	NewSBRTopology = core.NewSBRTopology
 	NewOBRTopology = core.NewOBRTopology
@@ -88,9 +92,52 @@ var (
 	PlanMaxN       = core.PlanMaxN
 	OBRFirstToken  = core.OBRFirstToken
 
+	RunSBRContext      = core.RunSBRContext
+	RunOBRContext      = core.RunOBRContext
+	RunSBRFloodContext = core.RunSBRFloodContext
+
 	// BuildOverlappingRange renders "bytes=<first>,0-,0-,…" with n ranges.
 	BuildOverlappingRange = core.BuildOverlappingRange
 )
+
+// Observability: the per-request trace log (SBROptions.Trace) and the
+// process-wide metrics registry every engine reports into.
+type (
+	// TraceLog is a per-request event sink the engines append to.
+	TraceLog = trace.Log
+	// TraceEvent is one recorded engine step.
+	TraceEvent = trace.Event
+	// TraceKind classifies a TraceEvent.
+	TraceKind = trace.Kind
+
+	// Metrics is a registry of counters, gauges and histograms.
+	Metrics = metrics.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry, diffable
+	// with its Delta method the way measure probes diff segments.
+	MetricsSnapshot = metrics.Snapshot
+	// MetricsSample is one series' state inside a MetricsSnapshot.
+	MetricsSample = metrics.Sample
+	// MetricsLabel is one key=value dimension of a metric series.
+	MetricsLabel = metrics.Label
+)
+
+// Trace event kinds emitted by the engines.
+const (
+	TraceRequest   = trace.KindRequest
+	TraceRejected  = trace.KindRejected
+	TraceCacheHit  = trace.KindCacheHit
+	TraceCacheMiss = trace.KindCacheMiss
+	TraceUpstream  = trace.KindUpstream
+	TraceRelay     = trace.KindRelay
+	TraceReply     = trace.KindReply
+)
+
+// NewTraceLog returns an empty trace log to hang off SBROptions.Trace.
+func NewTraceLog() *TraceLog { return trace.New() }
+
+// DefaultMetrics is the process-wide registry the simulation engines
+// record into; cmd/origind and cmd/cdnsim expose it at /metrics.
+var DefaultMetrics = metrics.Default
 
 // Experiment entry points (one per paper table/figure).
 var (

@@ -1,6 +1,11 @@
 package rangeamp
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
 
 // The root package is a facade; these tests exercise the public API
 // surface the examples and README rely on.
@@ -74,6 +79,80 @@ func TestMitigationConstructors(t *testing.T) {
 		if m.Name == base.Name {
 			t.Errorf("mitigated profile %q did not rename", m.Name)
 		}
+	}
+}
+
+func TestPublicContextFlow(t *testing.T) {
+	store := NewStore()
+	store.AddSynthetic("/video.bin", 1<<20, "application/octet-stream")
+	topo, err := NewSBRTopology(Cloudflare(), store, SBROptions{OriginRangeSupport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+
+	result, err := RunSBRContext(context.Background(), topo, "/video.bin", 1<<20, "ctx-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := result.Amplification.Factor(); f < 500 {
+		t.Errorf("factor = %.0f, want > 500 at 1MB", f)
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunSBRContext(cancelled, topo, "/video.bin", 1<<20, "ctx-dead"); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled RunSBRContext err = %v", err)
+	}
+	if _, err := RunSBRFloodContext(cancelled, topo, "/video.bin", 1<<20, 2, 2); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled RunSBRFloodContext err = %v", err)
+	}
+}
+
+func TestPublicTraceSurface(t *testing.T) {
+	log := NewTraceLog()
+	store := NewStore()
+	store.AddSynthetic("/video.bin", 64<<10, "application/octet-stream")
+	topo, err := NewSBRTopology(Cloudflare(), store, SBROptions{OriginRangeSupport: true, Trace: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+	if _, err := RunSBR(topo, "/video.bin", 64<<10, "trace-test"); err != nil {
+		t.Fatal(err)
+	}
+	if log.Count(TraceRequest) == 0 || log.Count(TraceUpstream) == 0 {
+		t.Errorf("trace log missing events: %s", log)
+	}
+	var ev TraceEvent = log.Events()[0]
+	var k TraceKind = ev.Kind
+	if k != TraceRequest {
+		t.Errorf("first event kind = %q", k)
+	}
+}
+
+func TestPublicMetricsSurface(t *testing.T) {
+	before := DefaultMetrics.Snapshot()
+	store := NewStore()
+	store.AddSynthetic("/video.bin", 64<<10, "application/octet-stream")
+	topo, err := NewSBRTopology(Cloudflare(), store, SBROptions{OriginRangeSupport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+	if _, err := RunSBR(topo, "/video.bin", 64<<10, "metrics-test"); err != nil {
+		t.Fatal(err)
+	}
+	var d *MetricsSnapshot = DefaultMetrics.Snapshot().Delta(before)
+	if got := d.Value("cdn_requests_total", MetricsLabel{Key: "vendor", Value: "cloudflare"}); got != 1 {
+		t.Errorf("cdn_requests_total delta = %d, want 1", got)
+	}
+	var b strings.Builder
+	if err := DefaultMetrics.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "# TYPE cdn_requests_total counter") {
+		t.Error("Prometheus exposition missing edge counter family")
 	}
 }
 
