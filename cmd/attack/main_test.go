@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/origin"
+	"repro/internal/resource"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+func TestRunUnknownMode(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-mode", "nonsense"}, &b); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestRunUnknownProto(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-proto", "h3"}, &b); err == nil {
+		t.Fatal("unknown proto accepted")
+	}
+}
+
+func TestRunUnknownVendors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-mode", "obr", "-fcdn", "nonsense"}, &b); err == nil {
+		t.Fatal("unknown fcdn accepted")
+	}
+	if err := run([]string{"-mode", "obr", "-bcdn", "nonsense"}, &b); err == nil {
+		t.Fatal("unknown bcdn accepted")
+	}
+}
+
+func TestRunBadMetricsAddr(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-metrics-addr", "256.256.256.256:bad"}, &b); err == nil {
+		t.Fatal("bad -metrics-addr accepted")
+	}
+}
+
+// startOrigin serves a real-TCP origin with one synthetic resource and
+// returns its address. Any HTTP/1.1 server works as the attack target;
+// the origin is the smallest one in the repo.
+func startOrigin(t *testing.T) string {
+	t.Helper()
+	store := resource.NewStore()
+	store.AddSynthetic("/blob.bin", 64<<10, "application/octet-stream")
+	srv := origin.NewServer(store, origin.Config{RangeSupport: true})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go transport.Serve(l, srv) //nolint:errcheck // dies with the listener
+	return l.Addr().String()
+}
+
+// TestSBRAgainstLiveOrigin drives the full client path — request
+// crafting, the counting send loop, client span recording, and the
+// Chrome trace export — against a live TCP server.
+func TestSBRAgainstLiveOrigin(t *testing.T) {
+	defer trace.Default.Configure(trace.Config{})
+	addr := startOrigin(t)
+	traceFile := filepath.Join(t.TempDir(), "attack.json")
+	var b strings.Builder
+	err := run([]string{
+		"-mode", "sbr", "-edge", addr, "-path", "/blob.bin",
+		"-vendor", "cloudflare", "-count", "2", "-trace-out", traceFile,
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Range: bytes=0-0") || !strings.Contains(out, "first response: HTTP 206") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &chrome); err != nil {
+		t.Fatalf("trace-out not Chrome JSON: %v", err)
+	}
+	// The origin runs in-process and shares trace.Default, so it joins
+	// the propagated trace: each request contributes a client span (with
+	// byte attrs) plus the origin's server span.
+	var spans, client int
+	for _, ev := range chrome.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		spans++
+		if ev.Args["status"] != float64(206) {
+			t.Errorf("span %s status = %v", ev.Name, ev.Args["status"])
+		}
+		if bd, ok := ev.Args["bytes_down"].(float64); ok {
+			client++
+			if bd <= 0 {
+				t.Errorf("span %s bytes_down = %v", ev.Name, bd)
+			}
+		}
+	}
+	if spans != 4 || client != 2 {
+		t.Errorf("spans = %d (client %d), want 4 (2): attacker + joined origin per -count", spans, client)
+	}
+}
+
+// TestOBRTracedRequestCarriesTraceparent pins the propagation contract
+// at the wire level: with tracing on, the request the client emits
+// carries a parseable traceparent header.
+func TestOBRTracedRequestCarriesTraceparent(t *testing.T) {
+	defer trace.Default.Configure(trace.Config{})
+	trace.Default.Configure(trace.Config{SampleEvery: 1})
+	addr := startOrigin(t)
+	var b strings.Builder
+	err := run([]string{
+		"-mode", "obr", "-edge", addr, "-path", "/blob.bin",
+		"-fcdn", "cloudflare", "-bcdn", "akamai", "-n", "3", "-trace-sample", "1",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := trace.Default.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("completed traces = %d, want 1", len(traces))
+	}
+	sp := traces[0].Root()
+	if sp == nil || sp.Node != "attacker" || !sp.Context().Valid() {
+		t.Fatalf("root span = %+v", sp)
+	}
+	if got := sp.Attr("range"); got != "bytes=0-,0-,0-" {
+		t.Errorf("range attr = %q", got)
+	}
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -80,5 +81,48 @@ func TestMetricsEndpointServesPrometheusText(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("scrape missing %q:\n%s", want, out)
 		}
+	}
+
+	// Drive one request through the edge (its upstream is unreachable,
+	// so the edge answers 502 — the span tree still completes), then
+	// check /debug/traces serves valid Chrome trace-event JSON.
+	if resp, err := http.Get(fmt.Sprintf("http://%s/x.bin", edgeAddr)); err == nil {
+		resp.Body.Close()
+	}
+	tresp, err := http.Get(fmt.Sprintf("http://%s/debug/traces", metricsAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if ct := tresp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("trace content type = %q", ct)
+	}
+	tbody, err := io.ReadAll(tresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(tbody, &chrome); err != nil {
+		t.Fatalf("/debug/traces is not valid Chrome trace JSON: %v\n%s", err, tbody)
+	}
+	if chrome.DisplayTimeUnit != "ms" || len(chrome.TraceEvents) == 0 {
+		t.Errorf("trace export empty or malformed: %+v", chrome)
+	}
+
+	// The text view renders the same ring as waterfalls.
+	wresp, err := http.Get(fmt.Sprintf("http://%s/debug/traces?format=text", metricsAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wresp.Body.Close()
+	wbody, _ := io.ReadAll(wresp.Body)
+	if !strings.Contains(string(wbody), "trace ") {
+		t.Errorf("waterfall view missing traces:\n%s", wbody)
 	}
 }

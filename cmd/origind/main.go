@@ -22,6 +22,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/origin"
 	"repro/internal/resource"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -40,18 +41,24 @@ func run(args []string) error {
 	h2Also := fs.Bool("h2", false, "serve HTTP/2 (prior-knowledge cleartext) on addr+1 as well")
 	noRanges := fs.Bool("no-ranges", false, "disable range support (the OBR origin configuration)")
 	maxRanges := fs.Int("max-ranges", 0, "cap ranges served per request (0 = unlimited)")
-	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (empty = off)")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics, /debug/pprof and /debug/traces on this address (empty = off)")
+	traceSample := fs.Int("trace-sample", 1, "record every Nth request as a span tree, served at /debug/traces (0 = tracing off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *traceSample > 0 {
+		trace.Default.Configure(trace.Config{SampleEvery: *traceSample})
+	}
 	if *metricsAddr != "" {
 		ml, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			return err
 		}
-		log.Printf("metrics on http://%s/metrics", ml.Addr())
-		go http.Serve(ml, metrics.NewDebugMux(metrics.Default)) //nolint:errcheck // dies with the process
+		mux := metrics.NewDebugMux(metrics.Default)
+		mux.Handle("/debug/traces", trace.Default.Handler())
+		log.Printf("metrics on http://%s/metrics, traces on /debug/traces", ml.Addr())
+		go http.Serve(ml, mux) //nolint:errcheck // dies with the process
 	}
 
 	store := resource.NewStore()

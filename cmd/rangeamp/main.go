@@ -17,6 +17,7 @@
 //	rangeamp -exp mitigation          # §VI-C mitigation ablation
 //	rangeamp -exp sbr -format json    # machine-readable JSON Lines output
 //	rangeamp -exp sbr -metrics        # also print the run's metrics delta
+//	rangeamp -exp sbr -trace-out t.json  # span trees of every attack request (Perfetto)
 //	rangeamp -list                    # registered experiments, one per line
 package main
 
@@ -33,6 +34,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/report"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -54,8 +56,17 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	outDir := fs.String("out", "", "also write each table as CSV into this directory")
 	parallel := fs.Int("parallel", 1, "max concurrent probe cells per experiment (and concurrent experiments under -exp all)")
 	list := fs.Bool("list", false, "list registered experiments and exit")
+	traceOut := fs.String("trace-out", "", "write the run's sampled request traces to this file (.json = Chrome trace-event for Perfetto/chrome://tracing, else text waterfalls)")
+	traceSample := fs.Int("trace-sample", 0, "record every Nth attack request as a span tree (0 = off; -trace-out implies 1)")
+	traceBuf := fs.Int("trace-buf", 512, "completed traces kept for -trace-out (oldest evicted first)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceOut != "" && *traceSample == 0 {
+		*traceSample = 1
+	}
+	if *traceSample > 0 {
+		trace.Default.Configure(trace.Config{SampleEvery: *traceSample, Capacity: *traceBuf})
 	}
 	if *format == "" {
 		*format = "text"
@@ -115,7 +126,30 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			return err
 		}
 	}
+	if *traceOut != "" {
+		return writeTraces(*traceOut)
+	}
 	return nil
+}
+
+// writeTraces exports the default tracer's completed-trace ring: Chrome
+// trace-event JSON for .json targets (loadable in Perfetto), text
+// waterfalls otherwise.
+func writeTraces(path string) error {
+	traces := trace.Default.Traces()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = trace.WriteChromeTrace(f, traces)
+	} else {
+		err = trace.WriteWaterfall(f, traces)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // emitResult renders one experiment's result to w and, with -out, each

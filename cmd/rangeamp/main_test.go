@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 func TestParseSizes(t *testing.T) {
@@ -262,6 +264,45 @@ func TestRunBadParallel(t *testing.T) {
 	var b strings.Builder
 	if err := run(context.Background(), []string{"-exp", "table3", "-parallel", "0"}, &b); err == nil {
 		t.Error("bad -parallel accepted")
+	}
+}
+
+func TestRunTraceOut(t *testing.T) {
+	defer trace.Default.Configure(trace.Config{}) // don't leak tracing into later tests
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "traces.json")
+	var b strings.Builder
+	if err := run(context.Background(), []string{"-exp", "sbr", "-sizes", "1", "-trace-out", jsonPath}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &chrome); err != nil {
+		t.Fatalf("trace-out is not Chrome trace JSON: %v", err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Fatal("trace export carries no events")
+	}
+
+	textPath := filepath.Join(dir, "traces.txt")
+	b.Reset()
+	if err := run(context.Background(), []string{"-exp", "sbr", "-sizes", "1", "-trace-out", textPath}, &b); err != nil {
+		t.Fatal(err)
+	}
+	text, err := os.ReadFile(textPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "attacker") {
+		t.Errorf("waterfall export missing attacker spans:\n%.400s", text)
 	}
 }
 

@@ -8,7 +8,6 @@ import (
 	"log"
 
 	rangeamp "repro"
-	"repro/internal/trace"
 )
 
 func main() {
@@ -27,9 +26,11 @@ func run() error {
 	store := rangeamp.NewStore()
 	store.AddSynthetic(path, size, "application/octet-stream")
 
-	events := trace.New()
+	// A tracer recording every request: each attack request becomes one
+	// attacker -> edge -> origin span tree.
+	tracer := rangeamp.NewTracer(rangeamp.TracerConfig{SampleEvery: 1})
 	topo, err := rangeamp.NewSBRTopology(rangeamp.Cloudflare(), store,
-		rangeamp.SBROptions{OriginRangeSupport: true, Trace: events})
+		rangeamp.SBROptions{OriginRangeSupport: true, Trace: tracer})
 	if err != nil {
 		return err
 	}
@@ -59,7 +60,9 @@ func run() error {
 		fmt.Printf("  %s %s  (%s)\n", entry.Method, entry.Target, rangeInfo)
 	}
 
-	fmt.Println("\nEdge trace:")
-	fmt.Print(events.String())
+	fmt.Println("\nRequest waterfall (one connected span tree per request):")
+	for _, tr := range tracer.Traces() {
+		fmt.Print(tr.Waterfall())
+	}
 	return nil
 }

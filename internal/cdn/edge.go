@@ -46,7 +46,7 @@ type Config struct {
 	Cache        *cache.Cache    // nil builds a default cache from the profile
 	DisableCache bool            // force every request to miss (malicious-customer config)
 	Inspector    Inspector       // optional request screening (nil = off)
-	Trace        *trace.Log      // optional event sink (nil = off)
+	Trace        *trace.Tracer   // span sink (nil = trace.Default, disabled unless configured)
 }
 
 // Edge is one CDN edge node.
@@ -59,7 +59,8 @@ type Edge struct {
 	disableCache bool
 	state        *vendor.EdgeState
 	inspector    Inspector
-	trace        *trace.Log
+	tracer       *trace.Tracer
+	node         string // span/trace node label, "<vendor>-edge"
 
 	// Per-vendor registry series, resolved once here so the request
 	// path is pure atomic adds.
@@ -85,6 +86,10 @@ func NewEdge(cfg Config) (*Edge, error) {
 	if c == nil {
 		c = cache.New(cache.Config{IncludeQueryInKey: true})
 	}
+	tracer := cfg.Trace
+	if tracer == nil {
+		tracer = trace.Default
+	}
 	vend := metrics.L("vendor", cfg.Profile.Name)
 	const rejectName = "cdn_rejections_total"
 	const rejectHelp = "Requests refused before any upstream traffic, by reason."
@@ -97,7 +102,8 @@ func NewEdge(cfg Config) (*Edge, error) {
 		disableCache: cfg.DisableCache || !cfg.Profile.CacheByDefault,
 		state:        vendor.NewEdgeState(),
 		inspector:    cfg.Inspector,
-		trace:        cfg.Trace,
+		tracer:       tracer,
+		node:         cfg.Profile.Name + "-edge",
 		mRequests: metrics.Default.Counter("cdn_requests_total",
 			"Requests handled by an edge, per vendor.", vend),
 		mRejectLimits:   metrics.Default.Counter(rejectName, rejectHelp, vend, metrics.L("reason", "limits")),
@@ -149,27 +155,45 @@ func (e *Edge) ServeConn(conn netsim.Conn) {
 }
 
 // Handle runs the full edge pipeline for one request, accounting the
-// request count and handling latency around the inner pipeline.
+// request count and handling latency around the inner pipeline. When
+// the tracer is enabled it opens this hop's server span, joining the
+// trace carried by the request's traceparent header (or rooting a new
+// one for un-contexted traffic).
 func (e *Edge) Handle(req *httpwire.Request) *httpwire.Response {
 	e.mRequests.Inc()
 	start := time.Now()
-	resp := e.handle(req)
+	var sp *trace.Span
+	if e.tracer.Enabled() {
+		sp = e.tracer.StartServer(trace.Extract(req.Headers), e.node, req.Method+" "+req.Target)
+		if sp.Recording() {
+			sp.SetAttr("vendor", e.profile.Name)
+			if v, ok := req.Headers.Get("Range"); ok {
+				sp.SetAttr("range", truncateNote(v))
+			}
+		}
+	}
+	resp := e.handle(req, sp)
+	if sp.Recording() {
+		sp.SetAttrInt("status", int64(resp.StatusCode))
+	}
+	sp.End()
 	e.hDuration.Observe(time.Since(start).Microseconds())
 	return resp
 }
 
-// handle is the edge pipeline body.
-func (e *Edge) handle(req *httpwire.Request) *httpwire.Response {
-	e.trace.Add(e.nodeName(), trace.KindRequest, "%s %s range=%s", req.Method, req.Target, headerOr(req, "Range", "-"))
+// handle is the edge pipeline body; sp is this hop's server span (nil
+// when the request is not being traced).
+func (e *Edge) handle(req *httpwire.Request, sp *trace.Span) *httpwire.Response {
+	sp.Eventf(trace.KindRequest, "%s %s range=%s", req.Method, req.Target, headerOr(req, "Range", "-"))
 	if err := e.profile.Limits.Check(req); err != nil {
-		e.trace.Add(e.nodeName(), trace.KindRejected, "header limits: %v", err)
-		e.mRejectLimits.Inc()
+		sp.Eventf(trace.KindRejected, "header limits: %v", err)
+		e.mRejectLimits.IncEx(sp.TraceIDString())
 		return e.errorResponse(httpwire.StatusHeaderTooLarge, err.Error())
 	}
 	if e.inspector != nil {
 		if malicious, reason := e.inspector.Screen(req); malicious {
-			e.trace.Add(e.nodeName(), trace.KindRejected, "detector: %s", reason)
-			e.mRejectDetector.Inc()
+			sp.Eventf(trace.KindRejected, "detector: %s", reason)
+			e.mRejectDetector.IncEx(sp.TraceIDString())
 			return e.errorResponse(403, "request blocked: "+reason)
 		}
 	}
@@ -187,8 +211,8 @@ func (e *Edge) handle(req *httpwire.Request) *httpwire.Response {
 	// traffic on them.
 	if e.profile.MultiRangeReply == vendor.ReplyReject &&
 		len(set) > 1 && set.OverlappingSpecs() {
-		e.trace.Add(e.nodeName(), trace.KindRejected, "overlapping ranges (reject policy)")
-		e.mRejectOverlap.Inc()
+		sp.Event(trace.KindRejected, "overlapping ranges (reject policy)")
+		e.mRejectOverlap.IncEx(sp.TraceIDString())
 		return e.errorResponse(httpwire.StatusBadRequest, "overlapping byte ranges rejected")
 	}
 
@@ -198,14 +222,14 @@ func (e *Edge) handle(req *httpwire.Request) *httpwire.Response {
 
 	if cacheable {
 		if obj, ok := e.cache.Get(req.Target); ok {
-			e.trace.Add(e.nodeName(), trace.KindCacheHit, "%s (%dB cached)", req.Target, obj.Size)
+			sp.Eventf(trace.KindCacheHit, "%s (%dB cached)", req.Target, obj.Size)
 			return e.replyFromObject(req, set, hasRange, &vendor.Object{
 				Body:         obj.Body,
 				CompleteSize: obj.Size,
 				ContentType:  obj.ContentType,
 			})
 		}
-		e.trace.Add(e.nodeName(), trace.KindCacheMiss, "%s", req.Target)
+		sp.Eventf(trace.KindCacheMiss, "%s", req.Target)
 	}
 
 	rc := &vendor.RequestContext{
@@ -217,14 +241,14 @@ func (e *Edge) handle(req *httpwire.Request) *httpwire.Response {
 		State:    e.state,
 		Key:      key,
 	}
-	up := &upstreamFetcher{edge: e, clientReq: req}
+	up := &upstreamFetcher{edge: e, clientReq: req, span: sp}
 	ret, err := e.profile.Behaviour(up, rc, &e.profile.Options)
 	if err != nil {
 		return e.errorResponse(httpwire.StatusBadGateway, err.Error())
 	}
 
 	if ret.Relay != nil {
-		e.trace.Add(e.nodeName(), trace.KindRelay, "HTTP %d, %dB body", ret.Relay.StatusCode, len(ret.Relay.Body))
+		sp.Eventf(trace.KindRelay, "HTTP %d, %dB body", ret.Relay.StatusCode, len(ret.Relay.Body))
 		return e.relay(ret.Relay)
 	}
 
@@ -236,13 +260,10 @@ func (e *Edge) handle(req *httpwire.Request) *httpwire.Response {
 			Size:        obj.CompleteSize,
 		})
 	}
-	e.trace.Add(e.nodeName(), trace.KindReply, "object offset=%d size=%d complete=%v",
+	sp.Eventf(trace.KindReply, "object offset=%d size=%d complete=%v",
 		obj.Offset, obj.CompleteSize, obj.Complete())
 	return e.replyFromObject(req, set, hasRange, obj)
 }
-
-// nodeName labels this edge in traces.
-func (e *Edge) nodeName() string { return e.profile.Name + "-edge" }
 
 // headerOr returns a header value or a placeholder.
 func headerOr(req *httpwire.Request, name, placeholder string) string {
@@ -300,13 +321,18 @@ func (e *Edge) errorResponse(code int, msg string) *httpwire.Response {
 type upstreamFetcher struct {
 	edge      *Edge
 	clientReq *httpwire.Request
+	span      *trace.Span // the edge's server span; fetches become its children
 }
 
 var _ vendor.Upstream = (*upstreamFetcher)(nil)
 
 // Fetch issues one back-to-origin request. Each fetch opens its own
 // connection so the paper's per-connection traffic observations
-// (Azure's two cdn-origin connections) hold.
+// (Azure's two cdn-origin connections) hold. Under tracing, each fetch
+// is a child span carrying the forwarded Range and the segment's byte
+// delta — the per-hop view that makes Laziness (range forwarded, small
+// fetch) vs Deletion (range deleted, full-object fetch) subtrees
+// visibly different.
 func (u *upstreamFetcher) Fetch(rangeHeader string, maxBody int64) (*httpwire.Response, bool, error) {
 	req := u.clientReq.Clone()
 	req.Headers.Del("Range")
@@ -319,17 +345,53 @@ func (u *upstreamFetcher) Fetch(rangeHeader string, maxBody int64) (*httpwire.Re
 	if rangeHeader != "" {
 		rangeNote = truncateNote(rangeHeader)
 	}
-	u.edge.trace.Add(u.edge.nodeName(), trace.KindUpstream, "-> %s range=%s maxBody=%d",
+	u.span.Eventf(trace.KindUpstream, "-> %s range=%s maxBody=%d",
 		u.edge.upstreamAddr, rangeNote, maxBody)
+
+	var usp *trace.Span
+	var before netsim.Traffic
+	if u.span.Recording() {
+		usp = u.span.StartChild("fetch " + u.edge.upstreamAddr)
+		usp.SetAttr("range", rangeNote)
+		if seg := u.edge.upstreamSeg; seg != nil {
+			usp.SetAttr("segment", seg.Name)
+		}
+		before = u.edge.upstreamSeg.Traffic()
+	}
+	// Replace (or, untraced, strip) the inbound traceparent so the next
+	// hop parents to this fetch, never to a stale upstream context.
+	trace.Inject(usp, &req.Headers)
+	done := func(status int, truncated bool, err error) {
+		if !usp.Recording() {
+			return
+		}
+		d := u.edge.upstreamSeg.Since(before)
+		usp.SetAttrInt("bytes_up", d.Up)
+		usp.SetAttrInt("bytes_down", d.Down)
+		if status != 0 {
+			usp.SetAttrInt("status", int64(status))
+		}
+		if truncated {
+			usp.SetAttrInt("truncated", 1)
+		}
+		if err != nil {
+			usp.SetAttr("error", err.Error())
+		}
+		usp.End()
+	}
 
 	u.edge.mUpstream.Inc()
 	conn, err := u.edge.dialer.Dial(u.edge.upstreamAddr, u.edge.upstreamSeg)
 	if err != nil {
-		return nil, false, fmt.Errorf("dial upstream %s: %w", u.edge.upstreamAddr, err)
+		err = fmt.Errorf("dial upstream %s: %w", u.edge.upstreamAddr, err)
+		done(0, false, err)
+		return nil, false, err
 	}
 	defer conn.Close()
 	if _, err := req.WriteTo(conn); err != nil {
-		return nil, false, fmt.Errorf("write upstream request: %w", err)
+		err = fmt.Errorf("write upstream request: %w", err)
+		done(0, false, err)
+		return nil, false, err
 	}
 	limit := int64(-1)
 	if maxBody > 0 {
@@ -337,10 +399,13 @@ func (u *upstreamFetcher) Fetch(rangeHeader string, maxBody int64) (*httpwire.Re
 	}
 	resp, truncated, err := httpwire.ReadResponseLimited(bufio.NewReader(conn), httpwire.Limits{}, limit)
 	if err != nil {
-		return nil, false, fmt.Errorf("read upstream response: %w", err)
+		err = fmt.Errorf("read upstream response: %w", err)
+		done(0, false, err)
+		return nil, false, err
 	}
 	if truncated {
-		u.edge.mTruncations.Inc()
+		u.edge.mTruncations.IncEx(u.span.TraceIDString())
 	}
+	done(resp.StatusCode, truncated, nil)
 	return resp, truncated, nil
 }

@@ -416,42 +416,67 @@ func TestEdgeTracing(t *testing.T) {
 	go osrv.Serve(originL)
 	defer originL.Close()
 
-	log := trace.New()
+	tracer := trace.New(trace.Config{SampleEvery: 1})
 	edge, err := NewEdge(Config{
 		Profile: vendor.Cloudflare(), Network: net,
 		UpstreamAddr: "origin:80", UpstreamSeg: netsim.NewSegment("s"),
-		Trace: log,
+		Trace: tracer,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 
+	// No inbound traceparent: the edge span becomes a local root and the
+	// trace completes when Handle returns.
 	req := httpwire.NewRequest("GET", "/target.bin?cb=1", "h")
 	req.Headers.Add("Range", "bytes=0-0")
 	edge.Handle(req)
 
-	if log.Count(trace.KindRequest) != 1 {
-		t.Errorf("request events: %d", log.Count(trace.KindRequest))
+	traces := tracer.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("completed traces = %d, want 1", len(traces))
 	}
-	if log.Count(trace.KindCacheMiss) != 1 {
-		t.Errorf("cache-miss events: %d", log.Count(trace.KindCacheMiss))
+	tr := traces[0]
+	root := tr.Root()
+	if root == nil || root.Node != "cloudflare-edge" {
+		t.Fatalf("root span = %+v", root)
 	}
-	if log.Count(trace.KindUpstream) != 1 {
-		t.Errorf("upstream events: %d", log.Count(trace.KindUpstream))
+	if root.EventCount(trace.KindRequest) != 1 {
+		t.Errorf("request events: %d", root.EventCount(trace.KindRequest))
 	}
-	if log.Count(trace.KindReply) != 1 {
-		t.Errorf("reply events: %d", log.Count(trace.KindReply))
+	if root.EventCount(trace.KindCacheMiss) != 1 {
+		t.Errorf("cache-miss events: %d", root.EventCount(trace.KindCacheMiss))
 	}
-	out := log.String()
-	if !strings.Contains(out, "range=(deleted)") {
-		t.Errorf("deletion not visible in trace:\n%s", out)
+	if root.EventCount(trace.KindUpstream) != 1 {
+		t.Errorf("upstream events: %d", root.EventCount(trace.KindUpstream))
+	}
+	if root.EventCount(trace.KindReply) != 1 {
+		t.Errorf("reply events: %d", root.EventCount(trace.KindReply))
+	}
+	// Cloudflare deletes the Range header upstream; the deletion must be
+	// visible on the upstream fetch span.
+	if len(tr.Spans) != 2 {
+		t.Fatalf("span count = %d, want edge+fetch:\n%s", len(tr.Spans), tr.Tree())
+	}
+	fetch := tr.Spans[1]
+	if fetch.Parent != root.ID || fetch.Attr("range") != "(deleted)" {
+		t.Errorf("upstream fetch span wrong (parent=%v range=%q):\n%s",
+			fetch.Parent, fetch.Attr("range"), tr.Tree())
+	}
+	if fetch.AttrInt("bytes_down") <= 0 || fetch.AttrInt("status") != 200 {
+		t.Errorf("fetch span attrs: bytes_down=%d status=%d",
+			fetch.AttrInt("bytes_down"), fetch.AttrInt("status"))
 	}
 
-	// A second identical request hits the cache.
-	log.Reset()
+	// A second identical request hits the cache: no upstream child span.
 	edge.Handle(req.Clone())
-	if log.Count(trace.KindCacheHit) != 1 || log.Count(trace.KindUpstream) != 0 {
-		t.Errorf("cache hit trace wrong:\n%s", log.String())
+	traces = tracer.Traces()
+	if len(traces) != 2 {
+		t.Fatalf("completed traces after hit = %d, want 2", len(traces))
+	}
+	hit := traces[1]
+	if hit.Root().EventCount(trace.KindCacheHit) != 1 || len(hit.Spans) != 1 {
+		t.Errorf("cache hit trace wrong:\n%s", hit.Tree())
 	}
 }
 

@@ -114,8 +114,19 @@ func OBRFirstToken(fcdnName string) string {
 // BCDN's inbound limit on the forwarded request, and the BCDN's
 // range-count cap (Azure's 64).
 func PlanMaxN(fcdn, bcdn *vendor.Profile, target string) OBRCase {
+	return planMaxN(fcdn, bcdn, target, nil)
+}
+
+// planMaxN is PlanMaxN with extra headers the client request will carry
+// beyond the canonical attack shape. Vendor header limits count every
+// field, so a traced OBR request must budget for its traceparent header
+// or the planned n would push the real request over the limit.
+func planMaxN(fcdn, bcdn *vendor.Profile, target string, extra httpwire.Headers) OBRCase {
 	firstToken := OBRFirstToken(fcdn.Name)
 	client := NewAttackRequest(target)
+	for _, h := range extra {
+		client.Headers.Add(h.Name, h.Value)
+	}
 	n := fcdn.Limits.MaxOverlappingRanges(client, firstToken)
 
 	forwarded := client.Clone()

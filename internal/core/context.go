@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/httpwire"
 	"repro/internal/measure"
+	"repro/internal/netsim"
 	"repro/internal/origin"
+	"repro/internal/trace"
 )
 
 // This file holds the context-aware attack entry points. Each attack
@@ -30,7 +33,9 @@ func RunSBRContext(ctx context.Context, t *SBRTopology, path string, resourceSiz
 		}
 		req := NewAttackRequest(target)
 		req.Headers.Add("Range", exploit.RangeHeader)
+		sp, before := startClientSpan(t.Trace, t.ClientSeg, target, exploit.RangeHeader, &req.Headers)
 		resp, err := origin.Fetch(t.Net, t.EdgeAddr, t.ClientSeg, req)
+		endClientSpan(sp, t.ClientSeg, before, resp, err)
 		if err != nil {
 			return nil, fmt.Errorf("sbr request %d: %w", i, err)
 		}
@@ -40,23 +45,88 @@ func RunSBRContext(ctx context.Context, t *SBRTopology, path string, resourceSiz
 	return result, nil
 }
 
+// startClientSpan roots a trace at the attack client (node "attacker")
+// when the topology's tracer samples this request, injecting the
+// traceparent header so the edge and origin hops join the same tree.
+// It snapshots the client segment so endClientSpan can attribute this
+// request's wire bytes to the span.
+func startClientSpan(tr *trace.Tracer, seg *netsim.Segment, target, rangeHeader string, hs *httpwire.Headers) (*trace.Span, netsim.Traffic) {
+	sp := tr.StartRoot("attacker", target)
+	if !sp.Recording() {
+		return nil, netsim.Traffic{}
+	}
+	if rangeHeader != "" {
+		if len(rangeHeader) > 48 {
+			rangeHeader = rangeHeader[:45] + "..."
+		}
+		sp.SetAttr("range", rangeHeader)
+	}
+	if seg != nil {
+		sp.SetAttr("segment", seg.Name)
+	}
+	trace.Inject(sp, hs)
+	return sp, seg.Traffic()
+}
+
+// endClientSpan records the request's outcome and per-segment byte
+// delta on the client span and closes it (completing the trace: the
+// downstream hops all ended before their response bytes reached us).
+func endClientSpan(sp *trace.Span, seg *netsim.Segment, before netsim.Traffic, resp *httpwire.Response, err error) {
+	if !sp.Recording() {
+		return
+	}
+	d := seg.Since(before)
+	sp.SetAttrInt("bytes_up", d.Up)
+	sp.SetAttrInt("bytes_down", d.Down)
+	if resp != nil {
+		sp.SetAttrInt("status", int64(resp.StatusCode))
+	}
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
+}
+
 // RunOBRContext is RunOBR honouring ctx: a context already cancelled
 // when the attack request would be sent returns ctx.Err().
 func RunOBRContext(ctx context.Context, t *OBRTopology, path string, n int) (*OBRResult, error) {
-	plan := PlanMaxN(t.FCDN.Profile(), t.BCDN.Profile(), path)
+	// The sampling decision comes first: a traced request carries a
+	// traceparent header, and the max-n planner must budget for it (the
+	// vendor limits count every header field).
+	sp := t.Trace.StartRoot("attacker", path)
+	var extra httpwire.Headers
+	if sp.Recording() {
+		extra.Add(trace.Header, sp.Context().HeaderValue())
+	}
+	plan := planMaxN(t.FCDN.Profile(), t.BCDN.Profile(), path, extra)
 	if n > 0 {
 		plan.N = n
 	}
 	if plan.N < 1 {
+		sp.End()
 		return nil, fmt.Errorf("obr: no usable n for %s->%s", t.FCDN.Profile().Name, t.BCDN.Profile().Name)
 	}
 	if err := ctx.Err(); err != nil {
+		sp.End()
 		return nil, fmt.Errorf("obr request: %w", err)
 	}
 	probe := measure.NewProbe(t.FcdnBcdnSeg, t.BcdnOriginSeg)
 	req := NewAttackRequest(path)
-	req.Headers.Add("Range", BuildOverlappingRange(plan.FirstToken, plan.N))
+	rangeHeader := BuildOverlappingRange(plan.FirstToken, plan.N)
+	req.Headers.Add("Range", rangeHeader)
+	var before netsim.Traffic
+	if sp.Recording() {
+		sp.SetAttrInt("n", int64(plan.N))
+		if len(rangeHeader) > 48 {
+			rangeHeader = rangeHeader[:45] + "..."
+		}
+		sp.SetAttr("range", rangeHeader)
+		sp.SetAttr("segment", t.ClientSeg.Name)
+		trace.Inject(sp, &req.Headers)
+		before = t.ClientSeg.Traffic()
+	}
 	resp, err := origin.Fetch(t.Net, t.FCDNAddr, t.ClientSeg, req)
+	endClientSpan(sp, t.ClientSeg, before, resp, err)
 	if err != nil {
 		return nil, fmt.Errorf("obr request: %w", err)
 	}
@@ -109,7 +179,26 @@ func RunSBRFloodContext(ctx context.Context, t *SBRTopology, path string, resour
 					}
 					req := NewAttackRequest(target)
 					req.Headers.Add("Range", exploit.RangeHeader)
+					// Flood workers trace too (the nil path is free and
+					// head sampling keeps the recorded share at 1/N),
+					// but skip per-span byte attribution: workers share
+					// the client segment, so a per-request delta would
+					// interleave other workers' bytes.
+					sp := t.Trace.StartRoot("attacker", target)
+					if sp.Recording() {
+						sp.SetAttr("range", exploit.RangeHeader)
+						trace.Inject(sp, &req.Headers)
+					}
 					resp, err := origin.Fetch(t.Net, t.EdgeAddr, t.ClientSeg, req)
+					if sp.Recording() {
+						if resp != nil {
+							sp.SetAttrInt("status", int64(resp.StatusCode))
+						}
+						if err != nil {
+							sp.SetAttr("error", err.Error())
+						}
+					}
+					sp.End()
 					mu.Lock()
 					requests++
 					switch {

@@ -38,6 +38,10 @@ type SBRTopology struct {
 	ClientSeg *netsim.Segment
 	OriginSeg *netsim.Segment
 
+	// Trace is the tracer every node of the topology reports spans to
+	// (the attack runners root their client spans here too).
+	Trace *trace.Tracer
+
 	EdgeAddr  string
 	listeners []*netsim.Listener
 }
@@ -46,7 +50,10 @@ type SBRTopology struct {
 type SBROptions struct {
 	OriginRangeSupport bool // default true (the SBR origin supports ranges)
 	DisableEdgeCache   bool
-	Trace              *trace.Log // optional per-request event sink
+	// Trace is the span sink shared by attacker, edge and origin; nil
+	// means trace.Default (disabled unless configured), so topologies
+	// pay nothing for tracing until someone opts in.
+	Trace *trace.Tracer
 }
 
 // NewSBRTopology stands up origin and edge servers for one profile.
@@ -55,15 +62,20 @@ func NewSBRTopology(profile *vendor.Profile, store *resource.Store, opts SBROpti
 	if store == nil {
 		store = resource.NewStore()
 	}
+	tracer := opts.Trace
+	if tracer == nil {
+		tracer = trace.Default
+	}
 	t := &SBRTopology{
 		Net:       netsim.NewNetwork(),
 		Store:     store,
 		Profile:   profile,
 		ClientSeg: netsim.NewSegment("client-cdn"),
 		OriginSeg: netsim.NewSegment("cdn-origin"),
+		Trace:     tracer,
 		EdgeAddr:  edgeAddr,
 	}
-	t.Origin = origin.NewServer(store, origin.Config{RangeSupport: opts.OriginRangeSupport})
+	t.Origin = origin.NewServer(store, origin.Config{RangeSupport: opts.OriginRangeSupport, Trace: tracer})
 	originL, err := t.Net.Listen(originAddr)
 	if err != nil {
 		return nil, fmt.Errorf("listen origin: %w", err)
@@ -77,7 +89,7 @@ func NewSBRTopology(profile *vendor.Profile, store *resource.Store, opts SBROpti
 		UpstreamAddr: originAddr,
 		UpstreamSeg:  t.OriginSeg,
 		DisableCache: opts.DisableEdgeCache,
-		Trace:        opts.Trace,
+		Trace:        tracer,
 	})
 	if err != nil {
 		t.Close()
@@ -113,8 +125,19 @@ type OBRTopology struct {
 	FcdnBcdnSeg   *netsim.Segment // FCDN <-> BCDN (the OBR victim segment)
 	BcdnOriginSeg *netsim.Segment // BCDN <-> origin
 
+	// Trace is the tracer shared by attacker, both edges and the origin,
+	// so one OBR request yields a four-node span tree.
+	Trace *trace.Tracer
+
 	FCDNAddr  string
 	listeners []*netsim.Listener
+}
+
+// OBROptions tune the OBR topology.
+type OBROptions struct {
+	// Trace is the span sink shared by every node; nil means
+	// trace.Default.
+	Trace *trace.Tracer
 }
 
 // NewOBRTopology cascades fcdn in front of bcdn in front of a
@@ -122,8 +145,17 @@ type OBRTopology struct {
 // The fcdn profile is put into its OBR-capable position (Cloudflare's
 // Bypass rule) automatically.
 func NewOBRTopology(fcdn, bcdn *vendor.Profile, store *resource.Store) (*OBRTopology, error) {
+	return NewOBRTopologyOpts(fcdn, bcdn, store, OBROptions{})
+}
+
+// NewOBRTopologyOpts is NewOBRTopology with explicit options.
+func NewOBRTopologyOpts(fcdn, bcdn *vendor.Profile, store *resource.Store, opts OBROptions) (*OBRTopology, error) {
 	if store == nil {
 		store = resource.NewStore()
+	}
+	tracer := opts.Trace
+	if tracer == nil {
+		tracer = trace.Default
 	}
 	if fcdn.Name == "cloudflare" {
 		fcdn = fcdn.Clone()
@@ -135,11 +167,12 @@ func NewOBRTopology(fcdn, bcdn *vendor.Profile, store *resource.Store) (*OBRTopo
 		ClientSeg:     netsim.NewSegment("client-fcdn"),
 		FcdnBcdnSeg:   netsim.NewSegment("fcdn-bcdn"),
 		BcdnOriginSeg: netsim.NewSegment("bcdn-origin"),
+		Trace:         tracer,
 		FCDNAddr:      fcdnAddr,
 	}
 	// The attacker disables range support on their origin so it always
 	// answers 200 with the full resource (§IV-C).
-	t.Origin = origin.NewServer(store, origin.Config{RangeSupport: false})
+	t.Origin = origin.NewServer(store, origin.Config{RangeSupport: false, Trace: tracer})
 	originL, err := t.Net.Listen(originAddr)
 	if err != nil {
 		return nil, fmt.Errorf("listen origin: %w", err)
@@ -152,6 +185,7 @@ func NewOBRTopology(fcdn, bcdn *vendor.Profile, store *resource.Store) (*OBRTopo
 		Network:      t.Net,
 		UpstreamAddr: originAddr,
 		UpstreamSeg:  t.BcdnOriginSeg,
+		Trace:        tracer,
 	})
 	if err != nil {
 		t.Close()
@@ -171,6 +205,7 @@ func NewOBRTopology(fcdn, bcdn *vendor.Profile, store *resource.Store) (*OBRTopo
 		UpstreamAddr: bcdnAddr,
 		UpstreamSeg:  t.FcdnBcdnSeg,
 		DisableCache: true, // the attacker's FCDN distribution does not cache
+		Trace:        tracer,
 	})
 	if err != nil {
 		t.Close()

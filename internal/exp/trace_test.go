@@ -1,0 +1,206 @@
+package exp
+
+// Span-tree pinning for the tracer across the SBR pipeline. The golden
+// files under testdata/golden/trace-*.txt pin the rendered tree for one
+// SBR run per forwarding class: a Laziness vendor relays the attack
+// Range upstream (small fetch), a Deletion vendor strips it (full-object
+// fetch), and KeyCDN's Repeat=2 exploited case produces a lazy trace
+// followed by a deletion trace. Regenerate with UPDATE_TRACE_GOLDEN=1.
+//
+// The byte-sum test is the issue's acceptance check: the per-span
+// bytes_up/bytes_down attributes, grouped by segment, must equal the
+// run's netsim_segment_bytes_total delta exactly.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/resource"
+	"repro/internal/trace"
+	"repro/internal/vendor"
+)
+
+// runTracedSBR performs one RunSBR against prof with a dedicated
+// always-sampling tracer and returns the completed traces.
+func runTracedSBR(t *testing.T, prof *vendor.Profile, size int64) []*trace.Trace {
+	t.Helper()
+	tracer := trace.New(trace.Config{SampleEvery: 1})
+	store := resource.NewStore()
+	store.AddSynthetic("/target.bin", size, "application/octet-stream")
+	topo, err := core.NewSBRTopology(prof, store, core.SBROptions{OriginRangeSupport: true, Trace: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+	if _, err := core.RunSBR(topo, "/target.bin", size, "t0"); err != nil {
+		t.Fatal(err)
+	}
+	return tracer.Traces()
+}
+
+func TestTraceGoldenSpanTrees(t *testing.T) {
+	cases := []struct {
+		name    string
+		prof    *vendor.Profile
+		traces  int // one per exploited-case repeat
+		fetches int // upstream fetch spans across all traces
+	}{
+		// StackPath is the Laziness class: the Range is forwarded, and
+		// the 206 answer triggers the re-forward — two upstream fetch
+		// spans inside one trace.
+		{"stackpath", vendor.StackPath(), 1, 2},
+		// Akamai is pure Deletion: one trace, one full-object fetch with
+		// the Range stripped.
+		{"akamai", vendor.Akamai(), 1, 1},
+		// KeyCDN's Table IV case sends the identical request twice: the
+		// first trace shows the lazy relay, the second the deletion fetch.
+		{"keycdn", vendor.KeyCDN(), 2, 2},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			traces := runTracedSBR(t, tc.prof, 64<<10)
+			if len(traces) != tc.traces {
+				t.Fatalf("completed traces = %d, want %d", len(traces), tc.traces)
+			}
+			var b strings.Builder
+			fetches := 0
+			for _, tr := range traces {
+				b.WriteString(tr.Tree())
+				for _, sp := range tr.Spans {
+					if strings.HasPrefix(sp.Name, "fetch ") {
+						fetches++
+					}
+				}
+			}
+			if fetches != tc.fetches {
+				t.Errorf("upstream fetch spans = %d, want %d:\n%s", fetches, tc.fetches, b.String())
+			}
+			got := b.String()
+			path := filepath.Join("testdata", "golden", "trace-"+tc.name+".txt")
+			if os.Getenv("UPDATE_TRACE_GOLDEN") != "" {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != string(want) {
+				t.Errorf("span tree diverged from golden.\ngot:\n%s\nwant:\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestTraceByteAttrsMatchSegmentMetrics is the issue's acceptance
+// check: a traced RunSBR yields one connected tree whose per-span byte
+// attributes, summed per segment, equal the run's
+// netsim_segment_bytes_total metrics delta.
+func TestTraceByteAttrsMatchSegmentMetrics(t *testing.T) {
+	tracer := trace.New(trace.Config{SampleEvery: 1})
+	store := resource.NewStore()
+	store.AddSynthetic("/target.bin", 256<<10, "application/octet-stream")
+	topo, err := core.NewSBRTopology(vendor.StackPath(), store, core.SBROptions{OriginRangeSupport: true, Trace: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+
+	before := metrics.Default.Snapshot()
+	if _, err := core.RunSBR(topo, "/target.bin", 256<<10, "bytes0"); err != nil {
+		t.Fatal(err)
+	}
+	d := metrics.Default.Snapshot().Delta(before)
+
+	traces := tracer.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("completed traces = %d, want 1", len(traces))
+	}
+	tr := traces[0]
+
+	// Connectedness: every non-root span's parent is in the same tree.
+	ids := map[trace.SpanID]bool{}
+	for _, sp := range tr.Spans {
+		ids[sp.ID] = true
+	}
+	roots := 0
+	for _, sp := range tr.Spans {
+		if sp.Parent == 0 {
+			roots++
+		} else if !ids[sp.Parent] {
+			t.Errorf("span %s has dangling parent %s", sp.ID, sp.Parent)
+		}
+	}
+	if roots != 1 {
+		t.Errorf("tree has %d roots, want 1:\n%s", roots, tr.Tree())
+	}
+
+	bySeg := map[string]int64{}
+	for _, sp := range tr.Spans {
+		if seg := sp.Attr("segment"); seg != "" {
+			bySeg[seg] += sp.AttrInt("bytes_up") + sp.AttrInt("bytes_down")
+		}
+	}
+	for _, seg := range []string{"client-cdn", "cdn-origin"} {
+		want := d.Value("netsim_segment_bytes_total",
+			metrics.L("segment", seg), metrics.L("direction", "up")) +
+			d.Value("netsim_segment_bytes_total",
+				metrics.L("segment", seg), metrics.L("direction", "down"))
+		if want == 0 {
+			t.Errorf("metrics delta shows no traffic on %s", seg)
+		}
+		if bySeg[seg] != want {
+			t.Errorf("span bytes on %s = %d, metrics delta = %d", seg, bySeg[seg], want)
+		}
+	}
+}
+
+// TestTraceOBRFourHopTree pins the OBR cascade's connected tree:
+// attacker -> FCDN -> (fetch) -> BCDN -> (fetch) -> origin, with the
+// planner budgeting for the traceparent header the traced request adds.
+func TestTraceOBRFourHopTree(t *testing.T) {
+	tracer := trace.New(trace.Config{SampleEvery: 1})
+	store := resource.NewStore()
+	store.AddSynthetic("/1KB.bin", 1024, "application/octet-stream")
+	topo, err := core.NewOBRTopologyOpts(vendor.Cloudflare(), vendor.Akamai(), store,
+		core.OBROptions{Trace: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+
+	res, err := core.RunOBR(topo, "/1KB.bin", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parts < 2 {
+		t.Fatalf("parts = %d, want multipart reply", res.Parts)
+	}
+	traces := tracer.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("completed traces = %d, want 1", len(traces))
+	}
+	tr := traces[0]
+	var nodes []string
+	for _, sp := range tr.Spans {
+		nodes = append(nodes, sp.Node)
+	}
+	want := []string{"attacker", "cloudflare-edge", "cloudflare-edge", "akamai-edge", "akamai-edge", "origin"}
+	if strings.Join(nodes, ",") != strings.Join(want, ",") {
+		t.Errorf("node order = %v, want %v:\n%s", nodes, want, tr.Tree())
+	}
+	// The untraced planner must agree with the traced plan: the traced
+	// request's extra traceparent header is budgeted, so the realized n
+	// can be at most the untraced maximum.
+	plain := core.PlanMaxN(vendor.Cloudflare(), vendor.Akamai(), "/1KB.bin")
+	if res.Case.N > plain.N {
+		t.Errorf("traced plan n=%d exceeds untraced n=%d", res.Case.N, plain.N)
+	}
+}

@@ -66,13 +66,42 @@ func L(key, value string) Label { return Label{Key: key, Value: value} }
 
 // Counter is a monotonically increasing atomic counter. A nil *Counter
 // is a valid no-op, so instrumentation can be optional.
-type Counter struct{ v atomic.Int64 }
+type Counter struct {
+	v  atomic.Int64
+	ex atomic.Pointer[string] // last exemplar (trace id), if any
+}
 
 // Inc adds one.
 func (c *Counter) Inc() {
 	if c != nil {
 		c.v.Add(1)
 	}
+}
+
+// IncEx adds one and, when exemplar is non-empty, records it as the
+// series' current exemplar — in practice the 32-hex id of the trace
+// active when the increment happened, so a rejection/truncation spike
+// on /metrics can be walked back to a concrete request tree under
+// /debug/traces.
+func (c *Counter) IncEx(exemplar string) {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+	if exemplar != "" {
+		c.ex.Store(&exemplar)
+	}
+}
+
+// Exemplar returns the most recent exemplar, or "".
+func (c *Counter) Exemplar() string {
+	if c == nil {
+		return ""
+	}
+	if p := c.ex.Load(); p != nil {
+		return *p
+	}
+	return ""
 }
 
 // Add adds n (negative n is ignored: counters are monotonic).

@@ -254,3 +254,70 @@ func TestLabelEscaping(t *testing.T) {
 		t.Errorf("label not escaped:\n%s", b.String())
 	}
 }
+
+func TestCounterExemplar(t *testing.T) {
+	r := New()
+	c := r.Counter("cdn_rejections_total", "rejections", L("reason", "limits"))
+	c.IncEx("") // empty exemplar counts but records nothing
+	if c.Value() != 1 || c.Exemplar() != "" {
+		t.Fatalf("value=%d exemplar=%q after empty IncEx", c.Value(), c.Exemplar())
+	}
+	c.IncEx("00000000000000000000000000abcdef")
+	c.IncEx("00000000000000000000000000fedcba")
+	if c.Value() != 3 {
+		t.Fatalf("value = %d, want 3", c.Value())
+	}
+	// Last writer wins: the exemplar points at the most recent trace.
+	if got := c.Exemplar(); got != "00000000000000000000000000fedcba" {
+		t.Fatalf("exemplar = %q", got)
+	}
+
+	// Nil counters accept IncEx like every other method.
+	var nilC *Counter
+	nilC.IncEx("x")
+	if nilC.Exemplar() != "" {
+		t.Fatal("nil counter returned an exemplar")
+	}
+
+	// The exemplar rides through Snapshot, Delta, WriteText and the
+	// Prometheus exposition (as an ignorable comment line).
+	snap := r.Snapshot()
+	var sample *Sample
+	for i := range snap.Samples() {
+		if snap.Samples()[i].Name == "cdn_rejections_total" {
+			sample = &snap.Samples()[i]
+		}
+	}
+	if sample == nil || sample.Exemplar != "00000000000000000000000000fedcba" {
+		t.Fatalf("snapshot sample = %+v", sample)
+	}
+	c.IncEx("00000000000000000000000000aaaaaa")
+	d := r.Snapshot().Delta(snap)
+	if got := d.Value("cdn_rejections_total", L("reason", "limits")); got != 1 {
+		t.Fatalf("delta = %d, want 1", got)
+	}
+
+	var text strings.Builder
+	if err := r.Snapshot().WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "# trace=00000000000000000000000000aaaaaa") {
+		t.Errorf("text exposition missing exemplar:\n%s", text.String())
+	}
+
+	var prom strings.Builder
+	if err := r.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), `# exemplar: cdn_rejections_total trace_id="00000000000000000000000000aaaaaa"`) {
+		t.Errorf("prometheus exposition missing exemplar comment:\n%s", prom.String())
+	}
+	for _, line := range strings.Split(prom.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Contains(line, "trace_id") {
+			t.Errorf("exemplar leaked into a sample line: %q", line)
+		}
+	}
+}

@@ -31,7 +31,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		switch f.kind {
 		case KindCounter:
-			err = writeSample(w, f.name, s.labels, "", "", s.counter.Value())
+			if err = writeSample(w, f.name, s.labels, "", "", s.counter.Value()); err != nil {
+				return
+			}
+			// Exemplar-lite: the 0.0.4 text format has no exemplar
+			// syntax, so the latest trace id rides on a comment line
+			// (ignored by parsers, read by humans chasing a spike).
+			if ex := s.counter.Exemplar(); ex != "" {
+				_, err = fmt.Fprintf(w, "# exemplar: %s trace_id=\"%s\"\n", f.name, ex)
+			}
 		case KindGauge:
 			err = writeSample(w, f.name, s.labels, "", "", s.gauge.Value())
 		case KindHistogram:

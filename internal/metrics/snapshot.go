@@ -19,6 +19,10 @@ type Sample struct {
 	Sum     int64   `json:"sum,omitempty"`
 	Buckets []int64 `json:"-"`
 	Bounds  []int64 `json:"-"`
+	// Exemplar is the trace id recorded by the series' latest IncEx
+	// (counters only): the bridge from an aggregate spike to the
+	// concrete request tree that caused it.
+	Exemplar string `json:"exemplar,omitempty"`
 }
 
 // key renders the sample's identity (name + canonical labels).
@@ -56,6 +60,7 @@ func (r *Registry) Snapshot() *Snapshot {
 		switch f.kind {
 		case KindCounter:
 			sample.Value = s.counter.Value()
+			sample.Exemplar = s.counter.Exemplar()
 		case KindGauge:
 			sample.Value = s.gauge.Value()
 		case KindHistogram:
@@ -152,6 +157,9 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 			val = fmt.Sprintf("count=%d sum=%d", sm.Value, sm.Sum)
 		default:
 			val = fmt.Sprintf("%d", sm.Value)
+			if sm.Exemplar != "" {
+				val += "  # trace=" + sm.Exemplar
+			}
 		}
 		k := sm.key()
 		if len(k) > width {

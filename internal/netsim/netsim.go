@@ -95,6 +95,14 @@ func (s *Segment) Traffic() Traffic {
 	return Traffic{Up: s.up.Load(), Down: s.down.Load()}
 }
 
+// Since returns the traffic accumulated since a prior snapshot, so a
+// caller can attribute one request's bytes (e.g. onto a trace span)
+// without resetting the cumulative counters.
+func (s *Segment) Since(prev Traffic) Traffic {
+	t := s.Traffic()
+	return Traffic{Up: t.Up - prev.Up, Down: t.Down - prev.Down}
+}
+
 // Conns returns the number of connections opened on the segment.
 func (s *Segment) Conns() int64 {
 	if s == nil {

@@ -20,7 +20,11 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/ranges"
 	"repro/internal/resource"
+	"repro/internal/trace"
 )
+
+// traceNode labels the origin in span trees.
+const traceNode = "origin"
 
 // ServerSoftware is the Server header value, matching the paper's origin.
 const ServerSoftware = "Apache/2.4.18 (Ubuntu)"
@@ -48,6 +52,11 @@ type Config struct {
 	// for interrupted transfers (the situation range requests exist to
 	// recover from, §II-B).
 	FailAfterBodyBytes int64
+
+	// Trace is the span sink; nil means trace.Default (disabled unless
+	// configured). The origin joins the trace carried by an inbound
+	// traceparent header, closing the attacker→edge→origin tree.
+	Trace *trace.Tracer
 }
 
 // ReceivedRequest records one request as seen by the origin, for the
@@ -62,8 +71,9 @@ type ReceivedRequest struct {
 
 // Server is the origin HTTP server.
 type Server struct {
-	store *resource.Store
-	cfg   Config
+	store  *resource.Store
+	cfg    Config
+	tracer *trace.Tracer
 
 	mu  sync.Mutex
 	log []ReceivedRequest
@@ -86,6 +96,10 @@ func NewServer(store *resource.Store, cfg Config) *Server {
 	if cfg.Now == nil {
 		cfg.Now = func() time.Time { return fixedDate }
 	}
+	tracer := cfg.Trace
+	if tracer == nil {
+		tracer = trace.Default
+	}
 	const respName = "origin_responses_total"
 	const respHelp = "Responses produced by the origin, by status code."
 	mResponses := make(map[int]*metrics.Counter)
@@ -96,6 +110,7 @@ func NewServer(store *resource.Store, cfg Config) *Server {
 	return &Server{
 		store:      store,
 		cfg:        cfg,
+		tracer:     tracer,
 		mResponses: mResponses,
 		mOther:     metrics.Default.Counter(respName, respHelp, metrics.L("status", "other")),
 		mBodyBytes: metrics.Default.Counter("origin_response_bytes_total",
@@ -181,7 +196,21 @@ func (s *Server) ServeConn(conn netsim.Conn) {
 
 // Handle produces the response for one request. It is exported so tests
 // and in-process harnesses can exercise origin logic without a transport.
+// Under tracing it records the leaf span of the request tree, joining
+// the trace the edge's back-to-origin fetch propagated.
 func (s *Server) Handle(req *httpwire.Request) *httpwire.Response {
+	var sp *trace.Span
+	if s.tracer.Enabled() {
+		sp = s.tracer.StartServer(trace.Extract(req.Headers), traceNode, req.Method+" "+req.Target)
+		if sp.Recording() {
+			if v, ok := req.Headers.Get("Range"); ok {
+				if len(v) > 48 {
+					v = v[:45] + "..."
+				}
+				sp.SetAttr("range", v)
+			}
+		}
+	}
 	resp := s.handle(req)
 	if m := s.mResponses[resp.StatusCode]; m != nil {
 		m.Inc()
@@ -191,6 +220,11 @@ func (s *Server) Handle(req *httpwire.Request) *httpwire.Response {
 	n := int64(len(resp.Body))
 	s.mBodyBytes.Add(n)
 	s.hBodySize.Observe(n)
+	if sp.Recording() {
+		sp.SetAttrInt("status", int64(resp.StatusCode))
+		sp.SetAttrInt("body_bytes", n)
+	}
+	sp.End()
 	return resp
 }
 

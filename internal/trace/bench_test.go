@@ -1,0 +1,57 @@
+package trace
+
+import "testing"
+
+// The engines trace unconditionally, so the disabled/nil paths must be
+// allocation-free — the old Log.Add boxed its format args and ran
+// fmt.Sprintf under the mutex even when every caller passed a nil sink.
+
+func TestNilSinkZeroAlloc(t *testing.T) {
+	var sp *Span
+	disabled := New(Config{})
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"disabled StartRoot", func() { disabled.StartRoot("attacker", "GET /x") }},
+		{"nil tracer StartRoot", func() { (*Tracer)(nil).StartRoot("attacker", "GET /x") }},
+		{"nil span Event", func() { sp.Event(KindRequest, "range=bytes=0-0") }},
+		{"nil span SetAttrInt", func() { sp.SetAttrInt("bytes_down", 42) }},
+		{"nil span End", func() { sp.End() }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(1000, tc.fn); allocs != 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+func BenchmarkNilSinkEvent(b *testing.B) {
+	var sp *Span
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp.Event(KindRequest, "range=bytes=0-0")
+		sp.SetAttrInt("bytes_down", 42)
+	}
+}
+
+func BenchmarkDisabledStartRoot(b *testing.B) {
+	tr := New(Config{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartRoot("attacker", "GET /video.bin")
+		sp.Event(KindRequest, "arrived")
+		sp.End()
+	}
+}
+
+func BenchmarkRecordingSpan(b *testing.B) {
+	tr := New(Config{SampleEvery: 1, Capacity: 8})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartRoot("attacker", "GET /video.bin")
+		sp.Event(KindRequest, "arrived")
+		sp.SetAttrInt("bytes_down", 42)
+		sp.End()
+	}
+}

@@ -1,0 +1,255 @@
+// Exporters for completed traces: Chrome trace-event JSON (loadable in
+// Perfetto / chrome://tracing), a plain-text waterfall, a structural
+// tree renderer stable enough to pin in golden tests, and an HTTP
+// handler serving all of them at /debug/traces.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format. Spans are
+// "X" (complete) events with microsecond ts/dur; span events are "i"
+// (instant) events; node names become thread-name metadata ("M").
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func usec(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteChromeTrace writes the traces as one Chrome trace-event JSON
+// document. Each node gets its own track (tid); every trace shares
+// pid 1 so Perfetto lays the hops of one request under each other.
+func WriteChromeTrace(w io.Writer, traces []*Trace) error {
+	tids := map[string]int{}
+	tidOf := func(node string) int {
+		if id, ok := tids[node]; ok {
+			return id
+		}
+		id := len(tids) + 1
+		tids[node] = id
+		return id
+	}
+	file := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for _, tr := range traces {
+		for _, s := range tr.Spans {
+			tid := tidOf(s.Node)
+			args := map[string]any{
+				"trace_id": s.Trace.String(),
+				"span_id":  s.ID.String(),
+			}
+			if s.Parent != 0 {
+				args["parent_id"] = s.Parent.String()
+			}
+			for _, a := range s.Attrs {
+				if a.IsInt {
+					args[a.Key] = a.Int
+				} else {
+					args[a.Key] = a.Str
+				}
+			}
+			dur := usec(s.Finish - s.Start)
+			file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				Name: s.Name, Cat: s.Node, Ph: "X",
+				Ts: usec(s.Start), Dur: &dur,
+				Pid: 1, Tid: tid, Args: args,
+			})
+			for _, e := range s.Events {
+				file.TraceEvents = append(file.TraceEvents, chromeEvent{
+					Name: string(e.Kind), Cat: s.Node, Ph: "i",
+					Ts: usec(e.Offset), Pid: 1, Tid: tid, S: "t",
+					Args: map[string]any{"detail": e.Detail, "span_id": s.ID.String()},
+				})
+			}
+		}
+	}
+	// Thread-name metadata, in stable tid order.
+	nodes := make([]string, 0, len(tids))
+	for node := range tids {
+		nodes = append(nodes, node)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return tids[nodes[i]] < tids[nodes[j]] })
+	for _, node := range nodes {
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tids[node],
+			Args: map[string]any{"name": node},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}
+
+// children indexes a trace's spans by parent, preserving start order,
+// and returns the top-level spans (no in-trace parent).
+func children(tr *Trace) (tops []*Span, kids map[SpanID][]*Span) {
+	ids := make(map[SpanID]bool, len(tr.Spans))
+	for _, s := range tr.Spans {
+		ids[s.ID] = true
+	}
+	kids = make(map[SpanID][]*Span)
+	for _, s := range tr.Spans {
+		if s.Parent != 0 && ids[s.Parent] {
+			kids[s.Parent] = append(kids[s.Parent], s)
+		} else {
+			tops = append(tops, s)
+		}
+	}
+	return tops, kids
+}
+
+// treeAttrs are the attributes stable across runs (no byte counts or
+// durations), rendered by Tree for golden pinning.
+var treeAttrs = []string{"vendor", "range", "status", "n"}
+
+// Tree renders the trace's structure — node, name, stable attributes,
+// event kinds — deterministically: no ids, offsets, or byte counts.
+func (tr *Trace) Tree() string {
+	var b strings.Builder
+	tops, kids := children(tr)
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(s.Node)
+		b.WriteByte(' ')
+		b.WriteString(s.Name)
+		for _, key := range treeAttrs {
+			if v := s.Attr(key); v != "" {
+				fmt.Fprintf(&b, " %s=%s", key, v)
+			}
+		}
+		if len(s.Events) > 0 {
+			b.WriteString(" (")
+			for i, e := range s.Events {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				b.WriteString(string(e.Kind))
+			}
+			b.WriteByte(')')
+		}
+		b.WriteByte('\n')
+		for _, c := range kids[s.ID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, s := range tops {
+		walk(s, 0)
+	}
+	return b.String()
+}
+
+// barWidth is the waterfall bar's character budget per trace.
+const barWidth = 32
+
+// Waterfall renders one trace as an indented timeline: each line is a
+// span with its offset window, a proportional bar, and the byte/status
+// attributes that make Laziness vs Deletion upstream behaviour visible.
+func (tr *Trace) Waterfall() string {
+	var b strings.Builder
+	total := tr.Duration()
+	if total <= 0 {
+		total = time.Microsecond
+	}
+	base := time.Duration(1<<63 - 1)
+	for _, s := range tr.Spans {
+		if s.Start < base {
+			base = s.Start
+		}
+	}
+	fmt.Fprintf(&b, "trace %s — %d spans, %s\n", tr.ID, len(tr.Spans), tr.Duration().Round(time.Microsecond))
+	tops, kids := children(tr)
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		start := s.Start - base
+		dur := s.Finish - s.Start
+		lead := int(int64(barWidth) * int64(start) / int64(total))
+		width := int(int64(barWidth) * int64(dur) / int64(total))
+		if width < 1 {
+			width = 1
+		}
+		if lead+width > barWidth {
+			width = barWidth - lead
+		}
+		bar := strings.Repeat(" ", lead) + strings.Repeat("=", width) +
+			strings.Repeat(" ", barWidth-lead-width)
+		label := strings.Repeat("  ", depth) + s.Node
+		fmt.Fprintf(&b, "  %-24s |%s| %8s +%-8s %s\n",
+			label, bar,
+			start.Round(time.Microsecond), dur.Round(time.Microsecond),
+			spanSummary(s))
+		for _, c := range kids[s.ID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, s := range tops {
+		walk(s, 0)
+	}
+	return b.String()
+}
+
+// spanSummary renders the span name plus the attributes a reader scans
+// for on a timeline.
+func spanSummary(s *Span) string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for _, key := range []string{"range", "status", "bytes_up", "bytes_down"} {
+		if v := s.Attr(key); v != "" {
+			fmt.Fprintf(&b, " %s=%s", key, v)
+		}
+	}
+	return b.String()
+}
+
+// WriteWaterfall renders every trace as a text waterfall.
+func WriteWaterfall(w io.Writer, traces []*Trace) error {
+	for i, tr := range traces {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, tr.Waterfall()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the tracer's completed traces: Chrome trace-event
+// JSON by default (curl /debug/traces > out.json; open in Perfetto),
+// or a text waterfall with ?format=text.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		traces := t.Traces()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if len(traces) == 0 {
+				fmt.Fprintln(w, "no completed traces (is -trace-sample > 0?)")
+				return
+			}
+			_ = WriteWaterfall(w, traces)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteChromeTrace(w, traces)
+	})
+}

@@ -1,17 +1,32 @@
-// Package trace records structured per-request events as they flow
-// through edges and origins, so a vendor behaviour can be inspected
-// hop by hop (which Range arrived, what the cache said, what went
-// upstream, how the reply was built) — the observability a downstream
-// user needs when studying a new CDN configuration.
+// Package trace records causal, per-request span trees as requests flow
+// attacker → edge → origin. Each hop opens a span carrying monotonic
+// start/end offsets and typed attributes (vendor, range header, status,
+// wire bytes per segment); the narrative steps the old flat log captured
+// (which Range arrived, what the cache said, what went upstream, how the
+// reply was built) are span events on the owning span. Context crosses
+// hops in a traceparent-style header, so one SBR/OBR request yields a
+// single connected tree spanning all three nodes — the per-request view
+// aggregate counters cannot give.
+//
+// A nil *Tracer and a nil *Span are valid no-op sinks, and the nil paths
+// are allocation-free, so engines trace unconditionally even in floods.
+// Head sampling (1/N, deterministic by root sequence) keeps enabled
+// flood runs affordable; completed traces land in a bounded ring buffer
+// drained by the exporters in export.go.
 package trace
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/httpwire"
 )
 
-// Kind labels one event type.
+// Kind labels one span-event type. These are the narrative steps the
+// engines emit; they attach to the span of the node that observed them.
 type Kind string
 
 // Event kinds emitted by the engines.
@@ -25,96 +40,514 @@ const (
 	KindReply     Kind = "reply"      // reply built from an object
 )
 
-// Event is one recorded step.
+// TraceID identifies one request tree. Zero is invalid.
+type TraceID uint64
+
+// String renders the id as the 32-hex-digit traceparent field.
+func (id TraceID) String() string { return fmt.Sprintf("%032x", uint64(id)) }
+
+// SpanID identifies one span within a trace. Zero is invalid.
+type SpanID uint64
+
+// String renders the id as the 16-hex-digit traceparent field.
+func (id SpanID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// Header is the propagation header name, following the W3C Trace
+// Context shape: "00-<32 hex trace id>-<16 hex span id>-<2 hex flags>".
+const Header = "traceparent"
+
+// headerLen is the exact serialized value length: version (2) + trace
+// id (32) + span id (16) + flags (2) + three dashes.
+const headerLen = 2 + 1 + 32 + 1 + 16 + 1 + 2
+
+// SpanContext is the propagated identity of a span: enough to parent a
+// remote child and to carry the head-sampling decision downstream.
+type SpanContext struct {
+	Trace   TraceID
+	Span    SpanID
+	Sampled bool
+}
+
+// Valid reports whether the context identifies a real span.
+func (sc SpanContext) Valid() bool { return sc.Trace != 0 && sc.Span != 0 }
+
+// HeaderValue renders the context as a traceparent header value.
+func (sc SpanContext) HeaderValue() string {
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.Trace.String() + "-" + sc.Span.String() + "-" + flags
+}
+
+// ParseHeader parses a traceparent value. Trace ids wider than 64 bits
+// keep their low 64 bits (this tracer never emits wider ids).
+func ParseHeader(v string) (SpanContext, bool) {
+	if len(v) != headerLen || v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return SpanContext{}, false
+	}
+	if _, err := strconv.ParseUint(v[3:19], 16, 64); err != nil {
+		return SpanContext{}, false // high trace-id half must still be hex
+	}
+	tid, err := strconv.ParseUint(v[19:35], 16, 64)
+	if err != nil {
+		return SpanContext{}, false
+	}
+	sid, err := strconv.ParseUint(v[36:52], 16, 64)
+	if err != nil {
+		return SpanContext{}, false
+	}
+	flags, err := strconv.ParseUint(v[53:55], 16, 8)
+	if err != nil {
+		return SpanContext{}, false
+	}
+	sc := SpanContext{Trace: TraceID(tid), Span: SpanID(sid), Sampled: flags&1 != 0}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+// Extract returns the span context carried by a request's headers, if
+// any.
+func Extract(hs httpwire.Headers) SpanContext {
+	v, ok := hs.Get(Header)
+	if !ok {
+		return SpanContext{}
+	}
+	sc, _ := ParseHeader(v)
+	return sc
+}
+
+// Inject stamps sp's context into the headers, replacing any inbound
+// traceparent. A nil (non-recording) span only strips the inbound
+// header, so an untraced hop never forwards a stale context.
+func Inject(sp *Span, hs *httpwire.Headers) {
+	if sp == nil {
+		hs.Del(Header)
+		return
+	}
+	hs.Set(Header, sp.Context().HeaderValue())
+}
+
+// Attr is one typed span attribute: a string or an int64.
+type Attr struct {
+	Key   string
+	Str   string
+	Int   int64
+	IsInt bool
+}
+
+// Value renders the attribute value as a string.
+func (a Attr) Value() string {
+	if a.IsInt {
+		return strconv.FormatInt(a.Int, 10)
+	}
+	return a.Str
+}
+
+// Event is one narrative step recorded on a span, at a monotonic offset
+// from the tracer's epoch.
 type Event struct {
-	Seq    int    // global order
-	Node   string // emitting node ("cloudflare-edge", "origin", …)
+	Offset time.Duration
 	Kind   Kind
 	Detail string
 }
 
-// String renders the event as one log line.
-func (e Event) String() string {
-	return fmt.Sprintf("%3d %-18s %-10s %s", e.Seq, e.Node, e.Kind, e.Detail)
-}
+// Span is one node's share of a request tree. Identity fields are set
+// at start and immutable; End, Attrs and Events are written while the
+// span is open and must only be read after the owning trace completes
+// (i.e. once it is returned by Tracer.Traces). A nil *Span is a valid
+// no-op sink and every method on it is allocation-free.
+type Span struct {
+	Trace  TraceID
+	ID     SpanID
+	Parent SpanID // zero for a root or remote-parented top span
+	Node   string // emitting node ("attacker", "cloudflare-edge", "origin")
+	Name   string
+	Start  time.Duration // offset from the tracer epoch
+	Finish time.Duration // set by End
+	Attrs  []Attr
+	Events []Event
 
-// Log is a concurrency-safe event sink. The zero value is unusable;
-// call New. A nil *Log is a valid no-op sink, so engines can trace
-// unconditionally.
-type Log struct {
+	tracer *Tracer
 	mu     sync.Mutex
-	events []Event
-	seq    int
+	ended  bool
 }
 
-// New returns an empty log.
-func New() *Log { return &Log{} }
+// Recording reports whether the span is live and collecting data.
+func (s *Span) Recording() bool { return s != nil }
 
-// Add records one event (no-op on a nil log).
-func (l *Log) Add(node string, kind Kind, format string, args ...any) {
-	if l == nil {
-		return
+// Context returns the span's propagated identity (always sampled: only
+// sampled spans exist).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.seq++
-	l.events = append(l.events, Event{
-		Seq:    l.seq,
-		Node:   node,
-		Kind:   kind,
-		Detail: fmt.Sprintf(format, args...),
-	})
+	return SpanContext{Trace: s.Trace, Span: s.ID, Sampled: true}
 }
 
-// Events returns a copy of the recorded events in order.
-func (l *Log) Events() []Event {
-	if l == nil {
+// TraceIDString returns the 32-hex trace id, or "" on a nil span. Used
+// to tag metric increments with the active trace (exemplar-lite).
+func (s *Span) TraceIDString() string {
+	if s == nil {
+		return ""
+	}
+	return s.Trace.String()
+}
+
+// StartChild opens a child span on the same node (e.g. an edge's
+// back-to-origin fetch inside its server span).
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
 		return nil
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([]Event, len(l.events))
-	copy(out, l.events)
-	return out
+	return s.tracer.start(s.Trace, s.ID, s.Node, name)
 }
 
-// Reset clears the log.
-func (l *Log) Reset() {
-	if l == nil {
+// SetAttr records a string attribute.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
 		return
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.events = nil
-	l.seq = 0
+	s.mu.Lock()
+	s.Attrs = append(s.Attrs, Attr{Key: key, Str: value})
+	s.mu.Unlock()
 }
 
-// String renders the whole log, one event per line.
-func (l *Log) String() string {
-	var b strings.Builder
-	for _, e := range l.Events() {
-		b.WriteString(e.String())
-		b.WriteByte('\n')
+// SetAttrInt records an integer attribute.
+func (s *Span) SetAttrInt(key string, value int64) {
+	if s == nil {
+		return
 	}
-	return b.String()
+	s.mu.Lock()
+	s.Attrs = append(s.Attrs, Attr{Key: key, Int: value, IsInt: true})
+	s.mu.Unlock()
 }
 
-// Count returns how many events of the kind were recorded (any kind
-// when kind is empty).
-func (l *Log) Count(kind Kind) int {
-	if l == nil {
+// Event records a pre-formatted narrative step. The nil path does no
+// formatting and no allocation, so hot paths call it unconditionally.
+func (s *Span) Event(kind Kind, detail string) {
+	if s == nil {
+		return
+	}
+	s.addEvent(kind, detail)
+}
+
+// Eventf records a formatted step. Formatting happens only on a
+// recording span, and always before the span lock is taken.
+func (s *Span) Eventf(kind Kind, format string, args ...any) {
+	if s == nil {
+		return
+	}
+	detail := format
+	if len(args) > 0 {
+		detail = fmt.Sprintf(format, args...)
+	}
+	s.addEvent(kind, detail)
+}
+
+func (s *Span) addEvent(kind Kind, detail string) {
+	off := s.tracer.now()
+	s.mu.Lock()
+	s.Events = append(s.Events, Event{Offset: off, Kind: kind, Detail: detail})
+	s.mu.Unlock()
+}
+
+// EventCount returns how many events of the kind were recorded (any
+// kind when kind is empty). Safe on a nil span.
+func (s *Span) EventCount(kind Kind) int {
+	if s == nil {
 		return 0
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if kind == "" {
-		return len(l.events)
+		return len(s.Events)
 	}
 	n := 0
-	for _, e := range l.events {
+	for _, e := range s.Events {
 		if e.Kind == kind {
 			n++
 		}
 	}
 	return n
+}
+
+// Attr returns the value of the first attribute named key ("" when
+// absent). Safe on a nil span.
+func (s *Span) Attr(key string) string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value()
+		}
+	}
+	return ""
+}
+
+// AttrInt returns the summed value of integer attributes named key.
+func (s *Span) AttrInt(key string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, a := range s.Attrs {
+		if a.Key == key && a.IsInt {
+			n += a.Int
+		}
+	}
+	return n
+}
+
+// End closes the span. Idempotent; the first call stamps the end offset
+// and, once every span of the trace has ended, moves the completed
+// trace into the tracer's ring buffer. Engines end a span before
+// writing the response bytes it describes, so a parent reading that
+// response always ends after all its children — the open-span count
+// reaching zero therefore coincides with the root's End.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.Finish = s.tracer.now()
+	s.mu.Unlock()
+	s.tracer.finish(s)
+}
+
+// Trace is one completed request tree, spans in start order.
+type Trace struct {
+	ID    TraceID
+	Spans []*Span
+}
+
+// Root returns the first span with no in-trace parent.
+func (tr *Trace) Root() *Span {
+	ids := make(map[SpanID]bool, len(tr.Spans))
+	for _, s := range tr.Spans {
+		ids[s.ID] = true
+	}
+	for _, s := range tr.Spans {
+		if s.Parent == 0 || !ids[s.Parent] {
+			return s
+		}
+	}
+	return nil
+}
+
+// Duration returns the whole tree's wall time (root start to latest
+// end).
+func (tr *Trace) Duration() time.Duration {
+	if len(tr.Spans) == 0 {
+		return 0
+	}
+	start := tr.Spans[0].Start
+	end := start
+	for _, s := range tr.Spans {
+		if s.Start < start {
+			start = s.Start
+		}
+		if s.Finish > end {
+			end = s.Finish
+		}
+	}
+	return end - start
+}
+
+// Config sets a tracer's sampling and retention.
+type Config struct {
+	// SampleEvery enables the tracer: 1 records every root, N>1
+	// records one root in N (deterministic by root sequence), <=0
+	// disables the tracer entirely (the default).
+	SampleEvery int
+	// Capacity bounds the completed-trace ring buffer (default 64).
+	Capacity int
+}
+
+// DefaultCapacity is the completed-trace ring size when Config.Capacity
+// is zero.
+const DefaultCapacity = 64
+
+// Tracer samples request roots, assembles spans into traces, and keeps
+// the most recent completed traces in a bounded ring. A nil *Tracer is
+// a valid disabled tracer.
+type Tracer struct {
+	sampleEvery atomic.Int64
+	ids         atomic.Uint64 // span/trace id source
+	roots       atomic.Uint64 // root sequence for 1/N sampling
+	epoch       time.Time
+
+	mu       sync.Mutex
+	capacity int
+	active   map[TraceID]*activeTrace
+	ring     []*Trace
+	next     int // ring write index once full
+}
+
+type activeTrace struct {
+	spans []*Span
+	open  int
+}
+
+// New returns a tracer with the given config. The zero Config yields a
+// disabled tracer (every Start* returns nil) that can be enabled later
+// with Configure.
+func New(cfg Config) *Tracer {
+	t := &Tracer{epoch: time.Now()}
+	t.applyLocked(cfg)
+	return t
+}
+
+// Default is the process-wide tracer, disabled until configured (so
+// library users and benchmarks pay nothing unless they opt in). The
+// cmd/ tools configure it from their -trace flags.
+var Default = New(Config{})
+
+// Configure replaces the tracer's sampling/retention settings and
+// clears both the active set and the completed ring.
+func (t *Tracer) Configure(cfg Config) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.applyLocked(cfg)
+}
+
+func (t *Tracer) applyLocked(cfg Config) {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	t.sampleEvery.Store(int64(cfg.SampleEvery))
+	t.capacity = cfg.Capacity
+	t.active = make(map[TraceID]*activeTrace)
+	t.ring = nil
+	t.next = 0
+}
+
+// Enabled reports whether the tracer records anything at all.
+func (t *Tracer) Enabled() bool {
+	return t != nil && t.sampleEvery.Load() > 0
+}
+
+func (t *Tracer) now() time.Duration { return time.Since(t.epoch) }
+
+// StartRoot opens the root span of a new trace, subject to head
+// sampling: with SampleEvery=N, every Nth root (by arrival sequence) is
+// recorded and the rest return nil. The sequence only advances while
+// the tracer is enabled, so sampling stays deterministic per run.
+func (t *Tracer) StartRoot(node, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	n := t.sampleEvery.Load()
+	if n <= 0 {
+		return nil
+	}
+	seq := t.roots.Add(1)
+	if (seq-1)%uint64(n) != 0 {
+		return nil
+	}
+	id := TraceID(t.ids.Add(1))
+	return t.start(id, 0, node, name)
+}
+
+// StartServer opens the serving span for an inbound request. With a
+// valid sampled remote context the span joins that trace as a child;
+// otherwise the request becomes its own sampled root (local traffic
+// with no caller context, e.g. a probe hitting a daemon directly).
+func (t *Tracer) StartServer(sc SpanContext, node, name string) *Span {
+	if !t.Enabled() {
+		return nil
+	}
+	if sc.Valid() && sc.Sampled {
+		return t.start(sc.Trace, sc.Span, node, name)
+	}
+	return t.StartRoot(node, name)
+}
+
+// start registers a span on an existing or new trace.
+func (t *Tracer) start(trace TraceID, parent SpanID, node, name string) *Span {
+	s := &Span{
+		Trace:  trace,
+		ID:     SpanID(t.ids.Add(1)),
+		Parent: parent,
+		Node:   node,
+		Name:   name,
+		Start:  t.now(),
+		tracer: t,
+	}
+	t.mu.Lock()
+	at := t.active[trace]
+	if at == nil {
+		at = &activeTrace{}
+		t.active[trace] = at
+	}
+	at.spans = append(at.spans, s)
+	at.open++
+	t.mu.Unlock()
+	return s
+}
+
+// finish is called by Span.End exactly once per span.
+func (t *Tracer) finish(s *Span) {
+	t.mu.Lock()
+	at := t.active[s.Trace]
+	if at == nil {
+		t.mu.Unlock() // Configure ran mid-trace; drop the orphan
+		return
+	}
+	at.open--
+	if at.open > 0 {
+		t.mu.Unlock()
+		return
+	}
+	delete(t.active, s.Trace)
+	tr := &Trace{ID: s.Trace, Spans: at.spans}
+	if len(t.ring) < t.capacity {
+		t.ring = append(t.ring, tr)
+	} else {
+		t.ring[t.next] = tr
+		t.next = (t.next + 1) % t.capacity
+	}
+	t.mu.Unlock()
+}
+
+// Traces returns the completed traces, oldest first.
+func (t *Tracer) Traces() []*Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Trace, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Reset drops all completed and in-flight traces and restarts the
+// sampling sequence, keeping the current config.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.active = make(map[TraceID]*activeTrace)
+	t.ring = nil
+	t.next = 0
+	t.roots.Store(0)
 }

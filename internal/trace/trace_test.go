@@ -1,86 +1,353 @@
 package trace
 
 import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/httpwire"
 )
 
-func TestAddAndEvents(t *testing.T) {
-	l := New()
-	l.Add("edge", KindRequest, "GET %s", "/f")
-	l.Add("edge", KindCacheMiss, "/f")
-	l.Add("origin", KindReply, "200")
-	events := l.Events()
-	if len(events) != 3 {
-		t.Fatalf("%d events", len(events))
+func TestIDRendering(t *testing.T) {
+	if got := TraceID(0x2a).String(); got != "0000000000000000000000000000002a" {
+		t.Errorf("TraceID = %q", got)
 	}
-	if events[0].Seq != 1 || events[2].Seq != 3 {
-		t.Errorf("sequence numbers: %+v", events)
-	}
-	if events[0].Detail != "GET /f" {
-		t.Errorf("detail = %q", events[0].Detail)
-	}
-	if l.Count(KindCacheMiss) != 1 || l.Count("") != 3 {
-		t.Errorf("counts wrong")
+	if got := SpanID(0x2a).String(); got != "000000000000002a" {
+		t.Errorf("SpanID = %q", got)
 	}
 }
 
-func TestStringRendering(t *testing.T) {
-	l := New()
-	l.Add("cloudflare-edge", KindUpstream, "-> origin:80")
-	out := l.String()
-	for _, want := range []string{"cloudflare-edge", "upstream", "-> origin:80"} {
-		if !strings.Contains(out, want) {
-			t.Errorf("output missing %q:\n%s", want, out)
+func TestHeaderRoundTrip(t *testing.T) {
+	sc := SpanContext{Trace: 0xdeadbeef, Span: 0x1234, Sampled: true}
+	v := sc.HeaderValue()
+	if len(v) != headerLen {
+		t.Fatalf("header value %q has length %d, want %d", v, len(v), headerLen)
+	}
+	got, ok := ParseHeader(v)
+	if !ok || got != sc {
+		t.Fatalf("ParseHeader(%q) = %+v, %v", v, got, ok)
+	}
+	unsampled := SpanContext{Trace: 1, Span: 2}
+	got, ok = ParseHeader(unsampled.HeaderValue())
+	if !ok || got.Sampled {
+		t.Errorf("unsampled round trip = %+v, %v", got, ok)
+	}
+	for _, bad := range []string{
+		"",
+		"00-xyz",
+		"00-0000000000000000000000000000002a-000000000000002a-zz",
+		"00-00000000000000000000000000000000-0000000000000001-01", // zero trace id
+		"00-0000000000000001-0000000000000001-01",                 // short trace id
+	} {
+		if _, ok := ParseHeader(bad); ok {
+			t.Errorf("ParseHeader(%q) accepted", bad)
 		}
 	}
 }
 
-func TestReset(t *testing.T) {
-	l := New()
-	l.Add("a", KindRequest, "x")
-	l.Reset()
-	if len(l.Events()) != 0 || l.Count("") != 0 {
-		t.Error("Reset left events")
+func TestInjectExtract(t *testing.T) {
+	tr := New(Config{SampleEvery: 1})
+	sp := tr.StartRoot("attacker", "GET /x")
+	var hs httpwire.Headers
+	hs.Add("Host", "victim.example.com")
+	Inject(sp, &hs)
+	sc := Extract(hs)
+	if sc != sp.Context() {
+		t.Fatalf("Extract = %+v, want %+v", sc, sp.Context())
 	}
-	l.Add("a", KindRequest, "y")
-	if l.Events()[0].Seq != 1 {
-		t.Error("sequence not reset")
+	// A nil span strips any inbound context instead of forwarding it.
+	Inject(nil, &hs)
+	if hs.Has(Header) {
+		t.Error("nil Inject left traceparent in place")
 	}
-}
-
-func TestNilLogSafe(t *testing.T) {
-	var l *Log
-	l.Add("a", KindRequest, "x")
-	l.Reset()
-	if l.Events() != nil || l.Count("") != 0 || l.String() != "" {
-		t.Error("nil log misbehaved")
+	if Extract(hs).Valid() {
+		t.Error("Extract on stripped headers returned valid context")
 	}
 }
 
-func TestConcurrentAdd(t *testing.T) {
-	l := New()
+func TestSpanTreeAssembly(t *testing.T) {
+	tr := New(Config{SampleEvery: 1})
+	root := tr.StartRoot("attacker", "GET /video.bin")
+	root.SetAttr("range", "bytes=0-0")
+	edge := tr.StartServer(root.Context(), "cloudflare-edge", "GET /video.bin")
+	edge.Event(KindRequest, "range=bytes=0-0")
+	fetch := edge.StartChild("fetch origin.internal:80")
+	fetch.SetAttrInt("bytes_down", 1024)
+	origin := tr.StartServer(fetch.Context(), "origin", "GET /video.bin")
+	origin.SetAttrInt("status", 200)
+	origin.End()
+	fetch.End()
+	edge.End()
+	if got := tr.Traces(); len(got) != 0 {
+		t.Fatalf("trace completed before root ended: %d", len(got))
+	}
+	root.End()
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("completed traces = %d, want 1", len(traces))
+	}
+	got := traces[0]
+	if got.ID != root.Trace {
+		t.Errorf("trace id = %v, want %v", got.ID, root.Trace)
+	}
+	if len(got.Spans) != 4 {
+		t.Fatalf("spans = %d, want 4", len(got.Spans))
+	}
+	if r := got.Root(); r != root {
+		t.Errorf("Root() = %v", r)
+	}
+	// Connectedness: every non-root span's parent is in the trace.
+	ids := map[SpanID]bool{}
+	for _, s := range got.Spans {
+		ids[s.ID] = true
+	}
+	for _, s := range got.Spans[1:] {
+		if !ids[s.Parent] {
+			t.Errorf("span %v has dangling parent %v", s.ID, s.Parent)
+		}
+	}
+	for _, s := range got.Spans {
+		if s.Finish < s.Start {
+			t.Errorf("span %v ends before it starts", s.ID)
+		}
+	}
+	if origin.Attr("status") != "200" || fetch.AttrInt("bytes_down") != 1024 {
+		t.Error("typed attributes lost")
+	}
+	if edge.EventCount(KindRequest) != 1 || edge.EventCount("") != 1 {
+		t.Error("span events lost")
+	}
+}
+
+func TestHeadSampling(t *testing.T) {
+	tr := New(Config{SampleEvery: 3})
+	var sampled int
+	for i := 0; i < 9; i++ {
+		if sp := tr.StartRoot("attacker", "GET /x"); sp != nil {
+			sampled++
+			sp.End()
+		}
+	}
+	if sampled != 3 {
+		t.Errorf("sampled %d of 9 roots at 1/3", sampled)
+	}
+	// Deterministic: the first root of a fresh sequence is always kept.
+	tr.Reset()
+	if tr.StartRoot("attacker", "GET /x") == nil {
+		t.Error("first root after Reset not sampled")
+	}
+	// An unsampled remote flag suppresses the server span too.
+	sc := SpanContext{Trace: 5, Span: 6, Sampled: false}
+	tr2 := New(Config{SampleEvery: 2})
+	tr2.StartRoot("a", "x").End() // consume the kept slot
+	if sp := tr2.StartServer(sc, "edge", "GET /x"); sp != nil {
+		t.Error("unsampled remote context produced a recording span")
+	}
+}
+
+func TestRingBufferBound(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, Capacity: 3})
+	for i := 0; i < 5; i++ {
+		sp := tr.StartRoot("attacker", fmt.Sprintf("GET /%d", i))
+		sp.End()
+	}
+	traces := tr.Traces()
+	if len(traces) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(traces))
+	}
+	// Oldest first, and the two oldest were evicted.
+	for i, want := range []string{"GET /2", "GET /3", "GET /4"} {
+		if got := traces[i].Spans[0].Name; got != want {
+			t.Errorf("ring[%d] = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestDisabledAndNilTracer(t *testing.T) {
+	var nilT *Tracer
+	if nilT.Enabled() || nilT.StartRoot("a", "x") != nil || nilT.Traces() != nil {
+		t.Error("nil tracer not inert")
+	}
+	nilT.Reset()
+	nilT.Configure(Config{SampleEvery: 1})
+
+	off := New(Config{})
+	if off.Enabled() || off.StartRoot("a", "x") != nil {
+		t.Error("zero-config tracer not disabled")
+	}
+	if off.StartServer(SpanContext{Trace: 1, Span: 2, Sampled: true}, "edge", "x") != nil {
+		t.Error("disabled tracer recorded a server span")
+	}
+
+	// Nil spans absorb the whole API.
+	var sp *Span
+	if sp.Recording() || sp.Context().Valid() || sp.TraceIDString() != "" {
+		t.Error("nil span not inert")
+	}
+	sp.SetAttr("k", "v")
+	sp.SetAttrInt("k", 1)
+	sp.Event(KindRequest, "d")
+	sp.Eventf(KindRequest, "%d", 1)
+	sp.End()
+	if sp.StartChild("x") != nil {
+		t.Error("nil span produced a child")
+	}
+	if sp.Attr("k") != "" || sp.AttrInt("k") != 0 || sp.EventCount("") != 0 {
+		t.Error("nil span accessors not zero")
+	}
+}
+
+func TestConfigureEnablesAndClears(t *testing.T) {
+	tr := New(Config{SampleEvery: 1})
+	tr.StartRoot("a", "x").End()
+	tr.Configure(Config{SampleEvery: 1, Capacity: 8})
+	if len(tr.Traces()) != 0 {
+		t.Error("Configure kept old completed traces")
+	}
+	sp := tr.StartRoot("a", "y")
+	if sp == nil {
+		t.Fatal("reconfigured tracer not sampling")
+	}
+	sp.End()
+	if len(tr.Traces()) != 1 {
+		t.Error("reconfigured tracer lost trace")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, Capacity: 256})
 	var wg sync.WaitGroup
-	for w := 0; w < 8; w++ {
+	for g := 0; g < 8; g++ {
 		wg.Add(1)
-		go func() {
+		go func(g int) {
 			defer wg.Done()
-			for i := 0; i < 100; i++ {
-				l.Add("n", KindRequest, "r")
+			for i := 0; i < 50; i++ {
+				root := tr.StartRoot("attacker", "GET /x")
+				child := tr.StartServer(root.Context(), "edge", "GET /x")
+				child.Eventf(KindRequest, "g=%d i=%d", g, i)
+				child.SetAttrInt("i", int64(i))
+				child.End()
+				root.End()
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
-	events := l.Events()
-	if len(events) != 800 {
-		t.Fatalf("%d events", len(events))
+	traces := tr.Traces()
+	if len(traces) != 256 {
+		t.Fatalf("ring holds %d, want 256", len(traces))
 	}
-	seen := make(map[int]bool, 800)
-	for _, e := range events {
-		if seen[e.Seq] {
-			t.Fatalf("duplicate seq %d", e.Seq)
+	for _, tr := range traces {
+		if len(tr.Spans) != 2 {
+			t.Fatalf("trace %v has %d spans", tr.ID, len(tr.Spans))
 		}
-		seen[e.Seq] = true
 	}
+}
+
+func TestWaterfallAndTree(t *testing.T) {
+	tr := New(Config{SampleEvery: 1})
+	root := tr.StartRoot("attacker", "GET /video.bin")
+	root.SetAttr("range", "bytes=0-0")
+	edge := tr.StartServer(root.Context(), "cloudflare-edge", "GET /video.bin")
+	edge.Event(KindRequest, "arrived")
+	edge.Event(KindCacheMiss, "")
+	fetch := edge.StartChild("fetch origin.internal:80")
+	fetch.SetAttr("range", "(deleted)")
+	fetch.End()
+	edge.End()
+	root.SetAttrInt("status", 206)
+	root.End()
+
+	got := tr.Traces()[0]
+	tree := got.Tree()
+	want := "attacker GET /video.bin range=bytes=0-0 status=206\n" +
+		"  cloudflare-edge GET /video.bin (request cache-miss)\n" +
+		"    cloudflare-edge fetch origin.internal:80 range=(deleted)\n"
+	if tree != want {
+		t.Errorf("Tree() =\n%s\nwant\n%s", tree, want)
+	}
+	wf := got.Waterfall()
+	for _, frag := range []string{"trace ", "attacker", "cloudflare-edge", "range=(deleted)", "|"} {
+		if !strings.Contains(wf, frag) {
+			t.Errorf("waterfall missing %q:\n%s", frag, wf)
+		}
+	}
+}
+
+func TestChromeExportAndHandler(t *testing.T) {
+	tr := New(Config{SampleEvery: 1})
+	root := tr.StartRoot("attacker", "GET /x")
+	edge := tr.StartServer(root.Context(), "edge", "GET /x")
+	edge.Event(KindRequest, "arrived")
+	edge.SetAttrInt("bytes_down", 42)
+	edge.End()
+	root.End()
+
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, tr.Traces()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	var complete, instant, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			complete++
+		case "i":
+			instant++
+		case "M":
+			meta++
+		}
+	}
+	if complete != 2 || instant != 1 || meta != 2 {
+		t.Errorf("chrome events X=%d i=%d M=%d, want 2/1/2", complete, instant, meta)
+	}
+
+	srv := httptest.NewServer(tr.Handler())
+	defer srv.Close()
+	for _, tc := range []struct{ url, wantType, frag string }{
+		{srv.URL, "application/json", "traceEvents"},
+		{srv.URL + "?format=text", "text/plain; charset=utf-8", "attacker"},
+	} {
+		resp, err := srv.Client().Get(tc.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := make([]byte, 1<<16)
+		n, _ := resp.Body.Read(body)
+		resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != tc.wantType {
+			t.Errorf("%s content type = %q", tc.url, ct)
+		}
+		if !strings.Contains(string(body[:n]), tc.frag) {
+			t.Errorf("%s body missing %q", tc.url, tc.frag)
+		}
+	}
+}
+
+func TestEventfFormatsOutsideLock(t *testing.T) {
+	// Regression guard for the old Log.Add, which ran fmt.Sprintf while
+	// holding the sink mutex: a formatting argument whose String method
+	// re-enters the span must not deadlock.
+	tr := New(Config{SampleEvery: 1})
+	sp := tr.StartRoot("a", "x")
+	sp.Eventf(KindRequest, "self=%v", reentrant{sp})
+	sp.End()
+	if got := tr.Traces()[0].Spans[0].Events[0].Detail; !strings.Contains(got, "self=0") {
+		t.Errorf("detail = %q", got)
+	}
+}
+
+type reentrant struct{ sp *Span }
+
+func (r reentrant) String() string {
+	// Touch the span's locked state while it is being formatted.
+	return fmt.Sprintf("%d", r.sp.EventCount(""))
 }

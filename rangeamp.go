@@ -80,17 +80,18 @@ type (
 // context-complete Run*Context form honouring cancellation between
 // attack hops; the plain names run under context.Background().
 var (
-	NewSBRTopology = core.NewSBRTopology
-	NewOBRTopology = core.NewOBRTopology
-	RunSBR         = core.RunSBR
-	RunOBR         = core.RunOBR
-	RunOBRAborted  = core.RunOBRAborted
-	RunSBRFlood    = core.RunSBRFlood
-	RunSBROverH2   = core.RunSBROverH2
-	PrimeSizeHint  = core.PrimeSizeHint
-	SBRExploit     = core.SBRExploit
-	PlanMaxN       = core.PlanMaxN
-	OBRFirstToken  = core.OBRFirstToken
+	NewSBRTopology     = core.NewSBRTopology
+	NewOBRTopology     = core.NewOBRTopology
+	NewOBRTopologyOpts = core.NewOBRTopologyOpts
+	RunSBR             = core.RunSBR
+	RunOBR             = core.RunOBR
+	RunOBRAborted      = core.RunOBRAborted
+	RunSBRFlood        = core.RunSBRFlood
+	RunSBROverH2       = core.RunSBROverH2
+	PrimeSizeHint      = core.PrimeSizeHint
+	SBRExploit         = core.SBRExploit
+	PlanMaxN           = core.PlanMaxN
+	OBRFirstToken      = core.OBRFirstToken
 
 	RunSBRContext      = core.RunSBRContext
 	RunOBRContext      = core.RunOBRContext
@@ -100,15 +101,27 @@ var (
 	BuildOverlappingRange = core.BuildOverlappingRange
 )
 
-// Observability: the per-request trace log (SBROptions.Trace) and the
-// process-wide metrics registry every engine reports into.
+// Observability: the span tracer (SBROptions.Trace / OBROptions.Trace)
+// and the process-wide metrics registry every engine reports into.
 type (
-	// TraceLog is a per-request event sink the engines append to.
-	TraceLog = trace.Log
-	// TraceEvent is one recorded engine step.
+	// Tracer samples request roots and assembles per-request span trees
+	// (attacker -> edge -> origin), keeping completed traces in a
+	// bounded ring for export.
+	Tracer = trace.Tracer
+	// TracerConfig sets a Tracer's 1/N head sampling and ring capacity.
+	TracerConfig = trace.Config
+	// Span is one node's share of a request tree.
+	Span = trace.Span
+	// SpanContext is a span's propagated identity (traceparent header).
+	SpanContext = trace.SpanContext
+	// Trace is one completed request tree.
+	Trace = trace.Trace
+	// TraceEvent is one recorded engine step on a span.
 	TraceEvent = trace.Event
 	// TraceKind classifies a TraceEvent.
 	TraceKind = trace.Kind
+	// OBROptions tunes an OBR topology.
+	OBROptions = core.OBROptions
 
 	// Metrics is a registry of counters, gauges and histograms.
 	Metrics = metrics.Registry
@@ -132,8 +145,19 @@ const (
 	TraceReply     = trace.KindReply
 )
 
-// NewTraceLog returns an empty trace log to hang off SBROptions.Trace.
-func NewTraceLog() *TraceLog { return trace.New() }
+// NewTracer returns a tracer to hang off SBROptions.Trace or
+// OBROptions.Trace. A zero TracerConfig yields a disabled tracer;
+// SampleEvery: 1 records every request root.
+func NewTracer(cfg TracerConfig) *Tracer { return trace.New(cfg) }
+
+// DefaultTracer is the process-wide tracer topologies fall back to when
+// no explicit Tracer is configured. It is disabled until configured;
+// the cmd tools enable it from their -trace flags.
+var DefaultTracer = trace.Default
+
+// TraceHeader is the propagation header attack clients inject and the
+// simulated hops re-inject upstream ("traceparent").
+const TraceHeader = trace.Header
 
 // DefaultMetrics is the process-wide registry the simulation engines
 // record into; cmd/origind and cmd/cdnsim expose it at /metrics.

@@ -110,10 +110,10 @@ func TestPublicContextFlow(t *testing.T) {
 }
 
 func TestPublicTraceSurface(t *testing.T) {
-	log := NewTraceLog()
+	tracer := NewTracer(TracerConfig{SampleEvery: 1})
 	store := NewStore()
 	store.AddSynthetic("/video.bin", 64<<10, "application/octet-stream")
-	topo, err := NewSBRTopology(Cloudflare(), store, SBROptions{OriginRangeSupport: true, Trace: log})
+	topo, err := NewSBRTopology(Cloudflare(), store, SBROptions{OriginRangeSupport: true, Trace: tracer})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,13 +121,34 @@ func TestPublicTraceSurface(t *testing.T) {
 	if _, err := RunSBR(topo, "/video.bin", 64<<10, "trace-test"); err != nil {
 		t.Fatal(err)
 	}
-	if log.Count(TraceRequest) == 0 || log.Count(TraceUpstream) == 0 {
-		t.Errorf("trace log missing events: %s", log)
+	traces := tracer.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("completed traces = %d, want 1", len(traces))
 	}
-	var ev TraceEvent = log.Events()[0]
+	var tr *Trace = traces[0]
+	if len(tr.Spans) < 3 {
+		t.Fatalf("span tree has %d spans, want attacker+edge+origin(+fetch):\n%s",
+			len(tr.Spans), tr.Tree())
+	}
+	var root *Span = tr.Root()
+	if root == nil || root.Node != "attacker" {
+		t.Fatalf("root span = %+v", root)
+	}
+	var sc SpanContext = root.Context()
+	if !sc.Valid() {
+		t.Error("root span context invalid")
+	}
+	edge := tr.Spans[1]
+	if edge.EventCount(TraceRequest) == 0 {
+		t.Errorf("edge span missing request event:\n%s", tr.Tree())
+	}
+	var ev TraceEvent = edge.Events[0]
 	var k TraceKind = ev.Kind
 	if k != TraceRequest {
-		t.Errorf("first event kind = %q", k)
+		t.Errorf("first edge event kind = %q", k)
+	}
+	if !strings.Contains(tr.Waterfall(), "attacker") {
+		t.Error("waterfall rendering broken")
 	}
 }
 
