@@ -19,17 +19,19 @@ race:
 	$(GO) test -race ./...
 
 # Full pre-merge gate: vet, build, tests, and a race pass over the
-# scheduler-heavy packages and the daemons that share the process-wide
-# metrics registry and tracer.
+# scheduler-heavy packages, the daemons that share the process-wide
+# metrics registry and tracer, and the pooled wire-path substrate
+# (buffer pools + shared resource views are cross-goroutine state).
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/exp ./internal/core ./internal/metrics ./internal/trace ./cmd/origind ./cmd/cdnsim ./cmd/attack
+	$(GO) test -race ./internal/exp ./internal/core ./internal/metrics ./internal/trace ./internal/multipart ./internal/httpwire ./internal/netsim ./internal/resource ./cmd/origind ./cmd/cdnsim ./cmd/attack
 
-# Regenerates the paper's headline numbers as custom bench metrics.
+# Regenerates the paper's headline numbers as custom bench metrics and
+# snapshots the full suite into BENCH_PR4.json (schema in DESIGN.md).
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem -count=1 ./... | $(GO) run ./cmd/benchjson -out BENCH_PR4.json
 
 # Short fuzzing pass over the three wire parsers.
 fuzz:

@@ -11,6 +11,7 @@ package rangeamp
 import (
 	"context"
 	"fmt"
+	"io"
 	"testing"
 
 	"repro/internal/core"
@@ -234,9 +235,9 @@ func BenchmarkRangeParse(b *testing.B) {
 	}
 }
 
-// BenchmarkMultipartEncode measures n-part body construction, the
-// BCDN's hot path during an OBR flood.
-func BenchmarkMultipartEncode(b *testing.B) {
+// benchMultipartMessage builds the 1000-part OBR body shape shared by
+// the multipart encoding benches.
+func benchMultipartMessage() *multipart.Message {
 	data := resource.Synthetic("/f", 1024, "x").Data
 	msg := &multipart.Message{Boundary: multipart.DefaultBoundary, CompleteLength: 1024}
 	for i := 0; i < 1000; i++ {
@@ -246,11 +247,47 @@ func BenchmarkMultipartEncode(b *testing.B) {
 			Data:        data,
 		})
 	}
+	return msg
+}
+
+// BenchmarkMultipartEncode measures n-part body serialization on the
+// wire path — the BCDN's hot path during an OBR flood — via the
+// streaming encoder (the joined body is never materialized).
+func BenchmarkMultipartEncode(b *testing.B) {
+	msg := benchMultipartMessage()
+	want := msg.EncodedSize()
+	b.SetBytes(want)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := msg.WriteTo(io.Discard)
+		if err != nil || n != want {
+			b.Fatalf("wrote %d bytes, want %d (err %v)", n, want, err)
+		}
+	}
+}
+
+// BenchmarkMultipartEncodeLegacy measures the materializing Encode
+// wrapper, kept for callers that need the joined bytes.
+func BenchmarkMultipartEncodeLegacy(b *testing.B) {
+	msg := benchMultipartMessage()
 	b.SetBytes(msg.EncodedSize())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if len(msg.Encode()) == 0 {
 			b.Fatal("empty encode")
+		}
+	}
+}
+
+// BenchmarkSynthetic25MB measures sweep-cell resource construction; all
+// synthetic resources alias one shared pattern backing, so this must
+// not scale with size.
+func BenchmarkSynthetic25MB(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := resource.Synthetic("/cell.bin", 25<<20, "application/octet-stream")
+		if r.Size() != 25<<20 {
+			b.Fatal("bad size")
 		}
 	}
 }

@@ -37,7 +37,11 @@ type Config struct {
 
 const defaultMaxEntries = 4096
 
-// Object is a cached full-body representation.
+// Object is a cached full-body representation. Body is a shared
+// read-only view: on the serving path it aliases the bytes the edge
+// received (which may themselves alias the origin's resource store), and
+// every cache hit returns the same slice. Neither the cache nor its
+// callers may write through it.
 type Object struct {
 	Body        []byte
 	ContentType string

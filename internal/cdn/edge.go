@@ -10,7 +10,6 @@
 package cdn
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"time"
@@ -136,16 +135,24 @@ func (e *Edge) Serve(l *netsim.Listener) {
 }
 
 // ServeConn handles one client connection with keep-alive semantics.
+// I/O buffers come from the httpwire pools so connection churn under a
+// flood does not allocate per-connection.
 func (e *Edge) ServeConn(conn netsim.Conn) {
 	defer conn.Close()
-	br := bufio.NewReader(conn)
+	br := httpwire.GetReader(conn)
+	defer httpwire.PutReader(br)
+	bw := httpwire.GetWriter(conn)
+	defer httpwire.PutWriter(bw)
 	for {
 		req, err := httpwire.ReadRequest(br, httpwire.Limits{})
 		if err != nil {
 			return
 		}
 		resp := e.Handle(req)
-		if _, err := resp.WriteTo(conn); err != nil {
+		if _, err := resp.WriteTo(bw); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
 			return
 		}
 		if v, _ := req.Headers.Get("Connection"); v == "close" {
@@ -248,7 +255,7 @@ func (e *Edge) handle(req *httpwire.Request, sp *trace.Span) *httpwire.Response 
 	}
 
 	if ret.Relay != nil {
-		sp.Eventf(trace.KindRelay, "HTTP %d, %dB body", ret.Relay.StatusCode, len(ret.Relay.Body))
+		sp.Eventf(trace.KindRelay, "HTTP %d, %dB body", ret.Relay.StatusCode, ret.Relay.BodySize())
 		return e.relay(ret.Relay)
 	}
 
@@ -296,9 +303,12 @@ func (e *Edge) cacheUsable() bool {
 }
 
 // relay passes an upstream response to the client with this edge's
-// headers appended (the Laziness path).
+// headers appended (the Laziness path). The shallow clone shares the
+// upstream body — nothing on the relay path mutates it, and for an OBR
+// reply the body is the full n-part flood, so the deep copy here was
+// one of the largest allocations per request.
 func (e *Edge) relay(upstream *httpwire.Response) *httpwire.Response {
-	resp := upstream.Clone()
+	resp := upstream.CloneShared()
 	for _, h := range e.profile.EdgeHeaders() {
 		if !resp.Headers.Has(h.Name) {
 			resp.Headers.Add(h.Name, h.Value)
@@ -397,7 +407,9 @@ func (u *upstreamFetcher) Fetch(rangeHeader string, maxBody int64) (*httpwire.Re
 	if maxBody > 0 {
 		limit = maxBody
 	}
-	resp, truncated, err := httpwire.ReadResponseLimited(bufio.NewReader(conn), httpwire.Limits{}, limit)
+	upr := httpwire.GetReader(conn)
+	defer httpwire.PutReader(upr)
+	resp, truncated, err := httpwire.ReadResponseLimited(upr, httpwire.Limits{}, limit)
 	if err != nil {
 		err = fmt.Errorf("read upstream response: %w", err)
 		done(0, false, err)

@@ -100,7 +100,10 @@ func (e *Edge) multipartReply(req *httpwire.Request, obj *vendor.Object, ws []ra
 		resp.Headers.Add("Content-Length", strconv.FormatInt(msg.EncodedSize(), 10))
 		return resp
 	}
-	resp.SetBody(msg.Encode())
+	// Stream the n-part body straight from the object's backing bytes —
+	// for an OBR reply this body is the amplified flood itself, so never
+	// materializing it is the single biggest allocation win on the edge.
+	resp.SetBodyStream(msg, msg.EncodedSize())
 	return resp
 }
 

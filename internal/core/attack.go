@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"strconv"
@@ -179,7 +180,7 @@ func CountParts(resp *httpwire.Response) int {
 		}
 		return 0
 	}
-	return strings.Count(string(resp.Body), "--"+boundary+"\r\n")
+	return bytes.Count(resp.Body, []byte("--"+boundary+"\r\n"))
 }
 
 func cutBoundary(ct string) (string, bool) {

@@ -354,15 +354,18 @@ func ServeConn(rw netsim.Conn, h Handler) error {
 			defer snd.closeStream(id)
 			resp := h.Handle(req)
 			hdr := EncodeHeaderBlock(fieldsFromResponse(resp))
+			// h2 frames the body itself, so a streamed body is
+			// materialized here before DATA framing.
+			body := resp.BodyBytes()
 			flags := FlagEndHeaders
-			if len(resp.Body) == 0 {
+			if len(body) == 0 {
 				flags |= FlagEndStream
 			}
 			if err := snd.writeFrame(Frame{Type: FrameHeaders, Flags: flags, StreamID: id, Payload: hdr}); err != nil {
 				return
 			}
-			if len(resp.Body) > 0 {
-				snd.sendData(id, resp.Body) //nolint:errcheck // peer close ends the stream
+			if len(body) > 0 {
+				snd.sendData(id, body) //nolint:errcheck // peer close ends the stream
 			}
 		}()
 		return nil

@@ -52,10 +52,32 @@ func FuzzReadResponse(f *testing.F) {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, raw string) {
-		resp, err := ReadResponse(bufio.NewReader(strings.NewReader(raw)), Limits{MaxHeaderBytes: 64 << 10, MaxBodyBytes: 1 << 20})
+		limits := Limits{MaxHeaderBytes: 64 << 10, MaxBodyBytes: 1 << 20}
+		resp, err := ReadResponse(bufio.NewReader(strings.NewReader(raw)), limits)
+
+		// The pooled reader path must agree with a fresh bufio.Reader on
+		// every input — same accept/reject decision, same parsed bytes —
+		// and pool reuse must never leak bytes from a previous message
+		// into this one (the pool is pre-dirtied with a decoy).
+		decoy := GetReader(strings.NewReader("HTTP/1.1 200 OK\r\nContent-Length: 5\r\nX-Decoy: leak\r\n\r\nLEAKS"))
+		if _, derr := ReadResponse(decoy, limits); derr != nil {
+			t.Fatalf("decoy parse: %v", derr)
+		}
+		PutReader(decoy)
+		pr := GetReader(strings.NewReader(raw))
+		presp, perr := ReadResponse(pr, limits)
+		PutReader(pr)
+		if (err == nil) != (perr == nil) {
+			t.Fatalf("pooled reader disagreed: fresh err=%v pooled err=%v", err, perr)
+		}
 		if err != nil {
 			return
 		}
+		if presp.StatusCode != resp.StatusCode || string(presp.Body) != string(resp.Body) ||
+			len(presp.Headers) != len(resp.Headers) {
+			t.Fatal("pooled reader parsed a different message")
+		}
+
 		if resp.StatusCode < 100 || resp.StatusCode > 999 {
 			t.Fatalf("accepted status %d", resp.StatusCode)
 		}

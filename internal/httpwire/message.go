@@ -2,9 +2,11 @@ package httpwire
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -109,12 +111,24 @@ func (r *Request) WriteTo(w io.Writer) (int64, error) {
 }
 
 // Response is an HTTP/1.1 response with exact wire representation.
+//
+// A response body is either a materialized Body slice or a streamed
+// body installed with SetBodyStream/WriteBodyReader. Streamed bodies
+// are serialized directly to the destination writer at WriteTo time —
+// the joined body bytes are never built in memory — which is what keeps
+// the BCDN's n-part OBR reply allocation-flat. Code that needs the
+// bytes regardless of representation should use BodyBytes/BodySize.
 type Response struct {
 	Proto      string
 	StatusCode int
 	Reason     string
 	Headers    Headers
 	Body       []byte
+
+	// stream, when non-nil, takes precedence over Body. streamSize is
+	// its exact serialized size (the Content-Length).
+	stream     io.WriterTo
+	streamSize int64
 }
 
 // NewResponse returns a response with the canonical reason phrase.
@@ -129,7 +143,7 @@ func (r *Response) StartLineSize() int {
 
 // WireSize returns the exact serialized size of the response.
 func (r *Response) WireSize() int {
-	return r.StartLineSize() + r.Headers.WireSize() + 2 + len(r.Body)
+	return r.StartLineSize() + r.Headers.WireSize() + 2 + int(r.BodySize())
 }
 
 // HeaderSize returns the serialized size of everything except the body.
@@ -137,40 +151,114 @@ func (r *Response) HeaderSize() int {
 	return r.StartLineSize() + r.Headers.WireSize() + 2
 }
 
-// SetBody installs body and keeps Content-Length in sync.
+// BodySize returns the exact body size in bytes, whether the body is
+// materialized or streamed.
+func (r *Response) BodySize() int64 {
+	if r.stream != nil {
+		return r.streamSize
+	}
+	return int64(len(r.Body))
+}
+
+// SetBody installs body and keeps Content-Length in sync. Any
+// previously installed body stream is dropped.
 func (r *Response) SetBody(body []byte) {
 	r.Body = body
+	r.stream = nil
+	r.streamSize = 0
 	r.Headers.Set("Content-Length", strconv.Itoa(len(body)))
 }
 
-// Clone returns a deep copy of the response.
+// SetBodyStream installs a streamed body of exactly size bytes and
+// keeps Content-Length in sync. src is serialized directly to the
+// destination writer at WriteTo time; it must write exactly size bytes
+// and must be replayable if the response is written more than once
+// (multipart.Message satisfies both).
+func (r *Response) SetBodyStream(src io.WriterTo, size int64) {
+	r.Body = nil
+	r.stream = src
+	r.streamSize = size
+	r.Headers.Set("Content-Length", strconv.FormatInt(size, 10))
+}
+
+// WriteBodyReader installs a streamed body drawn from src, which must
+// yield exactly size bytes. The reader is drained through a pooled
+// transfer buffer at WriteTo time; unlike SetBodyStream the body is
+// single-shot (the reader is consumed by the first write).
+func (r *Response) WriteBodyReader(src io.Reader, size int64) {
+	r.SetBodyStream(readerBody{src: src, n: size}, size)
+}
+
+// BodyStream returns the installed body stream, if any.
+func (r *Response) BodyStream() (io.WriterTo, bool) {
+	return r.stream, r.stream != nil
+}
+
+// BodyBytes returns the body as a byte slice, materializing a streamed
+// body. Hot paths never call this on streamed responses; it exists for
+// tests and fault-injection code that must inspect the exact bytes.
+func (r *Response) BodyBytes() []byte {
+	if r.stream == nil {
+		return r.Body
+	}
+	var b bytes.Buffer
+	b.Grow(int(r.streamSize))
+	r.stream.WriteTo(&b) //nolint:errcheck // bytes.Buffer cannot fail
+	return b.Bytes()
+}
+
+// Clone returns a deep copy of the response. A streamed body is carried
+// by reference (streams are replayable, not mutable), so cloning a
+// streaming response stays cheap.
 func (r *Response) Clone() *Response {
-	out := &Response{Proto: r.Proto, StatusCode: r.StatusCode, Reason: r.Reason, Headers: r.Headers.Clone()}
+	out := &Response{Proto: r.Proto, StatusCode: r.StatusCode, Reason: r.Reason,
+		Headers: r.Headers.Clone(), stream: r.stream, streamSize: r.streamSize}
 	if r.Body != nil {
 		out.Body = append([]byte(nil), r.Body...)
 	}
 	return out
 }
 
-// WriteTo serializes the response.
+// CloneShared returns a copy whose headers are independently mutable
+// but whose body aliases the receiver's. This is the relay fast path:
+// an edge that only appends headers before forwarding a response has no
+// reason to copy a megabyte body it will never mutate. Callers must
+// treat the shared body as read-only.
+func (r *Response) CloneShared() *Response {
+	return &Response{Proto: r.Proto, StatusCode: r.StatusCode, Reason: r.Reason,
+		Headers: r.Headers.Clone(), Body: r.Body, stream: r.stream, streamSize: r.streamSize}
+}
+
+// WriteTo serializes the response. Streamed bodies are written straight
+// from their source windows; the joined body is never materialized.
 func (r *Response) WriteTo(w io.Writer) (int64, error) {
 	line := r.Proto + " " + strconv.Itoa(r.StatusCode) + " " + r.Reason
+	if r.stream != nil {
+		total, err := writeMessage(w, line, r.Headers, nil)
+		if err != nil {
+			return total, err
+		}
+		n, err := r.stream.WriteTo(w)
+		return total + n, err
+	}
 	return writeMessage(w, line, r.Headers, r.Body)
 }
 
 func writeMessage(w io.Writer, startLine string, hs Headers, body []byte) (int64, error) {
-	var b strings.Builder
-	b.Grow(len(startLine) + hs.WireSize() + 4)
-	b.WriteString(startLine)
-	b.WriteString("\r\n")
+	sp := getScratch()
+	b := (*sp)[:0]
+	b = append(b, startLine...)
+	b = append(b, '\r', '\n')
 	for _, h := range hs {
-		b.WriteString(h.Name)
-		b.WriteString(": ")
-		b.WriteString(h.Value)
-		b.WriteString("\r\n")
+		b = append(b, h.Name...)
+		b = append(b, ':', ' ')
+		b = append(b, h.Value...)
+		b = append(b, '\r', '\n')
 	}
-	b.WriteString("\r\n")
-	n, err := io.WriteString(w, b.String())
+	b = append(b, '\r', '\n')
+	n, err := w.Write(b)
+	*sp = b
+	putScratch(sp)
 	total := int64(n)
 	if err != nil {
 		return total, err
@@ -344,11 +432,13 @@ func readChunkedBody(br *bufio.Reader, lim Limits, maxBody int64) ([]byte, error
 		if maxBody >= 0 && int64(len(body))+size > maxBody {
 			want = maxBody - int64(len(body))
 		}
-		chunk := make([]byte, want)
-		if _, err := io.ReadFull(br, chunk); err != nil {
+		// Read straight into the body's tail: no per-chunk scratch
+		// allocation, no second copy.
+		old := len(body)
+		body = slices.Grow(body, int(want))[:old+int(want)]
+		if _, err := io.ReadFull(br, body[old:]); err != nil {
 			return body, fmt.Errorf("httpwire: short chunk: %w", err)
 		}
-		body = append(body, chunk...)
 		if want < size {
 			return body, errTruncated
 		}
@@ -373,17 +463,18 @@ func (r *Response) WriteChunked(w io.Writer, chunkSize int) (int64, error) {
 	if err != nil {
 		return total, err
 	}
-	for off := 0; off < len(r.Body); off += chunkSize {
+	body := r.BodyBytes()
+	for off := 0; off < len(body); off += chunkSize {
 		end := off + chunkSize
-		if end > len(r.Body) {
-			end = len(r.Body)
+		if end > len(body) {
+			end = len(body)
 		}
 		n, err := fmt.Fprintf(w, "%x\r\n", end-off)
 		total += int64(n)
 		if err != nil {
 			return total, err
 		}
-		m, err := w.Write(r.Body[off:end])
+		m, err := w.Write(body[off:end])
 		total += int64(m)
 		if err != nil {
 			return total, err

@@ -1,0 +1,116 @@
+package httpwire
+
+import (
+	"bufio"
+	"io"
+	"sync"
+)
+
+// This file holds the pooled-buffer substrate of the wire path. Every
+// request the experiments measure crosses several hops (client, edge,
+// origin), and each hop used to pay fresh allocations for its bufio
+// wrappers and header serialization. The pools below make those costs
+// amortized-zero without changing a single wire byte: pooling affects
+// only where scratch memory comes from, never what is written, so the
+// exact-byte accounting the amplification factors depend on is
+// untouched.
+//
+// Discipline: a pooled object must not be referenced after it is Put
+// back. Readers are Reset(nil) on Put so a stale use fails fast rather
+// than reading another message's connection.
+
+// maxPooledScratch bounds the capacity of header scratch buffers kept
+// in the pool, so one pathological message (an OBR Range header runs to
+// hundreds of KB) does not pin its scratch forever.
+const maxPooledScratch = 64 << 10
+
+var readerPool = sync.Pool{
+	New: func() any { return bufio.NewReader(nil) },
+}
+
+// GetReader returns a pooled *bufio.Reader reading from r. Callers must
+// return it with PutReader once every byte they need from it has been
+// materialized (parsed message bodies are copied out by the readers, so
+// returning the reader never invalidates a parsed message).
+func GetReader(r io.Reader) *bufio.Reader {
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	return br
+}
+
+// PutReader recycles a reader obtained from GetReader. The reader is
+// detached from its source first, so buffered bytes from one connection
+// can never leak into the next message parsed through the pool.
+func PutReader(br *bufio.Reader) {
+	br.Reset(nil)
+	readerPool.Put(br)
+}
+
+var writerPool = sync.Pool{
+	New: func() any { return bufio.NewWriter(nil) },
+}
+
+// GetWriter returns a pooled *bufio.Writer writing to w. The caller
+// owns flushing: PutWriter discards unflushed bytes (the writer may be
+// wrapping a broken connection by then).
+func GetWriter(w io.Writer) *bufio.Writer {
+	bw := writerPool.Get().(*bufio.Writer)
+	bw.Reset(w)
+	return bw
+}
+
+// PutWriter recycles a writer obtained from GetWriter, discarding any
+// unflushed bytes.
+func PutWriter(bw *bufio.Writer) {
+	bw.Reset(nil)
+	writerPool.Put(bw)
+}
+
+var scratchPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// getScratch returns a reusable byte slice for header serialization.
+func getScratch() *[]byte { return scratchPool.Get().(*[]byte) }
+
+// putScratch recycles a scratch buffer, dropping ones that grew past
+// maxPooledScratch.
+func putScratch(b *[]byte) {
+	if cap(*b) > maxPooledScratch {
+		return
+	}
+	*b = (*b)[:0]
+	scratchPool.Put(b)
+}
+
+var copyBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 32<<10)
+		return &b
+	},
+}
+
+// CopyBody copies src to dst through a pooled transfer buffer
+// (io.CopyBuffer-style), so streaming a body never allocates a fresh
+// intermediate buffer per message.
+func CopyBody(dst io.Writer, src io.Reader) (int64, error) {
+	buf := copyBufPool.Get().(*[]byte)
+	n, err := io.CopyBuffer(dst, src, *buf)
+	copyBufPool.Put(buf)
+	return n, err
+}
+
+// readerBody adapts an io.Reader into the io.WriterTo a streamed
+// response body needs, draining it through the pooled transfer buffer.
+// It is single-shot: once written, the reader is consumed.
+type readerBody struct {
+	src io.Reader
+	n   int64 // declared size, for accounting
+}
+
+func (rb readerBody) WriteTo(w io.Writer) (int64, error) {
+	return CopyBody(w, io.LimitReader(rb.src, rb.n))
+}

@@ -1,0 +1,148 @@
+package httpwire
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestPooledReaderNoLeakBetweenMessages(t *testing.T) {
+	// A reader that parsed one message and went back to the pool must
+	// not surface any of that message's bytes when reused for another.
+	first := "HTTP/1.1 200 OK\r\nContent-Length: 26\r\n\r\nAAAAAAAAAAAAAAAAAAAAAAAAAA"
+	second := "HTTP/1.1 206 Partial Content\r\nContent-Length: 2\r\n\r\nbb"
+	for i := 0; i < 100; i++ {
+		br := GetReader(strings.NewReader(first))
+		resp, err := ReadResponse(br, Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(resp.Body) != strings.Repeat("A", 26) {
+			t.Fatalf("first body = %q", resp.Body)
+		}
+		PutReader(br)
+
+		br2 := GetReader(strings.NewReader(second))
+		resp2, err := ReadResponse(br2, Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp2.StatusCode != 206 || string(resp2.Body) != "bb" {
+			t.Fatalf("second message contaminated: status=%d body=%q", resp2.StatusCode, resp2.Body)
+		}
+		if _, err := br2.ReadByte(); err == nil {
+			t.Fatal("pooled reader had leftover bytes after the message")
+		}
+		PutReader(br2)
+	}
+}
+
+func TestPooledWriterDiscardsUnflushed(t *testing.T) {
+	var sink bytes.Buffer
+	bw := GetWriter(&sink)
+	bw.WriteString("never flushed")
+	PutWriter(bw)
+
+	var out bytes.Buffer
+	bw2 := GetWriter(&out)
+	bw2.WriteString("visible")
+	if err := bw2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	PutWriter(bw2)
+	if sink.Len() != 0 {
+		t.Fatalf("unflushed bytes reached the first sink: %q", sink.Bytes())
+	}
+	if out.String() != "visible" {
+		t.Fatalf("second writer wrote %q", out.String())
+	}
+}
+
+func TestCloneSharedAliasesBody(t *testing.T) {
+	resp := NewResponse(200)
+	resp.Headers.Add("X-A", "1")
+	resp.SetBody([]byte("shared body"))
+	cp := resp.CloneShared()
+
+	if &cp.Body[0] != &resp.Body[0] {
+		t.Error("CloneShared must alias the body, not copy it")
+	}
+	// Headers are deep-copied: mutating the clone's must not touch the
+	// original (the relay path appends edge headers to the clone).
+	cp.Headers.Add("X-B", "2")
+	cp.Headers.Set("X-A", "changed")
+	if v, _ := resp.Headers.Get("X-A"); v != "1" {
+		t.Errorf("original header mutated: %q", v)
+	}
+	if resp.Headers.Has("X-B") {
+		t.Error("header added to clone leaked into original")
+	}
+
+	deep := resp.Clone()
+	if len(deep.Body) > 0 && &deep.Body[0] == &resp.Body[0] {
+		t.Error("Clone must deep-copy the body")
+	}
+}
+
+func TestSetBodyStreamWiresIdenticalBytes(t *testing.T) {
+	body := []byte(strings.Repeat("payload!", 512))
+
+	direct := NewResponse(200)
+	direct.Headers.Add("X-Edge", "v")
+	direct.SetBody(body)
+
+	streamed := NewResponse(200)
+	streamed.Headers.Add("X-Edge", "v")
+	streamed.WriteBodyReader(bytes.NewReader(body), int64(len(body)))
+
+	if streamed.BodySize() != int64(len(body)) {
+		t.Fatalf("BodySize = %d", streamed.BodySize())
+	}
+	if streamed.WireSize() != direct.WireSize() {
+		t.Fatalf("WireSize %d != %d", streamed.WireSize(), direct.WireSize())
+	}
+	var a, b bytes.Buffer
+	if _, err := direct.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := streamed.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("streamed serialization differs from materialized serialization")
+	}
+}
+
+func TestBodyBytesMaterializesStream(t *testing.T) {
+	body := []byte("0123456789")
+	resp := NewResponse(200)
+	resp.SetBodyStream(replayableBody(body), int64(len(body)))
+	if _, ok := resp.BodyStream(); !ok {
+		t.Fatal("BodyStream not set")
+	}
+	got := resp.BodyBytes()
+	if !bytes.Equal(got, body) {
+		t.Fatalf("BodyBytes = %q", got)
+	}
+	// Replayable stream: materializing twice gives the same bytes.
+	if !bytes.Equal(resp.BodyBytes(), body) {
+		t.Fatal("second BodyBytes differs")
+	}
+	// SetBody clears the stream.
+	resp.SetBody([]byte("x"))
+	if _, ok := resp.BodyStream(); ok {
+		t.Fatal("SetBody left the stream installed")
+	}
+	if resp.BodySize() != 1 {
+		t.Fatalf("BodySize after SetBody = %d", resp.BodySize())
+	}
+}
+
+// replayableBody is a trivial io.WriterTo over a byte slice.
+type replayableBody []byte
+
+func (rb replayableBody) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(rb)
+	return int64(n), err
+}

@@ -10,7 +10,10 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
+	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/httpwire"
 	"repro/internal/ranges"
@@ -42,7 +45,9 @@ func (m *Message) ContentTypeValue() string {
 }
 
 // ParseContentTypeValue extracts the boundary from a
-// "multipart/byteranges; boundary=..." header value.
+// "multipart/byteranges; boundary=..." header value. The boundary is
+// validated after quote stripping: a quoted-empty `boundary=""` or a
+// value outside the RFC 2046 boundary grammar returns ok=false.
 func ParseContentTypeValue(v string) (boundary string, ok bool) {
 	const prefix = "multipart/byteranges"
 	if !strings.HasPrefix(strings.ToLower(strings.TrimSpace(v)), prefix) {
@@ -51,21 +56,82 @@ func ParseContentTypeValue(v string) (boundary string, ok bool) {
 	for _, param := range strings.Split(v, ";")[1:] {
 		param = strings.TrimSpace(param)
 		if rest, found := strings.CutPrefix(param, "boundary="); found {
-			return strings.Trim(rest, `"`), rest != ""
+			b := strings.Trim(rest, `"`)
+			if !ValidBoundary(b) {
+				return "", false
+			}
+			return b, true
 		}
 	}
 	return "", false
 }
 
+// ValidBoundary reports whether b satisfies the RFC 2046 §5.1.1
+// boundary grammar: 1–70 characters from the bchars set, not ending in
+// a space.
+func ValidBoundary(b string) bool {
+	if len(b) == 0 || len(b) > 70 || b[len(b)-1] == ' ' {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9':
+		case c == '\'' || c == '(' || c == ')' || c == '+' || c == '_' ||
+			c == ',' || c == '-' || c == '.' || c == '/' || c == ':' ||
+			c == '=' || c == '?' || c == ' ':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // partHeaderSize returns the serialized size of one part's header block:
 // dash-boundary line, Content-Type, Content-Range, extras, blank line.
+// It is allocation-free: the Content-Range length is computed
+// numerically instead of rendering the header value.
 func (m *Message) partHeaderSize(p Part) int64 {
 	n := 2 + len(m.Boundary) + 2 // "--boundary\r\n"
 	n += len("Content-Type: ") + len(p.ContentType) + 2
-	n += len("Content-Range: ") + len(p.Window.ContentRange(m.CompleteLength)) + 2
+	n += len("Content-Range: ") + contentRangeLen(p.Window, m.CompleteLength) + 2
 	n += p.Extra.WireSize()
 	n += 2 // blank line
 	return int64(n)
+}
+
+// contentRangeLen is len(w.ContentRange(complete)) without the
+// allocation: len("bytes a-b/L").
+func contentRangeLen(w ranges.Resolved, complete int64) int {
+	return len("bytes ") + decLen(w.Offset) + 1 + decLen(w.End()) + 1 + decLen(complete)
+}
+
+// decLen returns the length of strconv.FormatInt(v, 10).
+func decLen(v int64) int {
+	n := 1
+	if v < 0 {
+		n++ // sign
+		if v == -1<<63 {
+			v = 1 << 62 // avoid negation overflow; same digit count
+		} else {
+			v = -v
+		}
+	}
+	for v >= 10 {
+		v /= 10
+		n++
+	}
+	return n
+}
+
+// appendContentRange appends "bytes a-b/L" to dst.
+func appendContentRange(dst []byte, w ranges.Resolved, complete int64) []byte {
+	dst = append(dst, "bytes "...)
+	dst = strconv.AppendInt(dst, w.Offset, 10)
+	dst = append(dst, '-')
+	dst = strconv.AppendInt(dst, w.End(), 10)
+	dst = append(dst, '/')
+	return strconv.AppendInt(dst, complete, 10)
 }
 
 // EncodedSize returns the exact byte size Encode would produce, without
@@ -79,34 +145,105 @@ func (m *Message) EncodedSize() int64 {
 	return n
 }
 
-// Encode serializes the multipart body.
+// partScratchPool recycles the per-message header scratch buffer the
+// streaming encoder renders boundary lines and part headers into. Part
+// headers are small (~100 B); the cap bounds what a message with huge
+// extra headers can pin in the pool.
+var partScratchPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+const maxPooledPartScratch = 16 << 10
+
+// Encode serializes the multipart body into one freshly allocated
+// slice. It is a WriteTo-into-buffer wrapper kept for callers that need
+// the joined bytes; the wire path streams with WriteTo/EncodeTo and
+// never materializes the body.
 func (m *Message) Encode() []byte {
 	var b bytes.Buffer
 	b.Grow(int(m.EncodedSize()))
-	for _, p := range m.Parts {
-		b.WriteString("--")
-		b.WriteString(m.Boundary)
-		b.WriteString("\r\n")
-		b.WriteString("Content-Type: ")
-		b.WriteString(p.ContentType)
-		b.WriteString("\r\n")
-		b.WriteString("Content-Range: ")
-		b.WriteString(p.Window.ContentRange(m.CompleteLength))
-		b.WriteString("\r\n")
-		for _, h := range p.Extra {
-			b.WriteString(h.Name)
-			b.WriteString(": ")
-			b.WriteString(h.Value)
-			b.WriteString("\r\n")
-		}
-		b.WriteString("\r\n")
-		b.Write(p.Data)
-		b.WriteString("\r\n")
-	}
-	b.WriteString("--")
-	b.WriteString(m.Boundary)
-	b.WriteString("--\r\n")
+	m.EncodeTo(&b) //nolint:errcheck // bytes.Buffer cannot fail
 	return b.Bytes()
+}
+
+// WriteTo streams the serialized body to w, implementing io.WriterTo
+// (so a Message can be installed directly as an httpwire body stream).
+// It writes exactly EncodedSize bytes and is replayable.
+func (m *Message) WriteTo(w io.Writer) (int64, error) {
+	return m.EncodeTo(w)
+}
+
+// EncodeTo streams the multipart body to w without ever building the
+// joined body: part headers are rendered into a pooled scratch buffer
+// and each Part.Data window is written directly from its backing array
+// (which on the serving path is the shared resource store). This is the
+// BCDN's hot path during an OBR flood — an n-part body costs O(part
+// header) scratch instead of O(n·part) heap.
+func (m *Message) EncodeTo(w io.Writer) (int64, error) {
+	sp := partScratchPool.Get().(*[]byte)
+	b := (*sp)[:0]
+	var total int64
+	flush := func() error {
+		if len(b) == 0 {
+			return nil
+		}
+		n, err := w.Write(b)
+		total += int64(n)
+		b = b[:0]
+		return err
+	}
+	for i := range m.Parts {
+		p := &m.Parts[i]
+		// Header block; the data-terminating CRLF of the previous part
+		// rides in front of this boundary line (appended below), so each
+		// part costs two writes: header scratch, then the data window.
+		b = append(b, '-', '-')
+		b = append(b, m.Boundary...)
+		b = append(b, '\r', '\n')
+		b = append(b, "Content-Type: "...)
+		b = append(b, p.ContentType...)
+		b = append(b, '\r', '\n')
+		b = append(b, "Content-Range: "...)
+		b = appendContentRange(b, p.Window, m.CompleteLength)
+		b = append(b, '\r', '\n')
+		for _, h := range p.Extra {
+			b = append(b, h.Name...)
+			b = append(b, ':', ' ')
+			b = append(b, h.Value...)
+			b = append(b, '\r', '\n')
+		}
+		b = append(b, '\r', '\n')
+		if err := flush(); err != nil {
+			putPartScratch(sp, b)
+			return total, err
+		}
+		n, err := w.Write(p.Data)
+		total += int64(n)
+		if err != nil {
+			putPartScratch(sp, b)
+			return total, err
+		}
+		b = append(b, '\r', '\n') // terminates the data just written
+	}
+	b = append(b, '-', '-')
+	b = append(b, m.Boundary...)
+	b = append(b, "--\r\n"...)
+	err := flush()
+	putPartScratch(sp, b)
+	return total, err
+}
+
+// putPartScratch returns the scratch buffer to the pool unless it grew
+// past the retention cap.
+func putPartScratch(sp *[]byte, b []byte) {
+	if cap(b) > maxPooledPartScratch {
+		return
+	}
+	*sp = b[:0]
+	partScratchPool.Put(sp)
 }
 
 // Decode errors.

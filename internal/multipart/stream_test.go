@@ -1,0 +1,201 @@
+package multipart
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/httpwire"
+	"repro/internal/ranges"
+)
+
+// randomMessage builds a message with pseudo-random boundary, part
+// count, windows, data and extra headers from a seeded source, so the
+// differential tests cover many encoder shapes deterministically.
+func randomMessage(rng *rand.Rand) *Message {
+	const bchars = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789'()+_,-./:=?"
+	blen := 1 + rng.Intn(70)
+	b := make([]byte, blen)
+	for i := range b {
+		b[i] = bchars[rng.Intn(len(bchars)-1)] // avoid trailing-space issues entirely
+	}
+	m := &Message{Boundary: string(b), CompleteLength: int64(1 + rng.Intn(1<<20))}
+	for p := 0; p < rng.Intn(8); p++ {
+		data := make([]byte, rng.Intn(512))
+		rng.Read(data)
+		part := Part{
+			ContentType: "application/octet-stream",
+			Window:      ranges.Resolved{Offset: int64(rng.Intn(1000)), Length: int64(len(data))},
+			Data:        data,
+		}
+		for e := 0; e < rng.Intn(3); e++ {
+			part.Extra.Add(fmt.Sprintf("X-Extra-%d", e), strings.Repeat("v", rng.Intn(40)))
+		}
+		m.Parts = append(m.Parts, part)
+	}
+	return m
+}
+
+// legacyEncode is the pre-streaming reference serialization, kept here
+// verbatim so the differential tests compare against an independent
+// implementation rather than Encode (which now wraps EncodeTo).
+func legacyEncode(m *Message) []byte {
+	var b bytes.Buffer
+	for _, p := range m.Parts {
+		fmt.Fprintf(&b, "--%s\r\n", m.Boundary)
+		fmt.Fprintf(&b, "Content-Type: %s\r\n", p.ContentType)
+		fmt.Fprintf(&b, "Content-Range: %s\r\n", p.Window.ContentRange(m.CompleteLength))
+		for _, h := range p.Extra {
+			fmt.Fprintf(&b, "%s: %s\r\n", h.Name, h.Value)
+		}
+		b.WriteString("\r\n")
+		b.Write(p.Data)
+		b.WriteString("\r\n")
+	}
+	fmt.Fprintf(&b, "--%s--\r\n", m.Boundary)
+	return b.Bytes()
+}
+
+func TestWriteToMatchesLegacyEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		m := randomMessage(rng)
+		want := legacyEncode(m)
+		var buf bytes.Buffer
+		n, err := m.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("case %d: WriteTo output differs from legacy encoding", i)
+		}
+		if !bytes.Equal(m.Encode(), want) {
+			t.Fatalf("case %d: Encode output differs from legacy encoding", i)
+		}
+		if n != int64(len(want)) || m.EncodedSize() != n {
+			t.Fatalf("case %d: wrote %d bytes, EncodedSize %d, want %d",
+				i, n, m.EncodedSize(), len(want))
+		}
+	}
+}
+
+// shortWriter accepts limited bytes then fails, exercising the error
+// paths of the streaming encoder.
+type shortWriter struct{ room int }
+
+func (w *shortWriter) Write(p []byte) (int, error) {
+	if len(p) > w.room {
+		n := w.room
+		w.room = 0
+		return n, io.ErrShortWrite
+	}
+	w.room -= len(p)
+	return len(p), nil
+}
+
+func TestEncodeToShortWriteCountsBytes(t *testing.T) {
+	m := twoPartMessage()
+	size := m.EncodedSize()
+	for room := 0; int64(room) < size; room += 7 {
+		n, err := m.EncodeTo(&shortWriter{room: room})
+		if err == nil {
+			t.Fatalf("room=%d: want error", room)
+		}
+		if n > int64(room) {
+			t.Fatalf("room=%d: reported %d bytes written", room, n)
+		}
+	}
+}
+
+func TestWriteToIsReplayable(t *testing.T) {
+	m := twoPartMessage()
+	first := m.Encode()
+	var again bytes.Buffer
+	if _, err := m.WriteTo(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, again.Bytes()) {
+		t.Fatal("second WriteTo differs from first encoding")
+	}
+}
+
+func FuzzEncodeParity(f *testing.F) {
+	f.Add("bnd", []byte("abc"), int64(0), int64(100), "X-Cache", "HIT")
+	f.Add("THIS_STRING_SEPARATES", []byte{}, int64(5), int64(10), "", "")
+	f.Fuzz(func(t *testing.T, boundary string, data []byte, offset, complete int64, hn, hv string) {
+		if !ValidBoundary(boundary) || offset < 0 {
+			return
+		}
+		m := &Message{Boundary: boundary, CompleteLength: complete}
+		part := Part{
+			ContentType: "application/octet-stream",
+			Window:      ranges.Resolved{Offset: offset, Length: int64(len(data))},
+			Data:        data,
+		}
+		if hn != "" && !strings.ContainsAny(hn, ":\r\n ") && !strings.ContainsAny(hv, "\r\n") {
+			part.Extra = httpwire.Headers{{Name: hn, Value: hv}}
+		}
+		m.Parts = []Part{part, part}
+		var buf bytes.Buffer
+		n, err := m.WriteTo(&buf)
+		if err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		if n != m.EncodedSize() || n != int64(buf.Len()) {
+			t.Fatalf("wrote %d, buffered %d, EncodedSize %d", n, buf.Len(), m.EncodedSize())
+		}
+		if !bytes.Equal(buf.Bytes(), m.Encode()) {
+			t.Fatal("WriteTo and Encode disagree")
+		}
+	})
+}
+
+func TestParseContentTypeValueBoundaryValidation(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{`multipart/byteranges; boundary=THIS_STRING_SEPARATES`, "THIS_STRING_SEPARATES", true},
+		{`multipart/byteranges; boundary="quoted"`, "quoted", true},
+		{`multipart/byteranges; boundary=a`, "a", true},
+		{`multipart/byteranges; boundary=` + strings.Repeat("b", 70), strings.Repeat("b", 70), true},
+		// The historical bug: quoted-empty parsed as ok=true with "".
+		{`multipart/byteranges; boundary=""`, "", false},
+		{`multipart/byteranges; boundary=`, "", false},
+		{`multipart/byteranges; boundary=` + strings.Repeat("b", 71), "", false},
+		{`multipart/byteranges; boundary="ends in space "`, "", false},
+		{`multipart/byteranges; boundary=bad{chars}`, "", false},
+		{`multipart/byteranges; boundary=tab	char`, "", false},
+		{`text/plain; boundary=x`, "", false},
+	}
+	for _, tc := range tests {
+		got, ok := ParseContentTypeValue(tc.in)
+		if ok != tc.ok || got != tc.want {
+			t.Errorf("ParseContentTypeValue(%q) = %q,%v, want %q,%v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestValidBoundary(t *testing.T) {
+	for b, want := range map[string]bool{
+		"":                          false,
+		"a":                         true,
+		"has space inside":          true,
+		"trailing space ":           false,
+		strings.Repeat("x", 70):     true,
+		strings.Repeat("x", 71):     false,
+		"ok'()+_,-./:=?":            true,
+		"no@sign":                   false,
+		"no\"quote":                 false,
+		"THIS_STRING_SEPARATES":     true,
+		"3d6b6a416f9b5\r\ninjected": false,
+	} {
+		if got := ValidBoundary(b); got != want {
+			t.Errorf("ValidBoundary(%q) = %v, want %v", b, got, want)
+		}
+	}
+}

@@ -192,12 +192,45 @@ type Conn interface {
 	io.Closer
 }
 
+// pipeBufPool recycles halfPipe backing arrays across connections. The
+// experiments open one connection per attack request (the paper's
+// per-connection traffic observations require it), so without pooling
+// every request re-grows two in-flight windows from nil; with it the
+// steady-state transfer path allocates nothing. Pooling changes only
+// where the window's storage comes from — the byte counters see exactly
+// the same additions, so segment accounting is unaffected.
+var pipeBufPool sync.Pool
+
+// maxPooledPipeBuf bounds the capacity retained per pooled buffer
+// (custom windows larger than this are dropped on close, not pooled).
+const maxPooledPipeBuf = 2 * DefaultWindow
+
+func getPipeBuf() []byte {
+	if v := pipeBufPool.Get(); v != nil {
+		return (*(v.(*[]byte)))[:0]
+	}
+	return make([]byte, 0, 4096)
+}
+
+func putPipeBuf(b []byte) {
+	if cap(b) > maxPooledPipeBuf {
+		return
+	}
+	b = b[:0]
+	pipeBufPool.Put(&b)
+}
+
 // halfPipe is one direction of a connection: a bounded byte queue.
+// buf[off:] holds the unread in-flight bytes; the backing array is
+// pooled and reused for the lifetime of the connection (reads advance
+// off instead of re-slicing, so the array is recycled once drained
+// rather than released to the garbage collector).
 type halfPipe struct {
 	mu          sync.Mutex
 	readable    sync.Cond
 	writable    sync.Cond
 	buf         []byte
+	off         int // read offset into buf
 	window      int
 	writeClosed bool
 	readClosed  bool
@@ -211,21 +244,34 @@ func newHalfPipe(window int, count func(int)) *halfPipe {
 	return h
 }
 
+// pending returns the unread byte count. Callers hold h.mu.
+func (h *halfPipe) pending() int { return len(h.buf) - h.off }
+
 func (h *halfPipe) write(p []byte) (int, error) {
 	total := 0
 	for len(p) > 0 {
 		h.mu.Lock()
-		for len(h.buf) >= h.window && !h.writeClosed && !h.readClosed {
+		for h.pending() >= h.window && !h.writeClosed && !h.readClosed {
 			h.writable.Wait()
 		}
 		if h.writeClosed || h.readClosed {
 			h.mu.Unlock()
 			return total, ErrClosed
 		}
-		room := h.window - len(h.buf)
+		room := h.window - h.pending()
 		n := len(p)
 		if n > room {
 			n = room
+		}
+		if h.buf == nil {
+			h.buf = getPipeBuf()
+		}
+		if h.off > 0 && len(h.buf)+n > cap(h.buf) {
+			// Compact the unread tail to the front so the retained
+			// capacity is reused instead of grown.
+			m := copy(h.buf, h.buf[h.off:])
+			h.buf = h.buf[:m]
+			h.off = 0
 		}
 		h.buf = append(h.buf, p[:n]...)
 		h.count(n)
@@ -240,7 +286,7 @@ func (h *halfPipe) write(p []byte) (int, error) {
 func (h *halfPipe) read(p []byte) (int, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	for len(h.buf) == 0 {
+	for h.pending() == 0 {
 		if h.readClosed {
 			return 0, ErrClosed
 		}
@@ -249,10 +295,12 @@ func (h *halfPipe) read(p []byte) (int, error) {
 		}
 		h.readable.Wait()
 	}
-	n := copy(p, h.buf)
-	h.buf = h.buf[n:]
-	if len(h.buf) == 0 {
-		h.buf = nil // release the backing array of drained windows
+	n := copy(p, h.buf[h.off:])
+	h.off += n
+	if h.off == len(h.buf) {
+		// Drained: rewind onto the same backing array.
+		h.buf = h.buf[:0]
+		h.off = 0
 	}
 	h.writable.Broadcast()
 	return n, nil
@@ -262,7 +310,7 @@ func (h *halfPipe) read(p []byte) (int, error) {
 func (h *halfPipe) undrained() bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.buf) > 0
+	return h.pending() > 0
 }
 
 func (h *halfPipe) closeWrite() {
@@ -277,7 +325,11 @@ func (h *halfPipe) closeRead() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.readClosed = true
-	h.buf = nil
+	if h.buf != nil {
+		putPipeBuf(h.buf)
+		h.buf = nil
+		h.off = 0
+	}
 	h.readable.Broadcast()
 	h.writable.Broadcast()
 }

@@ -1,0 +1,109 @@
+package netsim
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestSequentialConnectionsNoCrossContamination drives many
+// connections back to back so the pipe-buffer pool is certain to hand
+// buffers from closed connections to new ones, and checks every
+// transfer arrives intact — pool reuse must never surface another
+// connection's bytes, and byte accounting must stay exact.
+func TestSequentialConnectionsNoCrossContamination(t *testing.T) {
+	seg := NewSegment("reuse")
+	var total int64
+	for i := 0; i < 50; i++ {
+		client, server := Pipe(seg, 0)
+		payload := bytes.Repeat([]byte{byte('A' + i%26)}, 1000+i*37)
+		var got []byte
+		var rerr error
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			got, rerr = io.ReadAll(server)
+		}()
+		if _, err := client.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+		client.Close()
+		<-done
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("conn %d: transfer corrupted (got %d bytes, want %d)", i, len(got), len(payload))
+		}
+		server.Close()
+		total += int64(len(payload))
+	}
+	if tr := seg.Traffic(); tr.Up != total {
+		t.Errorf("segment counted %d up bytes, want %d", tr.Up, total)
+	}
+}
+
+// TestConcurrentPipesIsolated runs many pipes at once so pooled buffers
+// churn under -race; each pipe's bytes must stay its own.
+func TestConcurrentPipesIsolated(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			seg := NewSegment("par")
+			client, server := Pipe(seg, 0)
+			payload := bytes.Repeat([]byte{byte(id)}, 50000)
+			go func() {
+				client.Write(payload) //nolint:errcheck
+				client.Close()
+			}()
+			got, err := io.ReadAll(server)
+			server.Close()
+			if err != nil {
+				t.Errorf("pipe %d: %v", id, err)
+				return
+			}
+			if !bytes.Equal(got, payload) {
+				t.Errorf("pipe %d: corrupted transfer", id)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestOversizedPipeBufferNotPooled checks the pool retention cap: a
+// window larger than maxPooledPipeBuf must still work (the buffer is
+// simply dropped on close instead of pooled).
+func TestOversizedPipeBufferNotPooled(t *testing.T) {
+	seg := NewSegment("big")
+	net := NewNetwork()
+	net.Window = maxPooledPipeBuf * 2
+	l, err := net.Listen("big:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	payload := bytes.Repeat([]byte{0x5a}, maxPooledPipeBuf+4096)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		conn.Write(payload) //nolint:errcheck
+		conn.Close()
+	}()
+	conn, err := net.Dial("big:80", seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(conn)
+	conn.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %d bytes, want %d", len(got), len(payload))
+	}
+}

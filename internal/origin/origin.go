@@ -6,7 +6,6 @@
 package origin
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"strconv"
@@ -166,26 +165,37 @@ func (s *Server) Serve(l *netsim.Listener) {
 }
 
 // ServeConn handles one connection with HTTP/1.1 keep-alive semantics.
+// The bufio wrappers come from the httpwire pools, so steady-state
+// connection handling does not allocate per-connection I/O buffers.
 func (s *Server) ServeConn(conn netsim.Conn) {
 	defer conn.Close()
-	br := bufio.NewReader(conn)
+	br := httpwire.GetReader(conn)
+	defer httpwire.PutReader(br)
+	bw := httpwire.GetWriter(conn)
+	defer httpwire.PutWriter(bw)
 	for {
 		req, err := httpwire.ReadRequest(br, httpwire.Limits{})
 		if err != nil {
 			return // EOF, peer close, or malformed request
 		}
 		resp := s.Handle(req)
-		if s.cfg.FailAfterBodyBytes > 0 && int64(len(resp.Body)) > s.cfg.FailAfterBodyBytes {
+		if s.cfg.FailAfterBodyBytes > 0 && resp.BodySize() > s.cfg.FailAfterBodyBytes {
 			// Write the headers and a truncated body, then cut the
-			// connection — an interrupted transfer.
-			truncated := resp.Clone()
-			truncated.Body = truncated.Body[:s.cfg.FailAfterBodyBytes]
-			// Content-Length stays at the full size: the peer sees a short read.
-			truncated.Headers.Set("Content-Length", strconv.Itoa(len(resp.Body)))
-			truncated.WriteTo(conn) //nolint:errcheck
+			// connection — an interrupted transfer. The body is
+			// materialized (it may be streamed) and truncated in place;
+			// Content-Length stays at the full size so the peer sees a
+			// short read.
+			full := resp.BodyBytes()
+			resp.SetBody(full[:s.cfg.FailAfterBodyBytes])
+			resp.Headers.Set("Content-Length", strconv.Itoa(len(full)))
+			resp.WriteTo(bw) //nolint:errcheck
+			bw.Flush()       //nolint:errcheck
 			return
 		}
-		if _, err := resp.WriteTo(conn); err != nil {
+		if _, err := resp.WriteTo(bw); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
 			return
 		}
 		if v, _ := req.Headers.Get("Connection"); v == "close" {
@@ -217,7 +227,7 @@ func (s *Server) Handle(req *httpwire.Request) *httpwire.Response {
 	} else {
 		s.mOther.Inc()
 	}
-	n := int64(len(resp.Body))
+	n := resp.BodySize()
 	s.mBodyBytes.Add(n)
 	s.hBodySize.Observe(n)
 	if sp.Recording() {
@@ -378,7 +388,9 @@ func (s *Server) multiRangeResponse(res *resource.Resource, ws []ranges.Resolved
 		resp.Headers.Add("Content-Length", strconv.FormatInt(msg.EncodedSize(), 10))
 		return resp
 	}
-	resp.SetBody(msg.Encode())
+	// The message streams its parts straight from the resource store's
+	// backing array — the joined multipart body is never materialized.
+	resp.SetBodyStream(msg, msg.EncodedSize())
 	return resp
 }
 
@@ -410,7 +422,9 @@ func Fetch(net *netsim.Network, addr string, seg *netsim.Segment, req *httpwire.
 	if _, err := req.WriteTo(conn); err != nil {
 		return nil, err
 	}
-	resp, err := httpwire.ReadResponse(bufio.NewReader(conn), httpwire.Limits{})
+	br := httpwire.GetReader(conn)
+	defer httpwire.PutReader(br)
+	resp, err := httpwire.ReadResponse(br, httpwire.Limits{})
 	if err != nil && !errors.Is(err, netsim.ErrClosed) {
 		return resp, err
 	}

@@ -145,7 +145,7 @@ func TestMaxRangesPerRequest(t *testing.T) {
 	resp := srv.Handle(req)
 	ct, _ := resp.Headers.Get("Content-Type")
 	boundary, _ := multipart.ParseContentTypeValue(ct)
-	msg, err := multipart.Decode(resp.Body, boundary)
+	msg, err := multipart.Decode(resp.BodyBytes(), boundary)
 	if err != nil {
 		t.Fatal(err)
 	}

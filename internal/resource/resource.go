@@ -16,6 +16,43 @@ import (
 	"repro/internal/ranges"
 )
 
+// The synthetic fill byte(i*131 + i>>8*31 + 7) depends on i only through
+// i mod 2^16 (131·i mod 256 has period 256; (i>>8)·31 mod 256 has period
+// 256 in i>>8, i.e. 65536 in i), so every synthetic resource is a prefix
+// of one infinite periodic stream. All Synthetic resources therefore
+// alias a single shared backing array that is grown on demand — a 25 MB
+// sweep cell costs a sub-slice header, not 25 MB of heap per cell.
+const patternPeriod = 64 << 10
+
+var (
+	patternMu  sync.Mutex
+	patternBuf []byte // grows monotonically; published slices are never shrunk
+)
+
+// patternBytes returns a read-only view of the first size bytes of the
+// shared synthetic pattern, growing the backing array if needed. The
+// returned slice is capacity-capped so appends by a caller cannot
+// clobber neighbouring resources' views.
+func patternBytes(size int64) []byte {
+	patternMu.Lock()
+	defer patternMu.Unlock()
+	if int64(len(patternBuf)) < size {
+		// Fill the first period byte by byte, then double by copying —
+		// the stream is periodic so copies preserve the formula.
+		if len(patternBuf) < patternPeriod {
+			n := len(patternBuf)
+			patternBuf = append(patternBuf, make([]byte, patternPeriod-n)...)
+			for i := n; i < patternPeriod; i++ {
+				patternBuf[i] = byte(i*131 + i>>8*31 + 7)
+			}
+		}
+		for int64(len(patternBuf)) < size {
+			patternBuf = append(patternBuf, patternBuf...)
+		}
+	}
+	return patternBuf[:size:size]
+}
+
 // Resource is one origin object.
 type Resource struct {
 	Path         string
@@ -31,16 +68,15 @@ var epoch = time.Date(2020, time.June, 29, 0, 0, 0, 0, time.UTC) // DSN 2020 wee
 
 // Synthetic builds a resource of exactly size bytes with deterministic,
 // position-dependent content (so range slicing bugs corrupt data in a
-// detectable way rather than returning identical bytes).
+// detectable way rather than returning identical bytes). The returned
+// Data is a read-only view into the shared pattern backing array — all
+// synthetic resources of all sizes alias the same storage. Callers must
+// not write through it.
 func Synthetic(path string, size int64, contentType string) *Resource {
-	data := make([]byte, size)
-	for i := range data {
-		data[i] = byte(i*131 + i>>8*31 + 7)
-	}
 	return &Resource{
 		Path:         path,
 		ContentType:  contentType,
-		Data:         data,
+		Data:         patternBytes(size),
 		ETag:         fmt.Sprintf(`"%x-%x"`, size, len(path)*2654435761),
 		LastModified: epoch,
 	}
@@ -49,9 +85,13 @@ func Synthetic(path string, size int64, contentType string) *Resource {
 // Size returns the resource length in bytes.
 func (r *Resource) Size() int64 { return int64(len(r.Data)) }
 
-// Slice returns the bytes of a resolved window. The window must lie
-// inside the resource (Resolve guarantees this); out-of-bounds windows
-// return nil so a caller bug surfaces as a visible empty part.
+// Slice returns the bytes of a resolved window as an aliased read-only
+// view into the resource's backing array (for synthetic resources, the
+// shared pattern store) — no copy is made, so the serving path can
+// stream windows straight to the wire. Callers must not mutate the
+// returned bytes. The window must lie inside the resource (Resolve
+// guarantees this); out-of-bounds windows return nil so a caller bug
+// surfaces as a visible empty part.
 func (r *Resource) Slice(w ranges.Resolved) []byte {
 	if w.Offset < 0 || w.Length <= 0 || w.End() >= r.Size() {
 		return nil
