@@ -20,18 +20,21 @@ race:
 
 # Full pre-merge gate: vet, build, tests, and a race pass over the
 # scheduler-heavy packages, the daemons that share the process-wide
-# metrics registry and tracer, and the pooled wire-path substrate
-# (buffer pools + shared resource views are cross-goroutine state).
+# metrics registry and tracer, the pooled wire-path substrate
+# (buffer pools + shared resource views are cross-goroutine state),
+# and the keep-alive engine (upstream conn pool + sharded cache).
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/exp ./internal/core ./internal/metrics ./internal/trace ./internal/multipart ./internal/httpwire ./internal/netsim ./internal/resource ./cmd/origind ./cmd/cdnsim ./cmd/attack
+	$(GO) test -race ./internal/exp ./internal/core ./internal/metrics ./internal/trace ./internal/multipart ./internal/httpwire ./internal/netsim ./internal/resource ./internal/cdn ./internal/cache ./internal/origin ./cmd/origind ./cmd/cdnsim ./cmd/attack
 
-# Regenerates the paper's headline numbers as custom bench metrics and
-# snapshots the full suite into BENCH_PR4.json (schema in DESIGN.md).
+# Regenerates the paper's headline numbers as custom bench metrics,
+# snapshots the full suite into BENCH_PR5.json (schema in DESIGN.md),
+# and prints the per-benchmark delta against the previous PR's
+# snapshot.
 bench:
-	$(GO) test -bench=. -benchmem -count=1 ./... | $(GO) run ./cmd/benchjson -out BENCH_PR4.json
+	$(GO) test -bench=. -benchmem -count=1 ./... | $(GO) run ./cmd/benchjson -out BENCH_PR5.json -compare BENCH_PR4.json
 
 # Short fuzzing pass over the three wire parsers.
 fuzz:

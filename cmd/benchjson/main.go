@@ -4,7 +4,13 @@
 // stdout so the human-readable table still shows in the terminal, and
 // writes the parsed snapshot to the -out path.
 //
-//	go test -bench=. -benchmem -count=1 ./... | go run ./cmd/benchjson -out BENCH_PR4.json
+//	go test -bench=. -benchmem -count=1 ./... | go run ./cmd/benchjson -out BENCH_PR5.json
+//
+// With -compare it also diffs the fresh snapshot against an older one
+// and prints per-benchmark ns/op, B/op, and allocs/op deltas — the
+// cross-PR regression view:
+//
+//	... | go run ./cmd/benchjson -out BENCH_PR5.json -compare BENCH_PR4.json
 package main
 
 import (
@@ -12,7 +18,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -42,6 +50,7 @@ type Snapshot struct {
 
 func main() {
 	out := flag.String("out", "", "path to write the JSON snapshot (required)")
+	compare := flag.String("compare", "", "older snapshot to diff the fresh one against (optional)")
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
@@ -91,6 +100,75 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+
+	if *compare != "" {
+		oldData, err := os.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: read %s: %v\n", *compare, err)
+			os.Exit(1)
+		}
+		var old Snapshot
+		if err := json.Unmarshal(oldData, &old); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parse %s: %v\n", *compare, err)
+			os.Exit(1)
+		}
+		printDelta(os.Stdout, *compare, old, snap)
+	}
+}
+
+// printDelta diffs two snapshots benchmark-by-benchmark (keyed on
+// pkg+name) and prints the standard-column deltas. Benchmarks present
+// on only one side are listed, not diffed.
+func printDelta(w io.Writer, oldPath string, old, cur Snapshot) {
+	index := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		index[b.Pkg+" "+b.Name] = b
+	}
+	fmt.Fprintf(w, "\ndelta vs %s (ns/op, B/op, allocs/op; negative = faster/leaner):\n", oldPath)
+	fmt.Fprintf(w, "%-52s %14s %14s %8s %9s %11s\n",
+		"benchmark", "old ns/op", "new ns/op", "ns", "B/op", "allocs/op")
+	var added []string
+	seen := make(map[string]bool, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		key := b.Pkg + " " + b.Name
+		seen[key] = true
+		o, ok := index[key]
+		if !ok {
+			added = append(added, b.Name)
+			continue
+		}
+		fmt.Fprintf(w, "%-52s %14.0f %14.0f %8s %9s %11s\n",
+			b.Name, o.NsPerOp, b.NsPerOp,
+			pct(o.NsPerOp, b.NsPerOp),
+			pct(float64(o.BytesPerOp), float64(b.BytesPerOp)),
+			pct(float64(o.AllocsPerOp), float64(b.AllocsPerOp)))
+	}
+	for _, name := range added {
+		fmt.Fprintf(w, "%-52s %14s %14s\n", name, "(new)", "-")
+	}
+	var removed []string
+	for key, b := range index {
+		if !seen[key] {
+			removed = append(removed, b.Name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Fprintf(w, "%-52s %14s %14s\n", name, "(removed)", "-")
+	}
+}
+
+// pct renders the old->new relative change; "~" when either side is
+// missing the column (0) or the change is under 1%.
+func pct(old, cur float64) string {
+	if old == 0 || cur == 0 {
+		return "~"
+	}
+	d := (cur - old) / old * 100
+	if d > -1 && d < 1 {
+		return "~"
+	}
+	return fmt.Sprintf("%+.0f%%", d)
 }
 
 // parseBenchLine parses one "BenchmarkX-8  N  V unit  V unit ..." line.

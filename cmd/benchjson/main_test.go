@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkFloodPooled-8   \t  200\t  326436 ns/op\t  4.000 dials/flood\t 303172 B/op\t 3358 allocs/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if b.Name != "BenchmarkFloodPooled" || b.Procs != 8 || b.Iterations != 200 {
+		t.Errorf("parsed %+v", b)
+	}
+	if b.NsPerOp != 326436 || b.BytesPerOp != 303172 || b.AllocsPerOp != 3358 {
+		t.Errorf("columns %+v", b)
+	}
+	if b.Metrics["dials/flood"] != 4 {
+		t.Errorf("metrics %+v", b.Metrics)
+	}
+	if _, ok := parseBenchLine("ok  \trepro\t0.046s"); ok {
+		t.Error("non-benchmark line accepted")
+	}
+}
+
+func TestPrintDelta(t *testing.T) {
+	old := Snapshot{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", Pkg: "repro", NsPerOp: 1000, BytesPerOp: 100, AllocsPerOp: 10},
+		{Name: "BenchmarkGone", Pkg: "repro", NsPerOp: 50},
+	}}
+	cur := Snapshot{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", Pkg: "repro", NsPerOp: 750, BytesPerOp: 100, AllocsPerOp: 20},
+		{Name: "BenchmarkNew", Pkg: "repro", NsPerOp: 5},
+	}}
+	var sb strings.Builder
+	printDelta(&sb, "OLD.json", old, cur)
+	out := sb.String()
+	for _, want := range []string{
+		"delta vs OLD.json",
+		"-25%",      // BenchmarkA ns/op 1000 -> 750
+		"+100%",     // BenchmarkA allocs/op 10 -> 20
+		"(new)",     // BenchmarkNew
+		"(removed)", // BenchmarkGone
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("delta output missing %q:\n%s", want, out)
+		}
+	}
+	// The unchanged B/op column collapses to "~".
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "BenchmarkA") && !strings.Contains(line, "~") {
+			t.Errorf("BenchmarkA line should mark unchanged B/op with ~: %q", line)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	cases := []struct {
+		old, cur float64
+		want     string
+	}{
+		{1000, 750, "-25%"},
+		{100, 200, "+100%"},
+		{100, 100.5, "~"},
+		{0, 50, "~"},
+		{50, 0, "~"},
+	}
+	for _, tc := range cases {
+		if got := pct(tc.old, tc.cur); got != tc.want {
+			t.Errorf("pct(%v, %v) = %q, want %q", tc.old, tc.cur, got, tc.want)
+		}
+	}
+}

@@ -44,6 +44,9 @@ func run(args []string) error {
 	bypass := fs.Bool("bypass", false, "Cloudflare Bypass cache rule (OBR FCDN position)")
 	disarm := fs.Bool("safe-range-option", false, "put the vendor Range option in its safe position")
 	noCache := fs.Bool("disable-cache", false, "never cache (malicious-customer configuration)")
+	poolSize := fs.Int("upstream-pool", 0, "keep this many persistent upstream connections (0 = a dial per miss, the paper's measured configuration)")
+	poolIdle := fs.Duration("upstream-pool-idle", 30*time.Second, "evict pooled upstream connections idle longer than this")
+	collapse := fs.Bool("collapse", false, "collapse concurrent cache misses for one key into a single upstream fetch")
 	statsEvery := fs.Duration("stats", 5*time.Second, "traffic counter log interval (0 = off)")
 	withDetector := fs.Bool("detect", false, "screen requests with the RangeAmp detector (§VI-C)")
 	h2Also := fs.Bool("h2", false, "serve HTTP/2 (prior-knowledge cleartext) on addr+1 as well")
@@ -82,6 +85,11 @@ func run(args []string) error {
 		log.Printf("detector enabled: %s", detector.DescribeConfig())
 		inspector = detector
 	}
+	var pool *cdn.PoolConfig
+	if *poolSize > 0 {
+		pool = &cdn.PoolConfig{Size: *poolSize, IdleTimeout: *poolIdle}
+		log.Printf("upstream pool enabled: %d conns, %v idle timeout", *poolSize, *poolIdle)
+	}
 	upstreamSeg := netsim.NewSegment("cdn-origin")
 	edge, err := cdn.NewEdge(cdn.Config{
 		Profile:      profile,
@@ -90,9 +98,23 @@ func run(args []string) error {
 		UpstreamSeg:  upstreamSeg,
 		DisableCache: *noCache,
 		Inspector:    inspector,
+		UpstreamPool: pool,
+		Collapse:     *collapse,
 	})
 	if err != nil {
 		return err
+	}
+	defer edge.Close()
+	if pool != nil && *poolIdle > 0 {
+		// The pool reaps lazily on use; this ticker also drains it while
+		// the edge sits idle, so stale sockets don't linger.
+		go func() {
+			ticker := time.NewTicker(*poolIdle)
+			defer ticker.Stop()
+			for range ticker.C {
+				edge.ReapIdleUpstream()
+			}
+		}()
 	}
 
 	l, err := net.Listen("tcp", *addr)

@@ -1,0 +1,59 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchContention hammers a hot key space from many goroutines. The
+// shards=1 case is the pre-sharding cache (one mutex in front of
+// everything); the shards=16 case is the default sharded layout. Run
+// together they put a number on the lock contention the sharding
+// removes.
+func benchContention(b *testing.B, shards int) {
+	const keys = 512
+	c := New(Config{IncludeQueryInKey: true, MaxEntries: 4 * keys, Shards: shards})
+	for i := 0; i < keys; i++ {
+		c.Put(fmt.Sprintf("/f%d", i), obj(1))
+	}
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			key := fmt.Sprintf("/f%d", i%keys)
+			if i%8 == 0 {
+				c.Put(key, obj(1))
+			} else if _, ok := c.Get(key); !ok {
+				b.Fatalf("%s missing", key)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkCacheContention is the parallel=8 mixed Get/Put workload at
+// both shard extremes.
+func BenchmarkCacheContention(b *testing.B) {
+	for _, shards := range []int{1, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchContention(b, shards)
+		})
+	}
+}
+
+// BenchmarkCacheDo measures the singleflight fast path: a Do on a
+// cached key is a hit and must not pay flight bookkeeping.
+func BenchmarkCacheDo(b *testing.B) {
+	c := New(Config{IncludeQueryInKey: true})
+	c.Put("/hot", obj(1))
+	b.ReportAllocs()
+	b.SetParallelism(8)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := c.Do("/hot", func() (*Object, error) { return obj(1), nil }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

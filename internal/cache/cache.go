@@ -2,12 +2,21 @@
 // what make the SBR attack practical: because the default key includes
 // the query string, a random "?cb=…" suffix forces a cache miss and a
 // fresh back-to-origin fetch on every attack request (§II-A).
+//
+// The cache is sharded: the key hashes to one of a small number of
+// independently locked LRU shards, so a flood hammering many distinct
+// keys (the SBR request mix) contends on 1/N of the lock space instead
+// of one global mutex. Each shard also runs singleflight request
+// collapsing (Do): concurrent misses on the same key elect one leader
+// to perform the fetch while the others wait and share its result —
+// the "reduce redundant back-to-origin traffic" defence family.
 package cache
 
 import (
 	"container/list"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -27,6 +36,12 @@ type Config struct {
 	// MaxEntries bounds the cache size with LRU eviction. Zero means 4096.
 	MaxEntries int
 
+	// Shards is the target shard count; it is rounded down to a power
+	// of two and shrunk until every shard holds at least a handful of
+	// entries, so small caches degrade to one shard with exact global
+	// LRU order. Zero means 16.
+	Shards int
+
 	// BypassPrefixes lists path prefixes that are never cached (the
 	// Cloudflare "Bypass" cache rule).
 	BypassPrefixes []string
@@ -35,7 +50,15 @@ type Config struct {
 	Now func() time.Time
 }
 
-const defaultMaxEntries = 4096
+const (
+	defaultMaxEntries = 4096
+	defaultShards     = 16
+
+	// minPerShard is the smallest per-shard capacity worth splitting
+	// for: below it, hashing would evict entries a global LRU would
+	// keep, so the cache collapses to fewer shards instead.
+	minPerShard = 8
+)
 
 // Object is a cached full-body representation. Body is a shared
 // read-only view: on the serving path it aliases the bytes the edge
@@ -50,29 +73,54 @@ type Object struct {
 
 // Stats is a snapshot of cache effectiveness counters.
 type Stats struct {
-	Hits      int64
-	Misses    int64
-	Bypasses  int64
-	Evictions int64 // entries dropped by TTL expiry or LRU pressure
+	Hits       int64
+	Misses     int64
+	Bypasses   int64
+	ExpiredTTL int64 // entries dropped because their TTL lapsed
+	EvictedLRU int64 // entries dropped by LRU capacity pressure
+	Collapsed  int64 // misses served by another request's in-flight fetch
+
+	// Deprecated: Evictions is ExpiredTTL+EvictedLRU, kept for callers
+	// that predate the split.
+	Evictions int64
 }
 
-// Cache is a concurrency-safe LRU+TTL object cache.
+// Cache is a concurrency-safe sharded LRU+TTL object cache.
 type Cache struct {
-	cfg Config
+	cfg    Config
+	shards []*shard
+	mask   uint32
 
-	mu      sync.Mutex
-	entries map[string]*list.Element
-	order   *list.List // front = most recently used
-	stats   Stats
+	bypasses atomic.Int64
 
 	// Process-wide mirrors of the stats, resolved at construction.
-	mHits, mMisses, mBypasses, mEvictions *metrics.Counter
+	mHits, mMisses, mBypasses             *metrics.Counter
+	mEvictions, mExpiredTTL, mEvictedLRU  *metrics.Counter
+	mCollapsed, mCollapseLead, mContended *metrics.Counter
 }
 
 type entry struct {
 	key     string
 	obj     *Object
 	savedAt time.Time
+}
+
+// flight is one in-progress singleflight fetch; waiters block on done
+// and then read obj/err (published before done closes).
+type flight struct {
+	done chan struct{}
+	obj  *Object
+	err  error
+}
+
+// shard is one independently locked slice of the key space.
+type shard struct {
+	mu       sync.Mutex
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+	inflight map[string]*flight
+	max      int
+	stats    Stats
 }
 
 // New returns an empty cache.
@@ -83,10 +131,11 @@ func New(cfg Config) *Cache {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	return &Cache{
-		cfg:     cfg,
-		entries: make(map[string]*list.Element),
-		order:   list.New(),
+	n := shardCount(cfg.Shards, cfg.MaxEntries)
+	c := &Cache{
+		cfg:    cfg,
+		shards: make([]*shard, n),
+		mask:   uint32(n - 1),
 		mHits: metrics.Default.Counter("cache_hits_total",
 			"Requests served from an edge cache."),
 		mMisses: metrics.Default.Counter("cache_misses_total",
@@ -94,7 +143,71 @@ func New(cfg Config) *Cache {
 		mBypasses: metrics.Default.Counter("cache_bypasses_total",
 			"Requests whose target bypasses caching entirely."),
 		mEvictions: metrics.Default.Counter("cache_evictions_total",
-			"Entries dropped by TTL expiry or LRU pressure."),
+			"Entries dropped by TTL expiry or LRU pressure (sum of the split counters)."),
+		mExpiredTTL: metrics.Default.Counter("cache_expired_ttl_total",
+			"Entries dropped because their TTL lapsed."),
+		mEvictedLRU: metrics.Default.Counter("cache_evicted_lru_total",
+			"Entries dropped by LRU capacity pressure."),
+		mCollapsed: metrics.Default.Counter("cache_collapsed_total",
+			"Misses served by collapsing onto another request's in-flight fetch."),
+		mCollapseLead: metrics.Default.Counter("cache_collapse_leaders_total",
+			"Misses elected to perform the fetch other requests collapsed onto."),
+		mContended: metrics.Default.Counter("cache_shard_contention_total",
+			"Lock acquisitions that found their shard already held."),
+	}
+	per, extra := cfg.MaxEntries/n, cfg.MaxEntries%n
+	for i := range c.shards {
+		max := per
+		if i < extra {
+			max++
+		}
+		c.shards[i] = &shard{
+			entries:  make(map[string]*list.Element),
+			order:    list.New(),
+			inflight: make(map[string]*flight),
+			max:      max,
+		}
+	}
+	return c
+}
+
+// shardCount resolves the shard count: a power of two, shrunk until
+// each shard's capacity share reaches minPerShard (a 3-entry cache
+// gets one shard and exact global LRU semantics).
+func shardCount(want, maxEntries int) int {
+	n := want
+	if n <= 0 {
+		n = defaultShards
+	}
+	for n&(n-1) != 0 {
+		n &= n - 1 // round down to a power of two
+	}
+	for n > 1 && maxEntries/n < minPerShard {
+		n >>= 1
+	}
+	return n
+}
+
+// shardFor picks the key's shard by FNV-1a hash.
+func (c *Cache) shardFor(key string) *shard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return c.shards[h&c.mask]
+}
+
+// lock acquires the shard mutex, counting the acquisitions that found
+// it already held (the contention signal the sharding exists to shrink).
+func (c *Cache) lock(s *shard) {
+	if !s.mu.TryLock() {
+		c.mContended.Inc()
+		s.mu.Lock()
 	}
 }
 
@@ -120,28 +233,34 @@ func (c *Cache) Key(target string) (key string, cacheable bool) {
 // hit, miss or bypass.
 func (c *Cache) Get(target string) (*Object, bool) {
 	key, cacheable := c.Key(target)
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if !cacheable {
-		c.stats.Bypasses++
+		c.bypasses.Add(1)
 		c.mBypasses.Inc()
 		return nil, false
 	}
-	elem, ok := c.entries[key]
+	s := c.shardFor(key)
+	c.lock(s)
+	defer s.mu.Unlock()
+	return c.getLocked(s, key)
+}
+
+// getLocked is the fresh-entry lookup; callers hold s.mu.
+func (c *Cache) getLocked(s *shard, key string) (*Object, bool) {
+	elem, ok := s.entries[key]
 	if !ok {
-		c.stats.Misses++
+		s.stats.Misses++
 		c.mMisses.Inc()
 		return nil, false
 	}
 	ent := elem.Value.(*entry)
 	if c.cfg.TTL > 0 && c.cfg.Now().Sub(ent.savedAt) > c.cfg.TTL {
-		c.evictLocked(elem)
-		c.stats.Misses++
+		c.evictLocked(s, elem, true)
+		s.stats.Misses++
 		c.mMisses.Inc()
 		return nil, false
 	}
-	c.order.MoveToFront(elem)
-	c.stats.Hits++
+	s.order.MoveToFront(elem)
+	s.stats.Hits++
 	c.mHits.Inc()
 	return ent.obj, true
 }
@@ -153,54 +272,134 @@ func (c *Cache) Put(target string, obj *Object) {
 	if !cacheable || obj == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if elem, ok := c.entries[key]; ok {
+	s := c.shardFor(key)
+	c.lock(s)
+	defer s.mu.Unlock()
+	c.putLocked(s, key, obj)
+}
+
+func (c *Cache) putLocked(s *shard, key string, obj *Object) {
+	if elem, ok := s.entries[key]; ok {
 		ent := elem.Value.(*entry)
 		ent.obj = obj
 		ent.savedAt = c.cfg.Now()
-		c.order.MoveToFront(elem)
+		s.order.MoveToFront(elem)
 		return
 	}
-	elem := c.order.PushFront(&entry{key: key, obj: obj, savedAt: c.cfg.Now()})
-	c.entries[key] = elem
-	for len(c.entries) > c.cfg.MaxEntries {
-		oldest := c.order.Back()
+	elem := s.order.PushFront(&entry{key: key, obj: obj, savedAt: c.cfg.Now()})
+	s.entries[key] = elem
+	for len(s.entries) > s.max {
+		oldest := s.order.Back()
 		if oldest == nil {
 			break
 		}
-		c.evictLocked(oldest)
+		c.evictLocked(s, oldest, false)
 	}
+}
+
+// Do returns the object for target, collapsing concurrent misses on the
+// same key onto a single fetch: the first miss becomes the leader and
+// runs fetch; misses arriving while it is in flight wait and share its
+// result (collapsed=true) instead of issuing their own upstream fetch.
+// A successful fetch is stored under the key before waiters wake. A
+// leader that fails, or returns nil (an uncacheable outcome), releases
+// its waiters with (nil, true, err): callers fall back to their own
+// non-collapsed path. Bypassed targets run fetch directly.
+func (c *Cache) Do(target string, fetch func() (*Object, error)) (obj *Object, collapsed bool, err error) {
+	key, cacheable := c.Key(target)
+	if !cacheable {
+		c.bypasses.Add(1)
+		c.mBypasses.Inc()
+		obj, err = fetch()
+		return obj, false, err
+	}
+	s := c.shardFor(key)
+	c.lock(s)
+	if obj, ok := c.getLocked(s, key); ok {
+		s.mu.Unlock()
+		return obj, false, nil
+	}
+	if fl, ok := s.inflight[key]; ok {
+		// A leader is already fetching this key: wait for it off-lock.
+		s.mu.Unlock()
+		<-fl.done
+		c.lock(s)
+		s.stats.Collapsed++
+		s.mu.Unlock()
+		c.mCollapsed.Inc()
+		return fl.obj, true, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	s.inflight[key] = fl
+	s.mu.Unlock()
+	c.mCollapseLead.Inc()
+
+	fl.obj, fl.err = fetch()
+
+	c.lock(s)
+	if fl.obj != nil && fl.err == nil {
+		c.putLocked(s, key, fl.obj)
+	}
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(fl.done)
+	return fl.obj, false, fl.err
 }
 
 // Purge drops every entry.
 func (c *Cache) Purge() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries = make(map[string]*list.Element)
-	c.order.Init()
+	for _, s := range c.shards {
+		c.lock(s)
+		s.entries = make(map[string]*list.Element)
+		s.order.Init()
+		s.mu.Unlock()
+	}
 }
 
 // Len returns the number of cached entries.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for _, s := range c.shards {
+		c.lock(s)
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Stats returns a snapshot of the counters.
+// ShardCount returns the number of shards the key space resolved to.
+func (c *Cache) ShardCount() int { return len(c.shards) }
+
+// Stats returns a snapshot of the counters summed across shards.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	var out Stats
+	for _, s := range c.shards {
+		c.lock(s)
+		out.Hits += s.stats.Hits
+		out.Misses += s.stats.Misses
+		out.ExpiredTTL += s.stats.ExpiredTTL
+		out.EvictedLRU += s.stats.EvictedLRU
+		out.Collapsed += s.stats.Collapsed
+		s.mu.Unlock()
+	}
+	out.Bypasses = c.bypasses.Load()
+	out.Evictions = out.ExpiredTTL + out.EvictedLRU
+	return out
 }
 
-// evictLocked removes an entry and accounts the eviction (TTL expiry
-// or LRU pressure; Purge does not count, it is an operator action).
-func (c *Cache) evictLocked(elem *list.Element) {
+// evictLocked removes an entry and accounts the eviction under its
+// cause (Purge does not count, it is an operator action). Callers hold
+// s.mu.
+func (c *Cache) evictLocked(s *shard, elem *list.Element, expired bool) {
 	ent := elem.Value.(*entry)
-	delete(c.entries, ent.key)
-	c.order.Remove(elem)
-	c.stats.Evictions++
+	delete(s.entries, ent.key)
+	s.order.Remove(elem)
+	if expired {
+		s.stats.ExpiredTTL++
+		c.mExpiredTTL.Inc()
+	} else {
+		s.stats.EvictedLRU++
+		c.mEvictedLRU.Inc()
+	}
 	c.mEvictions.Inc()
 }

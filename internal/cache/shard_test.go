@@ -1,0 +1,228 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestShardCountResolution(t *testing.T) {
+	cases := []struct {
+		want, maxEntries, expect int
+	}{
+		{0, 4096, 16},  // defaults
+		{0, 64, 8},     // shrunk so each shard keeps >= minPerShard
+		{0, 3, 1},      // tiny cache collapses to exact global LRU
+		{32, 4096, 32}, // explicit power of two kept
+		{33, 4096, 32}, // rounded down to a power of two
+		{8, 16, 2},     // shrunk: 16 entries over 8 shards is too thin
+	}
+	for _, tc := range cases {
+		if got := shardCount(tc.want, tc.maxEntries); got != tc.expect {
+			t.Errorf("shardCount(%d, %d) = %d, want %d", tc.want, tc.maxEntries, got, tc.expect)
+		}
+	}
+	c := New(Config{IncludeQueryInKey: true, MaxEntries: 4096, Shards: 8})
+	if c.ShardCount() != 8 {
+		t.Errorf("ShardCount = %d, want 8", c.ShardCount())
+	}
+}
+
+func TestShardedCapacityBound(t *testing.T) {
+	c := New(Config{IncludeQueryInKey: true, MaxEntries: 100, Shards: 4})
+	for i := 0; i < 1000; i++ {
+		c.Put(fmt.Sprintf("/f%d", i), obj(1))
+	}
+	if n := c.Len(); n > 100 {
+		t.Errorf("Len = %d, want <= 100", n)
+	}
+	st := c.Stats()
+	if st.EvictedLRU == 0 {
+		t.Error("no LRU evictions recorded under capacity pressure")
+	}
+	if st.ExpiredTTL != 0 {
+		t.Errorf("ExpiredTTL = %d without a TTL", st.ExpiredTTL)
+	}
+	if st.Evictions != st.ExpiredTTL+st.EvictedLRU {
+		t.Errorf("deprecated Evictions = %d, want sum %d", st.Evictions, st.ExpiredTTL+st.EvictedLRU)
+	}
+}
+
+func TestEvictionSplitTTLvsLRU(t *testing.T) {
+	now := time.Unix(0, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	c := New(Config{IncludeQueryInKey: true, MaxEntries: 3, TTL: time.Minute, Now: clock})
+	c.Put("/a", obj(1))
+	mu.Lock()
+	now = now.Add(2 * time.Minute)
+	mu.Unlock()
+	c.Get("/a") // TTL lapse
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("/f%d", i), obj(1)) // one LRU eviction
+	}
+	st := c.Stats()
+	if st.ExpiredTTL != 1 {
+		t.Errorf("ExpiredTTL = %d, want 1", st.ExpiredTTL)
+	}
+	if st.EvictedLRU != 1 {
+		t.Errorf("EvictedLRU = %d, want 1", st.EvictedLRU)
+	}
+	if st.Evictions != 2 {
+		t.Errorf("Evictions = %d, want 2", st.Evictions)
+	}
+}
+
+func TestDoCollapsesConcurrentMisses(t *testing.T) {
+	c := New(Config{IncludeQueryInKey: true})
+	const K = 16
+	var fetches atomic.Int64
+	arrived := make(chan struct{})
+	release := make(chan struct{})
+
+	// The leader parks inside fetch; every Do issued while it is parked
+	// must join its flight (the key has no cached entry and a registered
+	// flight, so the waiter branch is the only path).
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		c.Do("/hot?cb=x", func() (*Object, error) { //nolint:errcheck
+			fetches.Add(1)
+			close(arrived)
+			<-release
+			return obj(7), nil
+		})
+	}()
+	<-arrived
+
+	var wg sync.WaitGroup
+	objs := make([]*Object, K)
+	collapsed := make([]bool, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o, col, err := c.Do("/hot?cb=x", func() (*Object, error) {
+				fetches.Add(1)
+				return obj(7), nil
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			objs[i] = o
+			collapsed[i] = col
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	<-leaderDone
+
+	if n := fetches.Load(); n != 1 {
+		t.Errorf("fetches = %d, want exactly 1 for %d concurrent misses", n, K+1)
+	}
+	for i, o := range objs {
+		if o == nil || o.Size != 7 {
+			t.Errorf("waiter %d got %+v", i, o)
+		}
+		if !collapsed[i] {
+			t.Errorf("waiter %d was not collapsed", i)
+		}
+	}
+	if st := c.Stats(); st.Collapsed != K {
+		t.Errorf("Collapsed = %d, want %d", st.Collapsed, K)
+	}
+}
+
+func TestDoLeaderCachesResult(t *testing.T) {
+	c := New(Config{IncludeQueryInKey: true})
+	o, collapsed, err := c.Do("/a", func() (*Object, error) { return obj(3), nil })
+	if err != nil || collapsed || o.Size != 3 {
+		t.Fatalf("Do = %+v,%v,%v", o, collapsed, err)
+	}
+	if got, ok := c.Get("/a"); !ok || got.Size != 3 {
+		t.Error("leader's fetch was not cached")
+	}
+	// A second Do is a plain hit, not a new fetch.
+	ran := false
+	o, collapsed, err = c.Do("/a", func() (*Object, error) { ran = true; return nil, nil })
+	if err != nil || collapsed || o.Size != 3 || ran {
+		t.Errorf("second Do = %+v,%v,%v ran=%v", o, collapsed, err, ran)
+	}
+}
+
+func TestDoLeaderFailureReleasesWaiters(t *testing.T) {
+	c := New(Config{IncludeQueryInKey: true})
+	boom := errors.New("origin down")
+	arrived := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.Do("/bad", func() (*Object, error) { //nolint:errcheck
+			close(arrived)
+			<-release
+			return nil, boom
+		})
+	}()
+	<-arrived
+	waiter := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do("/bad", func() (*Object, error) { return obj(1), nil })
+		waiter <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	if err := <-waiter; !errors.Is(err, boom) {
+		t.Errorf("waiter err = %v, want the leader's error", err)
+	}
+	if _, ok := c.Get("/bad"); ok {
+		t.Error("failed fetch was cached")
+	}
+}
+
+func TestDoBypassRunsDirectly(t *testing.T) {
+	c := New(Config{IncludeQueryInKey: true, BypassPrefixes: []string{"/nocache/"}})
+	ran := 0
+	for i := 0; i < 2; i++ {
+		o, collapsed, err := c.Do("/nocache/f", func() (*Object, error) { ran++; return obj(1), nil })
+		if err != nil || collapsed || o == nil {
+			t.Fatalf("Do = %+v,%v,%v", o, collapsed, err)
+		}
+	}
+	if ran != 2 {
+		t.Errorf("fetch ran %d times, want 2 (bypass never collapses or caches)", ran)
+	}
+	if c.Len() != 0 {
+		t.Error("bypassed target was cached")
+	}
+}
+
+func TestShardedConcurrentDo(t *testing.T) {
+	// Race-detector workout: many goroutines hammering Do/Get/Put over a
+	// small hot key space across all shards.
+	c := New(Config{IncludeQueryInKey: true, MaxEntries: 256, Shards: 16})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				key := fmt.Sprintf("/f%d", i%32)
+				switch i % 3 {
+				case 0:
+					c.Do(key, func() (*Object, error) { return obj(i % 10), nil }) //nolint:errcheck
+				case 1:
+					c.Get(key)
+				default:
+					c.Put(key, obj(i%10))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 256 {
+		t.Errorf("cache exceeded bound: %d", n)
+	}
+}

@@ -46,6 +46,18 @@ type Config struct {
 	DisableCache bool            // force every request to miss (malicious-customer config)
 	Inspector    Inspector       // optional request screening (nil = off)
 	Trace        *trace.Tracer   // span sink (nil = trace.Default, disabled unless configured)
+
+	// UpstreamPool enables persistent back-to-origin connections: each
+	// fetch borrows a pooled keep-alive connection instead of paying a
+	// fresh dial/close cycle. Nil keeps the per-request dial path the
+	// paper's per-connection observations were measured on.
+	UpstreamPool *PoolConfig
+
+	// Collapse enables singleflight request collapsing: concurrent
+	// cache misses on one key trigger exactly one upstream fetch, the
+	// rest wait and share the fetched object. Off by default — a
+	// collapsing edge is a mitigation posture, not the measured one.
+	Collapse bool
 }
 
 // Edge is one CDN edge node.
@@ -56,6 +68,8 @@ type Edge struct {
 	upstreamSeg  *netsim.Segment
 	cache        *cache.Cache
 	disableCache bool
+	collapse     bool
+	pool         *connPool // nil = dial per fetch
 	state        *vendor.EdgeState
 	inspector    Inspector
 	tracer       *trace.Tracer
@@ -92,6 +106,10 @@ func NewEdge(cfg Config) (*Edge, error) {
 	vend := metrics.L("vendor", cfg.Profile.Name)
 	const rejectName = "cdn_rejections_total"
 	const rejectHelp = "Requests refused before any upstream traffic, by reason."
+	var pool *connPool
+	if cfg.UpstreamPool != nil {
+		pool = newConnPool(*cfg.UpstreamPool, dialer, cfg.UpstreamAddr, cfg.UpstreamSeg, vend)
+	}
 	return &Edge{
 		profile:      cfg.Profile,
 		dialer:       dialer,
@@ -99,6 +117,8 @@ func NewEdge(cfg Config) (*Edge, error) {
 		upstreamSeg:  cfg.UpstreamSeg,
 		cache:        c,
 		disableCache: cfg.DisableCache || !cfg.Profile.CacheByDefault,
+		collapse:     cfg.Collapse,
+		pool:         pool,
 		state:        vendor.NewEdgeState(),
 		inspector:    cfg.Inspector,
 		tracer:       tracer,
@@ -122,6 +142,33 @@ func (e *Edge) Profile() *vendor.Profile { return e.profile }
 
 // Cache returns the edge cache (for stats and test inspection).
 func (e *Edge) Cache() *cache.Cache { return e.cache }
+
+// Close releases the edge's pooled upstream connections. Safe on an
+// edge without a pool, and safe to call more than once.
+func (e *Edge) Close() error {
+	if e.pool != nil {
+		e.pool.Close()
+	}
+	return nil
+}
+
+// ReapIdleUpstream evicts pooled upstream connections idle past the
+// pool's timeout, returning how many were dropped (0 without a pool).
+func (e *Edge) ReapIdleUpstream() int {
+	if e.pool == nil {
+		return 0
+	}
+	return e.pool.ReapIdle()
+}
+
+// IdleUpstreamConns returns the pool's current idle connection count
+// (0 without a pool).
+func (e *Edge) IdleUpstreamConns() int {
+	if e.pool == nil {
+		return 0
+	}
+	return e.pool.IdleConns()
+}
 
 // Serve accepts connections until the listener closes.
 func (e *Edge) Serve(l *netsim.Listener) {
@@ -227,18 +274,71 @@ func (e *Edge) handle(req *httpwire.Request, sp *trace.Span) *httpwire.Response 
 	key, keyOK := e.cache.Key(req.Target)
 	cacheable = cacheable && keyOK
 
+	if cacheable && e.collapse {
+		return e.handleCollapsed(req, rawRange, hasRange, set, key, sp)
+	}
 	if cacheable {
 		if obj, ok := e.cache.Get(req.Target); ok {
 			sp.Eventf(trace.KindCacheHit, "%s (%dB cached)", req.Target, obj.Size)
-			return e.replyFromObject(req, set, hasRange, &vendor.Object{
-				Body:         obj.Body,
-				CompleteSize: obj.Size,
-				ContentType:  obj.ContentType,
-			})
+			return e.replyFromObject(req, set, hasRange, cachedObject(obj))
 		}
 		sp.Eventf(trace.KindCacheMiss, "%s", req.Target)
 	}
+	return e.fetchAndReply(req, rawRange, hasRange, set, key, sp, cacheable)
+}
 
+// handleCollapsed is the miss path under singleflight collapsing: the
+// cache elects one leader per key to run the vendor behaviour; misses
+// that land while it is in flight wait and serve the leader's object.
+func (e *Edge) handleCollapsed(req *httpwire.Request, rawRange string, hasRange bool, set ranges.Set, key string, sp *trace.Span) *httpwire.Response {
+	// resp is set iff this request became the leader and ran the fetch
+	// itself (its reply may be a relay or an error, neither of which a
+	// cached object could reproduce).
+	var resp *httpwire.Response
+	obj, collapsed, _ := e.cache.Do(req.Target, func() (*cache.Object, error) {
+		sp.Eventf(trace.KindCacheMiss, "%s", req.Target)
+		ret, err := e.retrieve(req, rawRange, hasRange, set, key, sp)
+		if err != nil {
+			resp = e.errorResponse(httpwire.StatusBadGateway, err.Error())
+			return nil, err
+		}
+		resp = e.replyToRetrieval(req, set, hasRange, ret, sp)
+		return cacheableObject(ret), nil
+	})
+	if resp != nil {
+		return resp
+	}
+	if obj != nil {
+		if collapsed {
+			sp.Eventf(trace.KindCollapse, "%s served by in-flight fetch (%dB)", req.Target, obj.Size)
+		} else {
+			sp.Eventf(trace.KindCacheHit, "%s (%dB cached)", req.Target, obj.Size)
+		}
+		return e.replyFromObject(req, set, hasRange, cachedObject(obj))
+	}
+	// The leader failed or produced an uncacheable outcome (relay,
+	// partial object): fall back to a private fetch.
+	sp.Eventf(trace.KindCacheMiss, "%s", req.Target)
+	return e.fetchAndReply(req, rawRange, hasRange, set, key, sp, false)
+}
+
+// fetchAndReply runs the vendor behaviour for one miss, caches a
+// complete 200 object when allowed, and builds the client reply.
+func (e *Edge) fetchAndReply(req *httpwire.Request, rawRange string, hasRange bool, set ranges.Set, key string, sp *trace.Span, cacheable bool) *httpwire.Response {
+	ret, err := e.retrieve(req, rawRange, hasRange, set, key, sp)
+	if err != nil {
+		return e.errorResponse(httpwire.StatusBadGateway, err.Error())
+	}
+	if cacheable {
+		if obj := cacheableObject(ret); obj != nil {
+			e.cache.Put(req.Target, obj)
+		}
+	}
+	return e.replyToRetrieval(req, set, hasRange, ret, sp)
+}
+
+// retrieve runs the vendor's back-to-origin behaviour for one request.
+func (e *Edge) retrieve(req *httpwire.Request, rawRange string, hasRange bool, set ranges.Set, key string, sp *trace.Span) (*vendor.Retrieval, error) {
 	rc := &vendor.RequestContext{
 		Raw:      rawRange,
 		HasRange: hasRange,
@@ -249,27 +349,39 @@ func (e *Edge) handle(req *httpwire.Request, sp *trace.Span) *httpwire.Response 
 		Key:      key,
 	}
 	up := &upstreamFetcher{edge: e, clientReq: req, span: sp}
-	ret, err := e.profile.Behaviour(up, rc, &e.profile.Options)
-	if err != nil {
-		return e.errorResponse(httpwire.StatusBadGateway, err.Error())
-	}
+	return e.profile.Behaviour(up, rc, &e.profile.Options)
+}
 
+// replyToRetrieval turns a behaviour outcome into the client reply.
+func (e *Edge) replyToRetrieval(req *httpwire.Request, set ranges.Set, hasRange bool, ret *vendor.Retrieval, sp *trace.Span) *httpwire.Response {
 	if ret.Relay != nil {
 		sp.Eventf(trace.KindRelay, "HTTP %d, %dB body", ret.Relay.StatusCode, ret.Relay.BodySize())
 		return e.relay(ret.Relay)
 	}
-
 	obj := ret.Object
-	if cacheable && obj.Complete() && obj.UpstreamStatus == httpwire.StatusOK {
-		e.cache.Put(req.Target, &cache.Object{
-			Body:        obj.Body,
-			ContentType: obj.ContentType,
-			Size:        obj.CompleteSize,
-		})
-	}
 	sp.Eventf(trace.KindReply, "object offset=%d size=%d complete=%v",
 		obj.Offset, obj.CompleteSize, obj.Complete())
 	return e.replyFromObject(req, set, hasRange, obj)
+}
+
+// cacheableObject converts a behaviour outcome into its cache entry, or
+// nil when the outcome is not cacheable (a relay, an error status, or
+// an incomplete object).
+func cacheableObject(ret *vendor.Retrieval) *cache.Object {
+	if ret.Relay != nil || ret.Object == nil {
+		return nil
+	}
+	obj := ret.Object
+	if !obj.Complete() || obj.UpstreamStatus != httpwire.StatusOK {
+		return nil
+	}
+	return &cache.Object{Body: obj.Body, ContentType: obj.ContentType, Size: obj.CompleteSize}
+}
+
+// cachedObject adapts a cache entry back into the vendor object shape
+// the reply builder consumes.
+func cachedObject(obj *cache.Object) *vendor.Object {
+	return &vendor.Object{Body: obj.Body, CompleteSize: obj.Size, ContentType: obj.ContentType}
 }
 
 // headerOr returns a header value or a placeholder.
@@ -349,7 +461,16 @@ func (u *upstreamFetcher) Fetch(rangeHeader string, maxBody int64) (*httpwire.Re
 	if rangeHeader != "" {
 		req.Headers.Add("Range", rangeHeader)
 	}
-	req.Headers.Set("Connection", "close")
+	if u.edge.pool == nil {
+		// Per-request mode closes the upstream connection after one
+		// exchange; pooled mode keeps HTTP/1.1's implicit keep-alive.
+		req.Headers.Set("Connection", "close")
+	} else {
+		// The clone may carry the client's own Connection: close; the
+		// hop-by-hop header must not leak onto the persistent upstream
+		// connection or the origin hangs up after every exchange.
+		req.Headers.Del("Connection")
+	}
 	req.Headers.Add("Via", "1.1 "+u.edge.profile.Name)
 	rangeNote := "(deleted)"
 	if rangeHeader != "" {
@@ -391,6 +512,22 @@ func (u *upstreamFetcher) Fetch(rangeHeader string, maxBody int64) (*httpwire.Re
 	}
 
 	u.edge.mUpstream.Inc()
+	limit := int64(-1)
+	if maxBody > 0 {
+		limit = maxBody
+	}
+	if u.edge.pool != nil {
+		resp, truncated, err := u.fetchPooled(req, limit)
+		if err != nil {
+			done(0, false, err)
+			return nil, false, err
+		}
+		if truncated {
+			u.edge.mTruncations.IncEx(u.span.TraceIDString())
+		}
+		done(resp.StatusCode, truncated, nil)
+		return resp, truncated, nil
+	}
 	conn, err := u.edge.dialer.Dial(u.edge.upstreamAddr, u.edge.upstreamSeg)
 	if err != nil {
 		err = fmt.Errorf("dial upstream %s: %w", u.edge.upstreamAddr, err)
@@ -402,10 +539,6 @@ func (u *upstreamFetcher) Fetch(rangeHeader string, maxBody int64) (*httpwire.Re
 		err = fmt.Errorf("write upstream request: %w", err)
 		done(0, false, err)
 		return nil, false, err
-	}
-	limit := int64(-1)
-	if maxBody > 0 {
-		limit = maxBody
 	}
 	upr := httpwire.GetReader(conn)
 	defer httpwire.PutReader(upr)
@@ -420,4 +553,51 @@ func (u *upstreamFetcher) Fetch(rangeHeader string, maxBody int64) (*httpwire.Re
 	}
 	done(resp.StatusCode, truncated, nil)
 	return resp, truncated, nil
+}
+
+// fetchPooled performs one exchange over a pooled persistent upstream
+// connection. A reused connection that fails is presumed stale (the
+// peer idle-closed it between fetches): it is evicted and the exchange
+// retried once on a fresh dial. A connection left dirty by the exchange
+// (truncated body, close-delimited framing, Connection: close) is
+// discarded; a clean one goes back to the pool for the next fetch.
+func (u *upstreamFetcher) fetchPooled(req *httpwire.Request, limit int64) (*httpwire.Response, bool, error) {
+	pool := u.edge.pool
+	pc, reused, err := pool.get()
+	if err != nil {
+		return nil, false, fmt.Errorf("dial upstream %s: %w", u.edge.upstreamAddr, err)
+	}
+	if reused {
+		u.span.Eventf(trace.KindPool, "reuse upstream conn (%d idle)", pool.IdleConns())
+	}
+	resp, truncated, err := exchange(pc, req, limit)
+	if err != nil && reused {
+		pool.discard(pc)
+		u.span.Eventf(trace.KindPool, "stale pooled conn, redial: %v", err)
+		pc, _, err = pool.dial()
+		if err != nil {
+			return nil, false, fmt.Errorf("dial upstream %s: %w", u.edge.upstreamAddr, err)
+		}
+		resp, truncated, err = exchange(pc, req, limit)
+	}
+	if err != nil {
+		pool.discard(pc)
+		return nil, false, fmt.Errorf("pooled upstream exchange: %w", err)
+	}
+	if truncated || !resp.KeepsConnReusable() {
+		pool.discard(pc)
+	} else {
+		pool.put(pc)
+	}
+	return resp, truncated, nil
+}
+
+// exchange writes one request and parses one response on a persistent
+// connection, using the connection's own long-lived reader (parse
+// read-ahead must survive into the next exchange).
+func exchange(pc *pooledConn, req *httpwire.Request, limit int64) (*httpwire.Response, bool, error) {
+	if _, err := req.WriteTo(pc.conn); err != nil {
+		return nil, false, fmt.Errorf("write upstream request: %w", err)
+	}
+	return httpwire.ReadResponseLimited(pc.br, httpwire.Limits{}, limit)
 }

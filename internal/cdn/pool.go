@@ -1,0 +1,199 @@
+package cdn
+
+import (
+	"bufio"
+	"sync"
+	"time"
+
+	"repro/internal/httpwire"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+)
+
+// PoolConfig tunes the edge's back-to-origin connection pool. A nil
+// *PoolConfig on cdn.Config keeps the per-request dial path — the
+// paper's measured configuration — so pooling is strictly opt-in.
+type PoolConfig struct {
+	// Size bounds the idle connections retained. Zero means 4. A flood
+	// can still run more concurrent fetches than Size: excess fetches
+	// dial their own connection and the surplus is closed on release.
+	Size int
+
+	// IdleTimeout drops pooled connections that have sat unused this
+	// long (the origin's own keep-alive timeout would kill them soon
+	// anyway; evicting first avoids writing into a dead socket). Zero
+	// means 30 seconds.
+	IdleTimeout time.Duration
+
+	// Now is the clock; nil means time.Now (tests inject a fake).
+	Now func() time.Time
+}
+
+const (
+	defaultPoolSize    = 4
+	defaultIdleTimeout = 30 * time.Second
+)
+
+// pooledConn is one persistent upstream connection. The bufio.Reader
+// stays bound to the connection for its whole life: response parsing
+// may buffer ahead, and those bytes must survive into the next fetch.
+type pooledConn struct {
+	conn     netsim.Conn
+	br       *bufio.Reader
+	lastUsed time.Time
+}
+
+// close releases the connection and recycles its reader.
+func (pc *pooledConn) close() {
+	httpwire.PutReader(pc.br)
+	pc.conn.Close()
+}
+
+// connPool is a bounded LIFO pool of persistent upstream connections.
+// LIFO keeps the hottest connection hottest: under light load the same
+// connection serves every fetch and the rest age out via IdleTimeout.
+type connPool struct {
+	dialer UpstreamDialer
+	addr   string
+	seg    *netsim.Segment
+	size   int
+	idle   time.Duration
+	now    func() time.Time
+
+	mu     sync.Mutex
+	conns  []*pooledConn // LIFO stack of idle connections
+	closed bool
+
+	mReuses, mDials, mEvictIdle, mEvictBroken *metrics.Counter
+	gIdle                                     *metrics.Gauge
+}
+
+func newConnPool(cfg PoolConfig, dialer UpstreamDialer, addr string, seg *netsim.Segment, vend metrics.Label) *connPool {
+	if cfg.Size <= 0 {
+		cfg.Size = defaultPoolSize
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = defaultIdleTimeout
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	const evictName = "cdn_pool_evictions_total"
+	const evictHelp = "Pooled upstream connections dropped, by reason."
+	return &connPool{
+		dialer: dialer,
+		addr:   addr,
+		seg:    seg,
+		size:   cfg.Size,
+		idle:   cfg.IdleTimeout,
+		now:    cfg.Now,
+		mReuses: metrics.Default.Counter("cdn_pool_reuses_total",
+			"Back-to-origin fetches served over a reused pooled connection, per vendor.", vend),
+		mDials: metrics.Default.Counter("cdn_pool_dials_total",
+			"Back-to-origin connections dialed by the pool, per vendor.", vend),
+		mEvictIdle:   metrics.Default.Counter(evictName, evictHelp, vend, metrics.L("reason", "idle")),
+		mEvictBroken: metrics.Default.Counter(evictName, evictHelp, vend, metrics.L("reason", "broken")),
+		gIdle: metrics.Default.Gauge("cdn_pool_idle_conns",
+			"Idle connections currently held by the upstream pool, per vendor.", vend),
+	}
+}
+
+// get returns a live pooled connection (reused=true) or dials a fresh
+// one. Stale idle connections found on the way are evicted.
+func (p *connPool) get() (pc *pooledConn, reused bool, err error) {
+	p.mu.Lock()
+	p.reapLocked()
+	if n := len(p.conns); n > 0 {
+		pc = p.conns[n-1]
+		p.conns = p.conns[:n-1]
+		p.gIdle.Add(-1)
+		p.mu.Unlock()
+		p.mReuses.Inc()
+		return pc, true, nil
+	}
+	p.mu.Unlock()
+	return p.dial()
+}
+
+// dial opens a fresh upstream connection outside the pool lock.
+func (p *connPool) dial() (*pooledConn, bool, error) {
+	conn, err := p.dialer.Dial(p.addr, p.seg)
+	if err != nil {
+		return nil, false, err
+	}
+	p.mDials.Inc()
+	return &pooledConn{conn: conn, br: httpwire.GetReader(conn)}, false, nil
+}
+
+// put returns a connection for reuse; surplus beyond Size (or anything
+// arriving after Close) is closed instead.
+func (p *connPool) put(pc *pooledConn) {
+	pc.lastUsed = p.now()
+	p.mu.Lock()
+	if p.closed || len(p.conns) >= p.size {
+		p.mu.Unlock()
+		pc.close()
+		return
+	}
+	p.conns = append(p.conns, pc)
+	p.gIdle.Add(1)
+	p.mu.Unlock()
+}
+
+// discard drops a connection observed broken or left dirty (unread
+// body bytes, a truncated read, a Connection: close response).
+func (p *connPool) discard(pc *pooledConn) {
+	p.mEvictBroken.Inc()
+	pc.close()
+}
+
+// ReapIdle evicts every pooled connection idle past the timeout and
+// returns how many were dropped. The pool also reaps lazily on get;
+// this explicit hook exists for tests and operator loops.
+func (p *connPool) ReapIdle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reapLocked()
+}
+
+// reapLocked drops timed-out idle connections; callers hold p.mu. The
+// stack is LIFO so idle ages decrease toward the top: everything below
+// the first fresh connection is stale.
+func (p *connPool) reapLocked() int {
+	cutoff := p.now().Add(-p.idle)
+	keep := 0
+	for keep < len(p.conns) && !p.conns[keep].lastUsed.After(cutoff) {
+		keep++
+	}
+	if keep == 0 {
+		return 0
+	}
+	for _, pc := range p.conns[:keep] {
+		pc.close()
+		p.mEvictIdle.Inc()
+		p.gIdle.Add(-1)
+	}
+	p.conns = append(p.conns[:0], p.conns[keep:]...)
+	return keep
+}
+
+// Close drops every idle connection and rejects future puts. In-flight
+// fetches finish on their borrowed connections, which then close on put.
+func (p *connPool) Close() {
+	p.mu.Lock()
+	conns := p.conns
+	p.conns = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, pc := range conns {
+		pc.close()
+		p.gIdle.Add(-1)
+	}
+}
+
+// IdleConns returns the number of idle pooled connections.
+func (p *connPool) IdleConns() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conns)
+}

@@ -156,6 +156,15 @@ func RunOBRContext(ctx context.Context, t *OBRTopology, path string, n int) (*OB
 // completed requests generated stays accounted in the registry, which
 // is how the scheduler tests observe partial progress.
 func RunSBRFloodContext(ctx context.Context, t *SBRTopology, path string, resourceSize int64, workers, perWorker int) (*FloodResult, error) {
+	return RunSBRFloodOptsContext(ctx, t, path, resourceSize, workers, perWorker, FloodOptions{})
+}
+
+// RunSBRFloodOptsContext is RunSBRFloodContext with explicit options.
+// With opts.KeepAlive each worker opens one origin.Client session and
+// multiplexes all its requests on it (redialing only if the edge drops
+// the connection), so the flood's dial count collapses from
+// requests to workers.
+func RunSBRFloodOptsContext(ctx context.Context, t *SBRTopology, path string, resourceSize int64, workers, perWorker int, opts FloodOptions) (*FloodResult, error) {
 	exploit := SBRExploit(t.Profile.Name, resourceSize)
 	probe := measure.NewProbe(t.OriginSeg, t.ClientSeg)
 
@@ -165,12 +174,24 @@ func RunSBRFloodContext(ctx context.Context, t *SBRTopology, path string, resour
 		requests int
 		failures int
 		blocked  int
+		dials    int64
 		firstErr error
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			var session *origin.Client
+			if opts.KeepAlive {
+				session = origin.NewClient(t.Net, t.EdgeAddr, t.ClientSeg)
+				defer func() {
+					st := session.Stats()
+					session.Close()
+					mu.Lock()
+					dials += st.Dials
+					mu.Unlock()
+				}()
+			}
 			for i := 0; i < perWorker; i++ {
 				target := fmt.Sprintf("%s?cb=w%d-%d", path, w, i)
 				for r := 0; r < exploit.Repeat; r++ {
@@ -189,7 +210,15 @@ func RunSBRFloodContext(ctx context.Context, t *SBRTopology, path string, resour
 						sp.SetAttr("range", exploit.RangeHeader)
 						trace.Inject(sp, &req.Headers)
 					}
-					resp, err := origin.Fetch(t.Net, t.EdgeAddr, t.ClientSeg, req)
+					var (
+						resp *httpwire.Response
+						err  error
+					)
+					if session != nil {
+						resp, err = session.Do(req)
+					} else {
+						resp, err = origin.Fetch(t.Net, t.EdgeAddr, t.ClientSeg, req)
+					}
 					if sp.Recording() {
 						if resp != nil {
 							sp.SetAttrInt("status", int64(resp.StatusCode))
@@ -201,6 +230,9 @@ func RunSBRFloodContext(ctx context.Context, t *SBRTopology, path string, resour
 					sp.End()
 					mu.Lock()
 					requests++
+					if session == nil {
+						dials++ // origin.Fetch opens a fresh connection per request
+					}
 					switch {
 					case err != nil:
 						failures++
@@ -226,6 +258,7 @@ func RunSBRFloodContext(ctx context.Context, t *SBRTopology, path string, resour
 		Requests:      requests,
 		Failures:      failures,
 		Blocked:       blocked,
+		Dials:         dials,
 		Amplification: probe.Delta(),
 	}, nil
 }

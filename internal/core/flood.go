@@ -12,8 +12,18 @@ import (
 type FloodResult struct {
 	Requests      int
 	Failures      int
-	Blocked       int // HTTP 403 (detector) / 431 (limits) rejections
+	Blocked       int   // HTTP 403 (detector) / 431 (limits) rejections
+	Dials         int64 // attacker->edge connections opened (== Requests per-request; == workers keep-alive)
 	Amplification measure.Amplification
+}
+
+// FloodOptions tune how a flood spends connections.
+type FloodOptions struct {
+	// KeepAlive gives each worker one persistent attacker->edge session
+	// (origin.Client) carrying all its requests, instead of a fresh
+	// dial per request. The request bytes on the wire are identical;
+	// only the connection economy changes.
+	KeepAlive bool
 }
 
 // RunSBRFlood fires workers × perWorker SBR attack requests against
@@ -23,4 +33,10 @@ type FloodResult struct {
 // RunSBRFloodContext with a background context.
 func RunSBRFlood(t *SBRTopology, path string, resourceSize int64, workers, perWorker int) (*FloodResult, error) {
 	return RunSBRFloodContext(context.Background(), t, path, resourceSize, workers, perWorker)
+}
+
+// RunSBRFloodKeepAlive is RunSBRFlood over persistent connections: one
+// attacker->edge session per worker, every request multiplexed on it.
+func RunSBRFloodKeepAlive(t *SBRTopology, path string, resourceSize int64, workers, perWorker int) (*FloodResult, error) {
+	return RunSBRFloodOptsContext(context.Background(), t, path, resourceSize, workers, perWorker, FloodOptions{KeepAlive: true})
 }

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/cdn"
+	"repro/internal/resource"
+	"repro/internal/vendor"
+)
+
+// waitFor polls cond until it holds or the deadline lapses.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSBRFloodKeepAliveSessions(t *testing.T) {
+	const size = 256 << 10
+	store := resource.NewStore()
+	store.AddSynthetic(targetPath, size, contentType)
+	topo, err := NewSBRTopology(vendor.Cloudflare(), store, SBROptions{OriginRangeSupport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+
+	const workers, perWorker = 4, 5
+	res, err := RunSBRFloodKeepAlive(topo, targetPath, size, workers, perWorker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != workers*perWorker || res.Failures != 0 {
+		t.Fatalf("flood result = %+v", res)
+	}
+	if res.Dials != workers {
+		t.Errorf("dials = %d, want %d (one session per worker)", res.Dials, workers)
+	}
+	if conns := topo.ClientSeg.Conns(); conns != workers {
+		t.Errorf("attacker-edge connections = %d, want %d", conns, workers)
+	}
+	if live := topo.ClientSeg.Live(); live != 0 {
+		t.Errorf("live attacker-edge connections after flood = %d, want 0", live)
+	}
+	// The wire bytes are the same requests, so amplification holds.
+	if f := res.Amplification.Factor(); f < 100 {
+		t.Errorf("aggregate factor = %.1f", f)
+	}
+}
+
+func TestSBRFloodPerRequestCountsDials(t *testing.T) {
+	const size = 16 << 10
+	store := resource.NewStore()
+	store.AddSynthetic(targetPath, size, contentType)
+	topo, err := NewSBRTopology(vendor.Cloudflare(), store, SBROptions{OriginRangeSupport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+	res, err := RunSBRFlood(topo, targetPath, size, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dials != int64(res.Requests) {
+		t.Errorf("per-request flood dials = %d, want %d (one per request)", res.Dials, res.Requests)
+	}
+}
+
+func TestTopologyCloseReleasesPooledConns(t *testing.T) {
+	const size = 16 << 10
+	before := runtime.NumGoroutine()
+
+	store := resource.NewStore()
+	store.AddSynthetic(targetPath, size, contentType)
+	topo, err := NewSBRTopology(vendor.Cloudflare(), store, SBROptions{
+		OriginRangeSupport: true,
+		UpstreamPool:       &cdn.PoolConfig{Size: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One worker keeps the pooled path strictly sequential: every miss
+	// reuses the single pooled upstream connection.
+	res, err := RunSBRFloodKeepAlive(topo, targetPath, size, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 8 || res.Failures != 0 {
+		t.Fatalf("flood result = %+v", res)
+	}
+	if conns := topo.OriginSeg.Conns(); conns != 1 {
+		t.Errorf("cdn-origin connections = %d, want 1 (pooled)", conns)
+	}
+	if live := topo.OriginSeg.Live(); live != 1 {
+		t.Errorf("pooled cdn-origin conns held open = %d, want 1", live)
+	}
+
+	topo.Close()
+	if live := topo.OriginSeg.Live(); live != 0 {
+		t.Errorf("cdn-origin conns live after Close = %d, want 0", live)
+	}
+	waitFor(t, "client conns to drain", func() bool { return topo.ClientSeg.Live() == 0 })
+	waitFor(t, "goroutines to drain", func() bool { return runtime.NumGoroutine() <= before+2 })
+}
+
+func TestPoolIdleTimeoutReleasesConns(t *testing.T) {
+	const size = 16 << 10
+	now := time.Unix(1700000000, 0)
+	clock := func() time.Time { return now }
+	store := resource.NewStore()
+	store.AddSynthetic(targetPath, size, contentType)
+	topo, err := NewSBRTopology(vendor.Cloudflare(), store, SBROptions{
+		OriginRangeSupport: true,
+		UpstreamPool:       &cdn.PoolConfig{Size: 2, IdleTimeout: time.Minute, Now: clock},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+
+	if _, err := RunSBR(topo, targetPath, size, "cb0"); err != nil {
+		t.Fatal(err)
+	}
+	if live := topo.OriginSeg.Live(); live != 1 {
+		t.Fatalf("pooled conns after request = %d, want 1", live)
+	}
+	now = now.Add(2 * time.Minute)
+	if reaped := topo.Edge.ReapIdleUpstream(); reaped != 1 {
+		t.Errorf("reaped = %d, want 1", reaped)
+	}
+	if live := topo.OriginSeg.Live(); live != 0 {
+		t.Errorf("pooled conns after idle reap = %d, want 0", live)
+	}
+}
+
+func TestPooledFloodMatchesPerRequestBytes(t *testing.T) {
+	// Pooling changes the connection economy, not the HTTP bytes: the
+	// same flood over a pooled topology must measure identical
+	// per-segment response traffic.
+	const size = 32 << 10
+	run := func(pool *cdn.PoolConfig) (*FloodResult, int64) {
+		store := resource.NewStore()
+		store.AddSynthetic(targetPath, size, contentType)
+		topo, err := NewSBRTopology(vendor.Cloudflare(), store, SBROptions{
+			OriginRangeSupport: true,
+			UpstreamPool:       pool,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer topo.Close()
+		res, err := RunSBRFloodKeepAlive(topo, targetPath, size, 1, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, topo.OriginSeg.Conns()
+	}
+	plain, plainConns := run(nil)
+	pooled, pooledConns := run(&cdn.PoolConfig{Size: 2})
+	if plain.Amplification != pooled.Amplification {
+		t.Errorf("amplification differs: per-request %+v vs pooled %+v",
+			plain.Amplification, pooled.Amplification)
+	}
+	if plainConns != 6 || pooledConns != 1 {
+		t.Errorf("upstream conns = %d per-request / %d pooled, want 6 / 1", plainConns, pooledConns)
+	}
+}

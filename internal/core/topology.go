@@ -54,6 +54,16 @@ type SBROptions struct {
 	// means trace.Default (disabled unless configured), so topologies
 	// pay nothing for tracing until someone opts in.
 	Trace *trace.Tracer
+
+	// UpstreamPool gives the edge persistent back-to-origin connections
+	// (see cdn.PoolConfig). Nil keeps the per-request dial path the
+	// paper's measurements assume, so every experiment default is
+	// byte-identical with pooling compiled in.
+	UpstreamPool *cdn.PoolConfig
+
+	// CollapseMisses enables singleflight request collapsing on the
+	// edge cache: concurrent misses on one key share one origin fetch.
+	CollapseMisses bool
 }
 
 // NewSBRTopology stands up origin and edge servers for one profile.
@@ -90,6 +100,8 @@ func NewSBRTopology(profile *vendor.Profile, store *resource.Store, opts SBROpti
 		UpstreamSeg:  t.OriginSeg,
 		DisableCache: opts.DisableEdgeCache,
 		Trace:        tracer,
+		UpstreamPool: opts.UpstreamPool,
+		Collapse:     opts.CollapseMisses,
 	})
 	if err != nil {
 		t.Close()
@@ -105,10 +117,14 @@ func NewSBRTopology(profile *vendor.Profile, store *resource.Store, opts SBROpti
 	return t, nil
 }
 
-// Close shuts the listeners down.
+// Close shuts the listeners down and drains the edge's upstream pool
+// (a no-op when pooling is off).
 func (t *SBRTopology) Close() {
 	for _, l := range t.listeners {
 		l.Close()
+	}
+	if t.Edge != nil {
+		t.Edge.Close()
 	}
 }
 
@@ -138,6 +154,15 @@ type OBROptions struct {
 	// Trace is the span sink shared by every node; nil means
 	// trace.Default.
 	Trace *trace.Tracer
+
+	// UpstreamPool, when set, gives both edges persistent upstream
+	// connections (FCDN->BCDN and BCDN->origin). Nil keeps the
+	// per-request dial path the paper measures.
+	UpstreamPool *cdn.PoolConfig
+
+	// CollapseMisses enables request collapsing on the BCDN cache (the
+	// FCDN does not cache, so the flag is inert there).
+	CollapseMisses bool
 }
 
 // NewOBRTopology cascades fcdn in front of bcdn in front of a
@@ -186,6 +211,8 @@ func NewOBRTopologyOpts(fcdn, bcdn *vendor.Profile, store *resource.Store, opts 
 		UpstreamAddr: originAddr,
 		UpstreamSeg:  t.BcdnOriginSeg,
 		Trace:        tracer,
+		UpstreamPool: opts.UpstreamPool,
+		Collapse:     opts.CollapseMisses,
 	})
 	if err != nil {
 		t.Close()
@@ -206,6 +233,7 @@ func NewOBRTopologyOpts(fcdn, bcdn *vendor.Profile, store *resource.Store, opts 
 		UpstreamSeg:  t.FcdnBcdnSeg,
 		DisableCache: true, // the attacker's FCDN distribution does not cache
 		Trace:        tracer,
+		UpstreamPool: opts.UpstreamPool,
 	})
 	if err != nil {
 		t.Close()
@@ -221,9 +249,16 @@ func NewOBRTopologyOpts(fcdn, bcdn *vendor.Profile, store *resource.Store, opts 
 	return t, nil
 }
 
-// Close shuts the listeners down.
+// Close shuts the listeners down and drains both edges' upstream
+// pools (no-ops when pooling is off).
 func (t *OBRTopology) Close() {
 	for _, l := range t.listeners {
 		l.Close()
+	}
+	if t.FCDN != nil {
+		t.FCDN.Close()
+	}
+	if t.BCDN != nil {
+		t.BCDN.Close()
 	}
 }

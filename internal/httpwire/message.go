@@ -207,6 +207,28 @@ func (r *Response) BodyBytes() []byte {
 	return b.Bytes()
 }
 
+// KeepsConnReusable reports whether the connection this response was
+// parsed from can carry another HTTP/1.1 exchange: the peer did not
+// announce Connection: close, and the body's framing let the parser
+// consume exactly the message (explicit Content-Length, a fully read
+// chunked coding, or a status that forbids a body). Close-delimited
+// responses read until EOF, so their connection is spent by definition.
+func (r *Response) KeepsConnReusable() bool {
+	if v, ok := r.Headers.Get("Connection"); ok && strings.EqualFold(v, "close") {
+		return false
+	}
+	if !statusAllowsBody(r.StatusCode) {
+		return true
+	}
+	if r.Headers.Has("Content-Length") {
+		return true
+	}
+	if te, ok := r.Headers.Get("Transfer-Encoding"); ok && strings.Contains(strings.ToLower(te), "chunked") {
+		return true
+	}
+	return false
+}
+
 // Clone returns a deep copy of the response. A streamed body is carried
 // by reference (streams are replayable, not mutable), so cloning a
 // streaming response stays cheap.

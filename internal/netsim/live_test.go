@@ -1,0 +1,51 @@
+package netsim
+
+import "testing"
+
+func TestLiveConnAccounting(t *testing.T) {
+	seg := NewSegment("s")
+	c1, s1 := Pipe(seg, 1<<16)
+	c2, s2 := Pipe(seg, 1<<16)
+	if live := seg.Live(); live != 2 {
+		t.Fatalf("live = %d after two pipes, want 2", live)
+	}
+	c1.Close()
+	if live := seg.Live(); live != 1 {
+		t.Errorf("live = %d after one close, want 1", live)
+	}
+	// The peer closing the same conn must not double-decrement.
+	s1.Close()
+	if live := seg.Live(); live != 1 {
+		t.Errorf("live = %d after both ends closed, want 1", live)
+	}
+	s2.Close()
+	c2.Close()
+	if live := seg.Live(); live != 0 {
+		t.Errorf("live = %d after all conns closed, want 0", live)
+	}
+	if conns := seg.Conns(); conns != 2 {
+		t.Errorf("total conns = %d, want 2 (Live does not affect the total)", conns)
+	}
+}
+
+func TestLiveExternalConnLifecycle(t *testing.T) {
+	// Transports outside netsim (transport.countingConn) pair AddConn
+	// with ConnClosed.
+	seg := NewSegment("tcp")
+	seg.AddConn()
+	seg.AddConn()
+	if live := seg.Live(); live != 2 {
+		t.Fatalf("live = %d, want 2", live)
+	}
+	seg.ConnClosed(false)
+	seg.ConnClosed(true)
+	if live := seg.Live(); live != 0 {
+		t.Errorf("live = %d, want 0", live)
+	}
+	var nilSeg *Segment
+	nilSeg.AddConn() // nil-safe like the other accessors
+	nilSeg.ConnClosed(false)
+	if nilSeg.Live() != 0 {
+		t.Error("nil segment Live != 0")
+	}
+}

@@ -59,12 +59,14 @@ type Segment struct {
 	up    atomic.Int64
 	down  atomic.Int64
 	conns atomic.Int64
+	live  atomic.Int64 // connections opened and not yet closed by either end
 
 	// Registry series handles, resolved once at construction so the
 	// per-byte hot path is two atomic adds and no allocation. All are
 	// nil-safe, covering zero-value Segments.
 	mUp, mDown                 *metrics.Counter
 	mOpened, mClosed, mAborted *metrics.Counter
+	gLive                      *metrics.Gauge
 }
 
 // NewSegment returns a named, zeroed segment.
@@ -84,6 +86,8 @@ func NewSegment(name string) *Segment {
 			"Connections cleanly closed per segment.", seg),
 		mAborted: metrics.Default.Counter("netsim_conns_aborted_total",
 			"Connections whose closer discarded unread inbound bytes per segment (mid-transfer cut).", seg),
+		gLive: metrics.Default.Gauge("netsim_conns_live",
+			"Connections currently open per segment (keep-alive sessions hold these between requests).", seg),
 	}
 }
 
@@ -109,6 +113,16 @@ func (s *Segment) Conns() int64 {
 		return 0
 	}
 	return s.conns.Load()
+}
+
+// Live returns the connections currently open on the segment: opened
+// and not yet closed by either endpoint. Leak tests assert this drains
+// to zero after topologies and pools shut down.
+func (s *Segment) Live() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.live.Load()
 }
 
 // WireTraffic estimates what a packet capture on this segment would
@@ -148,12 +162,20 @@ func (s *Segment) Reset() {
 func (s *Segment) AddUp(n int) { s.addUp(n) }
 
 // AddConn records a connection opened by an external transport.
+// Transports that call it should pair it with ConnClosed so the live
+// gauge drains.
 func (s *Segment) AddConn() {
 	if s != nil {
 		s.conns.Add(1)
+		s.live.Add(1)
 		s.mOpened.Inc()
+		s.gLive.Add(1)
 	}
 }
+
+// ConnClosed records the teardown of a connection an external
+// transport opened with AddConn (call once per connection).
+func (s *Segment) ConnClosed(aborted bool) { s.noteClosed(aborted) }
 
 // noteClosed records a connection teardown, aborted meaning in-flight
 // bytes were discarded (the peer was cut off mid-transfer).
@@ -161,6 +183,8 @@ func (s *Segment) noteClosed(aborted bool) {
 	if s == nil {
 		return
 	}
+	s.live.Add(-1)
+	s.gLive.Add(-1)
 	if aborted {
 		s.mAborted.Inc()
 	} else {
@@ -379,7 +403,9 @@ func Pipe(seg *Segment, window int) (client, server Conn) {
 	}
 	if seg != nil {
 		seg.conns.Add(1)
+		seg.live.Add(1)
 		seg.mOpened.Inc()
+		seg.gLive.Add(1)
 	}
 	st := &connState{seg: seg}
 	c2s := newHalfPipe(window, seg.addUp)

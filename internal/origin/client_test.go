@@ -1,0 +1,127 @@
+package origin
+
+import (
+	"testing"
+
+	"repro/internal/httpwire"
+	"repro/internal/netsim"
+	"repro/internal/resource"
+)
+
+func newClientRig(t *testing.T) (*netsim.Network, *Server, *netsim.Segment) {
+	t.Helper()
+	store := resource.NewStore()
+	store.AddSynthetic("/doc.bin", 4096, "application/octet-stream")
+	srv := NewServer(store, Config{RangeSupport: true})
+	net := netsim.NewNetwork()
+	l, err := net.Listen("origin:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { l.Close() })
+	return net, srv, netsim.NewSegment("client-origin")
+}
+
+func TestClientReusesConnection(t *testing.T) {
+	net, srv, seg := newClientRig(t)
+	c := NewClient(net, "origin:80", seg)
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		req := httpwire.NewRequest("GET", "/doc.bin", "site.example")
+		resp, err := c.Do(req)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if resp.StatusCode != 200 || len(resp.Body) != 4096 {
+			t.Fatalf("request %d: HTTP %d, %dB", i, resp.StatusCode, len(resp.Body))
+		}
+	}
+	st := c.Stats()
+	if st.Dials != 1 || st.Requests != 5 {
+		t.Errorf("stats = %+v, want 1 dial / 5 requests", st)
+	}
+	if conns := seg.Conns(); conns != 1 {
+		t.Errorf("segment conns = %d, want 1", conns)
+	}
+	if n := len(srv.Log()); n != 5 {
+		t.Errorf("server saw %d requests, want 5", n)
+	}
+}
+
+func TestClientDoesNotMutateRequest(t *testing.T) {
+	net, _, seg := newClientRig(t)
+	c := NewClient(net, "origin:80", seg)
+	defer c.Close()
+	req := httpwire.NewRequest("GET", "/doc.bin", "site.example")
+	if _, err := c.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := req.Headers.Get("Connection"); ok {
+		t.Errorf("Do added Connection: %q to the caller's request", v)
+	}
+}
+
+func TestClientRedialsStaleConnection(t *testing.T) {
+	net, srv, seg := newClientRig(t)
+	c := NewClient(net, "origin:80", seg)
+	defer c.Close()
+	if _, err := c.Do(httpwire.NewRequest("GET", "/doc.bin", "site.example")); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the session's connection under it (the server's keep-alive
+	// timeout firing between requests).
+	c.mu.Lock()
+	c.conn.Close()
+	c.mu.Unlock()
+
+	resp, err := c.Do(httpwire.NewRequest("GET", "/doc.bin", "site.example"))
+	if err != nil {
+		t.Fatalf("Do after stale conn: %v", err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	st := c.Stats()
+	if st.Dials != 2 || st.Requests != 2 {
+		t.Errorf("stats = %+v, want 2 dials / 2 requests (one transparent redial)", st)
+	}
+	if n := len(srv.Log()); n != 2 {
+		t.Errorf("server saw %d requests, want 2", n)
+	}
+}
+
+func TestClientCloseRejectsFurtherUse(t *testing.T) {
+	net, _, seg := newClientRig(t)
+	c := NewClient(net, "origin:80", seg)
+	if _, err := c.Do(httpwire.NewRequest("GET", "/doc.bin", "site.example")); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if live := seg.Live(); live != 0 {
+		t.Errorf("live conns after Close = %d, want 0", live)
+	}
+	if _, err := c.Do(httpwire.NewRequest("GET", "/doc.bin", "site.example")); err == nil {
+		t.Error("Do after Close succeeded")
+	}
+}
+
+func TestClientHonorsServerClose(t *testing.T) {
+	// A response with Connection: close (or close-delimited framing)
+	// spends the connection: the next Do must redial, not write into the
+	// dead socket.
+	net, _, seg := newClientRig(t)
+	c := NewClient(net, "origin:80", seg)
+	defer c.Close()
+	req := httpwire.NewRequest("GET", "/doc.bin", "site.example")
+	req.Headers.Set("Connection", "close")
+	if _, err := c.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Do(httpwire.NewRequest("GET", "/doc.bin", "site.example")); err != nil {
+		t.Fatalf("Do after server close: %v", err)
+	}
+	if st := c.Stats(); st.Dials != 2 {
+		t.Errorf("dials = %d, want 2 (server-closed conn not reused)", st.Dials)
+	}
+}

@@ -411,16 +411,27 @@ func (s *Server) errorResponse(code int, msg string) *httpwire.Response {
 }
 
 // Fetch performs one client request against addr over net and returns
-// the parsed response. It is the minimal client used by tests.
+// the parsed response. It is the minimal client used by tests. The
+// caller's request is left exactly as it was handed in: the
+// Connection: close this per-request client speaks is added for the
+// write and restored afterwards, so a replayed request (the KeyCDN
+// Repeat=2 case) carries the same headers on every send.
 func Fetch(net *netsim.Network, addr string, seg *netsim.Segment, req *httpwire.Request) (*httpwire.Response, error) {
 	conn, err := net.Dial(addr, seg)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
+	prev, had := req.Headers.Get("Connection")
 	req.Headers.Set("Connection", "close")
-	if _, err := req.WriteTo(conn); err != nil {
-		return nil, err
+	_, werr := req.WriteTo(conn)
+	if had {
+		req.Headers.Set("Connection", prev)
+	} else {
+		req.Headers.Del("Connection")
+	}
+	if werr != nil {
+		return nil, werr
 	}
 	br := httpwire.GetReader(conn)
 	defer httpwire.PutReader(br)

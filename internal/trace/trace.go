@@ -38,6 +38,8 @@ const (
 	KindUpstream  Kind = "upstream"   // back-to-origin request issued
 	KindRelay     Kind = "relay"      // upstream response relayed (Laziness)
 	KindReply     Kind = "reply"      // reply built from an object
+	KindPool      Kind = "pool"       // upstream connection pool activity (reuse, redial, evict)
+	KindCollapse  Kind = "collapse"   // miss collapsed onto another request's in-flight fetch
 )
 
 // TraceID identifies one request tree. Zero is invalid.

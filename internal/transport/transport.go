@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net"
 	"strconv"
+	"sync/atomic"
 
 	"repro/internal/h2"
 	"repro/internal/netsim"
@@ -50,7 +51,18 @@ func (Dialer) Dial(addr string, seg *netsim.Segment) (netsim.Conn, error) {
 // nothing, e.g. on the accept side where the peer does the counting).
 type countingConn struct {
 	net.Conn
-	seg *netsim.Segment
+	seg    *netsim.Segment
+	closed atomic.Bool
+}
+
+// Close tears the TCP connection down and drains the segment's live
+// gauge exactly once (keep-alive clients may Close twice on error
+// paths).
+func (c *countingConn) Close() error {
+	if c.seg != nil && c.closed.CompareAndSwap(false, true) {
+		c.seg.ConnClosed(false)
+	}
+	return c.Conn.Close()
 }
 
 func (c *countingConn) Read(p []byte) (int, error) {

@@ -23,6 +23,7 @@
 package rangeamp
 
 import (
+	"repro/internal/cdn"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/measure"
@@ -66,6 +67,11 @@ type (
 	SBRSweepResult = exp.SBRSweepResult
 	// FloodResult aggregates a concurrent SBR flood (§V-D).
 	FloodResult = core.FloodResult
+	// FloodOptions tunes a flood's connection economy (keep-alive sessions).
+	FloodOptions = core.FloodOptions
+	// PoolConfig tunes an edge's persistent upstream connection pool
+	// (SBROptions.UpstreamPool / OBROptions.UpstreamPool).
+	PoolConfig = cdn.PoolConfig
 	// CorpusReport is the ABNF corpus audit output.
 	CorpusReport = core.CorpusReport
 	// Experiment is one registered paper experiment.
@@ -80,22 +86,24 @@ type (
 // context-complete Run*Context form honouring cancellation between
 // attack hops; the plain names run under context.Background().
 var (
-	NewSBRTopology     = core.NewSBRTopology
-	NewOBRTopology     = core.NewOBRTopology
-	NewOBRTopologyOpts = core.NewOBRTopologyOpts
-	RunSBR             = core.RunSBR
-	RunOBR             = core.RunOBR
-	RunOBRAborted      = core.RunOBRAborted
-	RunSBRFlood        = core.RunSBRFlood
-	RunSBROverH2       = core.RunSBROverH2
-	PrimeSizeHint      = core.PrimeSizeHint
-	SBRExploit         = core.SBRExploit
-	PlanMaxN           = core.PlanMaxN
-	OBRFirstToken      = core.OBRFirstToken
+	NewSBRTopology       = core.NewSBRTopology
+	NewOBRTopology       = core.NewOBRTopology
+	NewOBRTopologyOpts   = core.NewOBRTopologyOpts
+	RunSBR               = core.RunSBR
+	RunOBR               = core.RunOBR
+	RunOBRAborted        = core.RunOBRAborted
+	RunSBRFlood          = core.RunSBRFlood
+	RunSBRFloodKeepAlive = core.RunSBRFloodKeepAlive
+	RunSBROverH2         = core.RunSBROverH2
+	PrimeSizeHint        = core.PrimeSizeHint
+	SBRExploit           = core.SBRExploit
+	PlanMaxN             = core.PlanMaxN
+	OBRFirstToken        = core.OBRFirstToken
 
-	RunSBRContext      = core.RunSBRContext
-	RunOBRContext      = core.RunOBRContext
-	RunSBRFloodContext = core.RunSBRFloodContext
+	RunSBRContext          = core.RunSBRContext
+	RunOBRContext          = core.RunOBRContext
+	RunSBRFloodContext     = core.RunSBRFloodContext
+	RunSBRFloodOptsContext = core.RunSBRFloodOptsContext
 
 	// BuildOverlappingRange renders "bytes=<first>,0-,0-,…" with n ranges.
 	BuildOverlappingRange = core.BuildOverlappingRange
@@ -143,6 +151,8 @@ const (
 	TraceUpstream  = trace.KindUpstream
 	TraceRelay     = trace.KindRelay
 	TraceReply     = trace.KindReply
+	TracePool      = trace.KindPool
+	TraceCollapse  = trace.KindCollapse
 )
 
 // NewTracer returns a tracer to hang off SBROptions.Trace or
