@@ -27,14 +27,15 @@ check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/exp ./internal/core ./internal/metrics ./internal/trace ./internal/multipart ./internal/httpwire ./internal/netsim ./internal/resource ./internal/cdn ./internal/cache ./internal/origin ./cmd/origind ./cmd/cdnsim ./cmd/attack
+	$(GO) test -race ./internal/exp ./internal/core ./internal/cluster ./internal/metrics ./internal/trace ./internal/multipart ./internal/httpwire ./internal/netsim ./internal/resource ./internal/cdn ./internal/cache ./internal/origin ./cmd/origind ./cmd/cdnsim ./cmd/attack
 
 # Regenerates the paper's headline numbers as custom bench metrics,
-# snapshots the full suite into BENCH_PR5.json (schema in DESIGN.md),
-# and prints the per-benchmark delta against the previous PR's
-# snapshot.
+# snapshots the full suite into BENCH_PR6.json (schema in DESIGN.md),
+# prints the per-benchmark delta against the previous PR's snapshot,
+# and gates on the parallel-scheduler speedup (skipped automatically
+# on runners with fewer than 8 procs, where it cannot manifest).
 bench:
-	$(GO) test -bench=. -benchmem -count=1 ./... | $(GO) run ./cmd/benchjson -out BENCH_PR5.json -compare BENCH_PR4.json
+	$(GO) test -bench=. -benchmem -count=1 ./... | $(GO) run ./cmd/benchjson -out BENCH_PR6.json -compare BENCH_PR5.json -ratio 'BenchmarkExpAll/parallel=8,BenchmarkExpAll/parallel=1,0.67'
 
 # Short fuzzing pass over the three wire parsers.
 fuzz:

@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -173,6 +174,33 @@ func BenchmarkExpAll(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkExpAllIsolated overlaps every registered experiment, each
+// pinned to its own explicitly constructed Runtime with the scheduler
+// inside each experiment at width 8. This is the shape the per-run
+// Runtime refactor unlocks: no shared registry shards, no shared
+// pattern lock, so on a multi-core host the whole suite runs
+// concurrently. Compare ns/op against BenchmarkExpAll/parallel=1.
+func BenchmarkExpAllIsolated(b *testing.B) {
+	names := exp.Names()
+	for i := 0; i < b.N; i++ {
+		errs := make([]error, len(names))
+		var wg sync.WaitGroup
+		for j, name := range names {
+			wg.Add(1)
+			go func(j int, name string) {
+				defer wg.Done()
+				_, errs[j] = exp.Run(benchCtx, name, exp.Params{Parallel: 8, Runtime: exp.NewRuntime()})
+			}(j, name)
+		}
+		wg.Wait()
+		for j, err := range errs {
+			if err != nil {
+				b.Fatalf("%s: %v", names[j], err)
+			}
+		}
 	}
 }
 
@@ -381,6 +409,23 @@ func BenchmarkSynthetic25MB(b *testing.B) {
 			b.Fatal("bad size")
 		}
 	}
+}
+
+// BenchmarkSynthetic25MBParallel drives the same construction from
+// every CPU at once. The pattern slab is immutable after init and
+// published through an atomic pointer, so with -cpu 8 this must stay
+// at the serial ns/op — the old patternMu critical section serialized
+// every sweep cell here.
+func BenchmarkSynthetic25MBParallel(b *testing.B) {
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r := resource.Synthetic("/cell.bin", 25<<20, "application/octet-stream")
+			if r.Size() != 25<<20 {
+				b.Error("bad size")
+			}
+		}
+	})
 }
 
 // BenchmarkMaxNPlanner measures the header-limit solver across all

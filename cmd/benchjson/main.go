@@ -11,6 +11,13 @@
 // cross-PR regression view:
 //
 //	... | go run ./cmd/benchjson -out BENCH_PR5.json -compare BENCH_PR4.json
+//
+// With -ratio 'nameA,nameB,max' it additionally gates on the ns/op
+// ratio of two benchmarks in the fresh snapshot — the parallel-scaling
+// check: BenchmarkExpAll/parallel=8 over parallel=1 must come in under
+// the bound. The gate is procs-aware: on runners with fewer than 8
+// procs (where parallel scheduling cannot win) it prints a skip note
+// and passes.
 package main
 
 import (
@@ -51,6 +58,7 @@ type Snapshot struct {
 func main() {
 	out := flag.String("out", "", "path to write the JSON snapshot (required)")
 	compare := flag.String("compare", "", "older snapshot to diff the fresh one against (optional)")
+	ratio := flag.String("ratio", "", "ns/op ratio gate 'nameA,nameB,max': fail when A/B exceeds max (skipped below 8 procs)")
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
@@ -114,6 +122,63 @@ func main() {
 		}
 		printDelta(os.Stdout, *compare, old, snap)
 	}
+
+	if *ratio != "" {
+		if err := checkRatio(os.Stdout, snap, *ratio); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// checkRatio enforces a ns/op ratio gate between two benchmarks of the
+// fresh snapshot. spec is "nameA,nameB,max" — bench names carry slashes
+// (sub-benchmarks), so the separator is the comma, which they never
+// contain. The gate only means something on a multi-core runner: the
+// parallel=8 scheduler cannot beat parallel=1 on one CPU, so when
+// either benchmark ran below 8 procs the check reports itself skipped
+// and passes.
+func checkRatio(w io.Writer, snap Snapshot, spec string) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 3 {
+		return fmt.Errorf("bad -ratio %q (want 'nameA,nameB,max')", spec)
+	}
+	bound, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+	if err != nil || bound <= 0 {
+		return fmt.Errorf("bad -ratio bound %q", parts[2])
+	}
+	find := func(name string) (Benchmark, error) {
+		for _, b := range snap.Benchmarks {
+			if b.Name == name {
+				return b, nil
+			}
+		}
+		return Benchmark{}, fmt.Errorf("-ratio: benchmark %q not in snapshot", name)
+	}
+	a, err := find(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return err
+	}
+	base, err := find(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return err
+	}
+	if a.Procs < 8 || base.Procs < 8 {
+		// A missing -N name suffix means GOMAXPROCS=1 (go test omits it).
+		procs := max(min(a.Procs, base.Procs), 1)
+		fmt.Fprintf(w, "\nratio %s / %s skipped: ran at %d procs, the gate needs >=8\n",
+			a.Name, base.Name, procs)
+		return nil
+	}
+	if base.NsPerOp == 0 {
+		return fmt.Errorf("-ratio: %s has no ns/op", base.Name)
+	}
+	r := a.NsPerOp / base.NsPerOp
+	fmt.Fprintf(w, "\nratio %s / %s = %.2f (max %.2f)\n", a.Name, base.Name, r, bound)
+	if r > bound {
+		return fmt.Errorf("ratio %.2f exceeds %.2f: %s did not scale", r, bound, a.Name)
+	}
+	return nil
 }
 
 // printDelta diffs two snapshots benchmark-by-benchmark (keyed on

@@ -55,6 +55,45 @@ func TestPrintDelta(t *testing.T) {
 	}
 }
 
+func TestCheckRatio(t *testing.T) {
+	snap := Snapshot{Benchmarks: []Benchmark{
+		{Name: "BenchmarkExpAll/parallel=1", Procs: 8, NsPerOp: 3000},
+		{Name: "BenchmarkExpAll/parallel=8", Procs: 8, NsPerOp: 1000},
+	}}
+	var sb strings.Builder
+	if err := checkRatio(&sb, snap, "BenchmarkExpAll/parallel=8,BenchmarkExpAll/parallel=1,0.67"); err != nil {
+		t.Errorf("passing ratio rejected: %v", err)
+	}
+	if !strings.Contains(sb.String(), "= 0.33") {
+		t.Errorf("ratio not reported: %q", sb.String())
+	}
+
+	// Over the bound: the gate fails.
+	if err := checkRatio(&sb, snap, "BenchmarkExpAll/parallel=8,BenchmarkExpAll/parallel=1,0.25"); err == nil {
+		t.Error("failing ratio accepted")
+	}
+
+	// Under 8 procs the gate is meaningless and must skip, not fail.
+	low := Snapshot{Benchmarks: []Benchmark{
+		{Name: "BenchmarkExpAll/parallel=1", Procs: 1, NsPerOp: 1000},
+		{Name: "BenchmarkExpAll/parallel=8", Procs: 1, NsPerOp: 2000},
+	}}
+	sb.Reset()
+	if err := checkRatio(&sb, low, "BenchmarkExpAll/parallel=8,BenchmarkExpAll/parallel=1,0.67"); err != nil {
+		t.Errorf("low-procs run should skip, got %v", err)
+	}
+	if !strings.Contains(sb.String(), "skipped") {
+		t.Errorf("skip note missing: %q", sb.String())
+	}
+
+	// Malformed specs and missing benchmarks are hard errors.
+	for _, spec := range []string{"a,b", "a,b,notanumber", "BenchmarkMissing,BenchmarkExpAll/parallel=1,0.5"} {
+		if err := checkRatio(&sb, snap, spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
 func TestPct(t *testing.T) {
 	cases := []struct {
 		old, cur float64

@@ -29,6 +29,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -59,6 +61,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	traceOut := fs.String("trace-out", "", "write the run's sampled request traces to this file (.json = Chrome trace-event for Perfetto/chrome://tracing, else text waterfalls)")
 	traceSample := fs.Int("trace-sample", 0, "record every Nth attack request as a span tree (0 = off; -trace-out implies 1)")
 	traceBuf := fs.Int("trace-buf", 512, "completed traces kept for -trace-out (oldest evicted first)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken after the experiment runs to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -95,11 +99,45 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		return fmt.Errorf("bad -parallel %d", *parallel)
 	}
 	params := exp.Params{SizesMB: sizesMB, Parallel: *parallel}
+	if *traceSample > 0 {
+		// Each run gets its own isolated Runtime; route their spans into
+		// the process tracer so -trace-out exports one combined ring.
+		params.Trace = trace.Default
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			return err
 		}
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rangeamp: memprofile:", err)
+				return
+			}
+			runtime.GC() // settle allocations so the heap profile reflects retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rangeamp: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	for _, name := range strings.Split(*expFlag, ",") {

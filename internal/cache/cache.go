@@ -48,6 +48,12 @@ type Config struct {
 
 	// Now is the clock; nil means time.Now.
 	Now func() time.Time
+
+	// Metrics is the registry the cache's effectiveness counters resolve
+	// against at construction. Nil means metrics.Default — the
+	// daemon-facing fallback so cdnsim's /metrics keeps working; per-run
+	// topologies inject their Runtime's registry here.
+	Metrics *metrics.Registry
 }
 
 const (
@@ -132,27 +138,31 @@ func New(cfg Config) *Cache {
 		cfg.Now = time.Now
 	}
 	n := shardCount(cfg.Shards, cfg.MaxEntries)
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.Default
+	}
 	c := &Cache{
 		cfg:    cfg,
 		shards: make([]*shard, n),
 		mask:   uint32(n - 1),
-		mHits: metrics.Default.Counter("cache_hits_total",
+		mHits: reg.Counter("cache_hits_total",
 			"Requests served from an edge cache."),
-		mMisses: metrics.Default.Counter("cache_misses_total",
+		mMisses: reg.Counter("cache_misses_total",
 			"Cache lookups that found no fresh entry."),
-		mBypasses: metrics.Default.Counter("cache_bypasses_total",
+		mBypasses: reg.Counter("cache_bypasses_total",
 			"Requests whose target bypasses caching entirely."),
-		mEvictions: metrics.Default.Counter("cache_evictions_total",
+		mEvictions: reg.Counter("cache_evictions_total",
 			"Entries dropped by TTL expiry or LRU pressure (sum of the split counters)."),
-		mExpiredTTL: metrics.Default.Counter("cache_expired_ttl_total",
+		mExpiredTTL: reg.Counter("cache_expired_ttl_total",
 			"Entries dropped because their TTL lapsed."),
-		mEvictedLRU: metrics.Default.Counter("cache_evicted_lru_total",
+		mEvictedLRU: reg.Counter("cache_evicted_lru_total",
 			"Entries dropped by LRU capacity pressure."),
-		mCollapsed: metrics.Default.Counter("cache_collapsed_total",
+		mCollapsed: reg.Counter("cache_collapsed_total",
 			"Misses served by collapsing onto another request's in-flight fetch."),
-		mCollapseLead: metrics.Default.Counter("cache_collapse_leaders_total",
+		mCollapseLead: reg.Counter("cache_collapse_leaders_total",
 			"Misses elected to perform the fetch other requests collapsed onto."),
-		mContended: metrics.Default.Counter("cache_shard_contention_total",
+		mContended: reg.Counter("cache_shard_contention_total",
 			"Lock acquisitions that found their shard already held."),
 	}
 	per, extra := cfg.MaxEntries/n, cfg.MaxEntries%n

@@ -58,6 +58,13 @@ type Config struct {
 	// rest wait and share the fetched object. Off by default — a
 	// collapsing edge is a mitigation posture, not the measured one.
 	Collapse bool
+
+	// Metrics is the registry the edge's per-vendor series (and those of
+	// the default cache and upstream pool it builds) resolve against at
+	// construction. Nil means metrics.Default — the daemon-facing
+	// fallback so cdnsim's /metrics keeps working; per-run topologies
+	// inject their Runtime's registry here.
+	Metrics *metrics.Registry
 }
 
 // Edge is one CDN edge node.
@@ -95,9 +102,13 @@ func NewEdge(cfg Config) (*Edge, error) {
 	if cfg.Profile == nil || dialer == nil || cfg.UpstreamAddr == "" {
 		return nil, errors.New("cdn: Profile, a transport (Network or Dialer) and UpstreamAddr are required")
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.Default
+	}
 	c := cfg.Cache
 	if c == nil {
-		c = cache.New(cache.Config{IncludeQueryInKey: true})
+		c = cache.New(cache.Config{IncludeQueryInKey: true, Metrics: reg})
 	}
 	tracer := cfg.Trace
 	if tracer == nil {
@@ -108,7 +119,7 @@ func NewEdge(cfg Config) (*Edge, error) {
 	const rejectHelp = "Requests refused before any upstream traffic, by reason."
 	var pool *connPool
 	if cfg.UpstreamPool != nil {
-		pool = newConnPool(*cfg.UpstreamPool, dialer, cfg.UpstreamAddr, cfg.UpstreamSeg, vend)
+		pool = newConnPool(reg, *cfg.UpstreamPool, dialer, cfg.UpstreamAddr, cfg.UpstreamSeg, vend)
 	}
 	return &Edge{
 		profile:      cfg.Profile,
@@ -123,16 +134,16 @@ func NewEdge(cfg Config) (*Edge, error) {
 		inspector:    cfg.Inspector,
 		tracer:       tracer,
 		node:         cfg.Profile.Name + "-edge",
-		mRequests: metrics.Default.Counter("cdn_requests_total",
+		mRequests: reg.Counter("cdn_requests_total",
 			"Requests handled by an edge, per vendor.", vend),
-		mRejectLimits:   metrics.Default.Counter(rejectName, rejectHelp, vend, metrics.L("reason", "limits")),
-		mRejectDetector: metrics.Default.Counter(rejectName, rejectHelp, vend, metrics.L("reason", "detector")),
-		mRejectOverlap:  metrics.Default.Counter(rejectName, rejectHelp, vend, metrics.L("reason", "overlap")),
-		mUpstream: metrics.Default.Counter("cdn_upstream_fetches_total",
+		mRejectLimits:   reg.Counter(rejectName, rejectHelp, vend, metrics.L("reason", "limits")),
+		mRejectDetector: reg.Counter(rejectName, rejectHelp, vend, metrics.L("reason", "detector")),
+		mRejectOverlap:  reg.Counter(rejectName, rejectHelp, vend, metrics.L("reason", "overlap")),
+		mUpstream: reg.Counter("cdn_upstream_fetches_total",
 			"Back-to-origin requests issued, per vendor.", vend),
-		mTruncations: metrics.Default.Counter("cdn_upstream_truncations_total",
+		mTruncations: reg.Counter("cdn_upstream_truncations_total",
 			"Upstream reads cut at a body limit (the Azure 8MiB rule), per vendor.", vend),
-		hDuration: metrics.Default.Histogram("cdn_request_duration_us",
+		hDuration: reg.Histogram("cdn_request_duration_us",
 			"Edge request handling latency in microseconds, per vendor.", vend),
 	}, nil
 }

@@ -68,7 +68,10 @@ type connPool struct {
 	gIdle                                     *metrics.Gauge
 }
 
-func newConnPool(cfg PoolConfig, dialer UpstreamDialer, addr string, seg *netsim.Segment, vend metrics.Label) *connPool {
+func newConnPool(reg *metrics.Registry, cfg PoolConfig, dialer UpstreamDialer, addr string, seg *netsim.Segment, vend metrics.Label) *connPool {
+	if reg == nil {
+		reg = metrics.Default
+	}
 	if cfg.Size <= 0 {
 		cfg.Size = defaultPoolSize
 	}
@@ -87,13 +90,13 @@ func newConnPool(cfg PoolConfig, dialer UpstreamDialer, addr string, seg *netsim
 		size:   cfg.Size,
 		idle:   cfg.IdleTimeout,
 		now:    cfg.Now,
-		mReuses: metrics.Default.Counter("cdn_pool_reuses_total",
+		mReuses: reg.Counter("cdn_pool_reuses_total",
 			"Back-to-origin fetches served over a reused pooled connection, per vendor.", vend),
-		mDials: metrics.Default.Counter("cdn_pool_dials_total",
+		mDials: reg.Counter("cdn_pool_dials_total",
 			"Back-to-origin connections dialed by the pool, per vendor.", vend),
-		mEvictIdle:   metrics.Default.Counter(evictName, evictHelp, vend, metrics.L("reason", "idle")),
-		mEvictBroken: metrics.Default.Counter(evictName, evictHelp, vend, metrics.L("reason", "broken")),
-		gIdle: metrics.Default.Gauge("cdn_pool_idle_conns",
+		mEvictIdle:   reg.Counter(evictName, evictHelp, vend, metrics.L("reason", "idle")),
+		mEvictBroken: reg.Counter(evictName, evictHelp, vend, metrics.L("reason", "broken")),
+		gIdle: reg.Gauge("cdn_pool_idle_conns",
 			"Idle connections currently held by the upstream pool, per vendor.", vend),
 	}
 }

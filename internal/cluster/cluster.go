@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/cdn"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/vendor"
 )
@@ -49,6 +50,10 @@ type Config struct {
 	UpstreamAddr string
 	NodeCount    int
 	Inspector    cdn.Inspector // optional, shared by all nodes
+
+	// Metrics is the registry every node's segments, edge and cache
+	// resolve their series against. Nil means metrics.Default.
+	Metrics *metrics.Registry
 }
 
 // New stands up NodeCount edge nodes listening at
@@ -62,14 +67,15 @@ func New(cfg Config) (*Cluster, error) {
 	for i := 0; i < cfg.NodeCount; i++ {
 		id := fmt.Sprintf("node%d", i)
 		addr := fmt.Sprintf("%s.%s:80", id, cfg.Name)
-		upstreamSeg := netsim.NewSegment(id + "-upstream")
+		upstreamSeg := netsim.NewSegmentIn(cfg.Metrics, id+"-upstream")
 		edge, err := cdn.NewEdge(cdn.Config{
 			Profile:      cfg.Profile.Clone(),
 			Network:      cfg.Network,
 			UpstreamAddr: cfg.UpstreamAddr,
 			UpstreamSeg:  upstreamSeg,
-			Cache:        cache.New(cache.Config{IncludeQueryInKey: true}),
+			Cache:        cache.New(cache.Config{IncludeQueryInKey: true, Metrics: cfg.Metrics}),
 			Inspector:    cfg.Inspector,
+			Metrics:      cfg.Metrics,
 		})
 		if err != nil {
 			c.Close()
@@ -86,7 +92,7 @@ func New(cfg Config) (*Cluster, error) {
 			ID:          id,
 			Addr:        addr,
 			Edge:        edge,
-			ClientSeg:   netsim.NewSegment(id + "-client"),
+			ClientSeg:   netsim.NewSegmentIn(cfg.Metrics, id+"-client"),
 			UpstreamSeg: upstreamSeg,
 		})
 	}

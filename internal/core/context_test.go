@@ -19,9 +19,10 @@ func TestSBRMetricsDeltaMatchesAmplification(t *testing.T) {
 	for _, prof := range []*vendor.Profile{vendor.Cloudflare(), vendor.KeyCDN()} {
 		t.Run(prof.Name, func(t *testing.T) {
 			const size = 512 << 10
+			rt := NewRuntime()
 			store := resource.NewStore()
 			store.AddSynthetic(targetPath, size, contentType)
-			topo, err := NewSBRTopology(prof, store, SBROptions{OriginRangeSupport: true})
+			topo, err := NewSBRTopology(prof, store, SBROptions{OriginRangeSupport: true, Runtime: rt})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -30,12 +31,12 @@ func TestSBRMetricsDeltaMatchesAmplification(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			before := metrics.Default.Snapshot()
+			before := rt.Metrics.Snapshot()
 			res, err := RunSBR(topo, targetPath, size, "golden")
 			if err != nil {
 				t.Fatal(err)
 			}
-			d := metrics.Default.Snapshot().Delta(before)
+			d := rt.Metrics.Snapshot().Delta(before)
 
 			victim := d.Value("netsim_segment_bytes_total",
 				metrics.L("segment", "cdn-origin"), metrics.L("direction", "down"))
@@ -59,9 +60,10 @@ func TestSBRMetricsDeltaMatchesAmplification(t *testing.T) {
 
 func TestRunSBRContextCancelled(t *testing.T) {
 	const size = 64 << 10
+	rt := NewRuntime()
 	store := resource.NewStore()
 	store.AddSynthetic(targetPath, size, contentType)
-	topo, err := NewSBRTopology(vendor.Cloudflare(), store, SBROptions{OriginRangeSupport: true})
+	topo, err := NewSBRTopology(vendor.Cloudflare(), store, SBROptions{OriginRangeSupport: true, Runtime: rt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,11 +71,11 @@ func TestRunSBRContextCancelled(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	before := metrics.Default.Snapshot()
+	before := rt.Metrics.Snapshot()
 	if _, err := RunSBRContext(ctx, topo, targetPath, size, "cancelled"); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	d := metrics.Default.Snapshot().Delta(before)
+	d := rt.Metrics.Snapshot().Delta(before)
 	if got := d.Value("cdn_requests_total", metrics.L("vendor", "cloudflare")); got != 0 {
 		t.Errorf("cancelled run reached the edge %d times", got)
 	}
@@ -123,9 +125,10 @@ func (c *cancelAfter) Err() error {
 
 func TestRunSBRFloodContextCancelMidway(t *testing.T) {
 	const size = 64 << 10
+	rt := NewRuntime()
 	store := resource.NewStore()
 	store.AddSynthetic(targetPath, size, contentType)
-	topo, err := NewSBRTopology(vendor.Cloudflare(), store, SBROptions{OriginRangeSupport: true})
+	topo, err := NewSBRTopology(vendor.Cloudflare(), store, SBROptions{OriginRangeSupport: true, Runtime: rt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,12 +136,12 @@ func TestRunSBRFloodContextCancelMidway(t *testing.T) {
 
 	const workers, perWorker, allow = 4, 50, 17
 	ctx := newCancelAfter(allow)
-	before := metrics.Default.Snapshot()
+	before := rt.Metrics.Snapshot()
 	_, err = RunSBRFloodContext(ctx, topo, targetPath, size, workers, perWorker)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	d := metrics.Default.Snapshot().Delta(before)
+	d := rt.Metrics.Snapshot().Delta(before)
 	got := d.Value("cdn_requests_total", metrics.L("vendor", "cloudflare"))
 	if got != allow {
 		t.Errorf("edge handled %d requests after cancellation at %d", got, allow)
@@ -150,9 +153,10 @@ func TestRunSBRFloodContextCancelMidway(t *testing.T) {
 
 func TestRunSBRFloodContextCancelledBeforeStart(t *testing.T) {
 	const size = 64 << 10
+	rt := NewRuntime()
 	store := resource.NewStore()
 	store.AddSynthetic(targetPath, size, contentType)
-	topo, err := NewSBRTopology(vendor.Cloudflare(), store, SBROptions{OriginRangeSupport: true})
+	topo, err := NewSBRTopology(vendor.Cloudflare(), store, SBROptions{OriginRangeSupport: true, Runtime: rt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,11 +164,11 @@ func TestRunSBRFloodContextCancelledBeforeStart(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	before := metrics.Default.Snapshot()
+	before := rt.Metrics.Snapshot()
 	if _, err := RunSBRFloodContext(ctx, topo, targetPath, size, 4, 10); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	d := metrics.Default.Snapshot().Delta(before)
+	d := rt.Metrics.Snapshot().Delta(before)
 	if got := d.Value("cdn_requests_total", metrics.L("vendor", "cloudflare")); got != 0 {
 		t.Errorf("pre-cancelled flood reached the edge %d times", got)
 	}

@@ -50,16 +50,17 @@ type VendorAudit struct {
 }
 
 // AuditVendor runs the full corpus against one vendor's isolated
-// topology and returns the policy census and invariant violations.
+// topology (reporting into rt's environment; nil rt means the process
+// defaults) and returns the policy census and invariant violations.
 // The profile is used as given (callers own it); ctx cancellation is
 // honored between corpus elements.
-func AuditVendor(ctx context.Context, p *vendor.Profile, corpus []ranges.Set) (*VendorAudit, error) {
+func AuditVendor(ctx context.Context, rt *Runtime, p *vendor.Profile, corpus []ranges.Set) (*VendorAudit, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	store := resource.NewStore()
 	store.AddSynthetic(targetPath, corpusResourceSize, contentType)
-	topo, err := NewSBRTopology(p, store, SBROptions{OriginRangeSupport: true})
+	topo, err := NewSBRTopology(p, store, SBROptions{OriginRangeSupport: true, Runtime: rt})
 	if err != nil {
 		return nil, err
 	}

@@ -14,7 +14,7 @@ import (
 
 func TestAuditVendorSingleCell(t *testing.T) {
 	corpus := NewCorpus(7, 25)
-	a, err := AuditVendor(context.Background(), vendor.Akamai(), corpus)
+	a, err := AuditVendor(context.Background(), NewRuntime(), vendor.Akamai(), corpus)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestAuditVendorSingleCell(t *testing.T) {
 func TestAuditVendorCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := AuditVendor(ctx, vendor.Akamai(), NewCorpus(1, 5)); err == nil {
+	if _, err := AuditVendor(ctx, NewRuntime(), vendor.Akamai(), NewCorpus(1, 5)); err == nil {
 		t.Error("cancelled context accepted")
 	}
 }
@@ -58,7 +58,7 @@ func TestCorpusReportMerge(t *testing.T) {
 	rep := &CorpusReport{}
 	for _, name := range []string{"akamai", "cdn77"} {
 		p, _ := vendor.ByName(name)
-		a, err := AuditVendor(context.Background(), p, corpus)
+		a, err := AuditVendor(context.Background(), NewRuntime(), p, corpus)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -54,16 +54,17 @@ type ForwardObservation struct {
 }
 
 // ObserveForwarding runs one probe cell: it stands up an isolated
-// topology for the profile, sends the probe and classifies what the
+// topology for the profile (reporting into rt's environment; nil rt
+// means the process defaults), sends the probe and classifies what the
 // origin received against the §III-B policy taxonomy. The profile is
 // used as given (callers own it); ctx cancellation is honored at the
 // topology-construction and probe boundaries.
-func ObserveForwarding(ctx context.Context, p *vendor.Profile, probe Table1Probe, originRanges bool) (*ForwardObservation, error) {
+func ObserveForwarding(ctx context.Context, rt *Runtime, p *vendor.Profile, probe Table1Probe, originRanges bool) (*ForwardObservation, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	store := NewStoreWith(probe.Size)
-	topo, err := NewSBRTopology(p, store, SBROptions{OriginRangeSupport: originRanges})
+	topo, err := NewSBRTopology(p, store, SBROptions{OriginRangeSupport: originRanges, Runtime: rt})
 	if err != nil {
 		return nil, err
 	}

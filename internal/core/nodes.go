@@ -23,17 +23,20 @@ type NodeStrategyStats struct {
 
 // RunNodeStrategy drives requests SBR requests through a nodeCount-node
 // Cloudflare-profiled cluster under the given selector and measures the
-// load concentration. ctx cancellation is honored between requests.
-func RunNodeStrategy(ctx context.Context, label string, sel cluster.Selector, nodeCount, requests int) (*NodeStrategyStats, error) {
+// load concentration. The cluster's segments and edges report into rt's
+// registry (nil rt means the process defaults); ctx cancellation is
+// honored between requests.
+func RunNodeStrategy(ctx context.Context, rt *Runtime, label string, sel cluster.Selector, nodeCount, requests int) (*NodeStrategyStats, error) {
 	if nodeCount < 2 || requests < nodeCount {
 		return nil, fmt.Errorf("core: need >=2 nodes and >=%d requests", nodeCount)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	env := rt.effective()
 	store := resource.NewStore()
 	store.AddSynthetic(targetPath, 256<<10, contentType)
-	osrv := origin.NewServer(store, origin.Config{RangeSupport: true})
+	osrv := origin.NewServer(store, origin.Config{RangeSupport: true, Trace: env.Trace, Metrics: env.Metrics})
 	net := netsim.NewNetwork()
 	originL, err := net.Listen(originAddr)
 	if err != nil {
@@ -48,6 +51,7 @@ func RunNodeStrategy(ctx context.Context, label string, sel cluster.Selector, no
 		Network:      net,
 		UpstreamAddr: originAddr,
 		NodeCount:    nodeCount,
+		Metrics:      env.Metrics,
 	})
 	if err != nil {
 		return nil, err

@@ -9,7 +9,7 @@ import (
 
 func TestRunNodeStrategy(t *testing.T) {
 	ctx := context.Background()
-	pinned, err := RunNodeStrategy(ctx, "pinned", cluster.Pinned{Index: 0}, 5, 20)
+	pinned, err := RunNodeStrategy(ctx, NewRuntime(), "pinned", cluster.Pinned{Index: 0}, 5, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,7 +19,7 @@ func TestRunNodeStrategy(t *testing.T) {
 	if pinned.IdleNodes != 4 {
 		t.Errorf("pinned idle nodes = %d, want 4", pinned.IdleNodes)
 	}
-	spread, err := RunNodeStrategy(ctx, "spread", &cluster.RoundRobin{}, 5, 20)
+	spread, err := RunNodeStrategy(ctx, NewRuntime(), "spread", &cluster.RoundRobin{}, 5, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,10 +33,10 @@ func TestRunNodeStrategy(t *testing.T) {
 
 func TestRunNodeStrategyValidation(t *testing.T) {
 	ctx := context.Background()
-	if _, err := RunNodeStrategy(ctx, "x", cluster.Pinned{}, 1, 10); err == nil {
+	if _, err := RunNodeStrategy(ctx, NewRuntime(), "x", cluster.Pinned{}, 1, 10); err == nil {
 		t.Error("single node accepted")
 	}
-	if _, err := RunNodeStrategy(ctx, "x", cluster.Pinned{}, 5, 2); err == nil {
+	if _, err := RunNodeStrategy(ctx, NewRuntime(), "x", cluster.Pinned{}, 5, 2); err == nil {
 		t.Error("too few requests accepted")
 	}
 }
@@ -44,7 +44,7 @@ func TestRunNodeStrategyValidation(t *testing.T) {
 func TestRunNodeStrategyCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := RunNodeStrategy(ctx, "x", cluster.Pinned{}, 5, 20); err == nil {
+	if _, err := RunNodeStrategy(ctx, NewRuntime(), "x", cluster.Pinned{}, 5, 20); err == nil {
 		t.Error("cancelled context accepted")
 	}
 }

@@ -1,0 +1,86 @@
+// Per-run runtime environment. Historically every topology resolved its
+// counters against metrics.Default and its spans against trace.Default,
+// so parallel experiment runs funneled through one set of shared atomics
+// (and interleaved their registry deltas — Result.Stats was only
+// trustworthy when runs were serialized). A Runtime carries the
+// process-wide singletons' roles as explicit per-run state instead: each
+// run gets its own registry, tracer, resource store and clock, and the
+// defaults survive only as the nil-fallback for daemons (origind/cdnsim
+// /metrics) and the public API wrappers.
+package core
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/resource"
+	"repro/internal/trace"
+)
+
+// Runtime is the execution environment one experiment run lives in. All
+// fields are optional; nil fields resolve to the process-wide defaults
+// at construction time (see SBROptions.Runtime / OBROptions.Runtime).
+type Runtime struct {
+	// Metrics receives every counter, gauge and histogram the run's
+	// topologies emit. Nil means metrics.Default.
+	Metrics *metrics.Registry
+
+	// Trace receives the run's request span trees. Nil means
+	// trace.Default (disabled unless configured). An explicit
+	// SBROptions.Trace / OBROptions.Trace still wins over this.
+	Trace *trace.Tracer
+
+	// Store is the origin resource store topologies fall back to when
+	// the caller passes none. Nil keeps the historical behaviour of a
+	// fresh empty store per topology.
+	Store *resource.Store
+
+	// Now is the clock threaded into components that accept one. Nil
+	// keeps each component's deterministic default (the origin's fixed
+	// Date instant, the cache's time.Now), which the byte-identical
+	// experiment goldens depend on.
+	Now func() time.Time
+}
+
+// NewRuntime returns a fully isolated environment: a fresh registry, a
+// disabled tracer, and a fresh resource store. Two runs on separate
+// NewRuntime environments share no mutable state, so their metric
+// deltas are exact and their hot paths never contend on each other's
+// cache lines.
+func NewRuntime() *Runtime {
+	return &Runtime{
+		Metrics: metrics.New(),
+		Trace:   trace.New(trace.Config{}),
+		Store:   resource.NewStore(),
+	}
+}
+
+// Registry returns the registry the runtime's runs resolve against:
+// rt.Metrics, or the process default when rt (or the field) is nil.
+// Callers that snapshot a run's delta must diff this registry — it is
+// the same resolution topology construction applies.
+func (rt *Runtime) Registry() *metrics.Registry {
+	if rt != nil && rt.Metrics != nil {
+		return rt.Metrics
+	}
+	return metrics.Default
+}
+
+// effective resolves a possibly-nil Runtime with possibly-nil fields
+// into concrete dependencies. This is the single construction boundary
+// where the process-wide defaults survive: daemons and public API
+// wrappers that never mention a Runtime land here and keep reporting to
+// metrics.Default / trace.Default unchanged.
+func (rt *Runtime) effective() Runtime {
+	var out Runtime
+	if rt != nil {
+		out = *rt
+	}
+	if out.Metrics == nil {
+		out.Metrics = metrics.Default
+	}
+	if out.Trace == nil {
+		out.Trace = trace.Default
+	}
+	return out
+}

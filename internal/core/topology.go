@@ -50,9 +50,14 @@ type SBRTopology struct {
 type SBROptions struct {
 	OriginRangeSupport bool // default true (the SBR origin supports ranges)
 	DisableEdgeCache   bool
+	// Runtime is the per-run environment the topology's registry series,
+	// spans and fallback store resolve against. Nil means the
+	// process-wide defaults (the historical behaviour).
+	Runtime *Runtime
 	// Trace is the span sink shared by attacker, edge and origin; nil
-	// means trace.Default (disabled unless configured), so topologies
-	// pay nothing for tracing until someone opts in.
+	// defers to Runtime.Trace (and ultimately the default tracer,
+	// disabled unless configured), so topologies pay nothing for tracing
+	// until someone opts in.
 	Trace *trace.Tracer
 
 	// UpstreamPool gives the edge persistent back-to-origin connections
@@ -69,23 +74,32 @@ type SBROptions struct {
 // NewSBRTopology stands up origin and edge servers for one profile.
 // Callers must Close the topology.
 func NewSBRTopology(profile *vendor.Profile, store *resource.Store, opts SBROptions) (*SBRTopology, error) {
+	env := opts.Runtime.effective()
+	if store == nil {
+		store = env.Store
+	}
 	if store == nil {
 		store = resource.NewStore()
 	}
 	tracer := opts.Trace
 	if tracer == nil {
-		tracer = trace.Default
+		tracer = env.Trace
 	}
 	t := &SBRTopology{
 		Net:       netsim.NewNetwork(),
 		Store:     store,
 		Profile:   profile,
-		ClientSeg: netsim.NewSegment("client-cdn"),
-		OriginSeg: netsim.NewSegment("cdn-origin"),
+		ClientSeg: netsim.NewSegmentIn(env.Metrics, "client-cdn"),
+		OriginSeg: netsim.NewSegmentIn(env.Metrics, "cdn-origin"),
 		Trace:     tracer,
 		EdgeAddr:  edgeAddr,
 	}
-	t.Origin = origin.NewServer(store, origin.Config{RangeSupport: opts.OriginRangeSupport, Trace: tracer})
+	t.Origin = origin.NewServer(store, origin.Config{
+		RangeSupport: opts.OriginRangeSupport,
+		Trace:        tracer,
+		Metrics:      env.Metrics,
+		Now:          env.Now,
+	})
 	originL, err := t.Net.Listen(originAddr)
 	if err != nil {
 		return nil, fmt.Errorf("listen origin: %w", err)
@@ -102,6 +116,7 @@ func NewSBRTopology(profile *vendor.Profile, store *resource.Store, opts SBROpti
 		Trace:        tracer,
 		UpstreamPool: opts.UpstreamPool,
 		Collapse:     opts.CollapseMisses,
+		Metrics:      env.Metrics,
 	})
 	if err != nil {
 		t.Close()
@@ -151,8 +166,12 @@ type OBRTopology struct {
 
 // OBROptions tune the OBR topology.
 type OBROptions struct {
-	// Trace is the span sink shared by every node; nil means
-	// trace.Default.
+	// Runtime is the per-run environment the topology's registry series,
+	// spans and fallback store resolve against. Nil means the
+	// process-wide defaults.
+	Runtime *Runtime
+	// Trace is the span sink shared by every node; nil defers to
+	// Runtime.Trace (and ultimately the default tracer).
 	Trace *trace.Tracer
 
 	// UpstreamPool, when set, gives both edges persistent upstream
@@ -175,12 +194,16 @@ func NewOBRTopology(fcdn, bcdn *vendor.Profile, store *resource.Store) (*OBRTopo
 
 // NewOBRTopologyOpts is NewOBRTopology with explicit options.
 func NewOBRTopologyOpts(fcdn, bcdn *vendor.Profile, store *resource.Store, opts OBROptions) (*OBRTopology, error) {
+	env := opts.Runtime.effective()
+	if store == nil {
+		store = env.Store
+	}
 	if store == nil {
 		store = resource.NewStore()
 	}
 	tracer := opts.Trace
 	if tracer == nil {
-		tracer = trace.Default
+		tracer = env.Trace
 	}
 	if fcdn.Name == "cloudflare" {
 		fcdn = fcdn.Clone()
@@ -189,15 +212,20 @@ func NewOBRTopologyOpts(fcdn, bcdn *vendor.Profile, store *resource.Store, opts 
 	t := &OBRTopology{
 		Net:           netsim.NewNetwork(),
 		Store:         store,
-		ClientSeg:     netsim.NewSegment("client-fcdn"),
-		FcdnBcdnSeg:   netsim.NewSegment("fcdn-bcdn"),
-		BcdnOriginSeg: netsim.NewSegment("bcdn-origin"),
+		ClientSeg:     netsim.NewSegmentIn(env.Metrics, "client-fcdn"),
+		FcdnBcdnSeg:   netsim.NewSegmentIn(env.Metrics, "fcdn-bcdn"),
+		BcdnOriginSeg: netsim.NewSegmentIn(env.Metrics, "bcdn-origin"),
 		Trace:         tracer,
 		FCDNAddr:      fcdnAddr,
 	}
 	// The attacker disables range support on their origin so it always
 	// answers 200 with the full resource (§IV-C).
-	t.Origin = origin.NewServer(store, origin.Config{RangeSupport: false, Trace: tracer})
+	t.Origin = origin.NewServer(store, origin.Config{
+		RangeSupport: false,
+		Trace:        tracer,
+		Metrics:      env.Metrics,
+		Now:          env.Now,
+	})
 	originL, err := t.Net.Listen(originAddr)
 	if err != nil {
 		return nil, fmt.Errorf("listen origin: %w", err)
@@ -213,6 +241,7 @@ func NewOBRTopologyOpts(fcdn, bcdn *vendor.Profile, store *resource.Store, opts 
 		Trace:        tracer,
 		UpstreamPool: opts.UpstreamPool,
 		Collapse:     opts.CollapseMisses,
+		Metrics:      env.Metrics,
 	})
 	if err != nil {
 		t.Close()
@@ -234,6 +263,7 @@ func NewOBRTopologyOpts(fcdn, bcdn *vendor.Profile, store *resource.Store, opts 
 		DisableCache: true, // the attacker's FCDN distribution does not cache
 		Trace:        tracer,
 		UpstreamPool: opts.UpstreamPool,
+		Metrics:      env.Metrics,
 	})
 	if err != nil {
 		t.Close()

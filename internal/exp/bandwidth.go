@@ -37,6 +37,12 @@ func DefaultBandwidthConfig() BandwidthConfig {
 // then replays the paper's fixed-rate flood at each m through the
 // bandwidth simulator.
 func Bandwidth(ctx context.Context, cfg BandwidthConfig) (fig7a, fig7b *report.Figure, err error) {
+	return BandwidthEnv(ctx, nil, cfg)
+}
+
+// BandwidthEnv is Bandwidth reporting into an explicit runtime
+// environment.
+func BandwidthEnv(ctx context.Context, rt *Runtime, cfg BandwidthConfig) (fig7a, fig7b *report.Figure, err error) {
 	p, ok := vendor.ByName(cfg.VendorName)
 	if !ok {
 		return nil, nil, fmt.Errorf("unknown vendor %q", cfg.VendorName)
@@ -46,7 +52,7 @@ func Bandwidth(ctx context.Context, cfg BandwidthConfig) (fig7a, fig7b *report.F
 	}
 	size := int64(cfg.ResourceMB) * core.MiB
 	store := core.NewStoreWith(size)
-	topo, err := core.NewSBRTopology(p.Clone(), store, core.SBROptions{OriginRangeSupport: true})
+	topo, err := core.NewSBRTopology(p.Clone(), store, core.SBROptions{OriginRangeSupport: true, Runtime: rt})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -88,6 +94,12 @@ func Bandwidth(ctx context.Context, cfg BandwidthConfig) (fig7a, fig7b *report.F
 // parallel and reports each vendor's per-request origin cost plus the
 // request rate m that saturates the origin link.
 func BandwidthAll(ctx context.Context, cfg BandwidthConfig, parallel int) (*report.Table, error) {
+	return BandwidthAllEnv(ctx, nil, cfg, parallel)
+}
+
+// BandwidthAllEnv is BandwidthAll reporting into an explicit runtime
+// environment.
+func BandwidthAllEnv(ctx context.Context, rt *Runtime, cfg BandwidthConfig, parallel int) (*report.Table, error) {
 	size := int64(cfg.ResourceMB) * core.MiB
 	type cell struct {
 		display          string
@@ -100,7 +112,7 @@ func BandwidthAll(ctx context.Context, cfg BandwidthConfig, parallel int) (*repo
 			return cell{}, err
 		}
 		store := core.NewStoreWith(size)
-		topo, err := core.NewSBRTopology(p, store, core.SBROptions{OriginRangeSupport: true})
+		topo, err := core.NewSBRTopology(p, store, core.SBROptions{OriginRangeSupport: true, Runtime: rt})
 		if err != nil {
 			return cell{}, err
 		}

@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/report"
+	"repro/internal/trace"
 )
 
 // Params carries the run-time knobs every experiment receives.
@@ -48,6 +49,20 @@ type Params struct {
 	// Parallel bounds the scheduler's worker pool; values <= 1 run the
 	// experiment's cells serially.
 	Parallel int
+
+	// Runtime pins the run to one explicit environment. Nil (the
+	// default) makes Run build a fresh isolated Runtime per invocation,
+	// so concurrent runs share no registry, tracer or store state —
+	// their Stats deltas are exact and their hot paths never contend.
+	// Pass a shared Runtime only when one cumulative registry across
+	// runs is the point (a daemon's /metrics, say).
+	Runtime *Runtime
+
+	// Trace, when set, overrides the tracer inside the Runtimes Run
+	// builds (it is ignored when Runtime is set — configure that
+	// Runtime's Trace instead). cmd/rangeamp uses this to route every
+	// run's spans into the process tracer its -trace-out flag exports.
+	Trace *trace.Tracer
 }
 
 // withDefaults fills unset fields with the paper's defaults.
@@ -69,10 +84,10 @@ type Result struct {
 	Notes   []string
 
 	// Stats is the metrics-registry delta accumulated while the
-	// experiment ran (filled by Run). Deltas of experiments running
-	// concurrently under a parallel RunAll overlap, since the registry
-	// is process-wide; a serial run's delta is exactly what that
-	// experiment did.
+	// experiment ran (filled by Run). Each run snapshots its own
+	// Runtime's registry, so the delta is exactly what that run did even
+	// when many runs execute concurrently — only runs sharing an
+	// explicit Params.Runtime see each other's series.
 	Stats *metrics.Snapshot
 }
 
@@ -209,19 +224,30 @@ func List() []Experiment {
 }
 
 // Run executes one experiment by name (or alias), attaching the
-// metrics delta the run accumulated to the result's Stats.
+// metrics delta the run accumulated to the result's Stats. Without an
+// explicit Params.Runtime the run gets a fresh isolated environment, so
+// the delta is exact by construction — concurrent runs cannot interleave
+// their counters.
 func Run(ctx context.Context, name string, p Params) (*Result, error) {
 	e, ok := Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("exp: unknown experiment %q (have %s)",
 			name, strings.Join(knownNames(), ", "))
 	}
-	before := metrics.Default.Snapshot()
-	res, err := e.Run(ctx, p.withDefaults())
+	p = p.withDefaults()
+	if p.Runtime == nil {
+		p.Runtime = NewRuntime()
+		if p.Trace != nil {
+			p.Runtime.Trace = p.Trace
+		}
+	}
+	reg := p.Runtime.Registry()
+	before := reg.Snapshot()
+	res, err := e.Run(ctx, p)
 	if err != nil || res == nil {
 		return res, err
 	}
-	res.Stats = metrics.Default.Snapshot().Delta(before)
+	res.Stats = reg.Snapshot().Delta(before)
 	return res, nil
 }
 

@@ -17,6 +17,12 @@ import (
 // show each §VI-C fix collapsing the amplification factor. The SBR and
 // OBR configuration cells fan out across one scheduler pass.
 func Mitigations(ctx context.Context, parallel int) (*report.Table, error) {
+	return MitigationsEnv(ctx, nil, parallel)
+}
+
+// MitigationsEnv is Mitigations reporting into an explicit runtime
+// environment.
+func MitigationsEnv(ctx context.Context, rt *Runtime, parallel int) (*report.Table, error) {
 	const sizeMB = 10
 	size := int64(sizeMB) * core.MiB
 
@@ -47,7 +53,7 @@ func Mitigations(ctx context.Context, parallel int) (*report.Table, error) {
 		if i < len(sbrConfigs) {
 			c := sbrConfigs[i]
 			store := core.NewStoreWith(size)
-			topo, err := core.NewSBRTopology(c.profile, store, core.SBROptions{OriginRangeSupport: true})
+			topo, err := core.NewSBRTopology(c.profile, store, core.SBROptions{OriginRangeSupport: true, Runtime: rt})
 			if err != nil {
 				return row{}, err
 			}
@@ -60,7 +66,7 @@ func Mitigations(ctx context.Context, parallel int) (*report.Table, error) {
 		}
 		c := obrConfigs[i-len(sbrConfigs)]
 		store := core.NewStoreWith(1024)
-		topo, err := core.NewOBRTopology(vendor.Cloudflare(), c.bcdn, store)
+		topo, err := core.NewOBRTopologyOpts(vendor.Cloudflare(), c.bcdn, store, core.OBROptions{Runtime: rt})
 		if err != nil {
 			return row{}, err
 		}
@@ -94,9 +100,15 @@ func Mitigations(ctx context.Context, parallel int) (*report.Table, error) {
 // reports the forwarding-policy census plus protocol-invariant
 // violations.
 func CorpusAudit(ctx context.Context, seed int64, count, parallel int) (*core.CorpusReport, error) {
+	return CorpusAuditEnv(ctx, nil, seed, count, parallel)
+}
+
+// CorpusAuditEnv is CorpusAudit reporting into an explicit runtime
+// environment.
+func CorpusAuditEnv(ctx context.Context, rt *Runtime, seed int64, count, parallel int) (*core.CorpusReport, error) {
 	corpus := core.NewCorpus(seed, count)
 	audits, err := ForEachVendor(ctx, parallel, func(ctx context.Context, p *vendor.Profile) (*core.VendorAudit, error) {
-		a, err := core.AuditVendor(ctx, p, corpus)
+		a, err := core.AuditVendor(ctx, rt, p, corpus)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", p.Name, err)
 		}
@@ -118,6 +130,12 @@ func CorpusAudit(ctx context.Context, seed int64, count, parallel int) (*core.Co
 // H2Comparison runs the SBR exploit over HTTP/1.1 and HTTP/2 against
 // every vendor and compares amplification factors.
 func H2Comparison(ctx context.Context, sizeMB, parallel int) (*report.Table, map[string][2]float64, error) {
+	return H2ComparisonEnv(ctx, nil, sizeMB, parallel)
+}
+
+// H2ComparisonEnv is H2Comparison reporting into an explicit runtime
+// environment.
+func H2ComparisonEnv(ctx context.Context, rt *Runtime, sizeMB, parallel int) (*report.Table, map[string][2]float64, error) {
 	size := int64(sizeMB) * core.MiB
 	type cell struct {
 		display string
@@ -128,7 +146,7 @@ func H2Comparison(ctx context.Context, sizeMB, parallel int) (*report.Table, map
 			return cell{}, err
 		}
 		store := core.NewStoreWith(size)
-		topo, err := core.NewSBRTopology(p, store, core.SBROptions{OriginRangeSupport: true})
+		topo, err := core.NewSBRTopology(p, store, core.SBROptions{OriginRangeSupport: true, Runtime: rt})
 		if err != nil {
 			return cell{}, err
 		}
@@ -180,6 +198,12 @@ func H2Comparison(ctx context.Context, sizeMB, parallel int) (*report.Table, map
 // under pinned and spread ingress selection; the two strategy cells run
 // concurrently on isolated clusters.
 func NodeTargeting(ctx context.Context, nodeCount, requests, parallel int) (*report.Table, map[string]float64, error) {
+	return NodeTargetingEnv(ctx, nil, nodeCount, requests, parallel)
+}
+
+// NodeTargetingEnv is NodeTargeting reporting into an explicit runtime
+// environment.
+func NodeTargetingEnv(ctx context.Context, rt *Runtime, nodeCount, requests, parallel int) (*report.Table, map[string]float64, error) {
 	strategies := []struct {
 		label string
 		sel   cluster.Selector
@@ -188,7 +212,7 @@ func NodeTargeting(ctx context.Context, nodeCount, requests, parallel int) (*rep
 		{"spread", &cluster.RoundRobin{}},
 	}
 	stats, err := Map(ctx, parallel, len(strategies), func(ctx context.Context, i int) (*core.NodeStrategyStats, error) {
-		return core.RunNodeStrategy(ctx, strategies[i].label, strategies[i].sel, nodeCount, requests)
+		return core.RunNodeStrategy(ctx, rt, strategies[i].label, strategies[i].sel, nodeCount, requests)
 	})
 	if err != nil {
 		return nil, nil, err

@@ -40,15 +40,18 @@ func TestRunAttachesStats(t *testing.T) {
 
 // TestSchedulerCancellationObservedViaCounters pins the scheduler's
 // cancellation contract at the metrics level: a run handed an already
-// cancelled context must error out before any cell reaches an edge.
+// cancelled context must error out before any cell reaches an edge. The
+// run is pinned to an explicit Runtime so its registry can be diffed
+// even though the run itself fails before producing a Stats delta.
 func TestSchedulerCancellationObservedViaCounters(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	before := metrics.Default.Snapshot()
-	if _, err := Run(ctx, "sbr", Params{SizesMB: []int{1}, Parallel: 4}); err == nil {
+	rt := NewRuntime()
+	before := rt.Metrics.Snapshot()
+	if _, err := Run(ctx, "sbr", Params{SizesMB: []int{1}, Parallel: 4, Runtime: rt}); err == nil {
 		t.Fatal("cancelled run succeeded")
 	}
-	d := metrics.Default.Snapshot().Delta(before)
+	d := rt.Metrics.Snapshot().Delta(before)
 	if got := sumSeries(d, "cdn_requests_total"); got != 0 {
 		t.Errorf("cancelled run still drove %d edge requests", got)
 	}

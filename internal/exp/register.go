@@ -16,7 +16,7 @@ import (
 func init() {
 	Register(Func("table1", "Table I — range forwarding behaviours (SBR)",
 		func(ctx context.Context, p Params) (*Result, error) {
-			tab, _, err := Table1(ctx, p.Parallel)
+			tab, _, err := Table1Env(ctx, p.Runtime, p.Parallel)
 			if err != nil {
 				return nil, err
 			}
@@ -25,7 +25,7 @@ func init() {
 
 	Register(Func("table2", "Table II — multi-range forwarding (OBR FCDN side)",
 		func(ctx context.Context, p Params) (*Result, error) {
-			tab, _, err := Table2(ctx, p.Parallel)
+			tab, _, err := Table2Env(ctx, p.Runtime, p.Parallel)
 			if err != nil {
 				return nil, err
 			}
@@ -34,7 +34,7 @@ func init() {
 
 	Register(Func("table3", "Table III — multi-range replying (OBR BCDN side)",
 		func(ctx context.Context, p Params) (*Result, error) {
-			tab, _, err := Table3(ctx, p.Parallel)
+			tab, _, err := Table3Env(ctx, p.Runtime, p.Parallel)
 			if err != nil {
 				return nil, err
 			}
@@ -43,7 +43,7 @@ func init() {
 
 	Register(Func("sbr", "Table IV + Fig 6 — SBR amplification sweep over resource sizes",
 		func(ctx context.Context, p Params) (*Result, error) {
-			res, err := SBRSweep(ctx, p.SizesMB, p.Parallel)
+			res, err := SBRSweepEnv(ctx, p.Runtime, p.SizesMB, p.Parallel)
 			if err != nil {
 				return nil, err
 			}
@@ -56,7 +56,7 @@ func init() {
 
 	Register(Func("obr", "Table V — OBR max amplification across cascaded CDN pairs",
 		func(ctx context.Context, p Params) (*Result, error) {
-			tab, _, err := Table5(ctx, p.Parallel)
+			tab, _, err := Table5Env(ctx, p.Runtime, p.Parallel)
 			if err != nil {
 				return nil, err
 			}
@@ -65,7 +65,7 @@ func init() {
 
 	Register(Func("bandwidth", "Fig 7 — bandwidth practicability at fixed request rates",
 		func(ctx context.Context, p Params) (*Result, error) {
-			fig7a, fig7b, err := Bandwidth(ctx, DefaultBandwidthConfig())
+			fig7a, fig7b, err := BandwidthEnv(ctx, p.Runtime, DefaultBandwidthConfig())
 			if err != nil {
 				return nil, err
 			}
@@ -74,7 +74,7 @@ func init() {
 
 	Register(Func("bandwidth-all", "Fig 7 calibration across all 13 CDNs (saturating m)",
 		func(ctx context.Context, p Params) (*Result, error) {
-			tab, err := BandwidthAll(ctx, DefaultBandwidthConfig(), p.Parallel)
+			tab, err := BandwidthAllEnv(ctx, p.Runtime, DefaultBandwidthConfig(), p.Parallel)
 			if err != nil {
 				return nil, err
 			}
@@ -83,7 +83,7 @@ func init() {
 
 	Register(Func("mitigation", "§VI-C — amplification with and without each mitigation",
 		func(ctx context.Context, p Params) (*Result, error) {
-			tab, err := Mitigations(ctx, p.Parallel)
+			tab, err := MitigationsEnv(ctx, p.Runtime, p.Parallel)
 			if err != nil {
 				return nil, err
 			}
@@ -92,7 +92,7 @@ func init() {
 
 	Register(Func("corpus", "RFC 7233 ABNF corpus audit — policy census and invariants",
 		func(ctx context.Context, p Params) (*Result, error) {
-			rep, err := CorpusAudit(ctx, 1, 200, p.Parallel)
+			rep, err := CorpusAuditEnv(ctx, p.Runtime, 1, 200, p.Parallel)
 			if err != nil {
 				return nil, err
 			}
@@ -115,7 +115,7 @@ func init() {
 
 	Register(Func("h2", "§VI-B — SBR amplification over HTTP/1.1 vs HTTP/2",
 		func(ctx context.Context, p Params) (*Result, error) {
-			tab, _, err := H2Comparison(ctx, p.SizesMB[0], p.Parallel)
+			tab, _, err := H2ComparisonEnv(ctx, p.Runtime, p.SizesMB[0], p.Parallel)
 			if err != nil {
 				return nil, err
 			}
@@ -124,7 +124,7 @@ func init() {
 
 	Register(Func("nodes", "§IV-C vs §VI-A — ingress-node load under pinned vs spread selection",
 		func(ctx context.Context, p Params) (*Result, error) {
-			tab, _, err := NodeTargeting(ctx, 5, 50, p.Parallel)
+			tab, _, err := NodeTargetingEnv(ctx, p.Runtime, 5, 50, p.Parallel)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,14 @@
+package exp
+
+import "repro/internal/core"
+
+// Runtime is the per-run execution environment (see core.Runtime): a
+// registry, tracer, resource store and clock that one experiment run
+// owns instead of sharing the process-wide defaults. exp.Run builds a
+// fresh one per invocation unless Params.Runtime pins the run to an
+// explicit environment.
+type Runtime = core.Runtime
+
+// NewRuntime returns a fully isolated environment for one run: fresh
+// registry, disabled tracer, fresh resource store.
+func NewRuntime() *Runtime { return core.NewRuntime() }

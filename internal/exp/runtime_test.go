@@ -1,0 +1,182 @@
+package exp
+
+// Cross-run isolation tests for the per-run Runtime environment. Before
+// runtimes existed every Run diffed metrics.Default, so two concurrent
+// runs saw each other's traffic in their Stats deltas. With a fresh
+// registry per run the delta must be bit-for-bit the run's own work, no
+// matter what else the process is doing. Run under -race these tests
+// also prove the hot path shares no mutable globals between runs.
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// statsKey renders a sample identity (name plus canonical labels) for
+// map-based comparison, mirroring the snapshot's internal key.
+func statsKey(s metrics.Sample) string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for _, l := range s.Labels {
+		b.WriteByte('|')
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// statsFingerprint flattens a Stats delta into comparable name→value
+// pairs. Wall-clock histograms (any series with "duration" in the name)
+// contribute only their observation count: their Sum and bucket
+// occupancy depend on elapsed time, which concurrency legitimately
+// changes. Everything else — byte counters, request counters, conn
+// counters, size histograms — is deterministic and compared exactly,
+// including histogram Sum and per-bucket occupancy.
+func statsFingerprint(s *metrics.Snapshot) map[string]int64 {
+	out := map[string]int64{}
+	for _, sm := range s.Samples() {
+		key := statsKey(sm)
+		out[key] = sm.Value
+		if strings.Contains(sm.Name, "duration") {
+			continue
+		}
+		if sm.Sum != 0 {
+			out[key+"|sum"] = sm.Sum
+		}
+		for i, b := range sm.Buckets {
+			if b != 0 {
+				out[key+"|bucket"+string(rune('0'+i))] = b
+			}
+		}
+	}
+	return out
+}
+
+func diffFingerprints(t *testing.T, label string, want, got map[string]int64) {
+	t.Helper()
+	for k, w := range want {
+		if g, ok := got[k]; !ok || g != w {
+			t.Errorf("%s: %s = %d, want %d", label, k, g, w)
+		}
+	}
+	for k, g := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("%s: unexpected series %s = %d", label, k, g)
+		}
+	}
+}
+
+// runOnce executes one experiment at Parallel 1 (internally serial, so
+// every non-duration series is deterministic) and returns its Stats
+// fingerprint.
+func runOnce(t *testing.T, name string) map[string]int64 {
+	t.Helper()
+	res, err := Run(context.Background(), name, Params{SizesMB: []int{1}, Parallel: 1})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if res.Stats == nil {
+		t.Fatalf("%s: Stats nil", name)
+	}
+	return statsFingerprint(res.Stats)
+}
+
+// TestConcurrentRunsIsolatedStats is the issue's acceptance test: two
+// different experiments running concurrently each produce exactly the
+// Stats delta they produce alone. With the old package-global registry
+// the table1 delta would absorb table3's edge traffic and vice versa.
+func TestConcurrentRunsIsolatedStats(t *testing.T) {
+	names := []string{"table1", "table3"}
+	want := map[string]map[string]int64{}
+	for _, name := range names {
+		want[name] = runOnce(t, name)
+	}
+
+	got := make([]map[string]int64, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			res, err := Run(context.Background(), name, Params{SizesMB: []int{1}, Parallel: 1})
+			if err != nil {
+				t.Errorf("%s: %v", name, err)
+				return
+			}
+			got[i] = statsFingerprint(res.Stats)
+		}(i, name)
+	}
+	wg.Wait()
+
+	for i, name := range names {
+		if got[i] == nil {
+			continue // run already reported its error
+		}
+		diffFingerprints(t, name, want[name], got[i])
+	}
+}
+
+// TestConcurrentSameExperimentIsolatedStats runs the same experiment
+// twice at once. This is the sharpest form of the old cross-talk bug:
+// identical label sets mean a shared registry would exactly double
+// every counter in each run's delta.
+func TestConcurrentSameExperimentIsolatedStats(t *testing.T) {
+	want := runOnce(t, "sbr")
+
+	const runs = 2
+	got := make([]map[string]int64, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := Run(context.Background(), "sbr", Params{SizesMB: []int{1}, Parallel: 1})
+			if err != nil {
+				t.Errorf("run %d: %v", i, err)
+				return
+			}
+			got[i] = statsFingerprint(res.Stats)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range got {
+		if got[i] == nil {
+			continue
+		}
+		diffFingerprints(t, "run "+string(rune('0'+i)), want, got[i])
+	}
+}
+
+// TestExplicitRuntimePinned checks the other side of the contract: a
+// caller-supplied Runtime is used as-is, so two runs pinned to the same
+// Runtime accumulate into one registry (the pre-refactor behaviour,
+// now opt-in).
+func TestExplicitRuntimePinned(t *testing.T) {
+	rt := NewRuntime()
+	before := rt.Metrics.Snapshot()
+	for i := 0; i < 2; i++ {
+		if _, err := Run(context.Background(), "sbr", Params{SizesMB: []int{1}, Parallel: 1, Runtime: rt}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := rt.Metrics.Snapshot().Delta(before)
+	first := sumSeries(d, "cdn_requests_total")
+	if first <= 0 {
+		t.Fatalf("pinned runtime accumulated %d edge requests over two runs", first)
+	}
+	// One more pinned run must keep growing the same registry: the
+	// third run's contribution matches half of the first two.
+	if _, err := Run(context.Background(), "sbr", Params{SizesMB: []int{1}, Parallel: 1, Runtime: rt}); err != nil {
+		t.Fatal(err)
+	}
+	d = rt.Metrics.Snapshot().Delta(before)
+	if got := sumSeries(d, "cdn_requests_total"); got != first+first/2 {
+		t.Errorf("three pinned runs drove %d edge requests, want %d", got, first+first/2)
+	}
+}

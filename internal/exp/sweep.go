@@ -37,6 +37,11 @@ type sweepCell struct {
 // resource size. Sizes run in order; within a size the vendor cells
 // fan out across the scheduler, sharing one read-only resource store.
 func SBRSweep(ctx context.Context, sizesMB []int, parallel int) (*SBRSweepResult, error) {
+	return SBRSweepEnv(ctx, nil, sizesMB, parallel)
+}
+
+// SBRSweepEnv is SBRSweep reporting into an explicit runtime environment.
+func SBRSweepEnv(ctx context.Context, rt *Runtime, sizesMB []int, parallel int) (*SBRSweepResult, error) {
 	res := &SBRSweepResult{
 		SizesMB:     sizesMB,
 		Factor:      make(map[string][]float64),
@@ -51,7 +56,7 @@ func SBRSweep(ctx context.Context, sizesMB []int, parallel int) (*SBRSweepResult
 			if err := ctx.Err(); err != nil {
 				return sweepCell{}, err
 			}
-			topo, err := core.NewSBRTopology(p, store, core.SBROptions{OriginRangeSupport: true})
+			topo, err := core.NewSBRTopology(p, store, core.SBROptions{OriginRangeSupport: true, Runtime: rt})
 			if err != nil {
 				return sweepCell{}, err
 			}

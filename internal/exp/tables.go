@@ -16,13 +16,19 @@ import (
 // Experiment E1a — Table I: range forwarding behaviours (SBR).
 
 // Table1 probes every vendor with the Table I range shapes, one
-// isolated topology per cell, at most parallel cells at a time.
+// isolated topology per cell, at most parallel cells at a time, under
+// the process-default environment.
 func Table1(ctx context.Context, parallel int) (*report.Table, []core.ForwardObservation, error) {
+	return Table1Env(ctx, nil, parallel)
+}
+
+// Table1Env is Table1 reporting into an explicit runtime environment.
+func Table1Env(ctx context.Context, rt *Runtime, parallel int) (*report.Table, []core.ForwardObservation, error) {
 	probes := core.Table1Probes()
 	perVendor, err := ForEachVendor(ctx, parallel, func(ctx context.Context, p *vendor.Profile) ([]core.ForwardObservation, error) {
 		out := make([]core.ForwardObservation, 0, len(probes))
 		for _, probe := range probes {
-			obs, err := core.ObserveForwarding(ctx, p.Clone(), probe, true)
+			obs, err := core.ObserveForwarding(ctx, rt, p.Clone(), probe, true)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", p.Name, probe.Label, err)
 			}
@@ -54,6 +60,11 @@ func Table1(ctx context.Context, parallel int) (*report.Table, []core.ForwardObs
 // Table2 probes each vendor with an overlapping multi-range set and
 // reports which forward it unchanged (the FCDN vulnerability).
 func Table2(ctx context.Context, parallel int) (*report.Table, map[string]bool, error) {
+	return Table2Env(ctx, nil, parallel)
+}
+
+// Table2Env is Table2 reporting into an explicit runtime environment.
+func Table2Env(ctx context.Context, rt *Runtime, parallel int) (*report.Table, map[string]bool, error) {
 	type cell struct {
 		obs       *core.ForwardObservation
 		name      string
@@ -66,7 +77,7 @@ func Table2(ctx context.Context, parallel int) (*report.Table, map[string]bool, 
 		}
 		rangeCase := core.BuildOverlappingRange(core.OBRFirstToken(p.Name), 4)
 		probe := core.Table1Probe{Label: "overlap", Range: rangeCase, Size: 1024}
-		obs, err := core.ObserveForwarding(ctx, p, probe, false)
+		obs, err := core.ObserveForwarding(ctx, rt, p, probe, false)
 		if err != nil {
 			return cell{}, fmt.Errorf("%s: %w", p.Name, err)
 		}
@@ -95,6 +106,11 @@ func Table2(ctx context.Context, parallel int) (*report.Table, map[string]bool, 
 // edge (range-disabled origin behind it) and reports which build
 // overlapping n-part responses.
 func Table3(ctx context.Context, parallel int) (*report.Table, map[string]bool, error) {
+	return Table3Env(ctx, nil, parallel)
+}
+
+// Table3Env is Table3 reporting into an explicit runtime environment.
+func Table3Env(ctx context.Context, rt *Runtime, parallel int) (*report.Table, map[string]bool, error) {
 	const n = 8
 	type cell struct {
 		name, display string
@@ -105,7 +121,7 @@ func Table3(ctx context.Context, parallel int) (*report.Table, map[string]bool, 
 			return cell{}, err
 		}
 		store := core.NewStoreWith(1024)
-		topo, err := core.NewSBRTopology(p, store, core.SBROptions{OriginRangeSupport: false})
+		topo, err := core.NewSBRTopology(p, store, core.SBROptions{OriginRangeSupport: false, Runtime: rt})
 		if err != nil {
 			return cell{}, err
 		}
@@ -153,6 +169,11 @@ func obrBCDNs() []string { return []string{"akamai", "azure", "stackpath"} }
 // is never cascaded with itself) with a 1 KB target resource, each
 // cascade on its own topology cell.
 func Table5(ctx context.Context, parallel int) (*report.Table, []OBRCombination, error) {
+	return Table5Env(ctx, nil, parallel)
+}
+
+// Table5Env is Table5 reporting into an explicit runtime environment.
+func Table5Env(ctx context.Context, rt *Runtime, parallel int) (*report.Table, []OBRCombination, error) {
 	type pair struct{ fcdn, bcdn string }
 	var pairs []pair
 	for _, f := range obrFCDNs() {
@@ -163,7 +184,7 @@ func Table5(ctx context.Context, parallel int) (*report.Table, []OBRCombination,
 		}
 	}
 	combos, err := Map(ctx, parallel, len(pairs), func(ctx context.Context, i int) (OBRCombination, error) {
-		combo, err := runOBRCombo(ctx, pairs[i].fcdn, pairs[i].bcdn)
+		combo, err := runOBRCombo(ctx, rt, pairs[i].fcdn, pairs[i].bcdn)
 		if err != nil {
 			return OBRCombination{}, fmt.Errorf("%s->%s: %w", pairs[i].fcdn, pairs[i].bcdn, err)
 		}
@@ -189,7 +210,7 @@ func Table5(ctx context.Context, parallel int) (*report.Table, []OBRCombination,
 	return tab, combos, nil
 }
 
-func runOBRCombo(ctx context.Context, fcdnName, bcdnName string) (*OBRCombination, error) {
+func runOBRCombo(ctx context.Context, rt *Runtime, fcdnName, bcdnName string) (*OBRCombination, error) {
 	fcdnProfile, ok := vendor.ByName(fcdnName)
 	if !ok {
 		return nil, fmt.Errorf("unknown fcdn %q", fcdnName)
@@ -202,7 +223,7 @@ func runOBRCombo(ctx context.Context, fcdnName, bcdnName string) (*OBRCombinatio
 		return nil, err
 	}
 	store := core.NewStoreWith(1024)
-	topo, err := core.NewOBRTopology(fcdnProfile, bcdnProfile, store)
+	topo, err := core.NewOBRTopologyOpts(fcdnProfile, bcdnProfile, store, core.OBROptions{Runtime: rt})
 	if err != nil {
 		return nil, err
 	}

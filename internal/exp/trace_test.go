@@ -105,19 +105,21 @@ func TestTraceGoldenSpanTrees(t *testing.T) {
 // netsim_segment_bytes_total metrics delta.
 func TestTraceByteAttrsMatchSegmentMetrics(t *testing.T) {
 	tracer := trace.New(trace.Config{SampleEvery: 1})
+	rt := NewRuntime()
+	rt.Trace = tracer
 	store := resource.NewStore()
 	store.AddSynthetic("/target.bin", 256<<10, "application/octet-stream")
-	topo, err := core.NewSBRTopology(vendor.StackPath(), store, core.SBROptions{OriginRangeSupport: true, Trace: tracer})
+	topo, err := core.NewSBRTopology(vendor.StackPath(), store, core.SBROptions{OriginRangeSupport: true, Runtime: rt})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer topo.Close()
 
-	before := metrics.Default.Snapshot()
+	before := rt.Metrics.Snapshot()
 	if _, err := core.RunSBR(topo, "/target.bin", 256<<10, "bytes0"); err != nil {
 		t.Fatal(err)
 	}
-	d := metrics.Default.Snapshot().Delta(before)
+	d := rt.Metrics.Snapshot().Delta(before)
 
 	traces := tracer.Traces()
 	if len(traces) != 1 {

@@ -69,24 +69,35 @@ type Segment struct {
 	gLive                      *metrics.Gauge
 }
 
-// NewSegment returns a named, zeroed segment.
-func NewSegment(name string) *Segment {
+// NewSegment returns a named, zeroed segment reporting into the
+// process-wide default registry. Per-run topologies should prefer
+// NewSegmentIn with their own registry.
+func NewSegment(name string) *Segment { return NewSegmentIn(nil, name) }
+
+// NewSegmentIn returns a named, zeroed segment whose series resolve
+// against reg. A nil reg falls back to metrics.Default — the
+// daemon-facing construction boundary, kept so cdnsim/origind expose
+// their segments on /metrics without extra wiring.
+func NewSegmentIn(reg *metrics.Registry, name string) *Segment {
+	if reg == nil {
+		reg = metrics.Default
+	}
 	seg := metrics.L("segment", name)
 	return &Segment{
 		Name: name,
-		mUp: metrics.Default.Counter("netsim_segment_bytes_total",
+		mUp: reg.Counter("netsim_segment_bytes_total",
 			"Application bytes transferred per segment and direction.",
 			seg, metrics.L("direction", "up")),
-		mDown: metrics.Default.Counter("netsim_segment_bytes_total",
+		mDown: reg.Counter("netsim_segment_bytes_total",
 			"Application bytes transferred per segment and direction.",
 			seg, metrics.L("direction", "down")),
-		mOpened: metrics.Default.Counter("netsim_conns_opened_total",
+		mOpened: reg.Counter("netsim_conns_opened_total",
 			"Connections opened per segment.", seg),
-		mClosed: metrics.Default.Counter("netsim_conns_closed_total",
+		mClosed: reg.Counter("netsim_conns_closed_total",
 			"Connections cleanly closed per segment.", seg),
-		mAborted: metrics.Default.Counter("netsim_conns_aborted_total",
+		mAborted: reg.Counter("netsim_conns_aborted_total",
 			"Connections whose closer discarded unread inbound bytes per segment (mid-transfer cut).", seg),
-		gLive: metrics.Default.Gauge("netsim_conns_live",
+		gLive: reg.Gauge("netsim_conns_live",
 			"Connections currently open per segment (keep-alive sessions hold these between requests).", seg),
 	}
 }

@@ -136,8 +136,9 @@ func TestCloseClassification(t *testing.T) {
 	// Clean: the server writes its full response and closes before the
 	// client drains it — normal HTTP close-after-write teardown must not
 	// count as an abort even though the response is still in the pipe.
-	seg := NewSegment("class-test")
-	before := metrics.Default.Snapshot()
+	reg := metrics.New()
+	seg := NewSegmentIn(reg, "class-test")
+	before := reg.Snapshot()
 	client, server := Pipe(seg, 0)
 	if _, err := server.Write(make([]byte, 1024)); err != nil {
 		t.Fatal(err)
@@ -148,7 +149,7 @@ func TestCloseClassification(t *testing.T) {
 	}
 	client.Close()
 	lbl := metrics.L("segment", "class-test")
-	d := metrics.Default.Snapshot().Delta(before)
+	d := reg.Snapshot().Delta(before)
 	if got := d.Value("netsim_conns_closed_total", lbl); got != 1 {
 		t.Errorf("closed delta = %d, want 1", got)
 	}
@@ -158,14 +159,14 @@ func TestCloseClassification(t *testing.T) {
 
 	// Aborted: the client closes with unread response bytes in its
 	// inbound pipe — a mid-transfer cut (the Azure first connection).
-	before = metrics.Default.Snapshot()
+	before = reg.Snapshot()
 	client, server = Pipe(seg, 0)
 	if _, err := server.Write(make([]byte, 1024)); err != nil {
 		t.Fatal(err)
 	}
 	client.Close()
 	server.Close()
-	d = metrics.Default.Snapshot().Delta(before)
+	d = reg.Snapshot().Delta(before)
 	if got := d.Value("netsim_conns_aborted_total", lbl); got != 1 {
 		t.Errorf("aborted delta = %d, want 1", got)
 	}

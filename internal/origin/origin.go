@@ -56,6 +56,12 @@ type Config struct {
 	// configured). The origin joins the trace carried by an inbound
 	// traceparent header, closing the attacker→edge→origin tree.
 	Trace *trace.Tracer
+
+	// Metrics is the registry the origin's response counters resolve
+	// against at construction. Nil means metrics.Default — the
+	// daemon-facing fallback so origind's /metrics keeps working;
+	// per-run topologies inject their Runtime's registry here.
+	Metrics *metrics.Registry
 }
 
 // ReceivedRequest records one request as seen by the origin, for the
@@ -99,11 +105,15 @@ func NewServer(store *resource.Store, cfg Config) *Server {
 	if tracer == nil {
 		tracer = trace.Default
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.Default
+	}
 	const respName = "origin_responses_total"
 	const respHelp = "Responses produced by the origin, by status code."
 	mResponses := make(map[int]*metrics.Counter)
 	for _, code := range []int{200, 206, 304, 404, 405, 416} {
-		mResponses[code] = metrics.Default.Counter(respName, respHelp,
+		mResponses[code] = reg.Counter(respName, respHelp,
 			metrics.L("status", strconv.Itoa(code)))
 	}
 	return &Server{
@@ -111,10 +121,10 @@ func NewServer(store *resource.Store, cfg Config) *Server {
 		cfg:        cfg,
 		tracer:     tracer,
 		mResponses: mResponses,
-		mOther:     metrics.Default.Counter(respName, respHelp, metrics.L("status", "other")),
-		mBodyBytes: metrics.Default.Counter("origin_response_bytes_total",
+		mOther:     reg.Counter(respName, respHelp, metrics.L("status", "other")),
+		mBodyBytes: reg.Counter("origin_response_bytes_total",
 			"Response body bytes produced by the origin."),
-		hBodySize: metrics.Default.Histogram("origin_response_size_bytes",
+		hBodySize: reg.Histogram("origin_response_size_bytes",
 			"Distribution of origin response body sizes."),
 	}
 }

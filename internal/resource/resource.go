@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ranges"
@@ -24,33 +25,59 @@ import (
 // sweep cell costs a sub-slice header, not 25 MB of heap per cell.
 const patternPeriod = 64 << 10
 
+// patternTable holds exactly one period of the synthetic stream. It is
+// computed once at package init and never written again, so readers
+// need no synchronization.
+var patternTable = func() []byte {
+	buf := make([]byte, patternPeriod)
+	for i := range buf {
+		buf[i] = byte(i*131 + i>>8*31 + 7)
+	}
+	return buf
+}()
+
+// patternSlab publishes the current backing array as an immutable
+// snapshot: a published slab is never written again, growth copies into
+// a fresh larger array and swaps the pointer. Readers therefore do one
+// atomic load and a length check — no mutex on the hot path. patternGrow
+// serializes growers only; it is never taken on the satisfied-read path.
 var (
-	patternMu  sync.Mutex
-	patternBuf []byte // grows monotonically; published slices are never shrunk
+	patternSlab atomic.Pointer[[]byte]
+	patternGrow sync.Mutex
 )
+
+func init() {
+	slab := patternTable
+	patternSlab.Store(&slab)
+}
 
 // patternBytes returns a read-only view of the first size bytes of the
 // shared synthetic pattern, growing the backing array if needed. The
 // returned slice is capacity-capped so appends by a caller cannot
 // clobber neighbouring resources' views.
 func patternBytes(size int64) []byte {
-	patternMu.Lock()
-	defer patternMu.Unlock()
-	if int64(len(patternBuf)) < size {
-		// Fill the first period byte by byte, then double by copying —
-		// the stream is periodic so copies preserve the formula.
-		if len(patternBuf) < patternPeriod {
-			n := len(patternBuf)
-			patternBuf = append(patternBuf, make([]byte, patternPeriod-n)...)
-			for i := n; i < patternPeriod; i++ {
-				patternBuf[i] = byte(i*131 + i>>8*31 + 7)
-			}
-		}
-		for int64(len(patternBuf)) < size {
-			patternBuf = append(patternBuf, patternBuf...)
-		}
+	if slab := *patternSlab.Load(); int64(len(slab)) >= size {
+		return slab[:size:size]
 	}
-	return patternBuf[:size:size]
+	patternGrow.Lock()
+	defer patternGrow.Unlock()
+	slab := *patternSlab.Load()
+	if int64(len(slab)) < size {
+		// Double into a fresh array by tiling the period table — the
+		// stream is periodic, so tiling preserves the formula. The old
+		// slab stays untouched: views handed out earlier remain valid.
+		grown := int64(len(slab))
+		for grown < size {
+			grown *= 2
+		}
+		next := make([]byte, grown)
+		for off := 0; off < len(next); off += patternPeriod {
+			copy(next[off:], patternTable)
+		}
+		patternSlab.Store(&next)
+		slab = next
+	}
+	return slab[:size:size]
 }
 
 // Resource is one origin object.

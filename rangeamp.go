@@ -131,6 +131,13 @@ type (
 	// OBROptions tunes an OBR topology.
 	OBROptions = core.OBROptions
 
+	// Runtime is one run's environment: the metrics registry, tracer,
+	// resource store and clock a topology resolves against instead of
+	// the process-wide defaults. Hang one off SBROptions.Runtime /
+	// OBROptions.Runtime, or ExperimentParams.Runtime to pin an
+	// experiment run; nil fields fall back to the defaults.
+	Runtime = exp.Runtime
+
 	// Metrics is a registry of counters, gauges and histograms.
 	Metrics = metrics.Registry
 	// MetricsSnapshot is a point-in-time copy of a registry, diffable
@@ -159,6 +166,12 @@ const (
 // OBROptions.Trace. A zero TracerConfig yields a disabled tracer;
 // SampleEvery: 1 records every request root.
 func NewTracer(cfg TracerConfig) *Tracer { return trace.New(cfg) }
+
+// NewRuntime returns a fresh isolated Runtime: its own metrics
+// registry, a disabled tracer and a fresh resource store. Experiment
+// runs given no explicit Runtime build one of these per run, which is
+// what makes concurrent runs' Stats deltas independent.
+func NewRuntime() *Runtime { return exp.NewRuntime() }
 
 // DefaultTracer is the process-wide tracer topologies fall back to when
 // no explicit Tracer is configured. It is disabled until configured;
