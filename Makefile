@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench check fuzz experiments clean
+.PHONY: all build vet test race bench check fuzz experiments campaign-smoke clean
 
 all: build vet test
 
@@ -47,6 +47,19 @@ fuzz:
 # Every experiment, printed as text tables and figure series.
 experiments:
 	$(GO) run ./cmd/rangeamp -exp all
+
+# The campaign runner's end-to-end contract on a tiny 8-cell sweep:
+# run it, resume it (must execute zero cells), and diff it against a
+# copy of itself (must report no regressions).
+campaign-smoke:
+	rm -rf /tmp/rangeamp-campaign-smoke
+	mkdir -p /tmp/rangeamp-campaign-smoke
+	$(GO) run ./cmd/rangeamp campaign -spec examples/campaign/smoke.json -out /tmp/rangeamp-campaign-smoke/run -parallel 4 | tee /tmp/rangeamp-campaign-smoke/first.log
+	grep -q '8 executed, 0 skipped' /tmp/rangeamp-campaign-smoke/first.log
+	$(GO) run ./cmd/rangeamp campaign -spec examples/campaign/smoke.json -out /tmp/rangeamp-campaign-smoke/run -resume | tee /tmp/rangeamp-campaign-smoke/resume.log
+	grep -q '0 executed, 8 skipped' /tmp/rangeamp-campaign-smoke/resume.log
+	cp -r /tmp/rangeamp-campaign-smoke/run /tmp/rangeamp-campaign-smoke/baseline
+	$(GO) run ./cmd/rangeamp campaign -out /tmp/rangeamp-campaign-smoke/run -diff /tmp/rangeamp-campaign-smoke/baseline | grep 'no regressions'
 
 clean:
 	$(GO) clean ./...

@@ -287,9 +287,13 @@ func benchFlood(b *testing.B, opts SBROptions, flood FloodOptions) {
 		b.Fatal(err)
 	}
 	defer topo.Close()
+	flood.Path = "/f.bin"
+	flood.ResourceSize = size
+	flood.Workers = benchFloodWorkers
+	flood.PerWorker = benchFloodPerWorker
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := RunSBRFloodOptsContext(benchCtx, topo, "/f.bin", size, benchFloodWorkers, benchFloodPerWorker, flood)
+		res, err := RunSBRFloodOpts(benchCtx, topo, flood)
 		if err != nil {
 			b.Fatal(err)
 		}

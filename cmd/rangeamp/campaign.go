@@ -1,0 +1,113 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/campaign"
+)
+
+// runCampaign is the "rangeamp campaign" subcommand: declarative
+// config-matrix sweeps with persisted, resumable results.
+//
+//	rangeamp campaign -spec spec.json -out dir/             # run a sweep
+//	rangeamp campaign -spec spec.json -out dir/ -resume     # continue one
+//	rangeamp campaign -spec spec.json -cells                # print the cell list
+//	rangeamp campaign -spec spec.json -out new/ -diff old/  # run, then compare
+//	rangeamp campaign -out new/ -diff old/                  # compare only
+func runCampaign(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("rangeamp campaign", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "campaign spec JSON file (omit with -diff to compare two existing directories)")
+	outDir := fs.String("out", "", "campaign directory to write (or, with -diff and no -spec, the new side of the comparison)")
+	resume := fs.Bool("resume", false, "continue an interrupted campaign: skip cells whose result file already exists")
+	parallel := fs.Int("parallel", 1, "max concurrent cells")
+	diffDir := fs.String("diff", "", "older campaign directory to compare against after the run")
+	tolerance := fs.Float64("tolerance", 0, "relative tolerance for -diff comparisons (0 = exact; the simulation is deterministic)")
+	cellsOnly := fs.Bool("cells", false, "print the spec's expanded cell list (hash and label) and exit without running")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("campaign: unexpected argument %q", fs.Arg(0))
+	}
+	if *specPath == "" && *diffDir == "" {
+		return fmt.Errorf("campaign: -spec is required (or -diff with -out to compare existing directories)")
+	}
+
+	if *specPath != "" {
+		spec, err := loadSpec(*specPath)
+		if err != nil {
+			return err
+		}
+		if *cellsOnly {
+			cells, err := spec.Cells()
+			if err != nil {
+				return err
+			}
+			for _, c := range cells {
+				fmt.Fprintf(w, "%s  %s\n", c.Hash, c.Config.Label())
+			}
+			_, err = fmt.Fprintf(w, "%d cells\n", len(cells))
+			return err
+		}
+		if *outDir == "" {
+			return fmt.Errorf("campaign: -out is required")
+		}
+		sum, err := campaign.Run(ctx, *spec, campaign.RunOptions{
+			Dir:      *outDir,
+			Parallel: *parallel,
+			Resume:   *resume,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "campaign %s: %d cells — %d executed, %d skipped (%s)\n",
+			spec.Name, sum.Total, sum.Executed, sum.Skipped, sum.Dir); err != nil {
+			return err
+		}
+	}
+
+	if *diffDir != "" {
+		if *outDir == "" {
+			return fmt.Errorf("campaign: -diff needs -out as the new side")
+		}
+		d, err := campaign.Diff(*diffDir, *outDir, *tolerance)
+		if err != nil {
+			return err
+		}
+		if err := d.Render(w); err != nil {
+			return err
+		}
+		if !d.Clean() {
+			return fmt.Errorf("campaign: %d missing, %d changed vs %s",
+				len(d.Missing), len(d.Changed), *diffDir)
+		}
+	}
+	return nil
+}
+
+// loadSpec reads and strictly decodes a campaign spec: an unknown
+// field is a typo'd axis, and silently ignoring it would run the wrong
+// sweep.
+func loadSpec(path string) (*campaign.Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var spec campaign.Spec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("campaign: parsing %s: %w", path, err)
+	}
+	if spec.Name == "" {
+		spec.Name = strings.TrimSuffix(strings.TrimSuffix(path[strings.LastIndexByte(path, '/')+1:], ".json"), ".spec")
+	}
+	return &spec, nil
+}

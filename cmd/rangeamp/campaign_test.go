@@ -1,0 +1,119 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSpec drops a spec file for the subcommand tests: two vendors at
+// 1 MB crossed with keep-alive on/off — four fast cells.
+func writeSpec(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "smoke.json")
+	spec := `{
+  "name": "cli-smoke",
+  "experiments": ["sbr"],
+  "axes": {
+    "vendors": ["cloudflare", "fastly"],
+    "sizes_mb": [1],
+    "keep_alive": [false, true]
+  }
+}
+`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCampaignRunAndResume(t *testing.T) {
+	spec := writeSpec(t)
+	dir := filepath.Join(t.TempDir(), "out")
+
+	var b strings.Builder
+	if err := run(context.Background(), []string{"campaign", "-spec", spec, "-out", dir}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "4 cells — 4 executed, 0 skipped") {
+		t.Fatalf("first run summary: %q", b.String())
+	}
+
+	// Resume over a finished campaign executes nothing.
+	b.Reset()
+	if err := run(context.Background(), []string{"campaign", "-spec", spec, "-out", dir, "-resume"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "4 cells — 0 executed, 4 skipped") {
+		t.Fatalf("resume summary: %q", b.String())
+	}
+
+	// Without -resume the used directory is refused.
+	if err := run(context.Background(), []string{"campaign", "-spec", spec, "-out", dir}, &b); err == nil {
+		t.Fatal("re-run into used directory without -resume succeeded")
+	}
+}
+
+func TestCampaignDiffCLI(t *testing.T) {
+	spec := writeSpec(t)
+	oldDir := filepath.Join(t.TempDir(), "old")
+	newDir := filepath.Join(t.TempDir(), "new")
+
+	var b strings.Builder
+	for _, dir := range []string{oldDir, newDir} {
+		if err := run(context.Background(), []string{"campaign", "-spec", spec, "-out", dir}, &b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Diff-only mode: no -spec, just the two directories.
+	b.Reset()
+	if err := run(context.Background(), []string{"campaign", "-out", newDir, "-diff", oldDir}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no regressions") {
+		t.Fatalf("diff output: %q", b.String())
+	}
+
+	// A missing cell file is a regression: nonzero exit.
+	entries, err := os.ReadDir(newDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "cell-") {
+			if err := os.Remove(filepath.Join(newDir, e.Name())); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	if err := run(context.Background(), []string{"campaign", "-out", newDir, "-diff", oldDir}, &b); err == nil {
+		t.Fatal("diff with a missing cell reported success")
+	}
+}
+
+func TestCampaignCellsListing(t *testing.T) {
+	spec := writeSpec(t)
+	var b strings.Builder
+	if err := run(context.Background(), []string{"campaign", "-spec", spec, "-cells"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "4 cells") || !strings.Contains(out, "sbr cloudflare 1MB") {
+		t.Fatalf("cell listing: %q", out)
+	}
+}
+
+func TestCampaignRejectsUnknownSpecField(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"experiments": ["sbr"], "axis": {}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run(context.Background(), []string{"campaign", "-spec", path, "-cells"}, &b); err == nil {
+		t.Fatal("spec with unknown field accepted")
+	}
+}

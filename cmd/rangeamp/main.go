@@ -19,6 +19,13 @@
 //	rangeamp -exp sbr -metrics        # also print the run's metrics delta
 //	rangeamp -exp sbr -trace-out t.json  # span trees of every attack request (Perfetto)
 //	rangeamp -list                    # registered experiments, one per line
+//
+// The campaign subcommand runs declarative config-matrix sweeps with
+// persisted, resumable, diffable results (see internal/campaign):
+//
+//	rangeamp campaign -spec spec.json -out dir/             # run a sweep
+//	rangeamp campaign -spec spec.json -out dir/ -resume     # continue one
+//	rangeamp campaign -spec spec.json -out new/ -diff old/  # run, then compare
 package main
 
 import (
@@ -49,6 +56,9 @@ func main() {
 }
 
 func run(ctx context.Context, args []string, w io.Writer) error {
+	if len(args) > 0 && args[0] == "campaign" {
+		return runCampaign(ctx, args[1:], w)
+	}
 	fs := flag.NewFlagSet("rangeamp", flag.ContinueOnError)
 	expFlag := fs.String("exp", "all", "experiment name from the registry (see -list), a comma list, or 'all'")
 	sizes := fs.String("sizes", "1,10,25", "resource sizes in MB for the SBR sweep (list '1,10,25' or range '1-25')")

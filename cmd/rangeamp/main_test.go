@@ -101,6 +101,20 @@ func TestRunUnknownExperiment(t *testing.T) {
 	}
 }
 
+func TestRunUnknownExperimentInList(t *testing.T) {
+	// An unknown name anywhere in a comma list fails the run and is
+	// named in the error, so a typo'd sweep dies loudly instead of
+	// quietly running a subset.
+	var b strings.Builder
+	err := run(context.Background(), []string{"-exp", "table3,nonsense"}, &b)
+	if err == nil {
+		t.Fatal("unknown experiment inside comma list accepted")
+	}
+	if !strings.Contains(err.Error(), `"nonsense"`) {
+		t.Errorf("error does not name the bad entry: %v", err)
+	}
+}
+
 func TestRunBadSizes(t *testing.T) {
 	var b strings.Builder
 	if err := run(context.Background(), []string{"-exp", "sbr", "-sizes", "zero"}, &b); err == nil {

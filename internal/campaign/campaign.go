@@ -1,0 +1,205 @@
+// Package campaign is the declarative sweep layer of the
+// reproduction: a Spec names the experiment kinds to run and the axes
+// to cross (vendors × sizes × range grammars × cache states ×
+// keep-alive × collapse × mitigations), expansion turns it into a flat
+// list of content-addressed cells, and Run executes the cells on the
+// exp scheduler — one fresh core.Runtime per cell, one JSON result
+// file per cell — into a campaign directory that is resumable
+// (finished cells are skipped by hash) and diffable against an older
+// run of the same spec. It is the programmatic form of the paper's
+// evaluation grid: Table IV / Fig 6 is the default campaign.
+package campaign
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/vendor"
+)
+
+// Axes are the sweep dimensions a Spec crosses. Nil slices mean the
+// paper's defaults; every value is validated at expansion time.
+// Not every axis applies to every cell kind: sbr and flood cells cross
+// all of them, obr cells cross OBRPairs × Collapse × Mitigations (the
+// resource is the paper's fixed 1 KB), and "exp:" cells take SizesMB
+// as a whole list and ignore the rest (the registered experiment owns
+// its own iteration).
+type Axes struct {
+	// Vendors are the CDN profiles under test. Nil means every
+	// registered vendor (the paper's 13).
+	Vendors []string `json:"vendors,omitempty"`
+	// SizesMB are the target resource sizes. Nil means 1, 10, 25.
+	SizesMB []int `json:"sizes_mb,omitempty"`
+	// RangeGrammars are the Range shapes to send. Nil means exploit
+	// (each vendor's Table IV case).
+	RangeGrammars []string `json:"range_grammars,omitempty"`
+	// CacheStates are the edge cache conditions. Nil means cold.
+	CacheStates []string `json:"cache_states,omitempty"`
+	// KeepAlive crosses the attacker connection economy. Nil means
+	// {false} (a fresh dial per request, the paper's setup).
+	KeepAlive []bool `json:"keep_alive,omitempty"`
+	// Collapse crosses edge-side request collapsing. Nil means {false}.
+	Collapse []bool `json:"collapse,omitempty"`
+	// Mitigations crosses the §VI-C countermeasures. Nil means none.
+	Mitigations []string `json:"mitigations,omitempty"`
+	// OBRPairs are the "fcdn>bcdn" cascades for obr cells. Nil means
+	// the Table V list (exp.OBRPairs, 11 pairs).
+	OBRPairs []string `json:"obr_pairs,omitempty"`
+}
+
+// Spec is a declarative campaign: which cell kinds to run and which
+// axes to cross. It is plain data — serializable to JSON, hashable,
+// and checkable into a repo next to the campaign directory it produced.
+type Spec struct {
+	// Name labels the campaign (manifest + report headers). Empty means
+	// "campaign".
+	Name string `json:"name,omitempty"`
+	// Experiments are the cell kinds: "sbr", "flood", "obr", or
+	// "exp:<registry name>". Nil means {"sbr"}.
+	Experiments []string `json:"experiments,omitempty"`
+	// Axes are the sweep dimensions.
+	Axes Axes `json:"axes,omitempty"`
+	// Workers and PerWorker shape flood cells (ignored by the other
+	// kinds). Zero means the 4 × 4 default.
+	Workers   int `json:"workers,omitempty"`
+	PerWorker int `json:"per_worker,omitempty"`
+}
+
+// Cell is one expanded, fully specified unit of campaign work: its
+// config plus the content hash that addresses its result file.
+type Cell struct {
+	Hash   string     `json:"hash"`
+	Config CellConfig `json:"config"`
+}
+
+// withDefaults fills the paper's defaults into unset spec fields.
+func (s Spec) withDefaults() Spec {
+	if s.Name == "" {
+		s.Name = "campaign"
+	}
+	if len(s.Experiments) == 0 {
+		s.Experiments = []string{KindSBR}
+	}
+	if len(s.Axes.Vendors) == 0 {
+		s.Axes.Vendors = vendor.Names()
+	}
+	if len(s.Axes.SizesMB) == 0 {
+		s.Axes.SizesMB = []int{1, 10, 25}
+	}
+	if len(s.Axes.RangeGrammars) == 0 {
+		s.Axes.RangeGrammars = []string{GrammarExploit}
+	}
+	if len(s.Axes.CacheStates) == 0 {
+		s.Axes.CacheStates = []string{CacheCold}
+	}
+	if len(s.Axes.KeepAlive) == 0 {
+		s.Axes.KeepAlive = []bool{false}
+	}
+	if len(s.Axes.Collapse) == 0 {
+		s.Axes.Collapse = []bool{false}
+	}
+	if len(s.Axes.Mitigations) == 0 {
+		s.Axes.Mitigations = []string{MitigationNone}
+	}
+	if len(s.Axes.OBRPairs) == 0 {
+		for _, p := range exp.OBRPairs() {
+			s.Axes.OBRPairs = append(s.Axes.OBRPairs, p[0]+">"+p[1])
+		}
+	}
+	return s
+}
+
+// Cells expands the spec into its flat cell list: the cross product of
+// the applicable axes per experiment kind, in deterministic order
+// (experiments outermost, then the axes in declaration order), every
+// cell validated, duplicate hashes collapsed (two axis points that
+// normalize to the same cell — an sbr cell never consumes Workers, say
+// — run once). An invalid axis value fails the whole expansion so a
+// bad spec dies before any cell runs.
+func (s Spec) Cells() ([]Cell, error) {
+	s = s.withDefaults()
+	var (
+		cells []Cell
+		seen  = make(map[string]bool)
+	)
+	add := func(c CellConfig) error {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("cell %s: %w", c.Label(), err)
+		}
+		h := c.Hash()
+		if seen[h] {
+			return nil
+		}
+		seen[h] = true
+		cells = append(cells, Cell{Hash: h, Config: c.normalized()})
+		return nil
+	}
+	for _, kind := range s.Experiments {
+		switch {
+		case kind == KindSBR, kind == KindFlood:
+			for _, v := range s.Axes.Vendors {
+				for _, size := range s.Axes.SizesMB {
+					for _, g := range s.Axes.RangeGrammars {
+						for _, cs := range s.Axes.CacheStates {
+							for _, ka := range s.Axes.KeepAlive {
+								for _, col := range s.Axes.Collapse {
+									for _, mit := range s.Axes.Mitigations {
+										c := CellConfig{
+											Experiment: kind,
+											Vendor:     v,
+											SizeMB:     size,
+											Grammar:    g,
+											CacheState: cs,
+											KeepAlive:  ka,
+											Collapse:   col,
+											Mitigation: mit,
+										}
+										if kind == KindFlood {
+											c.Workers = s.Workers
+											c.PerWorker = s.PerWorker
+										}
+										if err := add(c); err != nil {
+											return nil, err
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		case kind == KindOBR:
+			for _, pair := range s.Axes.OBRPairs {
+				fcdn, bcdn, ok := strings.Cut(pair, ">")
+				if !ok {
+					return nil, fmt.Errorf("bad obr pair %q (want \"fcdn>bcdn\")", pair)
+				}
+				for _, col := range s.Axes.Collapse {
+					for _, mit := range s.Axes.Mitigations {
+						if err := add(CellConfig{
+							Experiment: KindOBR,
+							Vendor:     strings.TrimSpace(fcdn),
+							BCDN:       strings.TrimSpace(bcdn),
+							Collapse:   col,
+							Mitigation: mit,
+						}); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+		case strings.HasPrefix(kind, ExpPrefix):
+			if err := add(CellConfig{Experiment: kind, SizesMB: s.Axes.SizesMB}); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("unknown experiment kind %q (have %s, %s, %s or %s<registry name>)",
+				kind, KindSBR, KindFlood, KindOBR, ExpPrefix)
+		}
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("campaign %q expands to zero cells", s.Name)
+	}
+	return cells, nil
+}

@@ -1,0 +1,330 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/vendor"
+)
+
+// TestCellHashGolden pins the content-address scheme. These hex values
+// are load-bearing: campaign directories on disk are addressed by them,
+// so a change here invalidates every stored campaign. Do not update
+// the constants without understanding that cost.
+func TestCellHashGolden(t *testing.T) {
+	cases := []struct {
+		cfg  CellConfig
+		want string
+	}{
+		{CellConfig{Experiment: KindSBR, Vendor: "akamai", SizeMB: 25}, "9e76c9572db64000"},
+		{CellConfig{Experiment: KindFlood, Vendor: "cloudflare", SizeMB: 1, KeepAlive: true, Workers: 2, PerWorker: 3}, "df58b857aba6bb4d"},
+		{CellConfig{Experiment: KindOBR, Vendor: "cdn77", BCDN: "akamai"}, "09bb1010a88744a2"},
+		{CellConfig{Experiment: ExpPrefix + "table1"}, "5cb730102f66a657"},
+		{CellConfig{Experiment: KindSBR, Vendor: "fastly", SizeMB: 10, Grammar: GrammarSuffix,
+			CacheState: CacheWarm, Collapse: true, Mitigation: MitigationSlicing}, "08b9befaf1ffb8ed"},
+	}
+	for _, c := range cases {
+		if got := c.cfg.Hash(); got != c.want {
+			t.Errorf("%s: hash %s, want %s", c.cfg.Label(), got, c.want)
+		}
+	}
+}
+
+// TestCellHashNormalization: spelling out a default must hash like
+// omitting it, so specs round-tripped through JSON stay addressable.
+func TestCellHashNormalization(t *testing.T) {
+	implicit := CellConfig{Experiment: KindSBR, Vendor: "akamai", SizeMB: 25}
+	explicit := CellConfig{Experiment: KindSBR, Vendor: "akamai", SizeMB: 25,
+		Grammar: GrammarExploit, CacheState: CacheCold, Mitigation: MitigationNone}
+	if implicit.Hash() != explicit.Hash() {
+		t.Fatalf("explicit defaults changed the hash: %s vs %s", implicit.Hash(), explicit.Hash())
+	}
+}
+
+func TestSpecDefaultsExpansion(t *testing.T) {
+	cells, err := Spec{}.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(vendor.Names()) * 3 // every vendor × {1,10,25}MB, sbr only
+	if len(cells) != want {
+		t.Fatalf("default spec expanded to %d cells, want %d", len(cells), want)
+	}
+	seen := make(map[string]bool)
+	for _, c := range cells {
+		if seen[c.Hash] {
+			t.Fatalf("duplicate cell hash %s", c.Hash)
+		}
+		seen[c.Hash] = true
+	}
+}
+
+func TestSpecExpansionOBRAndExp(t *testing.T) {
+	cells, err := Spec{Experiments: []string{KindOBR, ExpPrefix + "table1"}}.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 11+1 { // Table V's 11 cascades + one exp cell
+		t.Fatalf("expanded to %d cells, want 12", len(cells))
+	}
+}
+
+func TestSpecExpansionRejectsBadValues(t *testing.T) {
+	for _, s := range []Spec{
+		{Experiments: []string{"nonsense"}},
+		{Axes: Axes{Vendors: []string{"notacdn"}}},
+		{Axes: Axes{RangeGrammars: []string{"bytes=0-0"}}},
+		{Axes: Axes{CacheStates: []string{"lukewarm"}}},
+		{Axes: Axes{Mitigations: []string{"hope"}}},
+		{Experiments: []string{KindOBR}, Axes: Axes{OBRPairs: []string{"cdn77-akamai"}}},
+		{Experiments: []string{ExpPrefix + "nonsense"}},
+	} {
+		if _, err := s.Cells(); err == nil {
+			t.Errorf("spec %+v expanded without error", s)
+		}
+	}
+}
+
+// smokeSpec is a fast four-cell campaign used by the run tests.
+func smokeSpec() Spec {
+	return Spec{
+		Name:        "smoke",
+		Experiments: []string{KindSBR},
+		Axes: Axes{
+			Vendors: []string{"cloudflare", "fastly", "akamai", "cdn77"},
+			SizesMB: []int{1},
+		},
+	}
+}
+
+func TestRunWritesCampaignDir(t *testing.T) {
+	dir := t.TempDir()
+	sum, err := Run(context.Background(), smokeSpec(), RunOptions{Dir: dir, Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Total != 4 || sum.Executed != 4 || sum.Skipped != 0 {
+		t.Fatalf("summary = %+v, want 4 executed", sum)
+	}
+	c, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Manifest.Status != "complete" || c.Manifest.Cells != 4 {
+		t.Fatalf("manifest = %+v", c.Manifest)
+	}
+	if len(c.Cells) != 4 {
+		t.Fatalf("loaded %d cell files, want 4", len(c.Cells))
+	}
+	for _, r := range c.Cells {
+		if r.Factor <= 1 {
+			t.Errorf("%s: factor %.2f, want amplification > 1", r.Config.Label(), r.Factor)
+		}
+	}
+	for _, f := range []string{"report.txt", "report.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+	// A second run without Resume must refuse the directory.
+	if _, err := Run(context.Background(), smokeSpec(), RunOptions{Dir: dir}); err == nil {
+		t.Fatal("re-running into a used directory without Resume succeeded")
+	}
+}
+
+// TestRunResume is the interruption contract: kill a campaign mid-run,
+// resume it, and the finished cells must be skipped byte-for-byte while
+// only the missing ones execute.
+func TestRunResume(t *testing.T) {
+	dir := t.TempDir()
+	spec := smokeSpec()
+
+	// First run: cancel after two cells have completed. Parallel is 1 so
+	// cells finish in deterministic expansion order.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := 0
+	_, err := Run(ctx, spec, RunOptions{Dir: dir, Parallel: 1, OnCell: func(Cell, *CellResult, bool) {
+		if done++; done == 2 {
+			cancel()
+		}
+	}})
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	c, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Manifest.Status != "running" {
+		t.Fatalf("interrupted manifest status %q, want running", c.Manifest.Status)
+	}
+	if len(c.Cells) != 2 {
+		t.Fatalf("%d cell files after interruption, want 2", len(c.Cells))
+	}
+	before := make(map[string][]byte)
+	for hash := range c.Cells {
+		data, err := os.ReadFile(cellFile(dir, hash))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[hash] = data
+	}
+
+	// Resume: exactly the two missing cells run, the finished files stay
+	// byte-identical, and the manifest finalizes.
+	sum, err := Run(context.Background(), spec, RunOptions{Dir: dir, Parallel: 1, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Executed != 2 || sum.Skipped != 2 {
+		t.Fatalf("resume executed %d / skipped %d, want 2 / 2", sum.Executed, sum.Skipped)
+	}
+	for hash, data := range before {
+		after, err := os.ReadFile(cellFile(dir, hash))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, after) {
+			t.Errorf("cell %s rewritten on resume", hash)
+		}
+	}
+	c, err = Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Manifest.Status != "complete" || c.Manifest.Finished.IsZero() {
+		t.Fatalf("resumed manifest not finalized: %+v", c.Manifest)
+	}
+
+	// A second resume skips everything.
+	sum, err = Run(context.Background(), spec, RunOptions{Dir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Executed != 0 || sum.Skipped != 4 {
+		t.Fatalf("full resume executed %d / skipped %d, want 0 / 4", sum.Executed, sum.Skipped)
+	}
+}
+
+func TestRunResumeRejectsSpecMismatch(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Run(context.Background(), smokeSpec(), RunOptions{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	other := smokeSpec()
+	other.Axes.SizesMB = []int{10}
+	if _, err := Run(context.Background(), other, RunOptions{Dir: dir, Resume: true}); err == nil {
+		t.Fatal("resume with a different cell set succeeded")
+	} else if !strings.Contains(err.Error(), "spec mismatch") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	oldDir, newDir := t.TempDir(), t.TempDir()
+	if _, err := Run(context.Background(), smokeSpec(), RunOptions{Dir: oldDir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), smokeSpec(), RunOptions{Dir: newDir}); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := Diff(oldDir, newDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Clean() || d.Compared != 4 {
+		t.Fatalf("identical campaigns diffed dirty: %+v", d)
+	}
+	var buf bytes.Buffer
+	if err := d.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no regressions") {
+		t.Fatalf("clean render missing verdict: %q", buf.String())
+	}
+
+	// Corrupt one cell's factor and drop another: one Changed, one Missing.
+	c, err := Load(newDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mutated, removed string
+	for hash, r := range c.Cells {
+		if mutated == "" {
+			mutated = hash
+			r.Factor *= 2
+			if err := writeJSONAtomic(cellFile(newDir, hash), r); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if removed == "" {
+			removed = hash
+			if err := os.Remove(cellFile(newDir, hash)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	d, err = Diff(oldDir, newDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Clean() || len(d.Missing) != 1 || len(d.Changed) != 1 {
+		t.Fatalf("diff after mutation = %+v", d)
+	}
+	if d.Changed[0].Field != "factor" {
+		t.Fatalf("changed field %q, want factor", d.Changed[0].Field)
+	}
+
+	// A small tolerance forgives a small drift but not a 2x factor jump.
+	d, err = Diff(oldDir, newDir, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Changed) != 1 {
+		t.Fatalf("2x factor change inside 1%% tolerance: %+v", d)
+	}
+}
+
+func TestRunExpCell(t *testing.T) {
+	dir := t.TempDir()
+	sum, err := Run(context.Background(),
+		Spec{Experiments: []string{ExpPrefix + "table1"}},
+		RunOptions{Dir: dir, Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Results) != 1 || len(sum.Results[0].Output) == 0 {
+		t.Fatalf("exp cell produced no output: %+v", sum.Results)
+	}
+	if !strings.Contains(string(sum.Results[0].Output), "table1") {
+		t.Fatalf("exp cell output missing experiment name: %.120s", sum.Results[0].Output)
+	}
+}
+
+// TestPaperGoldens: the campaign's cold exploit cells must reproduce
+// the Table IV numbers exactly — the runner follows the sweep protocol
+// (prime size hint, reset segments, CacheBuster(sizeMB)) so results
+// are interchangeable with the exp layer's goldens.
+func TestPaperGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("25MB campaign cell in -short mode")
+	}
+	dir := t.TempDir()
+	sum, err := Run(context.Background(), Spec{
+		Experiments: []string{KindSBR},
+		Axes:        Axes{Vendors: []string{"akamai"}, SizesMB: []int{25}},
+	}, RunOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(sum.Results[0].Factor + 0.5); got != 43187 {
+		t.Fatalf("akamai 25MB campaign factor %d, want 43187 (Table IV)", got)
+	}
+}

@@ -1,0 +1,402 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/vendor"
+)
+
+// Cell kinds: what one campaign cell executes. The probe kinds
+// decompose the paper's experiments into per-configuration
+// measurements; the "exp:<name>" form runs a whole registered
+// experiment (internal/exp registry) as a single cell.
+const (
+	// KindSBR is one SBR measurement: a single probe (or one keep-alive
+	// session) against one vendor edge, the Table IV / Fig 6 cell.
+	KindSBR = "sbr"
+	// KindFlood is a §V-D concurrent flood: Workers × PerWorker
+	// cache-busted requests against one vendor edge.
+	KindFlood = "flood"
+	// KindOBR is one cascaded FCDN->BCDN overlapping-byte-ranges
+	// measurement, the Table V cell (1 KB resource, planned max n).
+	KindOBR = "obr"
+	// ExpPrefix marks a registered experiment run ("exp:table1").
+	ExpPrefix = "exp:"
+)
+
+// Range grammar names (the RangeGrammars axis). "exploit" resolves the
+// vendor's Table IV exploited case; the rest are fixed shapes from the
+// paper's probe corpus so a sweep can compare vendors on one grammar.
+const (
+	GrammarExploit   = "exploit"    // vendor's Table IV case (size-dependent)
+	GrammarFirstByte = "first-byte" // bytes=0-0
+	GrammarSuffix    = "suffix"     // bytes=-1
+	GrammarOpen      = "open"       // bytes=0- (the full resource)
+	GrammarOverlap8  = "overlap8"   // bytes=0-,0-,… with 8 ranges
+)
+
+// Cache states (the CacheStates axis).
+const (
+	// CacheCold is the paper's measurement condition: a unique
+	// cache-busting query forces an edge miss.
+	CacheCold = "cold"
+	// CacheWarm primes the exact attack keys first and measures the
+	// re-run, so the edge answers from cache (upstream traffic ~0).
+	CacheWarm = "warm"
+	// CacheDisabled turns the edge cache off entirely.
+	CacheDisabled = "disabled"
+)
+
+// Mitigation names (the Mitigations axis), mapping to the §VI-C
+// vendor-profile transforms. For OBR cells the mitigation applies to
+// the BCDN (the replying side); for SBR and flood cells to the vendor
+// under test.
+const (
+	MitigationNone             = "none"
+	MitigationLaziness         = "laziness"          // forward ranges unchanged
+	MitigationBoundedExpansion = "bounded-expansion" // expand by at most 8 KB
+	MitigationSlicing          = "slicing"           // 1 MB slice fetches
+	MitigationRejectOverlap    = "reject-overlap"    // refuse overlapping sets
+	MitigationCoalesce         = "coalesce"          // merge overlapping sets
+)
+
+// CellConfig is the single serializable description of one fully
+// specified run. It is the campaign runner's unit of work and the
+// unified form of the knobs historically scattered across exp.Params,
+// core.SBROptions / core.OBROptions, core.FloodOptions and
+// cmd/rangeamp flags: the SBROptions / OBROptions / FloodOptions /
+// ExpParams methods re-express a cell through those existing entry
+// points. Its content hash (Hash) addresses the cell's result file
+// inside a campaign directory.
+type CellConfig struct {
+	// Experiment is the cell kind: KindSBR, KindFlood, KindOBR or
+	// "exp:<registry name>".
+	Experiment string `json:"experiment"`
+
+	// Vendor is the CDN under test (the FCDN for OBR cells).
+	Vendor string `json:"vendor,omitempty"`
+	// BCDN is the back CDN of an OBR cascade.
+	BCDN string `json:"bcdn,omitempty"`
+
+	// SizeMB is the target resource size for SBR and flood cells. OBR
+	// cells pin the paper's 1 KB resource and leave it zero.
+	SizeMB int `json:"size_mb,omitempty"`
+	// SizesMB is the sweep size list handed to "exp:" cells (it maps to
+	// exp.Params.SizesMB); the probe kinds use the scalar SizeMB.
+	SizesMB []int `json:"sizes_mb,omitempty"`
+
+	// Grammar names the Range shape sent (GrammarExploit resolves the
+	// vendor's Table IV case at SizeMB).
+	Grammar string `json:"grammar,omitempty"`
+	// CacheState is CacheCold, CacheWarm or CacheDisabled.
+	CacheState string `json:"cache_state,omitempty"`
+	// KeepAlive reuses one persistent attacker->edge session for all of
+	// the cell's requests instead of a dial per request.
+	KeepAlive bool `json:"keep_alive,omitempty"`
+	// Collapse enables singleflight request collapsing on the edge
+	// cache (the BCDN cache for OBR cells).
+	Collapse bool `json:"collapse,omitempty"`
+	// Mitigation applies one §VI-C profile transform (MitigationNone
+	// leaves the vendor as measured in the paper).
+	Mitigation string `json:"mitigation,omitempty"`
+
+	// Workers and PerWorker shape flood cells.
+	Workers   int `json:"workers,omitempty"`
+	PerWorker int `json:"per_worker,omitempty"`
+}
+
+// normalized returns the config with the campaign defaults filled in,
+// so that an explicit default ("grammar": "exploit") and an omitted
+// field hash to the same cell.
+func (c CellConfig) normalized() CellConfig {
+	switch {
+	case c.Experiment == KindSBR, c.Experiment == KindFlood:
+		if c.Grammar == "" {
+			c.Grammar = GrammarExploit
+		}
+		if c.CacheState == "" {
+			c.CacheState = CacheCold
+		}
+		if c.Mitigation == "" {
+			c.Mitigation = MitigationNone
+		}
+		if c.SizeMB == 0 {
+			c.SizeMB = 10
+		}
+		if c.Experiment == KindFlood {
+			if c.Workers == 0 {
+				c.Workers = 4
+			}
+			if c.PerWorker == 0 {
+				c.PerWorker = 4
+			}
+		}
+	case c.Experiment == KindOBR:
+		if c.Mitigation == "" {
+			c.Mitigation = MitigationNone
+		}
+	case strings.HasPrefix(c.Experiment, ExpPrefix):
+		if len(c.SizesMB) == 0 {
+			c.SizesMB = []int{1, 10, 25}
+		}
+	}
+	return c
+}
+
+// Validate checks the cell against the known vendors, grammars, cache
+// states, mitigations and the experiment registry, so a bad spec fails
+// at expansion time instead of hours into a sweep.
+func (c CellConfig) Validate() error {
+	switch {
+	case c.Experiment == KindSBR, c.Experiment == KindFlood:
+		if _, ok := vendor.ByName(c.Vendor); !ok {
+			return fmt.Errorf("unknown vendor %q (have %s)", c.Vendor, strings.Join(vendor.Names(), ", "))
+		}
+		if c.SizeMB < 1 {
+			return fmt.Errorf("bad size_mb %d", c.SizeMB)
+		}
+		switch c.Grammar {
+		case GrammarExploit, GrammarFirstByte, GrammarSuffix, GrammarOpen, GrammarOverlap8:
+		default:
+			return fmt.Errorf("unknown range grammar %q (have %s)", c.Grammar,
+				strings.Join([]string{GrammarExploit, GrammarFirstByte, GrammarSuffix, GrammarOpen, GrammarOverlap8}, ", "))
+		}
+		switch c.CacheState {
+		case CacheCold, CacheWarm, CacheDisabled:
+		default:
+			return fmt.Errorf("unknown cache state %q (have %s)", c.CacheState,
+				strings.Join([]string{CacheCold, CacheWarm, CacheDisabled}, ", "))
+		}
+		if _, err := mitigated(nil, c.Mitigation); err != nil {
+			return err
+		}
+	case c.Experiment == KindOBR:
+		if _, ok := vendor.ByName(c.Vendor); !ok {
+			return fmt.Errorf("unknown fcdn %q", c.Vendor)
+		}
+		if _, ok := vendor.ByName(c.BCDN); !ok {
+			return fmt.Errorf("unknown bcdn %q", c.BCDN)
+		}
+		if _, err := mitigated(nil, c.Mitigation); err != nil {
+			return err
+		}
+	case strings.HasPrefix(c.Experiment, ExpPrefix):
+		name := strings.TrimPrefix(c.Experiment, ExpPrefix)
+		if _, ok := exp.Lookup(name); !ok {
+			return fmt.Errorf("unknown registered experiment %q", name)
+		}
+	default:
+		return fmt.Errorf("unknown cell kind %q (have %s, %s, %s or %s<registry name>)",
+			c.Experiment, KindSBR, KindFlood, KindOBR, ExpPrefix)
+	}
+	return nil
+}
+
+// Hash returns the cell's stable content address: the first 16 hex
+// digits of a SHA-256 over the sorted key=value lines of the
+// normalized config's non-zero fields. Sorting makes the hash
+// independent of field order (in the struct and in any JSON spec), and
+// skipping zero fields means adding a future axis cannot move the
+// hashes of cells that leave it at the default — so old campaign
+// directories stay addressable. The exact values are pinned by golden
+// tests; changing this function invalidates every stored campaign.
+func (c CellConfig) Hash() string {
+	c = c.normalized()
+	kv := make([]string, 0, 12)
+	add := func(k, v string) {
+		if v != "" {
+			kv = append(kv, k+"="+v)
+		}
+	}
+	add("experiment", c.Experiment)
+	add("vendor", c.Vendor)
+	add("bcdn", c.BCDN)
+	if c.SizeMB != 0 {
+		add("size_mb", strconv.Itoa(c.SizeMB))
+	}
+	if len(c.SizesMB) > 0 {
+		parts := make([]string, len(c.SizesMB))
+		for i, s := range c.SizesMB {
+			parts[i] = strconv.Itoa(s)
+		}
+		add("sizes_mb", strings.Join(parts, ","))
+	}
+	if c.Grammar != GrammarExploit {
+		add("grammar", c.Grammar)
+	}
+	if c.CacheState != CacheCold {
+		add("cache_state", c.CacheState)
+	}
+	if c.KeepAlive {
+		add("keep_alive", "true")
+	}
+	if c.Collapse {
+		add("collapse", "true")
+	}
+	if c.Mitigation != MitigationNone {
+		add("mitigation", c.Mitigation)
+	}
+	if c.Workers != 0 {
+		add("workers", strconv.Itoa(c.Workers))
+	}
+	if c.PerWorker != 0 {
+		add("per_worker", strconv.Itoa(c.PerWorker))
+	}
+	sort.Strings(kv)
+	h := sha256.New()
+	for _, line := range kv {
+		h.Write([]byte(line))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// Label renders a short human-readable cell identity for logs, reports
+// and diff output.
+func (c CellConfig) Label() string {
+	c = c.normalized()
+	var b strings.Builder
+	b.WriteString(c.Experiment)
+	if c.Vendor != "" {
+		b.WriteString(" " + c.Vendor)
+	}
+	if c.BCDN != "" {
+		b.WriteString(">" + c.BCDN)
+	}
+	if c.SizeMB > 0 {
+		fmt.Fprintf(&b, " %dMB", c.SizeMB)
+	}
+	if c.Grammar != "" && c.Grammar != GrammarExploit {
+		b.WriteString(" " + c.Grammar)
+	}
+	if c.CacheState != "" && c.CacheState != CacheCold {
+		b.WriteString(" " + c.CacheState)
+	}
+	if c.KeepAlive {
+		b.WriteString(" ka")
+	}
+	if c.Collapse {
+		b.WriteString(" collapse")
+	}
+	if c.Mitigation != "" && c.Mitigation != MitigationNone {
+		b.WriteString(" +" + c.Mitigation)
+	}
+	return b.String()
+}
+
+// mitigated applies the named §VI-C transform to p. A nil p validates
+// the name only.
+func mitigated(p *vendor.Profile, name string) (*vendor.Profile, error) {
+	apply := func(f func(*vendor.Profile) *vendor.Profile) *vendor.Profile {
+		if p == nil {
+			return nil
+		}
+		return f(p)
+	}
+	switch name {
+	case "", MitigationNone:
+		return p, nil
+	case MitigationLaziness:
+		return apply(vendor.MitigateLaziness), nil
+	case MitigationBoundedExpansion:
+		return apply(func(p *vendor.Profile) *vendor.Profile { return vendor.MitigateBoundedExpansion(p, 8<<10) }), nil
+	case MitigationSlicing:
+		return apply(func(p *vendor.Profile) *vendor.Profile { return vendor.MitigateSlicing(p, 1<<20) }), nil
+	case MitigationRejectOverlap:
+		return apply(vendor.MitigateRejectOverlap), nil
+	case MitigationCoalesce:
+		return apply(vendor.MitigateCoalesce), nil
+	}
+	return nil, fmt.Errorf("unknown mitigation %q (have %s)", name, strings.Join([]string{
+		MitigationNone, MitigationLaziness, MitigationBoundedExpansion,
+		MitigationSlicing, MitigationRejectOverlap, MitigationCoalesce}, ", "))
+}
+
+// Profile resolves the cell's vendor profile with its mitigation
+// applied (for OBR cells this is the FCDN; the mitigation goes to the
+// BCDN instead — see BCDNProfile).
+func (c CellConfig) Profile() (*vendor.Profile, error) {
+	p, ok := vendor.ByName(c.Vendor)
+	if !ok {
+		return nil, fmt.Errorf("unknown vendor %q", c.Vendor)
+	}
+	if c.Experiment == KindOBR {
+		return p, nil
+	}
+	return mitigated(p, c.Mitigation)
+}
+
+// BCDNProfile resolves an OBR cell's back CDN with the cell's
+// mitigation applied (§VI-C's OBR fixes act on the replying side).
+func (c CellConfig) BCDNProfile() (*vendor.Profile, error) {
+	p, ok := vendor.ByName(c.BCDN)
+	if !ok {
+		return nil, fmt.Errorf("unknown bcdn %q", c.BCDN)
+	}
+	return mitigated(p, c.Mitigation)
+}
+
+// RangeCase resolves the cell's grammar to the concrete Range header
+// case the probe sends.
+func (c CellConfig) RangeCase() (core.SBRCase, error) {
+	switch c.normalized().Grammar {
+	case GrammarExploit:
+		return core.SBRExploit(c.Vendor, int64(c.SizeMB)*core.MiB), nil
+	case GrammarFirstByte:
+		return core.SBRCase{RangeHeader: "bytes=0-0", Repeat: 1}, nil
+	case GrammarSuffix:
+		return core.SBRCase{RangeHeader: "bytes=-1", Repeat: 1}, nil
+	case GrammarOpen:
+		return core.SBRCase{RangeHeader: "bytes=0-", Repeat: 1}, nil
+	case GrammarOverlap8:
+		return core.SBRCase{RangeHeader: core.BuildOverlappingRange("0-", 8), Repeat: 1}, nil
+	}
+	return core.SBRCase{}, fmt.Errorf("unknown range grammar %q", c.Grammar)
+}
+
+// SBROptions re-expresses the cell as the SBR topology options the
+// existing core entry points consume.
+func (c CellConfig) SBROptions(rt *core.Runtime) core.SBROptions {
+	return core.SBROptions{
+		OriginRangeSupport: true,
+		DisableEdgeCache:   c.normalized().CacheState == CacheDisabled,
+		CollapseMisses:     c.Collapse,
+		Runtime:            rt,
+	}
+}
+
+// OBROptions re-expresses the cell as the OBR topology options the
+// existing core entry points consume.
+func (c CellConfig) OBROptions(rt *core.Runtime) core.OBROptions {
+	return core.OBROptions{
+		CollapseMisses: c.Collapse,
+		Runtime:        rt,
+	}
+}
+
+// FloodOptions re-expresses the cell as the canonical
+// core.RunSBRFloodOpts options. The Range case must be resolved by the
+// caller (RangeCase) because grammar resolution can fail.
+func (c CellConfig) FloodOptions(rcase core.SBRCase) core.FloodOptions {
+	c = c.normalized()
+	return core.FloodOptions{
+		Path:         core.TargetPath,
+		ResourceSize: int64(c.SizeMB) * core.MiB,
+		Workers:      c.Workers,
+		PerWorker:    c.PerWorker,
+		KeepAlive:    c.KeepAlive,
+		Range:        rcase,
+	}
+}
+
+// ExpParams re-expresses an "exp:" cell as the registry run parameters.
+func (c CellConfig) ExpParams(parallel int) exp.Params {
+	return exp.Params{SizesMB: c.normalized().SizesMB, Parallel: parallel}
+}

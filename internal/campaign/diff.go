@@ -1,0 +1,122 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// CellChange is one out-of-tolerance metric on one cell present in
+// both campaigns.
+type CellChange struct {
+	Hash  string  `json:"hash"`
+	Label string  `json:"label"`
+	Field string  `json:"field"`
+	Old   float64 `json:"old"`
+	New   float64 `json:"new"`
+}
+
+// DiffReport compares a new campaign directory against an older one
+// cell by cell (cells pair up by content hash, so only identical
+// configurations are ever compared). Missing and Changed are the
+// regressions; Added cells are informational — a grown spec is not a
+// regression.
+type DiffReport struct {
+	OldDir, NewDir string
+	Tolerance      float64
+	Compared       int
+	Missing        []string // cells in old with no result in new
+	Added          []string // cells in new only
+	Changed        []CellChange
+}
+
+// Clean reports whether the new campaign regressed nothing: every old
+// cell is present and within tolerance.
+func (d *DiffReport) Clean() bool {
+	return len(d.Missing) == 0 && len(d.Changed) == 0
+}
+
+// Diff loads both campaign directories and compares the amplification
+// numbers of every cell they share. tolerance is relative: a metric
+// changed when |new-old| > tolerance × max(|old|, 1); zero demands
+// exact equality, which is the right default here because the
+// simulation is deterministic.
+func Diff(oldDir, newDir string, tolerance float64) (*DiffReport, error) {
+	oldC, err := Load(oldDir)
+	if err != nil {
+		return nil, err
+	}
+	newC, err := Load(newDir)
+	if err != nil {
+		return nil, err
+	}
+	d := &DiffReport{OldDir: oldDir, NewDir: newDir, Tolerance: tolerance}
+	within := func(oldV, newV float64) bool {
+		return math.Abs(newV-oldV) <= tolerance*math.Max(math.Abs(oldV), 1)
+	}
+	for hash, oldR := range oldC.Cells {
+		newR, ok := newC.Cells[hash]
+		if !ok {
+			d.Missing = append(d.Missing, oldR.Config.Label())
+			continue
+		}
+		d.Compared++
+		check := func(field string, oldV, newV float64) {
+			if !within(oldV, newV) {
+				d.Changed = append(d.Changed, CellChange{
+					Hash: hash, Label: oldR.Config.Label(), Field: field, Old: oldV, New: newV,
+				})
+			}
+		}
+		check("factor", oldR.Factor, newR.Factor)
+		check("victim_bytes", float64(oldR.VictimBytes), float64(newR.VictimBytes))
+		check("attacker_bytes", float64(oldR.AttackerBytes), float64(newR.AttackerBytes))
+		check("blocked", float64(oldR.Blocked), float64(newR.Blocked))
+		check("parts", float64(oldR.Parts), float64(newR.Parts))
+		check("max_n", float64(oldR.MaxN), float64(newR.MaxN))
+	}
+	for hash, newR := range newC.Cells {
+		if _, ok := oldC.Cells[hash]; !ok {
+			d.Added = append(d.Added, newR.Config.Label())
+		}
+	}
+	sort.Strings(d.Missing)
+	sort.Strings(d.Added)
+	sort.Slice(d.Changed, func(i, j int) bool {
+		if d.Changed[i].Label != d.Changed[j].Label {
+			return d.Changed[i].Label < d.Changed[j].Label
+		}
+		return d.Changed[i].Field < d.Changed[j].Field
+	})
+	return d, nil
+}
+
+// Render writes the report as text: one line per regression, then the
+// verdict line ("no regressions" on a clean diff — CI greps for it).
+func (d *DiffReport) Render(w io.Writer) error {
+	for _, label := range d.Missing {
+		if _, err := fmt.Fprintf(w, "MISSING  %s\n", label); err != nil {
+			return err
+		}
+	}
+	for _, c := range d.Changed {
+		if _, err := fmt.Fprintf(w, "CHANGED  %s: %s %g -> %g\n", c.Label, c.Field, c.Old, c.New); err != nil {
+			return err
+		}
+	}
+	for _, label := range d.Added {
+		if _, err := fmt.Fprintf(w, "ADDED    %s\n", label); err != nil {
+			return err
+		}
+	}
+	var err error
+	if d.Clean() {
+		_, err = fmt.Fprintf(w, "diff %s -> %s: %d cells compared, %d added, no regressions\n",
+			d.OldDir, d.NewDir, d.Compared, len(d.Added))
+	} else {
+		_, err = fmt.Fprintf(w, "diff %s -> %s: %d cells compared, %d missing, %d changed, %d added\n",
+			d.OldDir, d.NewDir, d.Compared, len(d.Missing), len(d.Changed), len(d.Added))
+	}
+	return err
+}

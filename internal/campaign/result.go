@@ -1,0 +1,154 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ManifestFile and the cell-file naming scheme define the on-disk
+// layout of a campaign directory:
+//
+//	dir/
+//	  campaign.json          the manifest (spec, git, timestamps, counts)
+//	  cell-<hash>.json       one CellResult per cell, content-addressed
+//	  report.txt, report.csv the consolidated report
+const ManifestFile = "campaign.json"
+
+// cellFile is a cell's result path inside dir.
+func cellFile(dir, hash string) string {
+	return filepath.Join(dir, "cell-"+hash+".json")
+}
+
+// CellResult is one cell's persisted measurement: the config that
+// produced it (so a result file is self-describing), the common
+// amplification numbers, and the kind-specific extras.
+type CellResult struct {
+	Hash    string     `json:"hash"`
+	Config  CellConfig `json:"config"`
+	Started time.Time  `json:"started"`
+	// DurationMS is the cell's wall-clock execution time. It is
+	// informational: Diff never compares it.
+	DurationMS int64 `json:"duration_ms"`
+
+	// RangeHeader is the concrete Range header the cell sent (the
+	// resolved grammar; truncated to the first 64 bytes for OBR max-n
+	// cases, whose full header can be tens of kilobytes).
+	RangeHeader string `json:"range_header,omitempty"`
+
+	// VictimBytes / AttackerBytes / Factor are the amplification
+	// measurement (response-direction traffic on the victim and
+	// attacker segments).
+	VictimBytes   int64   `json:"victim_bytes"`
+	AttackerBytes int64   `json:"attacker_bytes"`
+	Factor        float64 `json:"factor"`
+
+	// Flood extras.
+	Requests int   `json:"requests,omitempty"`
+	Failures int   `json:"failures,omitempty"`
+	Blocked  int   `json:"blocked,omitempty"`
+	Dials    int64 `json:"dials,omitempty"`
+
+	// OBR extras: the planned range count and the parts the client got.
+	MaxN  int `json:"max_n,omitempty"`
+	Parts int `json:"parts,omitempty"`
+
+	// Output is the full rendered result of an "exp:" cell (the
+	// registry experiment's JSON form); nil for the probe kinds.
+	Output json.RawMessage `json:"output,omitempty"`
+}
+
+// Manifest is the campaign directory's top-level record. Status stays
+// "running" until every cell completed, so an interrupted campaign is
+// recognizable (and resumable) by inspection.
+type Manifest struct {
+	Name     string    `json:"name"`
+	Spec     Spec      `json:"spec"`
+	Git      string    `json:"git,omitempty"`
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished,omitempty"`
+	Status   string    `json:"status"` // "running" or "complete"
+	Cells    int       `json:"cells"`
+	Executed int       `json:"executed"`
+	Skipped  int       `json:"skipped"`
+	// CellSet fingerprints the expanded cell list (a hash over the
+	// sorted cell hashes), so resuming with an edited spec fails loudly
+	// instead of mixing two campaigns in one directory.
+	CellSet string `json:"cell_set"`
+}
+
+// cellSetHash fingerprints a cell list independent of order.
+func cellSetHash(cells []Cell) string {
+	hs := make([]string, len(cells))
+	for i, c := range cells {
+		hs[i] = c.Hash
+	}
+	sort.Strings(hs)
+	return CellConfig{Experiment: "cellset", Vendor: strings.Join(hs, ",")}.Hash()
+}
+
+// writeJSONAtomic marshals v and renames it into place, so a crashed
+// run never leaves a half-written result file for resume to trust.
+func writeJSONAtomic(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// readJSON unmarshals path into v.
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+// Campaign is a loaded campaign directory: the manifest plus every
+// parsable cell result keyed by hash.
+type Campaign struct {
+	Dir      string
+	Manifest *Manifest
+	Cells    map[string]*CellResult
+}
+
+// Load reads a campaign directory. Cell files that fail to parse are
+// skipped (they count as missing, which is what Diff and resume both
+// want for a torn file), but a missing or invalid manifest is an error.
+func Load(dir string) (*Campaign, error) {
+	var m Manifest
+	if err := readJSON(filepath.Join(dir, ManifestFile), &m); err != nil {
+		return nil, fmt.Errorf("campaign: reading %s: %w", filepath.Join(dir, ManifestFile), err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	c := &Campaign{Dir: dir, Manifest: &m, Cells: make(map[string]*CellResult)}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "cell-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		var res CellResult
+		if err := readJSON(filepath.Join(dir, name), &res); err != nil {
+			continue
+		}
+		if res.Hash == "" || res.Hash != strings.TrimSuffix(strings.TrimPrefix(name, "cell-"), ".json") {
+			continue
+		}
+		c.Cells[res.Hash] = &res
+	}
+	return c, nil
+}

@@ -1,0 +1,408 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/measure"
+	"repro/internal/report"
+)
+
+// RunOptions shape one campaign execution.
+type RunOptions struct {
+	// Dir is the campaign directory (created if missing). Required.
+	Dir string
+	// Parallel bounds the cell worker pool (the exp scheduler's bound);
+	// values <= 1 run cells serially. "exp:" cells hand the same bound
+	// to the registered experiment they wrap.
+	Parallel int
+	// Resume continues an interrupted campaign in Dir: cells whose
+	// result file already exists (and parses, and matches its hash) are
+	// skipped. Without Resume, a Dir that already holds a manifest is
+	// refused rather than silently mixed into.
+	Resume bool
+	// OnCell, when set, observes every cell completion (executed or
+	// skipped), in completion order. It may be called concurrently from
+	// worker goroutines when Parallel > 1.
+	OnCell func(cell Cell, res *CellResult, skipped bool)
+}
+
+// Summary is what Run returns: the counts plus every cell result in
+// expansion order.
+type Summary struct {
+	Dir      string
+	Total    int
+	Executed int
+	Skipped  int
+	Results  []*CellResult
+}
+
+// Run expands spec, executes its cells on the scheduler — one fresh
+// isolated core.Runtime per cell, so cells share no metrics, tracer or
+// cache state — and persists one JSON result file per cell into
+// opts.Dir, plus a manifest and a consolidated report. Execution is
+// fail-fast: the first cell error cancels the rest and leaves the
+// manifest in status "running" with every completed cell's file intact,
+// which is exactly the state Resume picks up from.
+func Run(ctx context.Context, spec Spec, opts RunOptions) (*Summary, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("campaign: RunOptions.Dir is required")
+	}
+	spec = spec.withDefaults()
+	cells, err := spec.Cells()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	setHash := cellSetHash(cells)
+	manifestPath := filepath.Join(opts.Dir, ManifestFile)
+
+	m := Manifest{
+		Name:    spec.Name,
+		Spec:    spec,
+		Git:     gitDescribe(),
+		Started: time.Now().UTC(),
+	}
+	if prev, err := os.Stat(manifestPath); err == nil && prev.Size() > 0 {
+		if !opts.Resume {
+			return nil, fmt.Errorf("campaign: %s already holds a campaign; pass Resume to continue it", opts.Dir)
+		}
+		var old Manifest
+		if err := readJSON(manifestPath, &old); err != nil {
+			return nil, fmt.Errorf("campaign: unreadable manifest in %s: %w", opts.Dir, err)
+		}
+		if old.CellSet != setHash {
+			return nil, fmt.Errorf("campaign: spec mismatch: %s was produced by a different cell set (have %s, want %s); use a fresh directory",
+				opts.Dir, old.CellSet, setHash)
+		}
+		m = old
+		m.Finished = time.Time{}
+	}
+	m.Status = "running"
+	m.Cells = len(cells)
+	m.CellSet = setHash
+	if err := writeJSONAtomic(manifestPath, &m); err != nil {
+		return nil, err
+	}
+
+	parallel := opts.Parallel
+	if parallel < 1 {
+		parallel = 1
+	}
+	var (
+		mu                sync.Mutex
+		executed, skipped int
+	)
+	results, err := exp.Map(ctx, parallel, len(cells), func(ctx context.Context, i int) (*CellResult, error) {
+		cell := cells[i]
+		path := cellFile(opts.Dir, cell.Hash)
+		if opts.Resume {
+			if res, ok := loadDone(path, cell.Hash); ok {
+				mu.Lock()
+				skipped++
+				mu.Unlock()
+				if opts.OnCell != nil {
+					opts.OnCell(cell, res, true)
+				}
+				return res, nil
+			}
+		}
+		res, err := runCell(ctx, cell, parallel)
+		if err != nil {
+			return nil, fmt.Errorf("cell %s (%s): %w", cell.Hash, cell.Config.Label(), err)
+		}
+		if err := writeJSONAtomic(path, res); err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		executed++
+		mu.Unlock()
+		if opts.OnCell != nil {
+			opts.OnCell(cell, res, false)
+		}
+		return res, nil
+	})
+	if err != nil {
+		// Manifest stays "running": completed cell files are on disk and
+		// a Resume run will skip them.
+		return nil, err
+	}
+
+	m.Executed = executed
+	m.Skipped = skipped
+	m.Finished = time.Now().UTC()
+	m.Status = "complete"
+	if err := writeJSONAtomic(manifestPath, &m); err != nil {
+		return nil, err
+	}
+	if err := writeReport(opts.Dir, spec.Name, results); err != nil {
+		return nil, err
+	}
+	return &Summary{Dir: opts.Dir, Total: len(cells), Executed: executed, Skipped: skipped, Results: results}, nil
+}
+
+// loadDone reports whether path holds a finished, self-consistent
+// result for the cell. Torn or stale files (wrong hash, parse error)
+// are treated as absent, so the cell simply re-runs.
+func loadDone(path, hash string) (*CellResult, bool) {
+	var res CellResult
+	if err := readJSON(path, &res); err != nil {
+		return nil, false
+	}
+	if res.Hash != hash {
+		return nil, false
+	}
+	return &res, true
+}
+
+// gitDescribe records the code version into the manifest, best-effort:
+// campaigns outlast checkouts, and a diff between directories is only
+// meaningful alongside what code produced each.
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty", "--tags").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// ---------------------------------------------------------------------
+// Cell execution.
+
+// runCell dispatches one cell to its kind's runner under a fresh
+// runtime environment.
+func runCell(ctx context.Context, cell Cell, parallel int) (*CellResult, error) {
+	c := cell.Config.normalized()
+	start := time.Now()
+	out := &CellResult{Hash: cell.Hash, Config: c, Started: start.UTC()}
+	var err error
+	switch {
+	case c.Experiment == KindSBR:
+		err = runSBRCell(ctx, c, out)
+	case c.Experiment == KindFlood:
+		err = runFloodCell(ctx, c, out)
+	case c.Experiment == KindOBR:
+		err = runOBRCell(ctx, c, out)
+	case strings.HasPrefix(c.Experiment, ExpPrefix):
+		err = runExpCell(ctx, c, parallel, out)
+	default:
+		err = fmt.Errorf("unknown cell kind %q", c.Experiment)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out.DurationMS = time.Since(start).Milliseconds()
+	return out, nil
+}
+
+// fill copies an amplification measurement into the result.
+func fill(out *CellResult, a measure.Amplification) {
+	out.VictimBytes = a.VictimBytes
+	out.AttackerBytes = a.AttackerBytes
+	out.Factor = a.Factor()
+}
+
+// truncRange caps a stored Range header at 64 bytes (OBR max-n headers
+// run to tens of kilobytes; the result file records the shape, not the
+// payload).
+func truncRange(h string) string {
+	if len(h) > 64 {
+		return h[:61] + "..."
+	}
+	return h
+}
+
+// sbrTopology stands up one SBR cell's isolated topology, following
+// the sweep protocol exactly (prime the size hint, then reset the
+// measured segments) so campaign cells reproduce the Table IV / Fig 6
+// golden numbers bit for bit.
+func sbrTopology(c CellConfig) (*core.SBRTopology, core.SBRCase, error) {
+	profile, err := c.Profile()
+	if err != nil {
+		return nil, core.SBRCase{}, err
+	}
+	rcase, err := c.RangeCase()
+	if err != nil {
+		return nil, core.SBRCase{}, err
+	}
+	rt := core.NewRuntime()
+	store := core.NewStoreWith(int64(c.SizeMB) * core.MiB)
+	topo, err := core.NewSBRTopology(profile, store, c.SBROptions(rt))
+	if err != nil {
+		return nil, core.SBRCase{}, err
+	}
+	if err := core.PrimeSizeHint(topo, core.TargetPath); err != nil {
+		topo.Close()
+		return nil, core.SBRCase{}, err
+	}
+	topo.ClientSeg.Reset()
+	topo.OriginSeg.Reset()
+	return topo, rcase, nil
+}
+
+// runSBRCell measures one probe (or one keep-alive session) against
+// the cell's vendor edge. A warm cell runs the identical attack once
+// first — the cache-busting keys match, so the measured run is served
+// from the edge cache.
+func runSBRCell(ctx context.Context, c CellConfig, out *CellResult) error {
+	topo, rcase, err := sbrTopology(c)
+	if err != nil {
+		return err
+	}
+	defer topo.Close()
+	if c.KeepAlive {
+		// One persistent session carrying the probe: a single-worker,
+		// single-request flood through the canonical entry point. The
+		// request bytes are identical to the per-dial path; only the
+		// connection economy differs.
+		fopts := core.FloodOptions{Path: core.TargetPath, Workers: 1, PerWorker: 1, KeepAlive: true, Range: rcase}
+		if c.CacheState == CacheWarm {
+			if _, err := core.RunSBRFloodOpts(ctx, topo, fopts); err != nil {
+				return err
+			}
+		}
+		fr, err := core.RunSBRFloodOpts(ctx, topo, fopts)
+		if err != nil {
+			return err
+		}
+		out.RangeHeader = truncRange(rcase.RangeHeader)
+		out.Requests = fr.Requests
+		out.Blocked = fr.Blocked
+		out.Dials = fr.Dials
+		fill(out, fr.Amplification)
+		return nil
+	}
+	buster := core.CacheBuster(c.SizeMB)
+	if c.CacheState == CacheWarm {
+		if _, err := core.RunSBRCase(ctx, topo, core.TargetPath, rcase, buster); err != nil {
+			return err
+		}
+	}
+	sbr, err := core.RunSBRCase(ctx, topo, core.TargetPath, rcase, buster)
+	if err != nil {
+		return err
+	}
+	out.RangeHeader = truncRange(sbr.Case.RangeHeader)
+	fill(out, sbr.Amplification)
+	return nil
+}
+
+// runFloodCell fires the cell's Workers × PerWorker concurrent flood.
+func runFloodCell(ctx context.Context, c CellConfig, out *CellResult) error {
+	topo, rcase, err := sbrTopology(c)
+	if err != nil {
+		return err
+	}
+	defer topo.Close()
+	fopts := c.FloodOptions(rcase)
+	if c.CacheState == CacheWarm {
+		if _, err := core.RunSBRFloodOpts(ctx, topo, fopts); err != nil {
+			return err
+		}
+	}
+	fr, err := core.RunSBRFloodOpts(ctx, topo, fopts)
+	if err != nil {
+		return err
+	}
+	out.RangeHeader = truncRange(rcase.RangeHeader)
+	out.Requests = fr.Requests
+	out.Failures = fr.Failures
+	out.Blocked = fr.Blocked
+	out.Dials = fr.Dials
+	fill(out, fr.Amplification)
+	return nil
+}
+
+// runOBRCell measures one FCDN->BCDN cascade at the paper's planned
+// maximum range count over a 1 KB resource. The cell's mitigation
+// applies to the BCDN (the replying side §VI-C fixes act on).
+func runOBRCell(ctx context.Context, c CellConfig, out *CellResult) error {
+	fcdn, err := c.Profile()
+	if err != nil {
+		return err
+	}
+	bcdn, err := c.BCDNProfile()
+	if err != nil {
+		return err
+	}
+	rt := core.NewRuntime()
+	store := core.NewStoreWith(1024)
+	topo, err := core.NewOBRTopologyOpts(fcdn, bcdn, store, c.OBROptions(rt))
+	if err != nil {
+		return err
+	}
+	defer topo.Close()
+	r, err := core.RunOBRContext(ctx, topo, core.TargetPath, 0)
+	if err != nil {
+		return err
+	}
+	out.RangeHeader = "bytes=" + r.Case.FirstToken + ",0-,...,0-"
+	out.MaxN = r.Case.N
+	out.Parts = r.Parts
+	fill(out, r.Amplification)
+	return nil
+}
+
+// runExpCell runs a whole registered experiment as one cell, storing
+// its full JSON rendering as the cell's Output.
+func runExpCell(ctx context.Context, c CellConfig, parallel int, out *CellResult) error {
+	name := strings.TrimPrefix(c.Experiment, ExpPrefix)
+	res, err := exp.Run(ctx, name, c.ExpParams(parallel))
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := res.RenderJSONNamed(&buf, name); err != nil {
+		return err
+	}
+	out.Output = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Consolidated report.
+
+// writeReport renders every cell into one table, as aligned text
+// (report.txt) and CSV (report.csv), in cell expansion order.
+func writeReport(dir, name string, results []*CellResult) error {
+	tab := &report.Table{
+		Title:   fmt.Sprintf("Campaign %s — %d cells", name, len(results)),
+		Slug:    "campaign",
+		Columns: []string{"Hash", "Cell", "Range", "Victim", "Attacker", "Factor"},
+	}
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		factor := strconv.Itoa(int(r.Factor + 0.5))
+		if strings.HasPrefix(r.Config.Experiment, ExpPrefix) {
+			factor = "-"
+		}
+		tab.AddRow(r.Hash, r.Config.Label(), r.RangeHeader,
+			measure.FormatBytes(r.VictimBytes), measure.FormatBytes(r.AttackerBytes), factor)
+	}
+	var txt, csv bytes.Buffer
+	if err := tab.Render(&txt); err != nil {
+		return err
+	}
+	if err := tab.RenderCSV(&csv); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "report.txt"), txt.Bytes(), 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "report.csv"), csv.Bytes(), 0o644)
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"repro/internal/httpwire"
 	"repro/internal/measure"
@@ -20,9 +19,24 @@ import (
 
 // RunSBRContext is RunSBR honouring ctx between hops. A cancelled
 // context returns ctx.Err() before the next request is sent; requests
-// already in flight complete normally.
+// already in flight complete normally. It probes with the vendor's
+// exploited Range case; RunSBRCase is the same measurement with an
+// explicit case.
 func RunSBRContext(ctx context.Context, t *SBRTopology, path string, resourceSize int64, cacheBuster string) (*SBRResult, error) {
-	exploit := SBRExploit(t.Profile.Name, resourceSize)
+	return RunSBRCase(ctx, t, path, SBRExploit(t.Profile.Name, resourceSize), cacheBuster)
+}
+
+// RunSBRCase sends rcase.Repeat identical requests carrying
+// rcase.RangeHeader against the topology's edge (all sharing one
+// cache-busting query, so repeats intentionally hit the same key) and
+// returns the per-segment traffic measurement. It is the single-probe
+// primitive behind RunSBRContext and the campaign runner's range-grammar
+// axis; cancellation is honoured between requests.
+func RunSBRCase(ctx context.Context, t *SBRTopology, path string, rcase SBRCase, cacheBuster string) (*SBRResult, error) {
+	exploit := rcase
+	if exploit.Repeat < 1 {
+		exploit.Repeat = 1
+	}
 	probe := measure.NewProbe(t.OriginSeg, t.ClientSeg)
 	target := path + "?cb=" + cacheBuster
 
@@ -150,115 +164,26 @@ func RunOBRContext(ctx context.Context, t *OBRTopology, path string, n int) (*OB
 	}, nil
 }
 
-// RunSBRFloodContext is RunSBRFlood honouring ctx: each worker checks
-// the context before every request and stops early when it is
-// cancelled. A cancelled flood returns ctx.Err(); the traffic its
-// completed requests generated stays accounted in the registry, which
-// is how the scheduler tests observe partial progress.
+// RunSBRFloodContext fires workers × perWorker SBR attack requests
+// concurrently, honouring ctx between requests.
+//
+// Deprecated: use RunSBRFloodOpts, the canonical flood entry point; this
+// wrapper fills FloodOptions positionally.
 func RunSBRFloodContext(ctx context.Context, t *SBRTopology, path string, resourceSize int64, workers, perWorker int) (*FloodResult, error) {
-	return RunSBRFloodOptsContext(ctx, t, path, resourceSize, workers, perWorker, FloodOptions{})
+	return RunSBRFloodOpts(ctx, t, FloodOptions{
+		Path: path, ResourceSize: resourceSize, Workers: workers, PerWorker: perWorker,
+	})
 }
 
-// RunSBRFloodOptsContext is RunSBRFloodContext with explicit options.
-// With opts.KeepAlive each worker opens one origin.Client session and
-// multiplexes all its requests on it (redialing only if the edge drops
-// the connection), so the flood's dial count collapses from
-// requests to workers.
+// RunSBRFloodOptsContext is RunSBRFloodContext with explicit options;
+// the positional arguments override the corresponding opts fields.
+//
+// Deprecated: use RunSBRFloodOpts, which takes the same options with
+// the target and load shape as FloodOptions fields.
 func RunSBRFloodOptsContext(ctx context.Context, t *SBRTopology, path string, resourceSize int64, workers, perWorker int, opts FloodOptions) (*FloodResult, error) {
-	exploit := SBRExploit(t.Profile.Name, resourceSize)
-	probe := measure.NewProbe(t.OriginSeg, t.ClientSeg)
-
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		requests int
-		failures int
-		blocked  int
-		dials    int64
-		firstErr error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var session *origin.Client
-			if opts.KeepAlive {
-				session = origin.NewClient(t.Net, t.EdgeAddr, t.ClientSeg)
-				defer func() {
-					st := session.Stats()
-					session.Close()
-					mu.Lock()
-					dials += st.Dials
-					mu.Unlock()
-				}()
-			}
-			for i := 0; i < perWorker; i++ {
-				target := fmt.Sprintf("%s?cb=w%d-%d", path, w, i)
-				for r := 0; r < exploit.Repeat; r++ {
-					if ctx.Err() != nil {
-						return
-					}
-					req := NewAttackRequest(target)
-					req.Headers.Add("Range", exploit.RangeHeader)
-					// Flood workers trace too (the nil path is free and
-					// head sampling keeps the recorded share at 1/N),
-					// but skip per-span byte attribution: workers share
-					// the client segment, so a per-request delta would
-					// interleave other workers' bytes.
-					sp := t.Trace.StartRoot("attacker", target)
-					if sp.Recording() {
-						sp.SetAttr("range", exploit.RangeHeader)
-						trace.Inject(sp, &req.Headers)
-					}
-					var (
-						resp *httpwire.Response
-						err  error
-					)
-					if session != nil {
-						resp, err = session.Do(req)
-					} else {
-						resp, err = origin.Fetch(t.Net, t.EdgeAddr, t.ClientSeg, req)
-					}
-					if sp.Recording() {
-						if resp != nil {
-							sp.SetAttrInt("status", int64(resp.StatusCode))
-						}
-						if err != nil {
-							sp.SetAttr("error", err.Error())
-						}
-					}
-					sp.End()
-					mu.Lock()
-					requests++
-					if session == nil {
-						dials++ // origin.Fetch opens a fresh connection per request
-					}
-					switch {
-					case err != nil:
-						failures++
-						if firstErr == nil {
-							firstErr = err
-						}
-					case resp.StatusCode == 403 || resp.StatusCode == 431:
-						blocked++
-					}
-					mu.Unlock()
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("flood: cancelled after %d requests: %w", requests, err)
-	}
-	if firstErr != nil {
-		return nil, fmt.Errorf("flood: %d failures, first: %w", failures, firstErr)
-	}
-	return &FloodResult{
-		Requests:      requests,
-		Failures:      failures,
-		Blocked:       blocked,
-		Dials:         dials,
-		Amplification: probe.Delta(),
-	}, nil
+	opts.Path = path
+	opts.ResourceSize = resourceSize
+	opts.Workers = workers
+	opts.PerWorker = perWorker
+	return RunSBRFloodOpts(ctx, t, opts)
 }

@@ -2,8 +2,13 @@ package core
 
 import (
 	"context"
+	"fmt"
+	"sync"
 
+	"repro/internal/httpwire"
 	"repro/internal/measure"
+	"repro/internal/origin"
+	"repro/internal/trace"
 )
 
 // FloodResult aggregates a concurrent SBR flood (§V-D: "a real-world
@@ -17,26 +22,172 @@ type FloodResult struct {
 	Amplification measure.Amplification
 }
 
-// FloodOptions tune how a flood spends connections.
+// FloodOptions fully specifies a flood: the target, the load shape and
+// the connection economy. It is the one serializable knob set the
+// canonical entry point RunSBRFloodOpts consumes (campaign cells
+// re-express their flood configuration through it); the older
+// positional entry points survive as thin wrappers that fill it in.
 type FloodOptions struct {
+	// Path is the resource to attack. Empty means TargetPath.
+	Path string
+
+	// ResourceSize selects the vendor's exploited Range case via
+	// SBRExploit (the Azure and Huawei cases depend on the size). Zero
+	// keeps the size-independent generic case.
+	ResourceSize int64
+
+	// Workers and PerWorker shape the load: Workers concurrent clients,
+	// each sending PerWorker requests with unique cache-busting queries.
+	Workers   int
+	PerWorker int
+
 	// KeepAlive gives each worker one persistent attacker->edge session
 	// (origin.Client) carrying all its requests, instead of a fresh
 	// dial per request. The request bytes on the wire are identical;
 	// only the connection economy changes.
 	KeepAlive bool
+
+	// Range overrides the vendor's exploited Range case. The zero value
+	// defers to SBRExploit(profile, ResourceSize); an explicit case with
+	// Repeat == 0 sends each request once.
+	Range SBRCase
+}
+
+// RunSBRFloodOpts is the canonical flood entry point: it fires
+// opts.Workers × opts.PerWorker SBR attack requests against the
+// topology's edge concurrently, each with a unique cache-busting query,
+// and returns the aggregate amplification. Each worker checks ctx
+// before every request and stops early when it is cancelled; a
+// cancelled flood returns ctx.Err(), and the traffic its completed
+// requests generated stays accounted in the registry (which is how the
+// scheduler tests observe partial progress). It exercises the whole
+// stack under contention (the engines must be race-free).
+func RunSBRFloodOpts(ctx context.Context, t *SBRTopology, opts FloodOptions) (*FloodResult, error) {
+	path := opts.Path
+	if path == "" {
+		path = TargetPath
+	}
+	exploit := opts.Range
+	if exploit.RangeHeader == "" {
+		exploit = SBRExploit(t.Profile.Name, opts.ResourceSize)
+	}
+	if exploit.Repeat < 1 {
+		exploit.Repeat = 1
+	}
+	probe := measure.NewProbe(t.OriginSeg, t.ClientSeg)
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		requests int
+		failures int
+		blocked  int
+		dials    int64
+		firstErr error
+	)
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var session *origin.Client
+			if opts.KeepAlive {
+				session = origin.NewClient(t.Net, t.EdgeAddr, t.ClientSeg)
+				defer func() {
+					st := session.Stats()
+					session.Close()
+					mu.Lock()
+					dials += st.Dials
+					mu.Unlock()
+				}()
+			}
+			for i := 0; i < opts.PerWorker; i++ {
+				target := fmt.Sprintf("%s?cb=w%d-%d", path, w, i)
+				for r := 0; r < exploit.Repeat; r++ {
+					if ctx.Err() != nil {
+						return
+					}
+					req := NewAttackRequest(target)
+					req.Headers.Add("Range", exploit.RangeHeader)
+					// Flood workers trace too (the nil path is free and
+					// head sampling keeps the recorded share at 1/N),
+					// but skip per-span byte attribution: workers share
+					// the client segment, so a per-request delta would
+					// interleave other workers' bytes.
+					sp := t.Trace.StartRoot("attacker", target)
+					if sp.Recording() {
+						sp.SetAttr("range", exploit.RangeHeader)
+						trace.Inject(sp, &req.Headers)
+					}
+					var (
+						resp *httpwire.Response
+						err  error
+					)
+					if session != nil {
+						resp, err = session.Do(req)
+					} else {
+						resp, err = origin.Fetch(t.Net, t.EdgeAddr, t.ClientSeg, req)
+					}
+					if sp.Recording() {
+						if resp != nil {
+							sp.SetAttrInt("status", int64(resp.StatusCode))
+						}
+						if err != nil {
+							sp.SetAttr("error", err.Error())
+						}
+					}
+					sp.End()
+					mu.Lock()
+					requests++
+					if session == nil {
+						dials++ // origin.Fetch opens a fresh connection per request
+					}
+					switch {
+					case err != nil:
+						failures++
+						if firstErr == nil {
+							firstErr = err
+						}
+					case resp.StatusCode == 403 || resp.StatusCode == 431:
+						blocked++
+					}
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("flood: cancelled after %d requests: %w", requests, err)
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("flood: %d failures, first: %w", failures, firstErr)
+	}
+	return &FloodResult{
+		Requests:      requests,
+		Failures:      failures,
+		Blocked:       blocked,
+		Dials:         dials,
+		Amplification: probe.Delta(),
+	}, nil
 }
 
 // RunSBRFlood fires workers × perWorker SBR attack requests against
-// the topology's edge concurrently, each with a unique cache-busting
-// query, and returns the aggregate amplification. It exercises the
-// whole stack under contention (the engines must be race-free). It is
-// RunSBRFloodContext with a background context.
+// the topology's edge concurrently.
+//
+// Deprecated: use RunSBRFloodOpts, the canonical flood entry point; this
+// wrapper fills FloodOptions positionally under context.Background().
 func RunSBRFlood(t *SBRTopology, path string, resourceSize int64, workers, perWorker int) (*FloodResult, error) {
-	return RunSBRFloodContext(context.Background(), t, path, resourceSize, workers, perWorker)
+	return RunSBRFloodOpts(context.Background(), t, FloodOptions{
+		Path: path, ResourceSize: resourceSize, Workers: workers, PerWorker: perWorker,
+	})
 }
 
 // RunSBRFloodKeepAlive is RunSBRFlood over persistent connections: one
 // attacker->edge session per worker, every request multiplexed on it.
+//
+// Deprecated: use RunSBRFloodOpts with FloodOptions.KeepAlive set.
 func RunSBRFloodKeepAlive(t *SBRTopology, path string, resourceSize int64, workers, perWorker int) (*FloodResult, error) {
-	return RunSBRFloodOptsContext(context.Background(), t, path, resourceSize, workers, perWorker, FloodOptions{KeepAlive: true})
+	return RunSBRFloodOpts(context.Background(), t, FloodOptions{
+		Path: path, ResourceSize: resourceSize, Workers: workers, PerWorker: perWorker, KeepAlive: true,
+	})
 }

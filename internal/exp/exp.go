@@ -29,6 +29,7 @@ package exp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -55,15 +56,28 @@ type Params struct {
 	// so concurrent runs share no registry, tracer or store state —
 	// their Stats deltas are exact and their hot paths never contend.
 	// Pass a shared Runtime only when one cumulative registry across
-	// runs is the point (a daemon's /metrics, say).
+	// runs is the point (a daemon's /metrics, say). Runtime takes
+	// precedence over Trace: setting both is a configuration error and
+	// Run returns ErrTraceWithRuntime (configure the Runtime's Trace
+	// field instead).
 	Runtime *Runtime
 
 	// Trace, when set, overrides the tracer inside the Runtimes Run
-	// builds (it is ignored when Runtime is set — configure that
-	// Runtime's Trace instead). cmd/rangeamp uses this to route every
-	// run's spans into the process tracer its -trace-out flag exports.
+	// builds. cmd/rangeamp uses this to route every run's spans into
+	// the process tracer its -trace-out flag exports. Trace only
+	// applies when Runtime is nil: a run pinned to an explicit Runtime
+	// already names its tracer there, so Run rejects the combination
+	// with ErrTraceWithRuntime rather than silently preferring one.
 	Trace *trace.Tracer
 }
+
+// ErrTraceWithRuntime is returned by Run when Params.Trace and
+// Params.Runtime are both set. Trace exists to reroute the tracer of
+// the fresh Runtime Run builds; an explicit Runtime brings its own
+// Trace field, so the combination is ambiguous and refused instead of
+// silently ignoring Trace (the historical behaviour).
+var ErrTraceWithRuntime = errors.New(
+	"exp: Params.Trace and Params.Runtime are both set; configure Runtime.Trace instead")
 
 // withDefaults fills unset fields with the paper's defaults.
 func (p Params) withDefaults() Params {
@@ -233,6 +247,9 @@ func Run(ctx context.Context, name string, p Params) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("exp: unknown experiment %q (have %s)",
 			name, strings.Join(knownNames(), ", "))
+	}
+	if p.Runtime != nil && p.Trace != nil {
+		return nil, fmt.Errorf("%s: %w", name, ErrTraceWithRuntime)
 	}
 	p = p.withDefaults()
 	if p.Runtime == nil {

@@ -2,8 +2,11 @@ package exp
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 // expectedNames is the paper-order registry walk `-exp all` performs —
@@ -65,6 +68,19 @@ func TestRunUnknownName(t *testing.T) {
 		if !strings.Contains(msg, want) {
 			t.Errorf("error missing known name %q: %v", want, err)
 		}
+	}
+}
+
+func TestRunRejectsTraceWithRuntime(t *testing.T) {
+	_, err := Run(context.Background(), "table1", Params{
+		Runtime: NewRuntime(),
+		Trace:   trace.New(trace.Config{SampleEvery: 1}),
+	})
+	if !errors.Is(err, ErrTraceWithRuntime) {
+		t.Fatalf("Run with both Trace and Runtime: err = %v, want ErrTraceWithRuntime", err)
+	}
+	if !strings.Contains(err.Error(), "table1") {
+		t.Errorf("error does not name the experiment: %v", err)
 	}
 }
 

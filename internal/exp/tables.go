@@ -165,6 +165,22 @@ type OBRCombination struct {
 func obrFCDNs() []string { return []string{"cdn77", "cdnsun", "cloudflare", "stackpath"} }
 func obrBCDNs() []string { return []string{"akamai", "azure", "stackpath"} }
 
+// OBRPairs returns the Table V cascade combinations as (FCDN, BCDN)
+// vendor-name pairs in table order — a CDN is never cascaded with
+// itself, leaving 11 of the 12 crossings. The campaign runner's default
+// OBR cell set is exactly this list.
+func OBRPairs() [][2]string {
+	var out [][2]string
+	for _, f := range obrFCDNs() {
+		for _, b := range obrBCDNs() {
+			if f != b {
+				out = append(out, [2]string{f, b})
+			}
+		}
+	}
+	return out
+}
+
 // Table5 runs the OBR attack over the 11 cascaded combinations (a CDN
 // is never cascaded with itself) with a 1 KB target resource, each
 // cascade on its own topology cell.
@@ -174,19 +190,11 @@ func Table5(ctx context.Context, parallel int) (*report.Table, []OBRCombination,
 
 // Table5Env is Table5 reporting into an explicit runtime environment.
 func Table5Env(ctx context.Context, rt *Runtime, parallel int) (*report.Table, []OBRCombination, error) {
-	type pair struct{ fcdn, bcdn string }
-	var pairs []pair
-	for _, f := range obrFCDNs() {
-		for _, b := range obrBCDNs() {
-			if f != b {
-				pairs = append(pairs, pair{f, b})
-			}
-		}
-	}
+	pairs := OBRPairs()
 	combos, err := Map(ctx, parallel, len(pairs), func(ctx context.Context, i int) (OBRCombination, error) {
-		combo, err := runOBRCombo(ctx, rt, pairs[i].fcdn, pairs[i].bcdn)
+		combo, err := runOBRCombo(ctx, rt, pairs[i][0], pairs[i][1])
 		if err != nil {
-			return OBRCombination{}, fmt.Errorf("%s->%s: %w", pairs[i].fcdn, pairs[i].bcdn, err)
+			return OBRCombination{}, fmt.Errorf("%s->%s: %w", pairs[i][0], pairs[i][1], err)
 		}
 		return *combo, nil
 	})

@@ -23,6 +23,7 @@
 package rangeamp
 
 import (
+	"repro/internal/campaign"
 	"repro/internal/cdn"
 	"repro/internal/core"
 	"repro/internal/exp"
@@ -100,8 +101,14 @@ var (
 	PlanMaxN             = core.PlanMaxN
 	OBRFirstToken        = core.OBRFirstToken
 
-	RunSBRContext          = core.RunSBRContext
-	RunOBRContext          = core.RunOBRContext
+	RunSBRContext = core.RunSBRContext
+	RunOBRContext = core.RunOBRContext
+	// RunSBRCase is RunSBRContext with an explicit Range case instead of
+	// the vendor's exploited default.
+	RunSBRCase = core.RunSBRCase
+	// RunSBRFloodOpts is the canonical flood entry point; the positional
+	// flood functions above are deprecated wrappers around it.
+	RunSBRFloodOpts        = core.RunSBRFloodOpts
 	RunSBRFloodContext     = core.RunSBRFloodContext
 	RunSBRFloodOptsContext = core.RunSBRFloodOptsContext
 
@@ -210,6 +217,49 @@ var (
 	RunAllExperiments = exp.RunAll
 	ExperimentNames   = exp.Names
 	Experiments       = exp.List
+)
+
+// ErrTraceWithRuntime is returned by RunExperiment when
+// ExperimentParams.Trace and ExperimentParams.Runtime are both set.
+var ErrTraceWithRuntime = exp.ErrTraceWithRuntime
+
+// The campaign runner (internal/campaign): declarative config-matrix
+// sweeps with persisted, resumable, diffable results. A CampaignSpec
+// names the cell kinds and the axes to cross; RunCampaign executes the
+// expanded cells — one fresh Runtime per cell — into a directory of
+// content-addressed JSON result files, and DiffCampaigns compares two
+// such directories cell by cell. cmd/rangeamp's campaign subcommand is
+// a thin shell over these.
+type (
+	// CampaignSpec declares a sweep: experiment kinds plus axes.
+	CampaignSpec = campaign.Spec
+	// CampaignAxes are the sweep dimensions a CampaignSpec crosses.
+	CampaignAxes = campaign.Axes
+	// CampaignCell is one expanded unit of campaign work.
+	CampaignCell = campaign.Cell
+	// CellConfig is one cell's full serializable configuration — the
+	// unified form of the knobs spread across ExperimentParams,
+	// SBROptions / OBROptions and FloodOptions.
+	CellConfig = campaign.CellConfig
+	// CellResult is one cell's persisted measurement.
+	CellResult = campaign.CellResult
+	// Campaign is a loaded campaign directory (manifest + cell results).
+	Campaign = campaign.Campaign
+	// CampaignSummary is what RunCampaign returns.
+	CampaignSummary = campaign.Summary
+	// CampaignRunOptions shape one RunCampaign execution.
+	CampaignRunOptions = campaign.RunOptions
+	// CampaignDiff is a cell-by-cell comparison of two campaign dirs.
+	CampaignDiff = campaign.DiffReport
+)
+
+var (
+	// RunCampaign expands and executes a spec into a campaign directory.
+	RunCampaign = campaign.Run
+	// LoadCampaign reads a campaign directory back.
+	LoadCampaign = campaign.Load
+	// DiffCampaigns compares two campaign directories cell by cell.
+	DiffCampaigns = campaign.Diff
 )
 
 // Vendor profiles (the 13 CDNs of the paper) and mitigations (§VI-C).
