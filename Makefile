@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench check fuzz experiments campaign-smoke clean
+.PHONY: all build vet test race bench check fuzz experiments campaign-smoke live-smoke clean
 
 all: build vet test
 
@@ -22,12 +22,13 @@ race:
 # scheduler-heavy packages, the daemons that share the process-wide
 # metrics registry and tracer, the pooled wire-path substrate
 # (buffer pools + shared resource views are cross-goroutine state),
-# and the keep-alive engine (upstream conn pool + sharded cache).
+# the keep-alive engine (upstream conn pool + sharded cache), and the
+# live telemetry plane (sampler + SSE subscribers + campaign workers).
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/exp ./internal/core ./internal/cluster ./internal/metrics ./internal/trace ./internal/multipart ./internal/httpwire ./internal/netsim ./internal/resource ./internal/cdn ./internal/cache ./internal/origin ./cmd/origind ./cmd/cdnsim ./cmd/attack
+	$(GO) test -race ./internal/exp ./internal/core ./internal/cluster ./internal/metrics ./internal/trace ./internal/multipart ./internal/httpwire ./internal/netsim ./internal/resource ./internal/cdn ./internal/cache ./internal/origin ./internal/obs ./internal/campaign ./internal/transport ./cmd/origind ./cmd/cdnsim ./cmd/attack ./cmd/rangeamp
 
 # Regenerates the paper's headline numbers as custom bench metrics,
 # snapshots the full suite into BENCH_PR6.json (schema in DESIGN.md),
@@ -60,6 +61,13 @@ campaign-smoke:
 	grep -q '0 executed, 8 skipped' /tmp/rangeamp-campaign-smoke/resume.log
 	cp -r /tmp/rangeamp-campaign-smoke/run /tmp/rangeamp-campaign-smoke/baseline
 	$(GO) run ./cmd/rangeamp campaign -out /tmp/rangeamp-campaign-smoke/run -diff /tmp/rangeamp-campaign-smoke/baseline | grep 'no regressions'
+
+# End-to-end check of the live telemetry plane over real TCP: origind +
+# cdnsim + a keep-alive flood, an SSE capture of /debug/live asserting
+# distinct frames with nonzero victim-segment byte rates, then a
+# connection-drain check on the netsim live-conn gauge.
+live-smoke:
+	bash scripts/live_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -29,6 +29,7 @@ import (
 	"repro/internal/httpwire"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/origin"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -78,9 +79,16 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		// The attack client's accounted hop is its edge-facing segment;
+		// the live engine exposes its request/response rates while a long
+		// flood runs (there is no victim segment on this side of the CDN).
+		engine := obs.New(obs.Config{AttackerSegment: "client-edge"})
+		engine.Start()
+		defer engine.Stop()
 		mux := metrics.NewDebugMux(metrics.Default)
 		mux.Handle("/debug/traces", trace.Default.Handler())
-		log.Printf("metrics on http://%s/metrics, traces on /debug/traces", ml.Addr())
+		mux.Handle("/debug/live", engine.Handler())
+		log.Printf("metrics on http://%s/metrics, traces on /debug/traces, live telemetry on /debug/live", ml.Addr())
 		go http.Serve(ml, mux) //nolint:errcheck // dies with the process
 	}
 

@@ -22,8 +22,10 @@ import (
 
 	"repro/internal/cdn"
 	"repro/internal/detect"
+	"repro/internal/measure"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/vendor"
@@ -59,6 +61,14 @@ func run(args []string) error {
 	if *traceSample > 0 {
 		trace.Default.Configure(trace.Config{SampleEvery: *traceSample})
 	}
+
+	// The live telemetry engine samples the default registry (the one
+	// every segment, edge and detector below reports into) once a
+	// second; /debug/live and the stats log both read from it.
+	engine := obs.New(obs.Config{})
+	engine.Start()
+	defer engine.Stop()
+
 	if *metricsAddr != "" {
 		ml, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
@@ -66,7 +76,8 @@ func run(args []string) error {
 		}
 		mux := metrics.NewDebugMux(metrics.Default)
 		mux.Handle("/debug/traces", trace.Default.Handler())
-		log.Printf("metrics on http://%s/metrics, traces on /debug/traces", ml.Addr())
+		mux.Handle("/debug/live", engine.Handler())
+		log.Printf("metrics on http://%s/metrics, traces on /debug/traces, live telemetry on /debug/live", ml.Addr())
 		go http.Serve(ml, mux) //nolint:errcheck // dies with the process
 	}
 
@@ -90,7 +101,12 @@ func run(args []string) error {
 		pool = &cdn.PoolConfig{Size: *poolSize, IdleTimeout: *poolIdle}
 		log.Printf("upstream pool enabled: %d conns, %v idle timeout", *poolSize, *poolIdle)
 	}
+	// Two accounted hops: the back-to-origin segment (counted by the
+	// upstream dialer) and the client-facing segment (counted on the
+	// accept side by ServeOn). Their down-rate ratio is the in-flight
+	// amplification factor /debug/live reports.
 	upstreamSeg := netsim.NewSegment("cdn-origin")
+	clientSeg := netsim.NewSegment("client-cdn")
 	edge, err := cdn.NewEdge(cdn.Config{
 		Profile:      profile,
 		Dialer:       transport.Dialer{},
@@ -136,22 +152,45 @@ func run(args []string) error {
 	log.Printf("%s edge listening on %s, upstream %s", profile.DisplayName, l.Addr(), *originAddr)
 
 	if *statsEvery > 0 {
-		stop := make(chan struct{})
-		defer close(stop)
+		// The stats log is an obs subscriber like any other: it reads the
+		// engine's derived windows instead of polling counters itself, and
+		// its goroutine ends when the deferred engine.Stop closes the
+		// channel — shutdown needs no extra signal.
+		frames, cancel := engine.Subscribe(4)
+		defer cancel()
 		go func() {
-			ticker := time.NewTicker(*statsEvery)
-			defer ticker.Stop()
-			for {
-				select {
-				case <-ticker.C:
-					t := upstreamSeg.Traffic()
-					log.Printf("back-to-origin traffic: %d requests-bytes up, %d response-bytes down, %d conns",
-						t.Up, t.Down, upstreamSeg.Conns())
-				case <-stop:
-					return
+			var last time.Time
+			for f := range frames {
+				if !last.IsZero() && f.Time.Sub(last) < *statsEvery {
+					continue
 				}
+				last = f.Time
+				t := upstreamSeg.Traffic()
+				log.Printf("back-to-origin: %s/s up, %s/s down (total %dB up, %dB down, %d live conns); amp factor %.1f",
+					measure.FormatBytes(upRate(f, "cdn-origin")), measure.FormatBytes(f.Amp.VictimBps),
+					t.Up, t.Down, liveConns(f, "cdn-origin"), f.Amp.Factor)
 			}
 		}()
 	}
-	return transport.Serve(l, edge)
+	return transport.ServeOn(l, edge, clientSeg)
+}
+
+// upRate reads one segment's request-direction byte rate off a frame.
+func upRate(f obs.Frame, segment string) int64 {
+	for _, s := range f.Segments {
+		if s.Segment == segment {
+			return s.UpBps
+		}
+	}
+	return 0
+}
+
+// liveConns reads one segment's open-connection gauge off a frame.
+func liveConns(f obs.Frame, segment string) int64 {
+	for _, s := range f.Segments {
+		if s.Segment == segment {
+			return s.Live
+		}
+	}
+	return 0
 }

@@ -20,6 +20,8 @@ import (
 	"strings"
 
 	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/origin"
 	"repro/internal/resource"
 	"repro/internal/trace"
@@ -50,6 +52,14 @@ func run(args []string) error {
 	if *traceSample > 0 {
 		trace.Default.Configure(trace.Config{SampleEvery: *traceSample})
 	}
+	// The origin's one accounted hop faces the CDN: accept-side traffic
+	// counts into "cdn-origin", the victim segment of the SBR attack, so
+	// /debug/live (and rangeamp top) can watch the flood land here.
+	cdnSeg := netsim.NewSegment("cdn-origin")
+	engine := obs.New(obs.Config{})
+	engine.Start()
+	defer engine.Stop()
+
 	if *metricsAddr != "" {
 		ml, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
@@ -57,7 +67,8 @@ func run(args []string) error {
 		}
 		mux := metrics.NewDebugMux(metrics.Default)
 		mux.Handle("/debug/traces", trace.Default.Handler())
-		log.Printf("metrics on http://%s/metrics, traces on /debug/traces", ml.Addr())
+		mux.Handle("/debug/live", engine.Handler())
+		log.Printf("metrics on http://%s/metrics, traces on /debug/traces, live telemetry on /debug/live", ml.Addr())
 		go http.Serve(ml, mux) //nolint:errcheck // dies with the process
 	}
 
@@ -105,5 +116,5 @@ func run(args []string) error {
 		go transport.ServeH2(l2, srv)
 	}
 	log.Printf("origin listening on %s (range support: %v)", l.Addr(), !*noRanges)
-	return transport.Serve(l, srv)
+	return transport.ServeOn(l, srv, cdnSeg)
 }

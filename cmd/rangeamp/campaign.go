@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 )
 
 // runCampaign is the "rangeamp campaign" subcommand: declarative
@@ -29,6 +30,7 @@ func runCampaign(ctx context.Context, args []string, w io.Writer) error {
 	diffDir := fs.String("diff", "", "older campaign directory to compare against after the run")
 	tolerance := fs.Float64("tolerance", 0, "relative tolerance for -diff comparisons (0 = exact; the simulation is deterministic)")
 	cellsOnly := fs.Bool("cells", false, "print the spec's expanded cell list (hash and label) and exit without running")
+	progress := fs.String("progress", "", "stream cell lifecycle events as JSON Lines to this file (\"-\" = stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,10 +60,24 @@ func runCampaign(ctx context.Context, args []string, w io.Writer) error {
 		if *outDir == "" {
 			return fmt.Errorf("campaign: -out is required")
 		}
+		var events *obs.EventLog
+		if *progress != "" {
+			sink := io.Writer(os.Stdout)
+			if *progress != "-" {
+				f, err := os.Create(*progress)
+				if err != nil {
+					return fmt.Errorf("campaign: -progress: %w", err)
+				}
+				defer f.Close()
+				sink = f
+			}
+			events = obs.NewEventLog(sink, nil)
+		}
 		sum, err := campaign.Run(ctx, *spec, campaign.RunOptions{
 			Dir:      *outDir,
 			Parallel: *parallel,
 			Resume:   *resume,
+			Progress: events,
 		})
 		if err != nil {
 			return err

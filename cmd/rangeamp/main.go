@@ -26,6 +26,13 @@
 //	rangeamp campaign -spec spec.json -out dir/             # run a sweep
 //	rangeamp campaign -spec spec.json -out dir/ -resume     # continue one
 //	rangeamp campaign -spec spec.json -out new/ -diff old/  # run, then compare
+//
+// The top subcommand is a live terminal dashboard over the daemons'
+// /debug/live telemetry endpoints (see internal/obs):
+//
+//	rangeamp top -targets http://127.0.0.1:6061              # refresh in place
+//	rangeamp top -targets http://127.0.0.1:6061 -once        # one snapshot
+//	rangeamp top -targets http://127.0.0.1:6061 -json        # JSON lines
 package main
 
 import (
@@ -58,6 +65,9 @@ func main() {
 func run(ctx context.Context, args []string, w io.Writer) error {
 	if len(args) > 0 && args[0] == "campaign" {
 		return runCampaign(ctx, args[1:], w)
+	}
+	if len(args) > 0 && args[0] == "top" {
+		return runTop(ctx, args[1:], w)
 	}
 	fs := flag.NewFlagSet("rangeamp", flag.ContinueOnError)
 	expFlag := fs.String("exp", "all", "experiment name from the registry (see -list), a comma list, or 'all'")

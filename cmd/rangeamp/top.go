@@ -1,0 +1,203 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/measure"
+	"repro/internal/obs"
+)
+
+// runTop is the "rangeamp top" subcommand: a refresh-in-place terminal
+// dashboard over one or more daemons' /debug/live endpoints.
+//
+//	rangeamp top -targets http://127.0.0.1:6061,http://127.0.0.1:6060
+//	rangeamp top -targets http://127.0.0.1:6061 -once      # one snapshot, no clearing
+//	rangeamp top -targets http://127.0.0.1:6061 -json      # JSON lines, scripts
+//	rangeamp top -frames 10                                # exit after 10 refreshes
+func runTop(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("rangeamp top", flag.ContinueOnError)
+	targets := fs.String("targets", "http://127.0.0.1:6060", "comma list of daemon debug endpoints (base URL, /debug/live appended when missing)")
+	interval := fs.Duration("interval", time.Second, "refresh interval")
+	once := fs.Bool("once", false, "poll once, print one snapshot, exit (implies no screen clearing)")
+	jsonOut := fs.Bool("json", false, "emit each polled frame as one JSON line instead of the dashboard")
+	frames := fs.Int("frames", 0, "exit after this many refreshes (0 = run until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("top: unexpected argument %q", fs.Arg(0))
+	}
+	var urls []string
+	for _, t := range strings.Split(*targets, ",") {
+		t = strings.TrimSpace(t)
+		if t == "" {
+			continue
+		}
+		if !strings.Contains(t, "://") {
+			t = "http://" + t
+		}
+		if !strings.Contains(t, "/debug/live") {
+			t = strings.TrimRight(t, "/") + "/debug/live"
+		}
+		urls = append(urls, t)
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("top: no targets")
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	refreshes := 0
+	for {
+		if err := topRefresh(ctx, client, urls, *interval, *once, *jsonOut, w); err != nil {
+			return err
+		}
+		refreshes++
+		if *once || (*frames > 0 && refreshes >= *frames) {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// topRefresh polls every target once and renders one dashboard (or one
+// JSON line per target). Unreachable targets render as an error row —
+// the dashboard outlives daemon restarts.
+func topRefresh(ctx context.Context, client *http.Client, urls []string, interval time.Duration, once, jsonOut bool, w io.Writer) error {
+	type polled struct {
+		url   string
+		frame *obs.Frame
+		err   error
+	}
+	views := make([]polled, len(urls))
+	for i, u := range urls {
+		f, err := pollLive(ctx, client, u)
+		views[i] = polled{url: u, frame: f, err: err}
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		for _, v := range views {
+			if v.err != nil {
+				fmt.Fprintf(w, "{\"target\":%q,\"error\":%q}\n", v.url, v.err.Error())
+				continue
+			}
+			if err := enc.Encode(struct {
+				Target string `json:"target"`
+				*obs.Frame
+			}{v.url, v.frame}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var b strings.Builder
+	if !once {
+		b.WriteString("\x1b[H\x1b[2J") // cursor home + clear: refresh in place
+	}
+	fmt.Fprintf(&b, "rangeamp top — %d target(s), refresh %s\n", len(urls), interval)
+	for _, v := range views {
+		b.WriteByte('\n')
+		if v.err != nil {
+			fmt.Fprintf(&b, "%s\n  unreachable: %v\n", v.url, v.err)
+			continue
+		}
+		renderFrame(&b, v.url, v.frame)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// pollLive fetches one target's latest frame (the one-shot JSON view).
+func pollLive(ctx context.Context, client *http.Client, url string) (*obs.Frame, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	var f obs.Frame
+	if err := json.NewDecoder(resp.Body).Decode(&f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// renderFrame formats one target's frame as the dashboard block.
+func renderFrame(b *strings.Builder, url string, f *obs.Frame) {
+	fmt.Fprintf(b, "%s    seq %d  window %.1fs\n", url, f.Seq, float64(f.IntervalMS)/1000)
+	if f.Seq == 0 {
+		fmt.Fprintf(b, "  no completed window yet\n")
+		return
+	}
+	fmt.Fprintf(b, "  amp      factor %.1f  cum %.1f   victim %s %s/s   attacker %s %s/s\n",
+		f.Amp.Factor, f.Amp.CumFactor,
+		f.Amp.VictimSegment, measure.FormatBytes(f.Amp.VictimBps),
+		f.Amp.AttackerSegment, measure.FormatBytes(f.Amp.AttackerBps))
+	for _, s := range f.Segments {
+		fmt.Fprintf(b, "  segment  %-12s up %s/s  down %s/s  conns %.1f/s  live %d\n",
+			s.Segment, measure.FormatBytes(s.UpBps), measure.FormatBytes(s.DownBps), s.ConnsPerS, s.Live)
+	}
+	for _, v := range f.Vendors {
+		fmt.Fprintf(b, "  vendor   %-12s req %.1f/s  upstream %.1f/s%s\n",
+			v.Vendor, v.ReqPerS, v.UpstreamPerS, rejectSummary(v.RejectPerS))
+	}
+	fmt.Fprintf(b, "  cache    hit %.1f%%  lifetime %.1f%%  hits %.1f/s  misses %.1f/s  collapsed %.1f/s\n",
+		f.Cache.HitRatio*100, f.Cache.LifetimeRatio*100,
+		f.Cache.HitsPerS, f.Cache.MissesPerS, f.Cache.CollapsedPerS)
+	fmt.Fprintf(b, "  pool     reuse %.1f%%  reuses %.1f/s  dials %.1f/s  idle %d\n",
+		f.Pool.ReuseRatio*100, f.Pool.ReusesPerS, f.Pool.DialsPerS, f.Pool.Idle)
+	fmt.Fprintf(b, "  detect   inspected %.1f/s  obr %.1f/s  sbr %.1f/s\n",
+		f.Detect.InspectedPerS, f.Detect.FlaggedOBRPerS, f.Detect.FlaggedSBRPerS)
+	fmt.Fprintf(b, "  latency  p50 %s  p95 %s  p99 %s  (n=%d)\n",
+		fmtUS(f.Latency.P50us), fmtUS(f.Latency.P95us), fmtUS(f.Latency.P99us), f.Latency.Count)
+}
+
+// rejectSummary renders the per-reason rejection rates in a stable
+// order (map iteration would jitter the dashboard).
+func rejectSummary(m map[string]float64) string {
+	if len(m) == 0 {
+		return ""
+	}
+	reasons := make([]string, 0, len(m))
+	for r := range m {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	var b strings.Builder
+	b.WriteString("  reject")
+	for _, r := range reasons {
+		fmt.Fprintf(&b, " %s %.1f/s", r, m[r])
+	}
+	return b.String()
+}
+
+// fmtUS renders a microsecond quantile with a readable unit.
+func fmtUS(us int64) string {
+	switch {
+	case us >= 1_000_000:
+		return fmt.Sprintf("%.2fs", float64(us)/1e6)
+	case us >= 1_000:
+		return fmt.Sprintf("%.1fms", float64(us)/1e3)
+	default:
+		return fmt.Sprintf("%dus", us)
+	}
+}

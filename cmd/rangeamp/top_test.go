@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// cannedFrame is a fully populated live frame, the fixture behind the
+// top dashboard golden.
+func cannedFrame() obs.Frame {
+	return obs.Frame{
+		Seq:        42,
+		Time:       time.Date(2024, 6, 1, 12, 0, 0, 0, time.UTC),
+		IntervalMS: 1000,
+		Segments: []obs.SegmentRate{
+			{Segment: "cdn-origin", UpBps: 1200, DownBps: 43_200_000, ConnsPerS: 0, Live: 4},
+			{Segment: "client-cdn", UpBps: 2000, DownBps: 1000, ConnsPerS: 4, Live: 4},
+		},
+		Vendors: []obs.VendorRate{
+			{Vendor: "akamai", ReqPerS: 120, UpstreamPerS: 118,
+				RejectPerS: map[string]float64{"detector": 2, "limits": 0.5}},
+		},
+		Amp: obs.AmpStats{
+			VictimSegment: "cdn-origin", AttackerSegment: "client-cdn",
+			VictimBps: 43_200_000, AttackerBps: 1000,
+			Factor: 43187.2, CumFactor: 43187.0,
+		},
+		Cache: obs.CacheStats{HitsPerS: 0, MissesPerS: 120, HitRatio: 0,
+			LifetimeRatio: 0.017, CollapsedPerS: 1.5},
+		Pool:    obs.PoolStats{ReusesPerS: 116, DialsPerS: 2, ReuseRatio: 116.0 / 118, Idle: 4},
+		Detect:  obs.DetectStats{InspectedPerS: 120, FlaggedOBRPerS: 0, FlaggedSBRPerS: 2},
+		Latency: obs.LatencyStats{Count: 120, P50us: 900, P95us: 3100, P99us: 1_200_000},
+	}
+}
+
+func liveServer(t *testing.T, f obs.Frame) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/live" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(f) //nolint:errcheck
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestTopOnceGolden pins the -once dashboard layout against a canned
+// frame. The server's ephemeral port is normalized out before the
+// comparison.
+func TestTopOnceGolden(t *testing.T) {
+	srv := liveServer(t, cannedFrame())
+
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"top", "-targets", srv.URL, "-once"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.ReplaceAll(out.String(), srv.URL, "http://TARGET")
+
+	goldenPath := filepath.Join("testdata", "top_once.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("dashboard drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestTopJSONMode(t *testing.T) {
+	srv := liveServer(t, cannedFrame())
+
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"top", "-targets", srv.URL, "-once", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var line struct {
+		Target string `json:"target"`
+		obs.Frame
+	}
+	if err := json.Unmarshal(out.Bytes(), &line); err != nil {
+		t.Fatalf("bad -json output %q: %v", out.String(), err)
+	}
+	if line.Target != srv.URL+"/debug/live" || line.Seq != 42 {
+		t.Errorf("target/seq = %q/%d", line.Target, line.Seq)
+	}
+	if line.Amp.Factor != 43187.2 {
+		t.Errorf("factor = %v", line.Amp.Factor)
+	}
+}
+
+func TestTopFramesBound(t *testing.T) {
+	srv := liveServer(t, cannedFrame())
+
+	// Two refreshes then exit; interactive mode prefixes each refresh
+	// with the clear-screen sequence.
+	var out bytes.Buffer
+	err := run(context.Background(),
+		[]string{"top", "-targets", srv.URL, "-interval", "1ms", "-frames", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "\x1b[H\x1b[2J"); got != 2 {
+		t.Errorf("%d clear sequences, want 2", got)
+	}
+	if got := strings.Count(out.String(), "seq 42"); got != 2 {
+		t.Errorf("%d frames rendered, want 2", got)
+	}
+}
+
+func TestTopUnreachableTarget(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(),
+		[]string{"top", "-targets", "http://127.0.0.1:1", "-once"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "unreachable") {
+		t.Errorf("no unreachable row: %q", out.String())
+	}
+}

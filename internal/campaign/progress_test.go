@@ -1,0 +1,140 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestRunProgressEventStream pins the JSONL schema the -progress flag
+// emits: every line parses as an obs.Event, the lifecycle is complete
+// and ordered, and the accounting fields add up.
+func TestRunProgressEventStream(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	now := time.Unix(1700000000, 0).UTC()
+	log := obs.NewEventLog(&buf, func() time.Time { return now })
+
+	sum, err := Run(context.Background(), smokeSpec(), RunOptions{Dir: dir, Parallel: 1, Progress: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var events []obs.Event
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		if ev.Time.IsZero() {
+			t.Errorf("event %q missing timestamp", ev.Event)
+		}
+		if ev.Campaign != "smoke" {
+			t.Errorf("event %q campaign = %q", ev.Event, ev.Campaign)
+		}
+		events = append(events, ev)
+	}
+
+	// 1 start + 4 queued + 4 cell_start + 4 cell_finish + 1 finish.
+	if len(events) != 14 {
+		t.Fatalf("%d events, want 14", len(events))
+	}
+	if events[0].Event != obs.EventCampaignStart || events[0].Total != sum.Total {
+		t.Errorf("first event = %+v", events[0])
+	}
+	counts := map[string]int{}
+	var lastDone int
+	for _, ev := range events {
+		counts[ev.Event]++
+		switch ev.Event {
+		case obs.EventCellQueued, obs.EventCellStart:
+			if ev.Cell == "" || ev.Label == "" {
+				t.Errorf("%s without cell identity: %+v", ev.Event, ev)
+			}
+		case obs.EventCellFinish:
+			if ev.Done <= lastDone {
+				t.Errorf("done count not increasing: %+v", ev)
+			}
+			lastDone = ev.Done
+			if ev.DurationMS < 0 {
+				t.Errorf("negative duration: %+v", ev)
+			}
+			// ETA shrinks to zero by the last cell.
+			if ev.Done == ev.Total && ev.EtaMS != 0 {
+				t.Errorf("final cell ETA = %d, want 0", ev.EtaMS)
+			}
+		}
+	}
+	if counts[obs.EventCellQueued] != 4 || counts[obs.EventCellStart] != 4 ||
+		counts[obs.EventCellFinish] != 4 || counts[obs.EventCampaignFinish] != 1 {
+		t.Errorf("event counts = %v", counts)
+	}
+	last := events[len(events)-1]
+	if last.Event != obs.EventCampaignFinish || last.Done != 4 || last.Total != 4 {
+		t.Errorf("last event = %+v", last)
+	}
+
+	// Resumed runs narrate skips with the same schema.
+	buf.Reset()
+	if _, err := Run(context.Background(), smokeSpec(), RunOptions{Dir: dir, Resume: true, Progress: log}); err != nil {
+		t.Fatal(err)
+	}
+	skips := 0
+	sc = bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Event == obs.EventCellSkip {
+			skips++
+		}
+	}
+	if skips != 4 {
+		t.Errorf("resume emitted %d cell_skip events, want 4", skips)
+	}
+}
+
+// TestManifestTiming pins the per-cell wall-time summary a completed
+// manifest carries.
+func TestManifestTiming(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Run(context.Background(), smokeSpec(), RunOptions{Dir: dir, Parallel: 2}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := c.Manifest.Timing
+	if tm == nil {
+		t.Fatal("complete manifest has no timing")
+	}
+	if tm.MinMS < 0 || tm.MaxMS < tm.MinMS || tm.TotalMS < tm.MaxMS {
+		t.Errorf("inconsistent timing: %+v", tm)
+	}
+	if tm.MeanMS < tm.MinMS || tm.MeanMS > tm.MaxMS {
+		t.Errorf("mean outside min..max: %+v", tm)
+	}
+	if tm.P50MS > tm.P95MS || tm.P95MS > tm.P99MS {
+		t.Errorf("quantiles not monotonic: %+v", tm)
+	}
+
+	// timingOf ignores nils and returns nil for an empty set.
+	if timingOf(nil) != nil {
+		t.Error("timingOf(nil) != nil")
+	}
+	if timingOf([]*CellResult{nil}) != nil {
+		t.Error("timingOf all-nil != nil")
+	}
+	tm2 := timingOf([]*CellResult{{DurationMS: 10}, {DurationMS: 20}, nil})
+	if tm2.TotalMS != 30 || tm2.MinMS != 10 || tm2.MaxMS != 20 || tm2.MeanMS != 15 {
+		t.Errorf("timingOf = %+v", tm2)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // ManifestFile and the cell-file naming scheme define the on-disk
@@ -79,6 +81,53 @@ type Manifest struct {
 	// sorted cell hashes), so resuming with an edited spec fails loudly
 	// instead of mixing two campaigns in one directory.
 	CellSet string `json:"cell_set"`
+	// Timing summarizes per-cell wall time over every result on disk
+	// (resumed cells keep the duration from the run that executed them).
+	// Nil until the campaign completes. Diff never compares it.
+	Timing *Timing `json:"timing,omitempty"`
+}
+
+// Timing is the per-cell wall-time summary: exact total/mean/min/max,
+// and p50/p95/p99 estimated from a log-bucket histogram (the same
+// estimator the live latency row uses).
+type Timing struct {
+	TotalMS int64 `json:"total_ms"`
+	MeanMS  int64 `json:"mean_ms"`
+	MinMS   int64 `json:"min_ms"`
+	MaxMS   int64 `json:"max_ms"`
+	P50MS   int64 `json:"p50_ms"`
+	P95MS   int64 `json:"p95_ms"`
+	P99MS   int64 `json:"p99_ms"`
+}
+
+// timingOf summarizes the DurationMS of every non-nil result. Nil when
+// nothing carries a duration.
+func timingOf(results []*CellResult) *Timing {
+	h := metrics.NewHistogram(nil)
+	t := &Timing{MinMS: -1}
+	n := int64(0)
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		n++
+		h.Observe(r.DurationMS)
+		t.TotalMS += r.DurationMS
+		if t.MinMS < 0 || r.DurationMS < t.MinMS {
+			t.MinMS = r.DurationMS
+		}
+		if r.DurationMS > t.MaxMS {
+			t.MaxMS = r.DurationMS
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	t.MeanMS = (t.TotalMS + n/2) / n
+	t.P50MS = h.Quantile(0.50)
+	t.P95MS = h.Quantile(0.95)
+	t.P99MS = h.Quantile(0.99)
+	return t
 }
 
 // cellSetHash fingerprints a cell list independent of order.

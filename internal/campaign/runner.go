@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/measure"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -36,6 +37,12 @@ type RunOptions struct {
 	// skipped), in completion order. It may be called concurrently from
 	// worker goroutines when Parallel > 1.
 	OnCell func(cell Cell, res *CellResult, skipped bool)
+	// Progress, when set, receives the cell lifecycle as structured
+	// JSONL events (obs.EventCampaignStart through
+	// obs.EventCampaignFinish) — queued/started/finished/skipped per
+	// cell, with running done counts and an ETA estimated from the mean
+	// executed-cell duration. A nil log is a no-op.
+	Progress *obs.EventLog
 }
 
 // Summary is what Run returns: the counts plus every cell result in
@@ -102,6 +109,8 @@ func Run(ctx context.Context, spec Spec, opts RunOptions) (*Summary, error) {
 	if parallel < 1 {
 		parallel = 1
 	}
+	prog := &progress{log: opts.Progress, name: spec.Name, total: len(cells), parallel: parallel}
+	prog.start(cells)
 	var (
 		mu                sync.Mutex
 		executed, skipped int
@@ -114,14 +123,17 @@ func Run(ctx context.Context, spec Spec, opts RunOptions) (*Summary, error) {
 				mu.Lock()
 				skipped++
 				mu.Unlock()
+				prog.cellSkip(cell)
 				if opts.OnCell != nil {
 					opts.OnCell(cell, res, true)
 				}
 				return res, nil
 			}
 		}
+		prog.cellStart(cell)
 		res, err := runCell(ctx, cell, parallel)
 		if err != nil {
+			prog.cellError(cell, err)
 			return nil, fmt.Errorf("cell %s (%s): %w", cell.Hash, cell.Config.Label(), err)
 		}
 		if err := writeJSONAtomic(path, res); err != nil {
@@ -130,6 +142,7 @@ func Run(ctx context.Context, spec Spec, opts RunOptions) (*Summary, error) {
 		mu.Lock()
 		executed++
 		mu.Unlock()
+		prog.cellFinish(cell, res.DurationMS)
 		if opts.OnCell != nil {
 			opts.OnCell(cell, res, false)
 		}
@@ -145,6 +158,8 @@ func Run(ctx context.Context, spec Spec, opts RunOptions) (*Summary, error) {
 	m.Skipped = skipped
 	m.Finished = time.Now().UTC()
 	m.Status = "complete"
+	m.Timing = timingOf(results)
+	prog.finish(m.Timing)
 	if err := writeJSONAtomic(manifestPath, &m); err != nil {
 		return nil, err
 	}
@@ -152,6 +167,98 @@ func Run(ctx context.Context, spec Spec, opts RunOptions) (*Summary, error) {
 		return nil, err
 	}
 	return &Summary{Dir: opts.Dir, Total: len(cells), Executed: executed, Skipped: skipped, Results: results}, nil
+}
+
+// progress narrates the cell lifecycle into an obs.EventLog. All
+// methods are safe with a nil log (every Emit is a no-op then) and
+// concurrent callers (the worker pool finishes cells in parallel).
+type progress struct {
+	log      *obs.EventLog
+	name     string
+	total    int
+	parallel int
+
+	mu       sync.Mutex
+	done     int   // cells finished or skipped
+	executed int   // cells actually run
+	totalMS  int64 // executed wall time, for the mean behind the ETA
+}
+
+// start announces the campaign and queues every cell.
+func (p *progress) start(cells []Cell) {
+	if p.log == nil {
+		return
+	}
+	p.log.Emit(obs.Event{Event: obs.EventCampaignStart, Campaign: p.name, Total: p.total})
+	for _, c := range cells {
+		p.log.Emit(obs.Event{Event: obs.EventCellQueued, Campaign: p.name,
+			Cell: c.Hash, Label: c.Config.Label(), Total: p.total})
+	}
+}
+
+func (p *progress) cellStart(c Cell) {
+	if p.log == nil {
+		return
+	}
+	p.log.Emit(obs.Event{Event: obs.EventCellStart, Campaign: p.name,
+		Cell: c.Hash, Label: c.Config.Label(), Total: p.total})
+}
+
+// bump advances the done count and returns (done, etaMS): the mean
+// executed-cell duration times the remaining cell count, divided by the
+// worker pool width. Zero until at least one cell has executed.
+func (p *progress) bump(ran bool, durMS int64) (done int, etaMS int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	if ran {
+		p.executed++
+		p.totalMS += durMS
+	}
+	if p.executed > 0 {
+		mean := float64(p.totalMS) / float64(p.executed)
+		etaMS = int64(mean * float64(p.total-p.done) / float64(p.parallel))
+	}
+	return p.done, etaMS
+}
+
+func (p *progress) cellSkip(c Cell) {
+	if p.log == nil {
+		return
+	}
+	done, eta := p.bump(false, 0)
+	p.log.Emit(obs.Event{Event: obs.EventCellSkip, Campaign: p.name,
+		Cell: c.Hash, Label: c.Config.Label(), Done: done, Total: p.total, EtaMS: eta})
+}
+
+func (p *progress) cellFinish(c Cell, durMS int64) {
+	if p.log == nil {
+		return
+	}
+	done, eta := p.bump(true, durMS)
+	p.log.Emit(obs.Event{Event: obs.EventCellFinish, Campaign: p.name,
+		Cell: c.Hash, Label: c.Config.Label(), Done: done, Total: p.total,
+		DurationMS: durMS, EtaMS: eta})
+}
+
+func (p *progress) cellError(c Cell, err error) {
+	if p.log == nil {
+		return
+	}
+	p.log.Emit(obs.Event{Event: obs.EventCellFinish, Campaign: p.name,
+		Cell: c.Hash, Label: c.Config.Label(), Error: err.Error(), Total: p.total})
+}
+
+func (p *progress) finish(t *Timing) {
+	if p.log == nil {
+		return
+	}
+	ev := obs.Event{Event: obs.EventCampaignFinish, Campaign: p.name,
+		Done: p.done, Total: p.total}
+	if t != nil {
+		ev.DurationMS = t.TotalMS
+	}
+	p.log.Emit(ev)
 }
 
 // loadDone reports whether path holds a finished, self-consistent

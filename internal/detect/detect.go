@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"repro/internal/httpwire"
+	"repro/internal/metrics"
 	"repro/internal/ranges"
 )
 
@@ -47,6 +48,13 @@ type Config struct {
 	// RejectOverlap rejects multi-range requests whose ranges overlap.
 	// Default true (set DisableOverlapCheck to turn off).
 	DisableOverlapCheck bool
+
+	// Metrics is the registry the detector's verdict counters resolve
+	// against at construction (the PR 6 Runtime injection pattern). Nil
+	// means metrics.Default — the daemon-facing fallback, so a cdnsim
+	// -detect edge surfaces its verdicts on /metrics and /debug/live
+	// without extra wiring.
+	Metrics *metrics.Registry
 }
 
 const (
@@ -69,6 +77,13 @@ type Detector struct {
 	mu      sync.Mutex
 	windows map[string]*pathWindow
 	stats   Stats
+
+	// Registry series, resolved once at construction so Inspect pays
+	// one atomic add per verdict.
+	mInspected  *metrics.Counter
+	mFlagRanges *metrics.Counter // obr: too many ranges
+	mFlagOver   *metrics.Counter // obr: overlapping ranges
+	mFlagBust   *metrics.Counter // sbr: cache-busting small ranges
 }
 
 // Stats counts verdicts for reporting.
@@ -102,7 +117,24 @@ func New(cfg Config) *Detector {
 	if cfg.MaxRanges <= 0 {
 		cfg.MaxRanges = defaultMaxRanges
 	}
-	return &Detector{cfg: cfg, windows: make(map[string]*pathWindow)}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.Default
+	}
+	const flagName = "detect_flagged_total"
+	const flagHelp = "Requests the RangeAmp detector flagged as malicious, by attack and signature."
+	return &Detector{
+		cfg:     cfg,
+		windows: make(map[string]*pathWindow),
+		mInspected: reg.Counter("detect_inspected_total",
+			"Range requests the RangeAmp detector inspected."),
+		mFlagRanges: reg.Counter(flagName, flagHelp,
+			metrics.L("attack", "obr"), metrics.L("reason", "ranges")),
+		mFlagOver: reg.Counter(flagName, flagHelp,
+			metrics.L("attack", "obr"), metrics.L("reason", "overlap")),
+		mFlagBust: reg.Counter(flagName, flagHelp,
+			metrics.L("attack", "sbr"), metrics.L("reason", "busting")),
+	}
 }
 
 // Inspect examines one request and returns a verdict. Requests without
@@ -120,14 +152,17 @@ func (d *Detector) Inspect(req *httpwire.Request) Verdict {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.stats.Inspected++
+	d.mInspected.Inc()
 
 	// OBR signatures: stateless per request.
 	if len(set) > d.cfg.MaxRanges {
 		d.stats.FlaggedOBR++
+		d.mFlagRanges.Inc()
 		return Verdict{Malicious: true, Reason: fmt.Sprintf("%d ranges exceed the %d-range limit", len(set), d.cfg.MaxRanges)}
 	}
 	if !d.cfg.DisableOverlapCheck && len(set) > 1 && set.OverlappingSpecs() {
 		d.stats.FlaggedOBR++
+		d.mFlagOver.Inc()
 		return Verdict{Malicious: true, Reason: "overlapping byte ranges"}
 	}
 
@@ -141,6 +176,7 @@ func (d *Detector) Inspect(req *httpwire.Request) Verdict {
 	w.push(windowEntry{key: req.Target, small: small}, d.cfg.WindowSize)
 	if small && w.smallDistinctKeys() >= d.cfg.SmallBustingThreshold {
 		d.stats.FlaggedSBR++
+		d.mFlagBust.Inc()
 		return Verdict{Malicious: true, Reason: fmt.Sprintf(
 			"%d small-range requests with distinct cache keys for %s", w.smallDistinctKeys(), req.Path())}
 	}

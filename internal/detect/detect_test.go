@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/httpwire"
+	"repro/internal/metrics"
 	"repro/internal/ranges"
 	"repro/internal/workload"
 )
@@ -189,5 +190,45 @@ func TestScreenAdapter(t *testing.T) {
 	mal, reason := d.Screen(rangeRequest("/f", "bytes=0-,0-"))
 	if !mal || reason == "" {
 		t.Errorf("Screen = %v,%q", mal, reason)
+	}
+}
+
+func TestVerdictCountersInInjectedRegistry(t *testing.T) {
+	reg := metrics.New()
+	d := New(Config{MaxRanges: 4, SmallBustingThreshold: 4, Metrics: reg})
+
+	d.Inspect(rangeRequest("/f", "bytes=0-,0-,0-"))            // obr/overlap
+	d.Inspect(rangeRequest("/f", "bytes=0-0,2-2,4-4,6-6,8-8")) // obr/ranges
+	for i := 0; i < 8; i++ {                                   // sbr/busting
+		d.Inspect(rangeRequest(fmt.Sprintf("/f?cb=%d", i), "bytes=0-0"))
+	}
+	d.Inspect(rangeRequest("/f", "")) // no Range header: not inspected
+
+	snap := reg.Snapshot()
+	if got := snap.Value("detect_inspected_total"); got != 10 {
+		t.Errorf("detect_inspected_total = %d, want 10", got)
+	}
+	if got := snap.Value("detect_flagged_total",
+		metrics.L("attack", "obr"), metrics.L("reason", "overlap")); got != 1 {
+		t.Errorf("obr/overlap = %d, want 1", got)
+	}
+	if got := snap.Value("detect_flagged_total",
+		metrics.L("attack", "obr"), metrics.L("reason", "ranges")); got != 1 {
+		t.Errorf("obr/ranges = %d, want 1", got)
+	}
+	got := snap.Value("detect_flagged_total",
+		metrics.L("attack", "sbr"), metrics.L("reason", "busting"))
+	if want := d.Stats().FlaggedSBR; got != want {
+		t.Errorf("sbr/busting = %d, want %d (the Stats count)", got, want)
+	}
+	if got == 0 {
+		t.Error("sbr/busting never counted")
+	}
+
+	// The registry is cumulative by design: Reset clears the windowed
+	// state and the Stats counters, never the metric series.
+	d.Reset()
+	if v := reg.Snapshot().Value("detect_inspected_total"); v != 10 {
+		t.Errorf("after Reset, detect_inspected_total = %d, want 10", v)
 	}
 }

@@ -1,0 +1,93 @@
+package metrics
+
+// Quantile estimation over the log-bucketed histograms. The estimator
+// is the Prometheus histogram_quantile one: find the bucket the q-th
+// observation falls in, then interpolate linearly inside it. With the
+// DefaultBounds power-of-four buckets the answer is an estimate, not an
+// exact order statistic — good enough for the latency rows the live
+// telemetry plane and the campaign timing stats render, and computable
+// from the same bucket counts /metrics already exposes.
+
+// QuantileFromBuckets estimates the q-quantile (0 <= q <= 1) of a
+// bucketed distribution. bounds are the ascending bucket upper bounds;
+// buckets has len(bounds)+1 entries (the last is the +Inf overflow) and
+// holds per-bucket (non-cumulative) occupancy, the layout Snapshot
+// samples carry. It returns 0 when the distribution is empty; values in
+// the overflow bucket clamp to the top bound.
+func QuantileFromBuckets(q float64, bounds, buckets []int64) int64 {
+	if len(buckets) == 0 || !(q >= 0 && q <= 1) { // the negation also rejects NaN
+		return 0
+	}
+	var total int64
+	for _, c := range buckets {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var seen int64
+	for i, c := range buckets {
+		if c <= 0 {
+			continue
+		}
+		if float64(seen+c) < rank {
+			seen += c
+			continue
+		}
+		// The rank-th observation lives in bucket i, which spans
+		// (lower, upper]. Interpolate linearly inside it.
+		var lower, upper int64
+		switch {
+		case i >= len(bounds):
+			// Overflow bucket: unbounded above, clamp to the top bound.
+			return bounds[len(bounds)-1]
+		case i == 0:
+			lower, upper = 0, bounds[0]
+		default:
+			lower, upper = bounds[i-1], bounds[i]
+		}
+		frac := (rank - float64(seen)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		return lower + int64(frac*float64(upper-lower)+0.5)
+	}
+	return bounds[len(bounds)-1]
+}
+
+// Quantile estimates the q-quantile of the histogram's observations.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	buckets := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+	}
+	return QuantileFromBuckets(q, h.bounds, buckets)
+}
+
+// Quantile estimates the q-quantile of a histogram sample (0 for
+// counter and gauge samples, which carry no buckets). It works on
+// snapshot deltas too, where the buckets hold only one window's
+// observations — that is how the live telemetry plane derives p50/p95/
+// p99 latency per window.
+func (s Sample) Quantile(q float64) int64 {
+	if s.Kind != KindHistogram {
+		return 0
+	}
+	return QuantileFromBuckets(q, s.Bounds, s.Buckets)
+}
+
+// NewHistogram returns a standalone histogram (not attached to any
+// registry) with the given ascending upper bounds; nil bounds select
+// DefaultBounds. Callers that need a one-off distribution — the
+// campaign runner's per-cell wall-time stats — use this rather than
+// inventing a registry.
+func NewHistogram(bounds []int64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultBounds()
+	}
+	return newHistogram(bounds)
+}

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileFromBucketsEmpty(t *testing.T) {
+	if got := QuantileFromBuckets(0.5, DefaultBounds(), make([]int64, 17)); got != 0 {
+		t.Errorf("empty distribution quantile = %d, want 0", got)
+	}
+	if got := QuantileFromBuckets(0.5, nil, nil); got != 0 {
+		t.Errorf("nil buckets quantile = %d, want 0", got)
+	}
+}
+
+func TestHistogramQuantileKnownDistribution(t *testing.T) {
+	// 100 observations of exactly 10 each land in the (4, 16] bucket;
+	// every quantile must come back inside that bucket.
+	h := NewHistogram(nil)
+	for i := 0; i < 100; i++ {
+		h.Observe(10)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got := h.Quantile(q)
+		if got <= 4 || got > 16 {
+			t.Errorf("Quantile(%v) = %d, want in (4,16]", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	// A spread distribution: quantiles must be monotonic in q and
+	// bracket the true order statistics' buckets.
+	h := NewHistogram(nil)
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	p50, p95, p99 := h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Fatalf("quantiles not monotonic: p50=%d p95=%d p99=%d", p50, p95, p99)
+	}
+	// True p50 = 500 lives in (256, 1024]; the estimate must too.
+	if p50 <= 256 || p50 > 1024 {
+		t.Errorf("p50 = %d, want in (256,1024]", p50)
+	}
+	if p99 <= 256 || p99 > 1024 {
+		t.Errorf("p99 = %d, want in (256,1024]", p99)
+	}
+}
+
+func TestQuantileOverflowClampsToTopBound(t *testing.T) {
+	bounds := []int64{10, 100}
+	buckets := []int64{0, 0, 5} // everything in the +Inf bucket
+	if got := QuantileFromBuckets(0.5, bounds, buckets); got != 100 {
+		t.Errorf("overflow quantile = %d, want clamp to 100", got)
+	}
+}
+
+func TestSampleQuantileFromSnapshotDelta(t *testing.T) {
+	// The live-telemetry use: a histogram's snapshot delta carries one
+	// window's bucket occupancy, and Sample.Quantile reads it.
+	r := New()
+	h := r.Histogram("q_test_us", "test")
+	for i := 0; i < 50; i++ {
+		h.Observe(3) // (1,4] bucket
+	}
+	before := r.Snapshot()
+	for i := 0; i < 50; i++ {
+		h.Observe(1000) // (256,1024] bucket
+	}
+	delta := r.Snapshot().Delta(before)
+	var found bool
+	for _, s := range delta.Samples() {
+		if s.Name != "q_test_us" {
+			continue
+		}
+		found = true
+		got := s.Quantile(0.5)
+		// The window only saw the 1000s; the old 3s must not drag the
+		// median down.
+		if got <= 256 || got > 1024 {
+			t.Errorf("window p50 = %d, want in (256,1024]", got)
+		}
+	}
+	if !found {
+		t.Fatal("histogram sample missing from delta")
+	}
+	// Counter samples have no quantiles.
+	c := Sample{Kind: KindCounter, Value: 7}
+	if got := c.Quantile(0.5); got != 0 {
+		t.Errorf("counter Quantile = %d, want 0", got)
+	}
+}
+
+func TestQuantileNaNGuard(t *testing.T) {
+	if got := QuantileFromBuckets(math.NaN(), []int64{1}, []int64{1, 0}); got != 0 {
+		t.Errorf("NaN q = %d, want 0", got)
+	}
+}

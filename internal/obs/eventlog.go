@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured lifecycle record in an EventLog stream. The
+// campaign runner emits these for cell scheduling (see the Event*
+// constants); the type is generic so later planes (detection scenarios,
+// long floods) can stream their own lifecycles through the same sink.
+type Event struct {
+	Time  time.Time `json:"time"`
+	Event string    `json:"event"`
+	// Campaign context.
+	Campaign string `json:"campaign,omitempty"`
+	Cell     string `json:"cell,omitempty"`  // cell hash
+	Label    string `json:"label,omitempty"` // human-readable cell config
+	// Progress accounting: Done of Total cells finished (executed or
+	// skipped), estimated time remaining, and this cell's wall time.
+	Done       int    `json:"done,omitempty"`
+	Total      int    `json:"total,omitempty"`
+	DurationMS int64  `json:"duration_ms,omitempty"`
+	EtaMS      int64  `json:"eta_ms,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// The campaign cell lifecycle event names.
+const (
+	EventCampaignStart  = "campaign_start"
+	EventCellQueued     = "cell_queued"
+	EventCellStart      = "cell_start"
+	EventCellFinish     = "cell_finish"
+	EventCellSkip       = "cell_skip"
+	EventCampaignFinish = "campaign_finish"
+)
+
+// EventLog serializes events as JSON Lines onto one writer. Emit is
+// safe for concurrent use (campaign workers finish cells in parallel);
+// each event is written as exactly one line. A nil *EventLog is a
+// valid no-op sink, so emitting code needs no conditionals.
+type EventLog struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time
+}
+
+// NewEventLog returns a log writing to w. now is the injectable clock
+// stamped onto events that arrive without a Time; nil means time.Now.
+func NewEventLog(w io.Writer, now func() time.Time) *EventLog {
+	if now == nil {
+		now = time.Now
+	}
+	return &EventLog{w: w, now: now}
+}
+
+// Emit writes one event line. Marshal and write errors are dropped —
+// progress streaming must never fail the run it narrates.
+func (l *EventLog) Emit(ev Event) {
+	if l == nil {
+		return
+	}
+	if ev.Time.IsZero() {
+		ev.Time = l.now()
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	l.mu.Lock()
+	l.w.Write(data) //nolint:errcheck // see above
+	l.mu.Unlock()
+}

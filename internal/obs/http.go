@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// Handler serves the engine's live view at /debug/live in two shapes:
+//
+//   - One-shot (default): the latest derived frame as a JSON object.
+//     `?window=1` returns the whole ring as a JSON array instead —
+//     everything the engine currently remembers.
+//   - Stream (`?sse=1`, or an Accept header asking for
+//     text/event-stream): a Server-Sent Events stream, one `data:`
+//     line per window frame as it is derived, until the client goes
+//     away or the engine stops. `?frames=N` ends the stream after N
+//     frames (scripted consumers; 0 = unbounded).
+//
+// Frames are dropped, never queued unboundedly, for slow stream
+// consumers — the sampler's cadence wins over any one client.
+func (e *Engine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		if q.Get("sse") != "" || strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+			e.serveSSE(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		if q.Get("window") != "" {
+			enc.Encode(e.Frames()) //nolint:errcheck // client went away
+			return
+		}
+		latest, _ := e.Latest() // zero frame (seq 0) before the first window
+		enc.Encode(latest)      //nolint:errcheck // client went away
+	})
+}
+
+func (e *Engine) serveSSE(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	max := 0
+	if v := r.URL.Query().Get("frames"); v != "" {
+		// Bad values keep the stream unbounded; this is a debug surface.
+		json.Unmarshal([]byte(v), &max) //nolint:errcheck
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	frames, cancel := e.Subscribe(8)
+	defer cancel()
+	sent := 0
+	for {
+		select {
+		case f, ok := <-frames:
+			if !ok {
+				return // engine stopped
+			}
+			data, err := json.Marshal(f)
+			if err != nil {
+				return
+			}
+			if _, err := w.Write([]byte("data: ")); err != nil {
+				return
+			}
+			if _, err := w.Write(data); err != nil {
+				return
+			}
+			if _, err := w.Write([]byte("\n\n")); err != nil {
+				return
+			}
+			flusher.Flush()
+			sent++
+			if max > 0 && sent >= max {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Integration tests: the obs engine watching a real in-memory SBR
+// topology. These live in package obs_test so they can import core
+// (core never imports obs, but the external package keeps that
+// direction obvious).
+package obs_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/obs"
+	"repro/internal/resource"
+	"repro/internal/vendor"
+)
+
+const (
+	livePath        = "/video.mp4"
+	liveSize        = 256 << 10
+	liveContentType = "video/mp4"
+)
+
+func liveTopology(t *testing.T) (*core.SBRTopology, *core.Runtime) {
+	t.Helper()
+	rt := core.NewRuntime()
+	store := resource.NewStore()
+	store.AddSynthetic(livePath, liveSize, liveContentType)
+	topo, err := core.NewSBRTopology(vendor.Cloudflare(), store, core.SBROptions{
+		OriginRangeSupport: true,
+		Runtime:            rt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(topo.Close)
+	if err := core.PrimeSizeHint(topo, livePath); err != nil {
+		t.Fatal(err)
+	}
+	return topo, rt
+}
+
+// TestInFlightFactorConvergesToFinalStats is the issue's acceptance
+// check: during a flood, the engine's in-flight amplification factor
+// must converge within 10% of the run's final Result.Stats-derived
+// factor, and the cumulative factor must match it exactly. The clock
+// is injected; each "second" of wall time is one flood burst.
+func TestInFlightFactorConvergesToFinalStats(t *testing.T) {
+	topo, rt := liveTopology(t)
+
+	now := time.Unix(1700000000, 0)
+	e := obs.New(obs.Config{Registry: rt.Metrics, Now: func() time.Time { return now }})
+	defer e.Stop()
+
+	// Baseline after priming: the engine and the flood results account
+	// from the same instant.
+	e.Sample()
+
+	var total measure.Amplification
+	var last obs.Frame
+	const bursts = 6
+	for i := 0; i < bursts; i++ {
+		res, err := core.RunSBRFloodOpts(context.Background(), topo, core.FloodOptions{
+			Path: livePath, ResourceSize: liveSize, Workers: 4, PerWorker: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total.VictimBytes += res.Amplification.VictimBytes
+		total.AttackerBytes += res.Amplification.AttackerBytes
+		now = now.Add(time.Second)
+		last = e.Sample()
+	}
+
+	final := total.Factor()
+	if final <= 1 {
+		t.Fatalf("flood did not amplify: final factor %v", final)
+	}
+	if last.Amp.Factor <= 0 {
+		t.Fatal("no in-flight factor derived")
+	}
+	// The EWMA factor must have converged within 10% of the final
+	// Stats-derived factor (the bursts are identically shaped except for
+	// first-burst cache warmup, which the smoothing absorbs).
+	if rel := math.Abs(last.Amp.Factor-final) / final; rel > 0.10 {
+		t.Errorf("in-flight factor %v vs final %v: off by %.1f%%, want <=10%%",
+			last.Amp.Factor, final, rel*100)
+	}
+	// The cumulative factor is exact: the registry mirrors the probe's
+	// segment counters bit-for-bit.
+	if rel := math.Abs(last.Amp.CumFactor-final) / final; rel > 1e-9 {
+		t.Errorf("cum factor %v != final %v", last.Amp.CumFactor, final)
+	}
+	if last.Amp.VictimSegment != "cdn-origin" || last.Amp.AttackerSegment != "client-cdn" {
+		t.Errorf("amp segments = %s/%s", last.Amp.VictimSegment, last.Amp.AttackerSegment)
+	}
+}
+
+// TestSSEStreamUnderFlood runs concurrent SSE consumers against the
+// handler while a keep-alive flood hammers the topology, under -race:
+// sampler, subscribers and flood workers all touch the registry and
+// engine at once.
+func TestSSEStreamUnderFlood(t *testing.T) {
+	topo, rt := liveTopology(t)
+
+	e := obs.New(obs.Config{Registry: rt.Metrics, Interval: 5 * time.Millisecond})
+	e.Start()
+	defer e.Stop()
+
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+
+	floodDone := make(chan error, 1)
+	go func() {
+		_, err := core.RunSBRFloodOpts(context.Background(), topo, core.FloodOptions{
+			Path: livePath, ResourceSize: liveSize, Workers: 4, PerWorker: 200,
+			KeepAlive: true,
+		})
+		floodDone <- err
+	}()
+
+	const consumers = 4
+	var wg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(srv.URL + "?sse=1&frames=3")
+			if err != nil {
+				t.Errorf("sse get: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+				t.Errorf("content type = %q", ct)
+				return
+			}
+			frames := 0
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			for sc.Scan() {
+				line := sc.Text()
+				if !strings.HasPrefix(line, "data: ") {
+					continue
+				}
+				var f obs.Frame
+				if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &f); err != nil {
+					t.Errorf("bad SSE frame: %v", err)
+					return
+				}
+				if f.Seq == 0 {
+					t.Error("SSE published the baseline frame")
+				}
+				frames++
+			}
+			if frames != 3 {
+				t.Errorf("consumer got %d frames, want 3", frames)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := <-floodDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// One-shot JSON view after the flood: the latest frame parses and
+	// names the victim segment.
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var f obs.Frame
+	if err := json.NewDecoder(resp.Body).Decode(&f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Amp.VictimSegment != "cdn-origin" {
+		t.Errorf("one-shot victim segment = %q", f.Amp.VictimSegment)
+	}
+
+	// Ring view: ?window=1 returns an array.
+	resp2, err := http.Get(srv.URL + "?window=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var ring []obs.Frame
+	if err := json.NewDecoder(resp2.Body).Decode(&ring); err != nil {
+		t.Fatal(err)
+	}
+	if len(ring) == 0 {
+		t.Error("empty ring after flood")
+	}
+}

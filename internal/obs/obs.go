@@ -1,0 +1,557 @@
+// Package obs is the live telemetry plane: a windowed rate engine
+// layered on the metrics registry. Where package metrics answers "what
+// has this process done since it started" (cumulative counters), obs
+// answers "what is it doing right now": a ticker-driven sampler takes
+// periodic registry snapshots into a bounded ring and derives rate
+// series from consecutive deltas — bytes/s and connections/s per
+// segment, requests/s and rejections/s per vendor, window cache-hit
+// ratio, pool dial economy, detector flag rates, per-window latency
+// quantiles, and the EWMA-smoothed in-flight amplification factor (the
+// victim-segment byte rate over the attacker-segment byte rate, the
+// paper's headline quantity observed while the flood is still running).
+//
+// Everything is computed from counters that already exist; obs adds no
+// instrumentation to any hot path. The clock is injectable, so window
+// derivation is deterministic in tests, and frames fan out to
+// subscribers (the SSE handler, cdnsim's stats log, `rangeamp top`)
+// through a non-blocking publish — a slow consumer drops frames rather
+// than stalling the sampler.
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultInterval = time.Second
+	DefaultWindow   = 120
+	DefaultAlpha    = 0.3
+
+	// DefaultVictimSegment / DefaultAttackerSegment are the segment
+	// names the in-memory SBR topology and the TCP demo both use for
+	// the two hops the amplification factor is a ratio of.
+	DefaultVictimSegment   = "cdn-origin"
+	DefaultAttackerSegment = "client-cdn"
+)
+
+// Config shapes an Engine. All fields are optional.
+type Config struct {
+	// Registry is the snapshot source. Nil means metrics.Default (the
+	// daemon-facing fallback, consistent with the Runtime pattern).
+	Registry *metrics.Registry
+
+	// Interval is the sampling tick of Start. Default 1s. Frames built
+	// by explicit Sample calls use the injected clock's elapsed time,
+	// not Interval.
+	Interval time.Duration
+
+	// Window bounds the frame ring. Default 120 (two minutes at the
+	// default interval).
+	Window int
+
+	// Alpha is the EWMA smoothing factor for the amplification byte
+	// rates: ewma = alpha*rate + (1-alpha)*ewma. Default 0.3.
+	Alpha float64
+
+	// VictimSegment and AttackerSegment name the two netsim segments
+	// whose down-direction byte rates the amplification factor is the
+	// ratio of. Defaults: "cdn-origin" and "client-cdn".
+	VictimSegment   string
+	AttackerSegment string
+
+	// Now is the injected clock. Nil means time.Now.
+	Now func() time.Time
+}
+
+// SegmentRate is one netsim segment's window rates. Field order is the
+// JSON schema the SSE stream and the live-smoke assertions rely on.
+type SegmentRate struct {
+	Segment string `json:"segment"`
+	UpBps   int64  `json:"up_bps"`
+	DownBps int64  `json:"down_bps"`
+	// ConnsPerS is the window's connection-open rate; Live is the
+	// current open-connection gauge (keep-alive sessions hold these
+	// between requests, and leak checks assert it drains to zero).
+	ConnsPerS float64 `json:"conns_per_s"`
+	Live      int64   `json:"live"`
+}
+
+// VendorRate is one vendor edge's window rates.
+type VendorRate struct {
+	Vendor       string  `json:"vendor"`
+	ReqPerS      float64 `json:"req_per_s"`
+	UpstreamPerS float64 `json:"upstream_per_s"`
+	// RejectPerS is the per-reason rejection rate (limits, detector,
+	// overlap), present only for reasons rejecting in this window.
+	RejectPerS map[string]float64 `json:"reject_per_s,omitempty"`
+}
+
+// AmpStats is the in-flight amplification view.
+type AmpStats struct {
+	VictimSegment   string `json:"victim_segment"`
+	AttackerSegment string `json:"attacker_segment"`
+	// VictimBps / AttackerBps are the window's down-direction byte
+	// rates on the two segments.
+	VictimBps   int64 `json:"victim_bps"`
+	AttackerBps int64 `json:"attacker_bps"`
+	// Factor is the EWMA-smoothed rate ratio — the live amplification
+	// factor. CumFactor is the ratio of total bytes accumulated since
+	// the engine's first sample, which converges exactly to the
+	// Result.Stats-derived factor of the run.
+	Factor    float64 `json:"factor"`
+	CumFactor float64 `json:"cum_factor"`
+}
+
+// CacheStats is the edge-cache view: window hit ratio plus the
+// lifetime ratio for drift comparison.
+type CacheStats struct {
+	HitsPerS      float64 `json:"hits_per_s"`
+	MissesPerS    float64 `json:"misses_per_s"`
+	HitRatio      float64 `json:"hit_ratio"`      // this window
+	LifetimeRatio float64 `json:"lifetime_ratio"` // since process start
+	CollapsedPerS float64 `json:"collapsed_per_s"`
+}
+
+// PoolStats is the upstream conn-pool dial economy.
+type PoolStats struct {
+	ReusesPerS float64 `json:"reuses_per_s"`
+	DialsPerS  float64 `json:"dials_per_s"`
+	// ReuseRatio is reuses/(reuses+dials) for the window: 1.0 means
+	// every upstream fetch rode a pooled connection.
+	ReuseRatio float64 `json:"reuse_ratio"`
+	Idle       int64   `json:"idle"`
+}
+
+// DetectStats is the detector verdict-rate view.
+type DetectStats struct {
+	InspectedPerS  float64 `json:"inspected_per_s"`
+	FlaggedOBRPerS float64 `json:"flagged_obr_per_s"`
+	FlaggedSBRPerS float64 `json:"flagged_sbr_per_s"`
+}
+
+// LatencyStats are per-window edge latency quantiles, estimated from
+// the cdn_request_duration_us histogram delta merged across vendors.
+type LatencyStats struct {
+	Count int64 `json:"count"`
+	P50us int64 `json:"p50_us"`
+	P95us int64 `json:"p95_us"`
+	P99us int64 `json:"p99_us"`
+}
+
+// Frame is one derived window: everything the live plane knows about
+// the interval between two consecutive samples.
+type Frame struct {
+	Seq        int64         `json:"seq"`
+	Time       time.Time     `json:"time"`
+	IntervalMS int64         `json:"interval_ms"`
+	Segments   []SegmentRate `json:"segments,omitempty"`
+	Vendors    []VendorRate  `json:"vendors,omitempty"`
+	Amp        AmpStats      `json:"amp"`
+	Cache      CacheStats    `json:"cache"`
+	Pool       PoolStats     `json:"pool"`
+	Detect     DetectStats   `json:"detect"`
+	Latency    LatencyStats  `json:"latency"`
+}
+
+// Engine derives Frames from registry snapshots. Construct with New;
+// drive it with Start (ticker) or explicit Sample calls (tests).
+type Engine struct {
+	cfg Config
+
+	mu       sync.Mutex
+	seq      int64
+	prev     *metrics.Snapshot
+	prevTime time.Time
+	// base tracks total victim/attacker down bytes at the first sample,
+	// for CumFactor.
+	baseVictim, baseAttacker int64
+	ewmaVictim, ewmaAttacker float64
+	ring                     []Frame // bounded at cfg.Window, oldest first
+	subs                     map[int]chan Frame
+	nextSub                  int
+	stop                     chan struct{}
+	loopDone                 chan struct{}
+	stopped                  bool
+}
+
+// New returns an engine for cfg (zero fields defaulted). The first
+// Sample establishes the baseline snapshot; rates appear from the
+// second on.
+func New(cfg Config) *Engine {
+	if cfg.Registry == nil {
+		cfg.Registry = metrics.Default
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = DefaultAlpha
+	}
+	if cfg.VictimSegment == "" {
+		cfg.VictimSegment = DefaultVictimSegment
+	}
+	if cfg.AttackerSegment == "" {
+		cfg.AttackerSegment = DefaultAttackerSegment
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Engine{cfg: cfg, subs: make(map[int]chan Frame)}
+}
+
+// Start launches the ticker-driven sampling loop. Stop ends it.
+func (e *Engine) Start() {
+	e.mu.Lock()
+	if e.stop != nil || e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.stop = make(chan struct{})
+	e.loopDone = make(chan struct{})
+	stop, done := e.stop, e.loopDone
+	e.mu.Unlock()
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(e.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				e.Sample()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop ends the sampling loop and closes every subscriber channel, so
+// subscription loops exit with the engine. Safe to call more than once,
+// and safe without a prior Start.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.stopped = true
+	stop, done := e.stop, e.loopDone
+	subs := e.subs
+	e.subs = make(map[int]chan Frame)
+	e.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	for _, ch := range subs {
+		close(ch)
+	}
+}
+
+// Sample takes one registry snapshot, derives the frame for the window
+// since the previous sample, appends it to the ring and publishes it to
+// subscribers. The first call establishes the baseline and returns a
+// zero-rate frame with Seq 0 that is neither ringed nor published.
+func (e *Engine) Sample() Frame {
+	now := e.cfg.Now()
+	cur := e.cfg.Registry.Snapshot()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	if e.prev == nil {
+		e.prev = cur
+		e.prevTime = now
+		e.baseVictim = segmentDown(cur, e.cfg.VictimSegment)
+		e.baseAttacker = segmentDown(cur, e.cfg.AttackerSegment)
+		return Frame{Time: now}
+	}
+
+	elapsed := now.Sub(e.prevTime).Seconds()
+	if elapsed <= 0 {
+		// A stalled or backwards clock cannot define a rate window;
+		// treat the tick as one nominal interval.
+		elapsed = e.cfg.Interval.Seconds()
+	}
+	delta := cur.Delta(e.prev)
+	e.seq++
+	f := e.derive(now, elapsed, cur, delta)
+	e.prev = cur
+	e.prevTime = now
+
+	e.ring = append(e.ring, f)
+	if len(e.ring) > e.cfg.Window {
+		e.ring = e.ring[len(e.ring)-e.cfg.Window:]
+	}
+	for _, ch := range e.subs {
+		select {
+		case ch <- f:
+		default: // slow consumer: drop, never stall the sampler
+		}
+	}
+	return f
+}
+
+// derive builds one frame from a window delta. Callers hold e.mu.
+func (e *Engine) derive(now time.Time, elapsed float64, cur, delta *metrics.Snapshot) Frame {
+	f := Frame{
+		Seq:        e.seq,
+		Time:       now,
+		IntervalMS: int64(elapsed*1000 + 0.5),
+	}
+
+	// Per-segment byte and connection rates. Live gauges come from the
+	// current snapshot (levels, not deltas).
+	segs := map[string]*SegmentRate{}
+	segNames := []string{}
+	segRate := func(name string) *SegmentRate {
+		s := segs[name]
+		if s == nil {
+			s = &SegmentRate{Segment: name}
+			segs[name] = s
+			segNames = append(segNames, name)
+		}
+		return s
+	}
+	vends := map[string]*VendorRate{}
+	vendNames := []string{}
+	vendRate := func(name string) *VendorRate {
+		v := vends[name]
+		if v == nil {
+			v = &VendorRate{Vendor: name}
+			vends[name] = v
+			vendNames = append(vendNames, name)
+		}
+		return v
+	}
+	var latBounds []int64
+	var latBuckets []int64
+
+	for _, s := range delta.Samples() {
+		switch s.Name {
+		case "netsim_segment_bytes_total":
+			seg, dir := label(s, "segment"), label(s, "direction")
+			if seg == "" {
+				continue
+			}
+			r := segRate(seg)
+			if dir == "up" {
+				r.UpBps = int64(float64(s.Value)/elapsed + 0.5)
+			} else {
+				r.DownBps = int64(float64(s.Value)/elapsed + 0.5)
+			}
+		case "netsim_conns_opened_total":
+			if seg := label(s, "segment"); seg != "" {
+				segRate(seg).ConnsPerS = rate(s.Value, elapsed)
+			}
+		case "cdn_requests_total":
+			if v := label(s, "vendor"); v != "" {
+				vendRate(v).ReqPerS = rate(s.Value, elapsed)
+			}
+		case "cdn_upstream_fetches_total":
+			if v := label(s, "vendor"); v != "" {
+				vendRate(v).UpstreamPerS = rate(s.Value, elapsed)
+			}
+		case "cdn_rejections_total":
+			v, reason := label(s, "vendor"), label(s, "reason")
+			if v == "" || reason == "" || s.Value == 0 {
+				continue
+			}
+			vr := vendRate(v)
+			if vr.RejectPerS == nil {
+				vr.RejectPerS = map[string]float64{}
+			}
+			vr.RejectPerS[reason] = rate(s.Value, elapsed)
+		case "cache_hits_total":
+			f.Cache.HitsPerS += rate(s.Value, elapsed)
+		case "cache_misses_total":
+			f.Cache.MissesPerS += rate(s.Value, elapsed)
+		case "cache_collapsed_total":
+			f.Cache.CollapsedPerS += rate(s.Value, elapsed)
+		case "cdn_pool_reuses_total":
+			f.Pool.ReusesPerS += rate(s.Value, elapsed)
+		case "cdn_pool_dials_total":
+			f.Pool.DialsPerS += rate(s.Value, elapsed)
+		case "detect_inspected_total":
+			f.Detect.InspectedPerS += rate(s.Value, elapsed)
+		case "detect_flagged_total":
+			switch label(s, "attack") {
+			case "obr":
+				f.Detect.FlaggedOBRPerS += rate(s.Value, elapsed)
+			case "sbr":
+				f.Detect.FlaggedSBRPerS += rate(s.Value, elapsed)
+			}
+		case "cdn_request_duration_us":
+			// Merge the window's latency buckets across vendors; the
+			// bounds are identical (DefaultBounds) by construction.
+			if latBounds == nil {
+				latBounds = s.Bounds
+				latBuckets = make([]int64, len(s.Buckets))
+			}
+			if len(s.Buckets) == len(latBuckets) {
+				for i, b := range s.Buckets {
+					latBuckets[i] += b
+				}
+				f.Latency.Count += s.Value
+			}
+		}
+	}
+
+	// Current levels: live connections, pool idle gauge.
+	for _, s := range cur.Samples() {
+		switch s.Name {
+		case "netsim_conns_live":
+			if seg := label(s, "segment"); seg != "" && (s.Value != 0 || segs[seg] != nil) {
+				segRate(seg).Live = s.Value
+			}
+		case "cdn_pool_idle_conns":
+			f.Pool.Idle += s.Value
+		}
+	}
+
+	if hm := f.Cache.HitsPerS + f.Cache.MissesPerS; hm > 0 {
+		f.Cache.HitRatio = f.Cache.HitsPerS / hm
+	}
+	f.Cache.LifetimeRatio = lifetimeHitRatio(cur)
+	if rd := f.Pool.ReusesPerS + f.Pool.DialsPerS; rd > 0 {
+		f.Pool.ReuseRatio = f.Pool.ReusesPerS / rd
+	}
+	if f.Latency.Count > 0 {
+		f.Latency.P50us = metrics.QuantileFromBuckets(0.50, latBounds, latBuckets)
+		f.Latency.P95us = metrics.QuantileFromBuckets(0.95, latBounds, latBuckets)
+		f.Latency.P99us = metrics.QuantileFromBuckets(0.99, latBounds, latBuckets)
+	}
+
+	// Amplification: EWMA-smoothed byte rates on the two named
+	// segments, plus the exact cumulative factor since the baseline.
+	f.Amp.VictimSegment = e.cfg.VictimSegment
+	f.Amp.AttackerSegment = e.cfg.AttackerSegment
+	if s := segs[e.cfg.VictimSegment]; s != nil {
+		f.Amp.VictimBps = s.DownBps
+	}
+	if s := segs[e.cfg.AttackerSegment]; s != nil {
+		f.Amp.AttackerBps = s.DownBps
+	}
+	alpha := e.cfg.Alpha
+	if e.seq == 1 {
+		e.ewmaVictim = float64(f.Amp.VictimBps)
+		e.ewmaAttacker = float64(f.Amp.AttackerBps)
+	} else {
+		e.ewmaVictim = alpha*float64(f.Amp.VictimBps) + (1-alpha)*e.ewmaVictim
+		e.ewmaAttacker = alpha*float64(f.Amp.AttackerBps) + (1-alpha)*e.ewmaAttacker
+	}
+	if e.ewmaAttacker > 0 {
+		f.Amp.Factor = e.ewmaVictim / e.ewmaAttacker
+	}
+	cumV := segmentDown(cur, e.cfg.VictimSegment) - e.baseVictim
+	cumA := segmentDown(cur, e.cfg.AttackerSegment) - e.baseAttacker
+	if cumA > 0 {
+		f.Amp.CumFactor = float64(cumV) / float64(cumA)
+	}
+
+	for _, n := range segNames {
+		f.Segments = append(f.Segments, *segs[n])
+	}
+	for _, n := range vendNames {
+		f.Vendors = append(f.Vendors, *vends[n])
+	}
+	return f
+}
+
+// Latest returns the most recent frame, or false when no window has
+// completed yet.
+func (e *Engine) Latest() (Frame, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.ring) == 0 {
+		return Frame{}, false
+	}
+	return e.ring[len(e.ring)-1], true
+}
+
+// Frames returns a copy of the ring, oldest first.
+func (e *Engine) Frames() []Frame {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Frame, len(e.ring))
+	copy(out, e.ring)
+	return out
+}
+
+// Subscribe registers a frame consumer with the given channel buffer
+// (minimum 1) and returns the channel plus a cancel function. The
+// channel closes on cancel or engine Stop. Publishes never block: a
+// full buffer drops the frame.
+func (e *Engine) Subscribe(buf int) (<-chan Frame, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan Frame, buf)
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	id := e.nextSub
+	e.nextSub++
+	e.subs[id] = ch
+	e.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			e.mu.Lock()
+			if _, ok := e.subs[id]; ok {
+				delete(e.subs, id)
+				close(ch)
+			}
+			e.mu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+// label returns a sample's label value, or "".
+func label(s metrics.Sample, key string) string {
+	for _, l := range s.Labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// rate is v per elapsed seconds.
+func rate(v int64, elapsed float64) float64 { return float64(v) / elapsed }
+
+// segmentDown reads a snapshot's cumulative down-direction byte count
+// for one segment.
+func segmentDown(snap *metrics.Snapshot, segment string) int64 {
+	return snap.Value("netsim_segment_bytes_total",
+		metrics.L("segment", segment), metrics.L("direction", "down"))
+}
+
+// lifetimeHitRatio computes hits/(hits+misses) over the cumulative
+// cache counters in a snapshot, summed across label sets.
+func lifetimeHitRatio(snap *metrics.Snapshot) float64 {
+	var hits, misses int64
+	for _, s := range snap.Samples() {
+		switch s.Name {
+		case "cache_hits_total":
+			hits += s.Value
+		case "cache_misses_total":
+			misses += s.Value
+		}
+	}
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}

@@ -1,0 +1,312 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// clock is the injectable test clock: every Now() returns the current
+// instant; Advance moves it deterministically.
+type clock struct{ t time.Time }
+
+func newClock() *clock                   { return &clock{t: time.Unix(1700000000, 0)} }
+func (c *clock) Now() time.Time          { return c.t }
+func (c *clock) Advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// testEngine builds an engine over a fresh registry with a test clock.
+func testEngine(t *testing.T, cfg Config) (*Engine, *metrics.Registry, *clock) {
+	t.Helper()
+	reg := metrics.New()
+	clk := newClock()
+	cfg.Registry = reg
+	cfg.Now = clk.Now
+	e := New(cfg)
+	t.Cleanup(e.Stop)
+	return e, reg, clk
+}
+
+func seg(reg *metrics.Registry, name, dir string) *metrics.Counter {
+	return reg.Counter("netsim_segment_bytes_total", "bytes",
+		metrics.L("segment", name), metrics.L("direction", dir))
+}
+
+func TestFirstSampleIsBaseline(t *testing.T) {
+	e, reg, _ := testEngine(t, Config{})
+	seg(reg, "cdn-origin", "down").Add(1000)
+	f := e.Sample()
+	if f.Seq != 0 {
+		t.Errorf("baseline frame seq = %d, want 0", f.Seq)
+	}
+	if _, ok := e.Latest(); ok {
+		t.Error("baseline frame must not enter the ring")
+	}
+}
+
+func TestWindowRatesFromDeterministicClock(t *testing.T) {
+	e, reg, clk := testEngine(t, Config{})
+	victim := seg(reg, "cdn-origin", "down")
+	attacker := seg(reg, "client-cdn", "down")
+	up := seg(reg, "client-cdn", "up")
+	e.Sample() // baseline
+
+	victim.Add(10_000_000) // 10 MB over 2s -> 5 MB/s
+	attacker.Add(20_000)   // 20 KB over 2s -> 10 KB/s
+	up.Add(4_000)
+	clk.Advance(2 * time.Second)
+	f := e.Sample()
+
+	if f.Seq != 1 || f.IntervalMS != 2000 {
+		t.Fatalf("frame seq/interval = %d/%d, want 1/2000", f.Seq, f.IntervalMS)
+	}
+	rates := map[string]SegmentRate{}
+	for _, s := range f.Segments {
+		rates[s.Segment] = s
+	}
+	if got := rates["cdn-origin"].DownBps; got != 5_000_000 {
+		t.Errorf("victim down rate = %d, want 5000000", got)
+	}
+	if got := rates["client-cdn"].DownBps; got != 10_000 {
+		t.Errorf("attacker down rate = %d, want 10000", got)
+	}
+	if got := rates["client-cdn"].UpBps; got != 2_000 {
+		t.Errorf("attacker up rate = %d, want 2000", got)
+	}
+	if f.Amp.VictimBps != 5_000_000 || f.Amp.AttackerBps != 10_000 {
+		t.Errorf("amp rates = %d/%d", f.Amp.VictimBps, f.Amp.AttackerBps)
+	}
+	if got, want := f.Amp.Factor, 500.0; got != want {
+		t.Errorf("first-window factor = %v, want %v (EWMA seeds at the first rate)", got, want)
+	}
+	if got, want := f.Amp.CumFactor, 500.0; got != want {
+		t.Errorf("cum factor = %v, want %v", got, want)
+	}
+}
+
+func TestEWMASmoothsRateSteps(t *testing.T) {
+	e, reg, clk := testEngine(t, Config{Alpha: 0.5})
+	victim := seg(reg, "cdn-origin", "down")
+	attacker := seg(reg, "client-cdn", "down")
+	e.Sample()
+
+	// Window 1: 1000 B/s victim, 10 B/s attacker -> EWMA seeds 100x.
+	victim.Add(1000)
+	attacker.Add(10)
+	clk.Advance(time.Second)
+	f1 := e.Sample()
+	if f1.Amp.Factor != 100 {
+		t.Fatalf("seed factor = %v", f1.Amp.Factor)
+	}
+
+	// Window 2: victim rate quadruples, attacker holds. The EWMA with
+	// alpha 0.5 lands halfway: victim (4000+1000)/2 = 2500, factor 250.
+	victim.Add(4000)
+	attacker.Add(10)
+	clk.Advance(time.Second)
+	f2 := e.Sample()
+	if got := f2.Amp.Factor; got != 250 {
+		t.Errorf("smoothed factor = %v, want 250", got)
+	}
+	// The instantaneous window rate is still visible unsmoothed.
+	if f2.Amp.VictimBps != 4000 {
+		t.Errorf("window victim rate = %d, want 4000", f2.Amp.VictimBps)
+	}
+}
+
+func TestVendorCacheDetectPoolDerivation(t *testing.T) {
+	e, reg, clk := testEngine(t, Config{})
+	reqs := reg.Counter("cdn_requests_total", "req", metrics.L("vendor", "cloudflare"))
+	rej := reg.Counter("cdn_rejections_total", "rej",
+		metrics.L("vendor", "cloudflare"), metrics.L("reason", "detector"))
+	ups := reg.Counter("cdn_upstream_fetches_total", "ups", metrics.L("vendor", "cloudflare"))
+	hits := reg.Counter("cache_hits_total", "h")
+	misses := reg.Counter("cache_misses_total", "m")
+	reuses := reg.Counter("cdn_pool_reuses_total", "r", metrics.L("vendor", "cloudflare"))
+	dials := reg.Counter("cdn_pool_dials_total", "d", metrics.L("vendor", "cloudflare"))
+	idle := reg.Gauge("cdn_pool_idle_conns", "i", metrics.L("vendor", "cloudflare"))
+	insp := reg.Counter("detect_inspected_total", "i")
+	flag := reg.Counter("detect_flagged_total", "f",
+		metrics.L("attack", "sbr"), metrics.L("reason", "busting"))
+	lat := reg.Histogram("cdn_request_duration_us", "lat", metrics.L("vendor", "cloudflare"))
+
+	e.Sample()
+	reqs.Add(100)
+	rej.Add(10)
+	ups.Add(60)
+	hits.Add(30)
+	misses.Add(70)
+	reuses.Add(45)
+	dials.Add(15)
+	idle.Set(4)
+	insp.Add(100)
+	flag.Add(10)
+	for i := 0; i < 100; i++ {
+		lat.Observe(1000)
+	}
+	clk.Advance(time.Second)
+	f := e.Sample()
+
+	if len(f.Vendors) != 1 || f.Vendors[0].Vendor != "cloudflare" {
+		t.Fatalf("vendors = %+v", f.Vendors)
+	}
+	v := f.Vendors[0]
+	if v.ReqPerS != 100 || v.UpstreamPerS != 60 || v.RejectPerS["detector"] != 10 {
+		t.Errorf("vendor rates = %+v", v)
+	}
+	if f.Cache.HitsPerS != 30 || f.Cache.MissesPerS != 70 {
+		t.Errorf("cache rates = %+v", f.Cache)
+	}
+	if f.Cache.HitRatio != 0.3 || f.Cache.LifetimeRatio != 0.3 {
+		t.Errorf("cache ratios = %+v", f.Cache)
+	}
+	if f.Pool.ReusesPerS != 45 || f.Pool.DialsPerS != 15 || f.Pool.ReuseRatio != 0.75 || f.Pool.Idle != 4 {
+		t.Errorf("pool = %+v", f.Pool)
+	}
+	if f.Detect.InspectedPerS != 100 || f.Detect.FlaggedSBRPerS != 10 || f.Detect.FlaggedOBRPerS != 0 {
+		t.Errorf("detect = %+v", f.Detect)
+	}
+	if f.Latency.Count != 100 {
+		t.Errorf("latency count = %d", f.Latency.Count)
+	}
+	if f.Latency.P50us <= 256 || f.Latency.P50us > 1024 {
+		t.Errorf("latency p50 = %d, want in (256,1024]", f.Latency.P50us)
+	}
+	if f.Latency.P99us < f.Latency.P50us {
+		t.Errorf("p99 %d < p50 %d", f.Latency.P99us, f.Latency.P50us)
+	}
+
+	// A quiet second window: rates drop to zero, lifetime ratio holds.
+	clk.Advance(time.Second)
+	f2 := e.Sample()
+	if f2.Cache.HitsPerS != 0 || f2.Cache.HitRatio != 0 {
+		t.Errorf("quiet window cache rates = %+v", f2.Cache)
+	}
+	if f2.Cache.LifetimeRatio != 0.3 {
+		t.Errorf("lifetime ratio drifted: %v", f2.Cache.LifetimeRatio)
+	}
+}
+
+func TestRingBounded(t *testing.T) {
+	e, reg, clk := testEngine(t, Config{Window: 3})
+	c := seg(reg, "cdn-origin", "down")
+	e.Sample()
+	for i := 0; i < 10; i++ {
+		c.Add(100)
+		clk.Advance(time.Second)
+		e.Sample()
+	}
+	frames := e.Frames()
+	if len(frames) != 3 {
+		t.Fatalf("ring len = %d, want 3", len(frames))
+	}
+	if frames[0].Seq != 8 || frames[2].Seq != 10 {
+		t.Errorf("ring seqs = %d..%d, want 8..10", frames[0].Seq, frames[2].Seq)
+	}
+	if last, ok := e.Latest(); !ok || last.Seq != 10 {
+		t.Errorf("Latest = %+v, %v", last, ok)
+	}
+}
+
+func TestLiveGaugeLevelsPassThrough(t *testing.T) {
+	e, reg, clk := testEngine(t, Config{})
+	live := reg.Gauge("netsim_conns_live", "live", metrics.L("segment", "cdn-origin"))
+	seg(reg, "cdn-origin", "down") // register the segment family
+	e.Sample()
+	live.Set(7)
+	clk.Advance(time.Second)
+	f := e.Sample()
+	var found bool
+	for _, s := range f.Segments {
+		if s.Segment == "cdn-origin" {
+			found = true
+			if s.Live != 7 {
+				t.Errorf("live = %d, want 7", s.Live)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("cdn-origin segment missing: %+v", f.Segments)
+	}
+}
+
+func TestStalledClockFallsBackToInterval(t *testing.T) {
+	e, reg, _ := testEngine(t, Config{Interval: 2 * time.Second})
+	c := seg(reg, "cdn-origin", "down")
+	e.Sample()
+	c.Add(4000)
+	// No clock advance: the window falls back to the nominal interval.
+	f := e.Sample()
+	if f.IntervalMS != 2000 {
+		t.Errorf("stalled-clock interval = %dms, want 2000", f.IntervalMS)
+	}
+	rates := map[string]int64{}
+	for _, s := range f.Segments {
+		rates[s.Segment] = s.DownBps
+	}
+	if rates["cdn-origin"] != 2000 {
+		t.Errorf("stalled-clock rate = %d, want 2000", rates["cdn-origin"])
+	}
+}
+
+func TestSubscribePublishAndCancel(t *testing.T) {
+	e, reg, clk := testEngine(t, Config{})
+	c := seg(reg, "cdn-origin", "down")
+	ch, cancel := e.Subscribe(4)
+	e.Sample()
+	c.Add(100)
+	clk.Advance(time.Second)
+	e.Sample()
+	select {
+	case f := <-ch:
+		if f.Seq != 1 {
+			t.Errorf("subscribed frame seq = %d", f.Seq)
+		}
+	default:
+		t.Fatal("no frame published")
+	}
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Error("channel not closed after cancel")
+	}
+	cancel() // idempotent
+}
+
+func TestStopClosesSubscribers(t *testing.T) {
+	e, _, _ := testEngine(t, Config{})
+	ch, _ := e.Subscribe(1)
+	e.Stop()
+	if _, ok := <-ch; ok {
+		t.Error("channel not closed by Stop")
+	}
+	// Subscribing after Stop yields a closed channel, not a deadlock.
+	ch2, cancel2 := e.Subscribe(1)
+	if _, ok := <-ch2; ok {
+		t.Error("post-Stop subscription channel not closed")
+	}
+	cancel2()
+	e.Stop() // idempotent
+}
+
+func TestSlowSubscriberDropsFramesNotSampler(t *testing.T) {
+	e, reg, clk := testEngine(t, Config{})
+	c := seg(reg, "cdn-origin", "down")
+	ch, cancel := e.Subscribe(1)
+	defer cancel()
+	e.Sample()
+	for i := 0; i < 5; i++ {
+		c.Add(100)
+		clk.Advance(time.Second)
+		e.Sample() // buffer of 1: later frames drop
+	}
+	if got := len(e.Frames()); got != 5 {
+		t.Errorf("sampler ringed %d frames, want 5", got)
+	}
+	f := <-ch
+	if f.Seq != 1 {
+		t.Errorf("subscriber saw seq %d first, want 1", f.Seq)
+	}
+	if n := len(ch); n != 0 {
+		t.Errorf("buffer holds %d extra frames, want 0 (dropped)", n)
+	}
+}

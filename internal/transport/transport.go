@@ -32,6 +32,61 @@ func Serve(l net.Listener, h ConnHandler) error {
 	}
 }
 
+// ServeOn is Serve with accept-side traffic accounting: every accepted
+// connection counts into seg with the directions inverted relative to
+// Dial — bytes read off the socket are the peers' requests (seg.Up),
+// bytes written are this server's responses (seg.Down). It gives a
+// daemon a live view of its client-facing hop (cdnsim's "client-cdn"
+// segment, which the in-flight amplification factor is a ratio
+// against) without the remote peer's cooperation. A nil seg degrades
+// to Serve.
+func ServeOn(l net.Listener, h ConnHandler, seg *netsim.Segment) error {
+	if seg == nil {
+		return Serve(l, h)
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return fmt.Errorf("accept: %w", err)
+		}
+		seg.AddConn()
+		go h.ServeConn(&acceptConn{Conn: conn, seg: seg})
+	}
+}
+
+// acceptConn is countingConn's accept-side mirror: the same segment
+// bookkeeping with the request/response directions swapped.
+type acceptConn struct {
+	net.Conn
+	seg    *netsim.Segment
+	closed atomic.Bool
+}
+
+func (c *acceptConn) Close() error {
+	if c.closed.CompareAndSwap(false, true) {
+		c.seg.ConnClosed(false)
+	}
+	return c.Conn.Close()
+}
+
+func (c *acceptConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.seg.AddUp(n)
+	}
+	return n, err
+}
+
+func (c *acceptConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.seg.AddDown(n)
+	}
+	return n, err
+}
+
+var _ netsim.Conn = (*acceptConn)(nil)
+
 // Dialer opens TCP connections and accounts their traffic on a
 // segment, implementing the same contract as netsim.Network.Dial.
 type Dialer struct{}

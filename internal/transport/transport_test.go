@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"net"
 	"testing"
+	"time"
 
 	"repro/internal/cdn"
 	"repro/internal/httpwire"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/origin"
 	"repro/internal/resource"
@@ -158,5 +160,64 @@ func TestCountingConnNilSegment(t *testing.T) {
 	}()
 	if _, err := cc.Write([]byte("ok")); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestServeOnCountsAcceptSide pins the accept-side accounting contract:
+// bytes read off accepted sockets are request-direction (Up), bytes
+// written are response-direction (Down), and the live-conn gauge drains
+// when the client disconnects.
+func TestServeOnCountsAcceptSide(t *testing.T) {
+	store := resource.NewStore()
+	store.AddSynthetic("/f.bin", 4096, "application/octet-stream")
+	srv := origin.NewServer(store, origin.Config{RangeSupport: true})
+	seg := netsim.NewSegmentIn(metrics.New(), "client-cdn")
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go ServeOn(l, srv, seg)
+
+	req := httpwire.NewRequest("GET", "/f.bin", "h")
+	resp := fetchTCP(t, l.Addr().String(), req)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	tr := seg.Traffic()
+	if tr.Up <= 0 || tr.Down <= 0 {
+		t.Fatalf("accept-side traffic not counted: %+v", tr)
+	}
+	// The response (headers + 4 KB body) dwarfs the request on this hop.
+	if tr.Down <= tr.Up || tr.Down < 4096 {
+		t.Errorf("direction mix-up: up=%d down=%d (down must carry the body)", tr.Up, tr.Down)
+	}
+	if got := seg.Conns(); got != 1 {
+		t.Errorf("opened conns = %d, want 1", got)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for seg.Live() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("live gauge stuck at %d after client close", seg.Live())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestServeOnNilSegment degrades to plain Serve.
+func TestServeOnNilSegment(t *testing.T) {
+	store := resource.NewStore()
+	store.AddSynthetic("/f.bin", 16, "application/octet-stream")
+	srv := origin.NewServer(store, origin.Config{RangeSupport: true})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go ServeOn(l, srv, nil)
+	resp := fetchTCP(t, l.Addr().String(), httpwire.NewRequest("GET", "/f.bin", "h"))
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
 	}
 }

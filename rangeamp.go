@@ -29,6 +29,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/measure"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/resource"
 	"repro/internal/trace"
@@ -260,6 +261,36 @@ var (
 	LoadCampaign = campaign.Load
 	// DiffCampaigns compares two campaign directories cell by cell.
 	DiffCampaigns = campaign.Diff
+)
+
+// The live telemetry plane (internal/obs): a windowed rate engine over
+// the metrics registry. A LiveEngine samples a registry periodically
+// and derives per-window rate frames — per-segment bytes/s, per-vendor
+// req/s, cache and pool economies, detector flag rates, latency
+// quantiles, and the EWMA-smoothed in-flight amplification factor.
+// Engine.Handler serves the frames at /debug/live (one-shot JSON and
+// SSE), `rangeamp top` renders them as a terminal dashboard, and the
+// campaign runner streams its cell lifecycle through an EventLog.
+type (
+	// LiveConfig shapes a LiveEngine (registry, interval, window,
+	// EWMA alpha, segment names, injectable clock).
+	LiveConfig = obs.Config
+	// LiveEngine is the windowed sampler; Start/Stop drive its ticker,
+	// Sample takes one explicit window, Handler serves /debug/live.
+	LiveEngine = obs.Engine
+	// LiveFrame is one derived telemetry window.
+	LiveFrame = obs.Frame
+	// Event is one structured lifecycle record (campaign progress).
+	Event = obs.Event
+	// EventLog is a concurrency-safe JSON Lines event sink.
+	EventLog = obs.EventLog
+)
+
+var (
+	// NewLiveEngine builds a LiveEngine from a LiveConfig.
+	NewLiveEngine = obs.New
+	// NewEventLog builds a JSONL event sink over a writer.
+	NewEventLog = obs.NewEventLog
 )
 
 // Vendor profiles (the 13 CDNs of the paper) and mitigations (§VI-C).
