@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench check fuzz experiments campaign-smoke live-smoke clean
+.PHONY: all build vet test race bench check fuzz experiments campaign-smoke live-smoke vtime-smoke clean
 
 all: build vet test
 
@@ -28,15 +28,22 @@ check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/exp ./internal/core ./internal/cluster ./internal/metrics ./internal/trace ./internal/multipart ./internal/httpwire ./internal/netsim ./internal/resource ./internal/cdn ./internal/cache ./internal/origin ./internal/obs ./internal/campaign ./internal/transport ./cmd/origind ./cmd/cdnsim ./cmd/attack ./cmd/rangeamp
+	$(GO) test -race ./internal/exp ./internal/core ./internal/cluster ./internal/metrics ./internal/trace ./internal/multipart ./internal/httpwire ./internal/netsim ./internal/resource ./internal/cdn ./internal/cache ./internal/origin ./internal/obs ./internal/campaign ./internal/transport ./internal/vtime ./cmd/origind ./cmd/cdnsim ./cmd/attack ./cmd/rangeamp
 
 # Regenerates the paper's headline numbers as custom bench metrics,
-# snapshots the full suite into BENCH_PR6.json (schema in DESIGN.md),
+# snapshots the full suite into BENCH_PR9.json (schema in DESIGN.md),
 # prints the per-benchmark delta against the previous PR's snapshot,
 # and gates on the parallel-scheduler speedup (skipped automatically
 # on runners with fewer than 8 procs, where it cannot manifest).
 bench:
-	$(GO) test -bench=. -benchmem -count=1 ./... | $(GO) run ./cmd/benchjson -out BENCH_PR6.json -compare BENCH_PR5.json -ratio 'BenchmarkExpAll/parallel=8,BenchmarkExpAll/parallel=1,0.67'
+	$(GO) test -bench=. -benchmem -count=1 ./... | $(GO) run ./cmd/benchjson -out BENCH_PR9.json -compare BENCH_PR6.json -ratio 'BenchmarkExpAll/parallel=8,BenchmarkExpAll/parallel=1,0.67'
+
+# The virtual-time engine's tentpole contract: a million-client
+# keep-alive flood on the discrete-event engine finishes under 60s of
+# wall time and a seed-repeated run is byte-identical (the test reruns
+# itself and compares every quantity).
+vtime-smoke:
+	$(GO) test -run TestVTimeFloodMillion -count=1 -v ./internal/core
 
 # Short fuzzing pass over the three wire parsers.
 fuzz:

@@ -530,3 +530,72 @@ func BenchmarkCorpusAudit(b *testing.B) {
 		}
 	}
 }
+
+// --- virtual-time engine benches ---
+
+// BenchmarkFloodEngines runs the identical 64-client keep-alive flood
+// through both execution engines. The byte accounting is equal by the
+// engine contract (the differential tests pin it); the ns/op column is
+// the comparison — the vtime rows replace goroutine-per-client
+// execution with calibrate-and-replay discrete events.
+func BenchmarkFloodEngines(b *testing.B) {
+	const size = 1 << 20
+	for _, engine := range []core.Engine{core.EnginePipe, core.EngineVTime} {
+		b.Run("engine="+string(engine), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				store := core.NewStoreWith(size)
+				topo, err := NewSBRTopology(Cloudflare(), store, SBROptions{OriginRangeSupport: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := RunSBRFloodOpts(benchCtx, topo, FloodOptions{
+					ResourceSize: size,
+					Workers:      64,
+					PerWorker:    2,
+					KeepAlive:    true,
+					Engine:       engine,
+					VTime:        core.VTimeOptions{Seed: 1},
+				})
+				topo.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Requests != 128 || res.Failures != 0 {
+					b.Fatalf("flood result %+v", res)
+				}
+				if i == 0 {
+					b.ReportMetric(res.Amplification.Factor(), "factor")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFloodVTime1M is the tentpole number: a million keep-alive
+// clients against a four-PoP cluster on the discrete-event engine. One
+// op is the whole flood; the clients/s metric is the engine's
+// simulated-population throughput.
+func BenchmarkFloodVTime1M(b *testing.B) {
+	const clients = 1_000_000
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunClusterFlood(benchCtx, nil, core.ClusterFloodOptions{
+			Nodes:        4,
+			Workers:      clients,
+			PerWorker:    1,
+			KeepAlive:    true,
+			ResourceSize: 1 << 20,
+			Engine:       core.EngineVTime,
+			VTime:        core.VTimeOptions{Seed: 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Requests != clients || res.Failures != 0 {
+			b.Fatalf("flood result %+v", res)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Amplification.Factor(), "factor")
+		}
+	}
+	b.ReportMetric(float64(clients)*float64(b.N)/b.Elapsed().Seconds(), "clients/s")
+}

@@ -8,10 +8,21 @@
 //	attack -mode sbr -edge 127.0.0.1:8081 -path /10MB.bin -vendor cloudflare -count 10
 //	attack -mode obr -edge 127.0.0.1:8083 -path /1KB.bin -fcdn cloudflare -bcdn akamai
 //	attack -mode sbr -edge 127.0.0.1:8081 -trace-out traces.json   # Perfetto-loadable timeline
+//
+// The -sim flag targets an in-process simulated topology instead of a
+// TCP edge — no daemons needed — with an engine selector. The vtime
+// engine runs each client as discrete-event state, so million-client
+// floods finish in seconds:
+//
+//	attack -sim -workers 1000 -per-worker 2 -keepalive            # goroutine/pipe engine
+//	attack -sim -engine vtime -workers 1000000 -keepalive -edges 4
+//	attack -sim -engine vtime -workers 1000000 -keepalive -edges 4 -metrics-addr 127.0.0.1:6061
+//	                                  # then: rangeamp top -targets http://127.0.0.1:6061
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/h2"
 	"repro/internal/httpwire"
+	"repro/internal/measure"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/obs"
@@ -62,6 +74,12 @@ func run(args []string, out io.Writer) error {
 	fcdnName := fs.String("fcdn", "cloudflare", "obr: FCDN vendor (selects the range-case lead and limits)")
 	bcdnName := fs.String("bcdn", "akamai", "obr: BCDN vendor (bounds n)")
 	n := fs.Int("n", 0, "obr: number of overlapping ranges (0 = planned max)")
+	sim := fs.Bool("sim", false, "flood an in-process simulated topology instead of a TCP edge (no daemons needed)")
+	engine := fs.String("engine", "", "sim: flood engine, pipe (default) or vtime (discrete-event, scales to millions of clients)")
+	workers := fs.Int("workers", 8, "sim: concurrent attacker clients")
+	perWorker := fs.Int("per-worker", 1, "sim: requests per client")
+	edges := fs.Int("edges", 1, "sim: edge PoP count (1 = single-edge SBR topology, >1 = multi-node cluster)")
+	seed := fs.Int64("seed", 1, "sim: vtime arrival-jitter seed (a fixed seed makes the run byte-deterministic)")
 	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics, /debug/pprof and /debug/traces on this address (empty = off)")
 	traceOut := fs.String("trace-out", "", "write client-side request spans to this file on exit (.json = Chrome trace-event, else text waterfalls)")
 	traceSample := fs.Int("trace-sample", 0, "record every Nth request as a span (0 = off; -trace-out implies 1); the traceparent header lets a cdnsim edge join the same trace")
@@ -82,14 +100,38 @@ func run(args []string, out io.Writer) error {
 		// The attack client's accounted hop is its edge-facing segment;
 		// the live engine exposes its request/response rates while a long
 		// flood runs (there is no victim segment on this side of the CDN).
-		engine := obs.New(obs.Config{AttackerSegment: "client-edge"})
-		engine.Start()
-		defer engine.Stop()
+		// In -sim mode the whole topology is in-process, so both hops of
+		// the amplification ratio are observable: the single-edge SBR
+		// segments are the obs defaults, a cluster reads node 0 (workers
+		// spread evenly, so node 0's factor is representative).
+		ocfg := obs.Config{AttackerSegment: "client-edge"}
+		if *sim {
+			ocfg = obs.Config{}
+			if *edges > 1 {
+				ocfg = obs.Config{VictimSegment: "node0-upstream", AttackerSegment: "node0-client"}
+			}
+		}
+		live := obs.New(ocfg)
+		live.Start()
+		defer live.Stop()
 		mux := metrics.NewDebugMux(metrics.Default)
 		mux.Handle("/debug/traces", trace.Default.Handler())
-		mux.Handle("/debug/live", engine.Handler())
+		mux.Handle("/debug/live", live.Handler())
 		log.Printf("metrics on http://%s/metrics, traces on /debug/traces, live telemetry on /debug/live", ml.Addr())
 		go http.Serve(ml, mux) //nolint:errcheck // dies with the process
+	}
+
+	if *sim {
+		if err := runSim(*engine, *vendorName, *sizeBytes, *workers, *perWorker, *edges, *keepAlive, *seed, out); err != nil {
+			return err
+		}
+		if *traceOut != "" {
+			return writeTraces(*traceOut)
+		}
+		return nil
+	}
+	if *engine != "" {
+		return fmt.Errorf("-engine requires -sim (the TCP path has no engine selector)")
 	}
 
 	if *conns > 1 {
@@ -185,6 +227,88 @@ func runMode(mode string, sendFn sendFunc, edgeAddr, path, host, vendorName stri
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
 	}
+}
+
+// runSim is the -sim mode: the SBR flood against an in-process
+// simulated topology (single edge, or an -edges N PoP cluster), with
+// the engine selector the in-memory flood entry points expose. The
+// vtime engine replaces goroutine-per-client execution with
+// discrete-event state, so populations in the millions complete in
+// seconds of wall time with byte accounting identical to the pipe
+// engine's.
+func runSim(engineName, vendorName string, sizeBytes int64, workers, perWorker, edges int, keepAlive bool, seed int64, out io.Writer) error {
+	eng := core.Engine(engineName)
+	switch eng {
+	case "", core.EnginePipe, core.EngineVTime:
+	default:
+		return fmt.Errorf("unknown engine %q (want %s or %s)", engineName, core.EnginePipe, core.EngineVTime)
+	}
+	profile, ok := vendor.ByName(vendorName)
+	if !ok {
+		return fmt.Errorf("unknown vendor %q", vendorName)
+	}
+	label := string(eng)
+	if label == "" {
+		label = string(core.EnginePipe)
+	}
+	fmt.Fprintf(out, "simulated SBR flood: %d clients x %d requests, %s engine, %d edge(s), %s, %d-byte target\n",
+		workers, perWorker, label, edges, vendorName, sizeBytes)
+	start := time.Now()
+
+	if edges > 1 {
+		res, err := core.RunClusterFlood(context.Background(), nil, core.ClusterFloodOptions{
+			Vendor:       profile,
+			Nodes:        edges,
+			Workers:      workers,
+			PerWorker:    perWorker,
+			KeepAlive:    keepAlive,
+			ResourceSize: sizeBytes,
+			Engine:       eng,
+			VTime:        core.VTimeOptions{Seed: seed},
+		})
+		if err != nil {
+			return err
+		}
+		printSimResult(out, res.Requests, res.Blocked, res.Dials,
+			res.Amplification, res.VirtualDuration, time.Since(start))
+		fmt.Fprintf(out, "busiest node carried %.1f%% of upstream load across %d PoPs\n",
+			res.Concentration*100, len(res.PerNode))
+		return nil
+	}
+
+	store := core.NewStoreWith(sizeBytes)
+	topo, err := core.NewSBRTopology(profile, store, core.SBROptions{OriginRangeSupport: true})
+	if err != nil {
+		return err
+	}
+	defer topo.Close()
+	res, err := core.RunSBRFloodOpts(context.Background(), topo, core.FloodOptions{
+		ResourceSize: sizeBytes,
+		Workers:      workers,
+		PerWorker:    perWorker,
+		KeepAlive:    keepAlive,
+		Engine:       eng,
+		VTime:        core.VTimeOptions{Seed: seed},
+	})
+	if err != nil {
+		return err
+	}
+	printSimResult(out, res.Requests, res.Blocked, res.Dials,
+		res.Amplification, res.VirtualDuration, time.Since(start))
+	return nil
+}
+
+func printSimResult(out io.Writer, requests, blocked int, dials int64, amp measure.Amplification, virtual, wall time.Duration) {
+	fmt.Fprintf(out, "flood: %d requests over %d connection(s) in %v wall time\n",
+		requests, dials, wall.Round(time.Millisecond))
+	if virtual > 0 {
+		fmt.Fprintf(out, "virtual time simulated: %v\n", virtual.Round(time.Millisecond))
+	}
+	if blocked > 0 {
+		fmt.Fprintf(out, "blocked: %d requests rejected by the edge\n", blocked)
+	}
+	fmt.Fprintf(out, "victim bytes %d, attacker bytes %d, amplification factor %.1f\n",
+		amp.VictimBytes, amp.AttackerBytes, amp.Factor())
 }
 
 // attackRequest builds the canonical attack request shape.

@@ -234,3 +234,44 @@ func TestOBRTracedRequestCarriesTraceparent(t *testing.T) {
 		t.Errorf("range attr = %q", got)
 	}
 }
+
+// TestRunSim drives the in-process -sim mode through both engines and
+// checks the byte accounting agrees between them.
+func TestRunSim(t *testing.T) {
+	ampLine := func(args ...string) string {
+		t.Helper()
+		var b strings.Builder
+		if err := run(args, &b); err != nil {
+			t.Fatal(err)
+		}
+		out := b.String()
+		i := strings.Index(out, "victim bytes")
+		if i < 0 {
+			t.Fatalf("no amplification line in output:\n%s", out)
+		}
+		return strings.TrimSpace(out[i:])
+	}
+	base := []string{"-sim", "-workers", "4", "-per-worker", "2", "-keepalive", "-size", "1048576"}
+	pipe := ampLine(base...)
+	vt := ampLine(append(base, "-engine", "vtime")...)
+	if pipe != vt {
+		t.Errorf("engines diverged:\n pipe  %s\n vtime %s", pipe, vt)
+	}
+	cl := ampLine(append(base, "-engine", "vtime", "-edges", "3")...)
+	if !strings.Contains(cl, "factor") {
+		t.Errorf("cluster run output %q", cl)
+	}
+}
+
+func TestRunSimRejectsBadFlags(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-sim", "-engine", "steam"}, &b); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	if err := run([]string{"-engine", "vtime"}, &b); err == nil {
+		t.Fatal("-engine without -sim accepted")
+	}
+	if err := run([]string{"-sim", "-vendor", "nonsense"}, &b); err == nil {
+		t.Fatal("unknown vendor accepted")
+	}
+}

@@ -5,9 +5,23 @@
 // flat and tiny, origin outgoing traffic proportional to m until the
 // link saturates around m≈11-14 — is a property of link sharing, which
 // a deterministic fluid model reproduces in milliseconds.
+//
+// Since the vtime engine landed, the simulation runs as a
+// discrete-event program: arrivals, integration ticks and sampling
+// instants are events on a vtime.Scheduler, and the link-sharing
+// discipline itself is vtime.FluidLink — the same fluid model the
+// event-driven flood engine exposes. The arithmetic is unchanged
+// operation for operation, so the Fig 7 goldens are byte-identical to
+// the original closed-loop integration.
 package bwsim
 
-import "math"
+import (
+	"context"
+	"math"
+	"time"
+
+	"repro/internal/vtime"
+)
 
 // Config parameterizes one bandwidth run.
 type Config struct {
@@ -66,57 +80,51 @@ func Run(cfg Config) []Sample {
 	}
 	dt := float64(tickMs) / 1000.0
 	perFlowBytes := float64(cfg.PerRequestOriginBytes) * overhead
-	capBytesPerSec := cfg.LinkBitsPerSec / 8.0
 
 	var (
-		flows       []float64 // remaining wire bytes per in-flight transfer
+		link        = &vtime.FluidLink{CapBytesPerSec: cfg.LinkBitsPerSec / 8.0}
+		sched       = vtime.NewScheduler()
 		samples     []Sample
-		sentInSec   float64
-		doneInSec   int
 		maxSeconds  = cfg.DurationSec * 4
 		ticksPerSec = int(math.Round(1000.0 / float64(tickMs)))
+		tick        = time.Duration(tickMs) * time.Millisecond
 	)
 	if maxSeconds < cfg.DurationSec+1 {
 		maxSeconds = cfg.DurationSec + 1
 	}
 
-	for sec := 0; sec < maxSeconds; sec++ {
+	// Each simulated second is an event cascade: the arrival burst at
+	// the second's start, ticksPerSec integration steps, and a sampling
+	// instant at the second's end that decides whether the next second
+	// runs. Events at equal instants run in scheduling order, so the
+	// final tick of a second always integrates before its sample.
+	var runSecond func(sec int)
+	runSecond = func(sec int) {
 		if sec < cfg.DurationSec {
 			for i := 0; i < cfg.RequestsPerSecond; i++ {
-				flows = append(flows, perFlowBytes)
+				link.Offer(perFlowBytes)
 			}
 		}
-		sentInSec, doneInSec = 0, 0
-		for tick := 0; tick < ticksPerSec; tick++ {
-			if len(flows) == 0 {
-				continue
-			}
-			budget := capBytesPerSec * dt
-			share := budget / float64(len(flows))
-			next := flows[:0]
-			for _, rem := range flows {
-				sent := math.Min(rem, share)
-				sentInSec += sent
-				rem -= sent
-				if rem > 1e-9 {
-					next = append(next, rem)
-				} else {
-					doneInSec++
-				}
-			}
-			flows = next
+		for t := 1; t <= ticksPerSec; t++ {
+			sched.After(time.Duration(t)*tick, func() { link.Tick(dt) })
 		}
-		samples = append(samples, Sample{
-			Second:         sec,
-			OriginOutMbps:  sentInSec * 8 / 1e6,
-			ClientInKbps:   float64(doneInSec) * float64(cfg.PerRequestClientBytes) * overhead * 8 / 1e3,
-			ActiveFlows:    len(flows),
-			CompletedFlows: doneInSec,
+		sched.After(time.Duration(ticksPerSec)*tick, func() {
+			sent, done := link.Drain()
+			samples = append(samples, Sample{
+				Second:         sec,
+				OriginOutMbps:  sent * 8 / 1e6,
+				ClientInKbps:   float64(done) * float64(cfg.PerRequestClientBytes) * overhead * 8 / 1e3,
+				ActiveFlows:    link.Active(),
+				CompletedFlows: done,
+			})
+			if sec+1 < maxSeconds && !(sec >= cfg.DurationSec && link.Active() == 0) {
+				runSecond(sec + 1)
+			}
 		})
-		if sec >= cfg.DurationSec && len(flows) == 0 {
-			break
-		}
 	}
+	runSecond(0)
+	sched.Run(context.Background()) // background ctx: cannot cancel, always drains
+
 	return samples
 }
 

@@ -46,6 +46,9 @@ type Axes struct {
 	// OBRPairs are the "fcdn>bcdn" cascades for obr cells. Nil means
 	// the Table V list (exp.OBRPairs, 11 pairs).
 	OBRPairs []string `json:"obr_pairs,omitempty"`
+	// Engines crosses the flood execution engine ("pipe" or "vtime");
+	// other cell kinds ignore it. Nil means the default pipe engine.
+	Engines []string `json:"engines,omitempty"`
 }
 
 // Spec is a declarative campaign: which cell kinds to run and which
@@ -107,7 +110,28 @@ func (s Spec) withDefaults() Spec {
 			s.Axes.OBRPairs = append(s.Axes.OBRPairs, p[0]+">"+p[1])
 		}
 	}
+	if len(s.Axes.Engines) == 0 {
+		s.Axes.Engines = []string{""}
+	}
 	return s
+}
+
+// expandGrammars resolves axis macros in the RangeGrammars list: the
+// value "corpus" expands in place to the whole generated ranges corpus
+// ("corpus:0" .. "corpus:199"), so a one-word spec sweeps every
+// grammar the corpus audit exercises, with stable per-case hashes.
+func expandGrammars(grammars []string) []string {
+	out := make([]string, 0, len(grammars))
+	for _, g := range grammars {
+		if g != GrammarCorpus {
+			out = append(out, g)
+			continue
+		}
+		for i := 0; i < CorpusGrammarCount; i++ {
+			out = append(out, fmt.Sprintf("%s%d", grammarCorpusPrefix, i))
+		}
+	}
+	return out
 }
 
 // Cells expands the spec into its flat cell list: the cross product of
@@ -138,29 +162,36 @@ func (s Spec) Cells() ([]Cell, error) {
 	for _, kind := range s.Experiments {
 		switch {
 		case kind == KindSBR, kind == KindFlood:
+			engines := s.Axes.Engines
+			if kind != KindFlood {
+				engines = []string{""}
+			}
 			for _, v := range s.Axes.Vendors {
 				for _, size := range s.Axes.SizesMB {
-					for _, g := range s.Axes.RangeGrammars {
+					for _, g := range expandGrammars(s.Axes.RangeGrammars) {
 						for _, cs := range s.Axes.CacheStates {
 							for _, ka := range s.Axes.KeepAlive {
 								for _, col := range s.Axes.Collapse {
 									for _, mit := range s.Axes.Mitigations {
-										c := CellConfig{
-											Experiment: kind,
-											Vendor:     v,
-											SizeMB:     size,
-											Grammar:    g,
-											CacheState: cs,
-											KeepAlive:  ka,
-											Collapse:   col,
-											Mitigation: mit,
-										}
-										if kind == KindFlood {
-											c.Workers = s.Workers
-											c.PerWorker = s.PerWorker
-										}
-										if err := add(c); err != nil {
-											return nil, err
+										for _, eng := range engines {
+											c := CellConfig{
+												Experiment: kind,
+												Vendor:     v,
+												SizeMB:     size,
+												Grammar:    g,
+												CacheState: cs,
+												KeepAlive:  ka,
+												Collapse:   col,
+												Mitigation: mit,
+											}
+											if kind == KindFlood {
+												c.Workers = s.Workers
+												c.PerWorker = s.PerWorker
+												c.Engine = eng
+											}
+											if err := add(c); err != nil {
+												return nil, err
+											}
 										}
 									}
 								}

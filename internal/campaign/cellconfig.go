@@ -40,7 +40,36 @@ const (
 	GrammarSuffix    = "suffix"     // bytes=-1
 	GrammarOpen      = "open"       // bytes=0- (the full resource)
 	GrammarOverlap8  = "overlap8"   // bytes=0-,0-,… with 8 ranges
+
+	// GrammarCorpus is the axis macro for the whole seeded ABNF corpus:
+	// Axes.RangeGrammars: ["corpus"] expands at Cells() time into one
+	// cell per corpus case, named "corpus:<i>". The names — and so the
+	// cell hashes — are stable because the corpus is generated from
+	// pinned (seed, count) parameters, the same ones the corpus-audit
+	// experiment uses.
+	GrammarCorpus       = "corpus"
+	grammarCorpusPrefix = "corpus:"
 )
+
+// The pinned corpus-generation parameters behind the "corpus" axis
+// macro, matching the corpus-audit experiment's data set.
+const (
+	CorpusGrammarSeed  = 1
+	CorpusGrammarCount = 200
+)
+
+// corpusGrammarCase resolves "corpus:<i>" to its generated Range set.
+// Generation is cheap (a few thousand rng draws), so each resolution
+// regenerates rather than caching — cells run in isolated goroutines.
+func corpusGrammarCase(name string) (core.SBRCase, error) {
+	i, err := strconv.Atoi(strings.TrimPrefix(name, grammarCorpusPrefix))
+	if err != nil || i < 0 || i >= CorpusGrammarCount {
+		return core.SBRCase{}, fmt.Errorf("bad corpus grammar %q (want %s0..%s%d)",
+			name, grammarCorpusPrefix, grammarCorpusPrefix, CorpusGrammarCount-1)
+	}
+	set := core.NewCorpus(CorpusGrammarSeed, CorpusGrammarCount)[i]
+	return core.SBRCase{RangeHeader: set.HeaderValue(), Repeat: 1}, nil
+}
 
 // Cache states (the CacheStates axis).
 const (
@@ -110,6 +139,12 @@ type CellConfig struct {
 	// Workers and PerWorker shape flood cells.
 	Workers   int `json:"workers,omitempty"`
 	PerWorker int `json:"per_worker,omitempty"`
+
+	// Engine selects the flood execution engine: "" or "pipe" for the
+	// goroutine/pipe substrate, "vtime" for calibrated discrete-event
+	// replay. Only flood cells consume it; "pipe" and "" hash
+	// identically, so pre-engine campaign directories stay addressable.
+	Engine string `json:"engine,omitempty"`
 }
 
 // normalized returns the config with the campaign defaults filled in,
@@ -162,17 +197,38 @@ func (c CellConfig) Validate() error {
 		if c.SizeMB < 1 {
 			return fmt.Errorf("bad size_mb %d", c.SizeMB)
 		}
-		switch c.Grammar {
-		case GrammarExploit, GrammarFirstByte, GrammarSuffix, GrammarOpen, GrammarOverlap8:
+		switch {
+		case c.Grammar == GrammarExploit, c.Grammar == GrammarFirstByte,
+			c.Grammar == GrammarSuffix, c.Grammar == GrammarOpen, c.Grammar == GrammarOverlap8:
+		case strings.HasPrefix(c.Grammar, grammarCorpusPrefix):
+			if _, err := corpusGrammarCase(c.Grammar); err != nil {
+				return err
+			}
 		default:
-			return fmt.Errorf("unknown range grammar %q (have %s)", c.Grammar,
-				strings.Join([]string{GrammarExploit, GrammarFirstByte, GrammarSuffix, GrammarOpen, GrammarOverlap8}, ", "))
+			return fmt.Errorf("unknown range grammar %q (have %s, or %s<i>)", c.Grammar,
+				strings.Join([]string{GrammarExploit, GrammarFirstByte, GrammarSuffix, GrammarOpen, GrammarOverlap8}, ", "),
+				grammarCorpusPrefix)
 		}
 		switch c.CacheState {
 		case CacheCold, CacheWarm, CacheDisabled:
 		default:
 			return fmt.Errorf("unknown cache state %q (have %s)", c.CacheState,
 				strings.Join([]string{CacheCold, CacheWarm, CacheDisabled}, ", "))
+		}
+		switch c.Engine {
+		case "", string(core.EnginePipe):
+		case string(core.EngineVTime):
+			if c.Experiment != KindFlood {
+				return fmt.Errorf("engine %q applies to flood cells only", c.Engine)
+			}
+			if c.CacheState == CacheWarm {
+				// The vtime engine's replayed requests never enter the edge
+				// cache, so a warm-up pass would not warm what the measured
+				// pass replays.
+				return fmt.Errorf("engine %q cannot run warm-cache cells", c.Engine)
+			}
+		default:
+			return fmt.Errorf("unknown engine %q (have %s, %s)", c.Engine, core.EnginePipe, core.EngineVTime)
 		}
 		if _, err := mitigated(nil, c.Mitigation); err != nil {
 			return err
@@ -183,6 +239,9 @@ func (c CellConfig) Validate() error {
 		}
 		if _, ok := vendor.ByName(c.BCDN); !ok {
 			return fmt.Errorf("unknown bcdn %q", c.BCDN)
+		}
+		if c.Engine != "" && c.Engine != string(core.EnginePipe) {
+			return fmt.Errorf("engine %q applies to flood cells only", c.Engine)
 		}
 		if _, err := mitigated(nil, c.Mitigation); err != nil {
 			return err
@@ -249,6 +308,9 @@ func (c CellConfig) Hash() string {
 	if c.PerWorker != 0 {
 		add("per_worker", strconv.Itoa(c.PerWorker))
 	}
+	if c.Engine != "" && c.Engine != string(core.EnginePipe) {
+		add("engine", c.Engine)
+	}
 	sort.Strings(kv)
 	h := sha256.New()
 	for _, line := range kv {
@@ -287,6 +349,9 @@ func (c CellConfig) Label() string {
 	}
 	if c.Mitigation != "" && c.Mitigation != MitigationNone {
 		b.WriteString(" +" + c.Mitigation)
+	}
+	if c.Engine != "" && c.Engine != string(core.EnginePipe) {
+		b.WriteString(" @" + c.Engine)
 	}
 	return b.String()
 }
@@ -346,6 +411,9 @@ func (c CellConfig) BCDNProfile() (*vendor.Profile, error) {
 // RangeCase resolves the cell's grammar to the concrete Range header
 // case the probe sends.
 func (c CellConfig) RangeCase() (core.SBRCase, error) {
+	if g := c.normalized().Grammar; strings.HasPrefix(g, grammarCorpusPrefix) {
+		return corpusGrammarCase(g)
+	}
 	switch c.normalized().Grammar {
 	case GrammarExploit:
 		return core.SBRExploit(c.Vendor, int64(c.SizeMB)*core.MiB), nil
@@ -386,7 +454,7 @@ func (c CellConfig) OBROptions(rt *core.Runtime) core.OBROptions {
 // caller (RangeCase) because grammar resolution can fail.
 func (c CellConfig) FloodOptions(rcase core.SBRCase) core.FloodOptions {
 	c = c.normalized()
-	return core.FloodOptions{
+	opts := core.FloodOptions{
 		Path:         core.TargetPath,
 		ResourceSize: int64(c.SizeMB) * core.MiB,
 		Workers:      c.Workers,
@@ -394,6 +462,10 @@ func (c CellConfig) FloodOptions(rcase core.SBRCase) core.FloodOptions {
 		KeepAlive:    c.KeepAlive,
 		Range:        rcase,
 	}
+	if c.Engine != "" {
+		opts.Engine = core.Engine(c.Engine)
+	}
+	return opts
 }
 
 // ExpParams re-expresses an "exp:" cell as the registry run parameters.

@@ -1,0 +1,165 @@
+package campaign
+
+// Engine axis and corpus grammar macro coverage: the vtime engine must
+// be hash-transparent at its default (old campaign directories stay
+// addressable), rejected outside flood cells, and runnable end-to-end;
+// the "corpus" macro must expand to the full generated grammar set
+// with stable per-case hashes.
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestCellHashEngineDefaultTransparent: "pipe" and "" must hash (and
+// label) identically — the engine field postdates the hash scheme, so
+// stored pre-engine campaigns remain addressable.
+func TestCellHashEngineDefaultTransparent(t *testing.T) {
+	base := CellConfig{Experiment: KindFlood, Vendor: "cloudflare", SizeMB: 1,
+		KeepAlive: true, Workers: 2, PerWorker: 3}
+	pipe := base
+	pipe.Engine = string(core.EnginePipe)
+	if base.Hash() != pipe.Hash() {
+		t.Fatalf("explicit pipe engine changed the hash: %s vs %s", base.Hash(), pipe.Hash())
+	}
+	if base.Label() != pipe.Label() {
+		t.Fatalf("explicit pipe engine changed the label: %q vs %q", base.Label(), pipe.Label())
+	}
+	vt := base
+	vt.Engine = string(core.EngineVTime)
+	if vt.Hash() == base.Hash() {
+		t.Fatal("vtime engine did not change the hash")
+	}
+	if !strings.Contains(vt.Label(), string(core.EngineVTime)) {
+		t.Fatalf("vtime label %q does not name the engine", vt.Label())
+	}
+}
+
+func TestValidateRejectsEngineMisuse(t *testing.T) {
+	for _, c := range []CellConfig{
+		// vtime outside flood cells.
+		{Experiment: KindSBR, Vendor: "cloudflare", SizeMB: 1, Engine: string(core.EngineVTime)},
+		{Experiment: KindOBR, Vendor: "cdn77", BCDN: "akamai", Engine: string(core.EngineVTime)},
+		// vtime with a warm edge cache: replayed requests never enter
+		// the cache, so a warm pre-pass cannot be modelled.
+		{Experiment: KindFlood, Vendor: "cloudflare", SizeMB: 1,
+			CacheState: CacheWarm, Engine: string(core.EngineVTime)},
+		// unknown engine.
+		{Experiment: KindFlood, Vendor: "cloudflare", SizeMB: 1, Engine: "steam"},
+	} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("cell %+v validated without error", c)
+		}
+	}
+}
+
+func TestSpecExpansionEngines(t *testing.T) {
+	axes := Axes{
+		Vendors: []string{"cloudflare"},
+		SizesMB: []int{1},
+		Engines: []string{string(core.EnginePipe), string(core.EngineVTime)},
+	}
+	flood, err := Spec{Experiments: []string{KindFlood}, Axes: axes}.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flood) != 2 {
+		t.Fatalf("flood spec expanded to %d cells, want 2 (one per engine)", len(flood))
+	}
+	if flood[0].Hash == flood[1].Hash {
+		t.Fatal("pipe and vtime flood cells collapsed to one hash")
+	}
+	// sbr cells ignore the engine axis entirely: the two axis points
+	// normalize to one cell.
+	sbr, err := Spec{Experiments: []string{KindSBR}, Axes: axes}.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sbr) != 1 {
+		t.Fatalf("sbr spec expanded to %d cells, want 1 (engine axis ignored)", len(sbr))
+	}
+}
+
+// TestSpecExpansionCorpusGrammar: the "corpus" macro expands to the
+// whole generated corpus, deterministically.
+func TestSpecExpansionCorpusGrammar(t *testing.T) {
+	spec := Spec{
+		Experiments: []string{KindSBR},
+		Axes: Axes{
+			Vendors:       []string{"cloudflare"},
+			SizesMB:       []int{1},
+			RangeGrammars: []string{GrammarCorpus},
+		},
+	}
+	cells, err := spec.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != CorpusGrammarCount {
+		t.Fatalf("corpus macro expanded to %d cells, want %d", len(cells), CorpusGrammarCount)
+	}
+	again, err := spec.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cells {
+		if cells[i].Hash != again[i].Hash {
+			t.Fatalf("cell %d hash unstable across expansions", i)
+		}
+		rc, err := cells[i].Config.RangeCase()
+		if err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+		if rc.RangeHeader == "" {
+			t.Fatalf("cell %d resolved to an empty Range header", i)
+		}
+	}
+	// A corpus index outside the generated set must fail validation.
+	bad := CellConfig{Experiment: KindSBR, Vendor: "cloudflare", SizeMB: 1, Grammar: "corpus:200"}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range corpus grammar validated without error")
+	}
+}
+
+// TestRunVTimeFloodCell runs a vtime flood cell end-to-end through the
+// campaign runner and checks it records the same accounting a pipe
+// cell of the same shape does.
+func TestRunVTimeFloodCell(t *testing.T) {
+	spec := Spec{
+		Name:        "engines",
+		Experiments: []string{KindFlood},
+		Workers:     3,
+		PerWorker:   2,
+		Axes: Axes{
+			Vendors:   []string{"cloudflare"},
+			SizesMB:   []int{1},
+			KeepAlive: []bool{true},
+			Engines:   []string{string(core.EnginePipe), string(core.EngineVTime)},
+		},
+	}
+	dir := t.TempDir()
+	sum, err := Run(context.Background(), spec, RunOptions{Dir: dir, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Executed != 2 || sum.Skipped != 0 {
+		t.Fatalf("summary %+v, want 2 executed cells", sum)
+	}
+	if len(sum.Results) != 2 {
+		t.Fatalf("got %d results", len(sum.Results))
+	}
+	a, b := sum.Results[0], sum.Results[1]
+	if a.Requests != 6 || b.Requests != 6 {
+		t.Fatalf("requests %d / %d, want 6", a.Requests, b.Requests)
+	}
+	if a.VictimBytes != b.VictimBytes || a.AttackerBytes != b.AttackerBytes {
+		t.Errorf("engines diverged: pipe %d/%d bytes, vtime %d/%d bytes",
+			a.VictimBytes, a.AttackerBytes, b.VictimBytes, b.AttackerBytes)
+	}
+	if a.Dials != b.Dials {
+		t.Errorf("dials diverged: %d vs %d", a.Dials, b.Dials)
+	}
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/httpwire"
+	"repro/internal/netsim"
+	"repro/internal/origin"
+	"repro/internal/vtime"
+	"repro/internal/workload"
+)
+
+// BackgroundOptions shape a benign background-user population browsing
+// through the same edge an attack targets: the §VI false-positive
+// scenario, where mitigations must not degrade real range traffic.
+type BackgroundOptions struct {
+	// Users is the benign client population; user u browses the object
+	// Paths[u%len(Paths)] with a deterministic workload.Generator stream
+	// seeded Seed+u.
+	Users int
+
+	// PerUser is the request count in each user's stream.
+	PerUser int
+
+	// Seed makes the whole population deterministic.
+	Seed int64
+
+	// Size is the browsed objects' size (the workload generator shapes
+	// seeks and segment downloads around it). It must match the store.
+	Size int64
+
+	// Paths are the benign objects; every path must exist in the
+	// topology's store. With len(Paths) >= Users each user browses a
+	// private object and the pipe engine's totals are deterministic;
+	// with fewer paths users share edge-cache state and the first-miss
+	// race makes pipe totals run-dependent (the vtime engine stays
+	// deterministic either way).
+	Paths []string
+
+	// Engine and VTime select and tune the execution engine.
+	Engine Engine
+	VTime  VTimeOptions
+}
+
+// BackgroundResult aggregates the benign population's traffic.
+type BackgroundResult struct {
+	Requests, Failures int
+
+	// ClientBytes is the population's received application bytes
+	// (client-segment down delta).
+	ClientBytes int64
+
+	// VirtualDuration is the simulated span (vtime engine only).
+	VirtualDuration time.Duration
+}
+
+// backgroundStream materializes user u's deterministic request stream.
+func backgroundStream(opts BackgroundOptions, u int) []*httpwire.Request {
+	g := workload.NewGenerator(opts.Seed + int64(u))
+	path := opts.Paths[u%len(opts.Paths)]
+	return g.Mixed([]string{path}, opts.Size, opts.PerUser)
+}
+
+// RunBackgroundUsers drives opts.Users benign range-request streams
+// through the topology's edge. On the pipe engine every user is a
+// goroutine issuing real requests. On the vtime engine execution is
+// occurrence-calibrated: the first two occurrences of each distinct
+// (path, Range) key run for real — the miss that fills the edge cache,
+// then the first steady-state hit — and every later occurrence replays
+// the second occurrence's calibrated per-segment footprint as events,
+// which is what lets a million-viewer background population coexist
+// with a million-client flood in seconds of wall time.
+func RunBackgroundUsers(ctx context.Context, t *SBRTopology, opts BackgroundOptions) (*BackgroundResult, error) {
+	if opts.Users <= 0 || opts.PerUser <= 0 {
+		return nil, fmt.Errorf("background: need users and per-user counts")
+	}
+	if len(opts.Paths) == 0 {
+		return nil, fmt.Errorf("background: need at least one benign path")
+	}
+	if opts.Size <= 0 {
+		return nil, fmt.Errorf("background: need the browsed object size")
+	}
+	before := t.ClientSeg.Snapshot()
+	var (
+		counts  floodCounts
+		virtual time.Duration
+		err     error
+	)
+	if opts.Engine == EngineVTime {
+		virtual, err = runBackgroundVTime(ctx, t, opts, &counts)
+	} else {
+		err = runBackgroundPipe(ctx, t, opts, &counts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if counts.firstErr != nil {
+		return nil, fmt.Errorf("background: %d failures, first: %w", counts.failures, counts.firstErr)
+	}
+	return &BackgroundResult{
+		Requests:        counts.requests,
+		Failures:        counts.failures,
+		ClientBytes:     t.ClientSeg.Snapshot().Sub(before).Down,
+		VirtualDuration: virtual,
+	}, nil
+}
+
+func runBackgroundPipe(ctx context.Context, t *SBRTopology, opts BackgroundOptions, counts *floodCounts) error {
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	for u := 0; u < opts.Users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			for _, req := range backgroundStream(opts, u) {
+				if ctx.Err() != nil {
+					return
+				}
+				resp, err := origin.Fetch(t.Net, t.EdgeAddr, t.ClientSeg, req)
+				mu.Lock()
+				counts.note(resp, err)
+				mu.Unlock()
+			}
+		}(u)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("background: cancelled after %d requests: %w", counts.requests, err)
+	}
+	return nil
+}
+
+func runBackgroundVTime(ctx context.Context, t *SBRTopology, opts BackgroundOptions, counts *floodCounts) (time.Duration, error) {
+	sched := opts.VTime.Sched
+	if sched == nil {
+		sched = vtime.NewScheduler()
+	}
+	upLink := vtime.NewSharedLink(sched, opts.VTime.Upstream)
+	downLink := vtime.NewSharedLink(sched, opts.VTime.Client)
+	segs := []*netsim.Segment{t.OriginSeg, t.ClientSeg}
+
+	ramp := opts.VTime.Ramp
+	if ramp <= 0 {
+		ramp = time.Second
+	}
+	rng := rand.New(rand.NewSource(opts.VTime.Seed))
+
+	// Occurrence calibration state, keyed by the exact request identity
+	// the edge cache sees.
+	type keyState struct {
+		occ    int
+		sample reqSample
+	}
+	states := map[string]*keyState{}
+	for u := 0; u < opts.Users; u++ {
+		start := arrival(rng, ramp)
+		tmpl := &workerTemplate{}
+		for _, req := range backgroundStream(opts, u) {
+			if err := ctx.Err(); err != nil {
+				return 0, fmt.Errorf("background: cancelled after %d requests: %w", counts.requests, err)
+			}
+			rangeHeader, _ := req.Headers.Get("Range")
+			key := req.Target + "\x00" + rangeHeader
+			st := states[key]
+			if st == nil {
+				st = &keyState{}
+				states[key] = st
+			}
+			if st.occ < 2 {
+				// Real request: occurrence 1 fills the cache, occurrence 2
+				// is the steady-state footprint later occurrences replay.
+				st.occ++
+				before := snapAll(segs)
+				resp, err := origin.Fetch(t.Net, t.EdgeAddr, t.ClientSeg, req)
+				s := reqSample{segs: deltasSince(segs, before)}
+				s.blocked, s.failed = counts.note(resp, err)
+				st.sample = s
+				continue
+			}
+			tmpl.reqs = append(tmpl.reqs, st.sample)
+		}
+		if len(tmpl.reqs) == 0 {
+			continue
+		}
+		tmpl.close = make([]vtime.Delta, len(segs))
+		conns := []*vtime.Conn{
+			vtime.NewConn(sched, t.OriginSeg, upLink),
+			vtime.NewConn(sched, t.ClientSeg, downLink),
+		}
+		replayWorker(sched, start, conns, tmpl, counts)
+	}
+	if err := sched.Run(ctx); err != nil {
+		return 0, fmt.Errorf("background: cancelled after %d requests: %w", counts.requests, err)
+	}
+	return sched.Elapsed(), nil
+}

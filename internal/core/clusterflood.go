@@ -1,0 +1,294 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/httpwire"
+	"repro/internal/measure"
+	"repro/internal/netsim"
+	"repro/internal/origin"
+	"repro/internal/resource"
+	"repro/internal/vendor"
+	"repro/internal/vtime"
+)
+
+// ClusterFloodOptions shape a flood against a multi-node edge cluster:
+// the §VI-A scenario where attackers spread across ingress PoPs, each
+// PoP with its own cache and its own uplink to the shared origin.
+type ClusterFloodOptions struct {
+	// Vendor is the edge profile on every node. Nil means Cloudflare.
+	Vendor *vendor.Profile
+
+	// Nodes is the PoP count. Zero means 4.
+	Nodes int
+
+	// Workers total attacker clients; worker w pins to node w % Nodes.
+	// PerWorker requests each, unique cache-busting queries throughout.
+	Workers   int
+	PerWorker int
+
+	// KeepAlive gives each worker one persistent session to its node.
+	KeepAlive bool
+
+	// ResourceSize is the attacked object's size. Zero means 1 MiB.
+	ResourceSize int64
+
+	// Engine and VTime select and tune the execution engine, exactly as
+	// in FloodOptions.
+	Engine Engine
+	VTime  VTimeOptions
+}
+
+// ClusterFloodResult aggregates the flood across all PoPs.
+type ClusterFloodResult struct {
+	Requests, Failures, Blocked int
+	Dials                       int64
+
+	// Amplification sums every PoP: victim bytes are the origin's
+	// aggregate down-traffic across all node uplinks, attacker bytes the
+	// aggregate attacker-side down-traffic.
+	Amplification measure.Amplification
+
+	// Concentration is the busiest node's share of upstream load.
+	Concentration float64
+
+	PerNode []cluster.NodeTraffic
+
+	// VirtualDuration is the simulated span (vtime engine only).
+	VirtualDuration time.Duration
+}
+
+// clusterShape identifies a worker's request-shape class in a cluster
+// flood: the node it pins to (distinct segments and cache state) and
+// the digit count of its index (distinct target lengths).
+type clusterShape struct{ node, digits int }
+
+// RunClusterFlood floods a freshly built nodeCount-PoP cluster backed
+// by one origin and reports the aggregate amplification plus per-node
+// load. The cluster reports into rt's registry; ctx cancellation is
+// honoured between requests (pipe) or between events (vtime).
+func RunClusterFlood(ctx context.Context, rt *Runtime, opts ClusterFloodOptions) (*ClusterFloodResult, error) {
+	profile := opts.Vendor
+	if profile == nil {
+		profile = vendor.Cloudflare()
+	}
+	nodes := opts.Nodes
+	if nodes <= 0 {
+		nodes = 4
+	}
+	size := opts.ResourceSize
+	if size <= 0 {
+		size = MiB
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	env := rt.effective()
+	store := resource.NewStore()
+	store.AddSynthetic(targetPath, size, contentType)
+	osrv := origin.NewServer(store, origin.Config{RangeSupport: true, Trace: env.Trace, Metrics: env.Metrics})
+	net := netsim.NewNetwork()
+	originL, err := net.Listen(originAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer originL.Close()
+	go osrv.Serve(originL)
+
+	c, err := cluster.New(cluster.Config{
+		Name:         "edge",
+		Profile:      profile,
+		Network:      net,
+		UpstreamAddr: originAddr,
+		NodeCount:    nodes,
+		Metrics:      env.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	exploit := SBRExploit(profile.Name, size)
+	if exploit.Repeat < 1 {
+		exploit.Repeat = 1
+	}
+
+	var (
+		counts  floodCounts
+		virtual time.Duration
+	)
+	if opts.Engine == EngineVTime {
+		virtual, err = runClusterFloodVTime(ctx, net, c, exploit, opts, &counts)
+	} else {
+		err = runClusterFloodPipe(ctx, net, c, exploit, opts, &counts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if counts.firstErr != nil {
+		return nil, fmt.Errorf("cluster flood: %d failures, first: %w", counts.failures, counts.firstErr)
+	}
+
+	res := &ClusterFloodResult{
+		Requests:        counts.requests,
+		Failures:        counts.failures,
+		Blocked:         counts.blocked,
+		Dials:           counts.dials,
+		Concentration:   c.Concentration(),
+		PerNode:         c.TrafficByNode(),
+		VirtualDuration: virtual,
+	}
+	for _, nt := range res.PerNode {
+		res.Amplification.VictimBytes += nt.Upstream.Down
+		res.Amplification.AttackerBytes += nt.Client.Down
+	}
+	return res, nil
+}
+
+// clusterWorker runs one real worker against its node, mirroring the
+// SBR flood worker body. When tmpl is non-nil it also calibrates: every
+// request's client+upstream segment footprint is recorded for replay.
+func clusterWorker(ctx context.Context, net *netsim.Network, node *cluster.Node, w int, exploit SBRCase, opts ClusterFloodOptions, c *floodCounts, mu *sync.Mutex, tmpl *workerTemplate) {
+	segs := []*netsim.Segment{node.UpstreamSeg, node.ClientSeg}
+	var session *origin.Client
+	if opts.KeepAlive {
+		session = origin.NewClient(net, node.Addr, node.ClientSeg)
+		defer func() {
+			st := session.Stats()
+			var before []netsim.Snapshot
+			if tmpl != nil {
+				before = snapAll(segs)
+			}
+			session.Close()
+			if tmpl != nil {
+				tmpl.close = deltasSince(segs, before)
+				tmpl.dials = st.Dials
+			}
+			mu.Lock()
+			c.dials += st.Dials
+			mu.Unlock()
+		}()
+	}
+	for i := 0; i < opts.PerWorker; i++ {
+		target := fmt.Sprintf("%s?cb=w%d-%d", targetPath, w, i)
+		for r := 0; r < exploit.Repeat; r++ {
+			if ctx.Err() != nil {
+				return
+			}
+			req := NewAttackRequest(target)
+			req.Headers.Add("Range", exploit.RangeHeader)
+			var before []netsim.Snapshot
+			if tmpl != nil {
+				before = snapAll(segs)
+			}
+			var (
+				resp *httpwire.Response
+				err  error
+			)
+			if session != nil {
+				resp, err = session.Do(req)
+			} else {
+				resp, err = origin.Fetch(net, node.Addr, node.ClientSeg, req)
+			}
+			mu.Lock()
+			blocked, failed := c.note(resp, err)
+			if session == nil {
+				c.dials++
+			}
+			mu.Unlock()
+			if tmpl != nil {
+				tmpl.reqs = append(tmpl.reqs, reqSample{
+					segs:    deltasSince(segs, before),
+					blocked: blocked,
+					failed:  failed,
+				})
+			}
+		}
+	}
+	if tmpl != nil && session == nil {
+		tmpl.close = make([]vtime.Delta, len(segs))
+		tmpl.dials = int64(opts.PerWorker) * int64(exploit.Repeat)
+	}
+}
+
+func runClusterFloodPipe(ctx context.Context, net *netsim.Network, c *cluster.Cluster, exploit SBRCase, opts ClusterFloodOptions, counts *floodCounts) error {
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			clusterWorker(ctx, net, c.Nodes[w%len(c.Nodes)], w, exploit, opts, counts, &mu, nil)
+		}(w)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("cluster flood: cancelled after %d requests: %w", counts.requests, err)
+	}
+	return nil
+}
+
+func runClusterFloodVTime(ctx context.Context, net *netsim.Network, c *cluster.Cluster, exploit SBRCase, opts ClusterFloodOptions, counts *floodCounts) (time.Duration, error) {
+	sched := opts.VTime.Sched
+	if sched == nil {
+		sched = vtime.NewScheduler()
+	}
+	// Each PoP has its own uplink and its own attacker-side hop.
+	upLinks := make([]*vtime.SharedLink, len(c.Nodes))
+	downLinks := make([]*vtime.SharedLink, len(c.Nodes))
+	for i := range c.Nodes {
+		upLinks[i] = vtime.NewSharedLink(sched, opts.VTime.Upstream)
+		downLinks[i] = vtime.NewSharedLink(sched, opts.VTime.Client)
+	}
+
+	var (
+		mu        sync.Mutex // uncontended: calibration is serial
+		templates = map[clusterShape]*workerTemplate{}
+		calCount  = map[clusterShape]int{}
+	)
+	for w := 0; w < opts.Workers; w++ {
+		key := clusterShape{node: w % len(c.Nodes), digits: shapeOf(w)}
+		if calCount[key] >= calPerShape {
+			continue
+		}
+		calCount[key]++
+		tmpl := &workerTemplate{}
+		clusterWorker(ctx, net, c.Nodes[key.node], w, exploit, opts, counts, &mu, tmpl)
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("cluster flood: cancelled after %d requests: %w", counts.requests, err)
+		}
+		templates[key] = tmpl
+	}
+
+	ramp := opts.VTime.Ramp
+	if ramp <= 0 {
+		ramp = time.Second
+	}
+	rng := rand.New(rand.NewSource(opts.VTime.Seed))
+	seen := map[clusterShape]int{}
+	for w := 0; w < opts.Workers; w++ {
+		start := arrival(rng, ramp)
+		key := clusterShape{node: w % len(c.Nodes), digits: shapeOf(w)}
+		if seen[key] < calPerShape {
+			seen[key]++
+			continue
+		}
+		node := c.Nodes[key.node]
+		conns := []*vtime.Conn{
+			vtime.NewConn(sched, node.UpstreamSeg, upLinks[key.node]),
+			vtime.NewConn(sched, node.ClientSeg, downLinks[key.node]),
+		}
+		replayWorker(sched, start, conns, templates[key], counts)
+	}
+	if err := sched.Run(ctx); err != nil {
+		return 0, fmt.Errorf("cluster flood: cancelled after %d requests: %w", counts.requests, err)
+	}
+	return sched.Elapsed(), nil
+}

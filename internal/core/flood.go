@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/httpwire"
 	"repro/internal/measure"
@@ -20,6 +21,10 @@ type FloodResult struct {
 	Blocked       int   // HTTP 403 (detector) / 431 (limits) rejections
 	Dials         int64 // attacker->edge connections opened (== Requests per-request; == workers keep-alive)
 	Amplification measure.Amplification
+
+	// VirtualDuration is how much simulated time the flood spanned.
+	// Zero on the pipe engine, which runs in real time.
+	VirtualDuration time.Duration
 }
 
 // FloodOptions fully specifies a flood: the target, the load shape and
@@ -51,6 +56,16 @@ type FloodOptions struct {
 	// defers to SBRExploit(profile, ResourceSize); an explicit case with
 	// Repeat == 0 sends each request once.
 	Range SBRCase
+
+	// Engine selects the execution engine. Empty or EnginePipe runs
+	// every worker as a goroutine over the bounded-pipe substrate;
+	// EngineVTime calibrates a few real workers and replays the rest as
+	// discrete events on a virtual clock, which is how a million-client
+	// flood fits in seconds of wall time.
+	Engine Engine
+
+	// VTime tunes the vtime engine; ignored by the pipe engine.
+	VTime VTimeOptions
 }
 
 // RunSBRFloodOpts is the canonical flood entry point: it fires
@@ -73,6 +88,9 @@ func RunSBRFloodOpts(ctx context.Context, t *SBRTopology, opts FloodOptions) (*F
 	}
 	if exploit.Repeat < 1 {
 		exploit.Repeat = 1
+	}
+	if opts.Engine == EngineVTime {
+		return runSBRFloodVTime(ctx, t, path, exploit, opts)
 	}
 	probe := measure.NewProbe(t.OriginSeg, t.ClientSeg)
 

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestVTimeFloodMillion is the tentpole target: a million keep-alive
+// clients against a multi-edge topology, finished in seconds of wall
+// time, deterministic across reruns for a fixed seed. Under the race
+// detector the population scales down (the point there is instrumented
+// coverage of the event loop, not throughput).
+func TestVTimeFloodMillion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-client smoke skipped in -short")
+	}
+	workers := 1_000_000
+	if raceEnabled {
+		workers = 20_000
+	}
+	run := func() *ClusterFloodResult {
+		start := time.Now()
+		res, err := RunClusterFlood(context.Background(), nil, ClusterFloodOptions{
+			Nodes:        4,
+			Workers:      workers,
+			PerWorker:    1,
+			KeepAlive:    true,
+			ResourceSize: MiB,
+			Engine:       EngineVTime,
+			VTime:        VTimeOptions{Seed: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wall := time.Since(start); wall > 60*time.Second {
+			t.Fatalf("flood took %v, want < 60s", wall)
+		}
+		return res
+	}
+	res := run()
+	if res.Requests != workers {
+		t.Fatalf("requests = %d, want %d", res.Requests, workers)
+	}
+	if res.Failures != 0 || res.Blocked != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Dials != int64(workers) {
+		t.Errorf("dials = %d, want one keep-alive session per client", res.Dials)
+	}
+	// One full resource per request crossed the origin uplinks.
+	if want := int64(workers) * MiB; res.Amplification.VictimBytes < want {
+		t.Errorf("origin bytes = %d, want >= %d", res.Amplification.VictimBytes, want)
+	}
+	if f := res.Amplification.Factor(); f < 100 {
+		t.Errorf("aggregate factor = %.1f", f)
+	}
+	if res.VirtualDuration <= 0 {
+		t.Errorf("virtual duration = %v", res.VirtualDuration)
+	}
+
+	// Same seed, fresh topology: byte-identical in every quantity.
+	again := run()
+	if res.Amplification != again.Amplification || res.VirtualDuration != again.VirtualDuration ||
+		res.Requests != again.Requests || res.Dials != again.Dials {
+		t.Errorf("rerun diverged:\n  first  %+v\n  second %+v", res, again)
+	}
+	for i := range res.PerNode {
+		if res.PerNode[i] != again.PerNode[i] {
+			t.Errorf("node %d diverged across reruns", i)
+		}
+	}
+}

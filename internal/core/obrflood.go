@@ -1,0 +1,178 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/measure"
+	"repro/internal/netsim"
+	"repro/internal/vtime"
+)
+
+// RunOBRFloodOpts floods an OBR cascade: opts.Workers × opts.PerWorker
+// overlapping-range requests against the front CDN, each with a unique
+// cache-busting query so every one rides the full fcdn->bcdn->origin
+// chain. The returned amplification uses the paper's Table V mixed
+// vantage (application-level fcdn-bcdn victim bytes, capture-level
+// bcdn-origin attacker bytes) aggregated over the whole flood.
+//
+// opts.Engine selects pipe or vtime execution exactly as in
+// RunSBRFloodOpts; opts.KeepAlive is rejected (the OBR client dials per
+// request). Range/ResourceSize are ignored: the overlapping-range plan
+// comes from the cascade's vendor pair.
+func RunOBRFloodOpts(ctx context.Context, t *OBRTopology, opts FloodOptions) (*FloodResult, error) {
+	if opts.KeepAlive {
+		return nil, fmt.Errorf("obr flood: keep-alive sessions unsupported")
+	}
+	path := opts.Path
+	if path == "" {
+		path = TargetPath
+	}
+	if opts.Engine == EngineVTime {
+		return runOBRFloodVTime(ctx, t, path, opts)
+	}
+	probe := measure.NewProbe(t.FcdnBcdnSeg, t.BcdnOriginSeg)
+
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		counts floodCounts
+	)
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opts.PerWorker; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				res, err := RunOBRContext(ctx, t, fmt.Sprintf("%s?cb=w%d-%d", path, w, i), 0)
+				mu.Lock()
+				counts.requests++
+				counts.dials++ // one client->fcdn connection per OBR request
+				switch {
+				case err != nil:
+					counts.failures++
+					if counts.firstErr == nil {
+						counts.firstErr = err
+					}
+				case res.Response.StatusCode == 403 || res.Response.StatusCode == 431:
+					counts.blocked++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	return obrFloodResult(ctx, probe, &counts, 0)
+}
+
+func obrFloodResult(ctx context.Context, probe *measure.Probe, c *floodCounts, virtual time.Duration) (*FloodResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("obr flood: cancelled after %d requests: %w", c.requests, err)
+	}
+	if c.firstErr != nil {
+		return nil, fmt.Errorf("obr flood: %d failures, first: %w", c.failures, c.firstErr)
+	}
+	appDelta := probe.Delta()
+	wireDelta := probe.WireDelta()
+	return &FloodResult{
+		Requests: c.requests,
+		Failures: c.failures,
+		Blocked:  c.blocked,
+		Dials:    c.dials,
+		Amplification: measure.Amplification{
+			VictimBytes:   appDelta.VictimBytes,
+			AttackerBytes: wireDelta.AttackerBytes,
+		},
+		VirtualDuration: virtual,
+	}, nil
+}
+
+// runOBRFloodVTime is the vtime engine over the three-hop cascade:
+// calibrated workers issue real overlapping-range requests, replayed
+// workers chain exchanges upstream-most first (bcdn-origin, fcdn-bcdn,
+// client-fcdn) so each simulated request's traffic lands in causal
+// order along the cascade.
+func runOBRFloodVTime(ctx context.Context, t *OBRTopology, path string, opts FloodOptions) (*FloodResult, error) {
+	probe := measure.NewProbe(t.FcdnBcdnSeg, t.BcdnOriginSeg)
+	sched := opts.VTime.Sched
+	if sched == nil {
+		sched = vtime.NewScheduler()
+	}
+	links := []*vtime.SharedLink{
+		vtime.NewSharedLink(sched, opts.VTime.Upstream), // bcdn -> origin
+		vtime.NewSharedLink(sched, opts.VTime.Upstream), // fcdn -> bcdn
+		vtime.NewSharedLink(sched, opts.VTime.Client),   // client -> fcdn
+	}
+	segs := []*netsim.Segment{t.BcdnOriginSeg, t.FcdnBcdnSeg, t.ClientSeg}
+
+	var (
+		counts    floodCounts
+		templates = map[int]*workerTemplate{}
+		calCount  = map[int]int{}
+	)
+	runReal := func(w int) error {
+		tmpl := &workerTemplate{close: make([]vtime.Delta, len(segs))}
+		for i := 0; i < opts.PerWorker; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			before := snapAll(segs)
+			res, err := RunOBRContext(ctx, t, fmt.Sprintf("%s?cb=w%d-%d", path, w, i), 0)
+			s := reqSample{segs: deltasSince(segs, before)}
+			counts.requests++
+			counts.dials++
+			switch {
+			case err != nil:
+				s.failed = true
+				counts.failures++
+				if counts.firstErr == nil {
+					counts.firstErr = err
+				}
+			case res.Response.StatusCode == 403 || res.Response.StatusCode == 431:
+				s.blocked = true
+				counts.blocked++
+			}
+			tmpl.reqs = append(tmpl.reqs, s)
+		}
+		tmpl.dials = int64(opts.PerWorker)
+		templates[shapeOf(w)] = tmpl
+		return nil
+	}
+	for w := 0; w < opts.Workers; w++ {
+		if d := shapeOf(w); calCount[d] < calPerShape {
+			calCount[d]++
+			if err := runReal(w); err != nil {
+				return nil, fmt.Errorf("obr flood: cancelled after %d requests: %w", counts.requests, err)
+			}
+		}
+	}
+
+	ramp := opts.VTime.Ramp
+	if ramp <= 0 {
+		ramp = time.Second
+	}
+	rng := rand.New(rand.NewSource(opts.VTime.Seed))
+	seen := map[int]int{}
+	for w := 0; w < opts.Workers; w++ {
+		start := arrival(rng, ramp)
+		d := shapeOf(w)
+		if seen[d] < calPerShape {
+			seen[d]++
+			continue
+		}
+		conns := make([]*vtime.Conn, len(segs))
+		for j, seg := range segs {
+			conns[j] = vtime.NewConn(sched, seg, links[j])
+		}
+		replayWorker(sched, start, conns, templates[d], &counts)
+	}
+	if err := sched.Run(ctx); err != nil {
+		return nil, fmt.Errorf("obr flood: cancelled after %d requests: %w", counts.requests, err)
+	}
+	return obrFloodResult(ctx, probe, &counts, sched.Elapsed())
+}

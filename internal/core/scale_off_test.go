@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled scales the big vtime smoke tests down when the race
+// detector multiplies every allocation and atomic op.
+const raceEnabled = false

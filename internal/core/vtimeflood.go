@@ -1,0 +1,315 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/httpwire"
+	"repro/internal/measure"
+	"repro/internal/netsim"
+	"repro/internal/origin"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// Engine selects how a flood executes.
+type Engine string
+
+const (
+	// EnginePipe is the default goroutine-per-worker execution over the
+	// netsim bounded pipes: every request really crosses the stack.
+	EnginePipe Engine = "pipe"
+	// EngineVTime is calibrated discrete-event replay: a handful of
+	// representative workers run for real per request-shape class, and
+	// the rest of the flood is event-driven state on a virtual clock
+	// replaying the calibrated per-segment footprints. Byte totals are
+	// bit-identical to the pipe engine wherever per-request footprints
+	// are stationary (see DESIGN.md §11 for the exact contract).
+	EngineVTime Engine = "vtime"
+)
+
+// VTimeOptions tune the vtime engine. The zero value is a fully
+// deterministic latency-free uncapped run — pure byte accounting at
+// maximum event throughput.
+type VTimeOptions struct {
+	// Seed drives the worker-arrival jitter (and nothing else: the
+	// substrate itself has no randomness). Two runs with the same seed
+	// produce identical results regardless of GOMAXPROCS.
+	Seed int64
+
+	// Ramp is the virtual window worker arrivals spread over.
+	// Zero means 1s.
+	Ramp time.Duration
+
+	// Sched lets the caller own the scheduler, typically to inject its
+	// Now into the run's core.Runtime so metrics exemplars, obs samples
+	// and trace timestamps carry coherent virtual time. Nil means a
+	// private scheduler.
+	Sched *vtime.Scheduler
+
+	// Client and Upstream model the attacker->edge and edge->origin
+	// hops (latency, shared bandwidth, loss). Zero values are
+	// instantaneous uncapped hops.
+	Client   vtime.LinkParams
+	Upstream vtime.LinkParams
+}
+
+// calPerShape is how many workers of each request-shape class run for
+// real before the rest replay. Two, not one: the first real worker of
+// a class may absorb one-time topology transients (size-hint priming,
+// first-touch cache metadata), so the second worker's footprint is the
+// stationary one the replay uses — and the flood's totals still match
+// the pipe engine exactly, because the pipe engine's workers 3..N
+// leave that same stationary footprint.
+const calPerShape = 2
+
+// shapeOf maps a worker index to its request-shape class. The only
+// thing that distinguishes two workers' wire footprint is the length
+// of their cache-busting targets ("?cb=w17-3"), which depends solely on
+// the worker index's decimal digit count (the per-request index runs
+// the same sequence in every worker).
+func shapeOf(w int) int {
+	d := 1
+	for w >= 10 {
+		w /= 10
+		d++
+	}
+	return d
+}
+
+// reqSample is one calibrated request: its per-segment footprint
+// (upstream-most segment first) and its outcome classification.
+type reqSample struct {
+	segs    []vtime.Delta
+	blocked bool
+	failed  bool
+}
+
+// workerTemplate is one calibrated worker: the per-request samples in
+// order, the session-teardown footprint, and the connection economy.
+type workerTemplate struct {
+	reqs  []reqSample
+	close []vtime.Delta
+	dials int64
+}
+
+// floodCounts aggregates a flood's bookkeeping. The vtime engine
+// mutates it from the single event-loop goroutine, so no mutex.
+type floodCounts struct {
+	requests, failures, blocked int
+	dials                       int64
+	firstErr                    error
+}
+
+func snapAll(segs []*netsim.Segment) []netsim.Snapshot {
+	out := make([]netsim.Snapshot, len(segs))
+	for i, s := range segs {
+		out[i] = s.Snapshot()
+	}
+	return out
+}
+
+func deltasSince(segs []*netsim.Segment, before []netsim.Snapshot) []vtime.Delta {
+	out := make([]vtime.Delta, len(segs))
+	for i, s := range segs {
+		out[i] = vtime.SnapDelta(s.Snapshot().Sub(before[i]))
+	}
+	return out
+}
+
+// note records one real request's outcome into the counts and returns
+// its classification for the template.
+func (c *floodCounts) note(resp *httpwire.Response, err error) (blocked, failed bool) {
+	c.requests++
+	switch {
+	case err != nil:
+		c.failures++
+		if c.firstErr == nil {
+			c.firstErr = err
+		}
+		return false, true
+	case resp.StatusCode == 403 || resp.StatusCode == 431:
+		c.blocked++
+		return true, false
+	}
+	return false, false
+}
+
+// replayWorker schedules one simulated worker: at its arrival instant
+// it replays the template's request chain — each request crossing the
+// hops upstream-most first, each hop an event-driven exchange — and
+// applies the session-teardown footprint after the last request.
+func replayWorker(sched *vtime.Scheduler, start time.Duration, conns []*vtime.Conn, tmpl *workerTemplate, c *floodCounts) {
+	if len(tmpl.reqs) == 0 {
+		return
+	}
+	var runReq func(k int)
+	runReq = func(k int) {
+		s := tmpl.reqs[k]
+		var hop func(j int)
+		hop = func(j int) {
+			conns[j].Exchange(s.segs[j], func() {
+				if j+1 < len(conns) {
+					hop(j + 1)
+					return
+				}
+				c.requests++
+				if s.failed {
+					c.failures++
+				}
+				if s.blocked {
+					c.blocked++
+				}
+				if k+1 < len(tmpl.reqs) {
+					runReq(k + 1)
+					return
+				}
+				for j2, conn := range conns {
+					conn.Apply(tmpl.close[j2])
+				}
+				c.dials += tmpl.dials
+			})
+		}
+		hop(0)
+	}
+	sched.After(start, func() { runReq(0) })
+}
+
+// arrival draws the next worker's start jitter. Every worker consumes
+// one draw — calibrated workers too — so the replayed workers' instants
+// do not depend on which workers happened to calibrate.
+func arrival(rng *rand.Rand, ramp time.Duration) time.Duration {
+	return time.Duration(rng.Int63n(int64(ramp)))
+}
+
+// runSBRFloodVTime is RunSBRFloodOpts on the vtime engine: calibrate
+// calPerShape real workers per request-shape class against the live
+// topology, then replay the remaining workers as event-driven state.
+// Traffic totals land on the same segments and registry series as the
+// pipe engine's, bit-identically on stationary configs.
+func runSBRFloodVTime(ctx context.Context, t *SBRTopology, path string, exploit SBRCase, opts FloodOptions) (*FloodResult, error) {
+	probe := measure.NewProbe(t.OriginSeg, t.ClientSeg)
+	sched := opts.VTime.Sched
+	if sched == nil {
+		sched = vtime.NewScheduler()
+	}
+	upLink := vtime.NewSharedLink(sched, opts.VTime.Upstream)
+	downLink := vtime.NewSharedLink(sched, opts.VTime.Client)
+	segs := []*netsim.Segment{t.OriginSeg, t.ClientSeg}
+
+	var (
+		counts    floodCounts
+		templates = map[int]*workerTemplate{}
+		calCount  = map[int]int{}
+	)
+
+	// Calibration phase: real workers run serially (their requests are
+	// traced like pipe-engine requests; replayed workers leave no
+	// spans). Serial execution keeps calibration deterministic.
+	runReal := func(w int) error {
+		tmpl := &workerTemplate{}
+		var session *origin.Client
+		if opts.KeepAlive {
+			session = origin.NewClient(t.Net, t.EdgeAddr, t.ClientSeg)
+			defer func() {
+				st := session.Stats()
+				before := snapAll(segs)
+				session.Close()
+				tmpl.close = deltasSince(segs, before)
+				tmpl.dials = st.Dials
+				counts.dials += st.Dials
+			}()
+		}
+		for i := 0; i < opts.PerWorker; i++ {
+			target := fmt.Sprintf("%s?cb=w%d-%d", path, w, i)
+			for r := 0; r < exploit.Repeat; r++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				req := NewAttackRequest(target)
+				req.Headers.Add("Range", exploit.RangeHeader)
+				sp := t.Trace.StartRoot("attacker", target)
+				if sp.Recording() {
+					sp.SetAttr("range", exploit.RangeHeader)
+					trace.Inject(sp, &req.Headers)
+				}
+				before := snapAll(segs)
+				var (
+					resp *httpwire.Response
+					err  error
+				)
+				if session != nil {
+					resp, err = session.Do(req)
+				} else {
+					resp, err = origin.Fetch(t.Net, t.EdgeAddr, t.ClientSeg, req)
+				}
+				if sp.Recording() {
+					if resp != nil {
+						sp.SetAttrInt("status", int64(resp.StatusCode))
+					}
+					if err != nil {
+						sp.SetAttr("error", err.Error())
+					}
+				}
+				sp.End()
+				s := reqSample{segs: deltasSince(segs, before)}
+				s.blocked, s.failed = counts.note(resp, err)
+				if session == nil {
+					counts.dials++
+				}
+				tmpl.reqs = append(tmpl.reqs, s)
+			}
+		}
+		if session == nil {
+			tmpl.close = make([]vtime.Delta, len(segs))
+			tmpl.dials = int64(opts.PerWorker) * int64(exploit.Repeat)
+		}
+		templates[shapeOf(w)] = tmpl
+		return nil
+	}
+	for w := 0; w < opts.Workers; w++ {
+		if d := shapeOf(w); calCount[d] < calPerShape {
+			calCount[d]++
+			if err := runReal(w); err != nil {
+				return nil, fmt.Errorf("flood: cancelled after %d requests: %w", counts.requests, err)
+			}
+		}
+	}
+
+	// Replay phase: every remaining worker becomes event-driven state.
+	ramp := opts.VTime.Ramp
+	if ramp <= 0 {
+		ramp = time.Second
+	}
+	rng := rand.New(rand.NewSource(opts.VTime.Seed))
+	seen := map[int]int{}
+	for w := 0; w < opts.Workers; w++ {
+		start := arrival(rng, ramp)
+		d := shapeOf(w)
+		if seen[d] < calPerShape {
+			seen[d]++
+			continue
+		}
+		conns := []*vtime.Conn{
+			vtime.NewConn(sched, t.OriginSeg, upLink),
+			vtime.NewConn(sched, t.ClientSeg, downLink),
+		}
+		replayWorker(sched, start, conns, templates[d], &counts)
+	}
+	if err := sched.Run(ctx); err != nil {
+		return nil, fmt.Errorf("flood: cancelled after %d requests: %w", counts.requests, err)
+	}
+	if counts.firstErr != nil {
+		return nil, fmt.Errorf("flood: %d failures, first: %w", counts.failures, counts.firstErr)
+	}
+	return &FloodResult{
+		Requests:        counts.requests,
+		Failures:        counts.failures,
+		Blocked:         counts.blocked,
+		Dials:           counts.dials,
+		Amplification:   probe.Delta(),
+		VirtualDuration: sched.Elapsed(),
+	}, nil
+}

@@ -10,10 +10,12 @@ import (
 )
 
 // expectedNames is the paper-order registry walk `-exp all` performs —
-// exactly the old serial dispatch order.
+// the old serial dispatch order, then the post-paper extensions in
+// registration order.
 var expectedNames = []string{
 	"table1", "table2", "table3", "sbr", "obr", "bandwidth",
 	"bandwidth-all", "mitigation", "corpus", "cost", "h2", "nodes",
+	"vtimeflood",
 }
 
 func TestNamesPaperOrder(t *testing.T) {

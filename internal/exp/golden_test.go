@@ -21,7 +21,7 @@ import (
 // goldenExperiments are the byte-deterministic registry names.
 var goldenExperiments = []string{
 	"table1", "table2", "table3", "obr", "bandwidth",
-	"mitigation", "corpus", "cost", "h2", "nodes",
+	"mitigation", "corpus", "cost", "h2", "nodes", "vtimeflood",
 }
 
 func renderOf(t *testing.T, name string, parallel int) string {

@@ -131,5 +131,14 @@ func init() {
 			return &Result{Tables: []*report.Table{tab}}, nil
 		}))
 
+	Register(Func("vtimeflood", "Virtual-time engine — pipe-identical byte accounting at flood scale",
+		func(ctx context.Context, p Params) (*Result, error) {
+			tab, err := VTimeFloodEnv(ctx, p.Runtime, p.Parallel)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Tables: []*report.Table{tab}}, nil
+		}))
+
 	RegisterAlias("fig6", "sbr")
 }

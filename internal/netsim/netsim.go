@@ -39,27 +39,19 @@ type Traffic struct {
 	Down int64 // server -> client (responses)
 }
 
-// Wire-framing estimate constants, used to approximate what a packet
-// capture on the segment would record (the paper measures some
-// experiments at capture level): TCP/IP/Ethernet framing per MSS-sized
-// segment plus connection setup/teardown packets.
-const (
-	mssBytes           = 1448 // payload per full-size TCP segment
-	perPacketOverhead  = 66   // Ethernet+IP+TCP headers (with timestamps)
-	perConnOverheadDir = 200  // SYN/ACK/FIN exchange, per direction
-)
-
 // Segment aggregates traffic for one hop of the topology. Its counts
 // are mirrored into the process-wide metrics registry under the
 // segment's name, so the same additions that Probe diffs per run are
 // continuously visible on /metrics; Reset zeroes only the per-segment
 // counters, never the registry (which is cumulative by design).
 type Segment struct {
-	Name  string
-	up    atomic.Int64
-	down  atomic.Int64
-	conns atomic.Int64
-	live  atomic.Int64 // connections opened and not yet closed by either end
+	Name    string
+	up      atomic.Int64
+	down    atomic.Int64
+	conns   atomic.Int64
+	live    atomic.Int64 // connections opened and not yet closed by either end
+	closed  atomic.Int64 // clean teardowns (local mirror of the registry counter)
+	aborted atomic.Int64 // mid-transfer teardowns (closer left inbound bytes unread)
 
 	// Registry series handles, resolved once at construction so the
 	// per-byte hot path is two atomic adds and no allocation. All are
@@ -148,14 +140,9 @@ func (s *Segment) WireTraffic() Traffic {
 	t := s.Traffic()
 	conns := s.conns.Load()
 	return Traffic{
-		Up:   frame(t.Up, conns),
-		Down: frame(t.Down, conns),
+		Up:   FrameEstimate(t.Up, conns),
+		Down: FrameEstimate(t.Down, conns),
 	}
-}
-
-func frame(appBytes, conns int64) int64 {
-	packets := (appBytes + mssBytes - 1) / mssBytes
-	return appBytes + packets*perPacketOverhead + conns*perConnOverheadDir
 }
 
 // Reset zeroes the counters (between experiment iterations).
@@ -166,6 +153,8 @@ func (s *Segment) Reset() {
 	s.up.Store(0)
 	s.down.Store(0)
 	s.conns.Store(0)
+	s.closed.Store(0)
+	s.aborted.Store(0)
 }
 
 // AddUp adds client->server bytes (for external transports that count
@@ -197,8 +186,10 @@ func (s *Segment) noteClosed(aborted bool) {
 	s.live.Add(-1)
 	s.gLive.Add(-1)
 	if aborted {
+		s.aborted.Add(1)
 		s.mAborted.Inc()
 	} else {
+		s.closed.Add(1)
 		s.mClosed.Inc()
 	}
 }

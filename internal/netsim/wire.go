@@ -1,0 +1,76 @@
+package netsim
+
+// Wire-framing estimate constants, used to approximate what a packet
+// capture on a segment would record (the paper measures some
+// experiments at capture level): TCP/IP/Ethernet framing per MSS-sized
+// segment plus connection setup/teardown packets. They are exported as
+// the single source of truth for every engine that prices a byte on
+// the wire — Segment.WireTraffic (the pipe substrate's capture-level
+// estimate) and the vtime link models both consume FrameEstimate, so
+// the two engines cannot drift apart on framing.
+const (
+	// MSSBytes is the payload per full-size TCP segment.
+	MSSBytes = 1448
+	// PerPacketOverhead is the Ethernet+IP+TCP header cost per packet
+	// (with timestamps).
+	PerPacketOverhead = 66
+	// PerConnOverheadDir is the SYN/ACK/FIN exchange cost per
+	// connection, per direction.
+	PerConnOverheadDir = 200
+)
+
+// FrameEstimate converts application bytes carried over conns
+// connections into estimated capture-level wire bytes for one
+// direction of a segment.
+func FrameEstimate(appBytes, conns int64) int64 {
+	packets := (appBytes + MSSBytes - 1) / MSSBytes
+	return appBytes + packets*PerPacketOverhead + conns*PerConnOverheadDir
+}
+
+// Snapshot is a full per-segment counter snapshot: traffic in both
+// directions plus the connection lifecycle counts. The vtime engine's
+// calibration phase diffs Snapshots around real requests to learn the
+// exact footprint a request class leaves, then replays those diffs for
+// the simulated remainder of the flood — which is what makes the two
+// engines' totals bit-identical on matched configs.
+type Snapshot struct {
+	Up, Down int64 // application bytes per direction
+	Conns    int64 // connections opened
+	Closed   int64 // connections cleanly closed
+	Aborted  int64 // connections torn down mid-transfer
+}
+
+// Sub returns the counter movement since prev.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	return Snapshot{
+		Up:      s.Up - prev.Up,
+		Down:    s.Down - prev.Down,
+		Conns:   s.Conns - prev.Conns,
+		Closed:  s.Closed - prev.Closed,
+		Aborted: s.Aborted - prev.Aborted,
+	}
+}
+
+// Snapshot captures the segment's current counters.
+func (s *Segment) Snapshot() Snapshot {
+	if s == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		Up:      s.up.Load(),
+		Down:    s.down.Load(),
+		Conns:   s.conns.Load(),
+		Closed:  s.closed.Load(),
+		Aborted: s.aborted.Load(),
+	}
+}
+
+// CloseCounts returns how many of the segment's connections have been
+// cleanly closed versus aborted (torn down with unread inbound bytes).
+// Differential engine tests compare these classifications directly.
+func (s *Segment) CloseCounts() (closed, aborted int64) {
+	if s == nil {
+		return 0, 0
+	}
+	return s.closed.Load(), s.aborted.Load()
+}

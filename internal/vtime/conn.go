@@ -1,0 +1,114 @@
+package vtime
+
+import "repro/internal/netsim"
+
+// Segment is the accounting surface of a netsim segment — exactly the
+// four methods external transports (the TCP bridge, and now the event
+// engine) use to report traffic. *netsim.Segment satisfies it, so a
+// simulated connection feeds the same counters, registry series and
+// live-conn gauges a real pipe connection does.
+type Segment interface {
+	AddConn()
+	ConnClosed(aborted bool)
+	AddUp(n int)
+	AddDown(n int)
+}
+
+var _ Segment = (*netsim.Segment)(nil)
+
+// Delta is the per-segment counter change one replayed exchange
+// applies: the calibrated per-request footprint a real request left on
+// a segment (netsim.Snapshot diffs convert directly via SnapDelta).
+type Delta struct {
+	Up, Down               int64
+	Conns, Closed, Aborted int64
+}
+
+// SnapDelta converts a netsim snapshot difference into a replayable
+// exchange delta.
+func SnapDelta(d netsim.Snapshot) Delta {
+	return Delta{Up: d.Up, Down: d.Down, Conns: d.Conns, Closed: d.Closed, Aborted: d.Aborted}
+}
+
+// addBytes feeds an int64 byte count through netsim's int-typed
+// accounting hooks in bounded chunks.
+func addBytes(add func(int), n int64) {
+	const chunk = 1 << 30
+	for n > chunk {
+		add(chunk)
+		n -= chunk
+	}
+	if n > 0 {
+		add(int(n))
+	}
+}
+
+// Conn is a simulated connection: event-driven client state standing
+// in for the goroutine + bounded-pipe pair of the real substrate. It
+// applies calibrated per-request deltas to its segment at virtual
+// instants determined by the link model, so counters advance exactly
+// as the pipe engine's would while the scheduler, not the Go runtime,
+// carries the concurrency.
+type Conn struct {
+	s    *Scheduler
+	seg  Segment
+	link *SharedLink
+}
+
+// NewConn returns a connection on seg whose response transfers are
+// paced by link (nil means an instantaneous hop).
+func NewConn(s *Scheduler, seg Segment, link *SharedLink) *Conn {
+	return &Conn{s: s, seg: seg, link: link}
+}
+
+// Open records the connection opening now (keep-alive sessions whose
+// dial is folded into their first exchange's delta skip this).
+func (c *Conn) Open() { c.seg.AddConn() }
+
+// Close records the teardown now.
+func (c *Conn) Close(aborted bool) { c.seg.ConnClosed(aborted) }
+
+// Apply applies a full delta at the current virtual instant, with no
+// transfer time — session-close footprints replay through this.
+func (c *Conn) Apply(d Delta) {
+	applyOpen(c.seg, d)
+	applyCloseSide(c.seg, d)
+}
+
+// Exchange models one request/response: the request-side counters
+// (connection opens, up bytes) apply immediately, the response-side
+// counters (down bytes, closes) apply when the down transfer clears
+// the link, and then done fires. done may start the next exchange —
+// chained exchanges on one Conn serialize the way requests on one
+// keep-alive session do.
+func (c *Conn) Exchange(d Delta, done func()) {
+	applyOpen(c.seg, d)
+	finish := func() {
+		applyCloseSide(c.seg, d)
+		if done != nil {
+			done()
+		}
+	}
+	if c.link == nil {
+		c.s.After(0, finish)
+		return
+	}
+	c.link.Transfer(d.Down, finish)
+}
+
+func applyOpen(seg Segment, d Delta) {
+	for i := int64(0); i < d.Conns; i++ {
+		seg.AddConn()
+	}
+	addBytes(seg.AddUp, d.Up)
+}
+
+func applyCloseSide(seg Segment, d Delta) {
+	addBytes(seg.AddDown, d.Down)
+	for i := int64(0); i < d.Closed; i++ {
+		seg.ConnClosed(false)
+	}
+	for i := int64(0); i < d.Aborted; i++ {
+		seg.ConnClosed(true)
+	}
+}

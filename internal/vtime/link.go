@@ -1,0 +1,204 @@
+package vtime
+
+import (
+	"container/heap"
+	"math"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// FluidLink is the tick-integrated fair-share link model that has
+// always been behind bwsim's Fig 7 curves, extracted so the bandwidth
+// experiment and the event engine share one discipline. Every active
+// flow receives an equal share of the per-tick byte budget; a flow
+// whose remainder drops below the epsilon completes within that tick.
+//
+// The arithmetic here is pinned by the Fig 7 goldens: Tick must apply
+// the same floating-point operations in the same order as the original
+// bwsim integration loop, so do not "simplify" the accumulation.
+type FluidLink struct {
+	// CapBytesPerSec is the link capacity. The fluid model has no
+	// uncapped form — the budget is what creates the Fig 7 saturation
+	// knee.
+	CapBytesPerSec float64
+
+	flows []float64 // remaining wire bytes per in-flight transfer
+	sent  float64   // bytes served since the last Drain
+	done  int       // flows completed since the last Drain
+}
+
+// Offer adds one in-flight transfer of the given wire size.
+func (l *FluidLink) Offer(wireBytes float64) { l.flows = append(l.flows, wireBytes) }
+
+// Active returns the number of in-flight transfers.
+func (l *FluidLink) Active() int { return len(l.flows) }
+
+// Tick integrates one step of length dt seconds: the byte budget
+// cap*dt is split evenly across the active flows.
+func (l *FluidLink) Tick(dt float64) {
+	if len(l.flows) == 0 {
+		return
+	}
+	budget := l.CapBytesPerSec * dt
+	share := budget / float64(len(l.flows))
+	next := l.flows[:0]
+	for _, rem := range l.flows {
+		sent := math.Min(rem, share)
+		l.sent += sent
+		rem -= sent
+		if rem > 1e-9 {
+			next = append(next, rem)
+		} else {
+			l.done++
+		}
+	}
+	l.flows = next
+}
+
+// Drain returns and resets the served-byte and completed-flow
+// accumulators — one Fig 7 sampling instant.
+func (l *FluidLink) Drain() (sentBytes float64, completed int) {
+	sentBytes, completed = l.sent, l.done
+	l.sent, l.done = 0, 0
+	return
+}
+
+// LinkParams model one hop for the event engine.
+type LinkParams struct {
+	// Latency is the one-way propagation delay added after a transfer
+	// completes (zero is fine for pure-accounting runs).
+	Latency time.Duration
+
+	// BytesPerSec is the shared capacity. Zero or negative means
+	// uncapped: transfers complete after Latency alone, which is the
+	// cheap default for byte-accounting floods (no per-flow heap work).
+	BytesPerSec float64
+
+	// Loss is the packet loss fraction in [0,1). The fluid treatment
+	// inflates a transfer's wire time by 1/(1-Loss) — retransmissions
+	// consume capacity — without touching application-byte accounting.
+	Loss float64
+}
+
+// wireSize converts application bytes to modelled wire bytes using the
+// shared netsim framing constants, so the engines cannot drift apart
+// on what a byte on the link costs.
+func (p LinkParams) wireSize(appBytes int64) float64 {
+	wire := float64(netsim.FrameEstimate(appBytes, 0))
+	if p.Loss > 0 && p.Loss < 1 {
+		wire /= 1 - p.Loss
+	}
+	return wire
+}
+
+// sharedFlow is one transfer on a SharedLink: it completes when the
+// link's cumulative per-flow service reaches its target.
+type sharedFlow struct {
+	target float64 // service level at which the flow completes
+	seq    uint64
+	done   func()
+}
+
+type flowHeap []sharedFlow
+
+func (h flowHeap) Len() int { return len(h) }
+func (h flowHeap) Less(i, j int) bool {
+	if h[i].target != h[j].target {
+		return h[i].target < h[j].target
+	}
+	return h[i].seq < h[j].seq
+}
+func (h flowHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *flowHeap) Push(x interface{}) { *h = append(*h, x.(sharedFlow)) }
+func (h *flowHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	f := old[n-1]
+	old[n-1] = sharedFlow{}
+	*h = old[:n-1]
+	return f
+}
+
+// SharedLink is the event-driven (continuous-time) limit of FluidLink:
+// processor-sharing with exact completion instants instead of tick
+// integration. It tracks the cumulative service S(t) every active flow
+// has received; a flow of W wire bytes arriving at time t completes
+// when S reaches S(t)+W, so arrivals and completions are O(log n) heap
+// operations — the trick that lets one link carry a million concurrent
+// flows without per-tick work proportional to their number.
+type SharedLink struct {
+	s *Scheduler
+	p LinkParams
+
+	service   float64 // cumulative per-flow service while the link is busy
+	lastNanos int64   // virtual instant service was last advanced to
+	flows     flowHeap
+	seq       uint64
+	timerGen  uint64 // invalidates stale completion timers
+}
+
+// NewSharedLink returns a link driven by s. Zero-valued params are a
+// latency-free uncapped hop.
+func NewSharedLink(s *Scheduler, p LinkParams) *SharedLink {
+	return &SharedLink{s: s, p: p}
+}
+
+// InFlight returns the number of active transfers (capped links only).
+func (l *SharedLink) InFlight() int { return len(l.flows) }
+
+// Transfer schedules done after appBytes have crossed the hop: the
+// shared-capacity service time (exact processor-sharing) plus the
+// one-way latency. Uncapped links complete after latency alone.
+func (l *SharedLink) Transfer(appBytes int64, done func()) {
+	if l.p.BytesPerSec <= 0 {
+		l.s.After(l.p.Latency, done)
+		return
+	}
+	l.advance()
+	l.seq++
+	heap.Push(&l.flows, sharedFlow{target: l.service + l.p.wireSize(appBytes), seq: l.seq, done: done})
+	l.rearm()
+}
+
+// advance accrues service up to the current virtual instant.
+func (l *SharedLink) advance() {
+	now := l.s.NowNanos()
+	if n := len(l.flows); n > 0 && now > l.lastNanos {
+		dt := float64(now-l.lastNanos) / 1e9
+		l.service += dt * l.p.BytesPerSec / float64(n)
+	}
+	l.lastNanos = now
+}
+
+// rearm points the single completion timer at the earliest-finishing
+// flow. Generation counting voids timers made stale by later arrivals
+// (an arrival slows everyone down, pushing completions out).
+func (l *SharedLink) rearm() {
+	l.timerGen++
+	if len(l.flows) == 0 {
+		return
+	}
+	gen := l.timerGen
+	remaining := l.flows[0].target - l.service
+	if remaining < 0 {
+		remaining = 0
+	}
+	dtNanos := int64(math.Ceil(remaining * float64(len(l.flows)) / l.p.BytesPerSec * 1e9))
+	l.s.At(l.s.NowNanos()+dtNanos, func() { l.fire(gen) })
+}
+
+// fire completes every flow whose target the accrued service has
+// reached, then rearms for the next one.
+func (l *SharedLink) fire(gen uint64) {
+	if gen != l.timerGen {
+		return
+	}
+	l.advance()
+	const eps = 1e-6 // float slack on the ceil'd timer instant
+	for len(l.flows) > 0 && l.flows[0].target <= l.service+eps {
+		f := heap.Pop(&l.flows).(sharedFlow)
+		l.s.After(l.p.Latency, f.done)
+	}
+	l.rearm()
+}

@@ -1,0 +1,145 @@
+// Package vtime is the discrete-event simulation substrate behind the
+// "-engine=vtime" flood paths: a priority-queue event loop over a
+// virtual clock, link models (the exact fluid discipline bwsim's Fig 7
+// integration uses, plus its continuous-limit processor-sharing form),
+// and an event-driven simulated connection that drives the same
+// netsim segment-accounting surface real pipe connections do.
+//
+// The pipe engine simulates a flood by running it: one goroutine and
+// two bounded in-memory pipes per connection. That reproduces the
+// paper's byte counts faithfully but caps concurrency at a few
+// thousand clients. The vtime engine replaces goroutines with events:
+// each client is a little state machine whose transitions are heap
+// entries ordered by (virtual time, sequence number), so a
+// million-client keep-alive flood is just a few million heap
+// operations — seconds of wall time, no scheduler pressure, and
+// deterministic for a given seed regardless of GOMAXPROCS, because the
+// event loop is single-threaded and ties break on sequence number.
+//
+// Concurrency contract: Scheduler.Now / NowNanos / Elapsed are safe to
+// call from any goroutine (the obs sampler reads the clock while a
+// flood runs); everything else — After, At, Step, Run, and every event
+// callback — belongs to the single goroutine driving the loop.
+package vtime
+
+import (
+	"container/heap"
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Epoch is the fixed origin of every virtual clock. A constant epoch
+// (rather than time.Now at construction) keeps run output byte-stable:
+// two runs of the same seed produce identical virtual timestamps.
+var Epoch = time.Date(2020, time.June, 29, 0, 0, 0, 0, time.UTC)
+
+// event is one scheduled callback. seq breaks timestamp ties in
+// scheduling order, which is what makes the loop deterministic.
+type event struct {
+	at  int64 // virtual nanoseconds since Epoch
+	seq uint64
+	fn  func()
+}
+
+// eventQueue is a min-heap over (at, seq).
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = event{}
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler is a single-threaded discrete-event loop with a virtual
+// clock. Its Now method is shaped for injection into core.Runtime.Now,
+// so metrics exemplars, trace spans and obs samples taken during a
+// vtime run carry coherent virtual timestamps.
+type Scheduler struct {
+	now atomic.Int64 // virtual nanos since Epoch; atomic so observers can read concurrently
+	q   eventQueue
+	seq uint64
+}
+
+// NewScheduler returns an empty scheduler at virtual time Epoch.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time. Safe for concurrent use.
+func (s *Scheduler) Now() time.Time { return Epoch.Add(time.Duration(s.now.Load())) }
+
+// NowNanos returns virtual nanoseconds since Epoch. Safe for
+// concurrent use.
+func (s *Scheduler) NowNanos() int64 { return s.now.Load() }
+
+// Elapsed returns the virtual time consumed so far. Safe for
+// concurrent use.
+func (s *Scheduler) Elapsed() time.Duration { return time.Duration(s.now.Load()) }
+
+// After schedules fn at now+d (a non-positive d means "immediately
+// after the current event", still in deterministic sequence order).
+func (s *Scheduler) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now.Load()+int64(d), fn)
+}
+
+// At schedules fn at the absolute virtual instant t (nanoseconds since
+// Epoch). Instants in the past run at the current virtual time — the
+// clock never moves backwards.
+func (s *Scheduler) At(t int64, fn func()) {
+	if now := s.now.Load(); t < now {
+		t = now
+	}
+	s.seq++
+	heap.Push(&s.q, event{at: t, seq: s.seq, fn: fn})
+}
+
+// Pending returns the number of scheduled events.
+func (s *Scheduler) Pending() int { return len(s.q) }
+
+// Step runs the single earliest event, advancing the clock to its
+// instant. It reports false when the queue is empty.
+func (s *Scheduler) Step() bool {
+	if len(s.q) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.q).(event)
+	s.now.Store(e.at)
+	e.fn()
+	return true
+}
+
+// ctxCheckEvery bounds how stale a cancellation can go unnoticed:
+// ctx.Err is one atomic load, so checking every event would still be
+// cheap, but a power-of-two stride keeps the hot loop branch-free.
+const ctxCheckEvery = 8192
+
+// Run drains the queue, advancing the clock event by event, until no
+// events remain or ctx is cancelled. Callbacks may schedule further
+// events. A cancelled run returns ctx.Err(); the virtual clock and any
+// accounting already applied stay at the point of cancellation.
+func (s *Scheduler) Run(ctx context.Context) error {
+	for i := 0; ; i++ {
+		if i%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if !s.Step() {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package vtime
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.After(3*time.Second, func() { got = append(got, 3) })
+	s.After(1*time.Second, func() { got = append(got, 1) })
+	// Same-instant events run in scheduling order (seq breaks the tie).
+	s.After(2*time.Second, func() { got = append(got, 20) })
+	s.After(2*time.Second, func() { got = append(got, 21) })
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 20, 21, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e := s.Elapsed(); e != 3*time.Second {
+		t.Errorf("elapsed = %v, want 3s", e)
+	}
+}
+
+func TestSchedulerClockNeverRewinds(t *testing.T) {
+	s := NewScheduler()
+	s.After(time.Second, func() {
+		// Scheduling into the past clamps to now.
+		s.At(0, func() {
+			if s.Elapsed() != time.Second {
+				t.Errorf("clock rewound to %v", s.Elapsed())
+			}
+		})
+		s.After(-time.Hour, func() {})
+	})
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("pending = %d after drain", s.Pending())
+	}
+}
+
+func TestSchedulerCascade(t *testing.T) {
+	// Events scheduling events: a chain of N self-scheduled steps runs
+	// to completion and advances the clock by N ticks.
+	s := NewScheduler()
+	const n = 100000
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < n {
+			s.After(time.Millisecond, step)
+		}
+	}
+	s.After(0, step)
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("ran %d events, want %d", count, n)
+	}
+	if e := s.Elapsed(); e != (n-1)*time.Millisecond {
+		t.Errorf("elapsed = %v", e)
+	}
+}
+
+func TestSchedulerRunCancel(t *testing.T) {
+	s := NewScheduler()
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	var step func()
+	step = func() {
+		ran++
+		if ran == 10 {
+			cancel()
+		}
+		s.After(time.Millisecond, step)
+	}
+	s.After(0, step)
+	if err := s.Run(ctx); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The loop checks ctx on a stride; it must stop within one stride.
+	if ran > 10+ctxCheckEvery {
+		t.Errorf("ran %d events after cancellation", ran)
+	}
+}
+
+// TestSchedulerConcurrentObservers is the -race coverage for the
+// documented concurrency contract: Now/NowNanos/Elapsed from other
+// goroutines while the loop runs.
+func TestSchedulerConcurrentObservers(t *testing.T) {
+	s := NewScheduler()
+	const n = 20000
+	for i := 0; i < n; i++ {
+		s.After(time.Duration(i)*time.Microsecond, func() {})
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last int64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if now := s.NowNanos(); now < last {
+					t.Error("observed clock went backwards")
+					return
+				} else {
+					last = now
+				}
+				_ = s.Now()
+				_ = s.Elapsed()
+			}
+		}()
+	}
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if e := s.Elapsed(); e != (n-1)*time.Microsecond {
+		t.Errorf("elapsed = %v", e)
+	}
+}
+
+// TestFluidLinkMatchesReference pins the extracted fluid discipline
+// against an inline re-implementation of the original bwsim loop body:
+// same flows, same ticks, bit-identical accumulators.
+func TestFluidLinkMatchesReference(t *testing.T) {
+	link := &FluidLink{CapBytesPerSec: 125e6}
+	var refFlows []float64
+	refSent, refDone := 0.0, 0
+
+	offer := func(w float64) {
+		link.Offer(w)
+		refFlows = append(refFlows, w)
+	}
+	tick := func(dt float64) {
+		link.Tick(dt)
+		if len(refFlows) == 0 {
+			return
+		}
+		budget := 125e6 * dt
+		share := budget / float64(len(refFlows))
+		next := refFlows[:0]
+		for _, rem := range refFlows {
+			sent := math.Min(rem, share)
+			refSent += sent
+			rem -= sent
+			if rem > 1e-9 {
+				next = append(next, rem)
+			} else {
+				refDone++
+			}
+		}
+		refFlows = next
+	}
+
+	for sec := 0; sec < 5; sec++ {
+		for i := 0; i < 7; i++ {
+			offer(25.7e6 * 1.027)
+		}
+		for i := 0; i < 10; i++ {
+			tick(0.1)
+		}
+	}
+	sent, done := link.Drain()
+	if sent != refSent || done != refDone {
+		t.Fatalf("link (%v, %d) != reference (%v, %d)", sent, done, refSent, refDone)
+	}
+	if link.Active() != len(refFlows) {
+		t.Fatalf("active %d != reference %d", link.Active(), len(refFlows))
+	}
+}
+
+func TestSharedLinkUncappedLatency(t *testing.T) {
+	s := NewScheduler()
+	l := NewSharedLink(s, LinkParams{Latency: 30 * time.Millisecond})
+	var doneAt time.Duration
+	l.Transfer(1<<20, func() { doneAt = s.Elapsed() })
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if doneAt != 30*time.Millisecond {
+		t.Errorf("uncapped transfer completed at %v, want latency alone", doneAt)
+	}
+}
+
+func TestSharedLinkProcessorSharing(t *testing.T) {
+	// One flow alone on a 1 MB/s link: W wire bytes take W/rate seconds.
+	// Two simultaneous equal flows: each takes twice as long.
+	const rate = 1e6
+	app := int64(500 << 10)
+	wire := float64(netsim.FrameEstimate(app, 0))
+
+	elapsedFor := func(flows int) time.Duration {
+		s := NewScheduler()
+		l := NewSharedLink(s, LinkParams{BytesPerSec: rate})
+		var last time.Duration
+		for i := 0; i < flows; i++ {
+			l.Transfer(app, func() { last = s.Elapsed() })
+		}
+		if err := s.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return last
+	}
+	one := elapsedFor(1)
+	two := elapsedFor(2)
+	wantOne := time.Duration(wire / rate * 1e9)
+	if d := one - wantOne; d < -time.Microsecond || d > time.Microsecond {
+		t.Errorf("single flow = %v, want ~%v", one, wantOne)
+	}
+	if d := two - 2*wantOne; d < -time.Microsecond || d > time.Microsecond {
+		t.Errorf("two shared flows = %v, want ~%v", two, 2*wantOne)
+	}
+}
+
+func TestSharedLinkLateArrivalSlowsEveryone(t *testing.T) {
+	// A flow arriving halfway through another's transfer pushes the
+	// first completion out: processor sharing, not FIFO.
+	const rate = 1e6
+	app := int64(500 << 10)
+	wire := float64(netsim.FrameEstimate(app, 0))
+	s := NewScheduler()
+	l := NewSharedLink(s, LinkParams{BytesPerSec: rate})
+	var first, second time.Duration
+	l.Transfer(app, func() { first = s.Elapsed() })
+	half := time.Duration(wire / rate / 2 * 1e9)
+	s.After(half, func() {
+		l.Transfer(app, func() { second = s.Elapsed() })
+	})
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// First flow: half solo, then shares — total 1.5x the solo time.
+	wantFirst := time.Duration(1.5 * wire / rate * 1e9)
+	if d := first - wantFirst; d < -time.Microsecond || d > time.Microsecond {
+		t.Errorf("first completion = %v, want ~%v", first, wantFirst)
+	}
+	// Second flow: shares until t=1.5x (served half), then solo — done
+	// at 2x solo time.
+	wantSecond := time.Duration(2 * wire / rate * 1e9)
+	if d := second - wantSecond; d < -time.Microsecond || d > time.Microsecond {
+		t.Errorf("second completion = %v, want ~%v", second, wantSecond)
+	}
+	if l.InFlight() != 0 {
+		t.Errorf("in-flight = %d after drain", l.InFlight())
+	}
+}
+
+func TestSharedLinkLossInflatesWireTime(t *testing.T) {
+	const rate = 1e6
+	app := int64(100 << 10)
+	elapsed := func(loss float64) time.Duration {
+		s := NewScheduler()
+		l := NewSharedLink(s, LinkParams{BytesPerSec: rate, Loss: loss})
+		var done time.Duration
+		l.Transfer(app, func() { done = s.Elapsed() })
+		if err := s.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return done
+	}
+	clean := elapsed(0)
+	lossy := elapsed(0.5)
+	ratio := float64(lossy) / float64(clean)
+	if ratio < 1.99 || ratio > 2.01 {
+		t.Errorf("50%% loss inflated time by %.3fx, want ~2x", ratio)
+	}
+}
+
+// TestConnExchangeOrdering: the request side of an exchange lands
+// immediately, the response side only after the link clears it, and
+// chained exchanges serialize.
+func TestConnExchangeOrdering(t *testing.T) {
+	s := NewScheduler()
+	seg := &recordingSegment{}
+	l := NewSharedLink(s, LinkParams{Latency: 10 * time.Millisecond})
+	c := NewConn(s, seg, l)
+	d := Delta{Up: 100, Down: 5000, Conns: 1, Closed: 1}
+	var doneAt time.Duration
+	c.Exchange(d, func() { doneAt = s.Elapsed() })
+	if seg.up != 100 || seg.conns != 1 {
+		t.Fatalf("request side not applied immediately: %+v", *seg)
+	}
+	if seg.down != 0 || seg.closed != 0 {
+		t.Fatalf("response side applied early: %+v", *seg)
+	}
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if seg.down != 5000 || seg.closed != 1 {
+		t.Errorf("response side missing: %+v", *seg)
+	}
+	if doneAt != 10*time.Millisecond {
+		t.Errorf("done at %v, want link latency", doneAt)
+	}
+}
+
+type recordingSegment struct {
+	up, down        int64
+	conns           int
+	closed, aborted int
+}
+
+func (r *recordingSegment) AddConn()      { r.conns++ }
+func (r *recordingSegment) AddUp(n int)   { r.up += int64(n) }
+func (r *recordingSegment) AddDown(n int) { r.down += int64(n) }
+func (r *recordingSegment) ConnClosed(aborted bool) {
+	if aborted {
+		r.aborted++
+	} else {
+		r.closed++
+	}
+}
