@@ -31,19 +31,26 @@ check:
 	$(GO) test -race ./internal/exp ./internal/core ./internal/cluster ./internal/metrics ./internal/trace ./internal/multipart ./internal/httpwire ./internal/netsim ./internal/resource ./internal/cdn ./internal/cache ./internal/origin ./internal/obs ./internal/campaign ./internal/transport ./internal/vtime ./cmd/origind ./cmd/cdnsim ./cmd/attack ./cmd/rangeamp
 
 # Regenerates the paper's headline numbers as custom bench metrics,
-# snapshots the full suite into BENCH_PR9.json (schema in DESIGN.md),
-# prints the per-benchmark delta against the previous PR's snapshot,
-# and gates on the parallel-scheduler speedup (skipped automatically
-# on runners with fewer than 8 procs, where it cannot manifest).
+# snapshots the full suite into BENCH_PR10.json (schema in DESIGN.md),
+# prints the per-benchmark delta against the previous PR's snapshot
+# (now including allocs/op columns), gates on the parallel-scheduler
+# speedup (skipped automatically on runners with fewer than 8 procs,
+# where it cannot manifest), and pins the allocation-free event core:
+# the 1M-client vtime flood must stay within 100k allocs/op and the
+# full experiment sweep within 1M (it sat at 3.8M before the typed
+# event records landed).
 bench:
-	$(GO) test -bench=. -benchmem -count=1 ./... | $(GO) run ./cmd/benchjson -out BENCH_PR9.json -compare BENCH_PR6.json -ratio 'BenchmarkExpAll/parallel=8,BenchmarkExpAll/parallel=1,0.67'
+	$(GO) test -bench=. -benchmem -count=1 ./... | $(GO) run ./cmd/benchjson -out BENCH_PR10.json -compare BENCH_PR9.json -ratio 'BenchmarkExpAll/parallel=8,BenchmarkExpAll/parallel=1,0.67' -allocs 'BenchmarkFloodVTime1M,100000;BenchmarkExpAll/parallel=1,1000000'
 
-# The virtual-time engine's tentpole contract: a million-client
-# keep-alive flood on the discrete-event engine finishes under 60s of
-# wall time and a seed-repeated run is byte-identical (the test reruns
-# itself and compares every quantity).
+# The virtual-time engine's tentpole contract: a million-client and a
+# ten-million-client keep-alive flood on the discrete-event engine each
+# finish under 60s of wall time and a seed-repeated run is
+# byte-identical (both tests rerun themselves and compare every
+# quantity). The 10M tier opts in via RANGEAMP_VTIME_10M so plain
+# `go test ./...` stays light.
 vtime-smoke:
 	$(GO) test -run TestVTimeFloodMillion -count=1 -v ./internal/core
+	RANGEAMP_VTIME_10M=1 $(GO) test -run TestVTimeFlood10M -count=1 -v -timeout 10m ./internal/core
 
 # Short fuzzing pass over the three wire parsers.
 fuzz:

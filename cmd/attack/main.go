@@ -46,6 +46,7 @@ import (
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/vendor"
+	"repro/internal/vtime"
 )
 
 func main() {
@@ -92,6 +93,12 @@ func run(args []string, out io.Writer) error {
 	if *traceSample > 0 {
 		trace.Default.Configure(trace.Config{SampleEvery: *traceSample, Capacity: 512})
 	}
+	// A vtime -sim run owns its scheduler here, so the live telemetry
+	// engine can sample on the virtual clock instead of a wall ticker.
+	var sched *vtime.Scheduler
+	if *sim && core.Engine(*engine) == core.EngineVTime {
+		sched = vtime.NewScheduler()
+	}
 	if *metricsAddr != "" {
 		ml, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
@@ -111,8 +118,24 @@ func run(args []string, out io.Writer) error {
 				ocfg = obs.Config{VictimSegment: "node0-upstream", AttackerSegment: "node0-client"}
 			}
 		}
+		if sched != nil {
+			ocfg.Now = sched.Now
+		}
 		live := obs.New(ocfg)
-		live.Start()
+		if sched != nil {
+			// Virtual-clock sampling: frames land at exact virtual
+			// instants (one per simulated interval), not wherever a wall
+			// ticker happens to fire relative to event-loop progress.
+			// A short virtual span drains in one burst at the end of the
+			// event loop, so linger briefly after Stop — Stop closes the
+			// subscriber channels, and the pause lets /debug/live SSE
+			// consumers drain their buffered final frames before the
+			// process exits (defers run LIFO: Stop, then the sleep).
+			scheduleVirtualSampling(sched, live, obs.DefaultInterval)
+			defer time.Sleep(100 * time.Millisecond)
+		} else {
+			live.Start()
+		}
 		defer live.Stop()
 		mux := metrics.NewDebugMux(metrics.Default)
 		mux.Handle("/debug/traces", trace.Default.Handler())
@@ -122,7 +145,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *sim {
-		if err := runSim(*engine, *vendorName, *sizeBytes, *workers, *perWorker, *edges, *keepAlive, *seed, out); err != nil {
+		if err := runSim(*engine, *vendorName, *sizeBytes, *workers, *perWorker, *edges, *keepAlive, *seed, sched, out); err != nil {
 			return err
 		}
 		if *traceOut != "" {
@@ -236,7 +259,7 @@ func runMode(mode string, sendFn sendFunc, edgeAddr, path, host, vendorName stri
 // discrete-event state, so populations in the millions complete in
 // seconds of wall time with byte accounting identical to the pipe
 // engine's.
-func runSim(engineName, vendorName string, sizeBytes int64, workers, perWorker, edges int, keepAlive bool, seed int64, out io.Writer) error {
+func runSim(engineName, vendorName string, sizeBytes int64, workers, perWorker, edges int, keepAlive bool, seed int64, sched *vtime.Scheduler, out io.Writer) error {
 	eng := core.Engine(engineName)
 	switch eng {
 	case "", core.EnginePipe, core.EngineVTime:
@@ -264,7 +287,7 @@ func runSim(engineName, vendorName string, sizeBytes int64, workers, perWorker, 
 			KeepAlive:    keepAlive,
 			ResourceSize: sizeBytes,
 			Engine:       eng,
-			VTime:        core.VTimeOptions{Seed: seed},
+			VTime:        core.VTimeOptions{Seed: seed, Sched: sched},
 		})
 		if err != nil {
 			return err
@@ -288,7 +311,7 @@ func runSim(engineName, vendorName string, sizeBytes int64, workers, perWorker, 
 		PerWorker:    perWorker,
 		KeepAlive:    keepAlive,
 		Engine:       eng,
-		VTime:        core.VTimeOptions{Seed: seed},
+		VTime:        core.VTimeOptions{Seed: seed, Sched: sched},
 	})
 	if err != nil {
 		return err
@@ -296,6 +319,26 @@ func runSim(engineName, vendorName string, sizeBytes int64, workers, perWorker, 
 	printSimResult(out, res.Requests, res.Blocked, res.Dials,
 		res.Amplification, res.VirtualDuration, time.Since(start))
 	return nil
+}
+
+// scheduleVirtualSampling replaces the live engine's wall-clock ticker
+// with events on the flood's virtual clock: a baseline sample at
+// virtual zero, then one frame per virtual interval for as long as the
+// flood has events pending. Each tick flushes the scheduler's batched
+// accounting first, so the frame's counters are exact at its instant —
+// /debug/live frames from a vtime run carry virtual-time-exact rates
+// and virtual (Epoch-based) timestamps.
+func scheduleVirtualSampling(sched *vtime.Scheduler, live *obs.Engine, interval time.Duration) {
+	live.Sample() // baseline frame: establishes t0, not published
+	var tick func()
+	tick = func() {
+		sched.Flush()
+		live.Sample()
+		if sched.Pending() > 0 {
+			sched.After(interval, tick)
+		}
+	}
+	sched.After(interval, tick)
 }
 
 func printSimResult(out io.Writer, requests, blocked int, dials int64, amp measure.Amplification, virtual, wall time.Duration) {

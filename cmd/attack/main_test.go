@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"os"
@@ -8,11 +9,16 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/origin"
 	"repro/internal/resource"
 	"repro/internal/trace"
 	"repro/internal/transport"
+	"repro/internal/vtime"
 )
 
 func TestRunUnknownMode(t *testing.T) {
@@ -260,6 +266,62 @@ func TestRunSim(t *testing.T) {
 	cl := ampLine(append(base, "-engine", "vtime", "-edges", "3")...)
 	if !strings.Contains(cl, "factor") {
 		t.Errorf("cluster run output %q", cl)
+	}
+}
+
+// TestScheduleVirtualSampling pins the vtime live-telemetry contract:
+// frames land at exact one-interval virtual instants (Epoch-based
+// timestamps, IntervalMS exactly 1000), sampling stops when the event
+// queue drains, and each tick flushes batched accounting first so the
+// window rates see the traffic applied up to its instant.
+func TestScheduleVirtualSampling(t *testing.T) {
+	reg := metrics.New()
+	sched := vtime.NewScheduler()
+	seg := netsim.NewSegmentIn(reg, obs.DefaultVictimSegment)
+	live := obs.New(obs.Config{Registry: reg, Now: sched.Now})
+	scheduleVirtualSampling(sched, live, time.Second)
+
+	// Traffic mid-window via a segment batch: only a flushing tick can
+	// see it.
+	batch := vtime.NewSegmentBatch(sched, seg)
+	for i := 0; i < 3; i++ {
+		at := time.Duration(i)*time.Second + 500*time.Millisecond
+		sched.After(at, func() { batch.Apply(vtime.Delta{Down: 1 << 20}) })
+	}
+	if err := sched.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	frames := live.Frames()
+	if len(frames) != 3 {
+		t.Fatalf("frames = %d, want one per virtual second", len(frames))
+	}
+	for i, f := range frames {
+		want := vtime.Epoch.Add(time.Duration(i+1) * time.Second)
+		if !f.Time.Equal(want) {
+			t.Errorf("frame %d at %v, want virtual instant %v", i, f.Time, want)
+		}
+		if f.IntervalMS != 1000 {
+			t.Errorf("frame %d interval = %dms, want exactly 1000", i, f.IntervalMS)
+		}
+		if f.Amp.VictimBps != 1<<20 {
+			t.Errorf("frame %d victim rate = %d, want the flushed window bytes", i, f.Amp.VictimBps)
+		}
+	}
+}
+
+// TestRunSimVTimeMetrics runs the wired-up path end to end: -sim
+// -engine vtime with a metrics listener must complete and report.
+func TestRunSimVTimeMetrics(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-sim", "-engine", "vtime", "-workers", "16", "-keepalive",
+		"-size", "1048576", "-metrics-addr", "127.0.0.1:0",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := b.String(); !strings.Contains(out, "amplification factor") {
+		t.Errorf("unexpected output:\n%s", out)
 	}
 }
 

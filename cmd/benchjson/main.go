@@ -18,6 +18,14 @@
 // the bound. The gate is procs-aware: on runners with fewer than 8
 // procs (where parallel scheduling cannot win) it prints a skip note
 // and passes.
+//
+// With -allocs 'name,max[;name,max...]' it gates on absolute
+// allocs_per_op in the fresh snapshot — the alloc-regression fence:
+// once a benchmark has been made allocation-lean, its bound pins it
+// there, and any change that re-inflates allocation fails the bench
+// job rather than silently landing. allocs/op is deterministic (unlike
+// ns/op), so these bounds need no procs-awareness or headroom beyond
+// rounding.
 package main
 
 import (
@@ -59,6 +67,7 @@ func main() {
 	out := flag.String("out", "", "path to write the JSON snapshot (required)")
 	compare := flag.String("compare", "", "older snapshot to diff the fresh one against (optional)")
 	ratio := flag.String("ratio", "", "ns/op ratio gate 'nameA,nameB,max': fail when A/B exceeds max (skipped below 8 procs)")
+	allocs := flag.String("allocs", "", "allocs/op gates 'name,max[;name,max...]': fail when a benchmark allocates more than its bound")
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
@@ -129,6 +138,47 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	if *allocs != "" {
+		if err := checkAllocs(os.Stdout, snap, *allocs); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// checkAllocs enforces absolute allocs/op bounds on benchmarks of the
+// fresh snapshot. spec is semicolon-separated "name,max" pairs (bench
+// names carry slashes but never commas or semicolons). A listed
+// benchmark missing from the snapshot is a hard error — a silently
+// skipped gate is how regressions sneak back in.
+func checkAllocs(w io.Writer, snap Snapshot, spec string) error {
+	for _, gate := range strings.Split(spec, ";") {
+		parts := strings.Split(gate, ",")
+		if len(parts) != 2 {
+			return fmt.Errorf("bad -allocs gate %q (want 'name,max')", gate)
+		}
+		name := strings.TrimSpace(parts[0])
+		bound, err := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+		if err != nil || bound <= 0 {
+			return fmt.Errorf("bad -allocs bound %q", parts[1])
+		}
+		found := false
+		for _, b := range snap.Benchmarks {
+			if b.Name != name {
+				continue
+			}
+			found = true
+			fmt.Fprintf(w, "allocs %s = %d/op (max %d)\n", name, b.AllocsPerOp, bound)
+			if b.AllocsPerOp > bound {
+				return fmt.Errorf("allocs gate: %s at %d allocs/op exceeds %d", name, b.AllocsPerOp, bound)
+			}
+		}
+		if !found {
+			return fmt.Errorf("-allocs: benchmark %q not in snapshot", name)
+		}
+	}
+	return nil
 }
 
 // checkRatio enforces a ns/op ratio gate between two benchmarks of the
@@ -190,8 +240,8 @@ func printDelta(w io.Writer, oldPath string, old, cur Snapshot) {
 		index[b.Pkg+" "+b.Name] = b
 	}
 	fmt.Fprintf(w, "\ndelta vs %s (ns/op, B/op, allocs/op; negative = faster/leaner):\n", oldPath)
-	fmt.Fprintf(w, "%-52s %14s %14s %8s %9s %11s\n",
-		"benchmark", "old ns/op", "new ns/op", "ns", "B/op", "allocs/op")
+	fmt.Fprintf(w, "%-52s %14s %14s %8s %9s %12s %12s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "ns", "B/op", "old allocs", "new allocs", "allocs")
 	var added []string
 	seen := make(map[string]bool, len(cur.Benchmarks))
 	for _, b := range cur.Benchmarks {
@@ -202,10 +252,11 @@ func printDelta(w io.Writer, oldPath string, old, cur Snapshot) {
 			added = append(added, b.Name)
 			continue
 		}
-		fmt.Fprintf(w, "%-52s %14.0f %14.0f %8s %9s %11s\n",
+		fmt.Fprintf(w, "%-52s %14.0f %14.0f %8s %9s %12d %12d %8s\n",
 			b.Name, o.NsPerOp, b.NsPerOp,
 			pct(o.NsPerOp, b.NsPerOp),
 			pct(float64(o.BytesPerOp), float64(b.BytesPerOp)),
+			o.AllocsPerOp, b.AllocsPerOp,
 			pct(float64(o.AllocsPerOp), float64(b.AllocsPerOp)))
 	}
 	for _, name := range added {

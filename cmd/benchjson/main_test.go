@@ -94,6 +94,33 @@ func TestCheckRatio(t *testing.T) {
 	}
 }
 
+func TestCheckAllocs(t *testing.T) {
+	snap := Snapshot{Benchmarks: []Benchmark{
+		{Name: "BenchmarkFloodVTime1M", Procs: 8, AllocsPerOp: 8200},
+		{Name: "BenchmarkExpAll/parallel=1", Procs: 8, AllocsPerOp: 600_000},
+	}}
+	var sb strings.Builder
+	spec := "BenchmarkFloodVTime1M,100000;BenchmarkExpAll/parallel=1,1000000"
+	if err := checkAllocs(&sb, snap, spec); err != nil {
+		t.Errorf("passing gates rejected: %v", err)
+	}
+	if !strings.Contains(sb.String(), "= 8200/op (max 100000)") {
+		t.Errorf("gate not reported: %q", sb.String())
+	}
+
+	// Over the bound: the gate fails.
+	if err := checkAllocs(&sb, snap, "BenchmarkFloodVTime1M,8000"); err == nil {
+		t.Error("failing gate accepted")
+	}
+
+	// Malformed specs and missing benchmarks are hard errors.
+	for _, bad := range []string{"justaname", "a,notanumber", "a,-5", "BenchmarkMissing,100"} {
+		if err := checkAllocs(&sb, snap, bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
 func TestPct(t *testing.T) {
 	cases := []struct {
 		old, cur float64

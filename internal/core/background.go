@@ -141,9 +141,12 @@ func runBackgroundVTime(ctx context.Context, t *SBRTopology, opts BackgroundOpti
 	if sched == nil {
 		sched = vtime.NewScheduler()
 	}
-	upLink := vtime.NewSharedLink(sched, opts.VTime.Upstream)
-	downLink := vtime.NewSharedLink(sched, opts.VTime.Client)
 	segs := []*netsim.Segment{t.OriginSeg, t.ClientSeg}
+	rep := vtime.NewReplay(sched)
+	pathID := rep.AddPath([]vtime.Hop{
+		{Seg: vtime.NewSegmentBatch(sched, t.OriginSeg), Link: vtime.NewSharedLink(sched, opts.VTime.Upstream)},
+		{Seg: vtime.NewSegmentBatch(sched, t.ClientSeg), Link: vtime.NewSharedLink(sched, opts.VTime.Client)},
+	})
 
 	ramp := opts.VTime.Ramp
 	if ramp <= 0 {
@@ -155,12 +158,13 @@ func runBackgroundVTime(ctx context.Context, t *SBRTopology, opts BackgroundOpti
 	// the edge cache sees.
 	type keyState struct {
 		occ    int
-		sample reqSample
+		sample vtime.ReqSample
 	}
+	closeDeltas := make([]vtime.Delta, len(segs))
 	states := map[string]*keyState{}
 	for u := 0; u < opts.Users; u++ {
 		start := arrival(rng, ramp)
-		tmpl := &workerTemplate{}
+		tmpl := &vtime.Template{Close: closeDeltas}
 		for _, req := range backgroundStream(opts, u) {
 			if err := ctx.Err(); err != nil {
 				return 0, fmt.Errorf("background: cancelled after %d requests: %w", counts.requests, err)
@@ -178,24 +182,21 @@ func runBackgroundVTime(ctx context.Context, t *SBRTopology, opts BackgroundOpti
 				st.occ++
 				before := snapAll(segs)
 				resp, err := origin.Fetch(t.Net, t.EdgeAddr, t.ClientSeg, req)
-				s := reqSample{segs: deltasSince(segs, before)}
-				s.blocked, s.failed = counts.note(resp, err)
+				s := vtime.ReqSample{Hops: deltasSince(segs, before)}
+				s.Blocked, s.Failed = counts.note(resp, err)
 				st.sample = s
 				continue
 			}
-			tmpl.reqs = append(tmpl.reqs, st.sample)
+			tmpl.Reqs = append(tmpl.Reqs, st.sample)
 		}
-		if len(tmpl.reqs) == 0 {
+		if len(tmpl.Reqs) == 0 {
 			continue
 		}
-		tmpl.close = make([]vtime.Delta, len(segs))
-		conns := []*vtime.Conn{
-			vtime.NewConn(sched, t.OriginSeg, upLink),
-			vtime.NewConn(sched, t.ClientSeg, downLink),
-		}
-		replayWorker(sched, start, conns, tmpl, counts)
+		rep.AddClient(start, rep.AddTemplate(tmpl), pathID)
 	}
-	if err := sched.Run(ctx); err != nil {
+	err := rep.Run(ctx)
+	counts.merge(rep.Counts)
+	if err != nil {
 		return 0, fmt.Errorf("background: cancelled after %d requests: %w", counts.requests, err)
 	}
 	return sched.Elapsed(), nil

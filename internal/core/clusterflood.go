@@ -153,7 +153,7 @@ func RunClusterFlood(ctx context.Context, rt *Runtime, opts ClusterFloodOptions)
 // clusterWorker runs one real worker against its node, mirroring the
 // SBR flood worker body. When tmpl is non-nil it also calibrates: every
 // request's client+upstream segment footprint is recorded for replay.
-func clusterWorker(ctx context.Context, net *netsim.Network, node *cluster.Node, w int, exploit SBRCase, opts ClusterFloodOptions, c *floodCounts, mu *sync.Mutex, tmpl *workerTemplate) {
+func clusterWorker(ctx context.Context, net *netsim.Network, node *cluster.Node, w int, exploit SBRCase, opts ClusterFloodOptions, c *floodCounts, mu *sync.Mutex, tmpl *vtime.Template) {
 	segs := []*netsim.Segment{node.UpstreamSeg, node.ClientSeg}
 	var session *origin.Client
 	if opts.KeepAlive {
@@ -166,8 +166,8 @@ func clusterWorker(ctx context.Context, net *netsim.Network, node *cluster.Node,
 			}
 			session.Close()
 			if tmpl != nil {
-				tmpl.close = deltasSince(segs, before)
-				tmpl.dials = st.Dials
+				tmpl.Close = deltasSince(segs, before)
+				tmpl.Dials = st.Dials
 			}
 			mu.Lock()
 			c.dials += st.Dials
@@ -202,17 +202,17 @@ func clusterWorker(ctx context.Context, net *netsim.Network, node *cluster.Node,
 			}
 			mu.Unlock()
 			if tmpl != nil {
-				tmpl.reqs = append(tmpl.reqs, reqSample{
-					segs:    deltasSince(segs, before),
-					blocked: blocked,
-					failed:  failed,
+				tmpl.Reqs = append(tmpl.Reqs, vtime.ReqSample{
+					Hops:    deltasSince(segs, before),
+					Blocked: blocked,
+					Failed:  failed,
 				})
 			}
 		}
 	}
 	if tmpl != nil && session == nil {
-		tmpl.close = make([]vtime.Delta, len(segs))
-		tmpl.dials = int64(opts.PerWorker) * int64(exploit.Repeat)
+		tmpl.Close = make([]vtime.Delta, len(segs))
+		tmpl.Dials = int64(opts.PerWorker) * int64(exploit.Repeat)
 	}
 }
 
@@ -240,17 +240,20 @@ func runClusterFloodVTime(ctx context.Context, net *netsim.Network, c *cluster.C
 	if sched == nil {
 		sched = vtime.NewScheduler()
 	}
-	// Each PoP has its own uplink and its own attacker-side hop.
-	upLinks := make([]*vtime.SharedLink, len(c.Nodes))
-	downLinks := make([]*vtime.SharedLink, len(c.Nodes))
-	for i := range c.Nodes {
-		upLinks[i] = vtime.NewSharedLink(sched, opts.VTime.Upstream)
-		downLinks[i] = vtime.NewSharedLink(sched, opts.VTime.Client)
+	// Each PoP has its own uplink, its own attacker-side hop, and so
+	// its own replay path over its own segment batches.
+	rep := vtime.NewReplay(sched)
+	nodePaths := make([]int, len(c.Nodes))
+	for i, node := range c.Nodes {
+		nodePaths[i] = rep.AddPath([]vtime.Hop{
+			{Seg: vtime.NewSegmentBatch(sched, node.UpstreamSeg), Link: vtime.NewSharedLink(sched, opts.VTime.Upstream)},
+			{Seg: vtime.NewSegmentBatch(sched, node.ClientSeg), Link: vtime.NewSharedLink(sched, opts.VTime.Client)},
+		})
 	}
 
 	var (
 		mu        sync.Mutex // uncontended: calibration is serial
-		templates = map[clusterShape]*workerTemplate{}
+		templates = map[clusterShape]int{}
 		calCount  = map[clusterShape]int{}
 	)
 	for w := 0; w < opts.Workers; w++ {
@@ -259,12 +262,12 @@ func runClusterFloodVTime(ctx context.Context, net *netsim.Network, c *cluster.C
 			continue
 		}
 		calCount[key]++
-		tmpl := &workerTemplate{}
+		tmpl := &vtime.Template{}
 		clusterWorker(ctx, net, c.Nodes[key.node], w, exploit, opts, counts, &mu, tmpl)
 		if err := ctx.Err(); err != nil {
 			return 0, fmt.Errorf("cluster flood: cancelled after %d requests: %w", counts.requests, err)
 		}
-		templates[key] = tmpl
+		templates[key] = rep.AddTemplate(tmpl)
 	}
 
 	ramp := opts.VTime.Ramp
@@ -280,14 +283,11 @@ func runClusterFloodVTime(ctx context.Context, net *netsim.Network, c *cluster.C
 			seen[key]++
 			continue
 		}
-		node := c.Nodes[key.node]
-		conns := []*vtime.Conn{
-			vtime.NewConn(sched, node.UpstreamSeg, upLinks[key.node]),
-			vtime.NewConn(sched, node.ClientSeg, downLinks[key.node]),
-		}
-		replayWorker(sched, start, conns, templates[key], counts)
+		rep.AddClient(start, templates[key], nodePaths[key.node])
 	}
-	if err := sched.Run(ctx); err != nil {
+	err := rep.Run(ctx)
+	counts.merge(rep.Counts)
+	if err != nil {
 		return 0, fmt.Errorf("cluster flood: cancelled after %d requests: %w", counts.requests, err)
 	}
 	return sched.Elapsed(), nil

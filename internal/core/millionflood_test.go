@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"os"
 	"testing"
 	"time"
 )
@@ -60,6 +61,68 @@ func TestVTimeFloodMillion(t *testing.T) {
 	}
 
 	// Same seed, fresh topology: byte-identical in every quantity.
+	again := run()
+	if res.Amplification != again.Amplification || res.VirtualDuration != again.VirtualDuration ||
+		res.Requests != again.Requests || res.Dials != again.Dials {
+		t.Errorf("rerun diverged:\n  first  %+v\n  second %+v", res, again)
+	}
+	for i := range res.PerNode {
+		if res.PerNode[i] != again.PerNode[i] {
+			t.Errorf("node %d diverged across reruns", i)
+		}
+	}
+}
+
+// TestVTimeFlood10M is the allocation-free event core's tentpole: ten
+// million keep-alive clients, still under the vtime-smoke wall budget,
+// still byte-identical across seed-repeated runs. It opts in via
+// RANGEAMP_VTIME_10M=1 (the vtime-smoke make target sets it) so plain
+// `go test ./...` stays light; under the race detector the population
+// scales down like the million-client smoke.
+func TestVTimeFlood10M(t *testing.T) {
+	if os.Getenv("RANGEAMP_VTIME_10M") == "" {
+		t.Skip("10M-client smoke opts in via RANGEAMP_VTIME_10M=1")
+	}
+	workers := 10_000_000
+	if raceEnabled {
+		workers = 50_000
+	}
+	run := func() *ClusterFloodResult {
+		start := time.Now()
+		res, err := RunClusterFlood(context.Background(), nil, ClusterFloodOptions{
+			Nodes:        4,
+			Workers:      workers,
+			PerWorker:    1,
+			KeepAlive:    true,
+			ResourceSize: MiB,
+			Engine:       EngineVTime,
+			VTime:        VTimeOptions{Seed: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wall := time.Since(start); wall > 60*time.Second {
+			t.Fatalf("flood took %v, want < 60s", wall)
+		}
+		return res
+	}
+	res := run()
+	if res.Requests != workers {
+		t.Fatalf("requests = %d, want %d", res.Requests, workers)
+	}
+	if res.Failures != 0 || res.Blocked != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Dials != int64(workers) {
+		t.Errorf("dials = %d, want one keep-alive session per client", res.Dials)
+	}
+	if want := int64(workers) * MiB; res.Amplification.VictimBytes < want {
+		t.Errorf("origin bytes = %d, want >= %d", res.Amplification.VictimBytes, want)
+	}
+	if f := res.Amplification.Factor(); f < 100 {
+		t.Errorf("aggregate factor = %.1f", f)
+	}
+
 	again := run()
 	if res.Amplification != again.Amplification || res.VirtualDuration != again.VirtualDuration ||
 		res.Requests != again.Requests || res.Dials != again.Dials {

@@ -103,44 +103,45 @@ func runOBRFloodVTime(ctx context.Context, t *OBRTopology, path string, opts Flo
 	if sched == nil {
 		sched = vtime.NewScheduler()
 	}
-	links := []*vtime.SharedLink{
-		vtime.NewSharedLink(sched, opts.VTime.Upstream), // bcdn -> origin
-		vtime.NewSharedLink(sched, opts.VTime.Upstream), // fcdn -> bcdn
-		vtime.NewSharedLink(sched, opts.VTime.Client),   // client -> fcdn
-	}
 	segs := []*netsim.Segment{t.BcdnOriginSeg, t.FcdnBcdnSeg, t.ClientSeg}
+	rep := vtime.NewReplay(sched)
+	pathID := rep.AddPath([]vtime.Hop{
+		{Seg: vtime.NewSegmentBatch(sched, t.BcdnOriginSeg), Link: vtime.NewSharedLink(sched, opts.VTime.Upstream)},
+		{Seg: vtime.NewSegmentBatch(sched, t.FcdnBcdnSeg), Link: vtime.NewSharedLink(sched, opts.VTime.Upstream)},
+		{Seg: vtime.NewSegmentBatch(sched, t.ClientSeg), Link: vtime.NewSharedLink(sched, opts.VTime.Client)},
+	})
 
 	var (
 		counts    floodCounts
-		templates = map[int]*workerTemplate{}
+		templates = map[int]int{}
 		calCount  = map[int]int{}
 	)
 	runReal := func(w int) error {
-		tmpl := &workerTemplate{close: make([]vtime.Delta, len(segs))}
+		tmpl := &vtime.Template{Close: make([]vtime.Delta, len(segs))}
 		for i := 0; i < opts.PerWorker; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 			before := snapAll(segs)
 			res, err := RunOBRContext(ctx, t, fmt.Sprintf("%s?cb=w%d-%d", path, w, i), 0)
-			s := reqSample{segs: deltasSince(segs, before)}
+			s := vtime.ReqSample{Hops: deltasSince(segs, before)}
 			counts.requests++
 			counts.dials++
 			switch {
 			case err != nil:
-				s.failed = true
+				s.Failed = true
 				counts.failures++
 				if counts.firstErr == nil {
 					counts.firstErr = err
 				}
 			case res.Response.StatusCode == 403 || res.Response.StatusCode == 431:
-				s.blocked = true
+				s.Blocked = true
 				counts.blocked++
 			}
-			tmpl.reqs = append(tmpl.reqs, s)
+			tmpl.Reqs = append(tmpl.Reqs, s)
 		}
-		tmpl.dials = int64(opts.PerWorker)
-		templates[shapeOf(w)] = tmpl
+		tmpl.Dials = int64(opts.PerWorker)
+		templates[shapeOf(w)] = rep.AddTemplate(tmpl)
 		return nil
 	}
 	for w := 0; w < opts.Workers; w++ {
@@ -165,13 +166,11 @@ func runOBRFloodVTime(ctx context.Context, t *OBRTopology, path string, opts Flo
 			seen[d]++
 			continue
 		}
-		conns := make([]*vtime.Conn, len(segs))
-		for j, seg := range segs {
-			conns[j] = vtime.NewConn(sched, seg, links[j])
-		}
-		replayWorker(sched, start, conns, templates[d], &counts)
+		rep.AddClient(start, templates[d], pathID)
 	}
-	if err := sched.Run(ctx); err != nil {
+	err := rep.Run(ctx)
+	counts.merge(rep.Counts)
+	if err != nil {
 		return nil, fmt.Errorf("obr flood: cancelled after %d requests: %w", counts.requests, err)
 	}
 	return obrFloodResult(ctx, probe, &counts, sched.Elapsed())

@@ -79,28 +79,21 @@ func shapeOf(w int) int {
 	return d
 }
 
-// reqSample is one calibrated request: its per-segment footprint
-// (upstream-most segment first) and its outcome classification.
-type reqSample struct {
-	segs    []vtime.Delta
-	blocked bool
-	failed  bool
-}
-
-// workerTemplate is one calibrated worker: the per-request samples in
-// order, the session-teardown footprint, and the connection economy.
-type workerTemplate struct {
-	reqs  []reqSample
-	close []vtime.Delta
-	dials int64
-}
-
 // floodCounts aggregates a flood's bookkeeping. The vtime engine
 // mutates it from the single event-loop goroutine, so no mutex.
 type floodCounts struct {
 	requests, failures, blocked int
 	dials                       int64
 	firstErr                    error
+}
+
+// merge folds a replay engine's event-loop tallies into the
+// calibration-phase counts.
+func (c *floodCounts) merge(rc vtime.Counts) {
+	c.requests += int(rc.Requests)
+	c.failures += int(rc.Failures)
+	c.blocked += int(rc.Blocked)
+	c.dials += rc.Dials
 }
 
 func snapAll(segs []*netsim.Segment) []netsim.Snapshot {
@@ -137,46 +130,6 @@ func (c *floodCounts) note(resp *httpwire.Response, err error) (blocked, failed 
 	return false, false
 }
 
-// replayWorker schedules one simulated worker: at its arrival instant
-// it replays the template's request chain — each request crossing the
-// hops upstream-most first, each hop an event-driven exchange — and
-// applies the session-teardown footprint after the last request.
-func replayWorker(sched *vtime.Scheduler, start time.Duration, conns []*vtime.Conn, tmpl *workerTemplate, c *floodCounts) {
-	if len(tmpl.reqs) == 0 {
-		return
-	}
-	var runReq func(k int)
-	runReq = func(k int) {
-		s := tmpl.reqs[k]
-		var hop func(j int)
-		hop = func(j int) {
-			conns[j].Exchange(s.segs[j], func() {
-				if j+1 < len(conns) {
-					hop(j + 1)
-					return
-				}
-				c.requests++
-				if s.failed {
-					c.failures++
-				}
-				if s.blocked {
-					c.blocked++
-				}
-				if k+1 < len(tmpl.reqs) {
-					runReq(k + 1)
-					return
-				}
-				for j2, conn := range conns {
-					conn.Apply(tmpl.close[j2])
-				}
-				c.dials += tmpl.dials
-			})
-		}
-		hop(0)
-	}
-	sched.After(start, func() { runReq(0) })
-}
-
 // arrival draws the next worker's start jitter. Every worker consumes
 // one draw — calibrated workers too — so the replayed workers' instants
 // do not depend on which workers happened to calibrate.
@@ -198,10 +151,15 @@ func runSBRFloodVTime(ctx context.Context, t *SBRTopology, path string, exploit 
 	upLink := vtime.NewSharedLink(sched, opts.VTime.Upstream)
 	downLink := vtime.NewSharedLink(sched, opts.VTime.Client)
 	segs := []*netsim.Segment{t.OriginSeg, t.ClientSeg}
+	rep := vtime.NewReplay(sched)
+	pathID := rep.AddPath([]vtime.Hop{
+		{Seg: vtime.NewSegmentBatch(sched, t.OriginSeg), Link: upLink},
+		{Seg: vtime.NewSegmentBatch(sched, t.ClientSeg), Link: downLink},
+	})
 
 	var (
 		counts    floodCounts
-		templates = map[int]*workerTemplate{}
+		templates = map[int]int{} // shape -> replay template id
 		calCount  = map[int]int{}
 	)
 
@@ -209,7 +167,7 @@ func runSBRFloodVTime(ctx context.Context, t *SBRTopology, path string, exploit 
 	// traced like pipe-engine requests; replayed workers leave no
 	// spans). Serial execution keeps calibration deterministic.
 	runReal := func(w int) error {
-		tmpl := &workerTemplate{}
+		tmpl := &vtime.Template{}
 		var session *origin.Client
 		if opts.KeepAlive {
 			session = origin.NewClient(t.Net, t.EdgeAddr, t.ClientSeg)
@@ -217,8 +175,8 @@ func runSBRFloodVTime(ctx context.Context, t *SBRTopology, path string, exploit 
 				st := session.Stats()
 				before := snapAll(segs)
 				session.Close()
-				tmpl.close = deltasSince(segs, before)
-				tmpl.dials = st.Dials
+				tmpl.Close = deltasSince(segs, before)
+				tmpl.Dials = st.Dials
 				counts.dials += st.Dials
 			}()
 		}
@@ -254,19 +212,19 @@ func runSBRFloodVTime(ctx context.Context, t *SBRTopology, path string, exploit 
 					}
 				}
 				sp.End()
-				s := reqSample{segs: deltasSince(segs, before)}
-				s.blocked, s.failed = counts.note(resp, err)
+				s := vtime.ReqSample{Hops: deltasSince(segs, before)}
+				s.Blocked, s.Failed = counts.note(resp, err)
 				if session == nil {
 					counts.dials++
 				}
-				tmpl.reqs = append(tmpl.reqs, s)
+				tmpl.Reqs = append(tmpl.Reqs, s)
 			}
 		}
 		if session == nil {
-			tmpl.close = make([]vtime.Delta, len(segs))
-			tmpl.dials = int64(opts.PerWorker) * int64(exploit.Repeat)
+			tmpl.Close = make([]vtime.Delta, len(segs))
+			tmpl.Dials = int64(opts.PerWorker) * int64(exploit.Repeat)
 		}
-		templates[shapeOf(w)] = tmpl
+		templates[shapeOf(w)] = rep.AddTemplate(tmpl)
 		return nil
 	}
 	for w := 0; w < opts.Workers; w++ {
@@ -292,13 +250,11 @@ func runSBRFloodVTime(ctx context.Context, t *SBRTopology, path string, exploit 
 			seen[d]++
 			continue
 		}
-		conns := []*vtime.Conn{
-			vtime.NewConn(sched, t.OriginSeg, upLink),
-			vtime.NewConn(sched, t.ClientSeg, downLink),
-		}
-		replayWorker(sched, start, conns, templates[d], &counts)
+		rep.AddClient(start, templates[d], pathID)
 	}
-	if err := sched.Run(ctx); err != nil {
+	err := rep.Run(ctx)
+	counts.merge(rep.Counts)
+	if err != nil {
 		return nil, fmt.Errorf("flood: cancelled after %d requests: %w", counts.requests, err)
 	}
 	if counts.firstErr != nil {

@@ -197,6 +197,43 @@ func (s *Segment) noteClosed(aborted bool) {
 // AddDown adds server->client bytes.
 func (s *Segment) AddDown(n int) { s.addDown(n) }
 
+// AddBatch applies an accumulated batch of accounting in one call: up
+// and down bytes, connections opened, and clean/aborted teardowns. It
+// performs the same additions a matching sequence of AddUp / AddDown /
+// AddConn / ConnClosed calls would — one atomic add per nonzero field
+// instead of one per unit — which is what lets the event engine apply
+// millions of clients' counters per event-window without making the
+// segment the bottleneck.
+func (s *Segment) AddBatch(up, down, conns, closed, aborted int64) {
+	if s == nil {
+		return
+	}
+	if up > 0 {
+		s.up.Add(up)
+		s.mUp.Add(up)
+	}
+	if down > 0 {
+		s.down.Add(down)
+		s.mDown.Add(down)
+	}
+	if conns > 0 {
+		s.conns.Add(conns)
+		s.mOpened.Add(conns)
+	}
+	if closed > 0 {
+		s.closed.Add(closed)
+		s.mClosed.Add(closed)
+	}
+	if aborted > 0 {
+		s.aborted.Add(aborted)
+		s.mAborted.Add(aborted)
+	}
+	if net := conns - closed - aborted; net != 0 {
+		s.live.Add(net)
+		s.gLive.Add(net)
+	}
+}
+
 func (s *Segment) addUp(n int) {
 	if s != nil && n > 0 {
 		s.up.Add(int64(n))

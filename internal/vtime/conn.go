@@ -16,6 +16,18 @@ type Segment interface {
 
 var _ Segment = (*netsim.Segment)(nil)
 
+// BatchSegment is a Segment that can additionally absorb a whole batch
+// of accounting in one call. The event engine's hot path requires it:
+// per-client AddConn/AddUp calls are four-plus atomic ops per
+// simulated request, while a batch is one atomic add per counter per
+// event-window.
+type BatchSegment interface {
+	Segment
+	AddBatch(up, down, conns, closed, aborted int64)
+}
+
+var _ BatchSegment = (*netsim.Segment)(nil)
+
 // Delta is the per-segment counter change one replayed exchange
 // applies: the calibrated per-request footprint a real request left on
 // a segment (netsim.Snapshot diffs convert directly via SnapDelta).
@@ -30,85 +42,58 @@ func SnapDelta(d netsim.Snapshot) Delta {
 	return Delta{Up: d.Up, Down: d.Down, Conns: d.Conns, Closed: d.Closed, Aborted: d.Aborted}
 }
 
-// addBytes feeds an int64 byte count through netsim's int-typed
-// accounting hooks in bounded chunks.
-func addBytes(add func(int), n int64) {
-	const chunk = 1 << 30
-	for n > chunk {
-		add(chunk)
-		n -= chunk
-	}
-	if n > 0 {
-		add(int(n))
-	}
+// SegmentBatch accumulates replayed deltas for one segment and applies
+// them in bulk. It registers with the scheduler's flush set, so the
+// counters are exact whenever anyone calls Scheduler.Flush — the obs
+// sampling tick does, and Run flushes on return — while the per-event
+// cost is plain field additions on an unshared struct.
+//
+// Accumulation is split open-side / close-side to mirror the pipe
+// engine's timing: a request's connection-open and up-bytes land when
+// it is issued, its down-bytes and teardown land when the response
+// clears the link. Totals are identical either way (the accounting is
+// associative); the split only matters to mid-run observers.
+type SegmentBatch struct {
+	seg  BatchSegment
+	pend Delta
 }
 
-// Conn is a simulated connection: event-driven client state standing
-// in for the goroutine + bounded-pipe pair of the real substrate. It
-// applies calibrated per-request deltas to its segment at virtual
-// instants determined by the link model, so counters advance exactly
-// as the pipe engine's would while the scheduler, not the Go runtime,
-// carries the concurrency.
-type Conn struct {
-	s    *Scheduler
-	seg  Segment
-	link *SharedLink
+// NewSegmentBatch returns a batch sink for seg, registered to flush
+// with s.
+func NewSegmentBatch(s *Scheduler, seg BatchSegment) *SegmentBatch {
+	b := &SegmentBatch{seg: seg}
+	s.RegisterFlush(b.Flush)
+	return b
 }
 
-// NewConn returns a connection on seg whose response transfers are
-// paced by link (nil means an instantaneous hop).
-func NewConn(s *Scheduler, seg Segment, link *SharedLink) *Conn {
-	return &Conn{s: s, seg: seg, link: link}
+// ApplyOpen accumulates the request-side half of a delta: connection
+// opens and up bytes.
+func (b *SegmentBatch) ApplyOpen(d Delta) {
+	b.pend.Conns += d.Conns
+	b.pend.Up += d.Up
 }
 
-// Open records the connection opening now (keep-alive sessions whose
-// dial is folded into their first exchange's delta skip this).
-func (c *Conn) Open() { c.seg.AddConn() }
-
-// Close records the teardown now.
-func (c *Conn) Close(aborted bool) { c.seg.ConnClosed(aborted) }
-
-// Apply applies a full delta at the current virtual instant, with no
-// transfer time — session-close footprints replay through this.
-func (c *Conn) Apply(d Delta) {
-	applyOpen(c.seg, d)
-	applyCloseSide(c.seg, d)
+// ApplyClose accumulates the response-side half: down bytes and
+// teardowns.
+func (b *SegmentBatch) ApplyClose(d Delta) {
+	b.pend.Down += d.Down
+	b.pend.Closed += d.Closed
+	b.pend.Aborted += d.Aborted
 }
 
-// Exchange models one request/response: the request-side counters
-// (connection opens, up bytes) apply immediately, the response-side
-// counters (down bytes, closes) apply when the down transfer clears
-// the link, and then done fires. done may start the next exchange —
-// chained exchanges on one Conn serialize the way requests on one
-// keep-alive session do.
-func (c *Conn) Exchange(d Delta, done func()) {
-	applyOpen(c.seg, d)
-	finish := func() {
-		applyCloseSide(c.seg, d)
-		if done != nil {
-			done()
-		}
-	}
-	if c.link == nil {
-		c.s.After(0, finish)
+// Apply accumulates a full delta at once (session-close footprints).
+func (b *SegmentBatch) Apply(d Delta) {
+	b.ApplyOpen(d)
+	b.ApplyClose(d)
+}
+
+// Flush pushes the accumulated batch into the segment and zeroes the
+// accumulator.
+func (b *SegmentBatch) Flush() {
+	d := b.pend
+	if d == (Delta{}) {
 		return
 	}
-	c.link.Transfer(d.Down, finish)
-}
-
-func applyOpen(seg Segment, d Delta) {
-	for i := int64(0); i < d.Conns; i++ {
-		seg.AddConn()
-	}
-	addBytes(seg.AddUp, d.Up)
-}
-
-func applyCloseSide(seg Segment, d Delta) {
-	addBytes(seg.AddDown, d.Down)
-	for i := int64(0); i < d.Closed; i++ {
-		seg.ConnClosed(false)
-	}
-	for i := int64(0); i < d.Aborted; i++ {
-		seg.ConnClosed(true)
-	}
+	b.pend = Delta{}
+	b.seg.AddBatch(d.Up, d.Down, d.Conns, d.Closed, d.Aborted)
 }

@@ -1,0 +1,88 @@
+package vtime
+
+// This file is the typed priority queue under the event loop and the
+// shared links. The previous engine used container/heap, which costs
+// an interface{} boxing allocation on every Push and a dynamic
+// dispatch on every comparison; at a million clients that boxing alone
+// was several allocations per simulated request. heap4 is generic over
+// the concrete element type, so elements live inline in the backing
+// slice (no boxing, no per-element allocation once the slice has
+// grown) and comparisons devirtualize.
+//
+// The heap is 4-ary rather than binary: half the tree depth for the
+// same element count, and the four children of a node share one or two
+// cache lines, which is where a discrete-event simulator spends its
+// time once allocation is gone. Ordering is total and deterministic —
+// every element type embeds a monotonic sequence number that breaks
+// ties — and heap4's pop order is pinned against a container/heap
+// oracle by the property and fuzz tests in heap_test.go.
+
+// peer is the ordering constraint: x.before(y) reports whether x must
+// pop before y. Implementations must be a strict weak order and are
+// expected to break primary-key ties on a sequence number so the pop
+// order of equal-priority elements is the push order.
+type peer[T any] interface{ before(T) bool }
+
+// heap4 is a 4-ary min-heap over T. The zero value is an empty heap
+// ready for use; the backing slice grows with Push and is retained
+// across Pop, so a drained-and-refilled heap allocates nothing in
+// steady state.
+type heap4[T peer[T]] struct{ a []T }
+
+// Len returns the number of queued elements.
+func (h *heap4[T]) Len() int { return len(h.a) }
+
+// Peek returns the minimum element without removing it. It must not be
+// called on an empty heap.
+func (h *heap4[T]) Peek() T { return h.a[0] }
+
+// Push adds x.
+func (h *heap4[T]) Push(x T) {
+	h.a = append(h.a, x)
+	// Sift up: a node's parent is (i-1)/4.
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !h.a[i].before(h.a[p]) {
+			break
+		}
+		h.a[i], h.a[p] = h.a[p], h.a[i]
+		i = p
+	}
+}
+
+// Pop removes and returns the minimum element. It must not be called
+// on an empty heap.
+func (h *heap4[T]) Pop() T {
+	top := h.a[0]
+	n := len(h.a) - 1
+	h.a[0] = h.a[n]
+	var zero T
+	h.a[n] = zero // release references held by the vacated slot
+	h.a = h.a[:n]
+	// Sift down: children of i are 4i+1 .. 4i+4.
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		// m is the smallest of up to four children.
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if h.a[j].before(h.a[m]) {
+				m = j
+			}
+		}
+		if !h.a[m].before(h.a[i]) {
+			break
+		}
+		h.a[i], h.a[m] = h.a[m], h.a[i]
+		i = m
+	}
+	return top
+}

@@ -1,0 +1,123 @@
+package vtime
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// oracleHeap is a container/heap reference implementation over the
+// same ev ordering, used to pin heap4's pop order: for any interleaved
+// push/pop sequence the two must agree element-for-element, including
+// the seq tie-break on equal-timestamp events.
+type oracleHeap []ev
+
+func (o oracleHeap) Len() int            { return len(o) }
+func (o oracleHeap) Less(i, j int) bool  { return o[i].before(o[j]) }
+func (o oracleHeap) Swap(i, j int)       { o[i], o[j] = o[j], o[i] }
+func (o *oracleHeap) Push(x interface{}) { *o = append(*o, x.(ev)) }
+func (o *oracleHeap) Pop() interface{} {
+	old := *o
+	n := len(old)
+	x := old[n-1]
+	*o = old[:n-1]
+	return x
+}
+
+// runOracle feeds an operation stream (push a derived event, or pop)
+// to both heaps and fails on the first divergence.
+func runOracle(t *testing.T, ops []byte) {
+	t.Helper()
+	var h heap4[ev]
+	var o oracleHeap
+	seq := uint64(0)
+	for i, op := range ops {
+		if op%4 == 0 && o.Len() > 0 { // pop with probability 1/4 when non-empty
+			got, want := h.Pop(), heap.Pop(&o).(ev)
+			if got != want {
+				t.Fatalf("op %d: pop = %+v, oracle = %+v", i, got, want)
+			}
+			continue
+		}
+		seq++
+		// Coarse timestamps force plenty of equal-at events so the seq
+		// tie-break path is actually exercised.
+		e := ev{at: int64(op % 16), seq: seq, kind: Kind(op % 3), idx: uint64(i)}
+		h.Push(e)
+		o = append(o, e)
+		heap.Fix(&o, o.Len()-1)
+	}
+	for o.Len() > 0 {
+		got, want := h.Pop(), heap.Pop(&o).(ev)
+		if got != want {
+			t.Fatalf("drain: pop = %+v, oracle = %+v", got, want)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("heap4 retains %d elements after oracle drained", h.Len())
+	}
+}
+
+// TestHeap4MatchesOracle is the seeded property test: random operation
+// streams of growing length must pop identically to container/heap.
+func TestHeap4MatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for round := 0; round < 50; round++ {
+		ops := make([]byte, 1+rng.Intn(2000))
+		rng.Read(ops)
+		runOracle(t, ops)
+	}
+}
+
+// TestHeap4EqualTimestampsPopInPushOrder pins the determinism contract
+// directly: events at one instant pop in scheduling (seq) order.
+func TestHeap4EqualTimestampsPopInPushOrder(t *testing.T) {
+	var h heap4[ev]
+	const n = 1000
+	for i := 0; i < n; i++ {
+		h.Push(ev{at: 42, seq: uint64(i + 1), idx: uint64(i)})
+	}
+	for i := 0; i < n; i++ {
+		if e := h.Pop(); e.idx != uint64(i) {
+			t.Fatalf("pop %d: got idx %d", i, e.idx)
+		}
+	}
+}
+
+// TestHeap4SteadyStateAllocFree: a drained-and-refilled heap reuses
+// its backing array — the property the event loop's alloc budget
+// depends on.
+func TestHeap4SteadyStateAllocFree(t *testing.T) {
+	var h heap4[ev]
+	for i := 0; i < 1024; i++ {
+		h.Push(ev{at: int64(i), seq: uint64(i)})
+	}
+	for h.Len() > 0 {
+		h.Pop()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 1024; i++ {
+			h.Push(ev{at: int64(1024 - i), seq: uint64(i)})
+		}
+		for h.Len() > 0 {
+			h.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state churn allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// FuzzHeap4Oracle lets the fuzzer hunt for operation streams where
+// heap4 and container/heap disagree.
+func FuzzHeap4Oracle(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{7, 7, 7, 0, 0, 0})
+	f.Add([]byte("push-pop-interleave-seed"))
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 1<<14 {
+			return
+		}
+		runOracle(t, ops)
+	})
+}

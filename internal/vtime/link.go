@@ -1,7 +1,6 @@
 package vtime
 
 import (
-	"container/heap"
 	"math"
 	"time"
 
@@ -23,37 +22,43 @@ type FluidLink struct {
 	// knee.
 	CapBytesPerSec float64
 
-	flows []float64 // remaining wire bytes per in-flight transfer
+	flows []float64 // remaining wire bytes per in-flight transfer; backing reused across ticks
 	sent  float64   // bytes served since the last Drain
 	done  int       // flows completed since the last Drain
 }
 
-// Offer adds one in-flight transfer of the given wire size.
+// Offer adds one in-flight transfer of the given wire size. The flows
+// backing array is retained across ticks and drains, so once the link
+// has seen its peak concurrency Offer stops allocating.
 func (l *FluidLink) Offer(wireBytes float64) { l.flows = append(l.flows, wireBytes) }
 
 // Active returns the number of in-flight transfers.
 func (l *FluidLink) Active() int { return len(l.flows) }
 
 // Tick integrates one step of length dt seconds: the byte budget
-// cap*dt is split evenly across the active flows.
+// cap*dt is split evenly across the active flows. Surviving flows are
+// compacted in place — the keep index trails the read index over the
+// same backing array, so a tick never allocates regardless of how many
+// flows complete or survive.
 func (l *FluidLink) Tick(dt float64) {
 	if len(l.flows) == 0 {
 		return
 	}
 	budget := l.CapBytesPerSec * dt
 	share := budget / float64(len(l.flows))
-	next := l.flows[:0]
+	keep := 0
 	for _, rem := range l.flows {
 		sent := math.Min(rem, share)
 		l.sent += sent
 		rem -= sent
 		if rem > 1e-9 {
-			next = append(next, rem)
+			l.flows[keep] = rem
+			keep++
 		} else {
 			l.done++
 		}
 	}
-	l.flows = next
+	l.flows = l.flows[:keep]
 }
 
 // Drain returns and resets the served-byte and completed-flow
@@ -93,31 +98,21 @@ func (p LinkParams) wireSize(appBytes int64) float64 {
 }
 
 // sharedFlow is one transfer on a SharedLink: it completes when the
-// link's cumulative per-flow service reaches its target.
+// link's cumulative per-flow service reaches its target. Completion is
+// delivered as a tagged (kind, idx) event — no per-flow closure.
 type sharedFlow struct {
 	target float64 // service level at which the flow completes
 	seq    uint64
-	done   func()
+	kind   Kind
+	idx    uint64
 }
 
-type flowHeap []sharedFlow
-
-func (h flowHeap) Len() int { return len(h) }
-func (h flowHeap) Less(i, j int) bool {
-	if h[i].target != h[j].target {
-		return h[i].target < h[j].target
+// before orders flows by (target, seq) — the heap4 constraint.
+func (f sharedFlow) before(o sharedFlow) bool {
+	if f.target != o.target {
+		return f.target < o.target
 	}
-	return h[i].seq < h[j].seq
-}
-func (h flowHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *flowHeap) Push(x interface{}) { *h = append(*h, x.(sharedFlow)) }
-func (h *flowHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	f := old[n-1]
-	old[n-1] = sharedFlow{}
-	*h = old[:n-1]
-	return f
+	return f.seq < o.seq
 }
 
 // SharedLink is the event-driven (continuous-time) limit of FluidLink:
@@ -125,46 +120,57 @@ func (h *flowHeap) Pop() interface{} {
 // integration. It tracks the cumulative service S(t) every active flow
 // has received; a flow of W wire bytes arriving at time t completes
 // when S reaches S(t)+W, so arrivals and completions are O(log n) heap
-// operations — the trick that lets one link carry a million concurrent
-// flows without per-tick work proportional to their number.
+// operations — the trick that lets one link carry ten million
+// concurrent flows without per-tick work proportional to their number.
 type SharedLink struct {
 	s *Scheduler
 	p LinkParams
 
 	service   float64 // cumulative per-flow service while the link is busy
 	lastNanos int64   // virtual instant service was last advanced to
-	flows     flowHeap
+	flows     heap4[sharedFlow]
 	seq       uint64
 	timerGen  uint64 // invalidates stale completion timers
+	kFire     Kind   // completion-timer dispatch, registered once per link
 }
 
 // NewSharedLink returns a link driven by s. Zero-valued params are a
 // latency-free uncapped hop.
 func NewSharedLink(s *Scheduler, p LinkParams) *SharedLink {
-	return &SharedLink{s: s, p: p}
+	l := &SharedLink{s: s, p: p}
+	l.kFire = s.RegisterKind(l.fire)
+	return l
 }
 
 // InFlight returns the number of active transfers (capped links only).
-func (l *SharedLink) InFlight() int { return len(l.flows) }
+func (l *SharedLink) InFlight() int { return l.flows.Len() }
 
-// Transfer schedules done after appBytes have crossed the hop: the
-// shared-capacity service time (exact processor-sharing) plus the
-// one-way latency. Uncapped links complete after latency alone.
-func (l *SharedLink) Transfer(appBytes int64, done func()) {
+// TransferEvent schedules a tagged (kind, idx) event after appBytes
+// have crossed the hop: the shared-capacity service time (exact
+// processor-sharing) plus the one-way latency. Uncapped links complete
+// after latency alone. This is the allocation-free form the replay
+// engine drives; Transfer wraps it for closure-based callers.
+func (l *SharedLink) TransferEvent(appBytes int64, kind Kind, idx uint64) {
 	if l.p.BytesPerSec <= 0 {
-		l.s.After(l.p.Latency, done)
+		l.s.AfterKind(l.p.Latency, kind, idx)
 		return
 	}
 	l.advance()
 	l.seq++
-	heap.Push(&l.flows, sharedFlow{target: l.service + l.p.wireSize(appBytes), seq: l.seq, done: done})
+	l.flows.Push(sharedFlow{target: l.service + l.p.wireSize(appBytes), seq: l.seq, kind: kind, idx: idx})
 	l.rearm()
+}
+
+// Transfer schedules done after appBytes have crossed the hop — the
+// closure form of TransferEvent, costing one closure allocation.
+func (l *SharedLink) Transfer(appBytes int64, done func()) {
+	l.TransferEvent(appBytes, kindFunc, l.s.storeFn(done))
 }
 
 // advance accrues service up to the current virtual instant.
 func (l *SharedLink) advance() {
 	now := l.s.NowNanos()
-	if n := len(l.flows); n > 0 && now > l.lastNanos {
+	if n := l.flows.Len(); n > 0 && now > l.lastNanos {
 		dt := float64(now-l.lastNanos) / 1e9
 		l.service += dt * l.p.BytesPerSec / float64(n)
 	}
@@ -173,19 +179,19 @@ func (l *SharedLink) advance() {
 
 // rearm points the single completion timer at the earliest-finishing
 // flow. Generation counting voids timers made stale by later arrivals
-// (an arrival slows everyone down, pushing completions out).
+// (an arrival slows everyone down, pushing completions out); the
+// generation rides in the event's idx, so rearming allocates nothing.
 func (l *SharedLink) rearm() {
 	l.timerGen++
-	if len(l.flows) == 0 {
+	if l.flows.Len() == 0 {
 		return
 	}
-	gen := l.timerGen
-	remaining := l.flows[0].target - l.service
+	remaining := l.flows.Peek().target - l.service
 	if remaining < 0 {
 		remaining = 0
 	}
-	dtNanos := int64(math.Ceil(remaining * float64(len(l.flows)) / l.p.BytesPerSec * 1e9))
-	l.s.At(l.s.NowNanos()+dtNanos, func() { l.fire(gen) })
+	dtNanos := int64(math.Ceil(remaining * float64(l.flows.Len()) / l.p.BytesPerSec * 1e9))
+	l.s.AtKind(l.s.NowNanos()+dtNanos, l.kFire, l.timerGen)
 }
 
 // fire completes every flow whose target the accrued service has
@@ -196,9 +202,9 @@ func (l *SharedLink) fire(gen uint64) {
 	}
 	l.advance()
 	const eps = 1e-6 // float slack on the ceil'd timer instant
-	for len(l.flows) > 0 && l.flows[0].target <= l.service+eps {
-		f := heap.Pop(&l.flows).(sharedFlow)
-		l.s.After(l.p.Latency, f.done)
+	for l.flows.Len() > 0 && l.flows.Peek().target <= l.service+eps {
+		f := l.flows.Pop()
+		l.s.AfterKind(l.p.Latency, f.kind, f.idx)
 	}
 	l.rearm()
 }

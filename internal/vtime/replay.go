@@ -1,0 +1,179 @@
+package vtime
+
+import (
+	"context"
+	"time"
+
+	"slices"
+)
+
+// This file is the event-driven replay core the calibrate-and-replay
+// flood engines run on. Each simulated client is a 12-byte state
+// record in one slab — which template it replays, which hop path it
+// crosses, and its progress cursor — driven by two registered event
+// kinds (arrive, step) whose payload is the client's slab index. The
+// old engine allocated two Conn objects, a conns slice and a tree of
+// closures per client (~18 allocs each at 1M clients); this one
+// appends to two slices per client and nothing else, which is what
+// makes 10M clients feasible.
+
+// ReqSample is one calibrated request: the per-hop segment footprint
+// (upstream-most hop first) and the outcome classification real
+// execution observed.
+type ReqSample struct {
+	Hops    []Delta
+	Blocked bool
+	Failed  bool
+}
+
+// Template is one calibrated client: its request samples in order, the
+// session-teardown footprint per hop, and the connection economy.
+type Template struct {
+	Reqs  []ReqSample
+	Close []Delta
+	Dials int64
+}
+
+// Counts aggregates replayed outcomes. The event loop mutates it from
+// its single goroutine; read it after Run returns (or between events).
+type Counts struct {
+	Requests, Failures, Blocked int64
+	Dials                       int64
+}
+
+// Hop is one stage of a client's path: the segment its traffic lands
+// on (batched) and the link pacing its response transfer.
+type Hop struct {
+	Seg  *SegmentBatch
+	Link *SharedLink
+}
+
+// clientState is one simulated client, 12 bytes in the slab. hop and
+// req are the replay cursor; tmpl and path index the shared tables.
+type clientState struct {
+	tmpl uint32
+	path uint16
+	hop  uint16
+	req  uint32
+}
+
+// Replay drives calibrated templates over hop paths on a scheduler.
+// Register paths and templates once, add a client per simulated
+// worker, then Run. Adding a client costs two slice appends; running
+// one costs heap operations only.
+type Replay struct {
+	// Counts accumulates the replayed outcomes.
+	Counts Counts
+
+	s       *Scheduler
+	kArrive Kind
+	kStep   Kind
+
+	paths    [][]Hop
+	tmpls    []*Template
+	clients  []clientState
+	arrivals []Arrival
+}
+
+// NewReplay returns a replay engine on s.
+func NewReplay(s *Scheduler) *Replay {
+	r := &Replay{s: s}
+	r.kArrive = s.RegisterKind(r.startHop)
+	r.kStep = s.RegisterKind(r.step)
+	return r
+}
+
+// AddPath registers a hop path (upstream-most first) and returns its
+// id. The slice is retained.
+func (r *Replay) AddPath(hops []Hop) int {
+	r.paths = append(r.paths, hops)
+	return len(r.paths) - 1
+}
+
+// AddTemplate registers a calibrated template and returns its id. The
+// template is retained; its Reqs[i].Hops and Close lengths must match
+// the hop count of every path it replays over.
+func (r *Replay) AddTemplate(t *Template) int {
+	r.tmpls = append(r.tmpls, t)
+	return len(r.tmpls) - 1
+}
+
+// AddClient schedules one client replaying template tmpl over path
+// path, arriving start after the current virtual instant. Clients with
+// empty templates are dropped without consuming an event — they would
+// replay nothing, and scheduling them would stretch the virtual span.
+func (r *Replay) AddClient(start time.Duration, tmpl, path int) {
+	if len(r.tmpls[tmpl].Reqs) == 0 {
+		return
+	}
+	r.clients = append(r.clients, clientState{tmpl: uint32(tmpl), path: uint16(path)})
+	r.arrivals = append(r.arrivals, Arrival{
+		At:  r.s.NowNanos() + int64(start),
+		Idx: uint64(len(r.clients) - 1),
+	})
+}
+
+// Run streams the arrivals into the scheduler and drains it. Arrivals
+// are sorted by (instant, insertion order), which reproduces the
+// scheduling-order tie-break the old per-arrival heap entries had.
+// Counts and all segment batches are fully applied when Run returns,
+// on success and on cancellation alike.
+func (r *Replay) Run(ctx context.Context) error {
+	slices.SortFunc(r.arrivals, func(a, b Arrival) int {
+		if a.At != b.At {
+			if a.At < b.At {
+				return -1
+			}
+			return 1
+		}
+		if a.Idx < b.Idx {
+			return -1
+		}
+		return 1
+	})
+	r.s.StreamArrivals(r.kArrive, r.arrivals)
+	return r.s.Run(ctx)
+}
+
+// startHop issues client ci's current request on its current hop: the
+// request-side counters land now, the response-side counters land when
+// the down transfer clears the hop's link (the step event).
+func (r *Replay) startHop(ci uint64) {
+	c := &r.clients[ci]
+	d := r.tmpls[c.tmpl].Reqs[c.req].Hops[c.hop]
+	h := r.paths[c.path][c.hop]
+	h.Seg.ApplyOpen(d)
+	h.Link.TransferEvent(d.Down, r.kStep, ci)
+}
+
+// step completes client ci's current hop and advances the cursor:
+// next hop of the same request, next request, or session teardown.
+func (r *Replay) step(ci uint64) {
+	c := &r.clients[ci]
+	t := r.tmpls[c.tmpl]
+	hops := r.paths[c.path]
+	s := t.Reqs[c.req]
+	hops[c.hop].Seg.ApplyClose(s.Hops[c.hop])
+	if int(c.hop)+1 < len(hops) {
+		c.hop++
+		r.startHop(ci)
+		return
+	}
+	r.Counts.Requests++
+	if s.Failed {
+		r.Counts.Failures++
+	}
+	if s.Blocked {
+		r.Counts.Blocked++
+	}
+	c.hop = 0
+	if int(c.req)+1 < len(t.Reqs) {
+		c.req++
+		r.startHop(ci)
+		return
+	}
+	for j, cl := range t.Close {
+		hops[j].Seg.Apply(cl)
+	}
+	r.Counts.Dials += t.Dials
+}

@@ -2,28 +2,36 @@
 // "-engine=vtime" flood paths: a priority-queue event loop over a
 // virtual clock, link models (the exact fluid discipline bwsim's Fig 7
 // integration uses, plus its continuous-limit processor-sharing form),
-// and an event-driven simulated connection that drives the same
-// netsim segment-accounting surface real pipe connections do.
+// and an event-driven replay engine that drives the same netsim
+// segment-accounting surface real pipe connections do.
 //
 // The pipe engine simulates a flood by running it: one goroutine and
 // two bounded in-memory pipes per connection. That reproduces the
 // paper's byte counts faithfully but caps concurrency at a few
 // thousand clients. The vtime engine replaces goroutines with events:
 // each client is a little state machine whose transitions are heap
-// entries ordered by (virtual time, sequence number), so a
-// million-client keep-alive flood is just a few million heap
+// entries ordered by (virtual time, sequence number), so a ten-million
+// client keep-alive flood is just a few tens of millions of heap
 // operations — seconds of wall time, no scheduler pressure, and
 // deterministic for a given seed regardless of GOMAXPROCS, because the
 // event loop is single-threaded and ties break on sequence number.
 //
+// The hot path is allocation-free: events are 32-byte tagged records
+// ({at, seq, kind, idx}) in a typed 4-ary heap (heap.go), dispatched
+// through a handler table to slab-allocated per-client state
+// (replay.go), with pre-sorted arrival streams consumed in place
+// instead of heaped (StreamArrivals). Closure-based scheduling (At,
+// After) remains for cold paths — bwsim's tick cascade, tests — and
+// costs one closure allocation per event, but no interface boxing.
+//
 // Concurrency contract: Scheduler.Now / NowNanos / Elapsed are safe to
 // call from any goroutine (the obs sampler reads the clock while a
-// flood runs); everything else — After, At, Step, Run, and every event
-// callback — belongs to the single goroutine driving the loop.
+// flood runs); everything else — After, At, AtKind, Step, Run, and
+// every event callback — belongs to the single goroutine driving the
+// loop.
 package vtime
 
 import (
-	"container/heap"
 	"context"
 	"sync/atomic"
 	"time"
@@ -34,33 +42,41 @@ import (
 // two runs of the same seed produce identical virtual timestamps.
 var Epoch = time.Date(2020, time.June, 29, 0, 0, 0, 0, time.UTC)
 
-// event is one scheduled callback. seq breaks timestamp ties in
-// scheduling order, which is what makes the loop deterministic.
-type event struct {
-	at  int64 // virtual nanoseconds since Epoch
-	seq uint64
-	fn  func()
+// Kind tags an event with the handler that consumes it. Kind zero is
+// reserved for closure events scheduled through At/After; every other
+// kind comes from RegisterKind.
+type Kind uint32
+
+// kindFunc is the reserved closure-dispatch kind: the event's idx
+// indexes the scheduler's closure slab.
+const kindFunc Kind = 0
+
+// ev is one scheduled event: a 32-byte tagged record instead of the
+// old {at, seq, fn func()} closure triple. seq breaks timestamp ties
+// in scheduling order, which is what makes the loop deterministic; idx
+// is the handler's payload (a replay client index, a link timer
+// generation, a closure slab slot).
+type ev struct {
+	at   int64 // virtual nanoseconds since Epoch
+	seq  uint64
+	kind Kind
+	idx  uint64
 }
 
-// eventQueue is a min-heap over (at, seq).
-type eventQueue []event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before orders events by (at, seq) — the heap4 constraint.
+func (e ev) before(o ev) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return q[i].seq < q[j].seq
+	return e.seq < o.seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = event{}
-	*q = old[:n-1]
-	return e
+
+// Arrival is one entry of a pre-sorted event stream: an instant and a
+// handler payload. Floods hand the scheduler millions of these in one
+// slice (StreamArrivals) instead of heaping each individually.
+type Arrival struct {
+	At  int64  // virtual nanoseconds since Epoch
+	Idx uint64 // payload passed to the stream kind's handler
 }
 
 // Scheduler is a single-threaded discrete-event loop with a virtual
@@ -69,12 +85,38 @@ func (q *eventQueue) Pop() interface{} {
 // vtime run carry coherent virtual timestamps.
 type Scheduler struct {
 	now atomic.Int64 // virtual nanos since Epoch; atomic so observers can read concurrently
-	q   eventQueue
+	q   heap4[ev]
 	seq uint64
+
+	// handlers is the kind-dispatch table; index 0 is the reserved
+	// closure kind and stays nil.
+	handlers []func(idx uint64)
+
+	// fns is the closure slab behind At/After: slots are recycled
+	// through freeFns as their events pop, so closure-heavy cascades
+	// reuse a handful of slots instead of growing the slab.
+	fns     []func()
+	freeFns []uint64
+
+	// stream is the pre-sorted arrival sequence (StreamArrivals),
+	// consumed from streamPos; streamKind dispatches its entries. At
+	// equal instants stream entries fire before heap events, matching
+	// the old behaviour of heaping every arrival before Run started
+	// (arrivals held the smallest sequence numbers).
+	stream     []Arrival
+	streamPos  int
+	streamKind Kind
+
+	// flushers run on Flush: batched accounting sinks (SegmentBatch)
+	// register here so observers sampling mid-run can see fully
+	// applied counters, and Run leaves nothing pending on return.
+	flushers []func()
 }
 
 // NewScheduler returns an empty scheduler at virtual time Epoch.
-func NewScheduler() *Scheduler { return &Scheduler{} }
+func NewScheduler() *Scheduler {
+	return &Scheduler{handlers: make([]func(uint64), 1, 8)}
+}
 
 // Now returns the current virtual time. Safe for concurrent use.
 func (s *Scheduler) Now() time.Time { return Epoch.Add(time.Duration(s.now.Load())) }
@@ -87,6 +129,52 @@ func (s *Scheduler) NowNanos() int64 { return s.now.Load() }
 // concurrent use.
 func (s *Scheduler) Elapsed() time.Duration { return time.Duration(s.now.Load()) }
 
+// RegisterKind adds a handler to the dispatch table and returns its
+// kind. Events scheduled with AtKind carry only the kind and a uint64
+// payload, so a registered handler costs one closure for the whole
+// run instead of one per event.
+func (s *Scheduler) RegisterKind(h func(idx uint64)) Kind {
+	if s.handlers == nil {
+		s.handlers = make([]func(uint64), 1, 8)
+	}
+	s.handlers = append(s.handlers, h)
+	return Kind(len(s.handlers) - 1)
+}
+
+// AtKind schedules a tagged event at the absolute virtual instant t
+// (nanoseconds since Epoch) — the allocation-free form of At. Instants
+// in the past run at the current virtual time; the clock never moves
+// backwards.
+func (s *Scheduler) AtKind(t int64, kind Kind, idx uint64) {
+	if now := s.now.Load(); t < now {
+		t = now
+	}
+	s.seq++
+	s.q.Push(ev{at: t, seq: s.seq, kind: kind, idx: idx})
+}
+
+// AfterKind schedules a tagged event at now+d (a non-positive d means
+// "immediately after the current event", still in deterministic
+// sequence order).
+func (s *Scheduler) AfterKind(d time.Duration, kind Kind, idx uint64) {
+	if d < 0 {
+		d = 0
+	}
+	s.AtKind(s.now.Load()+int64(d), kind, idx)
+}
+
+// storeFn parks a closure in the slab and returns its slot.
+func (s *Scheduler) storeFn(fn func()) uint64 {
+	if n := len(s.freeFns); n > 0 {
+		slot := s.freeFns[n-1]
+		s.freeFns = s.freeFns[:n-1]
+		s.fns[slot] = fn
+		return slot
+	}
+	s.fns = append(s.fns, fn)
+	return uint64(len(s.fns) - 1)
+}
+
 // After schedules fn at now+d (a non-positive d means "immediately
 // after the current event", still in deterministic sequence order).
 func (s *Scheduler) After(d time.Duration, fn func()) {
@@ -98,27 +186,78 @@ func (s *Scheduler) After(d time.Duration, fn func()) {
 
 // At schedules fn at the absolute virtual instant t (nanoseconds since
 // Epoch). Instants in the past run at the current virtual time — the
-// clock never moves backwards.
+// clock never moves backwards. Closure events cost one allocation (the
+// closure itself); hot paths use AtKind.
 func (s *Scheduler) At(t int64, fn func()) {
 	if now := s.now.Load(); t < now {
 		t = now
 	}
 	s.seq++
-	heap.Push(&s.q, event{at: t, seq: s.seq, fn: fn})
+	s.q.Push(ev{at: t, seq: s.seq, kind: kindFunc, idx: s.storeFn(fn)})
 }
 
-// Pending returns the number of scheduled events.
-func (s *Scheduler) Pending() int { return len(s.q) }
+// StreamArrivals installs a pre-sorted arrival stream dispatched to
+// kind's handler. The slice must be sorted ascending by At (ties in
+// slice order) and is consumed in place — no per-arrival heap entry,
+// no copy. At equal instants stream entries fire before heap events.
+// One stream is active at a time; installing a new one replaces any
+// unconsumed remainder.
+func (s *Scheduler) StreamArrivals(kind Kind, arr []Arrival) {
+	s.stream = arr
+	s.streamPos = 0
+	s.streamKind = kind
+}
+
+// RegisterFlush adds fn to the set Flush invokes. Batched accounting
+// sinks register here; Run flushes on return so completed runs always
+// read exact.
+func (s *Scheduler) RegisterFlush(fn func()) { s.flushers = append(s.flushers, fn) }
+
+// Flush applies all pending batched accounting. Event callbacks that
+// expose mid-run state to observers (the obs sampling tick in
+// `attack -sim`) call this before reading counters.
+func (s *Scheduler) Flush() {
+	for _, fn := range s.flushers {
+		fn()
+	}
+}
+
+// Pending returns the number of scheduled events, streamed arrivals
+// included.
+func (s *Scheduler) Pending() int {
+	return s.q.Len() + len(s.stream) - s.streamPos
+}
 
 // Step runs the single earliest event, advancing the clock to its
-// instant. It reports false when the queue is empty.
+// instant. It reports false when the queue and the arrival stream are
+// both empty.
 func (s *Scheduler) Step() bool {
-	if len(s.q) == 0 {
+	if s.streamPos < len(s.stream) {
+		a := s.stream[s.streamPos]
+		if s.q.Len() == 0 || s.q.a[0].at >= a.At {
+			s.streamPos++
+			at := a.At
+			if now := s.now.Load(); at < now {
+				at = now
+			}
+			s.now.Store(at)
+			s.handlers[s.streamKind](a.Idx)
+			return true
+		}
+	}
+	if s.q.Len() == 0 {
 		return false
 	}
-	e := heap.Pop(&s.q).(event)
+	e := s.q.Pop()
 	s.now.Store(e.at)
-	e.fn()
+	if e.kind == kindFunc {
+		fn := s.fns[e.idx]
+		s.fns[e.idx] = nil
+		s.freeFns = append(s.freeFns, e.idx)
+		fn()
+		return true
+	}
+	s.handlers[e.kind](e.idx)
 	return true
 }
 
@@ -127,11 +266,14 @@ func (s *Scheduler) Step() bool {
 // cheap, but a power-of-two stride keeps the hot loop branch-free.
 const ctxCheckEvery = 8192
 
-// Run drains the queue, advancing the clock event by event, until no
-// events remain or ctx is cancelled. Callbacks may schedule further
-// events. A cancelled run returns ctx.Err(); the virtual clock and any
-// accounting already applied stay at the point of cancellation.
+// Run drains the queue and the arrival stream, advancing the clock
+// event by event, until nothing remains or ctx is cancelled. Callbacks
+// may schedule further events. Run flushes batched accounting on
+// return, so the counters are exact afterwards on both paths: a
+// cancelled run returns ctx.Err() with the accounting already applied
+// at the point of cancellation.
 func (s *Scheduler) Run(ctx context.Context) error {
+	defer s.Flush()
 	for i := 0; ; i++ {
 		if i%ctxCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {

@@ -288,34 +288,136 @@ func TestSharedLinkLossInflatesWireTime(t *testing.T) {
 	}
 }
 
-// TestConnExchangeOrdering: the request side of an exchange lands
-// immediately, the response side only after the link clears it, and
-// chained exchanges serialize.
-func TestConnExchangeOrdering(t *testing.T) {
+// TestReplayExchangeOrdering: the request side of a replayed exchange
+// lands at issue time, the response side only after the link clears
+// it, and the session-teardown footprint lands after the last request.
+func TestReplayExchangeOrdering(t *testing.T) {
 	s := NewScheduler()
 	seg := &recordingSegment{}
-	l := NewSharedLink(s, LinkParams{Latency: 10 * time.Millisecond})
-	c := NewConn(s, seg, l)
-	d := Delta{Up: 100, Down: 5000, Conns: 1, Closed: 1}
-	var doneAt time.Duration
-	c.Exchange(d, func() { doneAt = s.Elapsed() })
-	if seg.up != 100 || seg.conns != 1 {
-		t.Fatalf("request side not applied immediately: %+v", *seg)
-	}
-	if seg.down != 0 || seg.closed != 0 {
-		t.Fatalf("response side applied early: %+v", *seg)
-	}
-	if err := s.Run(context.Background()); err != nil {
+	rep := NewReplay(s)
+	p := rep.AddPath([]Hop{{
+		Seg:  NewSegmentBatch(s, seg),
+		Link: NewSharedLink(s, LinkParams{Latency: 10 * time.Millisecond}),
+	}})
+	tm := rep.AddTemplate(&Template{
+		Reqs:  []ReqSample{{Hops: []Delta{{Up: 100, Down: 5000, Conns: 1}}}},
+		Close: []Delta{{Closed: 1}},
+		Dials: 1,
+	})
+	rep.AddClient(0, tm, p)
+	// Probe the two phases from closure events interleaved with the
+	// replay: flush first, since batches apply lazily.
+	s.After(5*time.Millisecond, func() {
+		s.Flush()
+		if seg.up != 100 || seg.conns != 1 {
+			t.Errorf("request side not applied at issue: %+v", *seg)
+		}
+		if seg.down != 0 || seg.closed != 0 {
+			t.Errorf("response side applied early: %+v", *seg)
+		}
+	})
+	if err := rep.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if seg.down != 5000 || seg.closed != 1 {
 		t.Errorf("response side missing: %+v", *seg)
 	}
-	if doneAt != 10*time.Millisecond {
-		t.Errorf("done at %v, want link latency", doneAt)
+	if s.Elapsed() != 10*time.Millisecond {
+		t.Errorf("finished at %v, want link latency", s.Elapsed())
+	}
+	if rep.Counts.Requests != 1 || rep.Counts.Dials != 1 {
+		t.Errorf("counts = %+v", rep.Counts)
 	}
 }
 
+// TestReplayMultiHopChain: a two-hop request applies upstream-most
+// first and chains hops causally; multiple requests serialize; empty
+// templates schedule nothing.
+func TestReplayMultiHopChain(t *testing.T) {
+	s := NewScheduler()
+	up, down := &recordingSegment{}, &recordingSegment{}
+	rep := NewReplay(s)
+	p := rep.AddPath([]Hop{
+		{Seg: NewSegmentBatch(s, up), Link: NewSharedLink(s, LinkParams{})},
+		{Seg: NewSegmentBatch(s, down), Link: NewSharedLink(s, LinkParams{})},
+	})
+	tm := rep.AddTemplate(&Template{
+		Reqs: []ReqSample{
+			{Hops: []Delta{{Up: 10, Down: 1000}, {Up: 12, Down: 900}}, Failed: true},
+			{Hops: []Delta{{Up: 10, Down: 1000}, {Up: 12, Down: 900}}, Blocked: true},
+		},
+		Close: []Delta{{}, {Closed: 1}},
+		Dials: 3,
+	})
+	empty := rep.AddTemplate(&Template{})
+	rep.AddClient(time.Second, tm, p)
+	rep.AddClient(time.Hour, empty, p) // must not stretch the virtual span
+	if err := rep.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if up.up != 20 || up.down != 2000 || down.up != 24 || down.down != 1800 {
+		t.Errorf("per-hop totals wrong: up=%+v down=%+v", *up, *down)
+	}
+	if down.closed != 1 {
+		t.Errorf("teardown missing: %+v", *down)
+	}
+	if rep.Counts != (Counts{Requests: 2, Failures: 1, Blocked: 1, Dials: 3}) {
+		t.Errorf("counts = %+v", rep.Counts)
+	}
+	if s.Elapsed() != time.Second {
+		t.Errorf("elapsed = %v, want 1s (empty client dropped)", s.Elapsed())
+	}
+}
+
+// TestStreamArrivalsOrdering: streamed entries interleave with heap
+// events in timestamp order, and at equal instants the stream wins —
+// the tie-break that replicates heaping arrivals before Run.
+func TestStreamArrivalsOrdering(t *testing.T) {
+	s := NewScheduler()
+	var got []uint64
+	k := s.RegisterKind(func(idx uint64) { got = append(got, idx) })
+	s.After(2*time.Second, func() { got = append(got, 100) })
+	s.At(int64(3*time.Second), func() { got = append(got, 101) })
+	s.StreamArrivals(k, []Arrival{
+		{At: int64(time.Second), Idx: 1},
+		{At: int64(2 * time.Second), Idx: 2}, // ties heap event at 2s: stream first
+		{At: int64(4 * time.Second), Idx: 3},
+	})
+	if s.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", s.Pending())
+	}
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 2, 100, 101, 3}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSchedulerFlushOnRun: registered flush hooks run when Run drains
+// and on explicit Flush, so batched counters are exact at both points.
+func TestSchedulerFlushOnRun(t *testing.T) {
+	s := NewScheduler()
+	seg := &recordingSegment{}
+	b := NewSegmentBatch(s, seg)
+	s.After(time.Second, func() { b.Apply(Delta{Up: 7, Conns: 1, Closed: 1}) })
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if seg.up != 7 || seg.conns != 1 || seg.closed != 1 {
+		t.Errorf("batch not flushed by Run: %+v", *seg)
+	}
+	b.Apply(Delta{Aborted: 2})
+	s.Flush()
+	if seg.aborted != 2 {
+		t.Errorf("explicit Flush missing: %+v", *seg)
+	}
+}
+
+// recordingSegment is a test BatchSegment capturing every application.
 type recordingSegment struct {
 	up, down        int64
 	conns           int
@@ -331,4 +433,12 @@ func (r *recordingSegment) ConnClosed(aborted bool) {
 	} else {
 		r.closed++
 	}
+}
+
+func (r *recordingSegment) AddBatch(up, down, conns, closed, aborted int64) {
+	r.up += up
+	r.down += down
+	r.conns += int(conns)
+	r.closed += int(closed)
+	r.aborted += int(aborted)
 }
